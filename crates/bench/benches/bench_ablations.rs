@@ -1,0 +1,17 @@
+//! Criterion wall-clock wrapper for the ablation experiments E13-E15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::{e13_xi_ablation, e14_mu_ablation, e15_gamma_ablation};
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_ablations");
+    group.sample_size(10);
+    group.bench_function("e13_small", |b| b.iter(|| e13_xi_ablation(Scale::Small)));
+    group.bench_function("e14_small", |b| b.iter(|| e14_mu_ablation(Scale::Small)));
+    group.bench_function("e15_small", |b| b.iter(|| e15_gamma_ablation(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion wall-clock wrapper for E2 (Theorem 1.1 vs SODA20 baseline) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::e2_apsp;
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_apsp");
+    group.sample_size(10);
+    group.bench_function("e2_small", |b| b.iter(|| e2_apsp(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

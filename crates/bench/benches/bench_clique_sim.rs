@@ -1,0 +1,16 @@
+//! Criterion wall-clock wrapper for E12 (Corollary 4.1) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::e12_clique_sim;
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_clique_sim");
+    group.sample_size(10);
+    group.bench_function("e12_small", |b| b.iter(|| e12_clique_sim(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion wall-clock wrapper for E3 (Theorem 1.2) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::e3_kssp;
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_ksssp");
+    group.sample_size(10);
+    group.bench_function("e3_small", |b| b.iter(|| e3_kssp(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

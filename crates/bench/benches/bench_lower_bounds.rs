@@ -1,0 +1,17 @@
+//! Criterion wall-clock wrapper for E6+E7 (Theorems 1.5, 1.6) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::{e6_kssp_lower_bound, e7_diameter_lower_bound};
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_lower_bounds");
+    group.sample_size(10);
+    group.bench_function("e6_small", |b| b.iter(|| e6_kssp_lower_bound(Scale::Small)));
+    group.bench_function("e7_small", |b| b.iter(|| e7_diameter_lower_bound(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wall-clock wrapper for E8-E11 (Lemmas 2.1, 2.2, C.1/C.2, D.2) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::{e10_skeletons, e11_congestion, e8_helper_sets, e9_ruling_sets};
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_primitives");
+    group.sample_size(10);
+    group.bench_function("e8_small", |b| b.iter(|| e8_helper_sets(Scale::Small)));
+    group.bench_function("e9_small", |b| b.iter(|| e9_ruling_sets(Scale::Small)));
+    group.bench_function("e10_small", |b| b.iter(|| e10_skeletons(Scale::Small)));
+    group.bench_function("e11_small", |b| b.iter(|| e11_congestion(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

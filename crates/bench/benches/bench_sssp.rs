@@ -1,0 +1,16 @@
+//! Criterion wall-clock wrapper for E4 (Theorem 1.3) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::e4_sssp;
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_sssp");
+    group.sample_size(10);
+    group.bench_function("e4_small", |b| b.iter(|| e4_sssp(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion wall-clock wrapper for E1 (Theorem 2.2) (see EXPERIMENTS.md; the round-count
+//! tables come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_bench::experiments::e1_token_routing;
+use hybrid_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_token_routing");
+    group.sample_size(10);
+    group.bench_function("e1_small", |b| b.iter(|| e1_token_routing(Scale::Small)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment runner: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p hybrid-bench --bin experiments -- all
+//! cargo run --release -p hybrid-bench --bin experiments -- e2 e5
+//! cargo run --release -p hybrid-bench --bin experiments -- --small all
+//! ```
+
+use hybrid_bench::experiments as ex;
+use hybrid_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    type Runner = fn(Scale) -> hybrid_bench::table::Table;
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let runs: Vec<(&str, Runner)> = vec![
+        ("e1", ex::e1_token_routing),
+        ("e2", ex::e2_apsp),
+        ("e3", ex::e3_kssp),
+        ("e4", ex::e4_sssp),
+        ("e5", ex::e5_diameter),
+        ("e6", ex::e6_kssp_lower_bound),
+        ("e7", ex::e7_diameter_lower_bound),
+        ("e8", ex::e8_helper_sets),
+        ("e9", ex::e9_ruling_sets),
+        ("e10", ex::e10_skeletons),
+        ("e11", ex::e11_congestion),
+        ("e12", ex::e12_clique_sim),
+        ("e13", ex::e13_xi_ablation),
+        ("e14", ex::e14_mu_ablation),
+        ("e15", ex::e15_gamma_ablation),
+    ];
+    for (id, f) in runs {
+        if all || wanted.contains(&id) {
+            eprintln!("running {id}...");
+            f(scale).print();
+        }
+    }
+}

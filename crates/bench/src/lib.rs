@@ -1,0 +1,13 @@
+//! Experiment harness: every theorem of the paper as a reproducible,
+//! table-printing experiment (the E1–E12 index of DESIGN.md §5).
+//!
+//! The `experiments` binary runs them and prints the rows recorded in
+//! EXPERIMENTS.md; the criterion benches in `benches/` wrap the same runners
+//! for wall-clock tracking.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::Scale;

@@ -1,0 +1,42 @@
+//! Congested-clique (CLIQUE) substrate.
+//!
+//! §4 of Kuhn & Schneider simulates CLIQUE-model algorithms on a skeleton graph of
+//! the HYBRID network (Corollary 4.1) and transfers their guarantees through the
+//! framework of Theorem 4.1. This crate provides that substrate:
+//!
+//! * [`CliqueNet`] — a cost-model simulator of the CLIQUE: in each round every
+//!   node may exchange one `O(log n)`-bit message with every other node; by
+//!   Lenzen's routing theorem this is equivalent (up to constants) to delivering
+//!   any batch in which every node sends and receives at most `n` messages in one
+//!   round. [`CliqueNet::route`] charges exactly
+//!   `max_v ⌈max(sent_v, recv_v) / n⌉` rounds per batch.
+//! * Genuine CLIQUE algorithms with simulated communication:
+//!   [`bellman_ford::BellmanFordKSsp`] (exact k-source shortest paths) and
+//!   [`semiring::SemiringApsp`] (exact APSP by min-plus matrix squaring with a 3D
+//!   work partition, `Õ(n^{1/3})` rounds per squaring).
+//! * [`declared`] — wrappers for the algorithms of Censor-Hillel et al. [7, 8]
+//!   that the paper plugs into its framework. Reimplementing distributed
+//!   algebraic matrix multiplication is out of scope (see DESIGN.md §3); the
+//!   wrappers produce outputs meeting the declared `(α, β)` contract (with
+//!   randomized noise so downstream error handling is actually exercised)
+//!   and charge the declared round complexity `T_A = Õ(η n^δ)`.
+//! * [`diameter`] — CLIQUE diameter algorithms (exact via APSP, and the declared
+//!   `(3/2 + ε, W)`-approximation of \[7\]).
+//!
+//! All algorithms implement the [`traits::CliqueKsspAlgorithm`] /
+//! [`traits::CliqueDiameterAlgorithm`] traits, which expose the
+//! `(γ, δ, η, α, β)` parameters Theorem 4.1 consumes.
+
+#![warn(missing_docs)]
+
+pub mod bellman_ford;
+pub mod declared;
+pub mod diameter;
+pub mod net;
+pub mod semiring;
+pub mod traits;
+
+pub use net::{CliqueError, CliqueMsg, CliqueNet};
+pub use traits::{
+    Beta, CliqueDiameterAlgorithm, CliqueKsspAlgorithm, KsspEstimates, SourceCapacity,
+};

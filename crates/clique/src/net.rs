@@ -1,0 +1,276 @@
+//! The CLIQUE cost-model simulator.
+//!
+//! The congested clique (footnote 4 of the paper): synchronous message passing
+//! where every node may send one `O(log n)`-bit message to *every* other node per
+//! round. With Lenzen's routing theorem \[24\] this is equivalent, up to constant
+//! factors, to: any message batch in which each node sends at most `n` and
+//! receives at most `n` messages is deliverable in `O(1)` rounds. [`CliqueNet`]
+//! adopts the Lenzen view and charges a batch `max_v ⌈max(sent_v, recv_v) / n⌉`
+//! rounds.
+
+use std::fmt;
+
+use hybrid_graph::NodeId;
+
+/// Errors of CLIQUE-algorithm executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliqueError {
+    /// An algorithm got more sources than its capacity allows (Theorem 4.1's
+    /// `n^γ` restriction).
+    TooManySources {
+        /// Sources provided.
+        got: usize,
+        /// Maximum supported for this clique size.
+        max: usize,
+    },
+    /// An envelope addressed a node outside `0..n`.
+    AddressOutOfRange {
+        /// The bad node.
+        node: NodeId,
+        /// Clique size.
+        n: usize,
+    },
+    /// A declared algorithm was run on an empty source set where one is required.
+    NoSources,
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliqueError::TooManySources { got, max } => {
+                write!(f, "algorithm supports at most {max} sources, got {got}")
+            }
+            CliqueError::AddressOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for clique of {n} nodes")
+            }
+            CliqueError::NoSources => write!(f, "algorithm requires at least one source"),
+        }
+    }
+}
+
+impl std::error::Error for CliqueError {}
+
+/// A message in a CLIQUE routing batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueMsg<M> {
+    /// Sender (clique-local ID).
+    pub src: NodeId,
+    /// Destination (clique-local ID).
+    pub dst: NodeId,
+    /// Payload (`O(log n)` bits in the model; small tuples in practice).
+    pub msg: M,
+}
+
+impl<M> CliqueMsg<M> {
+    /// Creates a message.
+    pub fn new(src: NodeId, dst: NodeId, msg: M) -> Self {
+        CliqueMsg { src, dst, msg }
+    }
+}
+
+/// Simulated congested clique on `n` nodes with Lenzen-routing accounting.
+#[derive(Debug)]
+pub struct CliqueNet {
+    n: usize,
+    rounds: u64,
+    messages: u64,
+    max_round_load: usize,
+    recorder: Option<Vec<Vec<(NodeId, NodeId)>>>,
+}
+
+impl CliqueNet {
+    /// Creates a clique of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "clique needs at least one node");
+        CliqueNet { n, rounds: 0, messages: 0, max_round_load: 0, recorder: None }
+    }
+
+    /// Enables batch-shape recording: every routed batch's `(src, dst)` multiset
+    /// is retained. The HYBRID simulation of the clique (Corollary 4.1 of the
+    /// paper) replays these shapes through the token-routing protocol to charge
+    /// honest HYBRID rounds for a genuine CLIQUE algorithm's traffic.
+    pub fn record_batches(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// The recorded batch shapes (empty if recording was never enabled).
+    pub fn recorded_batches(&self) -> &[Vec<(NodeId, NodeId)>] {
+        self.recorder.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the clique is empty (never for a constructed net).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Messages routed so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Largest `max(sent_v, recv_v)` observed in a single batch.
+    pub fn max_round_load(&self) -> usize {
+        self.max_round_load
+    }
+
+    /// Charges `r` extra rounds (used by declared-complexity algorithms).
+    pub fn charge_rounds(&mut self, r: u64) {
+        self.rounds += r;
+    }
+
+    /// Routes a batch of messages, charging `max_v ⌈max(sent_v, recv_v) / n⌉`
+    /// rounds (at least 1 for a non-empty batch). Returns per-node inboxes sorted
+    /// by sender.
+    ///
+    /// # Errors
+    ///
+    /// [`CliqueError::AddressOutOfRange`] for bad endpoints.
+    pub fn route<M>(
+        &mut self,
+        batch: Vec<CliqueMsg<M>>,
+    ) -> Result<Vec<Vec<(NodeId, M)>>, CliqueError> {
+        let n = self.n;
+        if batch.is_empty() {
+            return Ok((0..n).map(|_| Vec::new()).collect());
+        }
+        let mut sent = vec![0usize; n];
+        let mut recv = vec![0usize; n];
+        for m in &batch {
+            if m.src.index() >= n {
+                return Err(CliqueError::AddressOutOfRange { node: m.src, n });
+            }
+            if m.dst.index() >= n {
+                return Err(CliqueError::AddressOutOfRange { node: m.dst, n });
+            }
+            sent[m.src.index()] += 1;
+            recv[m.dst.index()] += 1;
+        }
+        let load =
+            (0..n).map(|v| sent[v].max(recv[v])).max().unwrap_or(0);
+        self.max_round_load = self.max_round_load.max(load);
+        self.rounds += (load.div_ceil(n) as u64).max(1);
+        self.messages += batch.len() as u64;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(batch.iter().map(|m| (m.src, m.dst)).collect());
+        }
+        let mut inboxes: Vec<Vec<(NodeId, M)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut sorted = batch;
+        sorted.sort_by_key(|m| (m.dst, m.src));
+        for m in sorted {
+            inboxes[m.dst.index()].push((m.src, m.msg));
+        }
+        Ok(inboxes)
+    }
+
+    /// Broadcast from one node to all others (one CLIQUE round, `n-1` messages).
+    ///
+    /// # Errors
+    ///
+    /// [`CliqueError::AddressOutOfRange`] for a bad source.
+    pub fn broadcast<M: Clone>(
+        &mut self,
+        src: NodeId,
+        msg: M,
+    ) -> Result<Vec<Vec<(NodeId, M)>>, CliqueError> {
+        let batch: Vec<CliqueMsg<M>> = (0..self.n)
+            .filter(|&v| v != src.index())
+            .map(|v| CliqueMsg::new(src, NodeId::new(v), msg.clone()))
+            .collect();
+        self.route(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batch_is_one_round() {
+        let mut net = CliqueNet::new(4);
+        let inboxes = net
+            .route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(3), 9u8)])
+            .unwrap();
+        assert_eq!(inboxes[3], vec![(NodeId::new(0), 9)]);
+        assert_eq!(net.rounds(), 1);
+        assert_eq!(net.messages(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut net = CliqueNet::new(4);
+        net.route::<u8>(vec![]).unwrap();
+        assert_eq!(net.rounds(), 0);
+    }
+
+    #[test]
+    fn lenzen_cost_scales_with_load() {
+        let mut net = CliqueNet::new(4);
+        // Node 0 sends 10 messages to node 1: load 10, n = 4 ⇒ ⌈10/4⌉ = 3 rounds.
+        let batch: Vec<_> =
+            (0..10).map(|i| CliqueMsg::new(NodeId::new(0), NodeId::new(1), i)).collect();
+        net.route(batch).unwrap();
+        assert_eq!(net.rounds(), 3);
+        assert_eq!(net.max_round_load(), 10);
+    }
+
+    #[test]
+    fn full_clique_round_costs_one() {
+        let n = 8;
+        let mut net = CliqueNet::new(n);
+        let mut batch = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    batch.push(CliqueMsg::new(NodeId::new(s), NodeId::new(d), (s, d)));
+                }
+            }
+        }
+        net.route(batch).unwrap();
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut net = CliqueNet::new(5);
+        let inboxes = net.broadcast(NodeId::new(2), "x").unwrap();
+        for v in 0..5 {
+            if v == 2 {
+                assert!(inboxes[v].is_empty());
+            } else {
+                assert_eq!(inboxes[v], vec![(NodeId::new(2), "x")]);
+            }
+        }
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        let mut net = CliqueNet::new(2);
+        let err =
+            net.route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(5), 0u8)]).unwrap_err();
+        assert!(matches!(err, CliqueError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn charge_rounds_accumulates() {
+        let mut net = CliqueNet::new(3);
+        net.charge_rounds(7);
+        assert_eq!(net.rounds(), 7);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CliqueError::TooManySources { got: 10, max: 3 };
+        assert!(e.to_string().contains("sources"));
+    }
+}

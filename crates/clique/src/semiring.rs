@@ -1,0 +1,378 @@
+//! Exact APSP on the congested clique by min-plus matrix squaring with a 3D work
+//! partition — the semiring-multiplication technique of Censor-Hillel et al. \[8\],
+//! in its `Õ(n^{1/3})`-rounds-per-product form.
+//!
+//! One squaring `D ← D ⊗ D` (min-plus product) is distributed as follows. Let
+//! `q = ⌈n^{1/3}⌉` and partition `[n]` into `q` blocks of size `b = ⌈n/q⌉`. The
+//! `q³ ≈ n` block-triples `(I, J, K)` are assigned round-robin to the `n` nodes;
+//! the owner of `(I, J, K)` multiplies block `A[I,K]` with block `B[K,J]`:
+//!
+//! 1. **Distribute**: row owner `i` sends each finite entry `D[i, k]` to the
+//!    owners of `(blk(i), J, blk(k))` for all `J` (its A-role) and to the owners
+//!    of `(I, blk(k)... )` — symmetrically for its B-role. Per node:
+//!    `O(n^{4/3})` messages ⇒ `O(n^{1/3})` Lenzen rounds.
+//! 2. **Multiply**: each owner computes its `b × b` partial min-plus block.
+//! 3. **Tree-reduce** over `K`: `log q` halving steps, each moving `b² = n^{4/3}`
+//!    entries per node ⇒ `O(n^{1/3} log n)` rounds.
+//! 4. **Scatter**: the `(I, J, 0)` owners return result rows to the row owners.
+//!
+//! `⌈log₂ n⌉` squarings give exact APSP in `Õ(n^{1/3})` rounds; squaring stops
+//! early once the matrix is a fixpoint.
+
+use std::collections::HashMap;
+
+use hybrid_graph::apsp::DistanceMatrix;
+use hybrid_graph::{dist_add, Distance, Graph, NodeId, INFINITY};
+
+use crate::net::{CliqueError, CliqueMsg, CliqueNet};
+use crate::traits::{Beta, CliqueKsspAlgorithm, KsspEstimates, SourceCapacity};
+
+/// Exact APSP via distributed min-plus squaring (`α = 1`, `β = 0`, `δ = 1/3`).
+#[derive(Debug, Clone, Default)]
+pub struct SemiringApsp;
+
+impl SemiringApsp {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        SemiringApsp
+    }
+
+    /// Runs the full APSP and returns the distance matrix (clique-local indices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    pub fn apsp(&self, net: &mut CliqueNet, g: &Graph) -> Result<DistanceMatrix, CliqueError> {
+        let n = g.len();
+        let mut d = DistanceMatrix::new(n);
+        for e in g.edges() {
+            d.set(e.u, e.v, e.w);
+            d.set(e.v, e.u, e.w);
+        }
+        // Squarings until 2^t ≥ n - 1 (or fixpoint).
+        let mut span = 1usize;
+        while span < n.saturating_sub(1) {
+            let next = square(net, &d)?;
+            let changed = (0..n).any(|i| {
+                let (a, b) = (d.row(NodeId::new(i)), next.row(NodeId::new(i)));
+                a != b
+            });
+            d = next;
+            if !changed {
+                break;
+            }
+            span *= 2;
+        }
+        Ok(d)
+    }
+}
+
+/// Block partition helper: `q` blocks of size `b` covering `0..n`.
+#[derive(Debug, Clone, Copy)]
+struct Blocks {
+    n: usize,
+    q: usize,
+    b: usize,
+}
+
+impl Blocks {
+    fn new(n: usize) -> Self {
+        let q = ((n as f64).cbrt().ceil() as usize).max(1);
+        let b = n.div_ceil(q);
+        Blocks { n, q, b }
+    }
+
+    /// Block index of row/column `i`.
+    fn blk(&self, i: usize) -> usize {
+        i / self.b
+    }
+
+    /// Owner node of triple `(i_blk, j_blk, k_blk)`.
+    fn owner(&self, ib: usize, jb: usize, kb: usize) -> NodeId {
+        NodeId::new(((ib * self.q + jb) * self.q + kb) % self.n)
+    }
+}
+
+/// Message payload: a matrix entry with its role in the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    /// `A[i, k]` destined for triples `(blk(i), *, blk(k))`.
+    A { i: u32, k: u32, v: Distance, jb: u32 },
+    /// `B[k, j]` destined for triples `(*, blk(j), blk(k))`.
+    B { k: u32, j: u32, v: Distance, ib: u32 },
+    /// A partial/final result entry `C[i, j]`.
+    C { i: u32, j: u32, v: Distance, kb: u32 },
+}
+
+/// One distributed min-plus squaring.
+fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, CliqueError> {
+    let n = d.len();
+    let blocks = Blocks::new(n);
+    let q = blocks.q;
+
+    // Phase 1: distribute A- and B-roles of every finite entry.
+    let mut batch: Vec<CliqueMsg<Entry>> = Vec::new();
+    for i in 0..n {
+        let row = d.row(NodeId::new(i));
+        let ib = blocks.blk(i);
+        for (k, &v) in row.iter().enumerate() {
+            if v == INFINITY {
+                continue;
+            }
+            let kb = blocks.blk(k);
+            for jb in 0..q {
+                // A-role: D[i,k] feeds triple (ib, jb, kb).
+                batch.push(CliqueMsg::new(
+                    NodeId::new(i),
+                    blocks.owner(ib, jb, kb),
+                    Entry::A { i: i as u32, k: k as u32, v, jb: jb as u32 },
+                ));
+                // B-role: D[i,k] = D-row i read as B[k', j] with k' = i, j = k:
+                // feeds triple (jb', blk(k), blk(i)) for all jb' — emitted below.
+            }
+            // B-role: row i of D is also the "middle" operand: B[i, k] feeds
+            // triples (ib', kb, blk(i)) for all ib'.
+            for ib2 in 0..q {
+                batch.push(CliqueMsg::new(
+                    NodeId::new(i),
+                    blocks.owner(ib2, kb, blocks.blk(i)),
+                    Entry::B { k: i as u32, j: k as u32, v, ib: ib2 as u32 },
+                ));
+            }
+        }
+    }
+    let inboxes = net.route(batch)?;
+
+    // Phase 2: each owner multiplies its triples.
+    // Owner state: per triple, the received A and B entries.
+    type Triple = (usize, usize, usize);
+    let mut partials: HashMap<Triple, HashMap<(u32, u32), Distance>> = HashMap::new();
+    {
+        let mut a_parts: HashMap<Triple, Vec<(u32, u32, Distance)>> = HashMap::new();
+        let mut b_parts: HashMap<Triple, Vec<(u32, u32, Distance)>> = HashMap::new();
+        for (owner, msgs) in inboxes.into_iter().enumerate() {
+            let _ = owner;
+            for (_, entry) in msgs {
+                match entry {
+                    Entry::A { i, k, v, jb } => {
+                        let t = (blocks.blk(i as usize), jb as usize, blocks.blk(k as usize));
+                        a_parts.entry(t).or_default().push((i, k, v));
+                    }
+                    Entry::B { k, j, v, ib } => {
+                        let t = (ib as usize, blocks.blk(j as usize), blocks.blk(k as usize));
+                        b_parts.entry(t).or_default().push((k, j, v));
+                    }
+                    Entry::C { .. } => unreachable!("phase 1 carries no C entries"),
+                }
+            }
+        }
+        for (t, avs) in a_parts {
+            let Some(bvs) = b_parts.get(&t) else { continue };
+            // Index B entries by k for the inner loop.
+            let mut by_k: HashMap<u32, Vec<(u32, Distance)>> = HashMap::new();
+            for &(k, j, v) in bvs {
+                by_k.entry(k).or_default().push((j, v));
+            }
+            let out = partials.entry(t).or_default();
+            for &(i, k, av) in &avs {
+                let Some(cols) = by_k.get(&k) else { continue };
+                for &(j, bv) in cols {
+                    let cand = dist_add(av, bv);
+                    let slot = out.entry((i, j)).or_insert(INFINITY);
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: binary tree reduction over K towards kb = 0.
+    let mut gap = 1usize;
+    while gap < q {
+        let mut batch: Vec<CliqueMsg<Entry>> = Vec::new();
+        let mut drained: Vec<Triple> = Vec::new();
+        for (&(ib, jb, kb), entries) in partials.iter() {
+            if kb % (2 * gap) == gap {
+                let src = blocks.owner(ib, jb, kb);
+                let dst = blocks.owner(ib, jb, kb - gap);
+                for (&(i, j), &v) in entries {
+                    batch.push(CliqueMsg::new(src, dst, Entry::C {
+                        i,
+                        j,
+                        v,
+                        kb: (kb - gap) as u32,
+                    }));
+                }
+                drained.push((ib, jb, kb));
+            }
+        }
+        for t in drained {
+            partials.remove(&t);
+        }
+        if !batch.is_empty() {
+            let inboxes = net.route(batch)?;
+            for msgs in inboxes {
+                for (_, entry) in msgs {
+                    let Entry::C { i, j, v, kb } = entry else {
+                        unreachable!("phase 3 carries only C entries")
+                    };
+                    let t =
+                        (blocks.blk(i as usize), blocks.blk(j as usize), kb as usize);
+                    let slot =
+                        partials.entry(t).or_default().entry((i, j)).or_insert(INFINITY);
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        gap *= 2;
+    }
+
+    // Phase 4: scatter result rows back to row owners.
+    let mut batch: Vec<CliqueMsg<Entry>> = Vec::new();
+    for (&(ib, jb, kb), entries) in partials.iter() {
+        debug_assert_eq!(kb, 0, "after reduction only kb = 0 triples remain");
+        let src = blocks.owner(ib, jb, kb);
+        for (&(i, j), &v) in entries {
+            batch.push(CliqueMsg::new(src, NodeId::new(i as usize), Entry::C {
+                i,
+                j,
+                v,
+                kb: 0,
+            }));
+        }
+    }
+    let inboxes = net.route(batch)?;
+    let mut next = DistanceMatrix::new(n);
+    // Seed with the current matrix (paths of the shorter hop class survive).
+    for i in 0..n {
+        for j in 0..n {
+            next.set(NodeId::new(i), NodeId::new(j), d.get(NodeId::new(i), NodeId::new(j)));
+        }
+    }
+    for (row_owner, msgs) in inboxes.into_iter().enumerate() {
+        for (_, entry) in msgs {
+            let Entry::C { i, j, v, .. } = entry else { unreachable!() };
+            debug_assert_eq!(i as usize, row_owner);
+            let (iu, ju) = (NodeId::new(i as usize), NodeId::new(j as usize));
+            if v < next.get(iu, ju) {
+                next.set(iu, ju, v);
+            }
+        }
+    }
+    Ok(next)
+}
+
+impl CliqueKsspAlgorithm for SemiringApsp {
+    fn name(&self) -> &'static str {
+        "semiring-apsp"
+    }
+
+    fn capacity(&self) -> SourceCapacity {
+        SourceCapacity::Apsp
+    }
+
+    fn delta(&self) -> f64 {
+        1.0 / 3.0
+    }
+
+    fn eta(&self) -> f64 {
+        1.0
+    }
+
+    fn alpha(&self) -> f64 {
+        1.0
+    }
+
+    fn beta(&self) -> Beta {
+        Beta::Zero
+    }
+
+    fn run(
+        &self,
+        net: &mut CliqueNet,
+        g: &Graph,
+        sources: &[NodeId],
+    ) -> Result<KsspEstimates, CliqueError> {
+        self.check_sources(net.len(), sources)?;
+        let d = self.apsp(net, g)?;
+        let est = sources.iter().map(|&s| d.row(s).to_vec()).collect();
+        Ok(KsspEstimates { sources: sources.to_vec(), est })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::apsp::apsp;
+    use hybrid_graph::generators::{cycle, erdos_renyi_connected, path};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_exact(g: &Graph) -> u64 {
+        let exact = apsp(g);
+        let mut net = CliqueNet::new(g.len());
+        let got = SemiringApsp::new().apsp(&mut net, g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(got.get(u, v), exact.get(u, v), "pair ({u}, {v})");
+            }
+        }
+        net.rounds()
+    }
+
+    #[test]
+    fn exact_on_path() {
+        check_exact(&path(9, 2).unwrap());
+    }
+
+    #[test]
+    fn exact_on_cycle() {
+        check_exact(&cycle(11, 3).unwrap());
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [10, 25, 40] {
+            let g = erdos_renyi_connected(n, 0.12, 9, &mut rng).unwrap();
+            check_exact(&g);
+        }
+    }
+
+    #[test]
+    fn exact_on_disconnected() {
+        let mut b = hybrid_graph::GraphBuilder::new(5);
+        b.add_edge(NodeId::new(0), NodeId::new(1), 4).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(3), 1).unwrap();
+        b.add_edge(NodeId::new(3), NodeId::new(4), 1).unwrap();
+        check_exact(&b.build().unwrap());
+    }
+
+    #[test]
+    fn kssp_interface_extracts_rows() {
+        let g = path(7, 1).unwrap();
+        let mut net = CliqueNet::new(7);
+        let out = SemiringApsp::new()
+            .run(&mut net, &g, &[NodeId::new(0), NodeId::new(6)])
+            .unwrap();
+        assert_eq!(out.get(0, NodeId::new(6)), 6);
+        assert_eq!(out.get(1, NodeId::new(0)), 6);
+    }
+
+    #[test]
+    fn round_complexity_beats_trivial_broadcast() {
+        // The trivial clique APSP (every node learns the whole matrix) costs n
+        // rounds per squaring, i.e. ≥ n·log₂(n) ≈ 384 rounds at n = 64. The 3D
+        // partition runs in Õ(n^{1/3}) per squaring — with our constants well
+        // under half the trivial cost even at this small n, and the gap widens
+        // with n (measured in experiment E12).
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = erdos_renyi_connected(64, 0.1, 4, &mut rng).unwrap();
+        let mut net = CliqueNet::new(64);
+        SemiringApsp::new().apsp(&mut net, &g).unwrap();
+        assert!(net.rounds() < 2 * 64, "rounds = {}", net.rounds());
+    }
+}

@@ -1,0 +1,204 @@
+//! The plugin interface Theorem 4.1 / Theorem 5.1 consume.
+//!
+//! The paper's framework takes "an `(α, β)`-approximation CLIQUE algorithm `A`
+//! that computes weighted shortest paths for `n^γ` sources in time
+//! `T_A = Õ(η n^δ)`" and turns it into a HYBRID algorithm. These traits carry
+//! exactly that parameter tuple plus a runnable implementation.
+
+use hybrid_graph::{Distance, Graph, NodeId};
+
+use crate::net::{CliqueError, CliqueNet};
+
+/// How many sources an algorithm supports on a clique of `n` nodes (Theorem 4.1's
+/// `γ` with its two special cases).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceCapacity {
+    /// `n^γ` sources for a fixed `γ ∈ [0, 1]`.
+    Exponent(f64),
+    /// The algorithm solves APSP: any number of sources (`γ = 1`, Lemma 4.4).
+    Apsp,
+    /// Single-source only (`γ = 0`, Lemma 4.5).
+    SingleSource,
+}
+
+impl SourceCapacity {
+    /// Maximum number of sources on a clique of `n` nodes. For
+    /// [`SourceCapacity::Exponent`] the framework tolerates a constant factor
+    /// above `n^γ` (Lemma 4.2: "repeat `A` a constant number of times"); we encode
+    /// that tolerance factor here as 4.
+    pub fn max_sources(&self, n: usize) -> usize {
+        match self {
+            SourceCapacity::Exponent(g) => {
+                (((n as f64).powf(*g)).ceil() as usize).saturating_mul(4).max(1)
+            }
+            SourceCapacity::Apsp => usize::MAX,
+            SourceCapacity::SingleSource => 1,
+        }
+    }
+
+    /// The exponent `γ` (1 for APSP, 0 for SSSP).
+    pub fn gamma(&self) -> f64 {
+        match self {
+            SourceCapacity::Exponent(g) => *g,
+            SourceCapacity::Apsp => 1.0,
+            SourceCapacity::SingleSource => 0.0,
+        }
+    }
+}
+
+/// Additive approximation term `β` of a CLIQUE algorithm, as a function of the
+/// clique's maximum edge weight `W_S` (the forms appearing in [7, 8]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Beta {
+    /// `β = 0`.
+    Zero,
+    /// `β = coeff · W_S` (e.g. the `(1+ε)·w_{uv}` term of \[7\] Thm 1.1, bounded by
+    /// `(1+ε) W_S`, or the `+W` of the diameter algorithm).
+    MaxWeight(f64),
+}
+
+impl Beta {
+    /// Evaluates the bound for a clique with maximum edge weight `w_max`.
+    pub fn bound(&self, w_max: Distance) -> f64 {
+        match self {
+            Beta::Zero => 0.0,
+            Beta::MaxWeight(c) => c * w_max as f64,
+        }
+    }
+}
+
+/// Output of a k-SSP CLIQUE algorithm: `est[s][v]` is the distance estimate from
+/// source `s` (in input order) to clique node `v`, satisfying
+/// `d(s,v) ≤ est[s][v] ≤ α·d(s,v) + β`.
+#[derive(Debug, Clone)]
+pub struct KsspEstimates {
+    /// The sources, in input order (clique-local IDs).
+    pub sources: Vec<NodeId>,
+    /// Row per source, indexed by clique-local node.
+    pub est: Vec<Vec<Distance>>,
+}
+
+impl KsspEstimates {
+    /// The estimate from `sources[s_idx]` to `v`.
+    pub fn get(&self, s_idx: usize, v: NodeId) -> Distance {
+        self.est[s_idx][v.index()]
+    }
+}
+
+/// A CLIQUE k-source shortest-paths algorithm with Theorem-4.1 parameters.
+///
+/// Implementations must guarantee, for every source `s` and node `v`:
+/// `d_S(s, v) ≤ est(s, v) ≤ α · d_S(s, v) + β(W_S)` (with `∞` preserved).
+pub trait CliqueKsspAlgorithm {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Source capacity (`γ`).
+    fn capacity(&self) -> SourceCapacity;
+
+    /// Runtime exponent `δ ≥ 0` in `T_A = Õ(η n^δ)`.
+    fn delta(&self) -> f64;
+
+    /// Runtime multiplier `η ≥ 1` in `T_A = Õ(η n^δ)` (typically `1/ε`).
+    fn eta(&self) -> f64;
+
+    /// Multiplicative approximation factor `α ≥ 1`.
+    fn alpha(&self) -> f64;
+
+    /// Additive approximation term `β`.
+    fn beta(&self) -> Beta;
+
+    /// Runs on the clique: `g` is the clique's input graph (each node knows its
+    /// incident edges), `sources` the source set (clique-local IDs). Rounds are
+    /// charged on `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliqueError::TooManySources`] if `sources` exceeds the capacity; other
+    /// variants from routing.
+    fn run(
+        &self,
+        net: &mut CliqueNet,
+        g: &Graph,
+        sources: &[NodeId],
+    ) -> Result<KsspEstimates, CliqueError>;
+
+    /// Validates the source count against [`CliqueKsspAlgorithm::capacity`].
+    ///
+    /// # Errors
+    ///
+    /// [`CliqueError::TooManySources`] / [`CliqueError::NoSources`].
+    fn check_sources(&self, n: usize, sources: &[NodeId]) -> Result<(), CliqueError> {
+        if sources.is_empty() {
+            return Err(CliqueError::NoSources);
+        }
+        let max = self.capacity().max_sources(n);
+        if sources.len() > max {
+            return Err(CliqueError::TooManySources { got: sources.len(), max });
+        }
+        Ok(())
+    }
+}
+
+/// A CLIQUE diameter algorithm with Theorem-5.1 parameters.
+///
+/// Implementations guarantee `D(S) ≤ est ≤ α · D(S) + β(W_S)` for the *weighted*
+/// diameter of the clique graph.
+pub trait CliqueDiameterAlgorithm {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runtime exponent `δ`.
+    fn delta(&self) -> f64;
+
+    /// Runtime multiplier `η`.
+    fn eta(&self) -> f64;
+
+    /// Multiplicative approximation factor `α`.
+    fn alpha(&self) -> f64;
+
+    /// Additive approximation term `β`.
+    fn beta(&self) -> Beta;
+
+    /// Runs on the clique, returning the diameter estimate.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors from the net.
+    fn run(&self, net: &mut CliqueNet, g: &Graph) -> Result<Distance, CliqueError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_limits() {
+        let c = SourceCapacity::Exponent(0.5);
+        assert_eq!(c.max_sources(100), 40); // 4 · √100
+        assert_eq!(SourceCapacity::SingleSource.max_sources(100), 1);
+        assert_eq!(SourceCapacity::Apsp.max_sources(100), usize::MAX);
+    }
+
+    #[test]
+    fn gammas() {
+        assert_eq!(SourceCapacity::Apsp.gamma(), 1.0);
+        assert_eq!(SourceCapacity::SingleSource.gamma(), 0.0);
+        assert_eq!(SourceCapacity::Exponent(0.5).gamma(), 0.5);
+    }
+
+    #[test]
+    fn beta_bounds() {
+        assert_eq!(Beta::Zero.bound(100), 0.0);
+        assert_eq!(Beta::MaxWeight(1.5).bound(10), 15.0);
+    }
+
+    #[test]
+    fn estimates_indexing() {
+        let est = KsspEstimates {
+            sources: vec![NodeId::new(2)],
+            est: vec![vec![5, 0, 7]],
+        };
+        assert_eq!(est.get(0, NodeId::new(2)), 7);
+    }
+}

@@ -1,0 +1,122 @@
+//! Unified error type for HYBRID-model algorithm executions.
+
+use std::fmt;
+
+use clique_sim::CliqueError;
+use hybrid_graph::{GraphError, NodeId};
+use hybrid_sim::SimError;
+
+/// Errors raised by the algorithms of this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridError {
+    /// Propagated simulator error (congestion-cap violation under the strict
+    /// policy, bad address).
+    Sim(SimError),
+    /// Propagated CLIQUE-substrate error.
+    Clique(CliqueError),
+    /// Propagated graph-construction error.
+    Graph(GraphError),
+    /// A node found no skeleton node within the exploration radius — the low
+    /// probability failure event of Lemma C.1 (can occur at small `n` or with
+    /// aggressive scaling constants).
+    NoSkeletonInReach {
+        /// The uncovered node.
+        node: NodeId,
+        /// Exploration radius `h` that failed.
+        h: usize,
+    },
+    /// Token routing was given an instance whose labels are not unique.
+    DuplicateTokenLabel {
+        /// Sender of the duplicate label.
+        sender: NodeId,
+        /// Receiver of the duplicate label.
+        receiver: NodeId,
+        /// Index `i` of the duplicate label.
+        index: u32,
+    },
+    /// A receiver did not obtain all tokens it was owed (protocol bug guard —
+    /// never expected in a correct run).
+    MissingTokens {
+        /// The shorted receiver.
+        receiver: NodeId,
+        /// Tokens expected.
+        expected: usize,
+        /// Tokens received.
+        got: usize,
+    },
+    /// The sampled structure (ruling set / helper sets) violated a required
+    /// invariant even after remediation.
+    InvariantViolation(String),
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::Sim(e) => write!(f, "simulator: {e}"),
+            HybridError::Clique(e) => write!(f, "clique substrate: {e}"),
+            HybridError::Graph(e) => write!(f, "graph: {e}"),
+            HybridError::NoSkeletonInReach { node, h } => {
+                write!(f, "node {node} has no skeleton node within {h} hops")
+            }
+            HybridError::DuplicateTokenLabel { sender, receiver, index } => {
+                write!(f, "duplicate token label ({sender}, {receiver}, {index})")
+            }
+            HybridError::MissingTokens { receiver, expected, got } => {
+                write!(f, "receiver {receiver} got {got} of {expected} tokens")
+            }
+            HybridError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HybridError::Sim(e) => Some(e),
+            HybridError::Clique(e) => Some(e),
+            HybridError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for HybridError {
+    fn from(e: SimError) -> Self {
+        HybridError::Sim(e)
+    }
+}
+
+impl From<CliqueError> for HybridError {
+    fn from(e: CliqueError) -> Self {
+        HybridError::Clique(e)
+    }
+}
+
+impl From<GraphError> for HybridError {
+    fn from(e: GraphError) -> Self {
+        HybridError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = HybridError::from(SimError::AddressOutOfRange { node: NodeId::new(9), n: 4 });
+        assert!(e.to_string().contains("simulator"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = HybridError::NoSkeletonInReach { node: NodeId::new(1), h: 5 };
+        assert!(e.to_string().contains("skeleton"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let g: HybridError = GraphError::Empty.into();
+        assert!(matches!(g, HybridError::Graph(_)));
+        let c: HybridError = CliqueError::NoSources.into();
+        assert!(matches!(c, HybridError::Clique(_)));
+    }
+}

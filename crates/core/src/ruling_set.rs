@@ -1,0 +1,160 @@
+//! Distributed ruling sets (§2.1, Lemma 2.1).
+//!
+//! A `(α, β)`-ruling set (Definition 2.3): every node has a ruler within `β`
+//! hops, and rulers are pairwise `≥ α` hops apart. Lemma 2.1 (via \[22\], or
+//! classically \[4\]) provides a deterministic `(2µ+1, 2µ⌈log n⌉)`-ruling set in
+//! `O(µ log n)` rounds of the local network.
+//!
+//! We implement the classic bit-by-bit candidate elimination: process the
+//! `⌈log₂ n⌉` ID bits from most significant to least; in the stage for bit `b`,
+//! every remaining candidate whose bit is 1 withdraws if some candidate with
+//! bit 0 sits within `2µ` hops (detectable by a `2µ`-round local exploration).
+//! Surviving candidates with different IDs must differ at some bit, and at that
+//! stage the 1-side would have withdrawn were they within `2µ` hops — so
+//! survivors are pairwise `≥ 2µ+1` apart. A withdrawn node had a candidate
+//! within `2µ` hops; chaining over the `⌈log₂ n⌉` stages bounds the domination
+//! radius by `2µ⌈log₂ n⌉`.
+
+use hybrid_graph::bfs::multi_source_bfs;
+use hybrid_graph::graph::log2_ceil;
+use hybrid_graph::{NodeId, INFINITY};
+use hybrid_sim::HybridNet;
+
+/// Result of the ruling-set computation.
+#[derive(Debug, Clone)]
+pub struct RulingSet {
+    /// The rulers, sorted by ID.
+    pub rulers: Vec<NodeId>,
+    /// Guaranteed minimum pairwise hop distance `α = 2µ+1`.
+    pub alpha: usize,
+    /// Guaranteed domination radius `β = 2µ⌈log₂ n⌉`.
+    pub beta: usize,
+}
+
+/// Computes a `(2µ+1, 2µ⌈log₂ n⌉)`-ruling set in `O(µ log n)` local rounds
+/// (Lemma 2.1), charging them on `net` under `phase`.
+///
+/// # Panics
+///
+/// Panics if `mu == 0`.
+pub fn ruling_set(net: &mut HybridNet<'_>, mu: usize, phase: &str) -> RulingSet {
+    assert!(mu >= 1, "µ must be positive");
+    let g = net.graph();
+    let n = g.len();
+    let bits = log2_ceil(n);
+    let radius = 2 * mu;
+    let mut candidate = vec![true; n];
+    for b in (0..bits).rev() {
+        // Zero-bit candidates of this stage.
+        let zero_candidates: Vec<NodeId> = (0..n)
+            .filter(|&v| candidate[v] && (v >> b) & 1 == 0)
+            .map(NodeId::new)
+            .collect();
+        // Local exploration to depth `radius`: each 1-candidate checks for a
+        // 0-candidate nearby.
+        net.charge_local(radius as u64, phase);
+        if zero_candidates.is_empty() {
+            continue;
+        }
+        let reach = multi_source_bfs(g, &zero_candidates);
+        for v in 0..n {
+            if candidate[v] && (v >> b) & 1 == 1 {
+                let (_, d) = reach[v];
+                if d != INFINITY && d as usize <= radius {
+                    candidate[v] = false;
+                }
+            }
+        }
+    }
+    let rulers: Vec<NodeId> = (0..n).filter(|&v| candidate[v]).map(NodeId::new).collect();
+    RulingSet { rulers, alpha: 2 * mu + 1, beta: radius * bits }
+}
+
+/// Verifies the two ruling-set properties; returns `(min pairwise hop distance,
+/// max domination distance)`. Test/experiment helper.
+pub fn verify(g: &hybrid_graph::Graph, rs: &RulingSet) -> (u64, u64) {
+    let mut min_pairwise = u64::MAX;
+    for &r in &rs.rulers {
+        let d = hybrid_graph::bfs::bfs(g, r);
+        for &r2 in &rs.rulers {
+            if r2 != r {
+                min_pairwise = min_pairwise.min(d.dist(r2));
+            }
+        }
+    }
+    let reach = multi_source_bfs(g, &rs.rulers);
+    let max_dom = reach.iter().map(|&(_, d)| d).max().unwrap_or(0);
+    (min_pairwise, max_dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::{cycle, erdos_renyi_connected, grid, path};
+    use hybrid_graph::Graph;
+    use hybrid_sim::HybridConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph, mu: usize) -> (RulingSet, u64) {
+        let mut net = HybridNet::new(g, HybridConfig::strict());
+        let rs = ruling_set(&mut net, mu, "rs");
+        assert!(!rs.rulers.is_empty(), "connected graph must yield ≥ 1 ruler");
+        let (min_pair, max_dom) = verify(g, &rs);
+        assert!(
+            rs.rulers.len() == 1 || min_pair >= rs.alpha as u64,
+            "pairwise {min_pair} < α = {}",
+            rs.alpha
+        );
+        assert!(max_dom <= rs.beta as u64, "domination {max_dom} > β = {}", rs.beta);
+        (rs, net.rounds())
+    }
+
+    #[test]
+    fn on_path() {
+        let g = path(64, 1).unwrap();
+        let (rs, rounds) = check(&g, 2);
+        // Runtime O(µ log n): 2µ per stage × ⌈log2 64⌉ stages = 4 · 6 = 24.
+        assert_eq!(rounds, 24);
+        assert!(rs.rulers.len() >= 3, "path of 64 with α=5 has many rulers");
+    }
+
+    #[test]
+    fn on_cycle_and_grid() {
+        check(&cycle(50, 1).unwrap(), 1);
+        check(&grid(8, 8, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn on_random_graphs_various_mu() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for mu in [1, 2, 4] {
+            let g = erdos_renyi_connected(70, 0.06, 1, &mut rng).unwrap();
+            check(&g, mu);
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = hybrid_graph::GraphBuilder::new(1).build().unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let rs = ruling_set(&mut net, 3, "rs");
+        assert_eq!(rs.rulers, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn large_mu_sparse_rulers() {
+        let g = path(100, 1).unwrap();
+        let (rs, _) = check(&g, 10); // α = 21
+        // On a 100-path with pairwise distance ≥ 21 there can be at most 5 rulers.
+        assert!(rs.rulers.len() <= 5, "{} rulers", rs.rulers.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(6, 6, 1).unwrap();
+        let mut n1 = HybridNet::new(&g, HybridConfig::strict());
+        let mut n2 = HybridNet::new(&g, HybridConfig::strict());
+        assert_eq!(ruling_set(&mut n1, 2, "rs").rulers, ruling_set(&mut n2, 2, "rs").rulers);
+    }
+}

@@ -1,0 +1,202 @@
+//! Distributed skeleton construction and source representatives
+//! (§4.1, Algorithms 6 and 7).
+//!
+//! * [`compute_skeleton`] — Algorithm 6: sample `V_S` with probability
+//!   `1/n^{1-x}`, then determine the skeleton edges `E_S` (paths of ≤ `h` hops)
+//!   by `h` rounds of local flooding.
+//! * [`compute_representatives`] — Algorithm 7: every source tags its closest
+//!   skeleton node as its *representative* and the pairs
+//!   `⟨d_h(s, r_s), s, r_s⟩` are made public knowledge by token dissemination
+//!   (`Õ(√k)` rounds for `k` sources, Lemma 4.4).
+
+use hybrid_graph::dijkstra::dijkstra_lex;
+use hybrid_graph::skeleton::{Skeleton, SkeletonParams};
+use hybrid_graph::{Distance, NodeId, INFINITY};
+use hybrid_sim::{derive_seed, HybridNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dissemination::disseminate;
+use crate::error::HybridError;
+
+/// Runs Algorithm 6: builds a skeleton with `|V_S| ≈ n^{x_exp}` (sampling
+/// probability `1/n^{1-x_exp}`) and edge hop-budget `h = ⌈ξ n^{1-x_exp} ln n⌉`,
+/// charging the `h` rounds of local edge discovery.
+///
+/// `forced` nodes are always included (the single source of Lemma 4.5).
+///
+/// # Errors
+///
+/// Propagates graph errors (cannot occur for valid inputs).
+pub fn compute_skeleton(
+    net: &mut HybridNet<'_>,
+    x_exp: f64,
+    xi: f64,
+    forced: &[NodeId],
+    seed: u64,
+    phase: &str,
+) -> Result<Skeleton, HybridError> {
+    assert!((0.0..=1.0).contains(&x_exp), "x must be in [0, 1]");
+    let n = net.n();
+    // The Appendix-C "x" (inverse sampling probability) is n^{1-x_exp}.
+    let x_lemma = (n as f64).powf(1.0 - x_exp).max(1.0);
+    let params = SkeletonParams::scaled(x_lemma, xi);
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x5E1));
+    let mut skeleton = Skeleton::build(net.graph(), params, forced, &mut rng)?;
+    // Remediation for the Lemma C.1 failure event at scaled-down ξ: if the
+    // sampled skeleton is disconnected (a sampling gap exceeded h), double the
+    // exploration radius until it is — detectable distributedly (each
+    // skeleton node aggregates whether it reached every announced peer) and
+    // charged at the final radius. With the paper's ξ this never triggers.
+    let mut h = skeleton.h();
+    while skeleton.len() > 1 && !skeleton.graph().is_connected() && h < n {
+        h = (h * 2).min(n);
+        skeleton = Skeleton::from_nodes(net.graph(), skeleton.nodes().to_vec(), h)?;
+    }
+    net.charge_local(skeleton.h() as u64, phase);
+    Ok(skeleton)
+}
+
+/// The representative of one source (Algorithm 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Representative {
+    /// The source in `G`.
+    pub source: NodeId,
+    /// Skeleton-local index of its representative `r_s ∈ V_S`.
+    pub rep_local: usize,
+    /// `d_h(s, r_s)` — made public knowledge along with the pair.
+    pub dist: Distance,
+}
+
+/// Runs Algorithm 7: computes and publishes all source representatives.
+///
+/// If a source has no skeleton node within `h` hops (the low-probability
+/// failure of Lemma C.1), the exploration is adaptively deepened along the
+/// hop-shortest path to the nearest skeleton node and the extra rounds are
+/// charged honestly; the count of such fallbacks is returned.
+///
+/// # Errors
+///
+/// [`HybridError::NoSkeletonInReach`] only if the graph has no skeleton node
+/// reachable at all (impossible for connected graphs with non-empty skeletons).
+pub fn compute_representatives(
+    net: &mut HybridNet<'_>,
+    skeleton: &Skeleton,
+    sources: &[NodeId],
+    seed: u64,
+    phase: &str,
+) -> Result<(Vec<Representative>, usize), HybridError> {
+    let g = net.graph();
+    let mut reps = Vec::with_capacity(sources.len());
+    let mut fallbacks = 0usize;
+    let mut extra_rounds = 0u64;
+    for &s in sources {
+        if let Some(local) = skeleton.local_index(s) {
+            reps.push(Representative { source: s, rep_local: local, dist: 0 });
+            continue;
+        }
+        let near = skeleton.skeletons_near(s);
+        if let Some(&(local, d)) = near.iter().min_by_key(|&&(i, d)| (d, i)) {
+            reps.push(Representative { source: s, rep_local: local, dist: d });
+            continue;
+        }
+        // Fallback: deepen the exploration to the hop-closest skeleton node.
+        fallbacks += 1;
+        let (dist, hops) = dijkstra_lex(g, s);
+        let best = (0..skeleton.len())
+            .map(|i| (dist[skeleton.global(i).index()], hops[skeleton.global(i).index()], i))
+            .filter(|&(d, _, _)| d != INFINITY)
+            .min();
+        let Some((d, hop, local)) = best else {
+            return Err(HybridError::NoSkeletonInReach { node: s, h: skeleton.h() });
+        };
+        extra_rounds = extra_rounds.max(hop.saturating_sub(skeleton.h() as u64));
+        reps.push(Representative { source: s, rep_local: local, dist: d });
+    }
+    if extra_rounds > 0 {
+        net.charge_local(extra_rounds, &format!("{phase}:fallback-exploration"));
+    }
+    // Publish ⟨d_h(s, r_s), s, r_s⟩ for every source: one token per source,
+    // disseminated to all nodes (Õ(√k); Lemma 4.4's extra term).
+    disseminate(net, sources, derive_seed(seed, 0x4E9), &format!("{phase}:publish"))?;
+    Ok((reps, fallbacks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::{erdos_renyi_connected, path};
+    use hybrid_sim::HybridConfig;
+    use rand::Rng;
+
+    #[test]
+    fn skeleton_size_tracks_exponent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = erdos_renyi_connected(200, 0.03, 4, &mut rng).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let s = compute_skeleton(&mut net, 2.0 / 3.0, 1.0, &[], 9, "skel").unwrap();
+        // n^{2/3} ≈ 34; sampling noise allowed, but the order of magnitude holds.
+        assert!(s.len() > 8 && s.len() < 120, "skeleton size {}", s.len());
+        assert_eq!(net.rounds(), s.h() as u64);
+    }
+
+    #[test]
+    fn forced_nodes_present() {
+        let g = path(50, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let forced = NodeId::new(33);
+        let s = compute_skeleton(&mut net, 0.5, 1.0, &[forced], 2, "skel").unwrap();
+        assert!(s.contains(forced));
+    }
+
+    #[test]
+    fn representatives_are_nearest() {
+        let g = path(40, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        // Explicit skeleton: nodes 0, 10, 20, 30 with generous h.
+        let nodes: Vec<NodeId> = (0..40).step_by(10).map(NodeId::new).collect();
+        let skel = Skeleton::from_nodes(&g, nodes, 12).unwrap();
+        let sources = vec![NodeId::new(4), NodeId::new(26), NodeId::new(20)];
+        let (reps, fallbacks) =
+            compute_representatives(&mut net, &skel, &sources, 3, "reps").unwrap();
+        assert_eq!(fallbacks, 0);
+        assert_eq!(skel.global(reps[0].rep_local), NodeId::new(0));
+        assert_eq!(reps[0].dist, 4);
+        assert_eq!(skel.global(reps[1].rep_local), NodeId::new(30));
+        assert_eq!(reps[1].dist, 4);
+        // A source that *is* a skeleton node represents itself at distance 0.
+        assert_eq!(skel.global(reps[2].rep_local), NodeId::new(20));
+        assert_eq!(reps[2].dist, 0);
+    }
+
+    #[test]
+    fn fallback_extends_reach() {
+        let g = path(40, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        // Skeleton far from the source with tiny h: source 39, skeleton {0} only.
+        let skel = Skeleton::from_nodes(&g, vec![NodeId::new(0)], 3).unwrap();
+        let (reps, fallbacks) =
+            compute_representatives(&mut net, &skel, &[NodeId::new(39)], 1, "reps").unwrap();
+        assert_eq!(fallbacks, 1);
+        assert_eq!(reps[0].dist, 39);
+        assert!(net.rounds() >= 36, "extra exploration charged");
+    }
+
+    #[test]
+    fn publish_cost_scales_with_sources() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = erdos_renyi_connected(150, 0.05, 1, &mut rng).unwrap();
+        let skel = {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            compute_skeleton(&mut net, 0.5, 2.0, &[], 8, "s").unwrap()
+        };
+        let mut few = HybridNet::new(&g, HybridConfig::default());
+        let sources_few: Vec<NodeId> = (0..5).map(|_| NodeId::new(rng.gen_range(0..150))).collect();
+        compute_representatives(&mut few, &skel, &sources_few, 1, "r").unwrap();
+        let mut many = HybridNet::new(&g, HybridConfig::default());
+        let sources_many: Vec<NodeId> =
+            (0..80).map(|_| NodeId::new(rng.gen_range(0..150))).collect();
+        compute_representatives(&mut many, &skel, &sources_many, 1, "r").unwrap();
+        assert!(many.rounds() > few.rounds());
+    }
+}

@@ -1,0 +1,733 @@
+//! The token routing protocol (§2, Algorithms 2–4, Theorem 2.2) — the paper's
+//! central tool.
+//!
+//! Instance: senders `S` must deliver point-to-point tokens to receivers `R`
+//! (each sender ≤ `k_S` tokens, each receiver ≤ `k_R`; receivers know the labels
+//! they are owed). With `S, R` sampled at rates `p_S, p_R`, the protocol runs in
+//! `Õ(K/n + √k_S + √k_R)` rounds:
+//!
+//! 1. **Helper sets** (Algorithm 1): `µ_S = ⌊min(√k_S, 1/p_S)⌋` helpers per
+//!    sender, `µ_R` per receiver.
+//! 2. **Preparation** (Algorithm 3): tokens / expected labels are balanced
+//!    round-robin over each node's helpers through local flooding.
+//! 3. **Routing scheme** (Algorithm 4): sender-helpers push tokens to
+//!    pseudo-random *intermediate* nodes `h(s, r, i)` given by a shared
+//!    `Θ(log n)`-wise independent hash (seed `O(log² n)` bits, broadcast in
+//!    `Õ(1)` rounds); receiver-helpers then *request* their labels from the same
+//!    intermediates, which answer in the following round. All queues are paced
+//!    to `O(log n)` messages per node per round; Lemma D.2 guarantees no
+//!    receive-side overload w.h.p., which the simulator verifies.
+//! 4. Receivers collect their tokens from their helpers via local flooding.
+
+use std::collections::HashMap;
+
+use hybrid_graph::graph::log2_ceil;
+use hybrid_graph::NodeId;
+use hybrid_sim::{derive_seed, Envelope, HybridNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aggregate::broadcast_words;
+use crate::error::HybridError;
+use crate::hash::{independence_for, KWiseHash, TokenLabel};
+use crate::helpers::compute_helpers;
+
+/// A routable token: label (§2.2) plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<T> {
+    /// The label `(s, r, i)`.
+    pub label: TokenLabel,
+    /// Payload (`O(log n)` bits in the model).
+    pub payload: T,
+}
+
+impl<T> Token<T> {
+    /// Creates a token.
+    pub fn new(s: NodeId, r: NodeId, i: u32, payload: T) -> Self {
+        Token { label: TokenLabel::new(s, r, i), payload }
+    }
+}
+
+/// Sampling-rate context of Theorem 2.2: `S` and `R` were sampled with
+/// probabilities `p_S` and `p_R` (this determines the helper budget `1/p`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingRates {
+    /// Sampling probability of the sender set.
+    pub p_s: f64,
+    /// Sampling probability of the receiver set.
+    pub p_r: f64,
+}
+
+impl RoutingRates {
+    /// Both sides are the full node set (`p = 1`): helpers degenerate to the
+    /// nodes themselves.
+    pub fn dense() -> Self {
+        RoutingRates { p_s: 1.0, p_r: 1.0 }
+    }
+}
+
+/// Result of a routing run.
+#[derive(Debug, Clone)]
+pub struct RoutedTokens<T> {
+    /// Tokens delivered per receiver.
+    delivered: HashMap<NodeId, Vec<Token<T>>>,
+    /// Helper budgets used.
+    pub mu_s: usize,
+    /// Helper budgets used.
+    pub mu_r: usize,
+    /// Rounds consumed by this routing instance.
+    pub rounds: u64,
+}
+
+impl<T> RoutedTokens<T> {
+    /// Tokens delivered to `r` (sorted by label).
+    pub fn for_receiver(&self, r: NodeId) -> &[Token<T>] {
+        self.delivered.get(&r).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total tokens delivered.
+    pub fn len(&self) -> usize {
+        self.delivered.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes the helper budget `µ` (Algorithm 2 sets `µ = ⌊min(√k, 1/p)⌋`).
+///
+/// We additionally divide by `⌈log₂ n⌉`: the setup cost is dominated by the
+/// ruling set (`2µ log n` rounds) while the routing phase runs at
+/// `k/(µ · log n)` rounds thanks to the `Θ(log n)` per-round message budget —
+/// balancing the two gives `µ* = Θ(√k / log n)`, which keeps the total at the
+/// same `Õ(√k)` as the paper's choice but with the crossover against the
+/// SODA'20 baseline visible at simulable `n` (experiment E2).
+pub fn mu_for(k: usize, p: f64, n: usize) -> usize {
+    let budget = if p <= 0.0 { f64::MAX } else { 1.0 / p };
+    let mu = (k as f64).sqrt().min(budget);
+    ((mu / log2_ceil(n) as f64).floor() as usize).clamp(1, (mu.floor() as usize).max(1))
+}
+
+/// A reusable routing context: helper sets and the shared hash are
+/// established once (Algorithm 2 step 1 + the seed broadcast of Lemma 2.3),
+/// then any number of token batches between the same sender/receiver
+/// populations can be routed (Algorithms 3–4 per batch). This is exactly the
+/// structure the CLIQUE-on-skeleton simulation needs: Corollary 4.1 routes one
+/// batch per simulated CLIQUE round over the same node set.
+#[derive(Debug)]
+pub struct RoutingSession {
+    senders: Vec<NodeId>,
+    receivers: Vec<NodeId>,
+    hs: crate::helpers::HelperSets,
+    hr: crate::helpers::HelperSets,
+    hash: KWiseHash,
+    mu_s: usize,
+    mu_r: usize,
+}
+
+impl RoutingSession {
+    /// Establishes helper sets sized for workloads of up to `expected_k_s`
+    /// tokens per sender and `expected_k_r` per receiver, and broadcasts the
+    /// shared hash seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the seed broadcast.
+    #[allow(clippy::too_many_arguments)] // mirrors Theorem 2.2's parameter list
+    pub fn establish(
+        net: &mut HybridNet<'_>,
+        senders: &[NodeId],
+        receivers: &[NodeId],
+        rates: RoutingRates,
+        expected_k_s: usize,
+        expected_k_r: usize,
+        seed: u64,
+        phase: &str,
+    ) -> Result<Self, HybridError> {
+        let n = net.n();
+        let mu_s = mu_for(expected_k_s, rates.p_s, n);
+        let mu_r = mu_for(expected_k_r, rates.p_r, n);
+        // Algorithm 2 step 1: helper sets. µ = 1 means every node is its own
+        // helper — zero setup rounds.
+        let hs = if mu_s > 1 {
+            compute_helpers(net, senders, mu_s, derive_seed(seed, 1), &format!("{phase}:helpers-s"))
+        } else {
+            crate::helpers::HelperSets::trivial(senders, n)
+        };
+        let hr = if mu_r > 1 {
+            compute_helpers(net, receivers, mu_r, derive_seed(seed, 2), &format!("{phase}:helpers-r"))
+        } else {
+            crate::helpers::HelperSets::trivial(receivers, n)
+        };
+        // Shared hash function: sampled at the minimum-ID sender, seed
+        // broadcast over the global network (O(log² n) bits ⇒ Õ(1) rounds;
+        // Lemma 2.3).
+        let k_ind = independence_for(n);
+        let mut hash_rng = StdRng::seed_from_u64(derive_seed(seed, 3));
+        let hash = KWiseHash::sample(k_ind, n as u64, &mut hash_rng);
+        let seed_origin = senders.iter().copied().min().unwrap_or(NodeId::new(0));
+        broadcast_words(net, seed_origin, &hash.seed_words(), &format!("{phase}:hash-seed"))?;
+        Ok(RoutingSession {
+            senders: senders.to_vec(),
+            receivers: receivers.to_vec(),
+            hs,
+            hr,
+            hash,
+            mu_s,
+            mu_r,
+        })
+    }
+
+    /// Helper budgets `(µ_S, µ_R)` of this session.
+    pub fn budgets(&self) -> (usize, usize) {
+        (self.mu_s, self.mu_r)
+    }
+
+    /// Like [`RoutingSession::establish`], but with *explicit* helper budgets
+    /// instead of the [`mu_for`] policy — the knob of ablation experiment E14
+    /// (µ = 1: no helpers; µ = √k: the paper's asymptotic choice; in between:
+    /// the rebalanced default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the seed broadcast.
+    pub fn establish_with_budgets(
+        net: &mut HybridNet<'_>,
+        senders: &[NodeId],
+        receivers: &[NodeId],
+        mu_s: usize,
+        mu_r: usize,
+        seed: u64,
+        phase: &str,
+    ) -> Result<Self, HybridError> {
+        assert!(mu_s >= 1 && mu_r >= 1, "budgets must be positive");
+        let n = net.n();
+        let hs = if mu_s > 1 {
+            compute_helpers(net, senders, mu_s, derive_seed(seed, 1), &format!("{phase}:helpers-s"))
+        } else {
+            crate::helpers::HelperSets::trivial(senders, n)
+        };
+        let hr = if mu_r > 1 {
+            compute_helpers(net, receivers, mu_r, derive_seed(seed, 2), &format!("{phase}:helpers-r"))
+        } else {
+            crate::helpers::HelperSets::trivial(receivers, n)
+        };
+        let k_ind = independence_for(n);
+        let mut hash_rng = StdRng::seed_from_u64(derive_seed(seed, 3));
+        let hash = KWiseHash::sample(k_ind, n as u64, &mut hash_rng);
+        let seed_origin = senders.iter().copied().min().unwrap_or(NodeId::new(0));
+        broadcast_words(net, seed_origin, &hash.seed_words(), &format!("{phase}:hash-seed"))?;
+        Ok(RoutingSession {
+            senders: senders.to_vec(),
+            receivers: receivers.to_vec(),
+            hs,
+            hr,
+            hash,
+            mu_s,
+            mu_r,
+        })
+    }
+
+    /// Routes one batch of tokens (Algorithms 3–4).
+    ///
+    /// # Errors
+    ///
+    /// * [`HybridError::DuplicateTokenLabel`] for non-unique labels within the
+    ///   batch.
+    /// * [`HybridError::MissingTokens`] if delivery is incomplete
+    ///   (protocol-bug guard).
+    /// * Simulator errors (congestion under the strict policy).
+    pub fn route<T: Clone>(
+        &self,
+        net: &mut HybridNet<'_>,
+        tokens: Vec<Token<T>>,
+        phase: &str,
+    ) -> Result<RoutedTokens<T>, HybridError> {
+        let start_rounds = net.rounds();
+        let n = net.n();
+
+        // Split off self-addressed tokens; validate label uniqueness.
+        let mut seen = std::collections::HashSet::new();
+        for t in &tokens {
+            if !seen.insert(t.label) {
+                return Err(HybridError::DuplicateTokenLabel {
+                    sender: t.label.s,
+                    receiver: t.label.r,
+                    index: t.label.i,
+                });
+            }
+        }
+        let mut delivered: HashMap<NodeId, Vec<Token<T>>> = HashMap::new();
+        let (local, routable): (Vec<_>, Vec<_>) =
+            tokens.into_iter().partition(|t| t.label.s == t.label.r);
+        for t in local {
+            delivered.entry(t.label.r).or_default().push(t);
+        }
+        if routable.is_empty() {
+            finish(&mut delivered);
+            return Ok(RoutedTokens {
+                delivered,
+                mu_s: self.mu_s,
+                mu_r: self.mu_r,
+                rounds: 0,
+            });
+        }
+        let mut per_receiver: HashMap<NodeId, usize> = HashMap::new();
+        for t in &routable {
+            *per_receiver.entry(t.label.r).or_default() += 1;
+        }
+
+        // Algorithm 3: preparation — balanced round-robin assignment of
+        // tokens to sender-helpers and of labels to receiver-helpers,
+        // distributed by local flooding over the (measured) cluster radii
+        // (Fact 2.4). Trivial helper families need no flooding.
+        let prep_radius = 2 * (self.hs.radius + self.hr.radius);
+        if prep_radius > 0 {
+            net.charge_local(prep_radius as u64, &format!("{phase}:prep-detect"));
+            net.charge_local(prep_radius as u64, &format!("{phase}:prep-flood"));
+        }
+
+        // Sender side: token j of sender s (sorted by label) goes to helper
+        // hs[s][j mod |H_s|].
+        let mut sender_tokens: HashMap<NodeId, Vec<Token<T>>> = HashMap::new();
+        for t in routable.iter() {
+            sender_tokens.entry(t.label.s).or_default().push(t.clone());
+        }
+        let mut helper_tokens: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
+        for (s, mut ts) in sender_tokens {
+            ts.sort_by_key(|t| t.label);
+            let h = self.hs.helpers(s);
+            for (j, t) in ts.into_iter().enumerate() {
+                helper_tokens[h[j % h.len()].index()].push(t);
+            }
+        }
+        // Receiver side: expected label j of receiver r goes to helper
+        // hr[r][j mod |H'_r|].
+        let mut receiver_labels: HashMap<NodeId, Vec<TokenLabel>> = HashMap::new();
+        for t in &routable {
+            receiver_labels.entry(t.label.r).or_default().push(t.label);
+        }
+        let mut helper_requests: Vec<Vec<TokenLabel>> = (0..n).map(|_| Vec::new()).collect();
+        for (r, mut labels) in receiver_labels.iter().map(|(r, l)| (*r, l.clone())) {
+            labels.sort();
+            let h = self.hr.helpers(r);
+            for (j, lab) in labels.into_iter().enumerate() {
+                helper_requests[h[j % h.len()].index()].push(lab);
+            }
+        }
+
+        // Algorithm 4 phase A: sender-helpers push tokens to intermediates.
+        let mut queues: Vec<Vec<Envelope<Token<T>>>> = (0..n).map(|_| Vec::new()).collect();
+        for (v, ts) in helper_tokens.into_iter().enumerate() {
+            for t in ts {
+                let mid = self.hash.node_for(t.label);
+                queues[v].push(Envelope::new(NodeId::new(v), mid, t));
+            }
+        }
+        let inboxes = net.drain_queues(&format!("{phase}:to-intermediates"), queues)?;
+        let mut intermediate_store: Vec<HashMap<TokenLabel, T>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        for (v, msgs) in inboxes.into_iter().enumerate() {
+            for (_, t) in msgs {
+                intermediate_store[v].insert(t.label, t.payload);
+            }
+        }
+
+        // Algorithm 4 phase B: receiver-helpers request labels; intermediates
+        // answer in the next round. Requests and responses are interleaved,
+        // each side paced to the send cap.
+        let cap = net.send_cap();
+        let mut req_queues: Vec<Vec<Envelope<TokenLabel>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (v, labels) in helper_requests.iter().enumerate() {
+            for &lab in labels {
+                req_queues[v].push(Envelope::new(NodeId::new(v), self.hash.node_for(lab), lab));
+            }
+        }
+        let mut resp_queues: Vec<Vec<Envelope<Token<T>>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut helper_received: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
+        loop {
+            let any_req = req_queues.iter().any(|q| !q.is_empty());
+            let any_resp = resp_queues.iter().any(|q| !q.is_empty());
+            if !any_req && !any_resp {
+                break;
+            }
+            if any_req {
+                let mut outbox = Vec::new();
+                for q in req_queues.iter_mut() {
+                    let take = cap.min(q.len());
+                    outbox.extend(q.drain(..take));
+                }
+                let inboxes = net.exchange(&format!("{phase}:requests"), outbox)?;
+                for (mid, msgs) in inboxes.into_iter().enumerate() {
+                    for (requester, lab) in msgs {
+                        let payload = intermediate_store[mid]
+                            .remove(&lab)
+                            .expect("request must follow the token (same hash)");
+                        resp_queues[mid].push(Envelope::new(
+                            NodeId::new(mid),
+                            requester,
+                            Token { label: lab, payload },
+                        ));
+                    }
+                }
+            }
+            if resp_queues.iter().any(|q| !q.is_empty()) {
+                let mut outbox = Vec::new();
+                for q in resp_queues.iter_mut() {
+                    let take = cap.min(q.len());
+                    outbox.extend(q.drain(..take));
+                }
+                let inboxes = net.exchange(&format!("{phase}:responses"), outbox)?;
+                for (v, msgs) in inboxes.into_iter().enumerate() {
+                    for (_, t) in msgs {
+                        helper_received[v].push(t);
+                    }
+                }
+            }
+        }
+
+        // Final step: receivers collect from their helpers via local flooding
+        // over the receiver clusters (free when every receiver is its own
+        // helper).
+        if self.hr.radius > 0 {
+            net.charge_local((2 * self.hr.radius) as u64, &format!("{phase}:collect"));
+        }
+        for ts in helper_received {
+            for t in ts {
+                delivered.entry(t.label.r).or_default().push(t);
+            }
+        }
+
+        // Completeness guard.
+        for (r, expected) in &per_receiver {
+            let got = delivered.get(r).map(|v| v.len()).unwrap_or(0);
+            let local_extra = delivered
+                .get(r)
+                .map(|v| v.iter().filter(|t| t.label.s == t.label.r).count())
+                .unwrap_or(0);
+            if got - local_extra != *expected {
+                return Err(HybridError::MissingTokens {
+                    receiver: *r,
+                    expected: *expected,
+                    got: got - local_extra,
+                });
+            }
+        }
+        finish(&mut delivered);
+        Ok(RoutedTokens {
+            delivered,
+            mu_s: self.mu_s,
+            mu_r: self.mu_r,
+            rounds: net.rounds() - start_rounds,
+        })
+    }
+
+    /// The sender population of the session.
+    pub fn senders(&self) -> &[NodeId] {
+        &self.senders
+    }
+
+    /// The receiver population of the session.
+    pub fn receivers(&self) -> &[NodeId] {
+        &self.receivers
+    }
+}
+
+/// Runs the token routing protocol end to end (Algorithm 2): establishes a
+/// one-shot [`RoutingSession`] sized for this batch's workload and routes it.
+///
+/// `senders` / `receivers` must cover all token endpoints. Tokens with
+/// `s == r` are delivered for free (no communication needed).
+///
+/// # Errors
+///
+/// * [`HybridError::DuplicateTokenLabel`] for non-unique labels.
+/// * [`HybridError::MissingTokens`] if delivery is incomplete (protocol-bug
+///   guard).
+/// * Simulator errors (congestion under the strict policy).
+pub fn route_tokens<T: Clone>(
+    net: &mut HybridNet<'_>,
+    tokens: Vec<Token<T>>,
+    senders: &[NodeId],
+    receivers: &[NodeId],
+    rates: RoutingRates,
+    seed: u64,
+    phase: &str,
+) -> Result<RoutedTokens<T>, HybridError> {
+    let start_rounds = net.rounds();
+    let mut per_sender: HashMap<NodeId, usize> = HashMap::new();
+    let mut per_receiver: HashMap<NodeId, usize> = HashMap::new();
+    for t in &tokens {
+        if t.label.s != t.label.r {
+            *per_sender.entry(t.label.s).or_default() += 1;
+            *per_receiver.entry(t.label.r).or_default() += 1;
+        }
+    }
+    let k_s = per_sender.values().copied().max().unwrap_or(0);
+    let k_r = per_receiver.values().copied().max().unwrap_or(0);
+    if k_s == 0 {
+        // Nothing to route globally (possibly self-addressed tokens only).
+        let session = RoutingSession {
+            senders: senders.to_vec(),
+            receivers: receivers.to_vec(),
+            hs: crate::helpers::HelperSets::trivial(senders, net.n()),
+            hr: crate::helpers::HelperSets::trivial(receivers, net.n()),
+            hash: KWiseHash::from_seed_words(vec![1], net.n() as u64),
+            mu_s: 1,
+            mu_r: 1,
+        };
+        return session.route(net, tokens, phase);
+    }
+    let session =
+        RoutingSession::establish(net, senders, receivers, rates, k_s, k_r, seed, phase)?;
+    let mut routed = session.route(net, tokens, phase)?;
+    routed.rounds = net.rounds() - start_rounds;
+    Ok(routed)
+}
+
+fn finish<T>(delivered: &mut HashMap<NodeId, Vec<Token<T>>>) {
+    for v in delivered.values_mut() {
+        v.sort_by_key(|t| t.label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::{erdos_renyi_connected, grid, path};
+    use hybrid_graph::Graph;
+    use hybrid_sim::HybridConfig;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// Builds a random routing instance: `ns` senders, `nr` receivers, `per`
+    /// tokens from each sender to random receivers.
+    fn instance(
+        g: &Graph,
+        ns: usize,
+        nr: usize,
+        per: usize,
+        seed: u64,
+    ) -> (Vec<Token<u64>>, Vec<NodeId>, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<NodeId> = g.nodes().collect();
+        nodes.shuffle(&mut rng);
+        let senders: Vec<NodeId> = nodes[..ns].to_vec();
+        let receivers: Vec<NodeId> = nodes[ns..ns + nr].to_vec();
+        let mut tokens = Vec::new();
+        for &s in &senders {
+            for i in 0..per {
+                let r = receivers[rng.gen_range(0..nr)];
+                tokens.push(Token::new(s, r, (s.raw() << 8) + i as u32, s.raw() as u64 * 1000 + i as u64));
+            }
+        }
+        (tokens, senders, receivers)
+    }
+
+    fn verify_delivery(tokens: &[Token<u64>], routed: &RoutedTokens<u64>) {
+        let mut expected: HashMap<NodeId, Vec<&Token<u64>>> = HashMap::new();
+        for t in tokens {
+            expected.entry(t.label.r).or_default().push(t);
+        }
+        for (r, exp) in expected {
+            let got = routed.for_receiver(r);
+            assert_eq!(got.len(), exp.len(), "receiver {r}");
+            for t in exp {
+                assert!(
+                    got.iter().any(|g| g.label == t.label && g.payload == t.payload),
+                    "token {:?} missing at {r}",
+                    t.label
+                );
+            }
+        }
+        assert_eq!(routed.len(), tokens.len());
+    }
+
+    #[test]
+    fn routes_small_instance_strict() {
+        let g = path(60, 1).unwrap();
+        let (tokens, s, r) = instance(&g, 6, 6, 3, 1);
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let routed = route_tokens(
+            &mut net,
+            tokens.clone(),
+            &s,
+            &r,
+            RoutingRates { p_s: 0.1, p_r: 0.1 },
+            42,
+            "tr",
+        )
+        .unwrap();
+        verify_delivery(&tokens, &routed);
+        assert_eq!(routed.rounds, net.rounds());
+    }
+
+    #[test]
+    fn routes_on_grid() {
+        let g = grid(8, 8, 1).unwrap();
+        let (tokens, s, r) = instance(&g, 10, 8, 4, 2);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let routed = route_tokens(
+            &mut net,
+            tokens.clone(),
+            &s,
+            &r,
+            RoutingRates { p_s: 0.15, p_r: 0.12 },
+            7,
+            "tr",
+        )
+        .unwrap();
+        verify_delivery(&tokens, &routed);
+    }
+
+    #[test]
+    fn routes_heavy_instance_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_connected(120, 0.05, 1, &mut rng).unwrap();
+        let (tokens, s, r) = instance(&g, 20, 15, 12, 3);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let routed = route_tokens(
+            &mut net,
+            tokens.clone(),
+            &s,
+            &r,
+            RoutingRates { p_s: 20.0 / 120.0, p_r: 15.0 / 120.0 },
+            9,
+            "tr",
+        )
+        .unwrap();
+        verify_delivery(&tokens, &routed);
+        assert!(routed.mu_s >= 1 && routed.mu_r >= 1);
+    }
+
+    #[test]
+    fn self_addressed_tokens_are_free() {
+        let g = path(10, 1).unwrap();
+        let tokens = vec![Token::new(NodeId::new(3), NodeId::new(3), 0, 99u64)];
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let routed = route_tokens(
+            &mut net,
+            tokens,
+            &[NodeId::new(3)],
+            &[NodeId::new(3)],
+            RoutingRates::dense(),
+            1,
+            "tr",
+        )
+        .unwrap();
+        assert_eq!(net.rounds(), 0);
+        assert_eq!(routed.for_receiver(NodeId::new(3)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let g = path(10, 1).unwrap();
+        let tokens = vec![
+            Token::new(NodeId::new(0), NodeId::new(5), 1, 1u64),
+            Token::new(NodeId::new(0), NodeId::new(5), 1, 2u64),
+        ];
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let err = route_tokens(
+            &mut net,
+            tokens,
+            &[NodeId::new(0)],
+            &[NodeId::new(5)],
+            RoutingRates::dense(),
+            1,
+            "tr",
+        )
+        .unwrap_err();
+        assert!(matches!(err, HybridError::DuplicateTokenLabel { .. }));
+    }
+
+    #[test]
+    fn empty_instance_is_free() {
+        let g = path(10, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let routed = route_tokens::<u64>(
+            &mut net,
+            vec![],
+            &[NodeId::new(0)],
+            &[NodeId::new(1)],
+            RoutingRates::dense(),
+            1,
+            "tr",
+        )
+        .unwrap();
+        assert!(routed.is_empty());
+        assert_eq!(net.rounds(), 0);
+    }
+
+    #[test]
+    fn mu_formula() {
+        // µ = min(√k, 1/p), rebalanced by ⌈log₂ n⌉ and clamped to [1, µ].
+        assert_eq!(mu_for(100, 0.01, 4), 5); // min(10, 100) / 2
+        assert_eq!(mu_for(100, 0.5, 4), 1); // min(10, 2) / 2, clamped up
+        assert_eq!(mu_for(0, 0.5, 1024), 1); // clamped
+        assert_eq!(mu_for(10_000, 1.0, 16), 1); // dense sets: no helpers
+        assert_eq!(mu_for(1 << 20, 0.0001, 4), 512); // min(1024, 10⁴) / 2
+    }
+
+    #[test]
+    fn session_reuse_is_cheaper_than_reestablish() {
+        // The CLIQUE simulation's access pattern: many batches between the
+        // same populations. Reusing the session must skip the setup cost.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = erdos_renyi_connected(120, 0.05, 1, &mut rng).unwrap();
+        let (tokens, s, r) = instance(&g, 10, 10, 8, 4);
+        let rates = RoutingRates { p_s: 10.0 / 120.0, p_r: 10.0 / 120.0 };
+
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let session =
+            RoutingSession::establish(&mut net, &s, &r, rates, 8, 10, 3, "tr").unwrap();
+        let setup = net.rounds();
+        let first = session.route(&mut net, tokens.clone(), "tr").unwrap();
+        verify_delivery(&tokens, &first);
+        let second = session.route(&mut net, tokens.clone(), "tr").unwrap();
+        verify_delivery(&tokens, &second);
+        // The second batch pays no setup: strictly less than setup + route.
+        assert!(second.rounds <= first.rounds);
+        assert!(net.rounds() == setup + first.rounds + second.rounds);
+    }
+
+    #[test]
+    fn session_with_explicit_budgets() {
+        let g = grid(10, 10, 1).unwrap();
+        let (tokens, s, r) = instance(&g, 8, 8, 5, 9);
+        for mu in [1usize, 2, 5] {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let session = RoutingSession::establish_with_budgets(
+                &mut net, &s, &r, mu, mu, 11, "tr",
+            )
+            .unwrap();
+            assert_eq!(session.budgets(), (mu, mu));
+            let routed = session.route(&mut net, tokens.clone(), "tr").unwrap();
+            verify_delivery(&tokens, &routed);
+        }
+    }
+
+    #[test]
+    fn congestion_stays_logarithmic() {
+        // Lemma D.2 / Lemma 2.3: max receive load O(log n) — verified by the
+        // strict config (which fails the run otherwise) plus an explicit check.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(150, 0.04, 1, &mut rng).unwrap();
+        let (tokens, s, r) = instance(&g, 12, 12, 6, 6);
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        route_tokens(
+            &mut net,
+            tokens,
+            &s,
+            &r,
+            RoutingRates { p_s: 0.08, p_r: 0.08 },
+            13,
+            "tr",
+        )
+        .unwrap();
+        assert!(net.metrics().max_recv_load <= net.recv_cap());
+    }
+}

@@ -1,0 +1,287 @@
+//! Reference all-pairs shortest paths, weighted diameter, and eccentricities.
+//!
+//! These sequential computations are the correctness oracle for the distributed
+//! APSP / k-SSP / diameter algorithms (§3–§5 of the paper) and the "paper column"
+//! in the experiment tables.
+
+use crate::dijkstra::dijkstra;
+use crate::dist::{Distance, INFINITY};
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Dense all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<Distance>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix filled with [`INFINITY`] (diagonal zero).
+    pub fn new(n: usize) -> Self {
+        let mut dist = vec![INFINITY; n * n];
+        for i in 0..n {
+            dist[i * n + i] = 0;
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is over zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `d(u, v)`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Distance {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Sets `d(u, v)` (one direction only; callers maintain symmetry).
+    #[inline]
+    pub fn set(&mut self, u: NodeId, v: NodeId, d: Distance) {
+        self.dist[u.index() * self.n + v.index()] = d;
+    }
+
+    /// Row of distances from `u`, indexed by node.
+    pub fn row(&self, u: NodeId) -> &[Distance] {
+        &self.dist[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// Largest finite entry (the weighted diameter if the graph is connected).
+    pub fn max_finite(&self) -> Distance {
+        self.dist.iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(0)
+    }
+
+    /// Whether any entry is [`INFINITY`] (graph disconnected).
+    pub fn has_unreachable_pair(&self) -> bool {
+        self.dist.contains(&INFINITY)
+    }
+
+    /// Maximum relative error of `self` w.r.t. the exact matrix `exact`, i.e.
+    /// `max over reachable pairs of self(u,v) / exact(u,v)` (treating `0/0` as 1).
+    ///
+    /// Used by the approximation experiments; assumes `self(u,v) ≥ exact(u,v)` as the
+    /// paper's approximations never underestimate.
+    pub fn max_ratio_vs(&self, exact: &DistanceMatrix) -> f64 {
+        assert_eq!(self.n, exact.n, "matrices must have the same size");
+        let mut worst: f64 = 1.0;
+        for i in 0..self.n * self.n {
+            let (a, e) = (self.dist[i], exact.dist[i]);
+            if e == INFINITY || a == INFINITY {
+                continue;
+            }
+            if e == 0 {
+                continue;
+            }
+            worst = worst.max(a as f64 / e as f64);
+        }
+        worst
+    }
+}
+
+/// Derives next-hop routing tables from a distance matrix — the application
+/// the paper's introduction motivates ("learning the topology of the local
+/// network … for efficient IP-routing"). `table[u][v]` is the neighbor of `u`
+/// on a minimum-weight `u`–`v` path (ties towards the smaller neighbor ID),
+/// `None` for `u == v` or unreachable pairs.
+///
+/// Works with any matrix whose entries satisfy the shortest-path recurrence —
+/// in particular the output of the distributed APSP algorithms.
+pub fn next_hop_table(g: &Graph, dist: &DistanceMatrix) -> Vec<Vec<Option<NodeId>>> {
+    let n = g.len();
+    let mut table = vec![vec![None; n]; n];
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u == v || dist.get(u, v) == INFINITY {
+                continue;
+            }
+            let mut best: Option<NodeId> = None;
+            for (w, wt) in g.neighbors(u) {
+                let via = dist.get(w, v).checked_add(wt).unwrap_or(INFINITY);
+                if via == dist.get(u, v) && best.is_none_or(|b| w < b) {
+                    best = Some(w);
+                }
+            }
+            table[u.index()][v.index()] = best;
+        }
+    }
+    table
+}
+
+/// Follows a next-hop table from `u` to `v`; returns the node sequence, or
+/// `None` if the table does not lead there (diagnostic helper for routing
+/// experiments).
+pub fn follow_route(
+    table: &[Vec<Option<NodeId>>],
+    u: NodeId,
+    v: NodeId,
+    max_hops: usize,
+) -> Option<Vec<NodeId>> {
+    let mut path = vec![u];
+    let mut cur = u;
+    for _ in 0..max_hops {
+        if cur == v {
+            return Some(path);
+        }
+        cur = table[cur.index()][v.index()]?;
+        path.push(cur);
+    }
+    (cur == v).then_some(path)
+}
+
+/// Exact APSP via `n` Dijkstra runs.
+pub fn apsp(g: &Graph) -> DistanceMatrix {
+    let mut m = DistanceMatrix::new(g.len());
+    for v in g.nodes() {
+        let sp = dijkstra(g, v);
+        for u in g.nodes() {
+            m.set(v, u, sp.dist(u));
+        }
+    }
+    m
+}
+
+/// Weighted eccentricity `e(v) = max_u d(v, u)`; [`INFINITY`] if `v` does not reach
+/// every node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Distance {
+    let sp = dijkstra(g, v);
+    let mut ecc = 0;
+    for u in g.nodes() {
+        let d = sp.dist(u);
+        if d == INFINITY {
+            return INFINITY;
+        }
+        ecc = ecc.max(d);
+    }
+    ecc
+}
+
+/// Weighted diameter `max_{u,v} d(u, v)`; [`INFINITY`] for disconnected graphs.
+///
+/// Note the paper defines `D(G)` over *hop* distances (see
+/// [`crate::bfs::unweighted_diameter`]); the weighted diameter is what the weighted
+/// lower bound of §7 (Lemma 7.1) argues about.
+pub fn weighted_diameter(g: &Graph) -> Distance {
+    let mut best = 0;
+    for v in g.nodes() {
+        let e = eccentricity(g, v);
+        if e == INFINITY {
+            return INFINITY;
+        }
+        best = best.max(e);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn apsp_on_weighted_path() {
+        let g = path(4, 3).unwrap();
+        let m = apsp(&g);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(3)), 9);
+        assert_eq!(m.get(NodeId::new(3), NodeId::new(0)), 9);
+        assert_eq!(m.get(NodeId::new(1), NodeId::new(1)), 0);
+    }
+
+    #[test]
+    fn matrix_symmetry_on_cycle() {
+        let g = cycle(9, 2).unwrap();
+        let m = apsp(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.get(u, v), m.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_matches_manual() {
+        let g = cycle(6, 5).unwrap();
+        assert_eq!(weighted_diameter(&g), 15); // 3 hops * weight 5
+    }
+
+    #[test]
+    fn disconnected_diameter() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(3), 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(weighted_diameter(&g), INFINITY);
+        assert!(apsp(&g).has_unreachable_pair());
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = path(5, 1).unwrap();
+        assert_eq!(eccentricity(&g, NodeId::new(2)), 2);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 4);
+    }
+
+    #[test]
+    fn ratio_vs_exact() {
+        let g = path(3, 1).unwrap();
+        let exact = apsp(&g);
+        let mut approx = exact.clone();
+        approx.set(NodeId::new(0), NodeId::new(2), 3); // exact 2, approx 3
+        let r = approx.max_ratio_vs(&exact);
+        assert!((r - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_hops_route_optimally() {
+        let g = cycle(9, 2).unwrap();
+        let m = apsp(&g);
+        let table = next_hop_table(&g, &m);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    assert!(table[u.index()][v.index()].is_none());
+                    continue;
+                }
+                let route = follow_route(&table, u, v, g.len()).expect("route exists");
+                // The followed route realizes the exact distance.
+                let mut total = 0;
+                for w in route.windows(2) {
+                    total += g.edge_weight(w[0], w[1]).unwrap();
+                }
+                assert_eq!(total, m.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_handle_disconnection() {
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(3), 1).unwrap();
+        let g = b.build().unwrap();
+        let table = next_hop_table(&g, &apsp(&g));
+        assert_eq!(table[0][2], None);
+        assert_eq!(table[0][1], Some(NodeId::new(1)));
+        assert!(follow_route(&table, NodeId::new(0), NodeId::new(2), 4).is_none());
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = cycle(7, 3).unwrap();
+        let m = apsp(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                for c in g.nodes() {
+                    assert!(m.get(a, c) <= m.get(a, b) + m.get(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Distances and distance arithmetic.
+//!
+//! The paper (§1.3) assigns edge weights `w : E → [W]` with `W` polynomial in `n`, so
+//! any simple-path length fits comfortably in a `u64`. Unreachability (and the paper's
+//! `d_h(u,v) := ∞` when no `≤ h`-hop path exists) is modelled by the sentinel
+//! [`INFINITY`]; all additions must go through [`dist_add`] which saturates at the
+//! sentinel instead of wrapping.
+
+/// A distance or path length. `u64::MAX` is reserved as [`INFINITY`].
+pub type Distance = u64;
+
+/// Sentinel for "no path" / the paper's `d_h(u,v) = ∞`.
+pub const INFINITY: Distance = u64::MAX;
+
+/// Adds two distances, treating [`INFINITY`] as absorbing.
+///
+/// # Example
+///
+/// ```
+/// use hybrid_graph::{dist_add, INFINITY};
+/// assert_eq!(dist_add(2, 3), 5);
+/// assert_eq!(dist_add(INFINITY, 3), INFINITY);
+/// assert_eq!(dist_add(7, INFINITY), INFINITY);
+/// ```
+#[inline]
+pub fn dist_add(a: Distance, b: Distance) -> Distance {
+    if a == INFINITY || b == INFINITY {
+        INFINITY
+    } else {
+        a.checked_add(b).unwrap_or(INFINITY)
+    }
+}
+
+/// Returns the minimum of two distances (`INFINITY` is the identity).
+#[inline]
+pub fn dist_min(a: Distance, b: Distance) -> Distance {
+    a.min(b)
+}
+
+/// Formats a distance for experiment tables: `∞` for the sentinel.
+pub fn display_dist(d: Distance) -> String {
+    if d == INFINITY {
+        "∞".to_string()
+    } else {
+        d.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_finite() {
+        assert_eq!(dist_add(0, 0), 0);
+        assert_eq!(dist_add(10, 32), 42);
+    }
+
+    #[test]
+    fn add_absorbs_infinity() {
+        assert_eq!(dist_add(INFINITY, INFINITY), INFINITY);
+        assert_eq!(dist_add(INFINITY, 0), INFINITY);
+        assert_eq!(dist_add(0, INFINITY), INFINITY);
+    }
+
+    #[test]
+    fn add_saturates_on_overflow() {
+        assert_eq!(dist_add(u64::MAX - 1, 5), INFINITY);
+    }
+
+    #[test]
+    fn min_prefers_finite() {
+        assert_eq!(dist_min(INFINITY, 3), 3);
+        assert_eq!(dist_min(2, 3), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(display_dist(5), "5");
+        assert_eq!(display_dist(INFINITY), "∞");
+    }
+}

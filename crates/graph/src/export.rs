@@ -1,0 +1,193 @@
+//! Graph inspection and export utilities: DOT rendering for debugging the
+//! constructions (skeletons, lower-bound graphs), degree statistics for
+//! workload characterization, and induced subgraphs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use crate::ids::NodeId;
+
+/// Renders the graph in Graphviz DOT format (undirected). Optional
+/// `highlight` nodes are filled — used to visualize sampled skeletons and the
+/// cliques of the `Γ` construction.
+pub fn to_dot(g: &Graph, name: &str, highlight: &[NodeId]) -> String {
+    let mark: std::collections::HashSet<NodeId> = highlight.iter().copied().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in g.nodes() {
+        if mark.contains(&v) {
+            let _ = writeln!(out, "  {} [style=filled, fillcolor=lightblue];", v.index());
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -- {} [label=\"{}\"];", e.u.index(), e.v.index(), e.w);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Degree distribution summary of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Sum of degrees (`2m`).
+    pub total: usize,
+    /// Histogram: `count[d]` = number of nodes with degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        let n: usize = self.histogram.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            self.total as f64 / n as f64
+        }
+    }
+}
+
+/// Computes the degree statistics of `g`.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeStats {
+        min: degrees.iter().copied().min().unwrap_or(0),
+        max,
+        total: degrees.iter().sum(),
+        histogram,
+    }
+}
+
+/// Builds the subgraph induced by `nodes` (re-indexed densely in the order of
+/// the sorted, deduplicated input). Returns the subgraph and the mapping from
+/// new IDs to original IDs.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] (e.g. an empty node set).
+pub fn induced_subgraph(
+    g: &Graph,
+    nodes: &[NodeId],
+) -> Result<(Graph, Vec<NodeId>), GraphError> {
+    let mut sorted: Vec<NodeId> = nodes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let index: HashMap<NodeId, usize> =
+        sorted.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut b = GraphBuilder::new(sorted.len());
+    for e in g.edges() {
+        if let (Some(&u), Some(&v)) = (index.get(&e.u), index.get(&e.v)) {
+            b.add_edge(NodeId::new(u), NodeId::new(v), e.w)?;
+        }
+    }
+    Ok((b.build()?, sorted))
+}
+
+/// Returns the connected components of `g`, each sorted by ID, ordered by
+/// smallest member.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.len();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in g.nodes() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for (u, _) in g.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, path, star};
+
+    #[test]
+    fn dot_contains_all_edges_and_highlights() {
+        let g = path(3, 2).unwrap();
+        let dot = to_dot(&g, "p", &[NodeId::new(1)]);
+        assert!(dot.starts_with("graph p {"));
+        assert!(dot.contains("0 -- 1 [label=\"2\"]"));
+        assert!(dot.contains("1 -- 2 [label=\"2\"]"));
+        assert!(dot.contains("1 [style=filled"));
+        assert!(!dot.contains("0 [style=filled"));
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = star(6, 1).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.total, 10); // 2m
+        assert_eq!(s.histogram[1], 5);
+        assert_eq!(s.histogram[5], 1);
+        assert!((s.mean() - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = complete(5, 3).unwrap();
+        let (sub, mapping) =
+            induced_subgraph(&g, &[NodeId::new(4), NodeId::new(1), NodeId::new(2)]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.num_edges(), 3); // triangle
+        assert_eq!(mapping, vec![NodeId::new(1), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(sub.edge_weight(NodeId::new(0), NodeId::new(2)), Some(3));
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input() {
+        let g = path(4, 1).unwrap();
+        let (sub, mapping) =
+            induced_subgraph(&g, &[NodeId::new(0), NodeId::new(0), NodeId::new(1)]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        b.add_edge(NodeId::new(3), NodeId::new(4), 1).unwrap();
+        let g = b.build().unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2)]);
+        assert_eq!(comps[2], vec![NodeId::new(3), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn components_of_connected_graph() {
+        let g = path(6, 1).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 6);
+    }
+}

@@ -1,0 +1,466 @@
+//! Workload graph generators.
+//!
+//! The experiments sweep the paper's algorithms over standard families: sparse
+//! random graphs (Erdős–Rényi), geometric graphs (the "local radio network" picture
+//! motivating the HYBRID model), grids, and adversarial shapes (long paths, heavy
+//! hubs) that stress specific parameters (`D`, `SPD`, skeleton sizes).
+//!
+//! All generators return connected graphs (random families are patched to
+//! connectivity by linking components, which is standard practice for
+//! distributed-algorithm benchmarks) and take explicit weights or an RNG so runs are
+//! reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dist::Distance;
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use crate::ids::NodeId;
+
+/// Path `0 – 1 – … – (n-1)` with uniform edge weight `w`.
+pub fn path(n: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i), w)?;
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` nodes with uniform edge weight `w`.
+pub fn cycle(n: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i), w)?;
+    }
+    if n > 2 {
+        b.add_edge(NodeId::new(n - 1), NodeId::new(0), w)?;
+    }
+    b.build()
+}
+
+/// `rows × cols` grid with uniform edge weight `w`.
+pub fn grid(rows: usize, cols: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), w)?;
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), w)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` with uniform edge weight `w`.
+pub fn complete(n: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId::new(i), NodeId::new(j), w)?;
+        }
+    }
+    b.build()
+}
+
+/// Star with center `0` and `n-1` leaves, uniform edge weight `w`.
+pub fn star(n: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(i), w)?;
+    }
+    b.build()
+}
+
+/// Balanced binary tree on `n` nodes (heap indexing), uniform edge weight `w`.
+pub fn binary_tree(n: usize, w: Distance) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new((i - 1) / 2), NodeId::new(i), w)?;
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` pendant leaves.
+/// Total nodes: `spine * (1 + legs)`.
+pub fn caterpillar(spine: usize, legs: usize, w: Distance) -> Result<Graph, GraphError> {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i), w)?;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(NodeId::new(s), NodeId::new(spine + s * legs + l), w)?;
+        }
+    }
+    b.build()
+}
+
+/// Barbell: two cliques of size `k` joined by a path of `bridge` intermediate nodes.
+/// Total nodes: `2k + bridge`.
+pub fn barbell(k: usize, bridge: usize, w: Distance) -> Result<Graph, GraphError> {
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(NodeId::new(i), NodeId::new(j), w)?;
+        }
+    }
+    for i in k..2 * k {
+        for j in (i + 1)..2 * k {
+            b.add_edge(NodeId::new(i), NodeId::new(j), w)?;
+        }
+    }
+    // Bridge path between node 0 (left clique) and node k (right clique).
+    let mut prev = NodeId::new(0);
+    for t in 0..bridge {
+        let mid = NodeId::new(2 * k + t);
+        b.add_edge(prev, mid, w)?;
+        prev = mid;
+    }
+    b.add_edge(prev, NodeId::new(k), w)?;
+    b.build()
+}
+
+/// Cycle of `n` nodes with uniform weight `cycle_w` plus one heavy chord
+/// `{0, n/2}` of weight `chord_w`. With `chord_w` large the chord shrinks hop
+/// distances but never lies on a weighted shortest path, driving `SPD > D`.
+pub fn weighted_cycle_with_chord(
+    n: usize,
+    cycle_w: Distance,
+    chord_w: Distance,
+) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i), cycle_w)?;
+    }
+    b.add_edge(NodeId::new(n - 1), NodeId::new(0), cycle_w)?;
+    b.add_edge_if_absent(NodeId::new(0), NodeId::new(n / 2), chord_w)?;
+    b.build()
+}
+
+/// A unit-weight path of `n-1` nodes plus a hub adjacent to every path node with
+/// heavy weight `hub_w ≥ n`. Hop diameter is 2, but all weighted shortest paths
+/// follow the path, so `SPD(G) = n - 2`. This is the family where the paper's
+/// `Õ(n^{2/5})` SSSP (Theorem 1.3) beats the `Õ(√SPD)` algorithm of \[3\].
+pub fn path_with_heavy_hub(n: usize, hub_w: Distance) -> Result<Graph, GraphError> {
+    assert!(n >= 3, "need at least 2 path nodes and a hub");
+    let mut b = GraphBuilder::new(n);
+    // Nodes 0..n-1 form the path; node n-1 is the hub.
+    for i in 1..n - 1 {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i), 1)?;
+    }
+    for i in 0..n - 1 {
+        b.add_edge(NodeId::new(n - 1), NodeId::new(i), hub_w)?;
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` with weights uniform in `[1, max_w]`, patched to
+/// connectivity by chaining component representatives (extra edges get weight
+/// `max_w`).
+pub fn erdos_renyi_connected<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    max_w: Distance,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(max_w >= 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                let w = rng.gen_range(1..=max_w);
+                b.add_edge(NodeId::new(i), NodeId::new(j), w)?;
+            }
+        }
+    }
+    connect_components(&mut b, max_w, rng)?;
+    b.build()
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges between
+/// points at Euclidean distance `≤ radius`, weight `1 + ⌊dist · max_w⌋` (close nodes
+/// get light edges — the hybrid-network story of cheap short-range links). Patched
+/// to connectivity.
+pub fn random_geometric_connected<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    max_w: Distance,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    assert!(radius > 0.0);
+    assert!(max_w >= 1);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius {
+                let w = 1 + (d / radius * (max_w.saturating_sub(1)) as f64).floor() as Distance;
+                b.add_edge(NodeId::new(i), NodeId::new(j), w.max(1))?;
+            }
+        }
+    }
+    connect_components(&mut b, max_w, rng)?;
+    b.build()
+}
+
+/// The "enterprise WAN" topology of the paper's introduction: `clusters`
+/// dense local networks (Erdős–Rényi with edge probability `intra_p`, light
+/// weights in `[1, local_w]`) joined by a sparse random backbone of heavier
+/// links (weight `link_w`): each cluster gets backbone edges to the next
+/// cluster (ring, guaranteeing connectivity) plus `extra_links` random
+/// cross-cluster edges.
+pub fn clustered_network<R: Rng + ?Sized>(
+    clusters: usize,
+    cluster_size: usize,
+    intra_p: f64,
+    local_w: Distance,
+    link_w: Distance,
+    extra_links: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    assert!(clusters >= 1 && cluster_size >= 1);
+    assert!(local_w >= 1 && link_w >= 1);
+    let n = clusters * cluster_size;
+    let mut b = GraphBuilder::new(n);
+    let node = |c: usize, i: usize| NodeId::new(c * cluster_size + i);
+    // Dense local networks, patched to intra-cluster connectivity by a chain.
+    for c in 0..clusters {
+        for i in 0..cluster_size {
+            for j in (i + 1)..cluster_size {
+                if rng.gen_bool(intra_p) {
+                    b.add_edge(node(c, i), node(c, j), rng.gen_range(1..=local_w))?;
+                }
+            }
+        }
+        for i in 1..cluster_size {
+            b.add_edge_if_absent(node(c, i - 1), node(c, i), local_w)?;
+        }
+    }
+    // Backbone ring plus random extra links.
+    for c in 0..clusters {
+        let next = (c + 1) % clusters;
+        if clusters > 1 && (c != next) && (clusters > 2 || c < next) {
+            b.add_edge_if_absent(
+                node(c, rng.gen_range(0..cluster_size)),
+                node(next, rng.gen_range(0..cluster_size)),
+                link_w,
+            )?;
+        }
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra_links && attempts < 50 * (extra_links + 1) {
+        attempts += 1;
+        let c1 = rng.gen_range(0..clusters);
+        let c2 = rng.gen_range(0..clusters);
+        if c1 == c2 {
+            continue;
+        }
+        let u = node(c1, rng.gen_range(0..cluster_size));
+        let v = node(c2, rng.gen_range(0..cluster_size));
+        if b.add_edge_if_absent(u, v, link_w)? {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Random tree (uniform attachment) on `n` nodes with weights in `[1, max_w]`.
+pub fn random_tree<R: Rng + ?Sized>(
+    n: usize,
+    max_w: Distance,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        let w = rng.gen_range(1..=max_w);
+        b.add_edge(NodeId::new(parent), NodeId::new(i), w)?;
+    }
+    b.build()
+}
+
+/// Links the connected components of the edges accumulated in `b` by adding a
+/// spanning chain between shuffled component representatives.
+fn connect_components<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    w: Distance,
+    rng: &mut R,
+) -> Result<(), GraphError> {
+    let n = b.len();
+    if n == 0 {
+        return Ok(());
+    }
+    // Union-find over the staged edges.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    // GraphBuilder doesn't expose staged edges; rebuild reachability via has_edge is
+    // quadratic — instead track unions as edges were added. To keep the builder API
+    // minimal we simply re-scan all pairs (only used at generation time, and the
+    // generators above are already Θ(n²)).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if b.has_edge(NodeId::new(i), NodeId::new(j)) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut reps: Vec<usize> = (0..n).filter(|&i| find(&mut parent, i) == i).collect();
+    reps.shuffle(rng);
+    for k in 1..reps.len() {
+        b.add_edge_if_absent(NodeId::new(reps[k - 1]), NodeId::new(reps[k]), w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::unweighted_diameter;
+    use crate::dijkstra::shortest_path_diameter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6, 2).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5, 1).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, 1).unwrap();
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(unweighted_diameter(&g), 5);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6, 1).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(unweighted_diameter(&g), 1);
+    }
+
+    #[test]
+    fn star_and_tree() {
+        let g = star(7, 1).unwrap();
+        assert_eq!(unweighted_diameter(&g), 2);
+        let t = binary_tree(15, 1).unwrap();
+        assert!(t.is_connected());
+        assert_eq!(t.num_edges(), 14);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2, 1).unwrap();
+        assert_eq!(g.len(), 12);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(NodeId::new(0)), 3); // one spine neighbor + 2 legs
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3, 1).unwrap();
+        assert_eq!(g.len(), 11);
+        assert!(g.is_connected());
+        assert_eq!(unweighted_diameter(&g), 6); // clique + 4-edge bridge + clique
+    }
+
+    #[test]
+    fn heavy_hub_spd() {
+        let g = path_with_heavy_hub(12, 100).unwrap();
+        assert_eq!(unweighted_diameter(&g), 2);
+        assert_eq!(shortest_path_diameter(&g), 10);
+    }
+
+    #[test]
+    fn er_is_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g1 = erdos_renyi_connected(50, 0.05, 8, &mut rng).unwrap();
+        assert!(g1.is_connected());
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let g2 = erdos_renyi_connected(50, 0.05, 8, &mut rng2).unwrap();
+        assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn geometric_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_geometric_connected(60, 0.18, 5, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert!(g.max_weight() <= 5);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_tree(30, 4, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 29);
+    }
+
+    #[test]
+    fn clustered_network_shape() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = clustered_network(4, 15, 0.3, 2, 20, 3, &mut rng).unwrap();
+        assert_eq!(g.len(), 60);
+        assert!(g.is_connected());
+        // Heavy links exist (backbone) and light intra-cluster edges dominate.
+        let heavy = g.edges().iter().filter(|e| e.w == 20).count();
+        assert!(heavy >= 4, "backbone ring plus extras, got {heavy}");
+        assert!(g.edges().iter().filter(|e| e.w <= 2).count() > heavy);
+    }
+
+    #[test]
+    fn clustered_network_single_cluster() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = clustered_network(1, 10, 0.5, 3, 9, 0, &mut rng).unwrap();
+        assert_eq!(g.len(), 10);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn sparse_er_still_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(40, 0.0, 3, &mut rng).unwrap();
+        assert!(g.is_connected()); // pure chain of representatives
+        assert_eq!(g.num_edges(), 39);
+    }
+}

@@ -1,0 +1,122 @@
+//! Node identifiers.
+//!
+//! The paper assumes nodes carry unique IDs from `[n] = {1, …, n}`. We use the
+//! zero-based newtype [`NodeId`] throughout; its numeric value doubles as the index
+//! into all per-node arrays.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the local communication graph `G`.
+///
+/// IDs are dense: a graph on `n` nodes uses exactly the IDs `0..n`. The ID is public
+/// knowledge in the HYBRID model (every node can address any other node through the
+/// global network by its ID), which is why this type is freely convertible to and
+/// from `usize`.
+///
+/// # Example
+///
+/// ```
+/// use hybrid_graph::NodeId;
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node ID from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (graphs beyond 4 billion nodes are
+    /// out of scope for the simulator).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> Self {
+        v.index()
+    }
+}
+
+/// Convenience iterator over the IDs `0..n`.
+///
+/// ```
+/// use hybrid_graph::ids::node_ids;
+/// let all: Vec<_> = node_ids(3).collect();
+/// assert_eq!(all.len(), 3);
+/// ```
+pub fn node_ids(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n).map(NodeId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+    }
+
+    #[test]
+    fn node_ids_yields_dense_range() {
+        let ids: Vec<_> = node_ids(4).collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn conversions() {
+        let v = NodeId::from(5u32);
+        assert_eq!(u32::from(v), 5);
+        assert_eq!(usize::from(v), 5);
+    }
+}

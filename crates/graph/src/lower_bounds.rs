@@ -1,0 +1,498 @@
+//! The paper's two lower-bound constructions.
+//!
+//! * **Figure 1** (§6, Theorem 1.5): the k-SSP worst case — a long path with node
+//!   `b` at one end and two bundles of sources `S₁` (attached at distance `L` from
+//!   `b`) and `S₂` (attached at the far end). The random assignment of sources to
+//!   `S₁`/`S₂` carries `Ω(k)` bits of entropy that must cross the `L`-hop path
+//!   prefix whose global receive capacity is only `O(L log² n)` bits per round.
+//! * **Figure 2** (§7, Theorem 1.6): the set-disjointness diameter construction
+//!   `Γ^{a,b}_{k,ℓ,W}`, adapted from Holzer & Pinsker. Its crux (Lemmas 7.1, 7.2):
+//!   the diameter is small iff the encoded bit strings `a, b ∈ {0,1}^{k²}` are
+//!   disjoint.
+//!
+//! Both constructions expose the *column* structure the simulation argument of
+//! Lemma 7.3 partitions nodes by, so experiments can measure global traffic across
+//! any Alice/Bob cut.
+
+use rand::Rng;
+
+use crate::dist::Distance;
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use crate::ids::NodeId;
+
+/// The Figure-1 construction for the `Ω̃(√k)` k-SSP lower bound.
+#[derive(Debug, Clone)]
+pub struct KsspLowerBound {
+    /// The constructed (unweighted) graph.
+    pub graph: Graph,
+    /// The distinguished node that must learn all k distances.
+    pub b: NodeId,
+    /// Attachment point of `S₁`, at hop distance `l` from `b`.
+    pub v1: NodeId,
+    /// Attachment point of `S₂`, at the far end of the path.
+    pub v2: NodeId,
+    /// The k source nodes, in input order.
+    pub sources: Vec<NodeId>,
+    /// `assignment[i]` iff source `i` is attached to `v1` (the random state whose
+    /// `Ω(k)` bits `b` must learn).
+    pub assignment: Vec<bool>,
+    /// Hop distance `L` between `b` and `v1`.
+    pub l: usize,
+    /// The path nodes from `b` (index 0) to `v2` (last), inclusive.
+    pub path_nodes: Vec<NodeId>,
+}
+
+impl KsspLowerBound {
+    /// Builds the construction: a path of `path_len ≥ l + 2` nodes with `b` at
+    /// index 0, `v1` at index `l`, `v2` at the far end, and one leaf per source
+    /// attached to `v1` or `v2` according to `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] (cannot occur for valid parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_len < l + 2` or `l == 0`.
+    pub fn build(path_len: usize, l: usize, assignment: &[bool]) -> Result<Self, GraphError> {
+        assert!(l >= 1, "L must be positive");
+        assert!(path_len >= l + 2, "path must extend beyond v1");
+        let k = assignment.len();
+        let n = path_len + k;
+        let mut builder = GraphBuilder::new(n);
+        for i in 1..path_len {
+            builder.add_edge(NodeId::new(i - 1), NodeId::new(i), 1)?;
+        }
+        let b = NodeId::new(0);
+        let v1 = NodeId::new(l);
+        let v2 = NodeId::new(path_len - 1);
+        let mut sources = Vec::with_capacity(k);
+        for (i, &near) in assignment.iter().enumerate() {
+            let s = NodeId::new(path_len + i);
+            let attach = if near { v1 } else { v2 };
+            builder.add_edge(attach, s, 1)?;
+            sources.push(s);
+        }
+        Ok(KsspLowerBound {
+            graph: builder.build()?,
+            b,
+            v1,
+            v2,
+            sources,
+            assignment: assignment.to_vec(),
+            l,
+            path_nodes: (0..path_len).map(NodeId::new).collect(),
+        })
+    }
+
+    /// Builds with a uniformly random assignment of exactly `⌊k/2⌋` sources to `S₁`
+    /// (the paper's random split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`].
+    pub fn random<R: Rng + ?Sized>(
+        path_len: usize,
+        l: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        let mut assignment = vec![false; k];
+        for slot in assignment.iter_mut().take(k / 2) {
+            *slot = true;
+        }
+        // Fisher-Yates over the assignment.
+        for i in (1..k).rev() {
+            let j = rng.gen_range(0..=i);
+            assignment.swap(i, j);
+        }
+        Self::build(path_len, l, &assignment)
+    }
+
+    /// The exact hop distance from `b` to source `i` (either `l + 1` or
+    /// `path_len`), against which b's answers are checked.
+    pub fn expected_distance(&self, i: usize) -> Distance {
+        if self.assignment[i] {
+            self.l as Distance + 1
+        } else {
+            self.path_nodes.len() as Distance
+        }
+    }
+
+    /// Entropy (in bits) of the assignment: `log2 C(k, k/2) ≈ k` — the information
+    /// `b` must acquire.
+    pub fn assignment_entropy_bits(&self) -> f64 {
+        let k = self.assignment.len() as f64;
+        // log2(C(k, k/2)) via Stirling: k - 0.5*log2(pi*k/2); clamp at 0.
+        if k < 2.0 {
+            return 0.0;
+        }
+        (k - 0.5 * (std::f64::consts::PI * k / 2.0).log2()).max(0.0)
+    }
+
+    /// Whether a global node lies on the `b`-side prefix of the path strictly
+    /// closer than hop distance `cut` (the Alice side of an information cut).
+    pub fn on_b_side(&self, v: NodeId, cut: usize) -> bool {
+        v.index() < cut.min(self.path_nodes.len())
+    }
+}
+
+/// A 2-party set-disjointness instance over the universe `[k²]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetDisjointness {
+    /// Alice's characteristic vector, length `k²`.
+    pub a: Vec<bool>,
+    /// Bob's characteristic vector, length `k²`.
+    pub b: Vec<bool>,
+}
+
+impl SetDisjointness {
+    /// Creates an instance; both vectors must have length `k*k` for some `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are not a perfect square.
+    pub fn new(a: Vec<bool>, b: Vec<bool>) -> Self {
+        assert_eq!(a.len(), b.len(), "a and b must have equal length");
+        let k = (a.len() as f64).sqrt().round() as usize;
+        assert_eq!(k * k, a.len(), "universe size must be a perfect square");
+        SetDisjointness { a, b }
+    }
+
+    /// Side length `k` of the `[k] × [k]` universe.
+    pub fn k(&self) -> usize {
+        (self.a.len() as f64).sqrt().round() as usize
+    }
+
+    /// Whether the instance is disjoint: no index has `a_i = b_i = 1`.
+    pub fn is_disjoint(&self) -> bool {
+        self.a.iter().zip(&self.b).all(|(&x, &y)| !(x && y))
+    }
+
+    /// Random instance with independent `Bernoulli(density)` bits; may or may not be
+    /// disjoint.
+    pub fn random<R: Rng + ?Sized>(k: usize, density: f64, rng: &mut R) -> Self {
+        let a = (0..k * k).map(|_| rng.gen_bool(density)).collect();
+        let b = (0..k * k).map(|_| rng.gen_bool(density)).collect();
+        SetDisjointness::new(a, b)
+    }
+
+    /// Random *disjoint* instance: each index gets `a`, `b`, or neither.
+    pub fn random_disjoint<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        let mut a = vec![false; k * k];
+        let mut b = vec![false; k * k];
+        for i in 0..k * k {
+            match rng.gen_range(0..3) {
+                0 => a[i] = true,
+                1 => b[i] = true,
+                _ => {}
+            }
+        }
+        SetDisjointness::new(a, b)
+    }
+
+    /// Random *intersecting* instance: like [`SetDisjointness::random_disjoint`]
+    /// but with one uniformly chosen index forced into both sets.
+    pub fn random_intersecting<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        let mut inst = Self::random_disjoint(k, rng);
+        let i = rng.gen_range(0..k * k);
+        inst.a[i] = true;
+        inst.b[i] = true;
+        inst
+    }
+}
+
+/// The Figure-2 construction `Γ^{a,b}_{k,ℓ,W}` for the diameter lower bound.
+#[derive(Debug, Clone)]
+pub struct GammaGraph {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Clique `V₁` (Alice side, top half), size `k`.
+    pub v1: Vec<NodeId>,
+    /// Clique `V₂` (Alice side, bottom half), size `k`.
+    pub v2: Vec<NodeId>,
+    /// Clique `U₁` (Bob side, top half), size `k`.
+    pub u1: Vec<NodeId>,
+    /// Clique `U₂` (Bob side, bottom half), size `k`.
+    pub u2: Vec<NodeId>,
+    /// The hub adjacent to all of `V₁ ∪ V₂`.
+    pub v_hat: NodeId,
+    /// The hub adjacent to all of `U₁ ∪ U₂`.
+    pub u_hat: NodeId,
+    /// `column[v]`: hop distance of `v` from the first column `V₁ ∪ V₂ ∪ {v̂}`,
+    /// in `0..=ell`. Red edges connect only within column 0 or within column `ell`.
+    pub column: Vec<usize>,
+    /// Matching-path hop length `ℓ`.
+    pub ell: usize,
+    /// Heavy edge weight `W`.
+    pub w: Distance,
+    /// The encoded instance.
+    pub instance: SetDisjointness,
+}
+
+impl GammaGraph {
+    /// Builds `Γ^{a,b}_{k,ℓ,W}`.
+    ///
+    /// Structure: cliques `V₁, V₂, U₁, U₂` of size `k` with weight-`W` edges;
+    /// `V_i[x]` joined to `U_i[x]` by an `ℓ`-hop path of weight-1 edges; hubs `v̂`
+    /// (adjacent to `V₁ ∪ V₂`, weight `W`) and `û` (adjacent to `U₁ ∪ U₂`, weight
+    /// `W`) joined by an `ℓ`-hop weight-1 path; and a "red" edge of weight `W`
+    /// between `V₁[x]` and `V₂[y]` iff `a_{(x,y)} = 0`, and between `U₁[x]` and
+    /// `U₂[y]` iff `b_{(x,y)} = 0`.
+    ///
+    /// Total nodes: `4k + 2 + (2k + 1)(ℓ - 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] (cannot occur for valid parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0` or `w == 0`.
+    pub fn build(instance: SetDisjointness, ell: usize, w: Distance) -> Result<Self, GraphError> {
+        assert!(ell >= 1, "ℓ must be positive");
+        assert!(w >= 1, "W must be positive");
+        let k = instance.k();
+        assert!(k >= 1, "k must be positive");
+        let n = 4 * k + 2 + (2 * k + 1) * (ell - 1);
+        let mut bld = GraphBuilder::new(n);
+        let mut next = 0usize;
+        let mut alloc = |count: usize| -> Vec<NodeId> {
+            let ids = (next..next + count).map(NodeId::new).collect();
+            next += count;
+            ids
+        };
+        let v1 = alloc(k);
+        let v2 = alloc(k);
+        let u1 = alloc(k);
+        let u2 = alloc(k);
+        let hubs = alloc(2);
+        let (v_hat, u_hat) = (hubs[0], hubs[1]);
+
+        let mut column = vec![0usize; n];
+        for &x in v1.iter().chain(&v2) {
+            column[x.index()] = 0;
+        }
+        column[v_hat.index()] = 0;
+        for &x in u1.iter().chain(&u2) {
+            column[x.index()] = ell;
+        }
+        column[u_hat.index()] = ell;
+
+        // Cliques with weight-W edges.
+        for set in [&v1, &v2, &u1, &u2] {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    bld.add_edge(set[i], set[j], w)?;
+                }
+            }
+        }
+        // Hub stars.
+        for &x in v1.iter().chain(&v2) {
+            bld.add_edge(v_hat, x, w)?;
+        }
+        for &x in u1.iter().chain(&u2) {
+            bld.add_edge(u_hat, x, w)?;
+        }
+        // ℓ-hop weight-1 paths: one per matched pair, one between the hubs.
+        let add_path = |bld: &mut GraphBuilder,
+                            column: &mut Vec<usize>,
+                            from: NodeId,
+                            to: NodeId,
+                            interior: Vec<NodeId>|
+         -> Result<(), GraphError> {
+            let mut prev = from;
+            for (step, &mid) in interior.iter().enumerate() {
+                column[mid.index()] = step + 1;
+                bld.add_edge(prev, mid, 1)?;
+                prev = mid;
+            }
+            bld.add_edge(prev, to, 1)
+        };
+        for x in 0..k {
+            let interior = alloc(ell - 1);
+            add_path(&mut bld, &mut column, v1[x], u1[x], interior)?;
+        }
+        for y in 0..k {
+            let interior = alloc(ell - 1);
+            add_path(&mut bld, &mut column, v2[y], u2[y], interior)?;
+        }
+        let interior = alloc(ell - 1);
+        add_path(&mut bld, &mut column, v_hat, u_hat, interior)?;
+
+        // Red edges encoding a and b: bit (x, y) ↦ index x*k + y; edge iff bit is 0.
+        for x in 0..k {
+            for y in 0..k {
+                let idx = x * k + y;
+                if !instance.a[idx] {
+                    bld.add_edge(v1[x], v2[y], w)?;
+                }
+                if !instance.b[idx] {
+                    bld.add_edge(u1[x], u2[y], w)?;
+                }
+            }
+        }
+        debug_assert_eq!(next, n);
+        Ok(GammaGraph {
+            graph: bld.build()?,
+            v1,
+            v2,
+            u1,
+            u2,
+            v_hat,
+            u_hat,
+            column,
+            ell,
+            w,
+            instance,
+        })
+    }
+
+    /// The weighted diameter the construction guarantees when `a, b` are disjoint
+    /// (`W + 2ℓ` for `W > ℓ`; `ℓ + 1` for `W = 1`, Lemmas 7.1 / 7.2).
+    pub fn disjoint_diameter(&self) -> Distance {
+        if self.w == 1 {
+            self.ell as Distance + 1
+        } else {
+            self.w + 2 * self.ell as Distance
+        }
+    }
+
+    /// The weighted diameter when `a, b` intersect (`2W + ℓ` for `W > ℓ`;
+    /// `ℓ + 2` for `W = 1`).
+    pub fn intersecting_diameter(&self) -> Distance {
+        if self.w == 1 {
+            self.ell as Distance + 2
+        } else {
+            2 * self.w + self.ell as Distance
+        }
+    }
+
+    /// Whether `v` belongs to Alice's side when the cut is placed after `col`
+    /// columns (Alice simulates columns `0..=col`).
+    pub fn on_alice_side(&self, v: NodeId, col: usize) -> bool {
+        self.column[v.index()] <= col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::weighted_diameter;
+    use crate::bfs::{bfs, unweighted_diameter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kssp_graph_distances() {
+        let assignment = vec![true, false, true, false];
+        let lb = KsspLowerBound::build(12, 3, &assignment).unwrap();
+        assert!(lb.graph.is_connected());
+        let d = bfs(&lb.graph, lb.b);
+        for (i, &s) in lb.sources.iter().enumerate() {
+            assert_eq!(d.dist(s), lb.expected_distance(i));
+        }
+    }
+
+    #[test]
+    fn kssp_random_split_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lb = KsspLowerBound::random(20, 4, 10, &mut rng).unwrap();
+        assert_eq!(lb.assignment.iter().filter(|&&x| x).count(), 5);
+        assert!(lb.assignment_entropy_bits() > 5.0);
+    }
+
+    #[test]
+    fn kssp_cut_sides() {
+        let lb = KsspLowerBound::build(10, 2, &[true]).unwrap();
+        assert!(lb.on_b_side(lb.b, 1));
+        assert!(!lb.on_b_side(lb.v2, 5));
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        let d = SetDisjointness::new(vec![true, false, false, false], vec![
+            false, true, true, false,
+        ]);
+        assert!(d.is_disjoint());
+        assert_eq!(d.k(), 2);
+        let nd =
+            SetDisjointness::new(vec![true, false, false, false], vec![true, true, true, false]);
+        assert!(!nd.is_disjoint());
+    }
+
+    #[test]
+    fn random_instances_have_claimed_disjointness() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert!(SetDisjointness::random_disjoint(4, &mut rng).is_disjoint());
+            assert!(!SetDisjointness::random_intersecting(4, &mut rng).is_disjoint());
+        }
+    }
+
+    #[test]
+    fn gamma_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = SetDisjointness::random_disjoint(3, &mut rng);
+        let g = GammaGraph::build(inst, 4, 10).unwrap();
+        assert_eq!(g.graph.len(), 4 * 3 + 2 + (2 * 3 + 1) * 3);
+        assert!(g.graph.is_connected());
+    }
+
+    #[test]
+    fn lemma_7_1_weighted_gap() {
+        // W > ℓ: diameter is W + 2ℓ iff disjoint, else 2W + ℓ.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..3 {
+            let (ell, w) = (3, 12);
+            let dis = SetDisjointness::random_disjoint(3, &mut rng);
+            let g = GammaGraph::build(dis, ell, w).unwrap();
+            let diam = weighted_diameter(&g.graph);
+            assert!(diam <= g.disjoint_diameter(), "disjoint: {diam}");
+            let int = SetDisjointness::random_intersecting(3, &mut rng);
+            let g2 = GammaGraph::build(int, ell, w).unwrap();
+            assert_eq!(weighted_diameter(&g2.graph), g2.intersecting_diameter());
+        }
+    }
+
+    #[test]
+    fn lemma_7_2_unweighted_gap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            let ell = 4;
+            let dis = SetDisjointness::random_disjoint(3, &mut rng);
+            let g = GammaGraph::build(dis, ell, 1).unwrap();
+            assert!(unweighted_diameter(&g.graph) <= ell as u64 + 1);
+            let int = SetDisjointness::random_intersecting(3, &mut rng);
+            let g2 = GammaGraph::build(int, ell, 1).unwrap();
+            assert_eq!(unweighted_diameter(&g2.graph), ell as u64 + 2);
+        }
+    }
+
+    #[test]
+    fn columns_partition_by_hops() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = SetDisjointness::random_disjoint(2, &mut rng);
+        let g = GammaGraph::build(inst, 3, 7).unwrap();
+        // Column = hop distance from the first column, verified by BFS from v_hat's
+        // column-0 peers.
+        let sources: Vec<NodeId> =
+            g.v1.iter().chain(&g.v2).copied().chain([g.v_hat]).collect();
+        let res = crate::bfs::multi_source_bfs(&g.graph, &sources);
+        for v in g.graph.nodes() {
+            assert_eq!(res[v.index()].1 as usize, g.column[v.index()], "node {v}");
+        }
+        assert!(g.on_alice_side(g.v_hat, 0));
+        assert!(!g.on_alice_side(g.u_hat, 2));
+    }
+
+    #[test]
+    fn ell_one_degenerate_paths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = SetDisjointness::random_disjoint(2, &mut rng);
+        let g = GammaGraph::build(inst, 1, 5).unwrap();
+        // ℓ = 1: matched nodes are directly adjacent with weight 1.
+        assert_eq!(g.graph.edge_weight(g.v1[0], g.u1[0]), Some(1));
+        assert_eq!(g.graph.edge_weight(g.v_hat, g.u_hat), Some(1));
+    }
+}

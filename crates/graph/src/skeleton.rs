@@ -1,0 +1,350 @@
+//! Skeleton graphs (Appendix C of the paper, originally Ullman & Yannakakis).
+//!
+//! A skeleton `S = (V_S, E_S)` is built on a random node sample `V_S ⊆ V`
+//! (each node sampled with probability `1/x`); two skeleton nodes are adjacent iff
+//! their hop distance is at most `h := ξ x ln n`, and the edge weight is the
+//! `h`-limited distance `d_h(u, v)`.
+//!
+//! Key properties (Lemmas C.1 / C.2), exposed here as checkable predicates:
+//! * on every shortest path, some sampled node appears at least every `h` hops
+//!   (w.h.p.), so
+//! * `S` is connected and **distance preserving**: `d_S(u,v) = d_G(u,v)` for all
+//!   skeleton pairs (w.h.p.).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::apsp::{apsp, DistanceMatrix};
+use crate::dijkstra::dijkstra_lex;
+use crate::dist::{Distance, INFINITY};
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use crate::ids::NodeId;
+use crate::limited::hop_limited_distances;
+
+/// Parameters of skeleton construction.
+///
+/// The paper sets `h = ξ x ln n` with `ξ ≥ 8c` for the w.h.p. guarantee
+/// (Lemma C.1). The constant is configurable because at simulable `n` the
+/// paper-faithful `ξ` makes `h` exceed the graph diameter; experiments document the
+/// value they use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkeletonParams {
+    /// Sampling is with probability `1/x`.
+    pub x: f64,
+    /// The `ξ` constant in `h = ξ x ln n`.
+    pub xi: f64,
+}
+
+impl SkeletonParams {
+    /// Paper-faithful defaults (`ξ = 8`, i.e. `c = 1` in Lemma C.1).
+    pub fn paper(x: f64) -> Self {
+        SkeletonParams { x, xi: 8.0 }
+    }
+
+    /// Test-scale parameters with a small `ξ`.
+    pub fn scaled(x: f64, xi: f64) -> Self {
+        SkeletonParams { x, xi }
+    }
+
+    /// The maximum hop length `h` of a skeleton edge for a graph on `n` nodes.
+    pub fn h(&self, n: usize) -> usize {
+        let h = (self.xi * self.x * (n.max(2) as f64).ln()).ceil() as usize;
+        h.max(1)
+    }
+
+    /// The node sampling probability `1/x`, clamped into `(0, 1]`.
+    pub fn sampling_probability(&self) -> f64 {
+        (1.0 / self.x).clamp(0.0, 1.0)
+    }
+}
+
+/// A constructed skeleton graph, with the bookkeeping the paper's algorithms need.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// The sampled nodes (sorted by ID). Index into this vector = skeleton-local ID.
+    nodes: Vec<NodeId>,
+    /// Maps a global node to its skeleton-local index.
+    index: HashMap<NodeId, usize>,
+    /// Hop budget `h` of skeleton edges.
+    h: usize,
+    /// The skeleton graph over local indices `0..|V_S|`.
+    graph: Graph,
+    /// `d_h(s, v)` for every skeleton node `s` (row per skeleton-local index) and
+    /// every `v ∈ V`. This is the local-exploration knowledge of the paper's
+    /// algorithms: node `v` knows `d_h(v, s)` for every skeleton node within `h`
+    /// hops, which by symmetry is exactly these rows.
+    dh_rows: Vec<Vec<Distance>>,
+}
+
+impl Skeleton {
+    /// Samples `V_S` with probability `params.sampling_probability()` and builds the
+    /// skeleton. `forced` nodes (e.g. the single source of Theorem 1.3 / Lemma 4.5)
+    /// are always included. At least one node is always sampled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from skeleton-graph construction (cannot happen for
+    /// valid inputs).
+    pub fn build<R: Rng + ?Sized>(
+        g: &Graph,
+        params: SkeletonParams,
+        forced: &[NodeId],
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        let p = params.sampling_probability();
+        let mut picked: Vec<NodeId> =
+            g.nodes().filter(|_| rng.gen_bool(p)).collect();
+        picked.extend_from_slice(forced);
+        if picked.is_empty() {
+            picked.push(NodeId::new(rng.gen_range(0..g.len())));
+        }
+        picked.sort_unstable();
+        picked.dedup();
+        Self::from_nodes(g, picked, params.h(g.len()))
+    }
+
+    /// Builds the skeleton over an explicit node set with hop budget `h`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from skeleton-graph construction.
+    pub fn from_nodes(g: &Graph, nodes: Vec<NodeId>, h: usize) -> Result<Self, GraphError> {
+        assert!(!nodes.is_empty(), "skeleton needs at least one node");
+        let index: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        assert_eq!(index.len(), nodes.len(), "skeleton nodes must be distinct");
+        let dh_rows: Vec<Vec<Distance>> =
+            nodes.iter().map(|&s| hop_limited_distances(g, s, h)).collect();
+        let mut b = GraphBuilder::new(nodes.len());
+        for (i, row) in dh_rows.iter().enumerate() {
+            for (j, &t) in nodes.iter().enumerate().skip(i + 1) {
+                let d = row[t.index()];
+                if d != INFINITY {
+                    b.add_edge(NodeId::new(i), NodeId::new(j), d)?;
+                }
+            }
+        }
+        let graph = b.build()?;
+        Ok(Skeleton { nodes, index, h, graph, dh_rows })
+    }
+
+    /// The sampled global node IDs, sorted.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of skeleton nodes `|V_S|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the skeleton is empty (never true for a built skeleton).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Hop budget `h` of skeleton edges.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// The skeleton graph (over local indices).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Skeleton-local index of a global node, if sampled.
+    pub fn local_index(&self, v: NodeId) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
+    /// Global node of a skeleton-local index.
+    pub fn global(&self, local: usize) -> NodeId {
+        self.nodes[local]
+    }
+
+    /// Whether `v` was sampled into the skeleton.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// `d_h(s, v)` for skeleton node with local index `s_local` and any `v ∈ V`.
+    pub fn dh(&self, s_local: usize, v: NodeId) -> Distance {
+        self.dh_rows[s_local][v.index()]
+    }
+
+    /// Full `d_h(s, ·)` row of a skeleton node.
+    pub fn dh_row(&self, s_local: usize) -> &[Distance] {
+        &self.dh_rows[s_local]
+    }
+
+    /// For a global node `v`: all skeleton nodes within `h` hops, as
+    /// `(local_index, d_h(v, s))` pairs (symmetry of undirected `d_h`).
+    pub fn skeletons_near(&self, v: NodeId) -> Vec<(usize, Distance)> {
+        (0..self.nodes.len())
+            .filter_map(|i| {
+                let d = self.dh_rows[i][v.index()];
+                (d != INFINITY).then_some((i, d))
+            })
+            .collect()
+    }
+
+    /// Exact APSP on the skeleton graph (the ground truth for CLIQUE-algorithm
+    /// plugins; `d_S = d_G` w.h.p. by Lemma C.2).
+    pub fn apsp(&self) -> DistanceMatrix {
+        apsp(&self.graph)
+    }
+}
+
+/// Lemma C.1 checker: for each sampled pair `(u, v)`, takes a minimum-weight
+/// minimum-hop path and verifies every window of `h` consecutive nodes contains a
+/// skeleton node (pairs closer than `h` hops trivially pass). Returns the number of
+/// violating pairs.
+pub fn count_coverage_violations(
+    g: &Graph,
+    skeleton_nodes: &[NodeId],
+    h: usize,
+    pairs: &[(NodeId, NodeId)],
+) -> usize {
+    let in_skel: std::collections::HashSet<NodeId> = skeleton_nodes.iter().copied().collect();
+    let mut violations = 0;
+    for &(u, v) in pairs {
+        // Reconstruct one lexicographic shortest path u -> v.
+        let (dist, hops) = dijkstra_lex(g, u);
+        if dist[v.index()] == INFINITY {
+            continue;
+        }
+        // Greedy backwalk: from v, repeatedly step to a neighbor on a lex-shortest
+        // path.
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            let (dc, hc) = (dist[cur.index()], hops[cur.index()]);
+            let mut stepped = false;
+            for (w, wt) in g.neighbors(cur) {
+                if dist[w.index()] != INFINITY
+                    && dist[w.index()] + wt == dc
+                    && hops[w.index()] + 1 == hc
+                {
+                    path.push(w);
+                    cur = w;
+                    stepped = true;
+                    break;
+                }
+            }
+            assert!(stepped, "backwalk must make progress on a shortest path");
+        }
+        path.reverse();
+        if path.len() <= h {
+            continue;
+        }
+        for window in path.windows(h) {
+            if !window.iter().any(|w| in_skel.contains(w)) {
+                violations += 1;
+                break;
+            }
+        }
+    }
+    violations
+}
+
+/// Lemma C.2 checker: number of skeleton pairs where `d_S(u,v) != d_G(u,v)`.
+pub fn count_distance_violations(g: &Graph, skeleton: &Skeleton) -> usize {
+    let ds = skeleton.apsp();
+    let mut violations = 0;
+    for i in 0..skeleton.len() {
+        let sp = crate::dijkstra::dijkstra(g, skeleton.global(i));
+        for j in 0..skeleton.len() {
+            let dg = sp.dist(skeleton.global(j));
+            if ds.get(NodeId::new(i), NodeId::new(j)) != dg {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_connected, path};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_h_grows_with_x() {
+        let p1 = SkeletonParams::scaled(2.0, 1.0);
+        let p2 = SkeletonParams::scaled(8.0, 1.0);
+        assert!(p2.h(1000) > p1.h(1000));
+        assert!(SkeletonParams::paper(4.0).h(1000) >= 8);
+    }
+
+    #[test]
+    fn explicit_skeleton_on_path() {
+        let g = path(10, 1).unwrap();
+        // Skeleton nodes every 2 hops, h = 3 ⇒ consecutive ones are adjacent.
+        let nodes: Vec<NodeId> = (0..10).step_by(2).map(NodeId::new).collect();
+        let s = Skeleton::from_nodes(&g, nodes, 3).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.graph().is_connected());
+        // d_S must equal d_G on the skeleton (distance preservation).
+        assert_eq!(count_distance_violations(&g, &s), 0);
+    }
+
+    #[test]
+    fn skeleton_edges_use_dh_weights() {
+        let g = path(6, 2).unwrap();
+        let s = Skeleton::from_nodes(&g, vec![NodeId::new(0), NodeId::new(3)], 3).unwrap();
+        assert_eq!(s.graph().edge_weight(NodeId::new(0), NodeId::new(1)), Some(6));
+    }
+
+    #[test]
+    fn no_edge_beyond_h() {
+        let g = path(10, 1).unwrap();
+        let s = Skeleton::from_nodes(&g, vec![NodeId::new(0), NodeId::new(9)], 4).unwrap();
+        assert_eq!(s.graph().num_edges(), 0);
+        assert!(!s.graph().is_connected());
+    }
+
+    #[test]
+    fn sampled_skeleton_preserves_distances() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi_connected(80, 0.08, 6, &mut rng).unwrap();
+        // Dense-enough sampling so the lemma's conclusion holds at this small n.
+        let s = Skeleton::build(&g, SkeletonParams::scaled(3.0, 3.0), &[], &mut rng).unwrap();
+        assert!(s.len() > 1);
+        assert_eq!(count_distance_violations(&g, &s), 0);
+    }
+
+    #[test]
+    fn forced_nodes_are_included() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = path(20, 1).unwrap();
+        let forced = NodeId::new(13);
+        let s = Skeleton::build(&g, SkeletonParams::scaled(5.0, 1.0), &[forced], &mut rng)
+            .unwrap();
+        assert!(s.contains(forced));
+        assert_eq!(s.global(s.local_index(forced).unwrap()), forced);
+    }
+
+    #[test]
+    fn skeletons_near_respects_h() {
+        let g = path(10, 1).unwrap();
+        let s = Skeleton::from_nodes(&g, vec![NodeId::new(0), NodeId::new(9)], 4).unwrap();
+        let near = s.skeletons_near(NodeId::new(2));
+        assert_eq!(near, vec![(0, 2)]); // node 9 is 7 hops away > h = 4
+    }
+
+    #[test]
+    fn coverage_checker_flags_bad_skeleton() {
+        let g = path(30, 1).unwrap();
+        // No skeleton nodes in the middle ⇒ windows of length 5 in the middle violate.
+        let nodes = vec![NodeId::new(0), NodeId::new(29)];
+        let pairs = vec![(NodeId::new(0), NodeId::new(29))];
+        assert_eq!(count_coverage_violations(&g, &nodes, 5, &pairs), 1);
+        // Dense skeleton passes.
+        let dense: Vec<NodeId> = (0..30).step_by(3).map(NodeId::new).collect();
+        assert_eq!(count_coverage_violations(&g, &dense, 5, &pairs), 0);
+    }
+}

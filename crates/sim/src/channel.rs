@@ -1,0 +1,43 @@
+//! Message envelopes for the global (NCC) channel.
+
+use hybrid_graph::NodeId;
+
+/// One `O(log n)`-bit message in flight over the global network.
+///
+/// The payload type `M` must itself fit the model's `O(log n)`-bit budget — in
+/// this codebase every payload is a small tuple of node IDs and distances, which
+/// (weights being polynomial in `n`, §1.3) is `O(log n)` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node (any node — the global mode is a clique).
+    pub dst: NodeId,
+    /// Message payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(src: NodeId, dst: NodeId, msg: M) -> Self {
+        Envelope { src, dst, msg }
+    }
+}
+
+/// Per-node inboxes produced by an exchange: `inboxes[v]` holds the
+/// `(sender, message)` pairs delivered to node `v`, in deterministic order
+/// (sorted by sender, then arrival order).
+pub type Inboxes<M> = Vec<Vec<(NodeId, M)>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_construction() {
+        let e = Envelope::new(NodeId::new(1), NodeId::new(2), "hi");
+        assert_eq!(e.src, NodeId::new(1));
+        assert_eq!(e.dst, NodeId::new(2));
+        assert_eq!(e.msg, "hi");
+    }
+}

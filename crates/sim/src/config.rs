@@ -1,0 +1,96 @@
+//! Simulator configuration: the `(λ, γ)` hybrid-network parametrization and the
+//! congestion-overflow policy.
+
+use hybrid_graph::graph::log2_ceil;
+
+/// What to do when a global exchange exceeds the per-round caps.
+///
+/// The paper's protocols guarantee w.h.p. that no node receives more than
+/// `O(log n)` messages per round (Lemma D.2); the policy decides how the simulator
+/// reacts if that budget is ever exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Return an error — used by tests to *prove* the w.h.p. bounds hold.
+    Fail,
+    /// Deliver everything but charge the honest number of rounds the batch needs,
+    /// i.e. `max_v ⌈sent_v / send_cap⌉` and `max_v ⌈recv_v / recv_cap⌉`. This
+    /// models a capacitated network that simply takes longer, and is the default
+    /// for benchmarks.
+    #[default]
+    Stretch,
+}
+
+/// Configuration of a [`crate::HybridNet`].
+///
+/// In the paper's parametrization (footnote 2): `λ` (local bits per edge per
+/// round) is always `∞` here — LOCAL mode; `γ` (global bits per node per round)
+/// equals `send_cap · O(log n)` bits, i.e. `send_cap_factor = 1` gives the
+/// standard NCC budget `γ = Θ(log² n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Per-node global *send* budget per round, in multiples of `⌈log2 n⌉`
+    /// messages. The NCC default is 1.0.
+    pub send_cap_factor: f64,
+    /// Per-node global *receive* budget per round, in multiples of `⌈log2 n⌉`
+    /// messages. The paper's `ρ ∈ Θ(log n)` (Lemma D.2) allows a larger constant
+    /// than the send side; default 4.0.
+    pub recv_cap_factor: f64,
+    /// Overflow policy.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { send_cap_factor: 1.0, recv_cap_factor: 4.0, overflow: OverflowPolicy::Stretch }
+    }
+}
+
+impl HybridConfig {
+    /// Config with the [`OverflowPolicy::Fail`] policy (for tests that assert the
+    /// w.h.p. congestion bounds).
+    pub fn strict() -> Self {
+        HybridConfig { overflow: OverflowPolicy::Fail, ..Self::default() }
+    }
+
+    /// Per-node send cap in messages per round for a graph on `n` nodes
+    /// (`⌈factor · ⌈log2 n⌉⌉`, at least 1).
+    pub fn send_cap(&self, n: usize) -> usize {
+        cap(self.send_cap_factor, n)
+    }
+
+    /// Per-node receive cap in messages per round for a graph on `n` nodes.
+    pub fn recv_cap(&self, n: usize) -> usize {
+        cap(self.recv_cap_factor, n)
+    }
+}
+
+fn cap(factor: f64, n: usize) -> usize {
+    ((factor * log2_ceil(n) as f64).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_caps_scale_logarithmically() {
+        let c = HybridConfig::default();
+        assert_eq!(c.send_cap(2), 1);
+        assert_eq!(c.send_cap(1024), 10);
+        assert_eq!(c.recv_cap(1024), 40);
+        assert!(c.send_cap(1_000_000) >= 20);
+    }
+
+    #[test]
+    fn caps_never_zero() {
+        let c = HybridConfig { send_cap_factor: 0.01, recv_cap_factor: 0.01, overflow: OverflowPolicy::Fail };
+        assert_eq!(c.send_cap(4), 1);
+        assert_eq!(c.recv_cap(4), 1);
+    }
+
+    #[test]
+    fn strict_uses_fail() {
+        assert_eq!(HybridConfig::strict().overflow, OverflowPolicy::Fail);
+        assert_eq!(HybridConfig::default().overflow, OverflowPolicy::Stretch);
+    }
+}

@@ -1,0 +1,209 @@
+//! Execution metrics: the experiment tables are produced from these counters.
+
+use std::collections::BTreeMap;
+
+/// Per-phase rounds/messages breakdown (phases are named by the algorithms, e.g.
+/// `"ruling-set"`, `"routing-scheme"`, `"local-exploration"`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Rounds charged under this phase label.
+    pub rounds: u64,
+    /// Global messages sent under this phase label.
+    pub messages: u64,
+}
+
+/// Counters accumulated over one simulated execution.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total rounds (local + global).
+    pub rounds: u64,
+    /// Rounds charged by local-mode phases.
+    pub local_rounds: u64,
+    /// Rounds consumed by global-mode exchanges.
+    pub global_rounds: u64,
+    /// Total messages sent over the global network.
+    pub global_messages: u64,
+    /// Largest per-node send load observed in a single exchange.
+    pub max_send_load: usize,
+    /// Largest per-node receive load observed in a single exchange.
+    pub max_recv_load: usize,
+    /// Number of exchanges that needed more than one round under
+    /// [`crate::OverflowPolicy::Stretch`].
+    pub stretched_exchanges: u64,
+    /// Messages that crossed the registered cut (see
+    /// [`crate::HybridNet::set_cut`]); `0` if no cut is registered.
+    pub cut_messages: u64,
+    /// Histogram of per-node per-exchange receive loads: `recv_load_hist[l]` =
+    /// number of (node, exchange) pairs with load exactly `l` (saturating at the
+    /// last bucket).
+    pub recv_load_hist: Vec<u64>,
+    /// Per-phase breakdown.
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records `rounds` local rounds under `phase`.
+    pub(crate) fn charge_local(&mut self, rounds: u64, phase: &str) {
+        self.rounds += rounds;
+        self.local_rounds += rounds;
+        self.phases.entry(phase.to_string()).or_default().rounds += rounds;
+    }
+
+    /// Records a global exchange: `rounds` rounds, `messages` messages.
+    pub(crate) fn charge_global(&mut self, rounds: u64, messages: u64, phase: &str) {
+        self.rounds += rounds;
+        self.global_rounds += rounds;
+        self.global_messages += messages;
+        let e = self.phases.entry(phase.to_string()).or_default();
+        e.rounds += rounds;
+        e.messages += messages;
+        if rounds > 1 {
+            self.stretched_exchanges += 1;
+        }
+    }
+
+    /// Records rounds charged in bulk for the global mode (no messages, no
+    /// stretch accounting).
+    pub(crate) fn charge_global_rounds_only(&mut self, rounds: u64, phase: &str) {
+        self.rounds += rounds;
+        self.global_rounds += rounds;
+        self.phases.entry(phase.to_string()).or_default().rounds += rounds;
+    }
+
+    /// Records one node's receive load in an exchange.
+    pub(crate) fn record_recv_load(&mut self, load: usize) {
+        self.max_recv_load = self.max_recv_load.max(load);
+        const MAX_BUCKET: usize = 256;
+        let bucket = load.min(MAX_BUCKET);
+        if self.recv_load_hist.len() <= bucket {
+            self.recv_load_hist.resize(bucket + 1, 0);
+        }
+        self.recv_load_hist[bucket] += 1;
+    }
+
+    /// Renders a human-readable execution report (round totals, message
+    /// counts, congestion, and the per-phase breakdown) — what the examples
+    /// and the experiment harness print after a run.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "rounds: {} (local {}, global {})", self.rounds, self.local_rounds, self.global_rounds);
+        let _ = writeln!(
+            out,
+            "global messages: {} (max send load {}, max recv load {}, stretched exchanges {})",
+            self.global_messages, self.max_send_load, self.max_recv_load, self.stretched_exchanges
+        );
+        if self.cut_messages > 0 {
+            let _ = writeln!(out, "cut crossings: {}", self.cut_messages);
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "phases:");
+            let width = self.phases.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (phase, stats) in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "  {phase:<width$}  {:>8} rounds  {:>10} msgs",
+                    stats.rounds, stats.messages
+                );
+            }
+        }
+        out
+    }
+
+    /// Merges another run's metrics into this one (used when an algorithm composes
+    /// sub-protocols executed on separate nets, e.g. the CLIQUE simulation).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.local_rounds += other.local_rounds;
+        self.global_rounds += other.global_rounds;
+        self.global_messages += other.global_messages;
+        self.max_send_load = self.max_send_load.max(other.max_send_load);
+        self.max_recv_load = self.max_recv_load.max(other.max_recv_load);
+        self.stretched_exchanges += other.stretched_exchanges;
+        self.cut_messages += other.cut_messages;
+        if self.recv_load_hist.len() < other.recv_load_hist.len() {
+            self.recv_load_hist.resize(other.recv_load_hist.len(), 0);
+        }
+        for (i, &c) in other.recv_load_hist.iter().enumerate() {
+            self.recv_load_hist[i] += c;
+        }
+        for (k, v) in &other.phases {
+            let e = self.phases.entry(k.clone()).or_default();
+            e.rounds += v.rounds;
+            e.messages += v.messages;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = Metrics::new();
+        m.charge_local(5, "explore");
+        m.charge_global(1, 10, "route");
+        m.charge_global(3, 30, "route");
+        assert_eq!(m.rounds, 9);
+        assert_eq!(m.local_rounds, 5);
+        assert_eq!(m.global_rounds, 4);
+        assert_eq!(m.global_messages, 40);
+        assert_eq!(m.stretched_exchanges, 1);
+        assert_eq!(m.phases["route"].rounds, 4);
+        assert_eq!(m.phases["route"].messages, 40);
+        assert_eq!(m.phases["explore"].rounds, 5);
+    }
+
+    #[test]
+    fn recv_histogram_saturates() {
+        let mut m = Metrics::new();
+        m.record_recv_load(3);
+        m.record_recv_load(3);
+        m.record_recv_load(1000);
+        assert_eq!(m.recv_load_hist[3], 2);
+        assert_eq!(*m.recv_load_hist.last().unwrap(), 1);
+        assert_eq!(m.max_recv_load, 1000);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut m = Metrics::new();
+        m.charge_local(3, "explore");
+        m.charge_global(2, 14, "route");
+        m.cut_messages = 5;
+        m.record_recv_load(4);
+        let r = m.render_report();
+        assert!(r.contains("rounds: 5 (local 3, global 2)"));
+        assert!(r.contains("global messages: 14"));
+        assert!(r.contains("cut crossings: 5"));
+        assert!(r.contains("explore"));
+        assert!(r.contains("route"));
+    }
+
+    #[test]
+    fn report_omits_empty_sections() {
+        let m = Metrics::new();
+        let r = m.render_report();
+        assert!(!r.contains("cut crossings"));
+        assert!(!r.contains("phases:"));
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Metrics::new();
+        a.charge_local(2, "x");
+        let mut b = Metrics::new();
+        b.charge_global(4, 7, "x");
+        b.record_recv_load(9);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 6);
+        assert_eq!(a.phases["x"].rounds, 6);
+        assert_eq!(a.max_recv_load, 9);
+    }
+}

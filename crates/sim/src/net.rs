@@ -1,0 +1,414 @@
+//! The simulated HYBRID network: round clock, local-phase accounting, and the
+//! congestion-enforcing global channel.
+
+use std::fmt;
+
+use hybrid_graph::{Graph, NodeId};
+
+use crate::channel::{Envelope, Inboxes};
+use crate::config::{HybridConfig, OverflowPolicy};
+use crate::metrics::Metrics;
+
+/// Errors of a simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Under [`OverflowPolicy::Fail`]: a node tried to send more global messages
+    /// in one exchange than the per-round cap allows.
+    SendCapExceeded {
+        /// The offending node.
+        node: NodeId,
+        /// Messages it attempted to send.
+        sent: usize,
+        /// The per-round cap.
+        cap: usize,
+    },
+    /// Under [`OverflowPolicy::Fail`]: a node would receive more global messages
+    /// in one round than the cap — the event the paper's Lemma D.2 excludes w.h.p.
+    RecvCapExceeded {
+        /// The overloaded node.
+        node: NodeId,
+        /// Messages addressed to it.
+        received: usize,
+        /// The per-round cap.
+        cap: usize,
+    },
+    /// An envelope addressed a node outside `0..n`.
+    AddressOutOfRange {
+        /// The bad destination.
+        node: NodeId,
+        /// Network size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SendCapExceeded { node, sent, cap } => {
+                write!(f, "node {node} sent {sent} global messages, cap is {cap}")
+            }
+            SimError::RecvCapExceeded { node, received, cap } => {
+                write!(f, "node {node} would receive {received} global messages, cap is {cap}")
+            }
+            SimError::AddressOutOfRange { node, n } => {
+                write!(f, "destination {node} out of range for network of {n} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A simulated HYBRID network over a fixed local graph.
+///
+/// See the crate docs for the fidelity contract: global messages are routed and
+/// cap-checked individually; local phases are charged on the clock.
+#[derive(Debug)]
+pub struct HybridNet<'g> {
+    graph: &'g Graph,
+    config: HybridConfig,
+    metrics: Metrics,
+    cut: Option<Vec<bool>>,
+}
+
+impl<'g> HybridNet<'g> {
+    /// Creates a network over `graph`.
+    pub fn new(graph: &'g Graph, config: HybridConfig) -> Self {
+        HybridNet { graph, config, metrics: Metrics::new(), cut: None }
+    }
+
+    /// The local communication graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Per-node global send cap (messages per round).
+    pub fn send_cap(&self) -> usize {
+        self.config.send_cap(self.graph.len())
+    }
+
+    /// Per-node global receive cap (messages per round).
+    pub fn recv_cap(&self) -> usize {
+        self.config.recv_cap(self.graph.len())
+    }
+
+    /// Total rounds elapsed.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// Execution metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the network and returns its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// Merges metrics of a sub-execution (e.g. a nested protocol run on its own
+    /// net) into this one.
+    pub fn absorb_metrics(&mut self, other: &Metrics) {
+        self.metrics.absorb(other);
+    }
+
+    /// Registers a node bipartition; subsequent global messages whose endpoints
+    /// lie on different sides are counted in [`Metrics::cut_messages`]. Used by
+    /// the lower-bound experiments (§6, §7) to measure Alice↔Bob information flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != n`.
+    pub fn set_cut(&mut self, side: Vec<bool>) {
+        assert_eq!(side.len(), self.graph.len(), "cut must label every node");
+        self.cut = Some(side);
+    }
+
+    /// Removes the registered cut.
+    pub fn clear_cut(&mut self) {
+        self.cut = None;
+    }
+
+    /// Charges `rounds` rounds of local-mode communication under `phase`.
+    ///
+    /// The semantics (what every node knows afterwards) are computed by the caller
+    /// with the reference routines of `hybrid-graph` — in the LOCAL model, `d`
+    /// rounds of flooding teach every node exactly its `d`-hop neighborhood, and
+    /// bandwidth is unconstrained.
+    pub fn charge_local(&mut self, rounds: u64, phase: &str) {
+        self.metrics.charge_local(rounds, phase);
+    }
+
+    /// Charges `rounds` global-mode rounds without routing messages. Used when a
+    /// sub-protocol's cost is known (e.g. repeating an already-measured routing
+    /// instance `T_A` times in the CLIQUE-on-skeleton simulation) — the rounds
+    /// are honest, the message contents are not interesting.
+    pub fn charge_global_rounds(&mut self, rounds: u64, phase: &str) {
+        self.metrics.charge_global_rounds_only(rounds, phase);
+    }
+
+    /// Performs one global-mode communication step: delivers `outbox` subject to
+    /// the NCC caps.
+    ///
+    /// Under [`OverflowPolicy::Stretch`] the step is charged
+    /// `max(1, ⌈max_v sent_v / send_cap⌉, ⌈max_v recv_v / recv_cap⌉)` rounds —
+    /// the honest time a capacitated network needs for the batch. Under
+    /// [`OverflowPolicy::Fail`] any cap violation is an error.
+    ///
+    /// Inboxes are sorted by `(sender, insertion order)` for determinism.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] for a bad destination; cap violations under
+    /// [`OverflowPolicy::Fail`].
+    pub fn exchange<M>(
+        &mut self,
+        phase: &str,
+        outbox: Vec<Envelope<M>>,
+    ) -> Result<Inboxes<M>, SimError> {
+        let n = self.graph.len();
+        let send_cap = self.send_cap();
+        let recv_cap = self.recv_cap();
+        let mut sent = vec![0usize; n];
+        let mut recv = vec![0usize; n];
+        for e in &outbox {
+            if e.dst.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.dst, n });
+            }
+            if e.src.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.src, n });
+            }
+            sent[e.src.index()] += 1;
+            recv[e.dst.index()] += 1;
+        }
+        let mut rounds_needed = 1u64;
+        for v in 0..n {
+            if sent[v] > send_cap {
+                match self.config.overflow {
+                    OverflowPolicy::Fail => {
+                        return Err(SimError::SendCapExceeded {
+                            node: NodeId::new(v),
+                            sent: sent[v],
+                            cap: send_cap,
+                        });
+                    }
+                    OverflowPolicy::Stretch => {
+                        rounds_needed = rounds_needed.max(sent[v].div_ceil(send_cap) as u64);
+                    }
+                }
+            }
+            if recv[v] > recv_cap {
+                match self.config.overflow {
+                    OverflowPolicy::Fail => {
+                        return Err(SimError::RecvCapExceeded {
+                            node: NodeId::new(v),
+                            received: recv[v],
+                            cap: recv_cap,
+                        });
+                    }
+                    OverflowPolicy::Stretch => {
+                        rounds_needed = rounds_needed.max(recv[v].div_ceil(recv_cap) as u64);
+                    }
+                }
+            }
+        }
+        // Metrics: loads, cut traffic.
+        let max_sent = sent.iter().copied().max().unwrap_or(0);
+        self.metrics.max_send_load = self.metrics.max_send_load.max(max_sent);
+        for v in 0..n {
+            if recv[v] > 0 {
+                self.metrics.record_recv_load(recv[v]);
+            }
+        }
+        if let Some(side) = &self.cut {
+            let crossing =
+                outbox.iter().filter(|e| side[e.src.index()] != side[e.dst.index()]).count();
+            self.metrics.cut_messages += crossing as u64;
+        }
+        self.metrics.charge_global(rounds_needed, outbox.len() as u64, phase);
+
+        // Deliver.
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        let mut sorted = outbox;
+        sorted.sort_by_key(|e| (e.dst, e.src));
+        for e in sorted {
+            inboxes[e.dst.index()].push((e.src, e.msg));
+        }
+        Ok(inboxes)
+    }
+
+    /// Runs a multi-step global protocol where every node holds a queue of
+    /// envelopes and sends at most `send_cap` per round, until all queues drain.
+    /// This is the common "while T ≠ ∅: pick Θ(log n) tokens, send" pattern of the
+    /// paper's Algorithm 4.
+    ///
+    /// Returns the concatenated inboxes (per destination, in delivery order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying exchanges.
+    pub fn drain_queues<M>(
+        &mut self,
+        phase: &str,
+        mut queues: Vec<Vec<Envelope<M>>>,
+    ) -> Result<Inboxes<M>, SimError> {
+        let n = self.graph.len();
+        let cap = self.send_cap();
+        let mut all: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        loop {
+            let mut outbox = Vec::new();
+            for q in queues.iter_mut() {
+                let take = cap.min(q.len());
+                outbox.extend(q.drain(..take));
+            }
+            if outbox.is_empty() {
+                break;
+            }
+            let delivered = self.exchange(phase, outbox)?;
+            for (v, mut msgs) in delivered.into_iter().enumerate() {
+                all[v].append(&mut msgs);
+            }
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::path;
+
+    fn net(g: &Graph) -> HybridNet<'_> {
+        HybridNet::new(g, HybridConfig::default())
+    }
+
+    #[test]
+    fn single_exchange_is_one_round() {
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        let inboxes = net
+            .exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(15), 7u32)])
+            .unwrap();
+        assert_eq!(inboxes[15], vec![(NodeId::new(0), 7)]);
+        assert_eq!(net.rounds(), 1);
+        assert_eq!(net.metrics().global_messages, 1);
+    }
+
+    #[test]
+    fn local_charge_accumulates() {
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        net.charge_local(10, "explore");
+        assert_eq!(net.rounds(), 10);
+        assert_eq!(net.metrics().local_rounds, 10);
+    }
+
+    #[test]
+    fn stretch_charges_honest_rounds() {
+        let g = path(16, 1).unwrap(); // send cap = ⌈log2 16⌉ = 4
+        let mut net = net(&g);
+        let outbox: Vec<_> =
+            (0..12).map(|i| Envelope::new(NodeId::new(0), NodeId::new(1 + (i % 8)), i)).collect();
+        net.exchange("t", outbox).unwrap();
+        // 12 messages / cap 4 = 3 rounds.
+        assert_eq!(net.rounds(), 3);
+        assert_eq!(net.metrics().stretched_exchanges, 1);
+    }
+
+    #[test]
+    fn fail_policy_rejects_send_overflow() {
+        let g = path(16, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let outbox: Vec<_> =
+            (0..5).map(|i| Envelope::new(NodeId::new(0), NodeId::new(1 + i), i)).collect();
+        let err = net.exchange("t", outbox).unwrap_err();
+        assert!(matches!(err, SimError::SendCapExceeded { sent: 5, cap: 4, .. }));
+    }
+
+    #[test]
+    fn fail_policy_rejects_recv_overflow() {
+        let g = path(16, 1).unwrap(); // recv cap = 16
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let outbox: Vec<_> = (0..15)
+            .flat_map(|s| {
+                (0..2).map(move |j| Envelope::new(NodeId::new(s), NodeId::new(15), (s, j)))
+            })
+            .collect();
+        let err = net.exchange("t", outbox).unwrap_err();
+        assert!(matches!(err, SimError::RecvCapExceeded { received: 30, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        let err = net
+            .exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(9), 0u8)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn inboxes_sorted_by_sender() {
+        let g = path(8, 1).unwrap();
+        let mut net = net(&g);
+        let outbox = vec![
+            Envelope::new(NodeId::new(5), NodeId::new(0), 'b'),
+            Envelope::new(NodeId::new(2), NodeId::new(0), 'a'),
+        ];
+        let inboxes = net.exchange("t", outbox).unwrap();
+        assert_eq!(inboxes[0], vec![(NodeId::new(2), 'a'), (NodeId::new(5), 'b')]);
+    }
+
+    #[test]
+    fn cut_counts_crossings() {
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        net.set_cut(vec![true, true, false, false]);
+        let outbox = vec![
+            Envelope::new(NodeId::new(0), NodeId::new(1), 0u8), // same side
+            Envelope::new(NodeId::new(0), NodeId::new(3), 0u8), // crossing
+            Envelope::new(NodeId::new(2), NodeId::new(1), 0u8), // crossing
+        ];
+        net.exchange("t", outbox).unwrap();
+        assert_eq!(net.metrics().cut_messages, 2);
+        net.clear_cut();
+        net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(3), 0u8)]).unwrap();
+        assert_eq!(net.metrics().cut_messages, 2);
+    }
+
+    #[test]
+    fn drain_queues_paces_to_cap() {
+        let g = path(16, 1).unwrap(); // cap 4
+        let mut net = net(&g);
+        // Node 0 queues 10 messages to distinct targets; node 1 queues 2.
+        let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+        for i in 0..10 {
+            queues[0].push(Envelope::new(NodeId::new(0), NodeId::new(2 + i), i as u32));
+        }
+        queues[1].push(Envelope::new(NodeId::new(1), NodeId::new(14), 100));
+        queues[1].push(Envelope::new(NodeId::new(1), NodeId::new(15), 101));
+        let inboxes = net.drain_queues("t", queues).unwrap();
+        assert_eq!(net.rounds(), 3); // ⌈10/4⌉
+        assert_eq!(net.metrics().global_messages, 12);
+        assert_eq!(inboxes[14], vec![(NodeId::new(1), 100)]);
+        assert_eq!(net.metrics().stretched_exchanges, 0); // paced, never over cap
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::RecvCapExceeded { node: NodeId::new(3), received: 9, cap: 4 };
+        assert!(e.to_string().contains("receive"));
+    }
+}

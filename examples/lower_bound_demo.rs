@@ -1,0 +1,58 @@
+//! Demonstrates the paper's two lower-bound constructions (§6, §7).
+//!
+//! 1. Figure 2 / Lemmas 7.1–7.2: the diameter of `Γ^{a,b}_{k,ℓ,W}` encodes
+//!    2-party set disjointness — we build instances and show the diameter gap.
+//! 2. Figure 1 / Theorem 1.5: node `b` must learn `Ω(k)` bits through an
+//!    `L`-hop bottleneck — we run a real k-SSP algorithm on the construction
+//!    and measure the information that actually crosses the cut.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound_demo
+//! ```
+
+use hybrid_shortest_paths::core::lower_bound_experiments::{
+    run_diameter_lower_bound, run_kssp_lower_bound,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Diameter lower bound (Theorem 1.6, Figure 2) ==");
+    println!("   k | ell |  W  | instance     | diameter | lemma says | implied LB (rounds)");
+    println!("-----+-----+-----+--------------+----------+------------+--------------------");
+    for k in [3usize, 5, 7] {
+        for disjoint in [true, false] {
+            let rep = run_diameter_lower_bound(k, 4, 16, disjoint, 0.5, 11)?;
+            println!(
+                "{k:>4} | {ell:>3} | {w:>3} | {kind:<12} | {diam:>8} | {lemma:>10} | {lb:>19.4}",
+                ell = rep.ell,
+                w = rep.w,
+                kind = if disjoint { "disjoint" } else { "intersecting" },
+                diam = rep.true_diameter,
+                lemma = rep.lemma_diameter,
+                lb = rep.implied_round_lb,
+            );
+            assert!(rep.true_diameter <= rep.lemma_diameter);
+        }
+    }
+    println!("\nThe gap (W+2l vs 2W+l) is what any exact/(2-eps)-approximate algorithm");
+    println!("must resolve — hence the Ω̃(n^{{1/3}}) bound of Theorem 1.6.\n");
+
+    println!("== k-SSP lower bound (Theorem 1.5, Figure 1) ==");
+    println!("   k |  L  | entropy bits | cut bits/round | predicted LB | measured rounds | cut msgs");
+    println!("-----+-----+--------------+----------------+--------------+-----------------+---------");
+    for k in [8usize, 16, 32] {
+        let l = (k as f64).sqrt().ceil() as usize;
+        let rep = run_kssp_lower_bound(6 * l, l, k, 0.5, 5)?;
+        println!(
+            "{k:>4} | {l:>3} | {e:>12.1} | {c:>14.0} | {p:>12.4} | {m:>15} | {cm:>8}",
+            e = rep.entropy_bits,
+            c = rep.cut_capacity_bits_per_round,
+            p = rep.predicted_round_lb,
+            m = rep.measured_rounds,
+            cm = rep.measured_cut_messages,
+        );
+        assert!(rep.b_decodes_assignment, "the algorithm must actually solve the instance");
+    }
+    println!("\nThe real algorithm's round count always sits above the information-");
+    println!("theoretic prediction, and b provably learned the Ω(k)-bit assignment.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Scenario: landmark-based routing tables in a device-to-device mesh.
+//!
+//! Mobile devices form a local radio mesh and can also talk through the
+//! cellular network (the paper's motivating hybrid setting). To route within
+//! the mesh, every device needs its distance to `k` landmark nodes — exactly
+//! the k-source shortest paths problem (Theorem 1.2). We run the `(7+ε)`
+//! weighted / `(2+ε)` unweighted k-SSP (Corollary 4.7) and measure the actual
+//! stretch of landmark routing built on the estimates.
+//!
+//! ```sh
+//! cargo run --release --example p2p_routing_tables
+//! ```
+
+use hybrid_shortest_paths::core::ksssp::{kssp_cor47, KsspConfig};
+use hybrid_shortest_paths::graph::apsp::apsp;
+use hybrid_shortest_paths::graph::generators::random_geometric_connected;
+use hybrid_shortest_paths::graph::{NodeId, INFINITY};
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 180;
+    let k = 12;
+    let g = random_geometric_connected(n, 0.13, 5, &mut rng)?;
+    let mut all: Vec<NodeId> = g.nodes().collect();
+    all.shuffle(&mut rng);
+    let landmarks: Vec<NodeId> = all[..k].to_vec();
+    println!("mesh: {} devices, {} links; {} landmarks", g.len(), g.num_edges(), k);
+
+    // Distributed k-SSP (Corollary 4.7).
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let out = kssp_cor47(&mut net, &landmarks, 0.5, KsspConfig { xi: 1.0 }, 3)?;
+    println!(
+        "k-SSP finished in {} rounds (skeleton {}, guarantee factor {:.2})",
+        out.rounds,
+        out.skeleton_size,
+        out.guaranteed_factor(false)
+    );
+
+    // Build landmark routing: route u -> v via the landmark minimizing
+    // d̃(u, l) + d̃(v, l); measure stretch against true distances.
+    let exact = apsp(&g);
+    let mut worst: f64 = 1.0;
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u >= v {
+                continue;
+            }
+            let via = (0..k)
+                .map(|l| out.get(l, u).saturating_add(out.get(l, v)))
+                .min()
+                .unwrap_or(INFINITY);
+            let d = exact.get(u, v);
+            if d == 0 || d == INFINITY || via == INFINITY {
+                continue;
+            }
+            let stretch = via as f64 / d as f64;
+            worst = worst.max(stretch);
+            sum += stretch;
+            count += 1;
+        }
+    }
+    println!(
+        "landmark routing stretch: mean {:.3}, worst {:.3} over {count} pairs",
+        sum / count as f64,
+        worst
+    );
+    // Sanity: the estimates themselves never undershoot the true distances
+    // (the routing stretch on top depends on landmark placement).
+    for (l_idx, &l) in landmarks.iter().enumerate() {
+        for v in g.nodes() {
+            assert!(out.get(l_idx, v) >= exact.get(l, v));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: simulate the HYBRID model on a random geometric network and run
+//! the paper's flagship algorithms.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybrid_shortest_paths::core::apsp::{exact_apsp, ApspConfig};
+use hybrid_shortest_paths::core::ksssp::KsspConfig;
+use hybrid_shortest_paths::core::sssp::exact_sssp;
+use hybrid_shortest_paths::graph::apsp::apsp as reference_apsp;
+use hybrid_shortest_paths::graph::dijkstra::dijkstra;
+use hybrid_shortest_paths::graph::generators::random_geometric_connected;
+use hybrid_shortest_paths::graph::NodeId;
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 150-node wireless-style network: nodes talk locally to radio neighbors
+    // (the LOCAL mode) and globally through the cell infrastructure (NCC mode).
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 150;
+    let g = random_geometric_connected(n, 0.14, 8, &mut rng)?;
+    println!("local graph: {} nodes, {} edges, max weight {}", g.len(), g.num_edges(), g.max_weight());
+
+    // --- Exact SSSP in Õ(n^{2/5}) rounds (Theorem 1.3) -----------------------
+    let source = NodeId::new(0);
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let sssp = exact_sssp(&mut net, source, KsspConfig::default(), 7)?;
+    let reference = dijkstra(&g, source);
+    assert_eq!(sssp.dist.as_slice(), reference.as_slice(), "SSSP must be exact");
+    println!(
+        "SSSP from {source}: exact in {} simulated rounds (skeleton of {} nodes)",
+        sssp.rounds, sssp.skeleton_size
+    );
+
+    // --- Exact APSP in Õ(√n) rounds (Theorem 1.1) ---------------------------
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let out = exact_apsp(&mut net, ApspConfig::default(), 7)?;
+    let exact = reference_apsp(&g);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(out.dist.get(u, v), exact.get(u, v), "APSP must be exact");
+        }
+    }
+    println!(
+        "APSP: exact in {} simulated rounds (skeleton {} nodes, h = {})",
+        out.rounds, out.skeleton_size, out.h
+    );
+    let m = net.metrics();
+    println!(
+        "      local rounds {}, global rounds {}, global messages {}, max receive load {}",
+        m.local_rounds, m.global_rounds, m.global_messages, m.max_recv_load
+    );
+    println!("      per-phase breakdown:");
+    for (phase, stats) in &m.phases {
+        println!("        {phase:<28} {:>6} rounds {:>8} msgs", stats.rounds, stats.messages);
+    }
+    Ok(())
+}

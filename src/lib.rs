@@ -1,0 +1,21 @@
+//! Umbrella crate for the reproduction of Kuhn & Schneider,
+//! *Computing Shortest Paths and Diameter in the Hybrid Network Model* (PODC 2020).
+//!
+//! This crate re-exports the workspace members so that examples and integration
+//! tests can address the whole system through one dependency:
+//!
+//! * [`graph`] — graph substrate (types, generators, reference algorithms,
+//!   skeletons, lower-bound constructions).
+//! * [`sim`] — the HYBRID communication-model simulator (round clock, NCC global
+//!   channel with congestion enforcement, LOCAL phase accounting).
+//! * [`clique`] — the congested-clique substrate (Lenzen-routing cost model and
+//!   CLIQUE algorithms used as plugins by the paper's framework).
+//! * [`core`] — the paper's algorithms: token routing, APSP, k-SSP, SSSP,
+//!   diameter, and the lower-bound experiment harnesses.
+
+#![warn(missing_docs)]
+
+pub use clique_sim as clique;
+pub use hybrid_core as core;
+pub use hybrid_graph as graph;
+pub use hybrid_sim as sim;

@@ -1,0 +1,160 @@
+//! End-to-end integration tests: the distributed algorithms against the
+//! sequential ground truth, across graph families.
+
+use hybrid_shortest_paths::core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
+use hybrid_shortest_paths::core::diameter::{diameter_cor52, diameter_cor53};
+use hybrid_shortest_paths::core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
+use hybrid_shortest_paths::core::sssp::{exact_sssp, sssp_local_bellman_ford};
+use hybrid_shortest_paths::graph::apsp::apsp;
+use hybrid_shortest_paths::graph::bfs::unweighted_diameter;
+use hybrid_shortest_paths::graph::dijkstra::dijkstra;
+use hybrid_shortest_paths::graph::generators::{
+    barbell, caterpillar, erdos_renyi_connected, grid, random_geometric_connected, random_tree,
+};
+use hybrid_shortest_paths::graph::{Distance, Graph, NodeId};
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("erdos-renyi", erdos_renyi_connected(90, 0.06, 5, &mut rng).unwrap()),
+        ("geometric", random_geometric_connected(80, 0.2, 4, &mut rng).unwrap()),
+        ("grid", grid(8, 10, 3).unwrap()),
+        ("tree", random_tree(70, 6, &mut rng).unwrap()),
+        ("caterpillar", caterpillar(20, 2, 2).unwrap()),
+        ("barbell", barbell(15, 10, 1).unwrap()),
+    ]
+}
+
+#[test]
+fn apsp_exact_across_families() {
+    for (name, g) in families(1) {
+        let exact = apsp(&g);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let out = exact_apsp(&mut net, ApspConfig { xi: 2.0 }, 17).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(out.dist.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
+            }
+        }
+    }
+}
+
+#[test]
+fn apsp_baseline_exact_across_families() {
+    for (name, g) in families(2) {
+        let exact = apsp(&g);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let out = exact_apsp_soda20(&mut net, ApspConfig { xi: 2.0 }, 23).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(out.dist.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_exact_across_families() {
+    for (name, g) in families(3) {
+        let source = NodeId::new(g.len() / 3);
+        let exact = dijkstra(&g, source);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let out = exact_sssp(&mut net, source, KsspConfig { xi: 2.0 }, 29).unwrap();
+        assert_eq!(out.dist.as_slice(), exact.as_slice(), "{name}");
+        // Local BF agrees too.
+        let mut net2 = HybridNet::new(&g, HybridConfig::default());
+        let bf = sssp_local_bellman_ford(&mut net2, source);
+        assert_eq!(bf.dist.as_slice(), exact.as_slice(), "{name} (local BF)");
+    }
+}
+
+#[test]
+fn kssp_guarantees_across_families() {
+    for (name, g) in families(4) {
+        let n = g.len();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sources: Vec<NodeId> =
+            (0..5).map(|_| NodeId::new(rng.gen_range(0..n))).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let exact = apsp(&g);
+        let exact_rows: Vec<Vec<Distance>> =
+            sources.iter().map(|&s| exact.row(s).to_vec()).collect();
+        let unweighted = g.is_unweighted();
+
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let out47 = kssp_cor47(&mut net, &sources, 0.5, KsspConfig { xi: 2.0 }, 31).unwrap();
+        let ratio = out47.max_ratio_vs(&exact_rows);
+        assert!(
+            ratio <= out47.guaranteed_factor(unweighted) + 1e-9,
+            "{name}: cor47 ratio {ratio} > {}",
+            out47.guaranteed_factor(unweighted)
+        );
+
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let out48 = kssp_cor48(&mut net, &sources, 0.3, KsspConfig { xi: 2.0 }, 37).unwrap();
+        let ratio = out48.max_ratio_vs(&exact_rows);
+        assert!(
+            ratio <= out48.guaranteed_factor(unweighted) + 1e-9,
+            "{name}: cor48 ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn kssp_cor46_source_capacity_and_guarantee() {
+    let g = grid(10, 12, 1).unwrap();
+    let sources = vec![NodeId::new(0), NodeId::new(59), NodeId::new(119)];
+    let exact = apsp(&g);
+    let exact_rows: Vec<Vec<Distance>> = sources.iter().map(|&s| exact.row(s).to_vec()).collect();
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let out = kssp_cor46(&mut net, &sources, 0.5, KsspConfig { xi: 2.0 }, 41).unwrap();
+    assert!(out.max_ratio_vs(&exact_rows) <= out.guaranteed_factor(true) + 1e-9);
+}
+
+#[test]
+fn diameter_guarantees_across_unweighted_families() {
+    let gs: Vec<(&str, Graph)> = vec![
+        ("grid", grid(6, 25, 1).unwrap()),
+        ("caterpillar", caterpillar(40, 1, 1).unwrap()),
+        ("barbell", barbell(12, 30, 1).unwrap()),
+    ];
+    for (name, g) in gs {
+        let d = unweighted_diameter(&g);
+        for (tag, seed, use52) in [("cor52", 43u64, true), ("cor53", 47, false)] {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let out = if use52 {
+                diameter_cor52(&mut net, 0.5, KsspConfig { xi: 1.5 }, seed).unwrap()
+            } else {
+                diameter_cor53(&mut net, 0.5, KsspConfig { xi: 1.5 }, seed).unwrap()
+            };
+            assert!(out.estimate >= d, "{name}/{tag}: undershoot");
+            let ratio = out.estimate as f64 / d as f64;
+            assert!(
+                ratio <= out.guaranteed_factor() + 1e-9,
+                "{name}/{tag}: ratio {ratio} > {}",
+                out.guaranteed_factor()
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_congestion_policy_holds_on_moderate_instances() {
+    // The w.h.p. congestion bounds (Lemma D.2) must hold under the failing
+    // policy for a realistic APSP run.
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = erdos_renyi_connected(120, 0.05, 3, &mut rng).unwrap();
+    let exact = apsp(&g);
+    let mut net = HybridNet::new(&g, HybridConfig::strict());
+    let out = exact_apsp(&mut net, ApspConfig { xi: 2.0 }, 53).unwrap();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(out.dist.get(u, v), exact.get(u, v));
+        }
+    }
+    assert!(net.metrics().max_recv_load <= net.recv_cap());
+}
