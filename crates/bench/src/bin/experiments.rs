@@ -1,20 +1,31 @@
-//! Experiment runner: regenerates every table of EXPERIMENTS.md.
+//! Experiment runner: regenerates every table of EXPERIMENTS.md and, with
+//! `--json`, the machine-readable `BENCH_apsp.json` perf trajectory.
 //!
 //! ```sh
 //! cargo run --release -p hybrid-bench --bin experiments -- all
 //! cargo run --release -p hybrid-bench --bin experiments -- e2 e5
 //! cargo run --release -p hybrid-bench --bin experiments -- --small all
+//! cargo run --release -p hybrid-bench --bin experiments -- --json
+//! cargo run --release -p hybrid-bench --bin experiments -- --small --json
 //! ```
+//!
+//! `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
+//! and the sequential reference) and writes `BENCH_apsp.json` to the current
+//! directory; when given alone it runs only that sweep.
 
 use hybrid_bench::experiments as ex;
-use hybrid_bench::Scale;
+use hybrid_bench::{json, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     type Runner = fn(Scale) -> hybrid_bench::table::Table;
-    let all = wanted.is_empty() || wanted.contains(&"all");
+    // `--json` alone means "just the JSON sweep"; any experiment id (or `all`)
+    // still runs the tables.
+    let all = wanted.contains(&"all") || (wanted.is_empty() && !emit_json);
     let runs: Vec<(&str, Runner)> = vec![
         ("e1", ex::e1_token_routing),
         ("e2", ex::e2_apsp),
@@ -37,5 +48,18 @@ fn main() {
             eprintln!("running {id}...");
             f(scale).print();
         }
+    }
+    if emit_json {
+        eprintln!("running APSP wall-clock sweep for BENCH_apsp.json...");
+        let records = ex::bench_apsp_records(scale);
+        let scale_name = match scale {
+            Scale::Small => "small",
+            Scale::Full => "full",
+        };
+        let doc = json::render(scale_name, &records);
+        let path = "BENCH_apsp.json";
+        std::fs::write(path, &doc).expect("write BENCH_apsp.json");
+        eprintln!("wrote {path}:");
+        print!("{doc}");
     }
 }

@@ -270,7 +270,17 @@ pub fn e5_diameter(scale: Scale) -> Table {
 pub fn e6_kssp_lower_bound(scale: Scale) -> Table {
     let mut t = Table::new(
         "E6: k-SSP lower bound (Thm 1.5, Fig. 1) — entropy vs cut capacity",
-        &["k", "L", "n", "entropy bits", "cut bits/rd", "predicted LB", "measured", "cut msgs", "b decodes"],
+        &[
+            "k",
+            "L",
+            "n",
+            "entropy bits",
+            "cut bits/rd",
+            "predicted LB",
+            "measured",
+            "cut msgs",
+            "b decodes",
+        ],
     );
     let ks: &[usize] = scale.pick(&[16, 36], &[16, 64, 144, 256]);
     for &k in ks {
@@ -295,7 +305,18 @@ pub fn e6_kssp_lower_bound(scale: Scale) -> Table {
 pub fn e7_diameter_lower_bound(scale: Scale) -> Table {
     let mut t = Table::new(
         "E7: diameter lower bound (Thm 1.6, Fig. 2) — set-disjointness gap",
-        &["k", "ell", "W", "instance", "n", "diameter", "lemma", "implied LB", "approx est", "cut msgs"],
+        &[
+            "k",
+            "ell",
+            "W",
+            "instance",
+            "n",
+            "diameter",
+            "lemma",
+            "implied LB",
+            "approx est",
+            "cut msgs",
+        ],
     );
     let ks: &[usize] = scale.pick(&[3, 5], &[4, 8, 12]);
     for &k in ks {
@@ -481,15 +502,8 @@ pub fn e12_clique_sim(scale: Scale) -> Table {
     for x in [0.4f64, 0.5, 0.6, 2.0 / 3.0] {
         // A declared plugin with T_A = 1 makes the report's measured
         // full-round cost the quantity of interest.
-        let alg = DeclaredKssp::custom(
-            "probe",
-            SourceCapacity::Apsp,
-            0.0,
-            1.0,
-            1.0,
-            Beta::Zero,
-            None,
-        );
+        let alg =
+            DeclaredKssp::custom("probe", SourceCapacity::Apsp, 0.0, 1.0, 1.0, Beta::Zero, None);
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let skel = hybrid_core::skeleton_ops::compute_skeleton(&mut net, x, 1.0, &[], 61, "s")
             .expect("skeleton");
@@ -630,6 +644,32 @@ pub fn e15_gamma_ablation(scale: Scale) -> Table {
     t
 }
 
+/// Times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline, and the
+/// sequential reference APSP) and returns machine-readable records for
+/// `BENCH_apsp.json` — the perf trajectory future PRs compare against.
+pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use crate::json::BenchRecord;
+    let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
+    let mut records = Vec::new();
+    for &n in sizes {
+        let g = er(n, 12.0, 4, 3);
+        records.push(BenchRecord::measure("reference_apsp", n, || {
+            let m = apsp(&g);
+            assert!(!m.is_empty());
+            0
+        }));
+        records.push(BenchRecord::measure("thm11_apsp", n, || {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 5).expect("apsp").rounds
+        }));
+        records.push(BenchRecord::measure("soda20_apsp", n, || {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            exact_apsp_soda20(&mut net, ApspConfig { xi: 1.5 }, 5).expect("apsp baseline").rounds
+        }));
+    }
+    records
+}
+
 /// Runs every experiment at the given scale, returning all tables.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -666,5 +706,14 @@ mod tests {
         ] {
             assert!(table.render().lines().count() > 4);
         }
+    }
+
+    #[test]
+    fn apsp_records_cover_all_benches_and_sizes() {
+        let records = bench_apsp_records(Scale::Small);
+        assert_eq!(records.len(), 6); // 2 sizes x 3 benches
+        assert!(records.iter().any(|r| r.bench == "thm11_apsp" && r.rounds > 0));
+        assert!(records.iter().any(|r| r.bench == "reference_apsp" && r.rounds == 0));
+        assert!(records.iter().all(|r| r.wall_ns > 0));
     }
 }

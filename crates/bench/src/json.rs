@@ -1,0 +1,102 @@
+//! Machine-readable benchmark output (`BENCH_*.json`).
+//!
+//! The experiment binary's `--json` flag appends wall-clock records here so
+//! the repository accumulates a perf trajectory PR over PR. The format is
+//! deliberately tiny and hand-written — the build environment has no serde —
+//! and stable: one object with a schema tag and a flat record array.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark name (e.g. `"thm11_apsp"`).
+    pub bench: String,
+    /// Problem size `n`.
+    pub n: usize,
+    /// Wall-clock nanoseconds of the run.
+    pub wall_ns: u128,
+    /// Simulated HYBRID rounds of the run (0 for purely sequential
+    /// references).
+    pub rounds: u64,
+}
+
+impl BenchRecord {
+    /// Times `f`, recording its wall clock; `f` returns the simulated round
+    /// count (0 for sequential reference code).
+    pub fn measure(bench: &str, n: usize, f: impl FnOnce() -> u64) -> Self {
+        let start = Instant::now();
+        let rounds = f();
+        BenchRecord { bench: bench.to_string(), n, wall_ns: start.elapsed().as_nanos(), rounds }
+    }
+}
+
+/// Schema tag written into every file (bump on breaking format changes).
+pub const SCHEMA: &str = "hybrid-bench/apsp-v1";
+
+/// Renders records as the `BENCH_*.json` document.
+pub fn render(scale: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"bench\": \"{}\", \"n\": {}, \"wall_ns\": {}, \"rounds\": {}}}{comma}",
+            escape(&r.bench),
+            r.n,
+            r.wall_ns,
+            r.rounds
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_shape() {
+        let records = vec![
+            BenchRecord { bench: "a".into(), n: 10, wall_ns: 123, rounds: 7 },
+            BenchRecord { bench: "b\"x".into(), n: 20, wall_ns: 456, rounds: 0 },
+        ];
+        let s = render("small", &records);
+        assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v1\""));
+        assert!(s.contains("\"scale\": \"small\""));
+        assert!(s.contains("{\"bench\": \"a\", \"n\": 10, \"wall_ns\": 123, \"rounds\": 7},"));
+        assert!(s.contains("\"bench\": \"b\\\"x\""));
+        assert!(!s.contains("},\n  ]"), "no trailing comma");
+    }
+
+    #[test]
+    fn measure_times_and_captures_rounds() {
+        let r = BenchRecord::measure("x", 5, || 42);
+        assert_eq!(r.bench, "x");
+        assert_eq!(r.n, 5);
+        assert_eq!(r.rounds, 42);
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+        assert_eq!(escape("back\\slash"), "back\\\\slash");
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::Scale;

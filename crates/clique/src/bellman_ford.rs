@@ -81,11 +81,7 @@ impl CliqueKsspAlgorithm for BellmanFordKSsp {
                 for &s_idx in &fresh[v] {
                     let d = dist[v][s_idx];
                     for (u, _) in g.neighbors(NodeId::new(v)) {
-                        batch.push(CliqueMsg::new(
-                            NodeId::new(v),
-                            u,
-                            (s_idx as u32, d),
-                        ));
+                        batch.push(CliqueMsg::new(NodeId::new(v), u, (s_idx as u32, d)));
                     }
                 }
                 fresh[v].clear();

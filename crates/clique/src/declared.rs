@@ -119,12 +119,7 @@ impl DeclaredKssp {
 
 /// Applies `(α, β)`-noise to an exact distance: uniform in
 /// `[d, α·d + β]`, with `0` and `∞` preserved exactly at the lower end.
-fn apply_noise(
-    d: Distance,
-    alpha: f64,
-    beta_bound: f64,
-    rng: &mut StdRng,
-) -> Distance {
+fn apply_noise(d: Distance, alpha: f64, beta_bound: f64, rng: &mut StdRng) -> Distance {
     if d == INFINITY {
         return INFINITY;
     }

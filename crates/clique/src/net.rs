@@ -155,8 +155,7 @@ impl CliqueNet {
             sent[m.src.index()] += 1;
             recv[m.dst.index()] += 1;
         }
-        let load =
-            (0..n).map(|v| sent[v].max(recv[v])).max().unwrap_or(0);
+        let load = (0..n).map(|v| sent[v].max(recv[v])).max().unwrap_or(0);
         self.max_round_load = self.max_round_load.max(load);
         self.rounds += (load.div_ceil(n) as u64).max(1);
         self.messages += batch.len() as u64;
@@ -197,9 +196,7 @@ mod tests {
     #[test]
     fn small_batch_is_one_round() {
         let mut net = CliqueNet::new(4);
-        let inboxes = net
-            .route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(3), 9u8)])
-            .unwrap();
+        let inboxes = net.route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(3), 9u8)]).unwrap();
         assert_eq!(inboxes[3], vec![(NodeId::new(0), 9)]);
         assert_eq!(net.rounds(), 1);
         assert_eq!(net.messages(), 1);
@@ -256,8 +253,7 @@ mod tests {
     #[test]
     fn rejects_bad_address() {
         let mut net = CliqueNet::new(2);
-        let err =
-            net.route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(5), 0u8)]).unwrap_err();
+        let err = net.route(vec![CliqueMsg::new(NodeId::new(0), NodeId::new(5), 0u8)]).unwrap_err();
         assert!(matches!(err, CliqueError::AddressOutOfRange { .. }));
     }
 

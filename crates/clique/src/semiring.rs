@@ -197,12 +197,11 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
                 let src = blocks.owner(ib, jb, kb);
                 let dst = blocks.owner(ib, jb, kb - gap);
                 for (&(i, j), &v) in entries {
-                    batch.push(CliqueMsg::new(src, dst, Entry::C {
-                        i,
-                        j,
-                        v,
-                        kb: (kb - gap) as u32,
-                    }));
+                    batch.push(CliqueMsg::new(
+                        src,
+                        dst,
+                        Entry::C { i, j, v, kb: (kb - gap) as u32 },
+                    ));
                 }
                 drained.push((ib, jb, kb));
             }
@@ -217,10 +216,8 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
                     let Entry::C { i, j, v, kb } = entry else {
                         unreachable!("phase 3 carries only C entries")
                     };
-                    let t =
-                        (blocks.blk(i as usize), blocks.blk(j as usize), kb as usize);
-                    let slot =
-                        partials.entry(t).or_default().entry((i, j)).or_insert(INFINITY);
+                    let t = (blocks.blk(i as usize), blocks.blk(j as usize), kb as usize);
+                    let slot = partials.entry(t).or_default().entry((i, j)).or_insert(INFINITY);
                     if v < *slot {
                         *slot = v;
                     }
@@ -236,12 +233,7 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
         debug_assert_eq!(kb, 0, "after reduction only kb = 0 triples remain");
         let src = blocks.owner(ib, jb, kb);
         for (&(i, j), &v) in entries {
-            batch.push(CliqueMsg::new(src, NodeId::new(i as usize), Entry::C {
-                i,
-                j,
-                v,
-                kb: 0,
-            }));
+            batch.push(CliqueMsg::new(src, NodeId::new(i as usize), Entry::C { i, j, v, kb: 0 }));
         }
     }
     let inboxes = net.route(batch)?;
@@ -355,9 +347,7 @@ mod tests {
     fn kssp_interface_extracts_rows() {
         let g = path(7, 1).unwrap();
         let mut net = CliqueNet::new(7);
-        let out = SemiringApsp::new()
-            .run(&mut net, &g, &[NodeId::new(0), NodeId::new(6)])
-            .unwrap();
+        let out = SemiringApsp::new().run(&mut net, &g, &[NodeId::new(0), NodeId::new(6)]).unwrap();
         assert_eq!(out.get(0, NodeId::new(6)), 6);
         assert_eq!(out.get(1, NodeId::new(0)), 6);
     }

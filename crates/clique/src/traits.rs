@@ -195,10 +195,7 @@ mod tests {
 
     #[test]
     fn estimates_indexing() {
-        let est = KsspEstimates {
-            sources: vec![NodeId::new(2)],
-            est: vec![vec![5, 0, 7]],
-        };
+        let est = KsspEstimates { sources: vec![NodeId::new(2)], est: vec![vec![5, 0, 7]] };
         assert_eq!(est.get(0, NodeId::new(2)), 7);
     }
 }

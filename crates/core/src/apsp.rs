@@ -13,18 +13,16 @@
 //!   `|V_S| · n` distance labels with token dissemination, which forces the
 //!   skeleton-size trade-off to `x = n^{2/3}`.
 
-use std::collections::HashMap;
-
 use hybrid_graph::apsp::DistanceMatrix;
-use hybrid_graph::dijkstra::dijkstra_lex;
+use hybrid_graph::dijkstra::{par_lex_rows_with, par_map_rows};
 use hybrid_graph::skeleton::Skeleton;
 use hybrid_graph::{dist_add, Distance, NodeId, INFINITY};
 use hybrid_sim::{derive_seed, HybridNet};
 
+use crate::dissemination::disseminate;
 use crate::error::HybridError;
 use crate::skeleton_ops::compute_skeleton;
 use crate::token_routing::{route_tokens, RoutingRates, Token};
-use crate::dissemination::disseminate;
 
 /// Configuration of the APSP runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,32 +66,37 @@ fn near_lists(
     let g = net.graph();
     let n = g.len();
     let mut lists = Vec::with_capacity(n);
-    let mut fallbacks = 0usize;
-    let mut extra_rounds = 0u64;
+    // Collect the uncovered nodes first, then resolve them with one parallel
+    // lexicographic Dijkstra per fallback (reusable workspaces, all cores)
+    // instead of a fresh allocating run per node.
+    let mut uncovered: Vec<NodeId> = Vec::new();
     for v in g.nodes() {
         let near = skeleton.skeletons_near(v);
-        if !near.is_empty() {
-            lists.push(near);
-            continue;
+        if near.is_empty() {
+            uncovered.push(v);
         }
-        fallbacks += 1;
-        let (dist, hops) = dijkstra_lex(g, v);
-        let best = (0..skeleton.len())
-            .filter_map(|i| {
-                let t = skeleton.global(i);
-                (dist[t.index()] != INFINITY).then_some((dist[t.index()], hops[t.index()], i))
-            })
-            .min();
-        match best {
-            Some((d, hop, i)) => {
-                extra_rounds = extra_rounds.max(hop.saturating_sub(skeleton.h() as u64));
-                lists.push(vec![(i, d)]);
-            }
-            None => lists.push(Vec::new()),
-        }
+        lists.push(near);
     }
-    if extra_rounds > 0 {
-        net.charge_local(extra_rounds, phase);
+    let fallbacks = uncovered.len();
+    if fallbacks > 0 {
+        let resolved = par_map_rows(g, &uncovered, |_, _, dist, hops| {
+            (0..skeleton.len())
+                .filter_map(|i| {
+                    let t = skeleton.global(i);
+                    (dist[t.index()] != INFINITY).then_some((dist[t.index()], hops[t.index()], i))
+                })
+                .min()
+        });
+        let mut extra_rounds = 0u64;
+        for (&v, best) in uncovered.iter().zip(resolved) {
+            if let Some((d, hop, i)) = best {
+                extra_rounds = extra_rounds.max(hop.saturating_sub(skeleton.h() as u64));
+                lists[v.index()] = vec![(i, d)];
+            }
+        }
+        if extra_rounds > 0 {
+            net.charge_local(extra_rounds, phase);
+        }
     }
     (lists, fallbacks)
 }
@@ -111,16 +114,26 @@ fn assemble(
     let n = g.len();
     let h = skeleton.h() as u64;
     let mut out = DistanceMatrix::new(n);
-    for u in g.nodes() {
-        let (dist, hops) = dijkstra_lex(g, u);
-        for v in g.nodes() {
-            let mut best = if hops[v.index()] <= h { dist[v.index()] } else { INFINITY };
-            for &(s, dus) in &near[u.index()] {
-                best = best.min(dist_add(dus, labels[s][v.index()]));
-            }
-            out.set(u, v, best);
+    let sources: Vec<NodeId> = g.nodes().collect();
+    // One parallel lex-Dijkstra per node; each worker writes its assembled row
+    // straight into the flat matrix.
+    par_lex_rows_with(g, &sources, out.as_flat_mut(), |_, u, dist, hops, row| {
+        for v in 0..n {
+            row[v] = if hops[v] <= h { dist[v] } else { INFINITY };
         }
-    }
+        // Loop order: one pass per nearby skeleton node, walking its label row
+        // contiguously — cache-friendly min-plus instead of per-entry jumps
+        // across label rows.
+        for &(s, dus) in &near[u.index()] {
+            let label_row = &labels[s];
+            for v in 0..n {
+                let cand = dist_add(dus, label_row[v]);
+                if cand < row[v] {
+                    row[v] = cand;
+                }
+            }
+        }
+    });
     out
 }
 
@@ -132,12 +145,8 @@ fn publish_skeleton_edges(
     seed: u64,
     phase: &str,
 ) -> Result<(), HybridError> {
-    let owners: Vec<NodeId> = skeleton
-        .graph()
-        .edges()
-        .iter()
-        .map(|e| skeleton.global(e.u.index()))
-        .collect();
+    let owners: Vec<NodeId> =
+        skeleton.graph().edges().iter().map(|e| skeleton.global(e.u.index())).collect();
     disseminate(net, &owners, seed, phase)?;
     Ok(())
 }
@@ -187,7 +196,8 @@ pub fn exact_apsp(
             if u == usize::MAX {
                 continue;
             }
-            let dvu = near[v].iter().find(|&&(i, _)| i == u).map(|&(_, d)| d).expect("connector is near");
+            let dvu =
+                near[v].iter().find(|&&(i, _)| i == u).map(|&(_, d)| d).expect("connector is near");
             tokens.push(Token::new(
                 NodeId::new(v),
                 members[s],
@@ -202,15 +212,19 @@ pub fn exact_apsp(
 
     // Each skeleton node s computes d(s, v) = d_S(s, s') + d_h(s', v) from the
     // received connector tokens, then answers into its h-hop neighborhood
-    // (local flooding, Õ(√n) rounds).
-    let global_to_local: HashMap<NodeId, usize> =
-        members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    // (local flooding, Õ(√n) rounds). Node IDs are dense, so the
+    // global→local map is a flat array.
+    let mut global_to_local = vec![usize::MAX; n];
+    for (i, &m) in members.iter().enumerate() {
+        global_to_local[m.index()] = i;
+    }
     let mut labels = vec![vec![INFINITY; n]; ns];
     for (s_local, &s_global) in members.iter().enumerate() {
         labels[s_local][s_global.index()] = 0;
         for t in routed.for_receiver(s_global) {
             let (dvu, u_global) = t.payload;
-            let u_local = global_to_local[&u_global];
+            let u_local = global_to_local[u_global.index()];
+            debug_assert_ne!(u_local, usize::MAX, "connector must be a skeleton member");
             let v = t.label.s;
             let d = dist_add(d_s.get(NodeId::new(s_local), NodeId::new(u_local)), dvu);
             if d < labels[s_local][v.index()] {
@@ -307,13 +321,7 @@ pub fn apsp_local_only(net: &mut HybridNet<'_>) -> ApspOutcome {
     }
     net.charge_local(d, "apsp-local:flood");
     let dist = hybrid_graph::apsp::apsp(g);
-    ApspOutcome {
-        dist,
-        rounds: d,
-        skeleton_size: n,
-        h: d as usize,
-        coverage_fallbacks: 0,
-    }
+    ApspOutcome { dist, rounds: d, skeleton_size: n, h: d as usize, coverage_fallbacks: 0 }
 }
 
 #[cfg(test)]

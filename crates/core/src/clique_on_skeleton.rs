@@ -224,15 +224,9 @@ mod tests {
         let (g, skel) = setup(80, 1);
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let sources = vec![NodeId::new(0)];
-        let (est, rep) = simulate_kssp_on_skeleton(
-            &mut net,
-            &skel,
-            &BellmanFordKSsp::new(),
-            &sources,
-            7,
-            "cs",
-        )
-        .unwrap();
+        let (est, rep) =
+            simulate_kssp_on_skeleton(&mut net, &skel, &BellmanFordKSsp::new(), &sources, 7, "cs")
+                .unwrap();
         assert!(rep.replayed_batches > 0);
         assert!(rep.hybrid_rounds > 0);
         assert_eq!(net.rounds(), rep.hybrid_rounds);
@@ -249,8 +243,7 @@ mod tests {
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let alg = DeclaredKssp::censor_hillel_apsp(0.5, 3);
         let sources: Vec<NodeId> = (0..skel.len().min(4)).map(NodeId::new).collect();
-        let (_, rep) =
-            simulate_kssp_on_skeleton(&mut net, &skel, &alg, &sources, 9, "cs").unwrap();
+        let (_, rep) = simulate_kssp_on_skeleton(&mut net, &skel, &alg, &sources, 9, "cs").unwrap();
         assert_eq!(rep.replayed_batches, 0);
         let per = rep.measured_full_round.unwrap();
         assert!(per > 0);
@@ -263,8 +256,7 @@ mod tests {
         let (g, skel) = setup(70, 3);
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let (d, rep) =
-            simulate_diameter_on_skeleton(&mut net, &skel, &ExactDiameter::new(), 5, "cs")
-                .unwrap();
+            simulate_diameter_on_skeleton(&mut net, &skel, &ExactDiameter::new(), 5, "cs").unwrap();
         assert_eq!(d, weighted_diameter(skel.graph()));
         assert!(rep.replayed_batches > 0);
     }
@@ -274,8 +266,7 @@ mod tests {
         let (g, skel) = setup(70, 4);
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let alg = DeclaredDiameter32::new(0.25, 8);
-        let (d, rep) =
-            simulate_diameter_on_skeleton(&mut net, &skel, &alg, 5, "cs").unwrap();
+        let (d, rep) = simulate_diameter_on_skeleton(&mut net, &skel, &alg, 5, "cs").unwrap();
         let exact = weighted_diameter(skel.graph());
         assert!(d >= exact);
         assert!(rep.measured_full_round.is_some());

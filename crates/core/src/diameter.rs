@@ -88,13 +88,8 @@ pub fn diameter_framework<A: CliqueDiameterAlgorithm + ?Sized>(
     let h = skeleton.h();
 
     // Step 2: CLIQUE diameter algorithm on the skeleton.
-    let (d_tilde_s, clique_report) = simulate_diameter_on_skeleton(
-        net,
-        &skeleton,
-        alg,
-        derive_seed(seed, 1),
-        "diam:clique",
-    )?;
+    let (d_tilde_s, clique_report) =
+        simulate_diameter_on_skeleton(net, &skeleton, alg, derive_seed(seed, 1), "diam:clique")?;
 
     // Step 3: local exploration for ηh + 1 rounds — spreads D̃(S) and lets every
     // node measure h_v, its largest visible hop distance.
@@ -102,14 +97,12 @@ pub fn diameter_framework<A: CliqueDiameterAlgorithm + ?Sized>(
     let explore = ((eta * h as f64).ceil() as u64).max(1) + 1;
     net.charge_local(explore, "diam:local-exploration");
     let g = net.graph();
-    let h_values: Vec<Option<u64>> = g
-        .nodes()
-        .map(|v| Some(local_max_hop(g, v, explore as usize)))
-        .collect();
+    let h_values: Vec<Option<u64>> =
+        g.nodes().map(|v| Some(local_max_hop(g, v, explore as usize))).collect();
 
     // Step 4: global max-aggregation of ĥ (Lemma B.2, O(log n) rounds).
-    let h_hat = aggregate_all(net, &h_values, "diam:aggregate", |a, b| a.max(b))?
-        .expect("n ≥ 1 values");
+    let h_hat =
+        aggregate_all(net, &h_values, "diam:aggregate", |a, b| a.max(b))?.expect("n ≥ 1 values");
 
     // Step 5: Equation (3).
     let threshold = explore - 1; // ηh

@@ -20,7 +20,7 @@
 
 use hybrid_graph::bfs::multi_source_bfs;
 use hybrid_graph::{NodeId, INFINITY};
-use hybrid_sim::{derive_seed, Envelope, HybridNet};
+use hybrid_sim::{derive_seed, Envelope, FlatInboxes, HybridNet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -58,12 +58,7 @@ pub fn disseminate(
     let n = net.n();
     let k = owners.len();
     if k == 0 || n == 1 {
-        return Ok(DisseminationReport {
-            k,
-            colors: 0,
-            local_radius: 0,
-            rounds: 0,
-        });
+        return Ok(DisseminationReport { k, colors: 0, local_radius: 0, rounds: 0 });
     }
     let c = ((k as f64).sqrt().ceil() as usize).clamp(1, n);
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xD155));
@@ -115,7 +110,9 @@ pub fn disseminate(
     }
     let cap = net.send_cap();
 
-    // Up phase: pipeline tokens to class roots.
+    // Up phase: pipeline tokens to class roots. One reusable outbox and one
+    // flat-inbox arena serve every round — the per-round loop is
+    // allocation-free in steady state.
     let mut up: Vec<Vec<u32>> = holding;
     let mut at_root: Vec<Vec<u32>> = vec![Vec::new(); c];
     // Roots keep their own tokens immediately.
@@ -124,8 +121,11 @@ pub fn disseminate(
             at_root[color_of_node[v]].append(&mut up[v]);
         }
     }
+    let up_phase = format!("{phase}:tree-up");
+    let mut outbox: Vec<Envelope<u32>> = Vec::new();
+    let mut flat: FlatInboxes<u32> = FlatInboxes::new();
     loop {
-        let mut outbox = Vec::new();
+        outbox.clear();
         for v in 0..n {
             if up[v].is_empty() {
                 continue;
@@ -140,16 +140,14 @@ pub fn disseminate(
         if outbox.is_empty() {
             break;
         }
-        let inboxes = net.exchange(&format!("{phase}:tree-up"), outbox)?;
-        for (v, msgs) in inboxes.into_iter().enumerate() {
-            for (_, j) in msgs {
-                if rank[v] == 0 {
-                    at_root[color_of_node[v]].push(j);
-                } else {
-                    up[v].push(j);
-                }
+        net.exchange_into(&up_phase, &mut outbox, &mut flat)?;
+        flat.drain_into(|v, (_, j)| {
+            if rank[v] == 0 {
+                at_root[color_of_node[v]].push(j);
+            } else {
+                up[v].push(j);
             }
-        }
+        });
     }
 
     // Down phase: roots pipeline all class tokens to both children; every
@@ -165,39 +163,36 @@ pub fn disseminate(
         down[root.index()] = t;
     }
     let per_child = (cap / 2).max(1);
+    let down_phase = format!("{phase}:tree-down");
     loop {
-        let mut outbox = Vec::new();
+        outbox.clear();
         for v in 0..n {
             if down[v].is_empty() {
                 continue;
             }
             let members = &class_members[color_of_node[v]];
-            let kids: Vec<NodeId> = [2 * rank[v] + 1, 2 * rank[v] + 2]
-                .into_iter()
-                .filter(|&r| r < members.len())
-                .map(|r| members[r])
-                .collect();
-            if kids.is_empty() {
+            let kid_a = 2 * rank[v] + 1;
+            let kid_b = 2 * rank[v] + 2;
+            if kid_a >= members.len() {
                 down[v].clear();
                 continue;
             }
             let take = per_child.min(down[v].len());
             for j in down[v].drain(..take) {
-                for &kid in &kids {
-                    outbox.push(Envelope::new(NodeId::new(v), kid, j));
+                outbox.push(Envelope::new(NodeId::new(v), members[kid_a], j));
+                if kid_b < members.len() {
+                    outbox.push(Envelope::new(NodeId::new(v), members[kid_b], j));
                 }
             }
         }
         if outbox.is_empty() {
             break;
         }
-        let inboxes = net.exchange(&format!("{phase}:tree-down"), outbox)?;
-        for (v, msgs) in inboxes.into_iter().enumerate() {
-            for (_, j) in msgs {
-                known[v].push(j);
-                down[v].push(j);
-            }
-        }
+        net.exchange_into(&down_phase, &mut outbox, &mut flat)?;
+        flat.drain_into(|v, (_, j)| {
+            known[v].push(j);
+            down[v].push(j);
+        });
     }
 
     // Local spread: smallest radius R such that every node has every color
@@ -238,9 +233,9 @@ fn class_coverage_radius(g: &hybrid_graph::Graph, members: &[NodeId]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use hybrid_graph::generators::{erdos_renyi_connected, grid, path};
     use hybrid_sim::HybridConfig;
+    use rand::Rng;
 
     fn owners_random(n: usize, k: usize, seed: u64) -> Vec<NodeId> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -272,10 +267,7 @@ mod tests {
             let mut net = HybridNet::new(&g, HybridConfig::default());
             disseminate(&mut net, &owners_random(200, 400, 3), 7, "d").unwrap().rounds
         };
-        assert!(
-            (r2 as f64) < 3.0 * r1 as f64,
-            "4x tokens should cost ≈2x rounds: {r1} -> {r2}"
-        );
+        assert!((r2 as f64) < 3.0 * r1 as f64, "4x tokens should cost ≈2x rounds: {r1} -> {r2}");
     }
 
     #[test]
@@ -323,8 +315,7 @@ mod tests {
         for v in 0..100 {
             classes[perm[v] % c].push(NodeId::new(v));
         }
-        let derived =
-            classes.iter().map(|m| class_coverage_radius(&g, m)).max().unwrap();
+        let derived = classes.iter().map(|m| class_coverage_radius(&g, m)).max().unwrap();
         assert_eq!(rep.local_radius, derived);
     }
 

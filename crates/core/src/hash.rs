@@ -158,9 +158,7 @@ mod tests {
         for s in 0..8 {
             for r in 0..8 {
                 for i in 0..8 {
-                    assert!(keys.insert(
-                        TokenLabel::new(NodeId::new(s), NodeId::new(r), i).key()
-                    ));
+                    assert!(keys.insert(TokenLabel::new(NodeId::new(s), NodeId::new(r), i).key()));
                 }
             }
         }

@@ -14,8 +14,6 @@
 //! (and always include `w` itself). This enforces the Lemma 2.2 invariants
 //! deterministically without changing the asymptotic round cost.
 
-use std::collections::HashMap;
-
 use hybrid_graph::bfs::{bfs, multi_source_bfs};
 use hybrid_graph::graph::log2_ceil;
 use hybrid_graph::NodeId;
@@ -26,12 +24,19 @@ use rand::{Rng, SeedableRng};
 use crate::ruling_set::ruling_set;
 
 /// A family of helper sets for a node set `W` (Definition 2.1).
+///
+/// Node IDs are dense, so the family is a flat per-node table: `sets[w]` is
+/// `H_w` for members of `W` and empty for non-members (a real helper set is
+/// never empty — it always contains `w` itself).
 #[derive(Debug, Clone)]
 pub struct HelperSets {
     /// The `µ` parameter the family was built for.
     pub mu: usize,
-    /// Helper set per `w ∈ W` (each contains `w` itself, sorted by ID).
-    sets: HashMap<NodeId, Vec<NodeId>>,
+    /// Helper set per node (each member's set contains `w` itself, sorted by
+    /// ID; empty for nodes outside `W`).
+    sets: Vec<Vec<NodeId>>,
+    /// Number of members of `W` (the number of non-empty entries of `sets`).
+    members: usize,
     /// `membership[v]` = number of helper sets `v` belongs to (property (3)).
     pub membership: Vec<usize>,
     /// Closest ruler per node (the clustering).
@@ -49,15 +54,20 @@ impl HelperSets {
     /// Costs zero rounds — no ruling set, clustering, or flooding is needed,
     /// because there is no bandwidth to pool.
     pub fn trivial(w_set: &[NodeId], n: usize) -> HelperSets {
-        let mut sets = HashMap::new();
+        let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut membership = vec![0usize; n];
+        let mut members = 0;
         for &w in w_set {
-            sets.insert(w, vec![w]);
-            membership[w.index()] += 1;
+            if sets[w.index()].is_empty() {
+                members += 1;
+            }
+            sets[w.index()] = vec![w];
+            membership[w.index()] = 1;
         }
         HelperSets {
             mu: 1,
             sets,
+            members,
             membership,
             cluster_of: (0..n).map(NodeId::new).collect(),
             radius: 0,
@@ -70,22 +80,28 @@ impl HelperSets {
     ///
     /// Panics if `w` was not in the `W` the family was built for.
     pub fn helpers(&self, w: NodeId) -> &[NodeId] {
-        self.sets.get(&w).map(Vec::as_slice).expect("w must be a member of W")
+        let h = self.sets.get(w.index()).map(Vec::as_slice).unwrap_or(&[]);
+        assert!(!h.is_empty(), "w must be a member of W");
+        h
     }
 
-    /// Iterates over `(w, H_w)` pairs.
+    /// Iterates over `(w, H_w)` pairs, in node-ID order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> {
-        self.sets.iter().map(|(&w, h)| (w, h.as_slice()))
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(w, h)| (NodeId::new(w), h.as_slice()))
     }
 
     /// Number of sets in the family (`|W|`).
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.members
     }
 
     /// Whether the family is empty.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.members == 0
     }
 
     /// Largest membership count over all nodes (Lemma 2.2 property (3) says this
@@ -132,25 +148,24 @@ pub fn compute_helpers(
     net.charge_global_rounds(2 * log as u64, phase);
 
     // Step 3: cluster members learn each other — a flood over the cluster
-    // diameter (≤ 2 × the clustering radius).
+    // diameter (≤ 2 × the clustering radius). Rulers are nodes, so the
+    // cluster table is a flat per-node vector.
     net.charge_local((2 * radius) as u64, phase);
-    let mut cluster_members: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut cluster_members: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for v in 0..n {
-        cluster_members.entry(cluster_of[v]).or_default().push(NodeId::new(v));
+        cluster_members[cluster_of[v].index()].push(NodeId::new(v));
     }
 
     // Step 4: randomized helper subscription with q = min(2µ/|C|, 1).
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x48454C50));
-    let mut sets: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut members = 0usize;
     let mut membership = vec![0usize; n];
     for &w in w_set {
-        let cluster = &cluster_members[&cluster_of[w.index()]];
+        let cluster = &cluster_members[cluster_of[w.index()].index()];
         let q = ((2 * mu) as f64 / cluster.len() as f64).min(1.0);
-        let mut h: Vec<NodeId> = cluster
-            .iter()
-            .copied()
-            .filter(|&v| v == w || rng.gen_bool(q))
-            .collect();
+        let mut h: Vec<NodeId> =
+            cluster.iter().copied().filter(|&v| v == w || rng.gen_bool(q)).collect();
         // Top-up: enforce |H_w| ≥ µ (bounded by the cluster size) with the
         // hop-closest cluster members.
         if h.len() < mu.min(cluster.len()) {
@@ -171,9 +186,12 @@ pub fn compute_helpers(
         for &v in &h {
             membership[v.index()] += 1;
         }
-        sets.insert(w, h);
+        if sets[w.index()].is_empty() {
+            members += 1;
+        }
+        sets[w.index()] = h;
     }
-    HelperSets { mu, sets, membership, cluster_of, radius }
+    HelperSets { mu, sets, members, membership, cluster_of, radius }
 }
 
 #[cfg(test)]

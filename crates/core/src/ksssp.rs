@@ -84,8 +84,7 @@ impl KsspOutcome {
     /// (`unweighted` per the paper's case split). The additive term is
     /// converted at the actual exploration radius: `β / ⌈ηh⌉`.
     pub fn guaranteed_factor(&self, unweighted: bool) -> f64 {
-        let beta_term =
-            if self.explore > 0 { self.beta_bound / self.explore as f64 } else { 0.0 };
+        let beta_term = if self.explore > 0 { self.beta_bound / self.explore as f64 } else { 0.0 };
         if self.single_source {
             self.alpha + beta_term
         } else if unweighted {

@@ -164,13 +164,9 @@ pub fn run_diameter_lower_bound(
     let n = g.len();
 
     // Reference diameter and the lemma's prediction.
-    let true_diameter =
-        if w == 1 { unweighted_diameter(g) } else { weighted_diameter(g) };
-    let lemma_diameter = if disjoint {
-        gamma.disjoint_diameter()
-    } else {
-        gamma.intersecting_diameter()
-    };
+    let true_diameter = if w == 1 { unweighted_diameter(g) } else { weighted_diameter(g) };
+    let lemma_diameter =
+        if disjoint { gamma.disjoint_diameter() } else { gamma.intersecting_diameter() };
     if true_diameter == INFINITY {
         return Err(HybridError::InvariantViolation("Γ graph must be connected".into()));
     }

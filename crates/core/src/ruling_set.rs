@@ -46,10 +46,8 @@ pub fn ruling_set(net: &mut HybridNet<'_>, mu: usize, phase: &str) -> RulingSet 
     let mut candidate = vec![true; n];
     for b in (0..bits).rev() {
         // Zero-bit candidates of this stage.
-        let zero_candidates: Vec<NodeId> = (0..n)
-            .filter(|&v| candidate[v] && (v >> b) & 1 == 0)
-            .map(NodeId::new)
-            .collect();
+        let zero_candidates: Vec<NodeId> =
+            (0..n).filter(|&v| candidate[v] && (v >> b) & 1 == 0).map(NodeId::new).collect();
         // Local exploration to depth `radius`: each 1-candidate checks for a
         // 0-candidate nearby.
         net.charge_local(radius as u64, phase);
@@ -146,7 +144,7 @@ mod tests {
     fn large_mu_sparse_rulers() {
         let g = path(100, 1).unwrap();
         let (rs, _) = check(&g, 10); // α = 21
-        // On a 100-path with pairwise distance ≥ 21 there can be at most 5 rulers.
+                                     // On a 100-path with pairwise distance ≥ 21 there can be at most 5 rulers.
         assert!(rs.rulers.len() <= 5, "{} rulers", rs.rulers.len());
     }
 

@@ -188,11 +188,6 @@ mod tests {
         let mut net_b = HybridNet::new(&g, HybridConfig::default());
         let b = sssp_local_bellman_ford(&mut net_b, source);
         assert_eq!(a.dist, b.dist);
-        assert!(
-            a.rounds < b.rounds,
-            "framework {} should beat local BF {}",
-            a.rounds,
-            b.rounds
-        );
+        assert!(a.rounds < b.rounds, "framework {} should beat local BF {}", a.rounds, b.rounds);
     }
 }

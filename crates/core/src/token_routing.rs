@@ -19,11 +19,9 @@
 //!    receive-side overload w.h.p., which the simulator verifies.
 //! 4. Receivers collect their tokens from their helpers via local flooding.
 
-use std::collections::HashMap;
-
 use hybrid_graph::graph::log2_ceil;
 use hybrid_graph::NodeId;
-use hybrid_sim::{derive_seed, Envelope, HybridNet};
+use hybrid_sim::{derive_seed, Envelope, FlatInboxes, HybridNet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,10 +65,13 @@ impl RoutingRates {
 }
 
 /// Result of a routing run.
+///
+/// Node IDs are dense, so deliveries are stored in a flat per-node table
+/// (`delivered[r]` is receiver `r`'s token list) — no hashing on any lookup.
 #[derive(Debug, Clone)]
 pub struct RoutedTokens<T> {
-    /// Tokens delivered per receiver.
-    delivered: HashMap<NodeId, Vec<Token<T>>>,
+    /// Tokens delivered per receiver, indexed by node ID.
+    delivered: Vec<Vec<Token<T>>>,
     /// Helper budgets used.
     pub mu_s: usize,
     /// Helper budgets used.
@@ -82,17 +83,17 @@ pub struct RoutedTokens<T> {
 impl<T> RoutedTokens<T> {
     /// Tokens delivered to `r` (sorted by label).
     pub fn for_receiver(&self, r: NodeId) -> &[Token<T>] {
-        self.delivered.get(&r).map(Vec::as_slice).unwrap_or(&[])
+        self.delivered.get(r.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total tokens delivered.
     pub fn len(&self) -> usize {
-        self.delivered.values().map(Vec::len).sum()
+        self.delivered.iter().map(Vec::len).sum()
     }
 
     /// Whether nothing was delivered.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.delivered.iter().all(Vec::is_empty)
     }
 }
 
@@ -157,7 +158,13 @@ impl RoutingSession {
             crate::helpers::HelperSets::trivial(senders, n)
         };
         let hr = if mu_r > 1 {
-            compute_helpers(net, receivers, mu_r, derive_seed(seed, 2), &format!("{phase}:helpers-r"))
+            compute_helpers(
+                net,
+                receivers,
+                mu_r,
+                derive_seed(seed, 2),
+                &format!("{phase}:helpers-r"),
+            )
         } else {
             crate::helpers::HelperSets::trivial(receivers, n)
         };
@@ -210,7 +217,13 @@ impl RoutingSession {
             crate::helpers::HelperSets::trivial(senders, n)
         };
         let hr = if mu_r > 1 {
-            compute_helpers(net, receivers, mu_r, derive_seed(seed, 2), &format!("{phase}:helpers-r"))
+            compute_helpers(
+                net,
+                receivers,
+                mu_r,
+                derive_seed(seed, 2),
+                &format!("{phase}:helpers-r"),
+            )
         } else {
             crate::helpers::HelperSets::trivial(receivers, n)
         };
@@ -248,35 +261,32 @@ impl RoutingSession {
         let start_rounds = net.rounds();
         let n = net.n();
 
-        // Split off self-addressed tokens; validate label uniqueness.
-        let mut seen = std::collections::HashSet::new();
-        for t in &tokens {
-            if !seen.insert(t.label) {
+        // Validate label uniqueness (sort-based: no hashing on the hot path).
+        let mut label_scratch: Vec<TokenLabel> = tokens.iter().map(|t| t.label).collect();
+        label_scratch.sort_unstable();
+        for w in label_scratch.windows(2) {
+            if w[0] == w[1] {
                 return Err(HybridError::DuplicateTokenLabel {
-                    sender: t.label.s,
-                    receiver: t.label.r,
-                    index: t.label.i,
+                    sender: w[0].s,
+                    receiver: w[0].r,
+                    index: w[0].i,
                 });
             }
         }
-        let mut delivered: HashMap<NodeId, Vec<Token<T>>> = HashMap::new();
-        let (local, routable): (Vec<_>, Vec<_>) =
+        // Split off self-addressed tokens (delivered for free).
+        let mut delivered: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
+        let (local, mut routable): (Vec<_>, Vec<_>) =
             tokens.into_iter().partition(|t| t.label.s == t.label.r);
         for t in local {
-            delivered.entry(t.label.r).or_default().push(t);
+            delivered[t.label.r.index()].push(t);
         }
         if routable.is_empty() {
             finish(&mut delivered);
-            return Ok(RoutedTokens {
-                delivered,
-                mu_s: self.mu_s,
-                mu_r: self.mu_r,
-                rounds: 0,
-            });
+            return Ok(RoutedTokens { delivered, mu_s: self.mu_s, mu_r: self.mu_r, rounds: 0 });
         }
-        let mut per_receiver: HashMap<NodeId, usize> = HashMap::new();
+        let mut per_receiver: Vec<u32> = vec![0; n];
         for t in &routable {
-            *per_receiver.entry(t.label.r).or_default() += 1;
+            per_receiver[t.label.r.index()] += 1;
         }
 
         // Algorithm 3: preparation — balanced round-robin assignment of
@@ -290,31 +300,39 @@ impl RoutingSession {
         }
 
         // Sender side: token j of sender s (sorted by label) goes to helper
-        // hs[s][j mod |H_s|].
-        let mut sender_tokens: HashMap<NodeId, Vec<Token<T>>> = HashMap::new();
-        for t in routable.iter() {
-            sender_tokens.entry(t.label.s).or_default().push(t.clone());
-        }
+        // hs[s][j mod |H_s|]. One sort by label groups the batch by sender
+        // *and* orders each sender's tokens — no per-sender map or re-sort.
+        routable.sort_by_key(|t| t.label);
         let mut helper_tokens: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
-        for (s, mut ts) in sender_tokens {
-            ts.sort_by_key(|t| t.label);
-            let h = self.hs.helpers(s);
-            for (j, t) in ts.into_iter().enumerate() {
-                helper_tokens[h[j % h.len()].index()].push(t);
+        {
+            let mut i = 0;
+            while i < routable.len() {
+                let s = routable[i].label.s;
+                let h = self.hs.helpers(s);
+                let mut j = i;
+                while j < routable.len() && routable[j].label.s == s {
+                    helper_tokens[h[(j - i) % h.len()].index()].push(routable[j].clone());
+                    j += 1;
+                }
+                i = j;
             }
         }
         // Receiver side: expected label j of receiver r goes to helper
-        // hr[r][j mod |H'_r|].
-        let mut receiver_labels: HashMap<NodeId, Vec<TokenLabel>> = HashMap::new();
-        for t in &routable {
-            receiver_labels.entry(t.label.r).or_default().push(t.label);
-        }
+        // hr[r][j mod |H'_r|]. Same trick: sort labels by (receiver, label).
+        let mut rlabels: Vec<TokenLabel> = routable.iter().map(|t| t.label).collect();
+        rlabels.sort_unstable_by_key(|l| (l.r, *l));
         let mut helper_requests: Vec<Vec<TokenLabel>> = (0..n).map(|_| Vec::new()).collect();
-        for (r, mut labels) in receiver_labels.iter().map(|(r, l)| (*r, l.clone())) {
-            labels.sort();
-            let h = self.hr.helpers(r);
-            for (j, lab) in labels.into_iter().enumerate() {
-                helper_requests[h[j % h.len()].index()].push(lab);
+        {
+            let mut i = 0;
+            while i < rlabels.len() {
+                let r = rlabels[i].r;
+                let h = self.hr.helpers(r);
+                let mut j = i;
+                while j < rlabels.len() && rlabels[j].r == r {
+                    helper_requests[h[(j - i) % h.len()].index()].push(rlabels[j]);
+                    j += 1;
+                }
+                i = j;
             }
         }
 
@@ -327,28 +345,42 @@ impl RoutingSession {
             }
         }
         let inboxes = net.drain_queues(&format!("{phase}:to-intermediates"), queues)?;
-        let mut intermediate_store: Vec<HashMap<TokenLabel, T>> =
-            (0..n).map(|_| HashMap::new()).collect();
+        // Intermediate stores: per node a label-sorted vector with `Option`al
+        // payloads (binary-search lookup, `take()` on answer) instead of a
+        // hash map per node.
+        let mut intermediate_store: Vec<Vec<(TokenLabel, Option<T>)>> =
+            (0..n).map(|_| Vec::new()).collect();
         for (v, msgs) in inboxes.into_iter().enumerate() {
-            for (_, t) in msgs {
-                intermediate_store[v].insert(t.label, t.payload);
-            }
+            let store = &mut intermediate_store[v];
+            store.extend(msgs.into_iter().map(|(_, t)| (t.label, Some(t.payload))));
+            store.sort_unstable_by_key(|e| e.0);
         }
 
         // Algorithm 4 phase B: receiver-helpers request labels; intermediates
         // answer in the next round. Requests and responses are interleaved,
-        // each side paced to the send cap.
+        // each side paced to the send cap. The per-round exchanges reuse one
+        // outbox and one flat-inbox arena each — no allocation per round.
         let cap = net.send_cap();
-        let mut req_queues: Vec<Vec<Envelope<TokenLabel>>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let req_phase = format!("{phase}:requests");
+        let resp_phase = format!("{phase}:responses");
+        let mut req_queues: Vec<std::collections::VecDeque<Envelope<TokenLabel>>> =
+            (0..n).map(|_| std::collections::VecDeque::new()).collect();
         for (v, labels) in helper_requests.iter().enumerate() {
             for &lab in labels {
-                req_queues[v].push(Envelope::new(NodeId::new(v), self.hash.node_for(lab), lab));
+                req_queues[v].push_back(Envelope::new(
+                    NodeId::new(v),
+                    self.hash.node_for(lab),
+                    lab,
+                ));
             }
         }
-        let mut resp_queues: Vec<Vec<Envelope<Token<T>>>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut resp_queues: Vec<std::collections::VecDeque<Envelope<Token<T>>>> =
+            (0..n).map(|_| std::collections::VecDeque::new()).collect();
         let mut helper_received: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut req_outbox: Vec<Envelope<TokenLabel>> = Vec::new();
+        let mut req_flat: FlatInboxes<TokenLabel> = FlatInboxes::new();
+        let mut resp_outbox: Vec<Envelope<Token<T>>> = Vec::new();
+        let mut resp_flat: FlatInboxes<Token<T>> = FlatInboxes::new();
         loop {
             let any_req = req_queues.iter().any(|q| !q.is_empty());
             let any_resp = resp_queues.iter().any(|q| !q.is_empty());
@@ -356,18 +388,20 @@ impl RoutingSession {
                 break;
             }
             if any_req {
-                let mut outbox = Vec::new();
+                req_outbox.clear();
                 for q in req_queues.iter_mut() {
                     let take = cap.min(q.len());
-                    outbox.extend(q.drain(..take));
+                    req_outbox.extend(q.drain(..take));
                 }
-                let inboxes = net.exchange(&format!("{phase}:requests"), outbox)?;
-                for (mid, msgs) in inboxes.into_iter().enumerate() {
-                    for (requester, lab) in msgs {
-                        let payload = intermediate_store[mid]
-                            .remove(&lab)
+                net.exchange_into(&req_phase, &mut req_outbox, &mut req_flat)?;
+                for (mid, msgs) in req_flat.iter() {
+                    let store = &mut intermediate_store[mid];
+                    for &(requester, lab) in msgs {
+                        let idx = store
+                            .binary_search_by_key(&lab, |e| e.0)
                             .expect("request must follow the token (same hash)");
-                        resp_queues[mid].push(Envelope::new(
+                        let payload = store[idx].1.take().expect("token answered once");
+                        resp_queues[mid].push_back(Envelope::new(
                             NodeId::new(mid),
                             requester,
                             Token { label: lab, payload },
@@ -376,17 +410,13 @@ impl RoutingSession {
                 }
             }
             if resp_queues.iter().any(|q| !q.is_empty()) {
-                let mut outbox = Vec::new();
+                resp_outbox.clear();
                 for q in resp_queues.iter_mut() {
                     let take = cap.min(q.len());
-                    outbox.extend(q.drain(..take));
+                    resp_outbox.extend(q.drain(..take));
                 }
-                let inboxes = net.exchange(&format!("{phase}:responses"), outbox)?;
-                for (v, msgs) in inboxes.into_iter().enumerate() {
-                    for (_, t) in msgs {
-                        helper_received[v].push(t);
-                    }
-                }
+                net.exchange_into(&resp_phase, &mut resp_outbox, &mut resp_flat)?;
+                resp_flat.drain_into(|v, (_, t)| helper_received[v].push(t));
             }
         }
 
@@ -398,21 +428,22 @@ impl RoutingSession {
         }
         for ts in helper_received {
             for t in ts {
-                delivered.entry(t.label.r).or_default().push(t);
+                delivered[t.label.r.index()].push(t);
             }
         }
 
         // Completeness guard.
-        for (r, expected) in &per_receiver {
-            let got = delivered.get(r).map(|v| v.len()).unwrap_or(0);
-            let local_extra = delivered
-                .get(r)
-                .map(|v| v.iter().filter(|t| t.label.s == t.label.r).count())
-                .unwrap_or(0);
-            if got - local_extra != *expected {
+        for r in 0..n {
+            let expected = per_receiver[r] as usize;
+            if expected == 0 {
+                continue;
+            }
+            let got = delivered[r].len();
+            let local_extra = delivered[r].iter().filter(|t| t.label.s == t.label.r).count();
+            if got - local_extra != expected {
                 return Err(HybridError::MissingTokens {
-                    receiver: *r,
-                    expected: *expected,
+                    receiver: NodeId::new(r),
+                    expected,
                     got: got - local_extra,
                 });
             }
@@ -459,16 +490,17 @@ pub fn route_tokens<T: Clone>(
     phase: &str,
 ) -> Result<RoutedTokens<T>, HybridError> {
     let start_rounds = net.rounds();
-    let mut per_sender: HashMap<NodeId, usize> = HashMap::new();
-    let mut per_receiver: HashMap<NodeId, usize> = HashMap::new();
+    let n = net.n();
+    let mut per_sender: Vec<u32> = vec![0; n];
+    let mut per_receiver: Vec<u32> = vec![0; n];
     for t in &tokens {
         if t.label.s != t.label.r {
-            *per_sender.entry(t.label.s).or_default() += 1;
-            *per_receiver.entry(t.label.r).or_default() += 1;
+            per_sender[t.label.s.index()] += 1;
+            per_receiver[t.label.r.index()] += 1;
         }
     }
-    let k_s = per_sender.values().copied().max().unwrap_or(0);
-    let k_r = per_receiver.values().copied().max().unwrap_or(0);
+    let k_s = per_sender.iter().copied().max().unwrap_or(0) as usize;
+    let k_r = per_receiver.iter().copied().max().unwrap_or(0) as usize;
     if k_s == 0 {
         // Nothing to route globally (possibly self-addressed tokens only).
         let session = RoutingSession {
@@ -482,21 +514,22 @@ pub fn route_tokens<T: Clone>(
         };
         return session.route(net, tokens, phase);
     }
-    let session =
-        RoutingSession::establish(net, senders, receivers, rates, k_s, k_r, seed, phase)?;
+    let session = RoutingSession::establish(net, senders, receivers, rates, k_s, k_r, seed, phase)?;
     let mut routed = session.route(net, tokens, phase)?;
     routed.rounds = net.rounds() - start_rounds;
     Ok(routed)
 }
 
-fn finish<T>(delivered: &mut HashMap<NodeId, Vec<Token<T>>>) {
-    for v in delivered.values_mut() {
+fn finish<T>(delivered: &mut [Vec<Token<T>>]) {
+    for v in delivered.iter_mut() {
         v.sort_by_key(|t| t.label);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use hybrid_graph::generators::{erdos_renyi_connected, grid, path};
     use hybrid_graph::Graph;
@@ -522,7 +555,12 @@ mod tests {
         for &s in &senders {
             for i in 0..per {
                 let r = receivers[rng.gen_range(0..nr)];
-                tokens.push(Token::new(s, r, (s.raw() << 8) + i as u32, s.raw() as u64 * 1000 + i as u64));
+                tokens.push(Token::new(
+                    s,
+                    r,
+                    (s.raw() << 8) + i as u32,
+                    s.raw() as u64 * 1000 + i as u64,
+                ));
             }
         }
         (tokens, senders, receivers)
@@ -682,8 +720,7 @@ mod tests {
         let rates = RoutingRates { p_s: 10.0 / 120.0, p_r: 10.0 / 120.0 };
 
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let session =
-            RoutingSession::establish(&mut net, &s, &r, rates, 8, 10, 3, "tr").unwrap();
+        let session = RoutingSession::establish(&mut net, &s, &r, rates, 8, 10, 3, "tr").unwrap();
         let setup = net.rounds();
         let first = session.route(&mut net, tokens.clone(), "tr").unwrap();
         verify_delivery(&tokens, &first);
@@ -700,10 +737,8 @@ mod tests {
         let (tokens, s, r) = instance(&g, 8, 8, 5, 9);
         for mu in [1usize, 2, 5] {
             let mut net = HybridNet::new(&g, HybridConfig::default());
-            let session = RoutingSession::establish_with_budgets(
-                &mut net, &s, &r, mu, mu, 11, "tr",
-            )
-            .unwrap();
+            let session =
+                RoutingSession::establish_with_budgets(&mut net, &s, &r, mu, mu, 11, "tr").unwrap();
             assert_eq!(session.budgets(), (mu, mu));
             let routed = session.route(&mut net, tokens.clone(), "tr").unwrap();
             verify_delivery(&tokens, &routed);
@@ -718,16 +753,8 @@ mod tests {
         let g = erdos_renyi_connected(150, 0.04, 1, &mut rng).unwrap();
         let (tokens, s, r) = instance(&g, 12, 12, 6, 6);
         let mut net = HybridNet::new(&g, HybridConfig::strict());
-        route_tokens(
-            &mut net,
-            tokens,
-            &s,
-            &r,
-            RoutingRates { p_s: 0.08, p_r: 0.08 },
-            13,
-            "tr",
-        )
-        .unwrap();
+        route_tokens(&mut net, tokens, &s, &r, RoutingRates { p_s: 0.08, p_r: 0.08 }, 13, "tr")
+            .unwrap();
         assert!(net.metrics().max_recv_load <= net.recv_cap());
     }
 }

@@ -4,7 +4,7 @@
 //! APSP / k-SSP / diameter algorithms (§3–§5 of the paper) and the "paper column"
 //! in the experiment tables.
 
-use crate::dijkstra::dijkstra;
+use crate::dijkstra::{dijkstra, par_dist_rows, par_map_dist_rows};
 use crate::dist::{Distance, INFINITY};
 use crate::graph::Graph;
 use crate::ids::NodeId;
@@ -51,6 +51,22 @@ impl DistanceMatrix {
     /// Row of distances from `u`, indexed by node.
     pub fn row(&self, u: NodeId) -> &[Distance] {
         &self.dist[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// Mutable row of distances from `u`, indexed by node.
+    pub fn row_mut(&mut self, u: NodeId) -> &mut [Distance] {
+        &mut self.dist[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// The whole matrix as a flat row-major slice (`n * n` entries) — the
+    /// direct-write target of the parallel multi-source Dijkstra drivers.
+    pub fn as_flat_mut(&mut self) -> &mut [Distance] {
+        &mut self.dist
+    }
+
+    /// The whole matrix as a flat row-major slice.
+    pub fn as_flat(&self) -> &[Distance] {
+        &self.dist
     }
 
     /// Largest finite entry (the weighted diameter if the graph is connected).
@@ -135,15 +151,12 @@ pub fn follow_route(
     (cur == v).then_some(path)
 }
 
-/// Exact APSP via `n` Dijkstra runs.
+/// Exact APSP via `n` Dijkstra runs — parallelized across cores, rows written
+/// directly into the flat matrix (see [`crate::dijkstra::par_dist_rows`]).
 pub fn apsp(g: &Graph) -> DistanceMatrix {
     let mut m = DistanceMatrix::new(g.len());
-    for v in g.nodes() {
-        let sp = dijkstra(g, v);
-        for u in g.nodes() {
-            m.set(v, u, sp.dist(u));
-        }
-    }
+    let sources: Vec<NodeId> = g.nodes().collect();
+    par_dist_rows(g, &sources, m.as_flat_mut());
     m
 }
 
@@ -162,21 +175,30 @@ pub fn eccentricity(g: &Graph, v: NodeId) -> Distance {
     ecc
 }
 
+/// All weighted eccentricities, one parallel Dijkstra per node (no `n × n`
+/// matrix is materialized): `out[v] = e(v)`, [`INFINITY`] where `v` does not
+/// reach every node.
+pub fn eccentricities(g: &Graph) -> Vec<Distance> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    par_map_dist_rows(g, &sources, |_, _, dist| {
+        let mut ecc = 0;
+        for &d in dist {
+            if d == INFINITY {
+                return INFINITY;
+            }
+            ecc = ecc.max(d);
+        }
+        ecc
+    })
+}
+
 /// Weighted diameter `max_{u,v} d(u, v)`; [`INFINITY`] for disconnected graphs.
 ///
 /// Note the paper defines `D(G)` over *hop* distances (see
 /// [`crate::bfs::unweighted_diameter`]); the weighted diameter is what the weighted
 /// lower bound of §7 (Lemma 7.1) argues about.
 pub fn weighted_diameter(g: &Graph) -> Distance {
-    let mut best = 0;
-    for v in g.nodes() {
-        let e = eccentricity(g, v);
-        if e == INFINITY {
-            return INFINITY;
-        }
-        best = best.max(e);
-    }
-    best
+    eccentricities(g).into_iter().max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -236,6 +258,16 @@ mod tests {
         approx.set(NodeId::new(0), NodeId::new(2), 3); // exact 2, approx 3
         let r = approx.max_ratio_vs(&exact);
         assert!((r - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eccentricities_match_per_node_computation() {
+        let g = cycle(11, 3).unwrap();
+        let all = eccentricities(&g);
+        for v in g.nodes() {
+            assert_eq!(all[v.index()], eccentricity(&g, v));
+        }
+        assert_eq!(weighted_diameter(&g), all.into_iter().max().unwrap());
     }
 
     #[test]

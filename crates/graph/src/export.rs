@@ -75,15 +75,11 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
 /// # Errors
 ///
 /// Propagates [`GraphError`] (e.g. an empty node set).
-pub fn induced_subgraph(
-    g: &Graph,
-    nodes: &[NodeId],
-) -> Result<(Graph, Vec<NodeId>), GraphError> {
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
     let mut sorted: Vec<NodeId> = nodes.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    let index: HashMap<NodeId, usize> =
-        sorted.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<NodeId, usize> = sorted.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut b = GraphBuilder::new(sorted.len());
     for e in g.edges() {
         if let (Some(&u), Some(&v)) = (index.get(&e.u), index.get(&e.v)) {

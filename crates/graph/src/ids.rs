@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node in the local communication graph `G`.
 ///
 /// IDs are dense: a graph on `n` nodes uses exactly the IDs `0..n`. The ID is public
@@ -23,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 7);
 /// assert_eq!(format!("{v}"), "v7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+// NOTE: serde derives are intentionally absent — the build environment is
+// offline and the only consumer (JSON export) writes its own serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -296,10 +296,10 @@ impl GammaGraph {
         }
         // ℓ-hop weight-1 paths: one per matched pair, one between the hubs.
         let add_path = |bld: &mut GraphBuilder,
-                            column: &mut Vec<usize>,
-                            from: NodeId,
-                            to: NodeId,
-                            interior: Vec<NodeId>|
+                        column: &mut Vec<usize>,
+                        from: NodeId,
+                        to: NodeId,
+                        interior: Vec<NodeId>|
          -> Result<(), GraphError> {
             let mut prev = from;
             for (step, &mid) in interior.iter().enumerate() {
@@ -411,9 +411,8 @@ mod tests {
 
     #[test]
     fn disjointness_detection() {
-        let d = SetDisjointness::new(vec![true, false, false, false], vec![
-            false, true, true, false,
-        ]);
+        let d =
+            SetDisjointness::new(vec![true, false, false, false], vec![false, true, true, false]);
         assert!(d.is_disjoint());
         assert_eq!(d.k(), 2);
         let nd =
@@ -476,8 +475,7 @@ mod tests {
         let g = GammaGraph::build(inst, 3, 7).unwrap();
         // Column = hop distance from the first column, verified by BFS from v_hat's
         // column-0 peers.
-        let sources: Vec<NodeId> =
-            g.v1.iter().chain(&g.v2).copied().chain([g.v_hat]).collect();
+        let sources: Vec<NodeId> = g.v1.iter().chain(&g.v2).copied().chain([g.v_hat]).collect();
         let res = crate::bfs::multi_source_bfs(&g.graph, &sources);
         for v in g.graph.nodes() {
             assert_eq!(res[v.index()].1 as usize, g.column[v.index()], "node {v}");

@@ -93,8 +93,7 @@ impl Skeleton {
         rng: &mut R,
     ) -> Result<Self, GraphError> {
         let p = params.sampling_probability();
-        let mut picked: Vec<NodeId> =
-            g.nodes().filter(|_| rng.gen_bool(p)).collect();
+        let mut picked: Vec<NodeId> = g.nodes().filter(|_| rng.gen_bool(p)).collect();
         picked.extend_from_slice(forced);
         if picked.is_empty() {
             picked.push(NodeId::new(rng.gen_range(0..g.len())));
@@ -322,8 +321,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = path(20, 1).unwrap();
         let forced = NodeId::new(13);
-        let s = Skeleton::build(&g, SkeletonParams::scaled(5.0, 1.0), &[forced], &mut rng)
-            .unwrap();
+        let s = Skeleton::build(&g, SkeletonParams::scaled(5.0, 1.0), &[forced], &mut rng).unwrap();
         assert!(s.contains(forced));
         assert_eq!(s.global(s.local_index(forced).unwrap()), forced);
     }

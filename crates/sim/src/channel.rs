@@ -1,4 +1,4 @@
-//! Message envelopes for the global (NCC) channel.
+//! Message envelopes and inbox containers for the global (NCC) channel.
 
 use hybrid_graph::NodeId;
 
@@ -29,6 +29,115 @@ impl<M> Envelope<M> {
 /// (sorted by sender, then arrival order).
 pub type Inboxes<M> = Vec<Vec<(NodeId, M)>>;
 
+/// Arena-style inboxes: all delivered messages of one exchange in a single
+/// contiguous buffer, grouped by destination, plus per-destination boundaries.
+///
+/// This is the allocation-free counterpart of [`Inboxes`]: the buffer is owned
+/// by the caller and reused across exchanges ([`FlatInboxes::clear`] keeps
+/// capacity), so a steady-state [`crate::HybridNet::exchange_into`] performs no
+/// heap allocation at all. The ordering contract is identical: within each
+/// destination, messages are sorted by `(sender, insertion order)`.
+#[derive(Debug, Clone, Default)]
+pub struct FlatInboxes<M> {
+    /// All `(sender, message)` pairs, grouped by destination.
+    msgs: Vec<(NodeId, M)>,
+    /// `starts[v]..starts[v + 1]` delimits destination `v`'s slice of `msgs`
+    /// (`n + 1` entries once populated; empty before the first exchange).
+    starts: Vec<usize>,
+}
+
+impl<M> FlatInboxes<M> {
+    /// Creates an empty container (no capacity reserved yet).
+    pub fn new() -> Self {
+        FlatInboxes { msgs: Vec::new(), starts: Vec::new() }
+    }
+
+    /// Number of destinations the last exchange delivered to (the network
+    /// size), or 0 before the first exchange.
+    pub fn num_nodes(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Total delivered messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no message was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// The messages delivered to node `v`, sorted by `(sender, insertion
+    /// order)`. Empty for nodes beyond the last exchange's network size.
+    pub fn node(&self, v: usize) -> &[(NodeId, M)] {
+        if v + 1 < self.starts.len() {
+            &self.msgs[self.starts[v]..self.starts[v + 1]]
+        } else {
+            &[]
+        }
+    }
+
+    /// The messages delivered to `v` (see [`FlatInboxes::node`]).
+    pub fn for_node(&self, v: NodeId) -> &[(NodeId, M)] {
+        self.node(v.index())
+    }
+
+    /// Iterates `(destination, &[messages])` over all non-empty destinations.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[(NodeId, M)])> {
+        (0..self.num_nodes()).map(move |v| (v, self.node(v))).filter(|(_, m)| !m.is_empty())
+    }
+
+    /// Empties the container, keeping both buffers' capacity for reuse.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+        self.starts.clear();
+    }
+
+    /// Drains every message, invoking `f(destination, (sender, message))` in
+    /// delivery order. Keeps capacity (the container is empty afterwards).
+    pub fn drain_into(&mut self, mut f: impl FnMut(usize, (NodeId, M))) {
+        let starts = std::mem::take(&mut self.starts);
+        if starts.is_empty() {
+            debug_assert!(self.msgs.is_empty());
+            self.starts = starts;
+            return;
+        }
+        let mut dst = 0usize;
+        for (i, pair) in self.msgs.drain(..).enumerate() {
+            while starts[dst + 1] <= i {
+                dst += 1;
+            }
+            f(dst, pair);
+        }
+        // Hand the (now stale) boundary buffer back for reuse.
+        self.starts = starts;
+        self.starts.clear();
+    }
+
+    /// Converts into the nested [`Inboxes`] representation (allocates — the
+    /// compatibility path used by [`crate::HybridNet::exchange`]).
+    pub fn into_inboxes(mut self) -> Inboxes<M> {
+        let n = self.num_nodes();
+        let mut out: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        self.drain_into(|dst, pair| out[dst].push(pair));
+        out
+    }
+
+    /// Direct access to the underlying buffers: `(msgs, starts)`.
+    ///
+    /// `starts` has `n + 1` entries; destination `v` owns
+    /// `msgs[starts[v]..starts[v + 1]]`.
+    pub fn as_parts(&self) -> (&[(NodeId, M)], &[usize]) {
+        (&self.msgs, &self.starts)
+    }
+
+    /// Internal: mutable access for the exchange engine.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<(NodeId, M)>, &mut Vec<usize>) {
+        (&mut self.msgs, &mut self.starts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +148,55 @@ mod tests {
         assert_eq!(e.src, NodeId::new(1));
         assert_eq!(e.dst, NodeId::new(2));
         assert_eq!(e.msg, "hi");
+    }
+
+    #[test]
+    fn flat_inboxes_roundtrip() {
+        let mut f = FlatInboxes::new();
+        {
+            let (msgs, starts) = f.parts_mut();
+            msgs.push((NodeId::new(2), 'a'));
+            msgs.push((NodeId::new(5), 'b'));
+            msgs.push((NodeId::new(0), 'c'));
+            starts.extend_from_slice(&[0, 0, 2, 3, 3]); // n = 4
+        }
+        assert_eq!(f.num_nodes(), 4);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.node(0), &[]);
+        assert_eq!(f.node(1), &[(NodeId::new(2), 'a'), (NodeId::new(5), 'b')]);
+        assert_eq!(f.for_node(NodeId::new(2)), &[(NodeId::new(0), 'c')]);
+        assert_eq!(f.node(99), &[]);
+        let pairs: Vec<(usize, usize)> = f.iter().map(|(v, m)| (v, m.len())).collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 1)]);
+        let nested = f.into_inboxes();
+        assert_eq!(nested.len(), 4);
+        assert_eq!(nested[1], vec![(NodeId::new(2), 'a'), (NodeId::new(5), 'b')]);
+        assert_eq!(nested[3], vec![]);
+    }
+
+    #[test]
+    fn drain_into_empties_but_keeps_capacity() {
+        let mut f = FlatInboxes::new();
+        {
+            let (msgs, starts) = f.parts_mut();
+            msgs.push((NodeId::new(1), 10u32));
+            msgs.push((NodeId::new(2), 20u32));
+            starts.extend_from_slice(&[0, 1, 2]);
+        }
+        let cap_before = f.msgs.capacity();
+        let mut seen = Vec::new();
+        f.drain_into(|dst, (src, m)| seen.push((dst, src.index(), m)));
+        assert_eq!(seen, vec![(0, 1, 10), (1, 2, 20)]);
+        assert!(f.is_empty());
+        assert_eq!(f.num_nodes(), 0);
+        assert_eq!(f.msgs.capacity(), cap_before);
+    }
+
+    #[test]
+    fn drain_on_fresh_container_is_noop() {
+        let mut f: FlatInboxes<u8> = FlatInboxes::new();
+        let mut called = false;
+        f.drain_into(|_, _| called = true);
+        assert!(!called);
     }
 }

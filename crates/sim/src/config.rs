@@ -41,7 +41,11 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { send_cap_factor: 1.0, recv_cap_factor: 4.0, overflow: OverflowPolicy::Stretch }
+        HybridConfig {
+            send_cap_factor: 1.0,
+            recv_cap_factor: 4.0,
+            overflow: OverflowPolicy::Stretch,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ mod tests {
 
     #[test]
     fn caps_never_zero() {
-        let c = HybridConfig { send_cap_factor: 0.01, recv_cap_factor: 0.01, overflow: OverflowPolicy::Fail };
+        let c = HybridConfig {
+            send_cap_factor: 0.01,
+            recv_cap_factor: 0.01,
+            overflow: OverflowPolicy::Fail,
+        };
         assert_eq!(c.send_cap(4), 1);
         assert_eq!(c.recv_cap(4), 1);
     }

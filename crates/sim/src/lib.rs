@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod net;
 pub mod rng;
 
-pub use channel::{Envelope, Inboxes};
+pub use channel::{Envelope, FlatInboxes, Inboxes};
 pub use config::{HybridConfig, OverflowPolicy};
 pub use metrics::{Metrics, PhaseStats};
 pub use net::{HybridNet, SimError};

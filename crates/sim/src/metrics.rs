@@ -47,11 +47,21 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Looks up (or interns) the per-phase entry. A known phase label costs a
+    /// map lookup and **no allocation** — this keeps the per-exchange hot path
+    /// of [`crate::HybridNet::exchange_into`] allocation-free in steady state.
+    fn phase_entry(&mut self, phase: &str) -> &mut PhaseStats {
+        if !self.phases.contains_key(phase) {
+            self.phases.insert(phase.to_string(), PhaseStats::default());
+        }
+        self.phases.get_mut(phase).expect("just interned")
+    }
+
     /// Records `rounds` local rounds under `phase`.
     pub(crate) fn charge_local(&mut self, rounds: u64, phase: &str) {
         self.rounds += rounds;
         self.local_rounds += rounds;
-        self.phases.entry(phase.to_string()).or_default().rounds += rounds;
+        self.phase_entry(phase).rounds += rounds;
     }
 
     /// Records a global exchange: `rounds` rounds, `messages` messages.
@@ -59,7 +69,7 @@ impl Metrics {
         self.rounds += rounds;
         self.global_rounds += rounds;
         self.global_messages += messages;
-        let e = self.phases.entry(phase.to_string()).or_default();
+        let e = self.phase_entry(phase);
         e.rounds += rounds;
         e.messages += messages;
         if rounds > 1 {
@@ -72,7 +82,7 @@ impl Metrics {
     pub(crate) fn charge_global_rounds_only(&mut self, rounds: u64, phase: &str) {
         self.rounds += rounds;
         self.global_rounds += rounds;
-        self.phases.entry(phase.to_string()).or_default().rounds += rounds;
+        self.phase_entry(phase).rounds += rounds;
     }
 
     /// Records one node's receive load in an exchange.
@@ -92,7 +102,11 @@ impl Metrics {
     pub fn render_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "rounds: {} (local {}, global {})", self.rounds, self.local_rounds, self.global_rounds);
+        let _ = writeln!(
+            out,
+            "rounds: {} (local {}, global {})",
+            self.rounds, self.local_rounds, self.global_rounds
+        );
         let _ = writeln!(
             out,
             "global messages: {} (max send load {}, max recv load {}, stretched exchanges {})",

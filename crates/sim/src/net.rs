@@ -1,11 +1,21 @@
 //! The simulated HYBRID network: round clock, local-phase accounting, and the
 //! congestion-enforcing global channel.
+//!
+//! # Hot path
+//!
+//! [`HybridNet::exchange_into`] is the steady-state-allocation-free engine
+//! behind every global communication step: per-node send/receive counters live
+//! in a persistent scratch arena, message placement is a two-pass counting
+//! sort (stable radix by sender then destination — `O(m + n)` instead of the
+//! former `O(m log m)` comparison sort), and delivered messages land in a
+//! caller-reused [`FlatInboxes`] arena. The nested-`Vec` [`HybridNet::exchange`]
+//! remains as a convenience wrapper with identical observable behavior.
 
 use std::fmt;
 
 use hybrid_graph::{Graph, NodeId};
 
-use crate::channel::{Envelope, Inboxes};
+use crate::channel::{Envelope, FlatInboxes, Inboxes};
 use crate::config::{HybridConfig, OverflowPolicy};
 use crate::metrics::Metrics;
 
@@ -59,6 +69,38 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Persistent per-net scratch buffers for the exchange engine. Sized once for
+/// `n` at construction; the permutation buffers grow to the largest batch seen
+/// and are reused afterwards, so steady-state exchanges never allocate.
+#[derive(Debug, Default)]
+struct ExchangeScratch {
+    /// Per-node send counters (reused each exchange).
+    sent: Vec<u32>,
+    /// Per-node receive counters (reused each exchange).
+    recv: Vec<u32>,
+    /// Counting-sort offsets, `n + 1` entries.
+    offs: Vec<u32>,
+    /// First-pass permutation (message indices stable-sorted by sender).
+    perm1: Vec<u32>,
+    /// Second-pass permutation (then stable-sorted by destination).
+    perm2: Vec<u32>,
+    /// Per-destination budget bookkeeping for [`HybridNet::drain_queues`].
+    drain_recv: Vec<u32>,
+}
+
+impl ExchangeScratch {
+    fn for_n(n: usize) -> Self {
+        ExchangeScratch {
+            sent: vec![0; n],
+            recv: vec![0; n],
+            offs: vec![0; n + 1],
+            perm1: Vec::new(),
+            perm2: Vec::new(),
+            drain_recv: vec![0; n],
+        }
+    }
+}
+
 /// A simulated HYBRID network over a fixed local graph.
 ///
 /// See the crate docs for the fidelity contract: global messages are routed and
@@ -69,12 +111,19 @@ pub struct HybridNet<'g> {
     config: HybridConfig,
     metrics: Metrics,
     cut: Option<Vec<bool>>,
+    scratch: ExchangeScratch,
 }
 
 impl<'g> HybridNet<'g> {
     /// Creates a network over `graph`.
     pub fn new(graph: &'g Graph, config: HybridConfig) -> Self {
-        HybridNet { graph, config, metrics: Metrics::new(), cut: None }
+        HybridNet {
+            graph,
+            config,
+            metrics: Metrics::new(),
+            cut: None,
+            scratch: ExchangeScratch::for_n(graph.len()),
+        }
     }
 
     /// The local communication graph.
@@ -158,13 +207,160 @@ impl<'g> HybridNet<'g> {
         self.metrics.charge_global_rounds_only(rounds, phase);
     }
 
+    /// Performs one global-mode communication step, delivering `outbox` into
+    /// the reusable arena `out` subject to the NCC caps.
+    ///
+    /// This is the zero-allocation engine: with warmed buffers (same network,
+    /// batch sizes no larger than previously seen, phase label already known to
+    /// the metrics) a call performs **no heap allocation**. `outbox` is left
+    /// empty with its capacity intact so callers can refill it for the next
+    /// step; on error it is left untouched.
+    ///
+    /// Semantics are identical to [`HybridNet::exchange`]: under
+    /// [`OverflowPolicy::Stretch`] the step is charged
+    /// `max(1, ⌈max_v sent_v / send_cap⌉, ⌈max_v recv_v / recv_cap⌉)` rounds;
+    /// under [`OverflowPolicy::Fail`] any cap violation is an error. Inboxes
+    /// are grouped by destination and sorted by `(sender, insertion order)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] for a bad endpoint; cap violations under
+    /// [`OverflowPolicy::Fail`].
+    pub fn exchange_into<M>(
+        &mut self,
+        phase: &str,
+        outbox: &mut Vec<Envelope<M>>,
+        out: &mut FlatInboxes<M>,
+    ) -> Result<(), SimError> {
+        let n = self.graph.len();
+        let send_cap = self.send_cap();
+        let recv_cap = self.recv_cap();
+        let m = outbox.len();
+        out.clear();
+
+        // Count per-node loads (and validate addresses) into the scratch arena.
+        let scratch = &mut self.scratch;
+        scratch.sent[..n].fill(0);
+        scratch.recv[..n].fill(0);
+        for e in outbox.iter() {
+            if e.dst.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.dst, n });
+            }
+            if e.src.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.src, n });
+            }
+            scratch.sent[e.src.index()] += 1;
+            scratch.recv[e.dst.index()] += 1;
+        }
+
+        let mut rounds_needed = 1u64;
+        for v in 0..n {
+            if scratch.sent[v] as usize > send_cap {
+                match self.config.overflow {
+                    OverflowPolicy::Fail => {
+                        return Err(SimError::SendCapExceeded {
+                            node: NodeId::new(v),
+                            sent: scratch.sent[v] as usize,
+                            cap: send_cap,
+                        });
+                    }
+                    OverflowPolicy::Stretch => {
+                        rounds_needed =
+                            rounds_needed.max((scratch.sent[v] as usize).div_ceil(send_cap) as u64);
+                    }
+                }
+            }
+            if scratch.recv[v] as usize > recv_cap {
+                match self.config.overflow {
+                    OverflowPolicy::Fail => {
+                        return Err(SimError::RecvCapExceeded {
+                            node: NodeId::new(v),
+                            received: scratch.recv[v] as usize,
+                            cap: recv_cap,
+                        });
+                    }
+                    OverflowPolicy::Stretch => {
+                        rounds_needed =
+                            rounds_needed.max((scratch.recv[v] as usize).div_ceil(recv_cap) as u64);
+                    }
+                }
+            }
+        }
+
+        // Metrics: loads, cut traffic.
+        let max_sent = scratch.sent[..n].iter().copied().max().unwrap_or(0) as usize;
+        self.metrics.max_send_load = self.metrics.max_send_load.max(max_sent);
+        for v in 0..n {
+            if scratch.recv[v] > 0 {
+                self.metrics.record_recv_load(scratch.recv[v] as usize);
+            }
+        }
+        if let Some(side) = &self.cut {
+            let crossing =
+                outbox.iter().filter(|e| side[e.src.index()] != side[e.dst.index()]).count();
+            self.metrics.cut_messages += crossing as u64;
+        }
+        self.metrics.charge_global(rounds_needed, m as u64, phase);
+
+        // Deliver: stable two-pass counting sort by (dst, src, insertion order)
+        // — radix pass 1 orders by sender, pass 2 groups by destination; both
+        // are stable, so the result matches a stable comparison sort on
+        // `(dst, src)` exactly.
+        let offs = &mut scratch.offs;
+        offs[..=n].fill(0);
+        for e in outbox.iter() {
+            offs[e.src.index() + 1] += 1;
+        }
+        for v in 0..n {
+            offs[v + 1] += offs[v];
+        }
+        scratch.perm1.clear();
+        scratch.perm1.resize(m, 0);
+        for (i, e) in outbox.iter().enumerate() {
+            let s = e.src.index();
+            scratch.perm1[offs[s] as usize] = i as u32;
+            offs[s] += 1;
+        }
+
+        offs[..=n].fill(0);
+        for e in outbox.iter() {
+            offs[e.dst.index() + 1] += 1;
+        }
+        for v in 0..n {
+            offs[v + 1] += offs[v];
+        }
+        let (msgs, starts) = out.parts_mut();
+        starts.clear();
+        starts.extend(offs[..=n].iter().map(|&o| o as usize));
+        scratch.perm2.clear();
+        scratch.perm2.resize(m, 0);
+        for &i in &scratch.perm1 {
+            let d = outbox[i as usize].dst.index();
+            scratch.perm2[offs[d] as usize] = i;
+            offs[d] += 1;
+        }
+
+        // Move the payloads out of `outbox` in permuted order without cloning.
+        // SAFETY: `perm2` is a permutation of `0..m`, so each element is read
+        // exactly once; the length is zeroed first so a panic cannot cause a
+        // double drop (elements would leak, never free twice).
+        msgs.reserve(m);
+        unsafe {
+            let base = outbox.as_ptr();
+            outbox.set_len(0);
+            for &i in &scratch.perm2 {
+                let e = std::ptr::read(base.add(i as usize));
+                msgs.push((e.src, e.msg));
+            }
+        }
+        Ok(())
+    }
+
     /// Performs one global-mode communication step: delivers `outbox` subject to
     /// the NCC caps.
     ///
-    /// Under [`OverflowPolicy::Stretch`] the step is charged
-    /// `max(1, ⌈max_v sent_v / send_cap⌉, ⌈max_v recv_v / recv_cap⌉)` rounds —
-    /// the honest time a capacitated network needs for the batch. Under
-    /// [`OverflowPolicy::Fail`] any cap violation is an error.
+    /// Convenience wrapper over [`HybridNet::exchange_into`] returning nested
+    /// per-node inboxes (allocates; hot paths use the arena API directly).
     ///
     /// Inboxes are sorted by `(sender, insertion order)` for determinism.
     ///
@@ -177,81 +373,31 @@ impl<'g> HybridNet<'g> {
         phase: &str,
         outbox: Vec<Envelope<M>>,
     ) -> Result<Inboxes<M>, SimError> {
-        let n = self.graph.len();
-        let send_cap = self.send_cap();
-        let recv_cap = self.recv_cap();
-        let mut sent = vec![0usize; n];
-        let mut recv = vec![0usize; n];
-        for e in &outbox {
-            if e.dst.index() >= n {
-                return Err(SimError::AddressOutOfRange { node: e.dst, n });
-            }
-            if e.src.index() >= n {
-                return Err(SimError::AddressOutOfRange { node: e.src, n });
-            }
-            sent[e.src.index()] += 1;
-            recv[e.dst.index()] += 1;
-        }
-        let mut rounds_needed = 1u64;
-        for v in 0..n {
-            if sent[v] > send_cap {
-                match self.config.overflow {
-                    OverflowPolicy::Fail => {
-                        return Err(SimError::SendCapExceeded {
-                            node: NodeId::new(v),
-                            sent: sent[v],
-                            cap: send_cap,
-                        });
-                    }
-                    OverflowPolicy::Stretch => {
-                        rounds_needed = rounds_needed.max(sent[v].div_ceil(send_cap) as u64);
-                    }
-                }
-            }
-            if recv[v] > recv_cap {
-                match self.config.overflow {
-                    OverflowPolicy::Fail => {
-                        return Err(SimError::RecvCapExceeded {
-                            node: NodeId::new(v),
-                            received: recv[v],
-                            cap: recv_cap,
-                        });
-                    }
-                    OverflowPolicy::Stretch => {
-                        rounds_needed = rounds_needed.max(recv[v].div_ceil(recv_cap) as u64);
-                    }
-                }
-            }
-        }
-        // Metrics: loads, cut traffic.
-        let max_sent = sent.iter().copied().max().unwrap_or(0);
-        self.metrics.max_send_load = self.metrics.max_send_load.max(max_sent);
-        for v in 0..n {
-            if recv[v] > 0 {
-                self.metrics.record_recv_load(recv[v]);
-            }
-        }
-        if let Some(side) = &self.cut {
-            let crossing =
-                outbox.iter().filter(|e| side[e.src.index()] != side[e.dst.index()]).count();
-            self.metrics.cut_messages += crossing as u64;
-        }
-        self.metrics.charge_global(rounds_needed, outbox.len() as u64, phase);
-
-        // Deliver.
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        let mut sorted = outbox;
-        sorted.sort_by_key(|e| (e.dst, e.src));
-        for e in sorted {
-            inboxes[e.dst.index()].push((e.src, e.msg));
-        }
-        Ok(inboxes)
+        let mut outbox = outbox;
+        let mut flat = FlatInboxes::new();
+        self.exchange_into(phase, &mut outbox, &mut flat)?;
+        Ok(flat.into_inboxes())
     }
 
     /// Runs a multi-step global protocol where every node holds a queue of
     /// envelopes and sends at most `send_cap` per round, until all queues drain.
     /// This is the common "while T ≠ ∅: pick Θ(log n) tokens, send" pattern of the
     /// paper's Algorithm 4.
+    ///
+    /// Under [`OverflowPolicy::Stretch`] the drain is **receive-aware and
+    /// round-robin**: each round starts from a rotating queue index and takes
+    /// messages only while the head message's destination still has per-round
+    /// receive budget (head-of-line blocking preserves per-sender FIFO
+    /// order). Consequently a paced drain never triggers the stretch
+    /// machinery — `stretched_exchanges` stays a congestion signal instead of
+    /// conflating pacing with overload — and contended receivers are served
+    /// fairly across senders.
+    ///
+    /// Under [`OverflowPolicy::Fail`] the drain stays deliberately
+    /// receive-*blind* (every queue sends up to `send_cap` per round): the
+    /// strict policy exists to *prove* the protocols' w.h.p. receive bounds
+    /// (Lemma D.2), so a skewed destination assignment must surface as
+    /// [`SimError::RecvCapExceeded`], not be silently paced away.
     ///
     /// Returns the concatenated inboxes (per destination, in delivery order).
     ///
@@ -264,21 +410,47 @@ impl<'g> HybridNet<'g> {
         mut queues: Vec<Vec<Envelope<M>>>,
     ) -> Result<Inboxes<M>, SimError> {
         let n = self.graph.len();
-        let cap = self.send_cap();
         let mut all: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        let mut outbox: Vec<Envelope<M>> = Vec::new();
+        let mut flat: FlatInboxes<M> = FlatInboxes::new();
+        let cap = self.send_cap();
+        let recv_cap = self.recv_cap();
+        let pace_receivers = self.config.overflow == OverflowPolicy::Stretch;
+        // Reverse once so FIFO pops are O(1) `pop()`s from the back.
+        for q in queues.iter_mut() {
+            q.reverse();
+        }
+        let nq = queues.len();
+        let mut start_q = 0usize;
         loop {
-            let mut outbox = Vec::new();
-            for q in queues.iter_mut() {
-                let take = cap.min(q.len());
-                outbox.extend(q.drain(..take));
+            outbox.clear();
+            {
+                let drain_recv = &mut self.scratch.drain_recv;
+                drain_recv[..n].fill(0);
+                for k in 0..nq {
+                    let q = &mut queues[(start_q + k) % nq];
+                    let mut taken = 0usize;
+                    while taken < cap {
+                        let Some(head) = q.last() else { break };
+                        let d = head.dst.index();
+                        if d >= n {
+                            return Err(SimError::AddressOutOfRange { node: head.dst, n });
+                        }
+                        if pace_receivers && drain_recv[d] as usize >= recv_cap {
+                            break;
+                        }
+                        drain_recv[d] += 1;
+                        outbox.push(q.pop().expect("head exists"));
+                        taken += 1;
+                    }
+                }
             }
             if outbox.is_empty() {
                 break;
             }
-            let delivered = self.exchange(phase, outbox)?;
-            for (v, mut msgs) in delivered.into_iter().enumerate() {
-                all[v].append(&mut msgs);
-            }
+            start_q = (start_q + 1) % nq.max(1);
+            self.exchange_into(phase, &mut outbox, &mut flat)?;
+            flat.drain_into(|dst, pair| all[dst].push(pair));
         }
         Ok(all)
     }
@@ -297,9 +469,8 @@ mod tests {
     fn single_exchange_is_one_round() {
         let g = path(16, 1).unwrap();
         let mut net = net(&g);
-        let inboxes = net
-            .exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(15), 7u32)])
-            .unwrap();
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(15), 7u32)]).unwrap();
         assert_eq!(inboxes[15], vec![(NodeId::new(0), 7)]);
         assert_eq!(net.rounds(), 1);
         assert_eq!(net.metrics().global_messages, 1);
@@ -372,6 +543,69 @@ mod tests {
     }
 
     #[test]
+    fn counting_sort_matches_reference_comparison_sort() {
+        // Equivalence oracle: the former implementation's stable
+        // `sort_by_key(|e| (e.dst, e.src))` placement, computed independently,
+        // must agree byte-for-byte with the radix engine — including ties
+        // (several messages with the same (src, dst) keep insertion order).
+        let g = path(16, 1).unwrap();
+        let mk_outbox = |salt: u64| -> Vec<Envelope<(u64, u64)>> {
+            // Deterministic scramble with duplicates and self-sends.
+            (0..48u64)
+                .map(|i| {
+                    let s = ((i * 7 + salt) % 16) as usize;
+                    let d = ((i * 5 + 3 * salt) % 16) as usize;
+                    Envelope::new(NodeId::new(s), NodeId::new(d), (i, salt))
+                })
+                .collect()
+        };
+        for salt in 0..8 {
+            let outbox = mk_outbox(salt);
+            // Reference path: stable comparison sort, grouped by destination.
+            let mut reference: Inboxes<(u64, u64)> = (0..16).map(|_| Vec::new()).collect();
+            let mut sorted = outbox.clone();
+            sorted.sort_by_key(|e| (e.dst, e.src));
+            for e in sorted {
+                reference[e.dst.index()].push((e.src, e.msg));
+            }
+            // Engine path.
+            let mut net = net(&g);
+            let inboxes = net.exchange("t", outbox).unwrap();
+            assert_eq!(inboxes, reference, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn exchange_into_reuses_buffers() {
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        let mut outbox = Vec::new();
+        let mut flat = FlatInboxes::new();
+        for round in 0..3u32 {
+            outbox.push(Envelope::new(NodeId::new(1), NodeId::new(4), round));
+            outbox.push(Envelope::new(NodeId::new(0), NodeId::new(4), round + 10));
+            net.exchange_into("t", &mut outbox, &mut flat).unwrap();
+            assert!(outbox.is_empty(), "outbox drained for reuse");
+            assert_eq!(
+                flat.for_node(NodeId::new(4)),
+                &[(NodeId::new(0), round + 10), (NodeId::new(1), round)]
+            );
+        }
+        assert_eq!(net.rounds(), 3);
+    }
+
+    #[test]
+    fn exchange_into_leaves_outbox_on_error() {
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        let mut outbox = vec![Envelope::new(NodeId::new(0), NodeId::new(9), 1u8)];
+        let mut flat = FlatInboxes::new();
+        let err = net.exchange_into("t", &mut outbox, &mut flat).unwrap_err();
+        assert!(matches!(err, SimError::AddressOutOfRange { .. }));
+        assert_eq!(outbox.len(), 1, "failed exchange must not consume the outbox");
+    }
+
+    #[test]
     fn cut_counts_crossings() {
         let g = path(4, 1).unwrap();
         let mut net = net(&g);
@@ -404,6 +638,87 @@ mod tests {
         assert_eq!(net.metrics().global_messages, 12);
         assert_eq!(inboxes[14], vec![(NodeId::new(1), 100)]);
         assert_eq!(net.metrics().stretched_exchanges, 0); // paced, never over cap
+    }
+
+    #[test]
+    fn drain_queues_paces_contended_receiver_without_stretch() {
+        // Regression for the receive-blind drain: 8 senders each queue 4
+        // messages for node 15 (32 total, recv cap 16). The old drain shipped
+        // all 32 in one exchange, which *stretched* to 2 rounds and polluted
+        // `stretched_exchanges`; the receive-aware drain paces the same load
+        // over 2 clean exchanges — same honest total, distinguishable metrics.
+        let g = path(16, 1).unwrap(); // send cap 4, recv cap 16
+        let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+        for s in 0..8 {
+            for i in 0..4 {
+                queues[s].push(Envelope::new(NodeId::new(s), NodeId::new(15), (s * 4 + i) as u32));
+            }
+        }
+        let mut net = net(&g);
+        let inboxes = net.drain_queues("t", queues).unwrap();
+        assert_eq!(net.rounds(), 2, "⌈32 / recv cap 16⌉ rounds");
+        assert_eq!(net.metrics().stretched_exchanges, 0, "pacing must not stretch");
+        assert_eq!(net.metrics().global_messages, 32);
+        assert_eq!(net.metrics().max_recv_load, 16);
+        assert_eq!(inboxes[15].len(), 32);
+        // Per-sender FIFO order survives the head-of-line pacing.
+        for s in 0..8u32 {
+            let from_s: Vec<u32> = inboxes[15]
+                .iter()
+                .filter(|(src, _)| src.index() == s as usize)
+                .map(|&(_, m)| m)
+                .collect();
+            assert_eq!(from_s, vec![s * 4, s * 4 + 1, s * 4 + 2, s * 4 + 3]);
+        }
+    }
+
+    #[test]
+    fn drain_queues_round_robin_is_fair_under_contention() {
+        // 4 senders, one contended receiver with recv budget 16 and 8 messages
+        // each: rotation means no sender is systematically served last.
+        let g = path(16, 1).unwrap(); // send cap 4, recv cap 16
+        let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+        for s in 0..8 {
+            for i in 0..6 {
+                queues[s].push(Envelope::new(NodeId::new(s), NodeId::new(9), (s * 6 + i) as u32));
+            }
+        }
+        let mut net = net(&g);
+        let inboxes = net.drain_queues("t", queues).unwrap();
+        assert_eq!(inboxes[9].len(), 48);
+        // 4 rounds: the recv budget (16/round) and the per-sender send cap
+        // (4/round) interleave — the rotating start means every queue drains
+        // within one round of the others instead of the last queue idling
+        // until the first ones finish.
+        assert_eq!(net.rounds(), 4);
+        assert_eq!(net.metrics().stretched_exchanges, 0);
+    }
+
+    #[test]
+    fn strict_drain_still_detects_receiver_overload() {
+        // The Fail policy is the verification mode: a skewed destination
+        // assignment in a drained phase must error, not be paced away —
+        // receive-aware pacing applies to Stretch only.
+        let g = path(16, 1).unwrap(); // send cap 4, recv cap 16
+        let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+        for s in 0..8 {
+            for i in 0..4 {
+                queues[s].push(Envelope::new(NodeId::new(s), NodeId::new(15), (s * 4 + i) as u32));
+            }
+        }
+        let mut net = HybridNet::new(&g, HybridConfig::strict());
+        let err = net.drain_queues("t", queues).unwrap_err();
+        assert!(matches!(err, SimError::RecvCapExceeded { received: 32, cap: 16, .. }));
+    }
+
+    #[test]
+    fn drain_queues_rejects_bad_address() {
+        let g = path(4, 1).unwrap();
+        let mut queues: Vec<Vec<Envelope<u8>>> = vec![Vec::new(); 4];
+        queues[0].push(Envelope::new(NodeId::new(0), NodeId::new(7), 1));
+        let mut net = net(&g);
+        let err = net.drain_queues("t", queues).unwrap_err();
+        assert!(matches!(err, SimError::AddressOutOfRange { .. }));
     }
 
     #[test]

@@ -37,8 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("must resolve — hence the Ω̃(n^{{1/3}}) bound of Theorem 1.6.\n");
 
     println!("== k-SSP lower bound (Theorem 1.5, Figure 1) ==");
-    println!("   k |  L  | entropy bits | cut bits/round | predicted LB | measured rounds | cut msgs");
-    println!("-----+-----+--------------+----------------+--------------+-----------------+---------");
+    println!(
+        "   k |  L  | entropy bits | cut bits/round | predicted LB | measured rounds | cut msgs"
+    );
+    println!(
+        "-----+-----+--------------+----------------+--------------+-----------------+---------"
+    );
     for k in [8usize, 16, 32] {
         let l = (k as f64).sqrt().ceil() as usize;
         let rep = run_kssp_lower_bound(6 * l, l, k, 0.5, 5)?;

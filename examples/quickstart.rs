@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     let n = 150;
     let g = random_geometric_connected(n, 0.14, 8, &mut rng)?;
-    println!("local graph: {} nodes, {} edges, max weight {}", g.len(), g.num_edges(), g.max_weight());
+    println!(
+        "local graph: {} nodes, {} edges, max weight {}",
+        g.len(),
+        g.num_edges(),
+        g.max_weight()
+    );
 
     // --- Exact SSSP in Õ(n^{2/5}) rounds (Theorem 1.3) -----------------------
     let source = NodeId::new(0);

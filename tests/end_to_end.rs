@@ -76,8 +76,7 @@ fn kssp_guarantees_across_families() {
     for (name, g) in families(4) {
         let n = g.len();
         let mut rng = StdRng::seed_from_u64(5);
-        let mut sources: Vec<NodeId> =
-            (0..5).map(|_| NodeId::new(rng.gen_range(0..n))).collect();
+        let mut sources: Vec<NodeId> = (0..5).map(|_| NodeId::new(rng.gen_range(0..n))).collect();
         sources.sort_unstable();
         sources.dedup();
         let exact = apsp(&g);
@@ -97,10 +96,7 @@ fn kssp_guarantees_across_families() {
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let out48 = kssp_cor48(&mut net, &sources, 0.3, KsspConfig { xi: 2.0 }, 37).unwrap();
         let ratio = out48.max_ratio_vs(&exact_rows);
-        assert!(
-            ratio <= out48.guaranteed_factor(unweighted) + 1e-9,
-            "{name}: cor48 ratio {ratio}"
-        );
+        assert!(ratio <= out48.guaranteed_factor(unweighted) + 1e-9, "{name}: cor48 ratio {ratio}");
     }
 }
 

@@ -11,9 +11,7 @@ use hybrid_shortest_paths::core::HybridError;
 use hybrid_shortest_paths::graph::generators::{cycle, erdos_renyi_connected, path};
 use hybrid_shortest_paths::graph::skeleton::Skeleton;
 use hybrid_shortest_paths::graph::{NodeId, INFINITY};
-use hybrid_shortest_paths::sim::{
-    Envelope, HybridConfig, HybridNet, OverflowPolicy, SimError,
-};
+use hybrid_shortest_paths::sim::{Envelope, HybridConfig, HybridNet, OverflowPolicy, SimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,10 +90,13 @@ fn direct_exchange_overflow_errors_are_precise() {
     let mut net = HybridNet::new(&g, starved(OverflowPolicy::Fail));
     // Send cap is 1: two messages from one node must fail with the node named.
     let err = net
-        .exchange("t", vec![
-            Envelope::new(NodeId::new(2), NodeId::new(3), 0u8),
-            Envelope::new(NodeId::new(2), NodeId::new(4), 1u8),
-        ])
+        .exchange(
+            "t",
+            vec![
+                Envelope::new(NodeId::new(2), NodeId::new(3), 0u8),
+                Envelope::new(NodeId::new(2), NodeId::new(4), 1u8),
+            ],
+        )
         .unwrap_err();
     match err {
         SimError::SendCapExceeded { node, sent, cap } => {

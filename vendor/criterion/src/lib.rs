@@ -1,0 +1,168 @@
+//! Offline stub of the `criterion` API surface used by `crates/bench/benches`.
+//!
+//! Implements `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups with `sample_size`, and `Bencher::iter`, reporting
+//! min/mean/max wall-clock per iteration on stdout. No statistical analysis,
+//! no HTML reports — enough to time the experiment runners and to keep
+//! `cargo bench` working without crates.io access.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, sample_size: 10 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if self.sample_size == 0 { 10 } else { self.sample_size };
+        run_bench(name, samples, &mut f);
+        self
+    }
+
+    /// Default sample count for group-less benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    #[allow(dead_code)]
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { nanos: Vec::with_capacity(samples) };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let (mut min, mut max, mut sum) = (u128::MAX, 0u128, 0u128);
+    for &ns in &b.nanos {
+        min = min.min(ns);
+        max = max.max(ns);
+        sum += ns;
+    }
+    if b.nanos.is_empty() {
+        println!("  {name}: no samples");
+    } else {
+        let mean = sum / b.nanos.len() as u128;
+        println!(
+            "  {name}: mean {} min {} max {} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.nanos.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (criterion runs many; the stub runs
+    /// one per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.nanos.push(start.elapsed().as_nanos());
+        drop(black_box(out));
+    }
+}
+
+/// Declares a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.500µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stub of the `rand` 0.8 API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, deterministic implementation of exactly the API it consumes:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `gen_bool`), and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the real
+//! `StdRng` (ChaCha12), but statistically solid for simulation workloads and,
+//! crucially, *stable across releases*: experiment tables regenerated from a
+//! seed will never shift under a dependency bump.
+
+pub mod rngs;
+pub mod seq;
+
+/// Object-safe core of a random generator: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point is provided —
+/// it is the only constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the domain;
+    /// `bool`: fair coin).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        // 53 random bits → uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from their "standard" distribution (the stub's analogue of
+/// `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by widening-multiply with a single rejection
+/// retry loop (unbiased, branch-light).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Lemire's method: (x * span) >> 64 with a rejection zone of size
+    // (2^64 mod span) at the low end of each bucket.
+    let zone = span.wrapping_neg() % span; // 2^64 mod span
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(uniform_below(rng, span) as i64)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                let span = span.wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                ((start as i64).wrapping_add(uniform_below(rng, span) as i64)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                // Closed interval: scale by the span; the endpoint has measure
+                // zero anyway for floats, so [0,1) scaling is fine.
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from 1000");
+        }
+    }
+}
