@@ -1,27 +1,108 @@
-//! Experiment runner: regenerates every table of EXPERIMENTS.md and, with
-//! `--json`, the machine-readable `BENCH_apsp.json` perf trajectory.
+//! Experiment runner: regenerates every table of EXPERIMENTS.md, drives the
+//! scenario registry, and emits the machine-readable `BENCH_*.json` files.
 //!
 //! ```sh
 //! cargo run --release -p hybrid-bench --bin experiments -- all
-//! cargo run --release -p hybrid-bench --bin experiments -- e2 e5
+//! cargo run --release -p hybrid-bench --bin experiments -- e2 e5 e16
 //! cargo run --release -p hybrid-bench --bin experiments -- --small all
 //! cargo run --release -p hybrid-bench --bin experiments -- --json
-//! cargo run --release -p hybrid-bench --bin experiments -- --small --json
+//! cargo run --release -p hybrid-bench --bin experiments -- --list
+//! cargo run --release -p hybrid-bench --bin experiments -- --smoke
+//! cargo run --release -p hybrid-bench --bin experiments -- --smoke --filter faulty
 //! ```
 //!
-//! `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
-//! and the sequential reference) and writes `BENCH_apsp.json` to the current
-//! directory; when given alone it runs only that sweep.
+//! * `--list` prints the scenario registry (names, tags, families, faults).
+//! * `--smoke` runs the full registry (or the `--filter <tag>` subset) at
+//!   tiny `n` with golden verification and exits non-zero on any `fail` —
+//!   the CI gate. With `--json` it also writes `BENCH_scenarios.json`.
+//! * `--filter <tag>` restricts scenario selection (for `--smoke` and `e16`).
+//! * `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
+//!   and the sequential reference) and writes `BENCH_apsp.json`.
 
 use hybrid_bench::experiments as ex;
 use hybrid_bench::{json, Scale};
+use hybrid_scenarios::registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
     let emit_json = args.iter().any(|a| a == "--json");
-    let wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // One pass: `--filter` consumes the following value, everything else
+    // without a `--` prefix is an experiment id.
+    let mut filter: Option<String> = None;
+    let mut filter_flag = false;
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--filter" {
+            filter_flag = true;
+            filter = iter.next().map(|s| s.to_string());
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
+    if filter_flag && filter.is_none() {
+        eprintln!("--filter requires a tag (see --list for the registry's tags)");
+        std::process::exit(2);
+    }
+    // A filter that no code path will consult must error, not silently gate
+    // nothing: it applies to --smoke and to the e16 scenario matrix.
+    let runs_e16 =
+        wanted.contains(&"e16") || wanted.contains(&"all") || (wanted.is_empty() && !emit_json);
+    if filter.is_some() && !smoke && !list && !runs_e16 {
+        eprintln!("--filter applies to --smoke and e16 runs only; nothing here consults it");
+        std::process::exit(2);
+    }
+
+    if list {
+        println!(
+            "{} registered scenarios (tags: {}):",
+            registry().len(),
+            hybrid_scenarios::all_tags().join(", ")
+        );
+        for sc in registry() {
+            println!(
+                "  {:<22} family={:<16} faults={:<14} suite={:<14} seed={:<4} default_n={:<5} tags=[{}]",
+                sc.name,
+                sc.family.label(),
+                sc.faults.label(),
+                sc.suite.label(),
+                sc.seed,
+                sc.default_n,
+                sc.tags.join(", "),
+            );
+        }
+        return;
+    }
+
+    if smoke {
+        eprintln!(
+            "running scenario smoke matrix (n = {}, filter = {})...",
+            ex::SMOKE_N,
+            filter.as_deref().unwrap_or("<none>")
+        );
+        let reports = ex::scenario_reports(Scale::Small, filter.as_deref());
+        if reports.is_empty() {
+            eprintln!("no scenarios match filter {:?}", filter);
+            std::process::exit(2);
+        }
+        let failures = reports.iter().filter(|r| !r.passed()).count();
+        ex::scenario_table(&reports).print();
+        if emit_json {
+            let doc = json::render_scenarios("small", &reports);
+            std::fs::write("BENCH_scenarios.json", &doc).expect("write BENCH_scenarios.json");
+            eprintln!("wrote BENCH_scenarios.json");
+        }
+        if failures > 0 {
+            eprintln!("{failures} scenario(s) FAILED verification");
+            std::process::exit(1);
+        }
+        eprintln!("all scenarios passed golden verification");
+        return;
+    }
+
     type Runner = fn(Scale) -> hybrid_bench::table::Table;
     // `--json` alone means "just the JSON sweep"; any experiment id (or `all`)
     // still runs the tables.
@@ -42,11 +123,16 @@ fn main() {
         ("e13", ex::e13_xi_ablation),
         ("e14", ex::e14_mu_ablation),
         ("e15", ex::e15_gamma_ablation),
+        ("e16", ex::e16_scenarios),
     ];
     for (id, f) in runs {
         if all || wanted.contains(&id) {
             eprintln!("running {id}...");
-            f(scale).print();
+            if id == "e16" && filter.is_some() {
+                ex::scenario_table(&ex::scenario_reports(scale, filter.as_deref())).print();
+            } else {
+                f(scale).print();
+            }
         }
     }
     if emit_json {

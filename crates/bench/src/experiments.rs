@@ -1,5 +1,10 @@
-//! The experiment runners E1–E12 (DESIGN.md §5). Each returns a printable
+//! The experiment runners E1–E16 (DESIGN.md §5). Each returns a printable
 //! table; EXPERIMENTS.md records the output of the `experiments` binary.
+//!
+//! Workload construction is delegated to the scenario engine
+//! (`hybrid_scenarios`): the shared helpers in
+//! [`hybrid_scenarios::workloads`] and, for the scenario matrix (E16) and the
+//! perf sweep, the named registry entries themselves.
 
 use clique_sim::declared::DeclaredKssp;
 use clique_sim::{Beta, SourceCapacity};
@@ -13,12 +18,13 @@ use hybrid_core::sssp::{exact_sssp, sssp_local_bellman_ford};
 use hybrid_core::token_routing::{mu_for, route_tokens, RoutingRates, Token};
 use hybrid_graph::apsp::apsp;
 use hybrid_graph::dijkstra::shortest_path_diameter;
-use hybrid_graph::generators::{cycle, erdos_renyi_connected, grid, path_with_heavy_hub};
+use hybrid_graph::generators::{cycle, grid, path_with_heavy_hub};
 use hybrid_graph::skeleton::{count_coverage_violations, count_distance_violations};
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
+use hybrid_scenarios::workloads::{er, random_nodes};
+use hybrid_scenarios::{registry, run_scenarios, Scenario, ScenarioReport};
 use hybrid_sim::{HybridConfig, HybridNet};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::table::{f3, Table};
@@ -41,18 +47,13 @@ impl Scale {
     }
 }
 
-fn er(n: usize, avg_deg: f64, max_w: u64, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    erdos_renyi_connected(n, avg_deg / n as f64, max_w, &mut rng).expect("generator")
-}
-
-fn random_nodes(n: usize, k: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
-    all.shuffle(&mut rng);
-    let mut out = all[..k.min(n)].to_vec();
-    out.sort_unstable();
-    out
+/// The E2 workload graph, built from the registry's `e2-er` scenario so the
+/// experiment tables and the perf sweep benchmark the exact same instance —
+/// which is also bit-identical to the pre-registry `er(n, 12.0, 4, 3)`
+/// instances recorded in `BENCH_apsp.json`, keeping the perf trajectory
+/// comparable across PRs.
+fn e2_graph(n: usize) -> Graph {
+    hybrid_scenarios::find("e2-er").expect("registered").graph(n)
 }
 
 fn ratio_stats(est: &[Vec<Distance>], exact: &[Vec<Distance>]) -> (f64, f64) {
@@ -132,7 +133,7 @@ pub fn e2_apsp(scale: Scale) -> Table {
     );
     let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
     for &n in sizes {
-        let g = er(n, 12.0, 4, 3);
+        let g = e2_graph(n);
         let exact = apsp(&g);
         let mut na = HybridNet::new(&g, HybridConfig::default());
         let a = exact_apsp(&mut na, ApspConfig { xi: 1.5 }, 5).expect("apsp");
@@ -652,7 +653,7 @@ pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
     let mut records = Vec::new();
     for &n in sizes {
-        let g = er(n, 12.0, 4, 3);
+        let g = e2_graph(n);
         records.push(BenchRecord::measure("reference_apsp", n, || {
             let m = apsp(&g);
             assert!(!m.is_empty());
@@ -668,6 +669,63 @@ pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
         }));
     }
     records
+}
+
+/// Node count for smoke-scale scenario runs (tiny-n full-matrix).
+pub const SMOKE_N: usize = 48;
+
+/// Runs the scenario registry (optionally filtered by tag): at
+/// [`Scale::Small`] every scenario runs at [`SMOKE_N`] in one parallel batch;
+/// at [`Scale::Full`] scenarios run at their own `default_n`, batched by size
+/// so the parallel runner still applies.
+pub fn scenario_reports(scale: Scale, filter: Option<&str>) -> Vec<ScenarioReport> {
+    let selected: Vec<&Scenario> = match filter {
+        Some(tag) => hybrid_scenarios::by_tag(tag),
+        None => registry().iter().collect(),
+    };
+    match scale {
+        Scale::Small => run_scenarios(&selected, SMOKE_N),
+        Scale::Full => {
+            let mut sizes: Vec<usize> = selected.iter().map(|s| s.default_n).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            let mut out = Vec::new();
+            for n in sizes {
+                let group: Vec<&Scenario> =
+                    selected.iter().copied().filter(|s| s.default_n == n).collect();
+                out.extend(run_scenarios(&group, n));
+            }
+            out
+        }
+    }
+}
+
+/// E16 — the scenario matrix: every registry workload (graph family × fault
+/// plan × algorithm suite) with its golden-verification verdict.
+pub fn e16_scenarios(scale: Scale) -> Table {
+    scenario_table(&scenario_reports(scale, None))
+}
+
+/// Renders scenario reports as a printable table.
+pub fn scenario_table(reports: &[ScenarioReport]) -> Table {
+    let mut t = Table::new(
+        "E16: scenario matrix — registry workloads under golden verification",
+        &["scenario", "family", "faults", "suite", "n", "rounds", "msgs", "dropped", "verdict"],
+    );
+    for r in reports {
+        t.row(vec![
+            r.scenario.clone(),
+            r.family.to_string(),
+            r.faults.to_string(),
+            r.suite.to_string(),
+            r.n.to_string(),
+            r.rounds.to_string(),
+            r.global_messages.to_string(),
+            r.dropped_messages.to_string(),
+            r.verdict.as_str().to_string(),
+        ]);
+    }
+    t
 }
 
 /// Runs every experiment at the given scale, returning all tables.
@@ -688,6 +746,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e13_xi_ablation(scale),
         e14_mu_ablation(scale),
         e15_gamma_ablation(scale),
+        e16_scenarios(scale),
     ]
 }
 
@@ -715,5 +774,15 @@ mod tests {
         assert!(records.iter().any(|r| r.bench == "thm11_apsp" && r.rounds > 0));
         assert!(records.iter().any(|r| r.bench == "reference_apsp" && r.rounds == 0));
         assert!(records.iter().all(|r| r.wall_ns > 0));
+    }
+
+    #[test]
+    fn scenario_smoke_matrix_all_pass() {
+        let reports = scenario_reports(Scale::Small, None);
+        assert_eq!(reports.len(), registry().len());
+        assert!(reports.iter().all(|r| r.passed()), "{reports:?}");
+        let filtered = scenario_reports(Scale::Small, Some("faulty"));
+        assert!(!filtered.is_empty() && filtered.len() < reports.len());
+        assert!(scenario_table(&reports).render().contains("pass"));
     }
 }

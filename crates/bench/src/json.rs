@@ -4,12 +4,19 @@
 //! the repository accumulates a perf trajectory PR over PR. The format is
 //! deliberately tiny and hand-written — the build environment has no serde —
 //! and stable: one object with a schema tag and a flat record array.
+//!
+//! Two record shapes share the machinery: plain perf records (the APSP sweep,
+//! schema [`SCHEMA`]) and scenario records carrying the registry name, the
+//! root seed, and the golden-verification verdict (schema
+//! [`SCHEMA_SCENARIOS`]).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use hybrid_scenarios::ScenarioReport;
+
 /// One timed benchmark run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BenchRecord {
     /// Benchmark name (e.g. `"thm11_apsp"`).
     pub bench: String,
@@ -20,6 +27,12 @@ pub struct BenchRecord {
     /// Simulated HYBRID rounds of the run (0 for purely sequential
     /// references).
     pub rounds: u64,
+    /// Registry scenario name, for scenario-engine records.
+    pub scenario: Option<String>,
+    /// Scenario root seed.
+    pub seed: Option<u64>,
+    /// Golden-verification verdict (`"pass"` / `"fail"`).
+    pub verdict: Option<String>,
 }
 
 impl BenchRecord {
@@ -28,33 +41,76 @@ impl BenchRecord {
     pub fn measure(bench: &str, n: usize, f: impl FnOnce() -> u64) -> Self {
         let start = Instant::now();
         let rounds = f();
-        BenchRecord { bench: bench.to_string(), n, wall_ns: start.elapsed().as_nanos(), rounds }
+        BenchRecord {
+            bench: bench.to_string(),
+            n,
+            wall_ns: start.elapsed().as_nanos(),
+            rounds,
+            ..BenchRecord::default()
+        }
+    }
+
+    /// Converts a scenario-engine report into a record carrying the scenario
+    /// name, seed, and verification verdict.
+    pub fn from_scenario(r: &ScenarioReport) -> Self {
+        BenchRecord {
+            bench: r.suite.to_string(),
+            n: r.n,
+            wall_ns: r.wall_ns,
+            rounds: r.rounds,
+            scenario: Some(r.scenario.clone()),
+            seed: Some(r.seed),
+            verdict: Some(r.verdict.as_str().to_string()),
+        }
     }
 }
 
-/// Schema tag written into every file (bump on breaking format changes).
+/// Schema tag of the plain perf sweep (bump on breaking format changes).
 pub const SCHEMA: &str = "hybrid-bench/apsp-v1";
 
-/// Renders records as the `BENCH_*.json` document.
-pub fn render(scale: &str, records: &[BenchRecord]) -> String {
+/// Schema tag of scenario-engine records.
+pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v1";
+
+/// Renders records as the `BENCH_*.json` document under the given schema tag.
+pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"schema\": \"{schema}\",");
     let _ = writeln!(out, "  \"scale\": \"{scale}\",");
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"bench\": \"{}\", \"n\": {}, \"wall_ns\": {}, \"rounds\": {}}}{comma}",
+        let mut line = format!(
+            "    {{\"bench\": \"{}\", \"n\": {}, \"wall_ns\": {}, \"rounds\": {}",
             escape(&r.bench),
             r.n,
             r.wall_ns,
             r.rounds
         );
+        if let Some(scenario) = &r.scenario {
+            let _ = write!(line, ", \"scenario\": \"{}\"", escape(scenario));
+        }
+        if let Some(seed) = r.seed {
+            let _ = write!(line, ", \"seed\": {seed}");
+        }
+        if let Some(verdict) = &r.verdict {
+            let _ = write!(line, ", \"verdict\": \"{}\"", escape(verdict));
+        }
+        let _ = writeln!(out, "{line}}}{comma}");
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Renders plain perf records (the [`SCHEMA`] document).
+pub fn render(scale: &str, records: &[BenchRecord]) -> String {
+    render_with_schema(SCHEMA, scale, records)
+}
+
+/// Renders scenario reports as the [`SCHEMA_SCENARIOS`] document.
+pub fn render_scenarios(scale: &str, reports: &[ScenarioReport]) -> String {
+    let records: Vec<BenchRecord> = reports.iter().map(BenchRecord::from_scenario).collect();
+    render_with_schema(SCHEMA_SCENARIOS, scale, &records)
 }
 
 fn escape(s: &str) -> String {
@@ -75,8 +131,20 @@ mod tests {
     #[test]
     fn renders_valid_shape() {
         let records = vec![
-            BenchRecord { bench: "a".into(), n: 10, wall_ns: 123, rounds: 7 },
-            BenchRecord { bench: "b\"x".into(), n: 20, wall_ns: 456, rounds: 0 },
+            BenchRecord {
+                bench: "a".into(),
+                n: 10,
+                wall_ns: 123,
+                rounds: 7,
+                ..BenchRecord::default()
+            },
+            BenchRecord {
+                bench: "b\"x".into(),
+                n: 20,
+                wall_ns: 456,
+                rounds: 0,
+                ..BenchRecord::default()
+            },
         ];
         let s = render("small", &records);
         assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v1\""));
@@ -84,6 +152,7 @@ mod tests {
         assert!(s.contains("{\"bench\": \"a\", \"n\": 10, \"wall_ns\": 123, \"rounds\": 7},"));
         assert!(s.contains("\"bench\": \"b\\\"x\""));
         assert!(!s.contains("},\n  ]"), "no trailing comma");
+        assert!(!s.contains("scenario"), "plain records omit scenario fields");
     }
 
     #[test]
@@ -92,11 +161,23 @@ mod tests {
         assert_eq!(r.bench, "x");
         assert_eq!(r.n, 5);
         assert_eq!(r.rounds, 42);
+        assert!(r.scenario.is_none() && r.seed.is_none() && r.verdict.is_none());
     }
 
     #[test]
     fn escape_handles_control_chars() {
         assert_eq!(escape("a\nb"), "a\\u000ab");
         assert_eq!(escape("back\\slash"), "back\\\\slash");
+    }
+
+    #[test]
+    fn scenario_records_carry_name_seed_verdict() {
+        let sc = hybrid_scenarios::find("sparse-grid-thm11").unwrap();
+        let report = hybrid_scenarios::run_scenario(sc, 36);
+        let doc = render_scenarios("small", &[report]);
+        assert!(doc.contains("\"schema\": \"hybrid-bench/scenarios-v1\""));
+        assert!(doc.contains("\"scenario\": \"sparse-grid-thm11\""));
+        assert!(doc.contains(&format!("\"seed\": {}", sc.seed)));
+        assert!(doc.contains("\"verdict\": \"pass\""));
     }
 }

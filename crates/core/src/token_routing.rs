@@ -397,9 +397,20 @@ impl RoutingSession {
                 for (mid, msgs) in req_flat.iter() {
                     let store = &mut intermediate_store[mid];
                     for &(requester, lab) in msgs {
-                        let idx = store
-                            .binary_search_by_key(&lab, |e| e.0)
-                            .expect("request must follow the token (same hash)");
+                        // On a lossless channel a request always follows the
+                        // token to the same hash-chosen intermediate; if the
+                        // token was lost en route (fault injection), surface a
+                        // structured error instead of corrupting the protocol.
+                        // A *found* label whose payload was already taken is a
+                        // different story — requests are never duplicated, not
+                        // even by faults (loss only removes messages), so that
+                        // stays a hard protocol-bug panic.
+                        let idx = store.binary_search_by_key(&lab, |e| e.0).map_err(|_| {
+                            HybridError::InvariantViolation(format!(
+                                "request from {requester} reached intermediate {mid} \
+                                     but the matching token never did (message lost?)"
+                            ))
+                        })?;
                         let payload = store[idx].1.take().expect("token answered once");
                         resp_queues[mid].push_back(Envelope::new(
                             NodeId::new(mid),

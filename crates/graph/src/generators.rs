@@ -2,7 +2,8 @@
 //!
 //! The experiments sweep the paper's algorithms over standard families: sparse
 //! random graphs (Erdős–Rényi), geometric graphs (the "local radio network" picture
-//! motivating the HYBRID model), grids, and adversarial shapes (long paths, heavy
+//! motivating the HYBRID model), grids, power-law graphs (Barabási–Albert),
+//! small worlds (Watts–Strogatz), and adversarial shapes (long paths, heavy
 //! hubs) that stress specific parameters (`D`, `SPD`, skeleton sizes).
 //!
 //! All generators return connected graphs (random families are patched to
@@ -275,6 +276,89 @@ pub fn clustered_network<R: Rng + ?Sized>(
     b.build()
 }
 
+/// Barabási–Albert preferential attachment on `n` nodes: a power-law degree
+/// distribution with a few heavy hubs — the "Internet-like overlay" family the
+/// sparse-graph hybrid literature (Feldmann–Hinnenthal–Scheideler) evaluates
+/// on. Starts from a star on `attach + 1` nodes; every further node attaches
+/// to `attach` distinct existing nodes chosen proportionally to their degree.
+/// Weights uniform in `[1, max_w]`. Connected by construction, and every node
+/// outside the seed star has degree ≥ `attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    attach: usize,
+    max_w: Distance,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    assert!(attach >= 1, "each new node must attach somewhere");
+    assert!(n > attach, "need more nodes than attachment edges");
+    assert!(max_w >= 1);
+    let mut b = GraphBuilder::new(n);
+    // `endpoints` holds one entry per edge endpoint, so uniform sampling from
+    // it is degree-proportional sampling of nodes.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * attach * n);
+    for leaf in 1..=attach {
+        b.add_edge(NodeId::new(0), NodeId::new(leaf), rng.gen_range(1..=max_w))?;
+        endpoints.push(0);
+        endpoints.push(leaf);
+    }
+    for v in attach + 1..n {
+        let mut picked = 0usize;
+        let base = endpoints.len();
+        while picked < attach {
+            let t = endpoints[rng.gen_range(0..base)];
+            if b.add_edge_if_absent(NodeId::new(v), NodeId::new(t), rng.gen_range(1..=max_w))? {
+                endpoints.push(v);
+                endpoints.push(t);
+                picked += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world on `n` nodes: a ring lattice where every node is
+/// linked to its `k / 2` nearest neighbors on each side (`k` even), with every
+/// lattice edge rewired to a uniform random endpoint with probability `beta`.
+/// High clustering with a logarithmic diameter — the regime between the cycle
+/// (`beta = 0`) and Erdős–Rényi-like graphs (`beta = 1`). Weights uniform in
+/// `[1, max_w]`; patched to connectivity (rewiring can disconnect the ring).
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    max_w: Distance,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
+    assert!(n > k, "ring lattice needs n > k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!(max_w >= 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            let lattice = (i + j) % n;
+            let w = rng.gen_range(1..=max_w);
+            if rng.gen_bool(beta) {
+                // Rewire: keep the source, resample the far endpoint.
+                let mut done = false;
+                for _ in 0..32 {
+                    let t = rng.gen_range(0..n);
+                    if t != i && b.add_edge_if_absent(NodeId::new(i), NodeId::new(t), w)? {
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    continue;
+                }
+            }
+            b.add_edge_if_absent(NodeId::new(i), NodeId::new(lattice), w)?;
+        }
+    }
+    connect_components(&mut b, max_w, rng)?;
+    b.build()
+}
+
 /// Random tree (uniform attachment) on `n` nodes with weights in `[1, max_w]`.
 pub fn random_tree<R: Rng + ?Sized>(
     n: usize,
@@ -454,6 +538,48 @@ mod tests {
         let g = clustered_network(1, 10, 0.5, 3, 9, 0, &mut rng).unwrap();
         assert_eq!(g.len(), 10);
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = barabasi_albert(80, 3, 4, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 3 + 3 * (80 - 4)); // star + attach per node
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let min_new = g.nodes().skip(4).map(|v| g.degree(v)).min().unwrap();
+        assert!(min_new >= 3, "every attached node has degree ≥ attach");
+        assert!(max_deg >= 12, "preferential attachment grows hubs, got {max_deg}");
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic() {
+        let g1 = barabasi_albert(60, 2, 5, &mut StdRng::seed_from_u64(77)).unwrap();
+        let g2 = barabasi_albert(60, 2, 5, &mut StdRng::seed_from_u64(77)).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = watts_strogatz(100, 4, 0.2, 3, &mut rng).unwrap();
+        assert!(g.is_connected());
+        // Rewiring preserves the edge count up to rare collisions and the
+        // connectivity patch.
+        assert!((190..=210).contains(&g.num_edges()), "got {}", g.num_edges());
+        // The small-world regime: much smaller diameter than the beta = 0
+        // lattice (n / k = 25).
+        assert!(unweighted_diameter(&g) <= 15);
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = watts_strogatz(20, 4, 0.0, 1, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Property tests for the scenario-engine graph families: connectivity where
+//! promised, degree bounds, and seed-determinism.
+
+use hybrid_graph::generators::{
+    barabasi_albert, erdos_renyi_connected, random_geometric_connected, watts_strogatz,
+};
+use hybrid_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn edge_list(g: &Graph) -> Vec<(usize, usize, u64)> {
+    g.edges().iter().map(|e| (e.u.index(), e.v.index(), e.w)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Barabási–Albert: connected by construction, min degree ≥ attach, exact
+    /// edge count, deterministic for a fixed seed.
+    #[test]
+    fn barabasi_albert_invariants(
+        n in 10usize..120,
+        attach in 1usize..5,
+        max_w in 1u64..8,
+        seed in 0u64..1000,
+    ) {
+        let attach = attach.min(n - 1);
+        let g = barabasi_albert(n, attach, max_w, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_edges(), attach + attach * (n - attach - 1));
+        // Seed-star leaves may keep degree 1; every *attached* node (index >
+        // attach) contributes `attach` incident edges of its own.
+        for v in g.nodes().skip(attach + 1) {
+            prop_assert!(g.degree(v) >= attach);
+        }
+        prop_assert!(g.max_weight() <= max_w);
+        let again = barabasi_albert(n, attach, max_w, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(edge_list(&g), edge_list(&again));
+    }
+
+    /// Watts–Strogatz: connected (patched), edge count within the rewiring
+    /// collision tolerance, weights bounded, deterministic for a fixed seed.
+    #[test]
+    fn watts_strogatz_invariants(
+        n in 12usize..120,
+        half_k in 1usize..3,
+        beta in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let k = 2 * half_k;
+        let g = watts_strogatz(n, k, beta, 4, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(g.is_connected());
+        let lattice_edges = n * k / 2;
+        // Rewiring only ever loses an edge to a collision; the connectivity
+        // patch adds back at most one edge per lost component.
+        prop_assert!(g.num_edges() <= lattice_edges + n / 2);
+        prop_assert!(g.num_edges() + n / 10 + 1 >= lattice_edges);
+        prop_assert!(g.max_weight() <= 4);
+        let again = watts_strogatz(n, k, beta, 4, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(edge_list(&g), edge_list(&again));
+    }
+
+    /// The patched random families always come out connected and reproducible.
+    #[test]
+    fn patched_random_families_connected_and_deterministic(
+        n in 8usize..80,
+        seed in 0u64..500,
+    ) {
+        let er = erdos_renyi_connected(n, 1.5 / n as f64, 5, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(er.is_connected());
+        let er2 = erdos_renyi_connected(n, 1.5 / n as f64, 5, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(edge_list(&er), edge_list(&er2));
+
+        let geo = random_geometric_connected(n, 0.2, 5, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(geo.is_connected());
+        let geo2 = random_geometric_connected(n, 0.2, 5, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(edge_list(&geo), edge_list(&geo2));
+    }
+}

@@ -1,0 +1,442 @@
+//! The declarative scenario model:
+//! `Scenario = GraphFamily × WeightModel × FaultPlan × AlgorithmSuite × Seed`.
+//!
+//! Every field is plain const-constructible data, so the whole registry lives
+//! in a `static` table and a scenario is fully described by `(name, seed)` —
+//! the reproducibility contract the runner and the golden verification layer
+//! build on.
+
+use hybrid_graph::generators as gen;
+use hybrid_graph::{Distance, Graph, NodeId};
+use hybrid_sim::{derive_seed, Crash, HybridConfig, HybridNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The topology family a scenario draws its local graph from. Families are
+/// parametrized by shape, not size: the node count `n` is chosen at run time
+/// (tiny for smoke verification, large for benchmarks) and every family
+/// scales its internal knobs (radius, cluster count, …) with `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphFamily {
+    /// Erdős–Rényi `G(n, avg_deg / n)`, patched to connectivity.
+    ErdosRenyi {
+        /// Expected average degree.
+        avg_deg: f64,
+    },
+    /// `⌈√n⌉ × ⌈√n⌉` square grid (`n` is rounded up to a square).
+    SquareGrid,
+    /// `rows × (n / rows)` thin grid — the large-hop-diameter fabric.
+    ThinGrid {
+        /// Number of (short) rows.
+        rows: usize,
+    },
+    /// Cycle on `n` nodes (`D = n / 2`, the diameter worst case).
+    Cycle,
+    /// Random geometric graph in the unit square; the radius is chosen so the
+    /// expected degree is `avg_deg` (`πr²n = avg_deg`).
+    RandomGeometric {
+        /// Expected average degree.
+        avg_deg: f64,
+    },
+    /// Barabási–Albert preferential attachment (power-law hubs).
+    BarabasiAlbert {
+        /// Edges each arriving node attaches with.
+        attach: usize,
+    },
+    /// Watts–Strogatz small world.
+    WattsStrogatz {
+        /// Ring-lattice degree (even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Unit path plus a heavy hub: hop diameter 2, `SPD = n - 2`
+    /// (the Theorem 1.3 separation family).
+    HeavyHubPath,
+    /// Clustered "enterprise WAN": dense local clusters plus a sparse heavy
+    /// backbone.
+    Clustered {
+        /// Number of clusters (`n / clusters` nodes each).
+        clusters: usize,
+        /// Intra-cluster Erdős–Rényi edge probability.
+        intra_p: f64,
+        /// Backbone link weight.
+        link_w: Distance,
+        /// Extra random cross-cluster links.
+        extra_links: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Short label for tables and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphFamily::ErdosRenyi { .. } => "erdos-renyi",
+            GraphFamily::SquareGrid => "square-grid",
+            GraphFamily::ThinGrid { .. } => "thin-grid",
+            GraphFamily::Cycle => "cycle",
+            GraphFamily::RandomGeometric { .. } => "geometric",
+            GraphFamily::BarabasiAlbert { .. } => "barabasi-albert",
+            GraphFamily::WattsStrogatz { .. } => "watts-strogatz",
+            GraphFamily::HeavyHubPath => "heavy-hub-path",
+            GraphFamily::Clustered { .. } => "clustered-wan",
+        }
+    }
+
+    /// Builds the graph at size ≈ `n` (grid-like families round up) with the
+    /// given weight model, deterministically from `seed`.
+    ///
+    /// The Erdős–Rényi family seeds its RNG with `seed` directly (it goes
+    /// through [`crate::workloads::er`], matching the instances the perf
+    /// trajectory in `BENCH_apsp.json` has recorded since PR 1); the other
+    /// random families use a salted sub-seed.
+    pub fn build(&self, n: usize, weights: WeightModel, seed: u64) -> Graph {
+        let max_w = weights.max_weight();
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x0067_7261_7068)); // "graph"
+        match *self {
+            GraphFamily::ErdosRenyi { avg_deg } => {
+                return crate::workloads::er(n, avg_deg, max_w, seed)
+            }
+            GraphFamily::SquareGrid => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                gen::grid(side, side, weights.uniform_or(1))
+            }
+            GraphFamily::ThinGrid { rows } => {
+                gen::grid(rows, (n / rows).max(2), weights.uniform_or(1))
+            }
+            GraphFamily::Cycle => gen::cycle(n, weights.uniform_or(1)),
+            GraphFamily::RandomGeometric { avg_deg } => {
+                let radius = (avg_deg / (std::f64::consts::PI * n as f64)).sqrt().min(1.0);
+                gen::random_geometric_connected(n, radius, max_w, &mut rng)
+            }
+            GraphFamily::BarabasiAlbert { attach } => {
+                gen::barabasi_albert(n, attach.min(n - 1), max_w, &mut rng)
+            }
+            GraphFamily::WattsStrogatz { k, beta } => {
+                gen::watts_strogatz(n, k.min((n - 1) & !1), beta, max_w, &mut rng)
+            }
+            GraphFamily::HeavyHubPath => gen::path_with_heavy_hub(n.max(3), 2 * n as Distance),
+            GraphFamily::Clustered { clusters, intra_p, link_w, extra_links } => {
+                let size = (n / clusters).max(2);
+                gen::clustered_network(
+                    clusters,
+                    size,
+                    intra_p,
+                    max_w,
+                    link_w,
+                    extra_links,
+                    &mut rng,
+                )
+            }
+        }
+        .expect("scenario graph families generate valid graphs")
+    }
+}
+
+/// Edge-weight model. Families with intrinsic weights (heavy hub, the WAN
+/// backbone) combine it with their own structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightModel {
+    /// All edges weight 1 (unweighted shortest paths).
+    Unit,
+    /// Weights uniform in `[1, max]`.
+    Uniform {
+        /// Largest edge weight.
+        max: Distance,
+    },
+}
+
+impl WeightModel {
+    /// The largest weight this model can produce.
+    pub fn max_weight(&self) -> Distance {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::Uniform { max } => max,
+        }
+    }
+
+    /// For families with one global weight: `max` for uniform models, `unit`
+    /// otherwise.
+    fn uniform_or(&self, unit: Distance) -> Distance {
+        match *self {
+            WeightModel::Unit => unit,
+            WeightModel::Uniform { max } => max,
+        }
+    }
+
+    /// Short label for tables and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WeightModel::Unit => "unit",
+            WeightModel::Uniform { .. } => "uniform",
+        }
+    }
+}
+
+/// The fault regime a scenario runs under. `Degraded` reshapes the
+/// [`HybridConfig`] caps (slower but lossless); `DropGlobal` / `CrashNodes`
+/// install a [`hybrid_sim::FaultPlan`] in the simulator's exchange hooks
+/// (lossy — verified under the no-silent-corruption contract, see
+/// [`crate::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlan {
+    /// Healthy network.
+    None,
+    /// Starved global bandwidth under `OverflowPolicy::Stretch`: every message
+    /// arrives, the round clock pays.
+    Degraded {
+        /// Send-cap multiplier (fraction of the NCC budget).
+        send_factor: f64,
+        /// Receive-cap multiplier.
+        recv_factor: f64,
+    },
+    /// Each global message is lost independently with probability `prob`
+    /// (deterministic stream per scenario seed).
+    DropGlobal {
+        /// Per-message loss probability in `[0, 1)`.
+        prob: f64,
+    },
+    /// `count` pseudo-random nodes (never node 0, which the suites use as
+    /// source) crash once `at_round` rounds have elapsed.
+    CrashNodes {
+        /// How many nodes crash.
+        count: usize,
+        /// Round-clock value at which they fall silent.
+        at_round: u64,
+    },
+}
+
+impl FaultPlan {
+    /// Short label for tables and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultPlan::None => "none",
+            FaultPlan::Degraded { .. } => "degraded-caps",
+            FaultPlan::DropGlobal { .. } => "drop-global",
+            FaultPlan::CrashNodes { .. } => "crash-nodes",
+        }
+    }
+
+    /// `true` if the plan can lose messages (and verification must use the
+    /// lossy contract instead of exactness).
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, FaultPlan::DropGlobal { .. } | FaultPlan::CrashNodes { .. })
+    }
+
+    /// The simulator configuration this plan implies.
+    pub fn config(&self) -> HybridConfig {
+        match *self {
+            FaultPlan::Degraded { send_factor, recv_factor } => {
+                HybridConfig::degraded(send_factor, recv_factor)
+            }
+            _ => HybridConfig::default(),
+        }
+    }
+
+    /// Installs the simulator-level part of the plan on `net`.
+    pub fn install(&self, net: &mut HybridNet<'_>, seed: u64) {
+        let plan = match *self {
+            FaultPlan::None | FaultPlan::Degraded { .. } => return,
+            FaultPlan::DropGlobal { prob } => {
+                hybrid_sim::FaultPlan::drops(prob, derive_seed(seed, 0xFA17))
+            }
+            FaultPlan::CrashNodes { count, at_round } => {
+                let n = net.n();
+                let mut crashes = Vec::with_capacity(count);
+                let mut salt = 0u64;
+                while crashes.len() < count.min(n.saturating_sub(1)) {
+                    // Never crash node 0: the suites use it as the source, and
+                    // a dead source makes the instance vacuous.
+                    let v = 1 + (derive_seed(seed, 0xC0A5 + salt) as usize) % (n - 1);
+                    salt += 1;
+                    if !crashes.iter().any(|c: &Crash| c.node == NodeId::new(v)) {
+                        crashes.push(Crash { node: NodeId::new(v), at_round });
+                    }
+                }
+                hybrid_sim::FaultPlan::node_crashes(crashes)
+            }
+        };
+        net.inject_faults(&plan).expect("registry fault plans are valid");
+    }
+}
+
+/// Which distributed algorithm(s) the scenario exercises, with the golden
+/// contract each one is verified against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmSuite {
+    /// Exact APSP, Theorem 1.1 (`Õ(√n)` rounds) — verified pairwise-exact.
+    Apsp {
+        /// Skeleton scaling constant ξ (Lemma C.1).
+        xi: f64,
+    },
+    /// Exact APSP, SODA'20 baseline (`Õ(n^{2/3})`) — verified pairwise-exact.
+    ApspSoda20 {
+        /// Skeleton scaling constant ξ.
+        xi: f64,
+    },
+    /// Exact SSSP from node 0, Theorem 1.3 (`Õ(n^{2/5})`) — verified exact.
+    Sssp {
+        /// Skeleton scaling constant ξ.
+        xi: f64,
+    },
+    /// k-SSP (Theorem 1.2 / Corollaries 4.6–4.8) — verified within the run's
+    /// own guaranteed approximation factor, never underestimating.
+    Kssp {
+        /// Which corollary: 46, 47, or 48.
+        cor: u8,
+        /// Source count.
+        k: usize,
+        /// Approximation parameter ε.
+        eps: f64,
+        /// Skeleton scaling constant ξ.
+        xi: f64,
+    },
+    /// Diameter approximation (Corollaries 5.2 / 5.3) — verified inside
+    /// `[D, factor · D]`.
+    Diameter {
+        /// Which corollary: 52 or 53.
+        cor: u8,
+        /// Approximation parameter ε.
+        eps: f64,
+        /// Skeleton scaling constant ξ.
+        xi: f64,
+    },
+}
+
+impl AlgorithmSuite {
+    /// Short label for tables and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmSuite::Apsp { .. } => "apsp-thm11",
+            AlgorithmSuite::ApspSoda20 { .. } => "apsp-soda20",
+            AlgorithmSuite::Sssp { .. } => "sssp-thm13",
+            AlgorithmSuite::Kssp { cor: 46, .. } => "kssp-cor46",
+            AlgorithmSuite::Kssp { cor: 47, .. } => "kssp-cor47",
+            AlgorithmSuite::Kssp { .. } => "kssp-cor48",
+            AlgorithmSuite::Diameter { cor: 52, .. } => "diameter-cor52",
+            AlgorithmSuite::Diameter { .. } => "diameter-cor53",
+        }
+    }
+}
+
+/// One named, reproducible workload: everything the runner needs, as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Unique registry name (e.g. `"e2-er"`).
+    pub name: &'static str,
+    /// Lookup tags (e.g. `"apsp"`, `"faulty"`, `"sparse"`).
+    pub tags: &'static [&'static str],
+    /// Topology family.
+    pub family: GraphFamily,
+    /// Edge-weight model.
+    pub weights: WeightModel,
+    /// Fault regime.
+    pub faults: FaultPlan,
+    /// Algorithm(s) under test and their verification contract.
+    pub suite: AlgorithmSuite,
+    /// Root seed; every random choice (graph, algorithm, faults) derives from
+    /// it, so `(scenario, seed)` fully determines a run.
+    pub seed: u64,
+    /// Node count used by full-scale (non-smoke) runs.
+    pub default_n: usize,
+}
+
+impl Scenario {
+    /// Builds the scenario's local graph at size ≈ `n`.
+    pub fn graph(&self, n: usize) -> Graph {
+        self.family.build(n, self.weights, self.seed)
+    }
+
+    /// Creates the simulated network for `g`: the fault plan's configuration,
+    /// with its simulator-level hooks installed.
+    pub fn net<'g>(&self, g: &'g Graph) -> HybridNet<'g> {
+        let mut net = HybridNet::new(g, self.faults.config());
+        self.faults.install(&mut net, self.seed);
+        net
+    }
+
+    /// `true` if the scenario carries `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.contains(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_connected_graphs_at_smoke_size() {
+        let families = [
+            GraphFamily::ErdosRenyi { avg_deg: 8.0 },
+            GraphFamily::SquareGrid,
+            GraphFamily::ThinGrid { rows: 4 },
+            GraphFamily::Cycle,
+            GraphFamily::RandomGeometric { avg_deg: 9.0 },
+            GraphFamily::BarabasiAlbert { attach: 3 },
+            GraphFamily::WattsStrogatz { k: 4, beta: 0.2 },
+            GraphFamily::HeavyHubPath,
+            GraphFamily::Clustered { clusters: 4, intra_p: 0.4, link_w: 16, extra_links: 2 },
+        ];
+        for f in families {
+            for weights in [WeightModel::Unit, WeightModel::Uniform { max: 5 }] {
+                let g = f.build(48, weights, 7);
+                assert!(g.is_connected(), "{} must be connected", f.label());
+                assert!(g.len() >= 40, "{} shrank too far: {}", f.label(), g.len());
+            }
+        }
+    }
+
+    #[test]
+    fn er_family_preserves_the_recorded_bench_instance() {
+        // The perf trajectory (BENCH_apsp.json) has recorded `er(n, 12, 4, 3)`
+        // instances since PR 1; the registry's `e2-er` must keep producing
+        // bit-identical graphs or wall-clock numbers stop being comparable.
+        let f = GraphFamily::ErdosRenyi { avg_deg: 12.0 };
+        let a = f.build(100, WeightModel::Uniform { max: 4 }, 3);
+        let b = crate::workloads::er(100, 12.0, 4, 3);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn graph_builds_are_deterministic() {
+        let f = GraphFamily::ErdosRenyi { avg_deg: 10.0 };
+        let a = f.build(64, WeightModel::Uniform { max: 4 }, 3);
+        let b = f.build(64, WeightModel::Uniform { max: 4 }, 3);
+        assert_eq!(a.edges(), b.edges());
+        let c = f.build(64, WeightModel::Uniform { max: 4 }, 4);
+        assert_ne!(a.edges(), c.edges(), "different seed, different graph");
+    }
+
+    #[test]
+    fn fault_plan_configs() {
+        assert_eq!(FaultPlan::None.config(), HybridConfig::default());
+        let cfg = FaultPlan::Degraded { send_factor: 0.25, recv_factor: 1.0 }.config();
+        assert_eq!(cfg.send_cap_factor, 0.25);
+        assert!(!FaultPlan::Degraded { send_factor: 0.25, recv_factor: 1.0 }.is_lossy());
+        assert!(FaultPlan::DropGlobal { prob: 0.05 }.is_lossy());
+        assert!(FaultPlan::CrashNodes { count: 2, at_round: 10 }.is_lossy());
+    }
+
+    #[test]
+    fn crash_plan_never_kills_the_source() {
+        let f = GraphFamily::Cycle;
+        let g = f.build(32, WeightModel::Unit, 1);
+        let sc = Scenario {
+            name: "t",
+            tags: &[],
+            family: f,
+            weights: WeightModel::Unit,
+            faults: FaultPlan::CrashNodes { count: 31, at_round: 0 },
+            suite: AlgorithmSuite::Sssp { xi: 1.5 },
+            seed: 5,
+            default_n: 32,
+        };
+        let mut net = sc.net(&g);
+        // Node 0 still talks: everything it sends to itself survives.
+        let inboxes = net
+            .exchange("t", vec![hybrid_sim::Envelope::new(NodeId::new(0), NodeId::new(0), 1u8)])
+            .unwrap();
+        assert_eq!(inboxes[0].len(), 1);
+    }
+}

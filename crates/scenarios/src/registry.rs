@@ -1,0 +1,249 @@
+//! The static scenario registry: every named workload the project ships,
+//! addressable by name or tag.
+//!
+//! Spanning set (what the registry must always cover, enforced by tests):
+//! ≥ 10 scenarios, ≥ 4 graph families, ≥ 2 distinct fault plans, and at
+//! least one scenario per algorithm suite. All of them verify `Pass` at
+//! smoke size (`n ≤ 64`) — see `tests/registry_smoke.rs`.
+
+use crate::model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
+
+/// The standard degraded-network plan: a quarter of the NCC send budget.
+const DEGRADED: FaultPlan = FaultPlan::Degraded { send_factor: 0.25, recv_factor: 1.0 };
+
+static REGISTRY: &[Scenario] = &[
+    // --- Healthy networks: the paper's flagship results -------------------
+    Scenario {
+        name: "e2-er",
+        tags: &["apsp", "er", "e2"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 12.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 3,
+        default_n: 200,
+    },
+    Scenario {
+        name: "e2-er-soda20",
+        tags: &["apsp", "er", "e2", "baseline"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 12.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::ApspSoda20 { xi: 1.5 },
+        seed: 3,
+        default_n: 200,
+    },
+    Scenario {
+        name: "sparse-grid-thm11",
+        tags: &["apsp", "grid", "sparse"],
+        family: GraphFamily::SquareGrid,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 17,
+        default_n: 225,
+    },
+    Scenario {
+        name: "smallworld-ws-apsp",
+        tags: &["apsp", "small-world", "sparse"],
+        family: GraphFamily::WattsStrogatz { k: 4, beta: 0.15 },
+        weights: WeightModel::Uniform { max: 3 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 23,
+        default_n: 200,
+    },
+    Scenario {
+        name: "wan-clustered-apsp",
+        tags: &["apsp", "wan", "clustered"],
+        family: GraphFamily::Clustered { clusters: 4, intra_p: 0.35, link_w: 16, extra_links: 3 },
+        weights: WeightModel::Uniform { max: 3 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 29,
+        default_n: 240,
+    },
+    Scenario {
+        name: "ba-powerlaw-apsp",
+        tags: &["apsp", "power-law", "sparse"],
+        family: GraphFamily::BarabasiAlbert { attach: 3 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 31,
+        default_n: 200,
+    },
+    Scenario {
+        name: "ba-powerlaw-sssp",
+        tags: &["sssp", "power-law", "sparse"],
+        family: GraphFamily::BarabasiAlbert { attach: 2 },
+        weights: WeightModel::Uniform { max: 5 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Sssp { xi: 2.0 },
+        seed: 37,
+        default_n: 300,
+    },
+    Scenario {
+        name: "heavy-hub-sssp-thm13",
+        tags: &["sssp", "adversarial", "high-spd"],
+        family: GraphFamily::HeavyHubPath,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Sssp { xi: 3.0 },
+        seed: 41,
+        default_n: 400,
+    },
+    Scenario {
+        name: "geo-mesh-kssp47",
+        tags: &["kssp", "geometric", "mesh"],
+        family: GraphFamily::RandomGeometric { avg_deg: 9.0 },
+        weights: WeightModel::Uniform { max: 5 },
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Kssp { cor: 47, k: 8, eps: 0.5, xi: 1.5 },
+        seed: 43,
+        default_n: 180,
+    },
+    Scenario {
+        name: "grid-kssp46",
+        tags: &["kssp", "grid", "sparse"],
+        family: GraphFamily::SquareGrid,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Kssp { cor: 46, k: 3, eps: 0.5, xi: 1.5 },
+        seed: 47,
+        default_n: 225,
+    },
+    Scenario {
+        name: "cycle-diam-32",
+        tags: &["diameter", "cycle", "e5"],
+        family: GraphFamily::Cycle,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 1.2 },
+        seed: 53,
+        default_n: 300,
+    },
+    Scenario {
+        name: "cycle-diam-1eps",
+        tags: &["diameter", "cycle", "e5"],
+        family: GraphFamily::Cycle,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Diameter { cor: 53, eps: 0.5, xi: 1.2 },
+        seed: 53,
+        default_n: 300,
+    },
+    Scenario {
+        name: "datacenter-thin-grid",
+        tags: &["diameter", "grid", "datacenter"],
+        family: GraphFamily::ThinGrid { rows: 4 },
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 0.5 },
+        seed: 99,
+        default_n: 1000,
+    },
+    // --- Degraded / faulty networks --------------------------------------
+    Scenario {
+        name: "faulty-soda20",
+        tags: &["apsp", "faulty", "degraded", "baseline"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: DEGRADED,
+        suite: AlgorithmSuite::ApspSoda20 { xi: 1.5 },
+        seed: 61,
+        default_n: 150,
+    },
+    Scenario {
+        name: "faulty-degraded-sssp",
+        tags: &["sssp", "faulty", "degraded"],
+        family: GraphFamily::RandomGeometric { avg_deg: 9.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: DEGRADED,
+        suite: AlgorithmSuite::Sssp { xi: 2.0 },
+        seed: 67,
+        default_n: 150,
+    },
+    Scenario {
+        name: "faulty-drop-apsp",
+        tags: &["apsp", "faulty", "lossy"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::DropGlobal { prob: 0.02 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 71,
+        default_n: 150,
+    },
+    Scenario {
+        name: "crash-mid-run-apsp",
+        tags: &["apsp", "faulty", "lossy", "crash"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::CrashNodes { count: 2, at_round: 40 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 73,
+        default_n: 150,
+    },
+];
+
+/// The full scenario registry.
+pub fn registry() -> &'static [Scenario] {
+    REGISTRY
+}
+
+/// Looks a scenario up by its unique name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// All scenarios carrying `tag`.
+pub fn by_tag(tag: &str) -> Vec<&'static Scenario> {
+    REGISTRY.iter().filter(|s| s.has_tag(tag)).collect()
+}
+
+/// The sorted set of all tags in the registry.
+pub fn all_tags() -> Vec<&'static str> {
+    let mut tags: Vec<&'static str> =
+        REGISTRY.iter().flat_map(|s| s.tags.iter().copied()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique() {
+        let names: BTreeSet<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn spanning_requirements() {
+        assert!(REGISTRY.len() >= 10, "registry must ship ≥ 10 scenarios");
+        let families: BTreeSet<&str> = REGISTRY.iter().map(|s| s.family.label()).collect();
+        assert!(families.len() >= 4, "≥ 4 graph families, got {families:?}");
+        let faults: BTreeSet<&str> = REGISTRY.iter().map(|s| s.faults.label()).collect();
+        assert!(
+            faults.len() >= 3, // none + degraded + at least one lossy plan
+            "≥ 2 non-trivial fault plans, got {faults:?}"
+        );
+        let suites: BTreeSet<&str> = REGISTRY.iter().map(|s| s.suite.label()).collect();
+        for required in ["apsp-thm11", "apsp-soda20", "sssp-thm13", "diameter-cor52"] {
+            assert!(suites.contains(required), "missing suite {required}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_tag() {
+        assert_eq!(find("e2-er").unwrap().name, "e2-er");
+        assert!(find("no-such-scenario").is_none());
+        let faulty = by_tag("faulty");
+        assert!(faulty.len() >= 3);
+        assert!(faulty.iter().all(|s| s.has_tag("faulty")));
+        assert!(all_tags().contains(&"apsp"));
+    }
+}

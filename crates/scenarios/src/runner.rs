@@ -1,0 +1,279 @@
+//! The scenario runner: executes one scenario end to end (graph → net →
+//! algorithm → golden verification), or a whole batch in parallel on scoped
+//! threads — mirroring `hybrid_graph::dijkstra::par_dist_rows`, with one
+//! worker pool pulling scenarios off a shared index.
+//!
+//! Runs are deterministic per `(scenario, seed, n)`: every random stream
+//! (graph, algorithm, faults) derives from the scenario seed, and threads
+//! never share RNG state, so the parallel schedule cannot change any result.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hybrid_core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
+use hybrid_core::diameter::{diameter_cor52, diameter_cor53};
+use hybrid_core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
+use hybrid_core::sssp::exact_sssp;
+use hybrid_graph::{Graph, NodeId};
+
+use crate::model::{AlgorithmSuite, Scenario};
+use crate::verify::{
+    check_diameter, check_error, check_kssp_rows, check_matrix, check_sssp, Verdict, Verification,
+};
+use crate::workloads::random_nodes;
+
+/// Structured result of one scenario run — what the JSON sink and the tables
+/// consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Registry name.
+    pub scenario: String,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Requested node count (families may round up slightly).
+    pub n: usize,
+    /// Graph family label.
+    pub family: &'static str,
+    /// Fault plan label.
+    pub faults: &'static str,
+    /// Algorithm suite label.
+    pub suite: &'static str,
+    /// Golden verification verdict.
+    pub verdict: Verdict,
+    /// Verification detail (what was checked / what went wrong).
+    pub detail: String,
+    /// Simulated HYBRID rounds consumed — the full run for a completed
+    /// suite, the partial count for a structured-error abort, 0 only when the
+    /// run panicked.
+    pub rounds: u64,
+    /// Global messages delivered.
+    pub global_messages: u64,
+    /// Global messages removed by the fault plan.
+    pub dropped_messages: u64,
+    /// Wall-clock nanoseconds of the run (graph build + algorithm +
+    /// verification).
+    pub wall_ns: u128,
+}
+
+impl ScenarioReport {
+    /// `true` if the verdict is [`Verdict::Pass`].
+    pub fn passed(&self) -> bool {
+        self.verdict == Verdict::Pass
+    }
+
+    /// The deterministic portion of the report (everything except wall-clock
+    /// time) — what reproducibility tests compare.
+    pub fn deterministic_key(&self) -> (String, u64, usize, &'static str, String, u64, u64, u64) {
+        (
+            self.scenario.clone(),
+            self.seed,
+            self.n,
+            self.verdict.as_str(),
+            self.detail.clone(),
+            self.rounds,
+            self.global_messages,
+            self.dropped_messages,
+        )
+    }
+}
+
+/// Executes the scenario's algorithm suite on `net` and verifies the result,
+/// returning `(rounds, verification)`.
+fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (u64, Verification) {
+    let lossy = sc.faults.is_lossy();
+    let seed = sc.seed;
+    match sc.suite {
+        AlgorithmSuite::Apsp { xi } => match exact_apsp(net, ApspConfig { xi }, seed) {
+            Ok(out) => (out.rounds, check_matrix(g, &out.dist, lossy)),
+            Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+        },
+        AlgorithmSuite::ApspSoda20 { xi } => {
+            match exact_apsp_soda20(net, ApspConfig { xi }, seed) {
+                Ok(out) => (out.rounds, check_matrix(g, &out.dist, lossy)),
+                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+            }
+        }
+        AlgorithmSuite::Sssp { xi } => {
+            let source = NodeId::new(0);
+            match exact_sssp(net, source, KsspConfig { xi }, seed) {
+                Ok(out) => (out.rounds, check_sssp(g, source, &out.dist, lossy)),
+                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+            }
+        }
+        AlgorithmSuite::Kssp { cor, k, eps, xi } => {
+            let sources = random_nodes(g.len(), k, seed);
+            let cfg = KsspConfig { xi };
+            let out = match cor {
+                46 => kssp_cor46(net, &sources, eps, cfg, seed),
+                47 => kssp_cor47(net, &sources, eps, cfg, seed),
+                _ => kssp_cor48(net, &sources, eps, cfg, seed),
+            };
+            match out {
+                Ok(out) => {
+                    let unweighted = g.max_weight() == 1;
+                    let factor = out.guaranteed_factor(unweighted);
+                    (out.rounds, check_kssp_rows(g, &sources, &out.est, factor, lossy))
+                }
+                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+            }
+        }
+        AlgorithmSuite::Diameter { cor, eps, xi } => {
+            let cfg = KsspConfig { xi };
+            let out = if cor == 52 {
+                diameter_cor52(net, eps, cfg, seed)
+            } else {
+                diameter_cor53(net, eps, cfg, seed)
+            };
+            match out {
+                Ok(out) => {
+                    let factor = out.guaranteed_factor();
+                    (out.rounds, check_diameter(g, out.estimate, factor, lossy))
+                }
+                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+            }
+        }
+    }
+}
+
+/// Runs one scenario at size ≈ `n`: builds the graph, wires the fault plan,
+/// executes the suite, and verifies against ground truth. Panics inside the
+/// algorithm are caught and reported as [`Verdict::Fail`] — a fault plan must
+/// surface as a structured error, never a crash.
+pub fn run_scenario(sc: &Scenario, n: usize) -> ScenarioReport {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let g = sc.graph(n);
+        let mut net = sc.net(&g);
+        let (rounds, verification) = run_suite(sc, &g, &mut net);
+        let m = net.metrics();
+        (rounds, verification, m.global_messages, m.dropped_messages)
+    }));
+    let (rounds, verification, global_messages, dropped_messages) = match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (0, Verification::fail(format!("panicked: {msg}")), 0, 0)
+        }
+    };
+    ScenarioReport {
+        scenario: sc.name.to_string(),
+        seed: sc.seed,
+        n,
+        family: sc.family.label(),
+        faults: sc.faults.label(),
+        suite: sc.suite.label(),
+        verdict: verification.verdict,
+        detail: verification.detail,
+        rounds,
+        global_messages,
+        dropped_messages,
+        wall_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Worker-thread count: `HYBRID_SCENARIO_THREADS` override, else the machine's
+/// parallelism, capped at the batch size.
+fn worker_count(jobs: usize) -> usize {
+    let available = std::env::var("HYBRID_SCENARIO_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    available.min(jobs).max(1)
+}
+
+/// Runs every scenario in `batch` at size ≈ `n` on scoped worker threads and
+/// returns the reports in input order. Independent scenarios never share
+/// state, so the output is identical to running them sequentially.
+pub fn run_scenarios(batch: &[&Scenario], n: usize) -> Vec<ScenarioReport> {
+    let jobs = batch.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = worker_count(jobs);
+    let reports: Vec<Mutex<Option<ScenarioReport>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    if threads <= 1 {
+        return batch.iter().map(|sc| run_scenario(sc, n)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let report = run_scenario(batch[i], n);
+                *reports[i].lock().expect("no poisoned slots") = Some(report);
+            });
+        }
+    });
+    reports
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("lock").expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FaultPlan, GraphFamily, WeightModel};
+
+    fn tiny(name: &'static str, suite: AlgorithmSuite) -> Scenario {
+        Scenario {
+            name,
+            tags: &[],
+            family: GraphFamily::SquareGrid,
+            weights: WeightModel::Unit,
+            faults: FaultPlan::None,
+            suite,
+            seed: 11,
+            default_n: 36,
+        }
+    }
+
+    #[test]
+    fn single_run_passes_and_reports() {
+        let sc = tiny("t-apsp", AlgorithmSuite::Apsp { xi: 1.5 });
+        let r = run_scenario(&sc, 36);
+        assert!(r.passed(), "{}: {}", r.scenario, r.detail);
+        assert!(r.rounds > 0);
+        assert!(r.global_messages > 0);
+        assert_eq!(r.dropped_messages, 0);
+        assert_eq!(r.family, "square-grid");
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let scenarios = [
+            tiny("t-apsp", AlgorithmSuite::Apsp { xi: 1.5 }),
+            tiny("t-sssp", AlgorithmSuite::Sssp { xi: 1.5 }),
+            tiny("t-diam", AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 1.0 }),
+        ];
+        let batch: Vec<&Scenario> = scenarios.iter().collect();
+        let par = run_scenarios(&batch, 36);
+        let seq: Vec<ScenarioReport> = batch.iter().map(|sc| run_scenario(sc, 36)).collect();
+        assert_eq!(par.len(), 3);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.deterministic_key(), s.deterministic_key());
+            assert!(p.passed(), "{}: {}", p.scenario, p.detail);
+        }
+    }
+
+    #[test]
+    fn panics_become_fail_verdicts() {
+        // An impossible family configuration: ThinGrid with more rows than
+        // nodes panics inside the generator assertions.
+        let mut sc = tiny("t-bad", AlgorithmSuite::Apsp { xi: 1.5 });
+        sc.family = GraphFamily::BarabasiAlbert { attach: 0 };
+        let r = run_scenario(&sc, 16);
+        assert_eq!(r.verdict, Verdict::Fail);
+        assert!(r.detail.contains("panicked"), "{}", r.detail);
+    }
+}

@@ -1,0 +1,276 @@
+//! Golden verification: every scenario run is checked against ground truth
+//! computed with the sequential reference algorithms (`hybrid_graph`'s
+//! parallel multi-source Dijkstra).
+//!
+//! Two contracts, chosen by the scenario's fault plan:
+//!
+//! * **Strict** (healthy or merely degraded networks): exact suites must match
+//!   the reference distances pairwise; approximate suites must stay within the
+//!   run's own guaranteed factor (Theorem 4.1 / Theorem 5.1) and never
+//!   underestimate.
+//! * **Lossy** (drop/crash faults): faults only *remove* messages, so a run
+//!   that completes must never underestimate a distance (an estimate can only
+//!   miss improvements, not invent shortcuts), and a run that aborts must do
+//!   so with a structured [`HybridError`] — never a silent wrong answer. A
+//!   clean fault-triggered error is a *pass*: the fault surfaced.
+
+use hybrid_core::HybridError;
+use hybrid_graph::apsp::{apsp, eccentricities, DistanceMatrix};
+use hybrid_graph::dijkstra::dijkstra;
+use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
+
+/// Outcome of verifying one scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The run honored its contract.
+    Pass,
+    /// The run violated its contract (wrong distances, broken guarantee, an
+    /// unexpected error, or a panic).
+    Fail,
+}
+
+impl Verdict {
+    /// Lower-case label for tables and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+/// A verdict plus the human-readable reason recorded in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verification {
+    /// Pass/fail.
+    pub verdict: Verdict,
+    /// What was checked / what went wrong.
+    pub detail: String,
+}
+
+impl Verification {
+    pub(crate) fn pass(detail: impl Into<String>) -> Self {
+        Verification { verdict: Verdict::Pass, detail: detail.into() }
+    }
+
+    pub(crate) fn fail(detail: impl Into<String>) -> Self {
+        Verification { verdict: Verdict::Fail, detail: detail.into() }
+    }
+}
+
+/// Checks a full distance matrix against ground truth.
+///
+/// `lossy = false` demands pairwise equality; `lossy = true` demands
+/// no-underestimates (the message-loss contract).
+pub fn check_matrix(g: &Graph, got: &DistanceMatrix, lossy: bool) -> Verification {
+    let truth = apsp(g);
+    let mut overestimates = 0usize;
+    for u in g.nodes() {
+        for v in g.nodes() {
+            let (a, e) = (got.get(u, v), truth.get(u, v));
+            if a < e {
+                return Verification::fail(format!("underestimate d({u},{v}): got {a}, truth {e}"));
+            }
+            if a > e {
+                if !lossy {
+                    return Verification::fail(format!("inexact d({u},{v}): got {a}, truth {e}"));
+                }
+                overestimates += 1;
+            }
+        }
+    }
+    if overestimates > 0 {
+        Verification::pass(format!(
+            "lossy run: {overestimates} overestimated pairs, no underestimates"
+        ))
+    } else {
+        Verification::pass(format!("exact on all {} pairs", g.len() * g.len()))
+    }
+}
+
+/// Checks one SSSP distance vector (from `source`) against ground truth.
+pub fn check_sssp(g: &Graph, source: NodeId, got: &[Distance], lossy: bool) -> Verification {
+    let truth = dijkstra(g, source);
+    let mut overestimates = 0usize;
+    for v in g.nodes() {
+        let (a, e) = (got[v.index()], truth.dist(v));
+        if a < e {
+            return Verification::fail(format!(
+                "underestimate d({source},{v}): got {a}, truth {e}"
+            ));
+        }
+        if a > e {
+            if !lossy {
+                return Verification::fail(format!("inexact d({source},{v}): got {a}, truth {e}"));
+            }
+            overestimates += 1;
+        }
+    }
+    if overestimates > 0 {
+        Verification::pass(format!("lossy run: {overestimates} overestimated nodes"))
+    } else {
+        Verification::pass(format!("exact on all {} nodes", g.len()))
+    }
+}
+
+/// Checks k-SSP estimate rows: never underestimate, and (strict contract)
+/// worst ratio within `factor`.
+pub fn check_kssp_rows(
+    g: &Graph,
+    sources: &[NodeId],
+    est: &[Vec<Distance>],
+    factor: f64,
+    lossy: bool,
+) -> Verification {
+    let mut worst: f64 = 1.0;
+    for (row, &s) in est.iter().zip(sources) {
+        let truth = dijkstra(g, s);
+        for v in g.nodes() {
+            let (a, e) = (row[v.index()], truth.dist(v));
+            if a < e {
+                return Verification::fail(format!("underestimate d({s},{v}): got {a}, truth {e}"));
+            }
+            if !lossy {
+                // Ratio accumulation skips the degenerate pairs below, so the
+                // strict contract must reject them explicitly: a reachable
+                // node estimated unreachable, or a nonzero self-distance.
+                if e < INFINITY && a == INFINITY {
+                    return Verification::fail(format!(
+                        "estimate INFINITY for reachable pair d({s},{v}), truth {e}"
+                    ));
+                }
+                if e == 0 && a != 0 {
+                    return Verification::fail(format!(
+                        "nonzero self-distance d({s},{s}): got {a}"
+                    ));
+                }
+            }
+            if e > 0 && e < INFINITY && a < INFINITY {
+                worst = worst.max(a as f64 / e as f64);
+            }
+        }
+    }
+    if !lossy && worst > factor + 1e-9 {
+        return Verification::fail(format!(
+            "approximation guarantee broken: worst ratio {worst:.3} > factor {factor:.3}"
+        ));
+    }
+    Verification::pass(format!("worst ratio {worst:.3} (guarantee {factor:.3})"))
+}
+
+/// Checks a diameter estimate: `D ≤ estimate`, and (strict contract)
+/// `estimate ≤ factor · D`.
+pub fn check_diameter(g: &Graph, estimate: Distance, factor: f64, lossy: bool) -> Verification {
+    let d = eccentricities(g).into_iter().max().unwrap_or(0);
+    if d == INFINITY {
+        return Verification::fail("ground-truth diameter is infinite (disconnected graph?)");
+    }
+    if estimate < d {
+        return Verification::fail(format!("diameter underestimated: got {estimate}, D = {d}"));
+    }
+    if !lossy && (estimate as f64) > factor * d as f64 + 1e-9 {
+        return Verification::fail(format!(
+            "diameter guarantee broken: got {estimate}, D = {d}, factor {factor:.3}"
+        ));
+    }
+    Verification::pass(format!("estimate {estimate} vs D = {d} (factor {factor:.3})"))
+}
+
+/// Classifies an algorithm error under the scenario's fault plan: expected
+/// (and therefore a pass) only when the plan is lossy **and actually removed
+/// messages** — an error on a run where nothing was dropped is an algorithm
+/// defect hiding behind the fault-tolerance contract, and faults must surface
+/// as structured errors, so anything else is a defect too.
+pub fn check_error(err: &HybridError, lossy: bool, dropped_messages: u64) -> Verification {
+    if lossy && dropped_messages > 0 {
+        Verification::pass(format!(
+            "fault surfaced as structured error after {dropped_messages} dropped messages: {err}"
+        ))
+    } else if lossy {
+        Verification::fail(format!(
+            "error under a lossy plan but no message was dropped — defect, not fault: {err}"
+        ))
+    } else {
+        Verification::fail(format!("unexpected error on healthy network: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::path;
+
+    #[test]
+    fn strict_matrix_detects_inexactness_and_underestimates() {
+        let g = path(4, 2).unwrap();
+        let truth = apsp(&g);
+        assert_eq!(check_matrix(&g, &truth, false).verdict, Verdict::Pass);
+
+        let mut over = truth.clone();
+        over.set(NodeId::new(0), NodeId::new(3), 100);
+        assert_eq!(check_matrix(&g, &over, false).verdict, Verdict::Fail);
+        // The lossy contract tolerates overestimates…
+        assert_eq!(check_matrix(&g, &over, true).verdict, Verdict::Pass);
+
+        let mut under = truth.clone();
+        under.set(NodeId::new(0), NodeId::new(3), 1);
+        // …but never underestimates.
+        assert_eq!(check_matrix(&g, &under, true).verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn sssp_and_kssp_checks() {
+        let g = path(5, 1).unwrap();
+        let truth = dijkstra(&g, NodeId::new(0));
+        assert_eq!(check_sssp(&g, NodeId::new(0), truth.as_slice(), false).verdict, Verdict::Pass);
+        let mut wrong = truth.as_slice().to_vec();
+        wrong[4] = 2;
+        assert_eq!(check_sssp(&g, NodeId::new(0), &wrong, true).verdict, Verdict::Fail);
+
+        let sources = vec![NodeId::new(0), NodeId::new(2)];
+        let est: Vec<Vec<Distance>> = sources
+            .iter()
+            .map(|&s| dijkstra(&g, s).as_slice().iter().map(|&d| d * 2).collect())
+            .collect();
+        // Doubling every distance is a ratio-2 approximation.
+        assert_eq!(check_kssp_rows(&g, &sources, &est, 2.0, false).verdict, Verdict::Pass);
+        assert_eq!(check_kssp_rows(&g, &sources, &est, 1.5, false).verdict, Verdict::Fail);
+        assert_eq!(check_kssp_rows(&g, &sources, &est, 1.5, true).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn diameter_check() {
+        let g = path(6, 1).unwrap(); // D = 5
+        assert_eq!(check_diameter(&g, 5, 1.5, false).verdict, Verdict::Pass);
+        assert_eq!(check_diameter(&g, 7, 1.5, false).verdict, Verdict::Pass);
+        assert_eq!(check_diameter(&g, 4, 1.5, false).verdict, Verdict::Fail);
+        assert_eq!(check_diameter(&g, 20, 1.5, false).verdict, Verdict::Fail);
+        assert_eq!(check_diameter(&g, 20, 1.5, true).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn errors_pass_only_under_lossy_plans_with_real_drops() {
+        let err = HybridError::MissingTokens { receiver: NodeId::new(1), expected: 3, got: 1 };
+        assert_eq!(check_error(&err, true, 7).verdict, Verdict::Pass);
+        assert_eq!(check_error(&err, true, 0).verdict, Verdict::Fail, "no drop, no excuse");
+        assert_eq!(check_error(&err, false, 7).verdict, Verdict::Fail);
+        assert_eq!(check_error(&err, false, 0).verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn strict_kssp_rejects_degenerate_estimates() {
+        let g = path(4, 1).unwrap();
+        let sources = vec![NodeId::new(0)];
+        let mut est = vec![dijkstra(&g, NodeId::new(0)).as_slice().to_vec()];
+        est[0][3] = INFINITY; // reachable node estimated unreachable
+        let v = check_kssp_rows(&g, &sources, &est, 10.0, false);
+        assert_eq!(v.verdict, Verdict::Fail);
+        assert!(v.detail.contains("INFINITY"), "{}", v.detail);
+        // The lossy contract tolerates it (a lost message can cost coverage).
+        assert_eq!(check_kssp_rows(&g, &sources, &est, 10.0, true).verdict, Verdict::Pass);
+
+        let mut est = vec![dijkstra(&g, NodeId::new(0)).as_slice().to_vec()];
+        est[0][0] = 5; // nonzero self-distance
+        assert_eq!(check_kssp_rows(&g, &sources, &est, 10.0, false).verdict, Verdict::Fail);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared workload-construction helpers: the one place that turns
+//! `(n, knobs, seed)` into concrete graphs and source sets. The experiment
+//! harness, the examples, and the scenario families all build on these, so no
+//! consumer hand-rolls its own RNG-plus-generator setup.
+
+use hybrid_graph::generators::erdos_renyi_connected;
+use hybrid_graph::{Distance, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Erdős–Rényi with expected average degree `avg_deg`, weights in
+/// `[1, max_w]`, patched to connectivity, deterministic in `seed`.
+pub fn er(n: usize, avg_deg: f64, max_w: Distance, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi_connected(n, (avg_deg / n as f64).min(1.0), max_w, &mut rng).expect("generator")
+}
+
+/// `k` distinct nodes of `0..n`, uniformly without replacement, sorted,
+/// deterministic in `seed` — the standard source/landmark picker.
+pub fn random_nodes(n: usize, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    all.shuffle(&mut rng);
+    let mut out = all[..k.min(n)].to_vec();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_deterministic_and_connected() {
+        let a = er(60, 8.0, 4, 5);
+        let b = er(60, 8.0, 4, 5);
+        assert!(a.is_connected());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn random_nodes_distinct_sorted_deterministic() {
+        let a = random_nodes(50, 10, 3);
+        let b = random_nodes(50, 10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(random_nodes(5, 99, 1).len(), 5, "k clamps to n");
+    }
+}

@@ -3,6 +3,8 @@
 
 use hybrid_graph::graph::log2_ceil;
 
+use crate::net::SimError;
+
 /// What to do when a global exchange exceeds the per-round caps.
 ///
 /// The paper's protocols guarantee w.h.p. that no node receives more than
@@ -56,6 +58,45 @@ impl HybridConfig {
         HybridConfig { overflow: OverflowPolicy::Fail, ..Self::default() }
     }
 
+    /// A starved network: the smallest valid caps (1 message per round at any
+    /// `n`), used by fault-injection tests and degraded-network scenarios to
+    /// force congestion while staying a *valid* configuration.
+    pub fn starved(overflow: OverflowPolicy) -> Self {
+        HybridConfig { send_cap_factor: 0.01, recv_cap_factor: 0.01, overflow }
+    }
+
+    /// Config with explicitly scaled cap factors under
+    /// [`OverflowPolicy::Stretch`] (the degraded-but-correct regime: every
+    /// message still arrives, the round clock pays for the thinner pipe).
+    pub fn degraded(send_cap_factor: f64, recv_cap_factor: f64) -> Self {
+        HybridConfig { send_cap_factor, recv_cap_factor, overflow: OverflowPolicy::Stretch }
+    }
+
+    /// Validates the configuration: both cap factors must be finite and
+    /// strictly positive. A zero/negative/NaN factor describes a network that
+    /// can never deliver anything — paced drains would spin forever — so it is
+    /// rejected at construction ([`crate::HybridNet::try_new`]) instead of
+    /// surfacing as a hang deep inside a protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the degenerate factor.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (name, factor) in
+            [("send_cap_factor", self.send_cap_factor), ("recv_cap_factor", self.recv_cap_factor)]
+        {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "{name} must be finite and > 0, got {factor} \
+                         (a 0-messages/round cap would livelock paced exchanges)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Per-node send cap in messages per round for a graph on `n` nodes
     /// (`⌈factor · ⌈log2 n⌉⌉`, at least 1).
     pub fn send_cap(&self, n: usize) -> usize {
@@ -100,5 +141,29 @@ mod tests {
     fn strict_uses_fail() {
         assert_eq!(HybridConfig::strict().overflow, OverflowPolicy::Fail);
         assert_eq!(HybridConfig::default().overflow, OverflowPolicy::Stretch);
+    }
+
+    #[test]
+    fn starved_is_valid_and_minimal() {
+        let c = HybridConfig::starved(OverflowPolicy::Stretch);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.send_cap(1 << 20), 1);
+        assert_eq!(c.recv_cap(1 << 20), 1);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_factors() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for cfg in [
+                HybridConfig { send_cap_factor: bad, ..HybridConfig::default() },
+                HybridConfig { recv_cap_factor: bad, ..HybridConfig::default() },
+            ] {
+                let err = cfg.validate().unwrap_err();
+                assert!(matches!(err, SimError::InvalidConfig { .. }), "factor {bad}");
+                assert!(err.to_string().contains("cap_factor"), "factor {bad}");
+            }
+        }
+        assert!(HybridConfig::default().validate().is_ok());
+        assert!(HybridConfig::degraded(0.25, 1.0).validate().is_ok());
     }
 }

@@ -1,0 +1,177 @@
+//! First-class fault injection for the global channel.
+//!
+//! A [`FaultPlan`] describes *adversarial network behavior* the simulator
+//! applies inside every [`crate::HybridNet::exchange_into`] call: global
+//! messages lost with a fixed probability, and nodes that crash at a given
+//! round and fall silent (they neither send nor receive global messages from
+//! then on). Faults model the environment, not the algorithm — algorithms keep
+//! their normal code path and the simulator decides what the network delivers.
+//!
+//! Two invariants make fault runs verifiable:
+//!
+//! * **Determinism** — drops are driven by a SplitMix64 stream seeded from the
+//!   plan, consumed in message order; the same plan on the same execution
+//!   drops the same messages.
+//! * **Loss, never corruption** — faults only *remove* messages. Distance
+//!   estimates computed from surviving messages therefore remain upper bounds
+//!   (missing a message can only cost an improvement), which is exactly what
+//!   the scenario verification layer checks for lossy runs.
+//!
+//! The per-round caps are *not* faults: degenerate bandwidth is configured
+//! through [`crate::HybridConfig`] (see [`crate::HybridConfig::starved`]).
+
+use hybrid_graph::NodeId;
+
+use crate::net::SimError;
+
+/// A scheduled node crash: from the moment `at_round` rounds have elapsed on
+/// the network clock, `node` is silent (sends and receives nothing globally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// The round-clock value at which the crash takes effect.
+    pub at_round: u64,
+}
+
+/// A declarative fault plan for one execution.
+///
+/// The default plan is trivial (no drops, no crashes) and costs nothing on the
+/// exchange hot path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1)` that any individual global message is lost.
+    pub drop_prob: f64,
+    /// Scheduled node crashes.
+    pub crashes: Vec<Crash>,
+    /// Seed of the deterministic drop stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Plan dropping each global message independently with probability `prob`.
+    pub fn drops(prob: f64, seed: u64) -> Self {
+        FaultPlan { drop_prob: prob, crashes: Vec::new(), seed }
+    }
+
+    /// Plan crashing the given nodes at the given rounds.
+    pub fn node_crashes(crashes: Vec<Crash>) -> Self {
+        FaultPlan { drop_prob: 0.0, crashes, seed: 0 }
+    }
+
+    /// `true` if the plan can never remove a message.
+    pub fn is_trivial(&self) -> bool {
+        self.drop_prob == 0.0 && self.crashes.is_empty()
+    }
+
+    /// Validates the plan (the drop probability must be in `[0, 1)`; a plan
+    /// that drops *everything* would make retry-style protocols loop forever).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] with the offending field named.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.drop_prob.is_finite() || !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("drop_prob must be in [0, 1), got {}", self.drop_prob),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Installed runtime state of a [`FaultPlan`].
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Per-node crash round (`u64::MAX` = never crashes).
+    crashed_at: Vec<u64>,
+    /// Drop probability.
+    drop_prob: f64,
+    /// SplitMix64 state of the drop stream.
+    rng_state: u64,
+}
+
+impl FaultState {
+    pub(crate) fn install(plan: &FaultPlan, n: usize) -> Self {
+        let mut crashed_at = vec![u64::MAX; n];
+        for c in &plan.crashes {
+            if c.node.index() < n {
+                crashed_at[c.node.index()] = crashed_at[c.node.index()].min(c.at_round);
+            }
+        }
+        FaultState { crashed_at, drop_prob: plan.drop_prob, rng_state: plan.seed }
+    }
+
+    /// Is `v` alive at round-clock value `round`? Out-of-range addresses are
+    /// treated as alive so they still surface as
+    /// [`SimError::AddressOutOfRange`] instead of being silently dropped.
+    pub(crate) fn alive(&self, v: NodeId, round: u64) -> bool {
+        self.crashed_at.get(v.index()).is_none_or(|&at| round < at)
+    }
+
+    /// Draws the next drop decision from the deterministic stream.
+    pub(crate) fn drop_next(&mut self) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        // SplitMix64 step; the high 53 bits give a uniform unit double.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.drop_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan() {
+        assert!(FaultPlan::default().is_trivial());
+        assert!(!FaultPlan::drops(0.1, 1).is_trivial());
+        let crash = FaultPlan::node_crashes(vec![Crash { node: NodeId::new(2), at_round: 5 }]);
+        assert!(!crash.is_trivial());
+        assert!(crash.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        for p in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = FaultPlan::drops(p, 0).validate().unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "p = {p}");
+        }
+        assert!(FaultPlan::drops(0.0, 0).validate().is_ok());
+        assert!(FaultPlan::drops(0.999, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn drop_stream_is_deterministic_and_calibrated() {
+        let plan = FaultPlan::drops(0.25, 42);
+        let mut a = FaultState::install(&plan, 4);
+        let mut b = FaultState::install(&plan, 4);
+        let da: Vec<bool> = (0..10_000).map(|_| a.drop_next()).collect();
+        let db: Vec<bool> = (0..10_000).map(|_| b.drop_next()).collect();
+        assert_eq!(da, db, "same seed, same stream");
+        let hits = da.iter().filter(|&&d| d).count();
+        assert!((2000..3000).contains(&hits), "≈25% of 10k, got {hits}");
+    }
+
+    #[test]
+    fn crash_schedule_and_bounds() {
+        let plan = FaultPlan::node_crashes(vec![
+            Crash { node: NodeId::new(1), at_round: 3 },
+            Crash { node: NodeId::new(1), at_round: 7 }, // earliest crash wins
+            Crash { node: NodeId::new(9), at_round: 0 }, // out of range: ignored
+        ]);
+        let st = FaultState::install(&plan, 4);
+        assert!(st.alive(NodeId::new(1), 2));
+        assert!(!st.alive(NodeId::new(1), 3));
+        assert!(!st.alive(NodeId::new(1), 100));
+        assert!(st.alive(NodeId::new(0), 100));
+        assert!(st.alive(NodeId::new(9), 0), "out-of-range stays 'alive' for the address check");
+    }
+}

@@ -20,6 +20,12 @@
 //! `γ = Θ(log² n)` bits); restricting `γ` further scales the per-round message
 //! caps.
 //!
+//! Adversarial network behavior (random global-message loss, node crashes) is
+//! injected through a declarative [`FaultPlan`]
+//! ([`HybridNet::inject_faults`]) — the hooks live inside the exchange engine,
+//! so every protocol built on the simulator can be exercised under faults
+//! without touching its code.
+//!
 //! # Example
 //!
 //! ```
@@ -49,12 +55,14 @@
 
 pub mod channel;
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod rng;
 
 pub use channel::{Envelope, FlatInboxes, Inboxes};
 pub use config::{HybridConfig, OverflowPolicy};
+pub use fault::{Crash, FaultPlan};
 pub use metrics::{Metrics, PhaseStats};
 pub use net::{HybridNet, SimError};
 pub use rng::derive_seed;

@@ -33,6 +33,9 @@ pub struct Metrics {
     /// Messages that crossed the registered cut (see
     /// [`crate::HybridNet::set_cut`]); `0` if no cut is registered.
     pub cut_messages: u64,
+    /// Global messages removed by the installed fault plan (random drops plus
+    /// messages from/to crashed nodes); `0` without faults.
+    pub dropped_messages: u64,
     /// Histogram of per-node per-exchange receive loads: `recv_load_hist[l]` =
     /// number of (node, exchange) pairs with load exactly `l` (saturating at the
     /// last bucket).
@@ -115,6 +118,9 @@ impl Metrics {
         if self.cut_messages > 0 {
             let _ = writeln!(out, "cut crossings: {}", self.cut_messages);
         }
+        if self.dropped_messages > 0 {
+            let _ = writeln!(out, "fault-dropped messages: {}", self.dropped_messages);
+        }
         if !self.phases.is_empty() {
             let _ = writeln!(out, "phases:");
             let width = self.phases.keys().map(|k| k.len()).max().unwrap_or(0);
@@ -140,6 +146,7 @@ impl Metrics {
         self.max_recv_load = self.max_recv_load.max(other.max_recv_load);
         self.stretched_exchanges += other.stretched_exchanges;
         self.cut_messages += other.cut_messages;
+        self.dropped_messages += other.dropped_messages;
         if self.recv_load_hist.len() < other.recv_load_hist.len() {
             self.recv_load_hist.resize(other.recv_load_hist.len(), 0);
         }

@@ -17,6 +17,7 @@ use hybrid_graph::{Graph, NodeId};
 
 use crate::channel::{Envelope, FlatInboxes, Inboxes};
 use crate::config::{HybridConfig, OverflowPolicy};
+use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
 
 /// Errors of a simulated execution.
@@ -49,6 +50,14 @@ pub enum SimError {
         /// Network size.
         n: usize,
     },
+    /// A [`HybridConfig`] or [`FaultPlan`] was rejected at construction —
+    /// degenerate caps (e.g. a non-finite or non-positive cap factor, which
+    /// would starve `exchange` pacing into a livelock) or an out-of-range
+    /// fault probability.
+    InvalidConfig {
+        /// Human-readable description of the rejected field.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +71,9 @@ impl fmt::Display for SimError {
             }
             SimError::AddressOutOfRange { node, n } => {
                 write!(f, "destination {node} out of range for network of {n} nodes")
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
             }
         }
     }
@@ -112,18 +124,58 @@ pub struct HybridNet<'g> {
     metrics: Metrics,
     cut: Option<Vec<bool>>,
     scratch: ExchangeScratch,
+    faults: Option<FaultState>,
 }
 
 impl<'g> HybridNet<'g> {
     /// Creates a network over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is degenerate (see [`HybridConfig::validate`]); use
+    /// [`HybridNet::try_new`] to handle that as an error instead.
     pub fn new(graph: &'g Graph, config: HybridConfig) -> Self {
-        HybridNet {
+        Self::try_new(graph, config).expect("valid HybridConfig")
+    }
+
+    /// Creates a network over `graph`, rejecting degenerate configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if a cap factor is non-finite or
+    /// non-positive (a 0-messages-per-round budget would livelock paced
+    /// protocols instead of erroring).
+    pub fn try_new(graph: &'g Graph, config: HybridConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(HybridNet {
             graph,
             config,
             metrics: Metrics::new(),
             cut: None,
             scratch: ExchangeScratch::for_n(graph.len()),
-        }
+            faults: None,
+        })
+    }
+
+    /// Installs a [`FaultPlan`]: from now on every global exchange drops
+    /// messages per the plan's probability (deterministic stream) and silences
+    /// crashed endpoints. Replaces any previously installed plan; dropped
+    /// messages are counted in [`Metrics::dropped_messages`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the plan is invalid (see
+    /// [`FaultPlan::validate`]).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        plan.validate()?;
+        self.faults =
+            if plan.is_trivial() { None } else { Some(FaultState::install(plan, self.n())) };
+        Ok(())
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// The local communication graph.
@@ -235,8 +287,27 @@ impl<'g> HybridNet<'g> {
         let n = self.graph.len();
         let send_cap = self.send_cap();
         let recv_cap = self.recv_cap();
-        let m = outbox.len();
         out.clear();
+
+        // Fault hook: crashed endpoints fall silent and the drop stream loses
+        // messages *before* any accounting — a lost message consumes neither
+        // bandwidth nor rounds, it simply never happened on the wire. `retain`
+        // is in-place, so the fault-free path stays allocation-free too.
+        // Messages with out-of-range endpoints are exempt: an addressing bug
+        // must always surface as [`SimError::AddressOutOfRange`] below, never
+        // be swallowed by a random drop.
+        if let Some(faults) = &mut self.faults {
+            let round = self.metrics.rounds;
+            let before = outbox.len();
+            outbox.retain(|e| {
+                if e.src.index() >= n || e.dst.index() >= n {
+                    return true;
+                }
+                faults.alive(e.src, round) && faults.alive(e.dst, round) && !faults.drop_next()
+            });
+            self.metrics.dropped_messages += (before - outbox.len()) as u64;
+        }
+        let m = outbox.len();
 
         // Count per-node loads (and validate addresses) into the scratch arena.
         let scratch = &mut self.scratch;
@@ -725,5 +796,136 @@ mod tests {
     fn error_display() {
         let e = SimError::RecvCapExceeded { node: NodeId::new(3), received: 9, cap: 4 };
         assert!(e.to_string().contains("receive"));
+        let e = SimError::InvalidConfig { reason: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_config() {
+        let g = path(4, 1).unwrap();
+        let cfg = HybridConfig { send_cap_factor: 0.0, ..HybridConfig::default() };
+        let err = HybridNet::try_new(&g, cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid HybridConfig")]
+    fn new_panics_on_degenerate_config() {
+        let g = path(4, 1).unwrap();
+        let _ =
+            HybridNet::new(&g, HybridConfig { recv_cap_factor: f64::NAN, ..Default::default() });
+    }
+
+    #[test]
+    fn drops_never_swallow_bad_addresses() {
+        // An addressing bug must surface as an error on every seed — the
+        // fault filter exempts out-of-range endpoints from the drop stream.
+        use crate::fault::FaultPlan;
+        let g = path(4, 1).unwrap();
+        for seed in 0..8 {
+            let mut net = net(&g);
+            net.inject_faults(&FaultPlan::drops(0.9, seed)).unwrap();
+            let err = net
+                .exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(9), 0u8)])
+                .unwrap_err();
+            assert!(matches!(err, SimError::AddressOutOfRange { .. }), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_fall_silent() {
+        use crate::fault::{Crash, FaultPlan};
+        let g = path(8, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::node_crashes(vec![Crash {
+            node: NodeId::new(3),
+            at_round: 1,
+        }]))
+        .unwrap();
+        // Round clock is 0: node 3 is still alive.
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(3), 1u8)]).unwrap();
+        assert_eq!(inboxes[3], vec![(NodeId::new(0), 1)]);
+        // Clock is now 1: node 3 neither receives nor sends.
+        let inboxes = net
+            .exchange(
+                "t",
+                vec![
+                    Envelope::new(NodeId::new(0), NodeId::new(3), 2u8), // to crashed
+                    Envelope::new(NodeId::new(3), NodeId::new(5), 3u8), // from crashed
+                    Envelope::new(NodeId::new(0), NodeId::new(5), 4u8), // healthy
+                ],
+            )
+            .unwrap();
+        assert!(inboxes[3].is_empty());
+        assert_eq!(inboxes[5], vec![(NodeId::new(0), 4)]);
+        assert_eq!(net.metrics().dropped_messages, 2);
+        assert_eq!(net.metrics().global_messages, 2, "dropped messages never hit the wire");
+    }
+
+    #[test]
+    fn drop_faults_are_deterministic_and_counted() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let run = || {
+            let mut net = net(&g);
+            net.inject_faults(&FaultPlan::drops(0.5, 99)).unwrap();
+            let mut delivered = Vec::new();
+            for r in 0..32u32 {
+                let inboxes = net
+                    .exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(1), r)])
+                    .unwrap();
+                delivered.extend(inboxes[1].iter().map(|&(_, m)| m));
+            }
+            (delivered, net.metrics().dropped_messages)
+        };
+        let (a, dropped_a) = run();
+        let (b, dropped_b) = run();
+        assert_eq!(a, b, "same plan, same drops");
+        assert_eq!(dropped_a, dropped_b);
+        assert_eq!(a.len() as u64 + dropped_a, 32);
+        assert!(dropped_a > 0, "p = 0.5 over 32 messages");
+    }
+
+    #[test]
+    fn clear_faults_restores_delivery() {
+        use crate::fault::FaultPlan;
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::drops(0.999, 7)).unwrap();
+        net.clear_faults();
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(2), 5u8)]).unwrap();
+        assert_eq!(inboxes[2], vec![(NodeId::new(0), 5)]);
+        assert_eq!(net.metrics().dropped_messages, 0);
+    }
+
+    #[test]
+    fn inject_faults_validates_plan() {
+        use crate::fault::FaultPlan;
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        let err = net.inject_faults(&FaultPlan::drops(1.0, 0)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn drain_queues_under_drops_terminates() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::drops(0.3, 5)).unwrap();
+        let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+        for i in 0..40 {
+            queues[i % 4].push(Envelope::new(
+                NodeId::new(i % 4),
+                NodeId::new(8 + (i % 8)),
+                i as u32,
+            ));
+        }
+        let inboxes = net.drain_queues("t", queues).unwrap();
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        assert_eq!(delivered as u64 + net.metrics().dropped_messages, 40);
+        assert!(net.metrics().dropped_messages > 0);
     }
 }

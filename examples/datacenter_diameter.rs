@@ -5,7 +5,8 @@
 //! latency) without waiting `Θ(D)` rounds for a purely local sweep.
 //!
 //! We compare the paper's two diameter approximations (Corollaries 5.2, 5.3)
-//! against the exact diameter on a pod-grid fabric.
+//! against the exact diameter on the registry's `datacenter-thin-grid`
+//! scenario at growing sizes.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_diameter
@@ -14,29 +15,29 @@
 use hybrid_shortest_paths::core::diameter::{diameter_cor52, diameter_cor53};
 use hybrid_shortest_paths::core::ksssp::KsspConfig;
 use hybrid_shortest_paths::graph::bfs::unweighted_diameter;
-use hybrid_shortest_paths::graph::generators::grid;
-use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::scenarios;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("rows x cols |    D | alg        | estimate | ratio | rounds | D-rounds saved");
-    println!("------------+------+------------+----------+-------+--------+---------------");
-    for (rows, cols) in [(4, 250), (4, 375), (4, 500)] {
-        // Long-haul rack fabric: a thin rows×cols grid of ToR switches — large
+    let scenario = scenarios::find("datacenter-thin-grid").expect("registered scenario");
+    println!("       n |    D | alg        | estimate | ratio | rounds | D-rounds saved");
+    println!("---------+------+------------+----------+-------+--------+---------------");
+    for n in [1000usize, 1500, 2000] {
+        // Long-haul rack fabric: a thin 4×cols grid of ToR switches — large
         // hop diameter, exactly where a purely local Θ(D)-round sweep hurts.
-        let g = grid(rows, cols, 1)?;
+        let g = scenario.graph(n);
         let d = unweighted_diameter(&g);
         for (name, which) in [("3/2+eps", 52u32), ("1+eps", 53)] {
-            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let mut net = scenario.net(&g);
             let cfg = KsspConfig { xi: 0.5 };
             let out = if which == 52 {
-                diameter_cor52(&mut net, 0.5, cfg, 99)?
+                diameter_cor52(&mut net, 0.5, cfg, scenario.seed)?
             } else {
-                diameter_cor53(&mut net, 0.5, cfg, 99)?
+                diameter_cor53(&mut net, 0.5, cfg, scenario.seed)?
             };
             let ratio = out.estimate as f64 / d as f64;
             let saved = d as i64 - out.rounds as i64;
             println!(
-                "{rows:>4} x {cols:<5} | {d:>4} | {name:<10} | {est:>8} | {ratio:>5.2} | {rounds:>6} | {saved:>+6} {note}",
+                "{n:>8} | {d:>4} | {name:<10} | {est:>8} | {ratio:>5.2} | {rounds:>6} | {saved:>+6} {note}",
                 est = out.estimate,
                 rounds = out.rounds,
                 note = if out.exact_local { "(exact: D fit in the local horizon)" } else { "" },

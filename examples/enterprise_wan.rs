@@ -4,39 +4,41 @@
 //! the local fabric: exact APSP (Theorem 1.1), then next-hop extraction — the
 //! "efficient IP-routing" application the paper names.
 //!
+//! The topology is the registry's `wan-clustered-apsp` scenario.
+//!
 //! ```sh
 //! cargo run --release --example enterprise_wan
 //! ```
 
 use hybrid_shortest_paths::core::apsp::{apsp_local_only, exact_apsp, ApspConfig};
 use hybrid_shortest_paths::graph::apsp::{follow_route, next_hop_table};
-use hybrid_shortest_paths::graph::generators::clustered_network;
 use hybrid_shortest_paths::graph::NodeId;
-use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hybrid_shortest_paths::scenarios::{self, GraphFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 8 offices of 30 hosts; cheap LAN links, expensive WAN links.
-    let mut rng = StdRng::seed_from_u64(2026);
-    let g = clustered_network(8, 30, 0.25, 3, 40, 6, &mut rng)?;
+    // 4 offices of 60 hosts; cheap LAN links, expensive WAN links.
+    let scenario = scenarios::find("wan-clustered-apsp").expect("registered scenario");
+    let g = scenario.graph(240);
+    let GraphFamily::Clustered { link_w, .. } = scenario.family else {
+        unreachable!("wan scenario is clustered");
+    };
     println!(
         "WAN: {} hosts, {} links ({} heavy WAN links)",
         g.len(),
         g.num_edges(),
-        g.edges().iter().filter(|e| e.w == 40).count()
+        g.edges().iter().filter(|e| e.w == link_w).count()
     );
 
     // Distributed exact APSP (Theorem 1.1).
-    let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = exact_apsp(&mut net, ApspConfig::default(), 11)?;
+    let mut net = scenario.net(&g);
+    let out = exact_apsp(&mut net, ApspConfig::default(), scenario.seed)?;
     println!(
         "exact APSP in {} HYBRID rounds (skeleton {}, h = {})",
         out.rounds, out.skeleton_size, out.h
     );
 
     // The LOCAL-only alternative needs D rounds of full flooding.
-    let mut local_net = HybridNet::new(&g, HybridConfig::default());
+    let mut local_net = scenario.net(&g);
     let local = apsp_local_only(&mut local_net);
     println!("LOCAL-only flooding baseline: {} rounds (= hop diameter)", local.rounds);
     println!(

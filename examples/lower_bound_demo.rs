@@ -6,6 +6,10 @@
 //!    `L`-hop bottleneck — we run a real k-SSP algorithm on the construction
 //!    and measure the information that actually crosses the cut.
 //!
+//! Unlike the workload examples, this one does not draw from the scenario
+//! registry: the lower-bound harnesses build their adversarial constructions
+//! (and their nets) internally, so there is no graph/config setup to share.
+//!
 //! ```sh
 //! cargo run --release --example lower_bound_demo
 //! ```

@@ -4,8 +4,9 @@
 //! cellular network (the paper's motivating hybrid setting). To route within
 //! the mesh, every device needs its distance to `k` landmark nodes — exactly
 //! the k-source shortest paths problem (Theorem 1.2). We run the `(7+ε)`
-//! weighted / `(2+ε)` unweighted k-SSP (Corollary 4.7) and measure the actual
-//! stretch of landmark routing built on the estimates.
+//! weighted / `(2+ε)` unweighted k-SSP (Corollary 4.7) on the registry's
+//! `geo-mesh-kssp47` scenario and measure the actual stretch of landmark
+//! routing built on the estimates.
 //!
 //! ```sh
 //! cargo run --release --example p2p_routing_tables
@@ -13,26 +14,19 @@
 
 use hybrid_shortest_paths::core::ksssp::{kssp_cor47, KsspConfig};
 use hybrid_shortest_paths::graph::apsp::apsp;
-use hybrid_shortest_paths::graph::generators::random_geometric_connected;
-use hybrid_shortest_paths::graph::{NodeId, INFINITY};
-use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hybrid_shortest_paths::graph::INFINITY;
+use hybrid_shortest_paths::scenarios::{self, workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(7);
-    let n = 180;
+    let scenario = scenarios::find("geo-mesh-kssp47").expect("registered scenario");
     let k = 12;
-    let g = random_geometric_connected(n, 0.13, 5, &mut rng)?;
-    let mut all: Vec<NodeId> = g.nodes().collect();
-    all.shuffle(&mut rng);
-    let landmarks: Vec<NodeId> = all[..k].to_vec();
+    let g = scenario.graph(180);
+    let landmarks = workloads::random_nodes(g.len(), k, scenario.seed);
     println!("mesh: {} devices, {} links; {} landmarks", g.len(), g.num_edges(), k);
 
     // Distributed k-SSP (Corollary 4.7).
-    let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = kssp_cor47(&mut net, &landmarks, 0.5, KsspConfig { xi: 1.0 }, 3)?;
+    let mut net = scenario.net(&g);
+    let out = kssp_cor47(&mut net, &landmarks, 0.5, KsspConfig { xi: 1.0 }, scenario.seed)?;
     println!(
         "k-SSP finished in {} rounds (skeleton {}, guarantee factor {:.2})",
         out.rounds,

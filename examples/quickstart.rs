@@ -1,6 +1,10 @@
 //! Quickstart: simulate the HYBRID model on a random geometric network and run
 //! the paper's flagship algorithms.
 //!
+//! The workload comes from the scenario registry (`geo-mesh-kssp47`): the
+//! registry owns graph construction, simulator configuration, and seeds, so
+//! every example and benchmark exercises the same reproducible instances.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
@@ -10,20 +14,17 @@ use hybrid_shortest_paths::core::ksssp::KsspConfig;
 use hybrid_shortest_paths::core::sssp::exact_sssp;
 use hybrid_shortest_paths::graph::apsp::apsp as reference_apsp;
 use hybrid_shortest_paths::graph::dijkstra::dijkstra;
-use hybrid_shortest_paths::graph::generators::random_geometric_connected;
 use hybrid_shortest_paths::graph::NodeId;
-use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hybrid_shortest_paths::scenarios;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 150-node wireless-style network: nodes talk locally to radio neighbors
     // (the LOCAL mode) and globally through the cell infrastructure (NCC mode).
-    let mut rng = StdRng::seed_from_u64(42);
-    let n = 150;
-    let g = random_geometric_connected(n, 0.14, 8, &mut rng)?;
+    let scenario = scenarios::find("geo-mesh-kssp47").expect("registered scenario");
+    let g = scenario.graph(150);
     println!(
-        "local graph: {} nodes, {} edges, max weight {}",
+        "scenario {:?}: {} nodes, {} edges, max weight {}",
+        scenario.name,
         g.len(),
         g.num_edges(),
         g.max_weight()
@@ -31,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Exact SSSP in Õ(n^{2/5}) rounds (Theorem 1.3) -----------------------
     let source = NodeId::new(0);
-    let mut net = HybridNet::new(&g, HybridConfig::default());
-    let sssp = exact_sssp(&mut net, source, KsspConfig::default(), 7)?;
+    let mut net = scenario.net(&g);
+    let sssp = exact_sssp(&mut net, source, KsspConfig::default(), scenario.seed)?;
     let reference = dijkstra(&g, source);
     assert_eq!(sssp.dist.as_slice(), reference.as_slice(), "SSSP must be exact");
     println!(
@@ -41,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Exact APSP in Õ(√n) rounds (Theorem 1.1) ---------------------------
-    let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = exact_apsp(&mut net, ApspConfig::default(), 7)?;
+    let mut net = scenario.net(&g);
+    let out = exact_apsp(&mut net, ApspConfig::default(), scenario.seed)?;
     let exact = reference_apsp(&g);
     for u in g.nodes() {
         for v in g.nodes() {
@@ -62,5 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (phase, stats) in &m.phases {
         println!("        {phase:<28} {:>6} rounds {:>8} msgs", stats.rounds, stats.messages);
     }
+
+    // --- The same scenario through the engine's own runner ------------------
+    let report = scenarios::run_scenario(scenario, 150);
+    println!(
+        "scenario runner: {} [{}] in {} rounds — {}",
+        report.scenario,
+        report.verdict.as_str(),
+        report.rounds,
+        report.detail
+    );
+    assert!(report.passed());
     Ok(())
 }

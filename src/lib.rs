@@ -12,10 +12,13 @@
 //!   CLIQUE algorithms used as plugins by the paper's framework).
 //! * [`core`] — the paper's algorithms: token routing, APSP, k-SSP, SSSP,
 //!   diameter, and the lower-bound experiment harnesses.
+//! * [`scenarios`] — the scenario engine: declarative workload registry,
+//!   fault injection, parallel runner, and golden verification.
 
 #![warn(missing_docs)]
 
 pub use clique_sim as clique;
 pub use hybrid_core as core;
 pub use hybrid_graph as graph;
+pub use hybrid_scenarios as scenarios;
 pub use hybrid_sim as sim;

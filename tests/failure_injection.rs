@@ -1,6 +1,12 @@
-//! Failure-injection tests: the simulator's congestion machinery, the
-//! low-probability failure events of the randomized lemmas, and the overflow
-//! policies under pressure.
+//! Failure-injection tests: the simulator's first-class fault hooks
+//! (`FaultPlan` message drops and node crashes), the congestion machinery
+//! under starved caps, the low-probability failure events of the randomized
+//! lemmas, and the overflow policies under pressure.
+//!
+//! The fault regimes themselves are declarative: starved caps come from
+//! `HybridConfig::starved`, and drops/crashes are `hybrid_sim::FaultPlan`s
+//! installed in the exchange engine — the same hooks the scenario registry's
+//! `faulty-*` entries use (see `crates/scenarios`).
 
 use hybrid_shortest_paths::core::apsp::{exact_apsp, ApspConfig};
 use hybrid_shortest_paths::core::diameter::diameter_cor52;
@@ -8,24 +14,23 @@ use hybrid_shortest_paths::core::ksssp::KsspConfig;
 use hybrid_shortest_paths::core::skeleton_ops::compute_representatives;
 use hybrid_shortest_paths::core::token_routing::{route_tokens, RoutingRates, Token};
 use hybrid_shortest_paths::core::HybridError;
+use hybrid_shortest_paths::graph::apsp::apsp as reference_apsp;
 use hybrid_shortest_paths::graph::generators::{cycle, erdos_renyi_connected, path};
 use hybrid_shortest_paths::graph::skeleton::Skeleton;
 use hybrid_shortest_paths::graph::{NodeId, INFINITY};
-use hybrid_shortest_paths::sim::{Envelope, HybridConfig, HybridNet, OverflowPolicy, SimError};
+use hybrid_shortest_paths::scenarios;
+use hybrid_shortest_paths::sim::{
+    Crash, Envelope, FaultPlan, HybridConfig, HybridNet, OverflowPolicy, SimError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// A config with absurdly small caps to force congestion.
-fn starved(overflow: OverflowPolicy) -> HybridConfig {
-    HybridConfig { send_cap_factor: 0.01, recv_cap_factor: 0.01, overflow }
-}
 
 #[test]
 fn strict_policy_surfaces_send_overflow_from_protocols() {
     // With send cap 1 and strict failure, token routing must abort with a
     // simulator error rather than silently mis-charge.
     let g = path(40, 1).unwrap();
-    let mut net = HybridNet::new(&g, starved(OverflowPolicy::Fail));
+    let mut net = HybridNet::new(&g, HybridConfig::starved(OverflowPolicy::Fail));
     let tokens: Vec<Token<u8>> =
         (0..20).map(|i| Token::new(NodeId::new(0), NodeId::new(30), i, 0)).collect();
     let err = route_tokens(
@@ -63,7 +68,7 @@ fn stretch_policy_pays_rounds_instead_of_failing() {
         "tr",
     )
     .unwrap();
-    let mut slow_net = HybridNet::new(&g, starved(OverflowPolicy::Stretch));
+    let mut slow_net = HybridNet::new(&g, HybridConfig::starved(OverflowPolicy::Stretch));
     let slow = route_tokens(
         &mut slow_net,
         mk(),
@@ -85,9 +90,27 @@ fn stretch_policy_pays_rounds_instead_of_failing() {
 }
 
 #[test]
+fn degenerate_caps_rejected_at_construction() {
+    // The old failure mode: a 0-messages/round cap silently starved paced
+    // exchanges. Now it is a structured construction error.
+    let g = path(8, 1).unwrap();
+    for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+        let cfg = HybridConfig {
+            send_cap_factor: bad,
+            recv_cap_factor: 1.0,
+            overflow: OverflowPolicy::Stretch,
+        };
+        assert!(
+            matches!(HybridNet::try_new(&g, cfg), Err(SimError::InvalidConfig { .. })),
+            "factor {bad} must be rejected"
+        );
+    }
+}
+
+#[test]
 fn direct_exchange_overflow_errors_are_precise() {
     let g = path(8, 1).unwrap();
-    let mut net = HybridNet::new(&g, starved(OverflowPolicy::Fail));
+    let mut net = HybridNet::new(&g, HybridConfig::starved(OverflowPolicy::Fail));
     // Send cap is 1: two messages from one node must fail with the node named.
     let err = net
         .exchange(
@@ -105,6 +128,87 @@ fn direct_exchange_overflow_errors_are_precise() {
             assert_eq!(cap, 1);
         }
         other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_messages_never_corrupt_apsp() {
+    // The lossy-fault contract end to end: under random global-message loss,
+    // exact APSP either aborts with a structured error (the fault surfaced)
+    // or completes with no *underestimates* — loss can only cost
+    // improvements, never invent shortcuts.
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = erdos_renyi_connected(60, 10.0 / 60.0, 4, &mut rng).unwrap();
+    let exact = reference_apsp(&g);
+    // p = 0.001 is calibrated so these fixed seeds deterministically cover
+    // *both* regimes: some runs lose a critical token and abort, some absorb
+    // the loss and complete.
+    let mut seen_error = false;
+    let mut seen_success = false;
+    let mut total_dropped = 0u64;
+    for seed in 0..6u64 {
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&FaultPlan::drops(0.001, seed)).unwrap();
+        match exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 5) {
+            Ok(out) => {
+                seen_success = true;
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        assert!(
+                            out.dist.get(u, v) >= exact.get(u, v),
+                            "loss must never underestimate d({u},{v})"
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                seen_error = true;
+                assert!(net.metrics().dropped_messages > 0, "error without a drop is a defect");
+                assert!(
+                    matches!(
+                        e,
+                        HybridError::MissingTokens { .. } | HybridError::InvariantViolation(_)
+                    ),
+                    "faults must surface as protocol-level errors, got {e:?}"
+                );
+            }
+        }
+        total_dropped += net.metrics().dropped_messages;
+    }
+    assert!(total_dropped > 0, "the drop stream must bite across 6 seeds");
+    assert!(seen_success, "some seeds must absorb the loss and stay correct");
+    assert!(seen_error, "some seeds must lose a critical token and abort cleanly");
+}
+
+#[test]
+fn crashed_nodes_fall_silent_mid_protocol() {
+    // A node that crashes mid-run stops sending and receiving; the rest of
+    // the network keeps exchanging, and the losses are accounted.
+    let g = cycle(32, 1).unwrap();
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    net.inject_faults(&FaultPlan::node_crashes(vec![Crash { node: NodeId::new(7), at_round: 10 }]))
+        .unwrap();
+    let result = exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 3);
+    assert!(net.metrics().dropped_messages > 0, "the crash must remove traffic");
+    if let Ok(out) = result {
+        let exact = reference_apsp(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!(out.dist.get(u, v) >= exact.get(u, v), "no underestimates");
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_registry_scenarios_verify_under_the_lossy_contract() {
+    // The registry's fault scenarios are the canonical forms of the ad-hoc
+    // setups above: run them through the engine and let the golden
+    // verification layer apply the contract.
+    for name in ["faulty-drop-apsp", "crash-mid-run-apsp", "faulty-soda20"] {
+        let sc = scenarios::find(name).expect("registered");
+        let report = scenarios::run_scenario(sc, 48);
+        assert!(report.passed(), "{name}: {}", report.detail);
     }
 }
 
@@ -127,7 +231,7 @@ fn apsp_survives_aggressive_xi_via_fallbacks() {
     let g = cycle(150, 1).unwrap();
     let mut net = HybridNet::new(&g, HybridConfig::default());
     let out = exact_apsp(&mut net, ApspConfig { xi: 0.1 }, 3).unwrap();
-    let exact = hybrid_shortest_paths::graph::apsp::apsp(&g);
+    let exact = reference_apsp(&g);
     for u in g.nodes() {
         for v in g.nodes() {
             let got = out.dist.get(u, v);
@@ -161,13 +265,8 @@ fn halved_caps_roughly_double_global_phase_rounds() {
         exact_apsp(&mut net, ApspConfig { xi: 1.0 }, 7).unwrap();
         net.into_metrics()
     };
-    let halved_cfg = HybridConfig {
-        send_cap_factor: 0.5,
-        recv_cap_factor: 2.0,
-        overflow: OverflowPolicy::Stretch,
-    };
     let halved = {
-        let mut net = HybridNet::new(&g, halved_cfg);
+        let mut net = HybridNet::new(&g, HybridConfig::degraded(0.5, 2.0));
         exact_apsp(&mut net, ApspConfig { xi: 1.0 }, 7).unwrap();
         net.into_metrics()
     };

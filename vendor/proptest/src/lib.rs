@@ -105,7 +105,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize);
+impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
