@@ -8,13 +8,12 @@
 
 use clique_sim::declared::DeclaredKssp;
 use clique_sim::{Beta, SourceCapacity};
-use hybrid_core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
-use hybrid_core::diameter::{diameter_cor52, diameter_cor53};
 use hybrid_core::helpers::compute_helpers;
-use hybrid_core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
 use hybrid_core::lower_bound_experiments::{run_diameter_lower_bound, run_kssp_lower_bound};
 use hybrid_core::ruling_set::{ruling_set, verify};
-use hybrid_core::sssp::{exact_sssp, sssp_local_bellman_ford};
+use hybrid_core::solver::{
+    solve, ApspVariant, DiameterCorollary, KsspCorollary, Query, SsspVariant,
+};
 use hybrid_core::token_routing::{mu_for, route_tokens, RoutingRates, Token};
 use hybrid_graph::apsp::apsp;
 use hybrid_graph::dijkstra::shortest_path_diameter;
@@ -136,13 +135,15 @@ pub fn e2_apsp(scale: Scale) -> Table {
         let g = e2_graph(n);
         let exact = apsp(&g);
         let mut na = HybridNet::new(&g, HybridConfig::default());
-        let a = exact_apsp(&mut na, ApspConfig { xi: 1.5 }, 5).expect("apsp");
+        let a = solve(&mut na, &Query::apsp().xi(1.5).build().expect("valid"), 5).expect("apsp");
         let mut nb = HybridNet::new(&g, HybridConfig::default());
-        let b = exact_apsp_soda20(&mut nb, ApspConfig { xi: 1.5 }, 5).expect("apsp baseline");
+        let soda = Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().expect("valid");
+        let b = solve(&mut nb, &soda, 5).expect("apsp baseline");
+        let (ad, bd) = (a.distances().expect("matrix"), b.distances().expect("matrix"));
         let mut ok = true;
         for u in g.nodes() {
             for v in g.nodes() {
-                ok &= a.dist.get(u, v) == exact.get(u, v) && b.dist.get(u, v) == exact.get(u, v);
+                ok &= ad.get(u, v) == exact.get(u, v) && bd.get(u, v) == exact.get(u, v);
             }
         }
         let ln = (n as f64).ln();
@@ -175,29 +176,30 @@ pub fn e3_kssp(scale: Scale) -> Table {
         ("cycle(unw)", cycle(n, 1).expect("cycle"), true),
         ("er(w)", er(n, 10.0, 6, 9), false),
     ];
-    for (gname, g, unweighted) in &cases {
+    for (gname, g, _unweighted) in &cases {
         let exact = apsp(g);
-        for (alg, k) in [("cor46", 3usize), ("cor47", 12), ("cor48", 12)] {
+        for (cor, k, eps) in [
+            (KsspCorollary::Cor46, 3usize, 0.5),
+            (KsspCorollary::Cor47, 12, 0.5),
+            (KsspCorollary::Cor48, 12, 0.25),
+        ] {
             let sources = random_nodes(g.len(), k, 21);
             let exact_rows: Vec<Vec<Distance>> =
                 sources.iter().map(|&s| exact.row(s).to_vec()).collect();
             let mut net = HybridNet::new(g, HybridConfig::default());
-            let cfg = KsspConfig { xi: 1.5 };
-            let out = match alg {
-                "cor46" => kssp_cor46(&mut net, &sources, 0.5, cfg, 31),
-                "cor47" => kssp_cor47(&mut net, &sources, 0.5, cfg, 31),
-                _ => kssp_cor48(&mut net, &sources, 0.25, cfg, 31),
-            }
-            .expect("kssp");
-            let (worst, mean) = ratio_stats(&out.est, &exact_rows);
+            let query =
+                Query::kssp(cor).sources(sources.clone()).eps(eps).xi(1.5).build().expect("valid");
+            let out = solve(&mut net, &query, 31).expect("kssp");
+            let (_, est) = out.distance_rows().expect("rows");
+            let (worst, mean) = ratio_stats(est, &exact_rows);
             t.row(vec![
-                alg.to_string(),
+                format!("cor{}", cor.number()),
                 gname.to_string(),
                 sources.len().to_string(),
                 out.rounds.to_string(),
                 f3(worst),
                 f3(mean),
-                f3(out.guaranteed_factor(*unweighted)),
+                f3(out.guarantee.factor()),
             ]);
         }
     }
@@ -219,16 +221,18 @@ pub fn e4_sssp(scale: Scale) -> Table {
         let mut na = HybridNet::new(&g, HybridConfig::default());
         // ξ = 3: the Lemma C.1 failure probability is ≈ n^{-2}; the "exact"
         // column reports the Monte Carlo outcome.
-        let a = exact_sssp(&mut na, source, KsspConfig { xi: 3.0 }, 3).expect("sssp");
+        let a =
+            solve(&mut na, &Query::sssp(source).xi(3.0).build().expect("valid"), 3).expect("sssp");
         let mut nb = HybridNet::new(&g, HybridConfig::default());
-        let b = sssp_local_bellman_ford(&mut nb, source);
+        let bf = Query::sssp(source).variant(SsspVariant::LocalBellmanFord).build().expect("valid");
+        let b = solve(&mut nb, &bf, 3).expect("local bf");
         t.row(vec![
             n.to_string(),
             spd.to_string(),
             a.rounds.to_string(),
             b.rounds.to_string(),
             f3((spd as f64).sqrt()),
-            (a.dist == b.dist).to_string(),
+            (a.distance_row().expect("row").1 == b.distance_row().expect("row").1).to_string(),
         ]);
     }
     t
@@ -244,22 +248,18 @@ pub fn e5_diameter(scale: Scale) -> Table {
     for &n in sizes {
         let g = cycle(n, 1).expect("cycle");
         let d = (n / 2) as u64;
-        for alg in ["cor52", "cor53"] {
+        for cor in [DiameterCorollary::Cor52, DiameterCorollary::Cor53] {
             let mut net = HybridNet::new(&g, HybridConfig::default());
-            let cfg = KsspConfig { xi: 1.2 };
-            let out = if alg == "cor52" {
-                diameter_cor52(&mut net, 0.5, cfg, 5)
-            } else {
-                diameter_cor53(&mut net, 0.5, cfg, 5)
-            }
-            .expect("diameter");
+            let query = Query::diameter(cor).eps(0.5).xi(1.2).build().expect("valid");
+            let out = solve(&mut net, &query, 5).expect("diameter");
+            let estimate = out.diameter_estimate().expect("estimate");
             t.row(vec![
                 n.to_string(),
                 d.to_string(),
-                alg.to_string(),
-                out.estimate.to_string(),
-                f3(out.estimate as f64 / d as f64),
-                f3(out.guaranteed_factor()),
+                format!("cor{}", cor.number()),
+                estimate.to_string(),
+                f3(estimate as f64 / d as f64),
+                f3(out.guarantee.factor()),
                 out.rounds.to_string(),
             ]);
         }
@@ -540,11 +540,12 @@ pub fn e13_xi_ablation(scale: Scale) -> Table {
     let exact = apsp(&g);
     for xi in [0.25f64, 0.5, 1.0, 1.5, 2.5] {
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = exact_apsp(&mut net, ApspConfig { xi }, 73).expect("apsp");
+        let out = solve(&mut net, &Query::apsp().xi(xi).build().expect("valid"), 73).expect("apsp");
+        let dist = out.distances().expect("matrix");
         let mut ok = true;
         for u in g.nodes() {
             for v in g.nodes() {
-                ok &= out.dist.get(u, v) == exact.get(u, v);
+                ok &= dist.get(u, v) == exact.get(u, v);
             }
         }
         t.row(vec![
@@ -627,11 +628,13 @@ pub fn e15_gamma_ablation(scale: Scale) -> Table {
             overflow: hybrid_sim::OverflowPolicy::Stretch,
         };
         let mut net = HybridNet::new(&g, cfg);
-        let out = exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 101).expect("apsp");
+        let out =
+            solve(&mut net, &Query::apsp().xi(1.5).build().expect("valid"), 101).expect("apsp");
+        let dist = out.distances().expect("matrix");
         let mut ok = true;
         for u in g.nodes() {
             for v in g.nodes() {
-                ok &= out.dist.get(u, v) == exact.get(u, v);
+                ok &= dist.get(u, v) == exact.get(u, v);
             }
         }
         t.row(vec![
@@ -648,9 +651,14 @@ pub fn e15_gamma_ablation(scale: Scale) -> Table {
 /// Times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline, and the
 /// sequential reference APSP) and returns machine-readable records for
 /// `BENCH_apsp.json` — the perf trajectory future PRs compare against.
+/// Solver-backed records carry the canonical query label emitted by the new
+/// API; the measured instances and algorithms are unchanged from the pre-facade
+/// sweeps (pinned by `bench_apsp_json_pins_instances_and_algorithms`).
 pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     use crate::json::BenchRecord;
     let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
+    let thm11 = Query::apsp().xi(1.5).build().expect("valid");
+    let soda20 = Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().expect("valid");
     let mut records = Vec::new();
     for &n in sizes {
         let g = e2_graph(n);
@@ -659,14 +667,20 @@ pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             assert!(!m.is_empty());
             0
         }));
-        records.push(BenchRecord::measure("thm11_apsp", n, || {
-            let mut net = HybridNet::new(&g, HybridConfig::default());
-            exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 5).expect("apsp").rounds
-        }));
-        records.push(BenchRecord::measure("soda20_apsp", n, || {
-            let mut net = HybridNet::new(&g, HybridConfig::default());
-            exact_apsp_soda20(&mut net, ApspConfig { xi: 1.5 }, 5).expect("apsp baseline").rounds
-        }));
+        records.push(
+            BenchRecord::measure("thm11_apsp", n, || {
+                let mut net = HybridNet::new(&g, HybridConfig::default());
+                solve(&mut net, &thm11, 5).expect("apsp").rounds
+            })
+            .with_query(thm11.label()),
+        );
+        records.push(
+            BenchRecord::measure("soda20_apsp", n, || {
+                let mut net = HybridNet::new(&g, HybridConfig::default());
+                solve(&mut net, &soda20, 5).expect("apsp baseline").rounds
+            })
+            .with_query(soda20.label()),
+        );
     }
     records
 }
@@ -774,6 +788,41 @@ mod tests {
         assert!(records.iter().any(|r| r.bench == "thm11_apsp" && r.rounds > 0));
         assert!(records.iter().any(|r| r.bench == "reference_apsp" && r.rounds == 0));
         assert!(records.iter().all(|r| r.wall_ns > 0));
+        // Solver-backed records carry the canonical query label; the
+        // sequential reference has no query.
+        for r in &records {
+            match r.bench.as_str() {
+                "thm11_apsp" => assert_eq!(r.query.as_deref(), Some("apsp-thm11")),
+                "soda20_apsp" => assert_eq!(r.query.as_deref(), Some("apsp-soda20")),
+                _ => assert_eq!(r.query, None),
+            }
+        }
+    }
+
+    #[test]
+    fn bench_apsp_json_pins_instances_and_algorithms() {
+        // The recorded perf trajectory must keep benchmarking the same E2
+        // graph instances and the same algorithms across the API redesign.
+        let doc =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apsp.json"))
+                .expect("BENCH_apsp.json at the repo root");
+        assert!(doc.contains(&format!("\"schema\": \"{}\"", crate::json::SCHEMA)));
+        for n in [200usize, 400] {
+            for bench in ["reference_apsp", "thm11_apsp", "soda20_apsp"] {
+                assert!(
+                    doc.contains(&format!("\"bench\": \"{bench}\", \"n\": {n}")),
+                    "record ({bench}, {n}) missing from BENCH_apsp.json"
+                );
+            }
+        }
+        for label in ["apsp-thm11", "apsp-soda20"] {
+            assert!(doc.contains(&format!("\"query\": \"{label}\"")), "label {label} missing");
+        }
+        // The E2 instance is still bit-identical to the pre-registry
+        // er(n, 12, 4, 3) graphs the trajectory has recorded since PR 1.
+        for n in [200usize, 400] {
+            assert_eq!(e2_graph(n).edges(), er(n, 12.0, 4, 3).edges());
+        }
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub struct BenchRecord {
     /// Simulated HYBRID rounds of the run (0 for purely sequential
     /// references).
     pub rounds: u64,
+    /// Canonical solver query label (`Query::label()`) for records produced
+    /// through the solver facade; `None` for sequential reference code.
+    pub query: Option<String>,
     /// Registry scenario name, for scenario-engine records.
     pub scenario: Option<String>,
     /// Scenario root seed.
@@ -50,6 +53,13 @@ impl BenchRecord {
         }
     }
 
+    /// Attaches the canonical solver query label (builder-style).
+    #[must_use]
+    pub fn with_query(mut self, label: &str) -> Self {
+        self.query = Some(label.to_string());
+        self
+    }
+
     /// Converts a scenario-engine report into a record carrying the scenario
     /// name, seed, and verification verdict.
     pub fn from_scenario(r: &ScenarioReport) -> Self {
@@ -58,6 +68,7 @@ impl BenchRecord {
             n: r.n,
             wall_ns: r.wall_ns,
             rounds: r.rounds,
+            query: None,
             scenario: Some(r.scenario.clone()),
             seed: Some(r.seed),
             verdict: Some(r.verdict.as_str().to_string()),
@@ -66,7 +77,9 @@ impl BenchRecord {
 }
 
 /// Schema tag of the plain perf sweep (bump on breaking format changes).
-pub const SCHEMA: &str = "hybrid-bench/apsp-v1";
+/// v2: records produced through the solver facade carry the canonical
+/// `"query"` label.
+pub const SCHEMA: &str = "hybrid-bench/apsp-v2";
 
 /// Schema tag of scenario-engine records.
 pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v1";
@@ -87,6 +100,9 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
             r.wall_ns,
             r.rounds
         );
+        if let Some(query) = &r.query {
+            let _ = write!(line, ", \"query\": \"{}\"", escape(query));
+        }
         if let Some(scenario) = &r.scenario {
             let _ = write!(line, ", \"scenario\": \"{}\"", escape(scenario));
         }
@@ -147,12 +163,13 @@ mod tests {
             },
         ];
         let s = render("small", &records);
-        assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v1\""));
+        assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v2\""));
         assert!(s.contains("\"scale\": \"small\""));
         assert!(s.contains("{\"bench\": \"a\", \"n\": 10, \"wall_ns\": 123, \"rounds\": 7},"));
         assert!(s.contains("\"bench\": \"b\\\"x\""));
         assert!(!s.contains("},\n  ]"), "no trailing comma");
         assert!(!s.contains("scenario"), "plain records omit scenario fields");
+        assert!(!s.contains("query"), "records without a query label omit the field");
     }
 
     #[test]
@@ -162,6 +179,8 @@ mod tests {
         assert_eq!(r.n, 5);
         assert_eq!(r.rounds, 42);
         assert!(r.scenario.is_none() && r.seed.is_none() && r.verdict.is_none());
+        assert!(r.query.is_none());
+        assert_eq!(r.with_query("apsp-thm11").query.as_deref(), Some("apsp-thm11"));
     }
 
     #[test]

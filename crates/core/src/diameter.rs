@@ -27,6 +27,24 @@ use crate::error::HybridError;
 use crate::ksssp::KsspConfig;
 use crate::skeleton_ops::compute_skeleton;
 
+/// Configuration of the diameter framework runs — its own parameter set, no
+/// longer borrowed from the k-SSP framework config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiameterConfig {
+    /// The skeleton radius constant `ξ`: the framework samples its skeleton
+    /// with exponent `x = 2/(3+2δ)` (δ declared by the plugged CLIQUE
+    /// algorithm) and connects it with paths of up to
+    /// `h = ⌈ξ · n^{1-x} · ln n⌉` hops — the same role as
+    /// [`crate::sssp::SsspConfig::xi`].
+    pub xi: f64,
+}
+
+impl Default for DiameterConfig {
+    fn default() -> Self {
+        DiameterConfig { xi: 1.5 }
+    }
+}
+
 /// Result of a diameter framework run.
 #[derive(Debug, Clone)]
 pub struct DiameterOutcome {
@@ -76,7 +94,7 @@ impl DiameterOutcome {
 pub fn diameter_framework<A: CliqueDiameterAlgorithm + ?Sized>(
     net: &mut HybridNet<'_>,
     alg: &A,
-    cfg: KsspConfig,
+    cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
     let start = net.rounds();
@@ -133,7 +151,7 @@ pub fn diameter_framework<A: CliqueDiameterAlgorithm + ?Sized>(
 pub fn diameter_cor52(
     net: &mut HybridNet<'_>,
     eps: f64,
-    cfg: KsspConfig,
+    cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
     let alg = DeclaredDiameter32::new(eps, derive_seed(seed, 52));
@@ -148,7 +166,7 @@ pub fn diameter_cor52(
 pub fn diameter_cor53(
     net: &mut HybridNet<'_>,
     eps: f64,
-    cfg: KsspConfig,
+    cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
     let alg = DeclaredDiameterAlgebraic::new(eps, derive_seed(seed, 53));
@@ -166,13 +184,19 @@ pub fn diameter_cor53(
 pub fn weighted_diameter_2approx(
     net: &mut HybridNet<'_>,
     eps: f64,
-    cfg: KsspConfig,
+    cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
     // (1+ε)-approximate SSSP from node 0 via the framework with the algebraic
     // APSP plugin restricted to one source.
     let alg = DeclaredKssp::algebraic_apsp(eps, derive_seed(seed, 66));
-    let out = crate::ksssp::kssp_framework(net, &alg, &[NodeId::new(0)], cfg, seed)?;
+    let out = crate::ksssp::kssp_framework(
+        net,
+        &alg,
+        &[NodeId::new(0)],
+        KsspConfig { xi: cfg.xi },
+        seed,
+    )?;
     let ecc = out.est[0].iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(0);
     Ok(DiameterOutcome {
         estimate: ecc.saturating_mul(2),
@@ -204,7 +228,7 @@ mod tests {
         let g = erdos_renyi_connected(80, 0.1, 1, &mut rng).unwrap();
         let d = unweighted_diameter(&g);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = diameter_cor52(&mut net, 0.5, KsspConfig::default(), 3).unwrap();
+        let out = diameter_cor52(&mut net, 0.5, DiameterConfig::default(), 3).unwrap();
         // ER diameter ≈ 3 ≪ ηh: the local path applies and is exact.
         assert!(out.exact_local);
         assert_eq!(out.estimate, d);
@@ -218,7 +242,7 @@ mod tests {
         let g = cycle(300, 1).unwrap();
         let d = unweighted_diameter(&g);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = diameter_cor52(&mut net, 0.5, KsspConfig { xi: 1.2 }, 5).unwrap();
+        let out = diameter_cor52(&mut net, 0.5, DiameterConfig { xi: 1.2 }, 5).unwrap();
         assert!(!out.exact_local, "ηh = {} vs D = {d}", out.h);
         assert!(out.estimate >= d, "never underestimates: {} < {d}", out.estimate);
         let ratio = out.estimate as f64 / d as f64;
@@ -233,9 +257,9 @@ mod tests {
     fn cor53_tighter_than_cor52_factor() {
         let g = grid(14, 14, 1).unwrap();
         let mut n1 = HybridNet::new(&g, HybridConfig::default());
-        let a = diameter_cor52(&mut n1, 0.2, KsspConfig { xi: 0.05 }, 7).unwrap();
+        let a = diameter_cor52(&mut n1, 0.2, DiameterConfig { xi: 0.05 }, 7).unwrap();
         let mut n2 = HybridNet::new(&g, HybridConfig::default());
-        let b = diameter_cor53(&mut n2, 0.2, KsspConfig { xi: 0.05 }, 7).unwrap();
+        let b = diameter_cor53(&mut n2, 0.2, DiameterConfig { xi: 0.05 }, 7).unwrap();
         assert!(b.guaranteed_factor() < a.guaranteed_factor());
         let d = unweighted_diameter(&g);
         assert!(a.estimate >= d && b.estimate >= d);
@@ -247,7 +271,7 @@ mod tests {
         let g = erdos_renyi_connected(70, 0.08, 9, &mut rng).unwrap();
         let d = weighted_diameter(&g);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = weighted_diameter_2approx(&mut net, 0.1, KsspConfig::default(), 2).unwrap();
+        let out = weighted_diameter_2approx(&mut net, 0.1, DiameterConfig::default(), 2).unwrap();
         assert!(out.estimate >= d, "eccentricity × 2 upper-bounds D");
         assert!(out.estimate as f64 <= 2.2 * d as f64 + 1.0);
     }

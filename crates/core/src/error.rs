@@ -6,9 +6,14 @@ use clique_sim::CliqueError;
 use hybrid_graph::{GraphError, NodeId};
 use hybrid_sim::SimError;
 
+use crate::solver::QueryError;
+
 /// Errors raised by the algorithms of this crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HybridError {
+    /// The solver facade was handed a [`crate::solver::Query`] with invalid
+    /// parameters (rejected before any protocol phase runs).
+    Query(QueryError),
     /// Propagated simulator error (congestion-cap violation under the strict
     /// policy, bad address).
     Sim(SimError),
@@ -52,6 +57,7 @@ pub enum HybridError {
 impl fmt::Display for HybridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            HybridError::Query(e) => write!(f, "invalid query: {e}"),
             HybridError::Sim(e) => write!(f, "simulator: {e}"),
             HybridError::Clique(e) => write!(f, "clique substrate: {e}"),
             HybridError::Graph(e) => write!(f, "graph: {e}"),
@@ -72,6 +78,7 @@ impl fmt::Display for HybridError {
 impl std::error::Error for HybridError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            HybridError::Query(e) => Some(e),
             HybridError::Sim(e) => Some(e),
             HybridError::Clique(e) => Some(e),
             HybridError::Graph(e) => Some(e),
@@ -95,6 +102,12 @@ impl From<CliqueError> for HybridError {
 impl From<GraphError> for HybridError {
     fn from(e: GraphError) -> Self {
         HybridError::Graph(e)
+    }
+}
+
+impl From<QueryError> for HybridError {
+    fn from(e: QueryError) -> Self {
+        HybridError::Query(e)
     }
 }
 

@@ -20,6 +20,10 @@
 //!   Corollaries 5.2 / 5.3.
 //! * **Lower bounds** (§6, §7) — [`lower_bound_experiments`]: information-flow
 //!   measurements on the Figure-1 and Figure-2 constructions (Theorems 1.5, 1.6).
+//! * **Solver facade** — [`solver`]: the typed [`Query`] → [`solve`] →
+//!   [`Report`] front door over every algorithm above; external callers
+//!   (scenario engine, benchmarks, examples) go through it instead of the
+//!   per-algorithm free functions.
 
 #![warn(missing_docs)]
 // Per-node `for v in 0..n` index loops are the message-passing idiom here
@@ -38,7 +42,12 @@ pub mod ksssp;
 pub mod lower_bound_experiments;
 pub mod ruling_set;
 pub mod skeleton_ops;
+pub mod solver;
 pub mod sssp;
 pub mod token_routing;
 
 pub use error::HybridError;
+pub use solver::{
+    solve, Answer, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, QueryError,
+    Report, SourceSet, SsspVariant,
+};

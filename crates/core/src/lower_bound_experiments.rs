@@ -179,7 +179,7 @@ pub fn run_diameter_lower_bound(
     let mut net = HybridNet::new(g, HybridConfig::default());
     let side: Vec<bool> = g.nodes().map(|v| gamma.on_alice_side(v, ell / 2)).collect();
     net.set_cut(side);
-    let cfg = KsspConfig { xi: 0.3 };
+    let cfg = crate::diameter::DiameterConfig { xi: 0.3 };
     let out = if w == 1 {
         crate::diameter::diameter_cor52(&mut net, eps, cfg, seed)?
     } else {

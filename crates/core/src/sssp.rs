@@ -18,6 +18,36 @@ use hybrid_sim::HybridNet;
 use crate::error::HybridError;
 use crate::ksssp::{kssp_framework, KsspConfig, KsspOutcome};
 
+/// Configuration of the SSSP runs — its own parameter set, no longer borrowed
+/// from the k-SSP framework config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsspConfig {
+    /// The skeleton radius constant `ξ`. [`exact_sssp`] instantiates the
+    /// Theorem 4.1 framework at `δ = 1/6`, i.e. skeleton exponent
+    /// `x = 2/(3+2δ) = 3/5`: nodes are sampled into the skeleton with
+    /// probability `n^{-2/5}` (so `|V_S| ≈ n^{3/5}`) and connected by paths of
+    /// up to `h = ⌈ξ · n^{2/5} · ln n⌉` hops (pinned by the
+    /// `xi_scales_the_skeleton_radius_as_documented` test). Larger `ξ` means a
+    /// larger `h` — more local exploration rounds, but a lower Lemma C.1
+    /// failure probability (the paper's w.h.p. guarantee wants `ξ ≥ 8`, which
+    /// exceeds most graph diameters at simulable `n`; experiments document the
+    /// value they use).
+    pub xi: f64,
+}
+
+impl Default for SsspConfig {
+    fn default() -> Self {
+        SsspConfig { xi: 1.5 }
+    }
+}
+
+impl SsspConfig {
+    /// The framework config this parameter set translates to internally.
+    fn framework(self) -> KsspConfig {
+        KsspConfig { xi: self.xi }
+    }
+}
+
 /// Result of an SSSP run.
 #[derive(Debug, Clone)]
 pub struct SsspOutcome {
@@ -29,6 +59,11 @@ pub struct SsspOutcome {
     pub rounds: u64,
     /// Skeleton size (0 for the local baseline).
     pub skeleton_size: usize,
+    /// Skeleton hop budget `h` (0 for the local baseline).
+    pub h: usize,
+    /// The approximation factor the run guarantees (1.0 for the exact
+    /// algorithms; `α + β/T_B` per Lemma 4.5 for the approximate baseline).
+    pub guaranteed_factor: f64,
 }
 
 /// Exact SSSP in `Õ(n^{2/5})` rounds (Theorem 1.3).
@@ -39,16 +74,20 @@ pub struct SsspOutcome {
 pub fn exact_sssp(
     net: &mut HybridNet<'_>,
     source: NodeId,
-    cfg: KsspConfig,
+    cfg: SsspConfig,
     seed: u64,
 ) -> Result<SsspOutcome, HybridError> {
     let alg = DeclaredKssp::exact_sssp();
-    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg, seed)?;
+    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg.framework(), seed)?;
     Ok(SsspOutcome {
         source,
         dist: out.est.into_iter().next().expect("one source row"),
         rounds: out.rounds,
         skeleton_size: out.skeleton_size,
+        h: out.h,
+        // The source is forced into the skeleton (Lemma 4.5) and the plugged
+        // CLIQUE SSSP is exact (α = 1, β = 0): no approximation loss.
+        guaranteed_factor: 1.0,
     })
 }
 
@@ -65,7 +104,7 @@ pub fn approx_sssp_soda20(
     net: &mut HybridNet<'_>,
     source: NodeId,
     eps: f64,
-    cfg: KsspConfig,
+    cfg: SsspConfig,
     seed: u64,
 ) -> Result<SsspOutcome, HybridError> {
     assert!(eps > 0.0);
@@ -78,12 +117,15 @@ pub fn approx_sssp_soda20(
         clique_sim::Beta::Zero,
         Some(hybrid_sim::derive_seed(seed, 0xBCC)),
     );
-    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg, seed)?;
+    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg.framework(), seed)?;
+    let factor = out.guaranteed_factor(false);
     Ok(SsspOutcome {
         source,
         dist: out.est.into_iter().next().expect("one source row"),
         rounds: out.rounds,
         skeleton_size: out.skeleton_size,
+        h: out.h,
+        guaranteed_factor: factor,
     })
 }
 
@@ -121,7 +163,7 @@ pub fn sssp_local_bellman_ford(net: &mut HybridNet<'_>, source: NodeId) -> SsspO
         frontier = next;
     }
     net.charge_local(rounds, "sssp:local-bf");
-    SsspOutcome { source, dist, rounds, skeleton_size: 0 }
+    SsspOutcome { source, dist, rounds, skeleton_size: 0, h: 0, guaranteed_factor: 1.0 }
 }
 
 #[cfg(test)]
@@ -141,7 +183,7 @@ mod tests {
             let source = NodeId::new(n / 2);
             let exact = dijkstra(&g, source);
             let mut net = HybridNet::new(&g, HybridConfig::default());
-            let out = exact_sssp(&mut net, source, KsspConfig::default(), 5).unwrap();
+            let out = exact_sssp(&mut net, source, SsspConfig::default(), 5).unwrap();
             assert_eq!(out.dist.as_slice(), exact.as_slice());
             assert!(out.skeleton_size >= 1);
         }
@@ -161,13 +203,35 @@ mod tests {
     }
 
     #[test]
+    fn xi_scales_the_skeleton_radius_as_documented() {
+        // ξ's meaning for SSSP, pinned so the `SsspConfig::xi` docs cannot
+        // drift: at δ = 1/6 the framework samples with exponent x = 3/5, so
+        // h = ⌈ξ · n^{1-x} · ln n⌉ (no Lemma C.1 remediation on this dense
+        // instance). Larger ξ ⇒ strictly larger h.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_connected(120, 0.08, 4, &mut rng).unwrap();
+        let n = g.len() as f64;
+        let x = 2.0 / (3.0 + 2.0 * (1.0 / 6.0));
+        let mut prev_h = 0usize;
+        for xi in [0.5, 1.0, 2.0] {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let out = exact_sssp(&mut net, NodeId::new(7), SsspConfig { xi }, 11).unwrap();
+            let predicted = ((xi * n.powf(1.0 - x) * n.ln()).ceil() as usize).max(1);
+            assert_eq!(out.h, predicted, "xi = {xi}");
+            assert!(out.h > prev_h, "h must grow with ξ");
+            prev_h = out.h;
+            assert_eq!(out.guaranteed_factor, 1.0, "Thm 1.3 is exact at every ξ");
+        }
+    }
+
+    #[test]
     fn soda20_approx_respects_factor() {
         let mut rng = StdRng::seed_from_u64(7);
         let g = erdos_renyi_connected(90, 0.07, 5, &mut rng).unwrap();
         let source = NodeId::new(4);
         let exact = dijkstra(&g, source);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = approx_sssp_soda20(&mut net, source, 0.25, KsspConfig::default(), 9).unwrap();
+        let out = approx_sssp_soda20(&mut net, source, 0.25, SsspConfig::default(), 9).unwrap();
         for v in g.nodes() {
             let (e, a) = (exact.dist(v), out.dist[v.index()]);
             assert!(a >= e, "never underestimates");
@@ -184,7 +248,7 @@ mod tests {
         let g = path_with_heavy_hub(500, 1000).unwrap();
         let source = NodeId::new(0);
         let mut net_a = HybridNet::new(&g, HybridConfig::default());
-        let a = exact_sssp(&mut net_a, source, KsspConfig { xi: 0.8 }, 3).unwrap();
+        let a = exact_sssp(&mut net_a, source, SsspConfig { xi: 0.8 }, 3).unwrap();
         let mut net_b = HybridNet::new(&g, HybridConfig::default());
         let b = sssp_local_bellman_ford(&mut net_b, source);
         assert_eq!(a.dist, b.dist);

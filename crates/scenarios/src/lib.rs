@@ -3,7 +3,7 @@
 //!
 //! A [`Scenario`] is pure data —
 //! `GraphFamily × WeightModel × FaultPlan × AlgorithmSuite × Seed` — and the
-//! static [`registry`] names every workload the project ships (`"e2-er"`,
+//! static [`registry()`] names every workload the project ships (`"e2-er"`,
 //! `"sparse-grid-thm11"`, `"faulty-soda20"`, …). The [`run_scenarios`] runner
 //! executes batches on scoped worker threads with deterministic per-scenario
 //! RNG streams, and every run is checked against ground-truth Dijkstra (exact,
@@ -35,7 +35,8 @@ pub mod runner;
 pub mod verify;
 pub mod workloads;
 
+pub use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query, QueryError};
 pub use model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
 pub use registry::{all_tags, by_tag, find, registry};
 pub use runner::{run_scenario, run_scenarios, ScenarioReport};
-pub use verify::{Verdict, Verification};
+pub use verify::{check_report, Verdict, Verification};

@@ -6,6 +6,9 @@
 //! the reproducibility contract the runner and the golden verification layer
 //! build on.
 
+use hybrid_core::solver::{
+    ApspVariant, DiameterCorollary, KsspCorollary, Query, QueryError, SourceSet, SsspVariant,
+};
 use hybrid_graph::generators as gen;
 use hybrid_graph::{Distance, Graph, NodeId};
 use hybrid_sim::{derive_seed, Crash, HybridConfig, HybridNet};
@@ -262,6 +265,13 @@ impl FaultPlan {
 
 /// Which distributed algorithm(s) the scenario exercises, with the golden
 /// contract each one is verified against.
+///
+/// This is a thin, const-constructible wrapper over the solver's typed
+/// [`Query`]: corollaries are the real [`KsspCorollary`] /
+/// [`DiameterCorollary`] enums (an invalid number is unrepresentable — use
+/// [`AlgorithmSuite::kssp`] / [`AlgorithmSuite::diameter`] at numeric
+/// deserialization boundaries), and [`AlgorithmSuite::query`] is the bridge
+/// the runner feeds to [`hybrid_core::solver::solve`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlgorithmSuite {
     /// Exact APSP, Theorem 1.1 (`Õ(√n)` rounds) — verified pairwise-exact.
@@ -282,9 +292,9 @@ pub enum AlgorithmSuite {
     /// k-SSP (Theorem 1.2 / Corollaries 4.6–4.8) — verified within the run's
     /// own guaranteed approximation factor, never underestimating.
     Kssp {
-        /// Which corollary: 46, 47, or 48.
-        cor: u8,
-        /// Source count.
+        /// Which corollary.
+        cor: KsspCorollary,
+        /// Source count (`k` seed-derived pseudo-random nodes).
         k: usize,
         /// Approximation parameter ε.
         eps: f64,
@@ -294,8 +304,8 @@ pub enum AlgorithmSuite {
     /// Diameter approximation (Corollaries 5.2 / 5.3) — verified inside
     /// `[D, factor · D]`.
     Diameter {
-        /// Which corollary: 52 or 53.
-        cor: u8,
+        /// Which corollary.
+        cor: DiameterCorollary,
         /// Approximation parameter ε.
         eps: f64,
         /// Skeleton scaling constant ξ.
@@ -304,18 +314,40 @@ pub enum AlgorithmSuite {
 }
 
 impl AlgorithmSuite {
-    /// Short label for tables and JSON records.
-    pub fn label(&self) -> &'static str {
-        match self {
-            AlgorithmSuite::Apsp { .. } => "apsp-thm11",
-            AlgorithmSuite::ApspSoda20 { .. } => "apsp-soda20",
-            AlgorithmSuite::Sssp { .. } => "sssp-thm13",
-            AlgorithmSuite::Kssp { cor: 46, .. } => "kssp-cor46",
-            AlgorithmSuite::Kssp { cor: 47, .. } => "kssp-cor47",
-            AlgorithmSuite::Kssp { .. } => "kssp-cor48",
-            AlgorithmSuite::Diameter { cor: 52, .. } => "diameter-cor52",
-            AlgorithmSuite::Diameter { .. } => "diameter-cor53",
+    /// Builds a k-SSP suite from a *numeric* corollary (deserialization
+    /// boundary): an unknown number is a structured [`QueryError`], never a
+    /// silent fallback onto some default corollary.
+    pub fn kssp(cor: u8, k: usize, eps: f64, xi: f64) -> Result<Self, QueryError> {
+        Ok(AlgorithmSuite::Kssp { cor: KsspCorollary::try_from(cor)?, k, eps, xi })
+    }
+
+    /// Builds a diameter suite from a *numeric* corollary (deserialization
+    /// boundary); unknown numbers are structured errors.
+    pub fn diameter(cor: u8, eps: f64, xi: f64) -> Result<Self, QueryError> {
+        Ok(AlgorithmSuite::Diameter { cor: DiameterCorollary::try_from(cor)?, eps, xi })
+    }
+
+    /// The typed solver [`Query`] this suite describes. SSSP suites query from
+    /// node 0; k-SSP suites use `k` seed-derived random sources — both exactly
+    /// as the runner has always executed them. Parameter validation happens in
+    /// [`hybrid_core::solver::solve`].
+    pub fn query(&self) -> Query {
+        match *self {
+            AlgorithmSuite::Apsp { xi } => Query::Apsp { variant: ApspVariant::Thm11, xi },
+            AlgorithmSuite::ApspSoda20 { xi } => Query::Apsp { variant: ApspVariant::Soda20, xi },
+            AlgorithmSuite::Sssp { xi } => {
+                Query::Sssp { variant: SsspVariant::Thm13, source: NodeId::new(0), xi }
+            }
+            AlgorithmSuite::Kssp { cor, k, eps, xi } => {
+                Query::Kssp { cor, sources: SourceSet::Random { k }, eps, xi }
+            }
+            AlgorithmSuite::Diameter { cor, eps, xi } => Query::Diameter { cor, eps, xi },
         }
+    }
+
+    /// Short label for tables and JSON records — the canonical query label.
+    pub fn label(&self) -> &'static str {
+        self.query().label()
     }
 }
 
@@ -406,6 +438,40 @@ mod tests {
         assert_eq!(a.edges(), b.edges());
         let c = f.build(64, WeightModel::Uniform { max: 4 }, 4);
         assert_ne!(a.edges(), c.edges(), "different seed, different graph");
+    }
+
+    #[test]
+    fn numeric_corollaries_deserialize_or_error_structurally() {
+        // The old failure mode: `cor: 49` silently ran Corollary 4.8. Now a
+        // bad number is a structured error at the deserialization boundary,
+        // and a good one round-trips into the typed suite.
+        let ok = AlgorithmSuite::kssp(47, 8, 0.5, 1.5).unwrap();
+        assert_eq!(ok.label(), "kssp-cor47");
+        assert_eq!(
+            AlgorithmSuite::kssp(49, 8, 0.5, 1.5),
+            Err(QueryError::UnknownKsspCorollary { cor: 49 })
+        );
+        assert_eq!(AlgorithmSuite::diameter(53, 0.5, 1.2).unwrap().label(), "diameter-cor53");
+        assert_eq!(
+            AlgorithmSuite::diameter(54, 0.5, 1.2),
+            Err(QueryError::UnknownDiameterCorollary { cor: 54 })
+        );
+    }
+
+    #[test]
+    fn suites_bridge_to_canonical_queries() {
+        let suite = AlgorithmSuite::Kssp { cor: KsspCorollary::Cor46, k: 3, eps: 0.5, xi: 1.5 };
+        match suite.query() {
+            Query::Kssp {
+                cor: KsspCorollary::Cor46, sources: SourceSet::Random { k: 3 }, ..
+            } => {}
+            other => panic!("unexpected query {other:?}"),
+        }
+        assert_eq!(AlgorithmSuite::Sssp { xi: 2.0 }.label(), "sssp-thm13");
+        match (AlgorithmSuite::Sssp { xi: 2.0 }).query() {
+            Query::Sssp { source, .. } => assert_eq!(source, NodeId::new(0)),
+            other => panic!("unexpected query {other:?}"),
+        }
     }
 
     #[test]

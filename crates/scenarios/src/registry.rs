@@ -7,6 +7,7 @@
 //! smoke size (`n ≤ 64`) — see `tests/registry_smoke.rs`.
 
 use crate::model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
+use hybrid_core::solver::{DiameterCorollary, KsspCorollary};
 
 /// The standard degraded-network plan: a quarter of the NCC send budget.
 const DEGRADED: FaultPlan = FaultPlan::Degraded { send_factor: 0.25, recv_factor: 1.0 };
@@ -99,7 +100,7 @@ static REGISTRY: &[Scenario] = &[
         family: GraphFamily::RandomGeometric { avg_deg: 9.0 },
         weights: WeightModel::Uniform { max: 5 },
         faults: FaultPlan::None,
-        suite: AlgorithmSuite::Kssp { cor: 47, k: 8, eps: 0.5, xi: 1.5 },
+        suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor47, k: 8, eps: 0.5, xi: 1.5 },
         seed: 43,
         default_n: 180,
     },
@@ -109,7 +110,7 @@ static REGISTRY: &[Scenario] = &[
         family: GraphFamily::SquareGrid,
         weights: WeightModel::Unit,
         faults: FaultPlan::None,
-        suite: AlgorithmSuite::Kssp { cor: 46, k: 3, eps: 0.5, xi: 1.5 },
+        suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor46, k: 3, eps: 0.5, xi: 1.5 },
         seed: 47,
         default_n: 225,
     },
@@ -119,7 +120,7 @@ static REGISTRY: &[Scenario] = &[
         family: GraphFamily::Cycle,
         weights: WeightModel::Unit,
         faults: FaultPlan::None,
-        suite: AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 1.2 },
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
         seed: 53,
         default_n: 300,
     },
@@ -129,7 +130,7 @@ static REGISTRY: &[Scenario] = &[
         family: GraphFamily::Cycle,
         weights: WeightModel::Unit,
         faults: FaultPlan::None,
-        suite: AlgorithmSuite::Diameter { cor: 53, eps: 0.5, xi: 1.2 },
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor53, eps: 0.5, xi: 1.2 },
         seed: 53,
         default_n: 300,
     },
@@ -139,7 +140,7 @@ static REGISTRY: &[Scenario] = &[
         family: GraphFamily::ThinGrid { rows: 4 },
         weights: WeightModel::Unit,
         faults: FaultPlan::None,
-        suite: AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 0.5 },
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 0.5 },
         seed: 99,
         default_n: 1000,
     },

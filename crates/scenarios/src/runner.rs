@@ -12,17 +12,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use hybrid_core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
-use hybrid_core::diameter::{diameter_cor52, diameter_cor53};
-use hybrid_core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
-use hybrid_core::sssp::exact_sssp;
-use hybrid_graph::{Graph, NodeId};
+use hybrid_core::solver::solve;
+use hybrid_graph::Graph;
 
-use crate::model::{AlgorithmSuite, Scenario};
-use crate::verify::{
-    check_diameter, check_error, check_kssp_rows, check_matrix, check_sssp, Verdict, Verification,
-};
-use crate::workloads::random_nodes;
+use crate::model::Scenario;
+use crate::verify::{check_error, check_report, Verdict, Verification};
 
 /// Structured result of one scenario run — what the JSON sink and the tables
 /// consume.
@@ -79,61 +73,16 @@ impl ScenarioReport {
     }
 }
 
-/// Executes the scenario's algorithm suite on `net` and verifies the result,
-/// returning `(rounds, verification)`.
+/// Executes the scenario's algorithm suite on `net` through the solver facade
+/// and verifies the result, returning `(rounds, verification)`. The suite's
+/// typed [`hybrid_core::solver::Query`] replaces the per-algorithm dispatch
+/// ladder, and verification reads the run's contract off
+/// [`hybrid_core::solver::Report::guarantee`].
 fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (u64, Verification) {
     let lossy = sc.faults.is_lossy();
-    let seed = sc.seed;
-    match sc.suite {
-        AlgorithmSuite::Apsp { xi } => match exact_apsp(net, ApspConfig { xi }, seed) {
-            Ok(out) => (out.rounds, check_matrix(g, &out.dist, lossy)),
-            Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
-        },
-        AlgorithmSuite::ApspSoda20 { xi } => {
-            match exact_apsp_soda20(net, ApspConfig { xi }, seed) {
-                Ok(out) => (out.rounds, check_matrix(g, &out.dist, lossy)),
-                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
-            }
-        }
-        AlgorithmSuite::Sssp { xi } => {
-            let source = NodeId::new(0);
-            match exact_sssp(net, source, KsspConfig { xi }, seed) {
-                Ok(out) => (out.rounds, check_sssp(g, source, &out.dist, lossy)),
-                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
-            }
-        }
-        AlgorithmSuite::Kssp { cor, k, eps, xi } => {
-            let sources = random_nodes(g.len(), k, seed);
-            let cfg = KsspConfig { xi };
-            let out = match cor {
-                46 => kssp_cor46(net, &sources, eps, cfg, seed),
-                47 => kssp_cor47(net, &sources, eps, cfg, seed),
-                _ => kssp_cor48(net, &sources, eps, cfg, seed),
-            };
-            match out {
-                Ok(out) => {
-                    let unweighted = g.max_weight() == 1;
-                    let factor = out.guaranteed_factor(unweighted);
-                    (out.rounds, check_kssp_rows(g, &sources, &out.est, factor, lossy))
-                }
-                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
-            }
-        }
-        AlgorithmSuite::Diameter { cor, eps, xi } => {
-            let cfg = KsspConfig { xi };
-            let out = if cor == 52 {
-                diameter_cor52(net, eps, cfg, seed)
-            } else {
-                diameter_cor53(net, eps, cfg, seed)
-            };
-            match out {
-                Ok(out) => {
-                    let factor = out.guaranteed_factor();
-                    (out.rounds, check_diameter(g, out.estimate, factor, lossy))
-                }
-                Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
-            }
-        }
+    match solve(net, &sc.suite.query(), sc.seed) {
+        Ok(report) => (report.rounds, check_report(g, &report, lossy)),
+        Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
     }
 }
 
@@ -223,7 +172,8 @@ pub fn run_scenarios(batch: &[&Scenario], n: usize) -> Vec<ScenarioReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{FaultPlan, GraphFamily, WeightModel};
+    use crate::model::{AlgorithmSuite, FaultPlan, GraphFamily, WeightModel};
+    use hybrid_core::solver::DiameterCorollary;
 
     fn tiny(name: &'static str, suite: AlgorithmSuite) -> Scenario {
         Scenario {
@@ -254,7 +204,10 @@ mod tests {
         let scenarios = [
             tiny("t-apsp", AlgorithmSuite::Apsp { xi: 1.5 }),
             tiny("t-sssp", AlgorithmSuite::Sssp { xi: 1.5 }),
-            tiny("t-diam", AlgorithmSuite::Diameter { cor: 52, eps: 0.5, xi: 1.0 }),
+            tiny(
+                "t-diam",
+                AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.0 },
+            ),
         ];
         let batch: Vec<&Scenario> = scenarios.iter().collect();
         let par = run_scenarios(&batch, 36);

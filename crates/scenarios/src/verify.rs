@@ -14,6 +14,7 @@
 //!   so with a structured [`HybridError`] — never a silent wrong answer. A
 //!   clean fault-triggered error is a *pass*: the fault surfaced.
 
+use hybrid_core::solver::{Answer, Guarantee, Report};
 use hybrid_core::HybridError;
 use hybrid_graph::apsp::{apsp, eccentricities, DistanceMatrix};
 use hybrid_graph::dijkstra::dijkstra;
@@ -55,6 +56,34 @@ impl Verification {
 
     pub(crate) fn fail(detail: impl Into<String>) -> Self {
         Verification { verdict: Verdict::Fail, detail: detail.into() }
+    }
+}
+
+/// Verifies a solver [`Report`] against ground truth using the contract the
+/// report itself carries ([`Report::guarantee`]) — the verification layer no
+/// longer re-derives per-algorithm approximation math.
+pub fn check_report(g: &Graph, report: &Report, lossy: bool) -> Verification {
+    match (&report.answer, &report.guarantee) {
+        (Answer::Distances(m), Guarantee::Exact) => check_matrix(g, m, lossy),
+        (Answer::Distances(_), _) => {
+            Verification::fail("approximate full-matrix answers carry no verification contract")
+        }
+        (Answer::DistanceRow { source, dist }, Guarantee::Exact) => {
+            check_sssp(g, *source, dist, lossy)
+        }
+        (Answer::DistanceRow { source, dist }, guarantee) => check_kssp_rows(
+            g,
+            std::slice::from_ref(source),
+            std::slice::from_ref(dist),
+            guarantee.factor(),
+            lossy,
+        ),
+        (Answer::DistanceRows { sources, est }, guarantee) => {
+            check_kssp_rows(g, sources, est, guarantee.factor(), lossy)
+        }
+        (Answer::Diameter { estimate, .. }, guarantee) => {
+            check_diameter(g, *estimate, guarantee.factor(), lossy)
+        }
     }
 }
 
@@ -255,6 +284,41 @@ mod tests {
         assert_eq!(check_error(&err, true, 0).verdict, Verdict::Fail, "no drop, no excuse");
         assert_eq!(check_error(&err, false, 7).verdict, Verdict::Fail);
         assert_eq!(check_error(&err, false, 0).verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn check_report_applies_the_carried_guarantee() {
+        use hybrid_core::solver::{solve, Query};
+        use hybrid_sim::{HybridConfig, HybridNet};
+
+        let g = path(6, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let report = solve(&mut net, &Query::apsp().build().unwrap(), 3).unwrap();
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert_eq!(check_report(&g, &report, false).verdict, Verdict::Pass);
+
+        // A doctored report with a broken answer must fail under its own
+        // contract.
+        let mut bad = report.clone();
+        if let Answer::Distances(m) = &mut bad.answer {
+            m.set(NodeId::new(0), NodeId::new(5), 1);
+        }
+        assert_eq!(check_report(&g, &bad, false).verdict, Verdict::Fail);
+
+        // A diameter report is checked inside [D, factor·D] from its own
+        // guarantee — no per-corollary re-derivation.
+        let diam = Report {
+            answer: Answer::Diameter { estimate: 7, exact_local: false },
+            guarantee: Guarantee::DiameterFactor { factor: 1.5 },
+            ..report.clone()
+        };
+        assert_eq!(check_report(&g, &diam, false).verdict, Verdict::Pass);
+        let diam_bad = Report {
+            answer: Answer::Diameter { estimate: 20, exact_local: false },
+            guarantee: Guarantee::DiameterFactor { factor: 1.5 },
+            ..report
+        };
+        assert_eq!(check_report(&g, &diam_bad, false).verdict, Verdict::Fail);
     }
 
     #[test]

@@ -6,7 +6,6 @@
 use hybrid_graph::generators::erdos_renyi_connected;
 use hybrid_graph::{Distance, Graph, NodeId};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Erdős–Rényi with expected average degree `avg_deg`, weights in
@@ -17,14 +16,12 @@ pub fn er(n: usize, avg_deg: f64, max_w: Distance, seed: u64) -> Graph {
 }
 
 /// `k` distinct nodes of `0..n`, uniformly without replacement, sorted,
-/// deterministic in `seed` — the standard source/landmark picker.
+/// deterministic in `seed` — the standard source/landmark picker. This is the
+/// same derivation [`hybrid_core::solver::SourceSet::Random`] resolves with,
+/// so a registry suite and the equivalent hand-built query pick identical
+/// sources.
 pub fn random_nodes(n: usize, k: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
-    all.shuffle(&mut rng);
-    let mut out = all[..k.min(n)].to_vec();
-    out.sort_unstable();
-    out
+    hybrid_core::solver::random_sources(n, k, seed)
 }
 
 #[cfg(test)]

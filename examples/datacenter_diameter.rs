@@ -12,10 +12,9 @@
 //! cargo run --release --example datacenter_diameter
 //! ```
 
-use hybrid_shortest_paths::core::diameter::{diameter_cor52, diameter_cor53};
-use hybrid_shortest_paths::core::ksssp::KsspConfig;
 use hybrid_shortest_paths::graph::bfs::unweighted_diameter;
 use hybrid_shortest_paths::scenarios;
+use hybrid_shortest_paths::{solve, DiameterCorollary, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenarios::find("datacenter-thin-grid").expect("registered scenario");
@@ -26,24 +25,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // hop diameter, exactly where a purely local Θ(D)-round sweep hurts.
         let g = scenario.graph(n);
         let d = unweighted_diameter(&g);
-        for (name, which) in [("3/2+eps", 52u32), ("1+eps", 53)] {
+        for (name, cor) in
+            [("3/2+eps", DiameterCorollary::Cor52), ("1+eps", DiameterCorollary::Cor53)]
+        {
             let mut net = scenario.net(&g);
-            let cfg = KsspConfig { xi: 0.5 };
-            let out = if which == 52 {
-                diameter_cor52(&mut net, 0.5, cfg, scenario.seed)?
-            } else {
-                diameter_cor53(&mut net, 0.5, cfg, scenario.seed)?
-            };
-            let ratio = out.estimate as f64 / d as f64;
+            let query = Query::diameter(cor).eps(0.5).xi(0.5).build()?;
+            let out = solve(&mut net, &query, scenario.seed)?;
+            let estimate = out.diameter_estimate().expect("diameter answer");
+            let exact_local = out.guarantee.is_exact();
+            let ratio = estimate as f64 / d as f64;
             let saved = d as i64 - out.rounds as i64;
             println!(
                 "{n:>8} | {d:>4} | {name:<10} | {est:>8} | {ratio:>5.2} | {rounds:>6} | {saved:>+6} {note}",
-                est = out.estimate,
+                est = estimate,
                 rounds = out.rounds,
-                note = if out.exact_local { "(exact: D fit in the local horizon)" } else { "" },
+                note = if exact_local { "(exact: D fit in the local horizon)" } else { "" },
             );
-            assert!(out.estimate >= d, "estimates never undershoot");
-            assert!(ratio <= out.guaranteed_factor() + 1e-9, "Theorem 5.1 guarantee");
+            assert!(estimate >= d, "estimates never undershoot");
+            assert!(ratio <= out.guarantee.factor() + 1e-9, "Theorem 5.1 guarantee");
         }
     }
     println!("\nBoth algorithms honor the Theorem 5.1 guarantee; the (1+eps) variant");

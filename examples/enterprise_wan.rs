@@ -10,10 +10,10 @@
 //! cargo run --release --example enterprise_wan
 //! ```
 
-use hybrid_shortest_paths::core::apsp::{apsp_local_only, exact_apsp, ApspConfig};
 use hybrid_shortest_paths::graph::apsp::{follow_route, next_hop_table};
 use hybrid_shortest_paths::graph::NodeId;
 use hybrid_shortest_paths::scenarios::{self, GraphFamily};
+use hybrid_shortest_paths::{solve, ApspVariant, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 offices of 60 hosts; cheap LAN links, expensive WAN links.
@@ -29,17 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.edges().iter().filter(|e| e.w == link_w).count()
     );
 
-    // Distributed exact APSP (Theorem 1.1).
+    // Distributed exact APSP (Theorem 1.1) through the solver facade.
     let mut net = scenario.net(&g);
-    let out = exact_apsp(&mut net, ApspConfig::default(), scenario.seed)?;
+    let report = solve(&mut net, &Query::apsp().build()?, scenario.seed)?;
     println!(
         "exact APSP in {} HYBRID rounds (skeleton {}, h = {})",
-        out.rounds, out.skeleton_size, out.h
+        report.rounds, report.skeleton_size, report.h
     );
+    let dist = report.distances().expect("APSP answers with a matrix");
 
-    // The LOCAL-only alternative needs D rounds of full flooding.
+    // The LOCAL-only alternative needs D rounds of full flooding — the same
+    // facade, different variant.
     let mut local_net = scenario.net(&g);
-    let local = apsp_local_only(&mut local_net);
+    let flood = Query::apsp().variant(ApspVariant::LocalFlood).build()?;
+    let local = solve(&mut local_net, &flood, scenario.seed)?;
     println!("LOCAL-only flooding baseline: {} rounds (= hop diameter)", local.rounds);
     println!(
         "  note: this fabric has tiny hop diameter, so plain flooding wins here — \n\
@@ -50,16 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Routing tables from the computed matrix.
-    let table = next_hop_table(&g, &out.dist);
+    let table = next_hop_table(&g, dist);
     let (src, dst) = (NodeId::new(3), NodeId::new(g.len() - 5));
     let route = follow_route(&table, src, dst, g.len()).expect("connected WAN");
     let cost: u64 = route.windows(2).map(|w| g.edge_weight(w[0], w[1]).unwrap()).sum();
     println!(
         "route {src} -> {dst}: {} hops, total weight {cost} (= d(src,dst) = {})",
         route.len() - 1,
-        out.dist.get(src, dst)
+        dist.get(src, dst)
     );
-    assert_eq!(cost, out.dist.get(src, dst), "routing table realizes shortest paths");
+    assert_eq!(cost, dist.get(src, dst), "routing table realizes shortest paths");
 
     // Every pair routes optimally — verify a sample.
     for (u, v) in [(0usize, 119), (17, 200), (55, 231), (90, 12)] {
@@ -69,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let r = follow_route(&table, u, v, g.len()).expect("route");
         let c: u64 = r.windows(2).map(|w| g.edge_weight(w[0], w[1]).unwrap()).sum();
-        assert_eq!(c, out.dist.get(u, v));
+        assert_eq!(c, dist.get(u, v));
     }
     println!("sampled routes all realize exact shortest-path weights ✓");
     Ok(())

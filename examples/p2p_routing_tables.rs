@@ -12,10 +12,10 @@
 //! cargo run --release --example p2p_routing_tables
 //! ```
 
-use hybrid_shortest_paths::core::ksssp::{kssp_cor47, KsspConfig};
 use hybrid_shortest_paths::graph::apsp::apsp;
 use hybrid_shortest_paths::graph::INFINITY;
 use hybrid_shortest_paths::scenarios::{self, workloads};
+use hybrid_shortest_paths::{solve, KsspCorollary, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenarios::find("geo-mesh-kssp47").expect("registered scenario");
@@ -24,15 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let landmarks = workloads::random_nodes(g.len(), k, scenario.seed);
     println!("mesh: {} devices, {} links; {} landmarks", g.len(), g.num_edges(), k);
 
-    // Distributed k-SSP (Corollary 4.7).
+    // Distributed k-SSP (Corollary 4.7) through the solver facade.
     let mut net = scenario.net(&g);
-    let out = kssp_cor47(&mut net, &landmarks, 0.5, KsspConfig { xi: 1.0 }, scenario.seed)?;
+    let query =
+        Query::kssp(KsspCorollary::Cor47).sources(landmarks.clone()).eps(0.5).xi(1.0).build()?;
+    let out = solve(&mut net, &query, scenario.seed)?;
     println!(
-        "k-SSP finished in {} rounds (skeleton {}, guarantee factor {:.2})",
+        "k-SSP [{}] finished in {} rounds (skeleton {}, guarantee factor {:.2})",
+        out.label(),
         out.rounds,
         out.skeleton_size,
-        out.guaranteed_factor(false)
+        out.guarantee.factor()
     );
+    let (_, est) = out.distance_rows().expect("k-SSP answers with rows");
 
     // Build landmark routing: route u -> v via the landmark minimizing
     // d̃(u, l) + d̃(v, l); measure stretch against true distances.
@@ -46,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             let via = (0..k)
-                .map(|l| out.get(l, u).saturating_add(out.get(l, v)))
+                .map(|l| est[l][u.index()].saturating_add(est[l][v.index()]))
                 .min()
                 .unwrap_or(INFINITY);
             let d = exact.get(u, v);
@@ -68,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (the routing stretch on top depends on landmark placement).
     for (l_idx, &l) in landmarks.iter().enumerate() {
         for v in g.nodes() {
-            assert!(out.get(l_idx, v) >= exact.get(l, v));
+            assert!(est[l_idx][v.index()] >= exact.get(l, v));
         }
     }
     Ok(())

@@ -1,21 +1,22 @@
 //! Quickstart: simulate the HYBRID model on a random geometric network and run
-//! the paper's flagship algorithms.
+//! the paper's flagship algorithms through the solver facade.
 //!
 //! The workload comes from the scenario registry (`geo-mesh-kssp47`): the
 //! registry owns graph construction, simulator configuration, and seeds, so
-//! every example and benchmark exercises the same reproducible instances.
+//! every example and benchmark exercises the same reproducible instances. The
+//! algorithms are addressed as typed [`Query`]s — validated at construction —
+//! and every run returns the uniform [`hybrid_shortest_paths::Report`] with
+//! its answer, round/message accounting, and paper-level guarantee.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use hybrid_shortest_paths::core::apsp::{exact_apsp, ApspConfig};
-use hybrid_shortest_paths::core::ksssp::KsspConfig;
-use hybrid_shortest_paths::core::sssp::exact_sssp;
 use hybrid_shortest_paths::graph::apsp::apsp as reference_apsp;
 use hybrid_shortest_paths::graph::dijkstra::dijkstra;
 use hybrid_shortest_paths::graph::NodeId;
 use hybrid_shortest_paths::scenarios;
+use hybrid_shortest_paths::{solve, Guarantee, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 150-node wireless-style network: nodes talk locally to radio neighbors
@@ -33,9 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Exact SSSP in Õ(n^{2/5}) rounds (Theorem 1.3) -----------------------
     let source = NodeId::new(0);
     let mut net = scenario.net(&g);
-    let sssp = exact_sssp(&mut net, source, KsspConfig::default(), scenario.seed)?;
+    let sssp = solve(&mut net, &Query::sssp(source).build()?, scenario.seed)?;
     let reference = dijkstra(&g, source);
-    assert_eq!(sssp.dist.as_slice(), reference.as_slice(), "SSSP must be exact");
+    assert_eq!(sssp.guarantee, Guarantee::Exact, "Thm 1.3 promises exactness");
+    let (_, dist) = sssp.distance_row().expect("SSSP answers with a row");
+    assert_eq!(dist, reference.as_slice(), "SSSP must be exact");
     println!(
         "SSSP from {source}: exact in {} simulated rounds (skeleton of {} nodes)",
         sssp.rounds, sssp.skeleton_size
@@ -43,16 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Exact APSP in Õ(√n) rounds (Theorem 1.1) ---------------------------
     let mut net = scenario.net(&g);
-    let out = exact_apsp(&mut net, ApspConfig::default(), scenario.seed)?;
+    let report = solve(&mut net, &Query::apsp().build()?, scenario.seed)?;
+    let out = report.distances().expect("APSP answers with a matrix");
     let exact = reference_apsp(&g);
     for u in g.nodes() {
         for v in g.nodes() {
-            assert_eq!(out.dist.get(u, v), exact.get(u, v), "APSP must be exact");
+            assert_eq!(out.get(u, v), exact.get(u, v), "APSP must be exact");
         }
     }
     println!(
-        "APSP: exact in {} simulated rounds (skeleton {} nodes, h = {})",
-        out.rounds, out.skeleton_size, out.h
+        "APSP [{}]: exact in {} simulated rounds (skeleton {} nodes, h = {})",
+        report.label(),
+        report.rounds,
+        report.skeleton_size,
+        report.h
     );
     let m = net.metrics();
     println!(

@@ -14,11 +14,44 @@
 //!   diameter, and the lower-bound experiment harnesses.
 //! * [`scenarios`] — the scenario engine: declarative workload registry,
 //!   fault injection, parallel runner, and golden verification.
+//!
+//! The front door to all of the paper's algorithms is the [`solver`] facade:
+//! describe *what* to compute as a typed, validated [`Query`], run it with
+//! [`solve`], and read the answer plus its paper-level contract off the
+//! uniform [`Report`].
+//!
+//! # Example
+//!
+//! ```
+//! use hybrid_shortest_paths::graph::generators::grid;
+//! use hybrid_shortest_paths::graph::NodeId;
+//! use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+//! use hybrid_shortest_paths::{solve, Guarantee, Query};
+//!
+//! // A 6×6 grid fabric, simulated under the HYBRID model.
+//! let g = grid(6, 6, 1).unwrap();
+//! let mut net = HybridNet::new(&g, HybridConfig::default());
+//!
+//! // Exact APSP (Theorem 1.1), validated at construction.
+//! let query = Query::apsp().xi(1.5).build().unwrap();
+//! let report = solve(&mut net, &query, 7).unwrap();
+//!
+//! assert_eq!(report.label(), "apsp-thm11");
+//! assert_eq!(report.guarantee, Guarantee::Exact);
+//! let dist = report.distances().expect("APSP answers with a matrix");
+//! assert_eq!(dist.get(NodeId::new(0), NodeId::new(35)), 10, "corner to corner");
+//! assert!(report.rounds > 0 && report.global_messages > 0);
+//! ```
 
 #![warn(missing_docs)]
 
 pub use clique_sim as clique;
 pub use hybrid_core as core;
+pub use hybrid_core::solver;
+pub use hybrid_core::solver::{
+    solve, Answer, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, QueryError,
+    Report, SourceSet, SsspVariant,
+};
 pub use hybrid_graph as graph;
 pub use hybrid_scenarios as scenarios;
 pub use hybrid_sim as sim;

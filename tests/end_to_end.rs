@@ -1,10 +1,8 @@
 //! End-to-end integration tests: the distributed algorithms against the
-//! sequential ground truth, across graph families.
+//! sequential ground truth, across graph families — all driven through the
+//! solver facade (`Query` → `solve` → `Report`), the same entry point the
+//! scenario engine and the benchmarks use.
 
-use hybrid_shortest_paths::core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
-use hybrid_shortest_paths::core::diameter::{diameter_cor52, diameter_cor53};
-use hybrid_shortest_paths::core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
-use hybrid_shortest_paths::core::sssp::{exact_sssp, sssp_local_bellman_ford};
 use hybrid_shortest_paths::graph::apsp::apsp;
 use hybrid_shortest_paths::graph::bfs::unweighted_diameter;
 use hybrid_shortest_paths::graph::dijkstra::dijkstra;
@@ -13,6 +11,9 @@ use hybrid_shortest_paths::graph::generators::{
 };
 use hybrid_shortest_paths::graph::{Distance, Graph, NodeId};
 use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::{
+    solve, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, SsspVariant,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,13 +31,16 @@ fn families(seed: u64) -> Vec<(&'static str, Graph)> {
 
 #[test]
 fn apsp_exact_across_families() {
+    let query = Query::apsp().xi(2.0).build().unwrap();
     for (name, g) in families(1) {
         let exact = apsp(&g);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = exact_apsp(&mut net, ApspConfig { xi: 2.0 }, 17).unwrap();
+        let report = solve(&mut net, &query, 17).unwrap();
+        assert_eq!(report.guarantee, Guarantee::Exact, "{name}");
+        let out = report.distances().expect("matrix answer");
         for u in g.nodes() {
             for v in g.nodes() {
-                assert_eq!(out.dist.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
+                assert_eq!(out.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
             }
         }
     }
@@ -44,13 +48,15 @@ fn apsp_exact_across_families() {
 
 #[test]
 fn apsp_baseline_exact_across_families() {
+    let query = Query::apsp().variant(ApspVariant::Soda20).xi(2.0).build().unwrap();
     for (name, g) in families(2) {
         let exact = apsp(&g);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = exact_apsp_soda20(&mut net, ApspConfig { xi: 2.0 }, 23).unwrap();
+        let report = solve(&mut net, &query, 23).unwrap();
+        let out = report.distances().expect("matrix answer");
         for u in g.nodes() {
             for v in g.nodes() {
-                assert_eq!(out.dist.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
+                assert_eq!(out.get(u, v), exact.get(u, v), "{name}: pair ({u}, {v})");
             }
         }
     }
@@ -62,12 +68,15 @@ fn sssp_exact_across_families() {
         let source = NodeId::new(g.len() / 3);
         let exact = dijkstra(&g, source);
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out = exact_sssp(&mut net, source, KsspConfig { xi: 2.0 }, 29).unwrap();
-        assert_eq!(out.dist.as_slice(), exact.as_slice(), "{name}");
-        // Local BF agrees too.
+        let report = solve(&mut net, &Query::sssp(source).xi(2.0).build().unwrap(), 29).unwrap();
+        let (s, dist) = report.distance_row().expect("row answer");
+        assert_eq!(s, source, "{name}");
+        assert_eq!(dist, exact.as_slice(), "{name}");
+        // Local BF agrees too — same facade, different variant.
+        let bf = Query::sssp(source).variant(SsspVariant::LocalBellmanFord).build().unwrap();
         let mut net2 = HybridNet::new(&g, HybridConfig::default());
-        let bf = sssp_local_bellman_ford(&mut net2, source);
-        assert_eq!(bf.dist.as_slice(), exact.as_slice(), "{name} (local BF)");
+        let report = solve(&mut net2, &bf, 29).unwrap();
+        assert_eq!(report.distance_row().unwrap().1, exact.as_slice(), "{name} (local BF)");
     }
 }
 
@@ -82,33 +91,36 @@ fn kssp_guarantees_across_families() {
         let exact = apsp(&g);
         let exact_rows: Vec<Vec<Distance>> =
             sources.iter().map(|&s| exact.row(s).to_vec()).collect();
-        let unweighted = g.is_unweighted();
 
-        let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out47 = kssp_cor47(&mut net, &sources, 0.5, KsspConfig { xi: 2.0 }, 31).unwrap();
-        let ratio = out47.max_ratio_vs(&exact_rows);
-        assert!(
-            ratio <= out47.guaranteed_factor(unweighted) + 1e-9,
-            "{name}: cor47 ratio {ratio} > {}",
-            out47.guaranteed_factor(unweighted)
-        );
-
-        let mut net = HybridNet::new(&g, HybridConfig::default());
-        let out48 = kssp_cor48(&mut net, &sources, 0.3, KsspConfig { xi: 2.0 }, 37).unwrap();
-        let ratio = out48.max_ratio_vs(&exact_rows);
-        assert!(ratio <= out48.guaranteed_factor(unweighted) + 1e-9, "{name}: cor48 ratio {ratio}");
+        for (cor, eps, seed) in
+            [(KsspCorollary::Cor47, 0.5, 31u64), (KsspCorollary::Cor48, 0.3, 37)]
+        {
+            let query = Query::kssp(cor).sources(sources.clone()).eps(eps).xi(2.0).build().unwrap();
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let report = solve(&mut net, &query, seed).unwrap();
+            let ratio = report.max_ratio_vs(&exact_rows);
+            // The report carries the Theorem 4.1 factor for this run — no
+            // per-corollary math on the caller side.
+            assert!(
+                ratio <= report.guarantee.factor() + 1e-9,
+                "{name}: cor{} ratio {ratio} > {}",
+                cor.number(),
+                report.guarantee.factor()
+            );
+        }
     }
 }
 
 #[test]
-fn kssp_cor46_source_capacity_and_guarantee() {
+fn kssp_corollary46_source_capacity_and_guarantee() {
     let g = grid(10, 12, 1).unwrap();
     let sources = vec![NodeId::new(0), NodeId::new(59), NodeId::new(119)];
     let exact = apsp(&g);
     let exact_rows: Vec<Vec<Distance>> = sources.iter().map(|&s| exact.row(s).to_vec()).collect();
+    let query = Query::kssp(KsspCorollary::Cor46).sources(sources).xi(2.0).build().unwrap();
     let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = kssp_cor46(&mut net, &sources, 0.5, KsspConfig { xi: 2.0 }, 41).unwrap();
-    assert!(out.max_ratio_vs(&exact_rows) <= out.guaranteed_factor(true) + 1e-9);
+    let report = solve(&mut net, &query, 41).unwrap();
+    assert!(report.max_ratio_vs(&exact_rows) <= report.guarantee.factor() + 1e-9);
 }
 
 #[test]
@@ -120,19 +132,18 @@ fn diameter_guarantees_across_unweighted_families() {
     ];
     for (name, g) in gs {
         let d = unweighted_diameter(&g);
-        for (tag, seed, use52) in [("cor52", 43u64, true), ("cor53", 47, false)] {
+        for (cor, seed) in [(DiameterCorollary::Cor52, 43u64), (DiameterCorollary::Cor53, 47)] {
+            let query = Query::diameter(cor).eps(0.5).xi(1.5).build().unwrap();
             let mut net = HybridNet::new(&g, HybridConfig::default());
-            let out = if use52 {
-                diameter_cor52(&mut net, 0.5, KsspConfig { xi: 1.5 }, seed).unwrap()
-            } else {
-                diameter_cor53(&mut net, 0.5, KsspConfig { xi: 1.5 }, seed).unwrap()
-            };
-            assert!(out.estimate >= d, "{name}/{tag}: undershoot");
-            let ratio = out.estimate as f64 / d as f64;
+            let report = solve(&mut net, &query, seed).unwrap();
+            let estimate = report.diameter_estimate().expect("diameter answer");
+            assert!(estimate >= d, "{name}/cor{}: undershoot", cor.number());
+            let ratio = estimate as f64 / d as f64;
             assert!(
-                ratio <= out.guaranteed_factor() + 1e-9,
-                "{name}/{tag}: ratio {ratio} > {}",
-                out.guaranteed_factor()
+                ratio <= report.guarantee.factor() + 1e-9,
+                "{name}/cor{}: ratio {ratio} > {}",
+                cor.number(),
+                report.guarantee.factor()
             );
         }
     }
@@ -146,11 +157,13 @@ fn strict_congestion_policy_holds_on_moderate_instances() {
     let g = erdos_renyi_connected(120, 0.05, 3, &mut rng).unwrap();
     let exact = apsp(&g);
     let mut net = HybridNet::new(&g, HybridConfig::strict());
-    let out = exact_apsp(&mut net, ApspConfig { xi: 2.0 }, 53).unwrap();
+    let report = solve(&mut net, &Query::apsp().xi(2.0).build().unwrap(), 53).unwrap();
+    let out = report.distances().expect("matrix answer");
     for u in g.nodes() {
         for v in g.nodes() {
-            assert_eq!(out.dist.get(u, v), exact.get(u, v));
+            assert_eq!(out.get(u, v), exact.get(u, v));
         }
     }
     assert!(net.metrics().max_recv_load <= net.recv_cap());
+    assert_eq!(report.global_messages, net.metrics().global_messages);
 }

@@ -8,9 +8,6 @@
 //! installed in the exchange engine — the same hooks the scenario registry's
 //! `faulty-*` entries use (see `crates/scenarios`).
 
-use hybrid_shortest_paths::core::apsp::{exact_apsp, ApspConfig};
-use hybrid_shortest_paths::core::diameter::diameter_cor52;
-use hybrid_shortest_paths::core::ksssp::KsspConfig;
 use hybrid_shortest_paths::core::skeleton_ops::compute_representatives;
 use hybrid_shortest_paths::core::token_routing::{route_tokens, RoutingRates, Token};
 use hybrid_shortest_paths::core::HybridError;
@@ -22,6 +19,7 @@ use hybrid_shortest_paths::scenarios;
 use hybrid_shortest_paths::sim::{
     Crash, Envelope, FaultPlan, HybridConfig, HybridNet, OverflowPolicy, SimError,
 };
+use hybrid_shortest_paths::{solve, DiameterCorollary, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -149,13 +147,14 @@ fn dropped_messages_never_corrupt_apsp() {
     for seed in 0..6u64 {
         let mut net = HybridNet::new(&g, HybridConfig::default());
         net.inject_faults(&FaultPlan::drops(0.001, seed)).unwrap();
-        match exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 5) {
+        match solve(&mut net, &Query::apsp().xi(1.5).build().unwrap(), 5) {
             Ok(out) => {
                 seen_success = true;
+                let dist = out.distances().expect("matrix answer");
                 for u in g.nodes() {
                     for v in g.nodes() {
                         assert!(
-                            out.dist.get(u, v) >= exact.get(u, v),
+                            dist.get(u, v) >= exact.get(u, v),
                             "loss must never underestimate d({u},{v})"
                         );
                     }
@@ -188,13 +187,19 @@ fn crashed_nodes_fall_silent_mid_protocol() {
     let mut net = HybridNet::new(&g, HybridConfig::default());
     net.inject_faults(&FaultPlan::node_crashes(vec![Crash { node: NodeId::new(7), at_round: 10 }]))
         .unwrap();
-    let result = exact_apsp(&mut net, ApspConfig { xi: 1.5 }, 3);
+    let result = solve(&mut net, &Query::apsp().xi(1.5).build().unwrap(), 3);
     assert!(net.metrics().dropped_messages > 0, "the crash must remove traffic");
     if let Ok(out) = result {
+        assert_eq!(
+            out.dropped_messages,
+            net.metrics().dropped_messages,
+            "the report accounts the faults"
+        );
         let exact = reference_apsp(&g);
+        let dist = out.distances().expect("matrix answer");
         for u in g.nodes() {
             for v in g.nodes() {
-                assert!(out.dist.get(u, v) >= exact.get(u, v), "no underestimates");
+                assert!(dist.get(u, v) >= exact.get(u, v), "no underestimates");
             }
         }
     }
@@ -219,8 +224,9 @@ fn skeleton_undersampling_degrades_gracefully() {
     // possibly saturated at INFINITY when the skeleton is disconnected.
     let g = cycle(200, 1).unwrap();
     let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = diameter_cor52(&mut net, 0.25, KsspConfig { xi: 0.05 }, 5).unwrap();
-    assert!(out.estimate >= 100, "never underestimates D = 100");
+    let query = Query::diameter(DiameterCorollary::Cor52).eps(0.25).xi(0.05).build().unwrap();
+    let out = solve(&mut net, &query, 5).unwrap();
+    assert!(out.diameter_estimate().unwrap() >= 100, "never underestimates D = 100");
 }
 
 #[test]
@@ -230,11 +236,12 @@ fn apsp_survives_aggressive_xi_via_fallbacks() {
     // Carlo failure event) but the fallback accounting must kick in.
     let g = cycle(150, 1).unwrap();
     let mut net = HybridNet::new(&g, HybridConfig::default());
-    let out = exact_apsp(&mut net, ApspConfig { xi: 0.1 }, 3).unwrap();
+    let out = solve(&mut net, &Query::apsp().xi(0.1).build().unwrap(), 3).unwrap();
+    let dist = out.distances().expect("matrix answer");
     let exact = reference_apsp(&g);
     for u in g.nodes() {
         for v in g.nodes() {
-            let got = out.dist.get(u, v);
+            let got = dist.get(u, v);
             assert!(got >= exact.get(u, v), "no underestimates even on failure");
             assert!(got < INFINITY, "connected graph: something must be found");
         }
@@ -260,14 +267,15 @@ fn halved_caps_roughly_double_global_phase_rounds() {
     // with the cap, local phases are untouched.
     let mut rng = StdRng::seed_from_u64(4);
     let g = erdos_renyi_connected(150, 0.06, 3, &mut rng).unwrap();
+    let query = Query::apsp().xi(1.0).build().unwrap();
     let full = {
         let mut net = HybridNet::new(&g, HybridConfig::default());
-        exact_apsp(&mut net, ApspConfig { xi: 1.0 }, 7).unwrap();
+        solve(&mut net, &query, 7).unwrap();
         net.into_metrics()
     };
     let halved = {
         let mut net = HybridNet::new(&g, HybridConfig::degraded(0.5, 2.0));
-        exact_apsp(&mut net, ApspConfig { xi: 1.0 }, 7).unwrap();
+        solve(&mut net, &query, 7).unwrap();
         net.into_metrics()
     };
     assert_eq!(full.local_rounds, halved.local_rounds, "local mode unaffected");

@@ -1,0 +1,203 @@
+//! Equivalence suite: `solve(Query::…)` is **bit-identical** to the legacy
+//! per-algorithm entry points — same distances, same simulated rounds, same
+//! global message counts — across graph families, on the pinned E2 benchmark
+//! instances, and under a lossy fault plan.
+//!
+//! This file is the one sanctioned caller of the legacy free functions
+//! outside `hybrid-core` itself: its whole purpose is to pin the facade
+//! against them.
+
+use hybrid_shortest_paths::core::apsp::{exact_apsp, exact_apsp_soda20, ApspConfig};
+use hybrid_shortest_paths::core::diameter::{diameter_cor52, diameter_cor53, DiameterConfig};
+use hybrid_shortest_paths::core::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
+use hybrid_shortest_paths::core::sssp::{exact_sssp, SsspConfig};
+use hybrid_shortest_paths::graph::apsp::DistanceMatrix;
+use hybrid_shortest_paths::graph::generators::{barabasi_albert, grid};
+use hybrid_shortest_paths::graph::{Graph, NodeId};
+use hybrid_shortest_paths::scenarios::workloads::{er, random_nodes};
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::{solve, ApspVariant, DiameterCorollary, KsspCorollary, Query, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three families the suite sweeps: ER, grid, and Barabási–Albert.
+fn families() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(12);
+    vec![
+        ("er", er(80, 9.0, 4, 6)),
+        ("grid", grid(9, 9, 2).unwrap()),
+        ("ba", barabasi_albert(80, 3, 4, &mut rng).unwrap()),
+    ]
+}
+
+fn assert_matrices_identical(name: &str, a: &DistanceMatrix, b: &DistanceMatrix, n: usize) {
+    for u in 0..n {
+        for v in 0..n {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            assert_eq!(a.get(u, v), b.get(u, v), "{name}: d({u},{v}) differs");
+        }
+    }
+}
+
+/// Runs `query` through the facade and the legacy closure on twin nets of the
+/// same graph, asserting identical rounds and global message counts; returns
+/// both results for answer comparison.
+fn run_twin<T>(
+    g: &Graph,
+    query: &Query,
+    seed: u64,
+    legacy: impl FnOnce(&mut HybridNet<'_>) -> T,
+) -> (Report, T) {
+    let mut net_a = HybridNet::new(g, HybridConfig::default());
+    let report = solve(&mut net_a, query, seed).expect("solve");
+    let mut net_b = HybridNet::new(g, HybridConfig::default());
+    let out = legacy(&mut net_b);
+    assert_eq!(net_a.rounds(), net_b.rounds(), "round clocks diverged [{}]", query.label());
+    assert_eq!(
+        net_a.metrics().global_messages,
+        net_b.metrics().global_messages,
+        "global message counts diverged [{}]",
+        query.label()
+    );
+    assert_eq!(report.global_messages, net_a.metrics().global_messages);
+    (report, out)
+}
+
+#[test]
+fn apsp_variants_bit_identical_across_families() {
+    for (name, g) in families() {
+        let q = Query::apsp().xi(1.5).build().unwrap();
+        let (report, legacy) =
+            run_twin(&g, &q, 17, |net| exact_apsp(net, ApspConfig { xi: 1.5 }, 17).unwrap());
+        assert_eq!(report.rounds, legacy.rounds, "{name}");
+        assert_eq!(report.skeleton_size, legacy.skeleton_size, "{name}");
+        assert_eq!(report.h, legacy.h, "{name}");
+        assert_eq!(report.coverage_fallbacks, legacy.coverage_fallbacks, "{name}");
+        assert_matrices_identical(name, report.distances().unwrap(), &legacy.dist, g.len());
+
+        let q = Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().unwrap();
+        let (report, legacy) =
+            run_twin(&g, &q, 17, |net| exact_apsp_soda20(net, ApspConfig { xi: 1.5 }, 17).unwrap());
+        assert_eq!(report.rounds, legacy.rounds, "{name} (soda20)");
+        assert_matrices_identical(name, report.distances().unwrap(), &legacy.dist, g.len());
+    }
+}
+
+#[test]
+fn sssp_bit_identical_across_families() {
+    for (name, g) in families() {
+        let source = NodeId::new(g.len() / 4);
+        let q = Query::sssp(source).xi(1.5).build().unwrap();
+        let (report, legacy) = run_twin(&g, &q, 29, |net| {
+            exact_sssp(net, source, SsspConfig { xi: 1.5 }, 29).unwrap()
+        });
+        assert_eq!(report.rounds, legacy.rounds, "{name}");
+        assert_eq!(report.distance_row().unwrap().1, legacy.dist.as_slice(), "{name}");
+    }
+}
+
+#[test]
+fn kssp_corollaries_bit_identical_with_both_source_specs() {
+    for (name, g) in families() {
+        let k = 4;
+        let seed = 31;
+        let sources = random_nodes(g.len(), k, seed);
+        for cor in [KsspCorollary::Cor46, KsspCorollary::Cor47, KsspCorollary::Cor48] {
+            // `SourceSet::Random { k }` must resolve to the exact nodes the
+            // legacy callers pick with `workloads::random_nodes`.
+            let q = Query::kssp(cor).random_sources(k).eps(0.5).xi(1.5).build().unwrap();
+            let cfg = KsspConfig { xi: 1.5 };
+            let (report, legacy) = run_twin(&g, &q, seed, |net| match cor {
+                KsspCorollary::Cor46 => kssp_cor46(net, &sources, 0.5, cfg, seed).unwrap(),
+                KsspCorollary::Cor47 => kssp_cor47(net, &sources, 0.5, cfg, seed).unwrap(),
+                KsspCorollary::Cor48 => kssp_cor48(net, &sources, 0.5, cfg, seed).unwrap(),
+            });
+            let (got_sources, got_est) = report.distance_rows().unwrap();
+            assert_eq!(got_sources, sources.as_slice(), "{name}/cor{}", cor.number());
+            assert_eq!(got_est, legacy.est.as_slice(), "{name}/cor{}", cor.number());
+            assert_eq!(report.rounds, legacy.rounds, "{name}/cor{}", cor.number());
+            let unweighted = g.max_weight() == 1;
+            assert_eq!(
+                report.guarantee.factor(),
+                legacy.guaranteed_factor(unweighted),
+                "{name}/cor{}: carried guarantee must equal the legacy math",
+                cor.number()
+            );
+        }
+    }
+}
+
+#[test]
+fn diameter_corollaries_bit_identical() {
+    let g = hybrid_shortest_paths::graph::generators::cycle(150, 1).unwrap();
+    for cor in [DiameterCorollary::Cor52, DiameterCorollary::Cor53] {
+        let q = Query::diameter(cor).eps(0.5).xi(1.2).build().unwrap();
+        let cfg = DiameterConfig { xi: 1.2 };
+        let (report, legacy) = run_twin(&g, &q, 5, |net| match cor {
+            DiameterCorollary::Cor52 => diameter_cor52(net, 0.5, cfg, 5).unwrap(),
+            DiameterCorollary::Cor53 => diameter_cor53(net, 0.5, cfg, 5).unwrap(),
+        });
+        assert_eq!(report.diameter_estimate().unwrap(), legacy.estimate, "cor{}", cor.number());
+        assert_eq!(report.rounds, legacy.rounds, "cor{}", cor.number());
+        assert_eq!(report.guarantee.factor(), legacy.guaranteed_factor(), "cor{}", cor.number());
+    }
+}
+
+#[test]
+fn pinned_e2_instances_bit_identical() {
+    // The E2 benchmark instances recorded in BENCH_apsp.json since PR 1:
+    // `e2-er` at n ∈ {200, 400}, ξ = 1.5, seed 5. The facade must reproduce
+    // the legacy runs bit-for-bit here, or the perf trajectory stops being
+    // comparable across the API redesign.
+    let scenario = hybrid_shortest_paths::scenarios::find("e2-er").expect("registered");
+    for (n, recorded_thm11, recorded_soda20) in [(200usize, 306u64, 305u64), (400, 529, 529)] {
+        let g = scenario.graph(n);
+        let q = Query::apsp().xi(1.5).build().unwrap();
+        let (report, legacy) =
+            run_twin(&g, &q, 5, |net| exact_apsp(net, ApspConfig { xi: 1.5 }, 5).unwrap());
+        assert_eq!(report.rounds, legacy.rounds, "e2 n={n}");
+        assert_eq!(
+            report.rounds, recorded_thm11,
+            "e2 n={n}: thm11 rounds drifted from the BENCH_apsp.json recording"
+        );
+        assert_matrices_identical("e2", report.distances().unwrap(), &legacy.dist, g.len());
+
+        let q = Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().unwrap();
+        let (report, legacy) =
+            run_twin(&g, &q, 5, |net| exact_apsp_soda20(net, ApspConfig { xi: 1.5 }, 5).unwrap());
+        assert_eq!(report.rounds, legacy.rounds, "e2 n={n} (soda20)");
+        assert_eq!(
+            report.rounds, recorded_soda20,
+            "e2 n={n}: soda20 rounds drifted from the BENCH_apsp.json recording"
+        );
+        assert_matrices_identical("e2", report.distances().unwrap(), &legacy.dist, g.len());
+    }
+}
+
+#[test]
+fn faulty_scenario_bit_identical_including_errors() {
+    // Under the registry's lossy drop plan the facade and the legacy call
+    // must agree on *everything*: the same outcome variant, the same dropped
+    // message accounting, and — when both complete — the same distances.
+    let sc = hybrid_shortest_paths::scenarios::find("faulty-drop-apsp").expect("registered");
+    let g = sc.graph(48);
+    let q = Query::apsp().xi(1.5).build().unwrap();
+
+    let mut net_a = sc.net(&g);
+    let facade = solve(&mut net_a, &q, sc.seed);
+    let mut net_b = sc.net(&g);
+    let legacy = exact_apsp(&mut net_b, ApspConfig { xi: 1.5 }, sc.seed);
+
+    assert_eq!(net_a.rounds(), net_b.rounds(), "round clocks diverged under faults");
+    assert_eq!(net_a.metrics().dropped_messages, net_b.metrics().dropped_messages);
+    assert_eq!(net_a.metrics().global_messages, net_b.metrics().global_messages);
+    match (facade, legacy) {
+        (Ok(report), Ok(out)) => {
+            assert_eq!(report.rounds, out.rounds);
+            assert_eq!(report.dropped_messages, net_b.metrics().dropped_messages);
+            assert_matrices_identical("faulty", report.distances().unwrap(), &out.dist, g.len());
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "both paths must fail identically"),
+        (a, b) => panic!("outcome variants diverged: facade {a:?} vs legacy {b:?}"),
+    }
+}
