@@ -1,6 +1,7 @@
 //! CLIQUE diameter algorithms (plugins for Theorem 5.1).
 
 use hybrid_graph::apsp::weighted_diameter;
+use hybrid_graph::minplus::par_row_map;
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,20 +48,15 @@ impl CliqueDiameterAlgorithm for ExactDiameter {
         let d = SemiringApsp::new().apsp(net, g)?;
         // Each node v computes its eccentricity from its row and sends it to node
         // 0, which takes the max and (conceptually) broadcasts — two clique
-        // rounds, simulated explicitly.
+        // rounds, simulated explicitly. The per-node row reduction is
+        // assembled through the min-plus module's parallel row driver.
+        let n = g.len();
+        let eccs: Vec<Distance> =
+            par_row_map(d.as_flat(), n, n, |_, row| row.iter().copied().max().unwrap_or(0));
         let mut batch = Vec::new();
-        let mut eccs = vec![0u64; g.len()];
         for v in g.nodes() {
-            let ecc = d
-                .row(v)
-                .iter()
-                .copied()
-                .map(|x| if x == INFINITY { INFINITY } else { x })
-                .max()
-                .unwrap_or(0);
-            eccs[v.index()] = ecc;
             if v.index() != 0 {
-                batch.push(CliqueMsg::new(v, NodeId::new(0), ecc));
+                batch.push(CliqueMsg::new(v, NodeId::new(0), eccs[v.index()]));
             }
         }
         let inboxes = net.route(batch)?;

@@ -19,10 +19,11 @@
 //! `⌈log₂ n⌉` squarings give exact APSP in `Õ(n^{1/3})` rounds; squaring stops
 //! early once the matrix is a fixpoint.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hybrid_graph::apsp::DistanceMatrix;
-use hybrid_graph::{dist_add, Distance, Graph, NodeId, INFINITY};
+use hybrid_graph::minplus::min_plus_into;
+use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
 
 use crate::net::{CliqueError, CliqueMsg, CliqueNet};
 use crate::traits::{Beta, CliqueKsspAlgorithm, KsspEstimates, SourceCapacity};
@@ -143,65 +144,64 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
     }
     let inboxes = net.route(batch)?;
 
-    // Phase 2: each owner multiplies its triples.
-    // Owner state: per triple, the received A and B entries.
+    // Phase 2: each owner multiplies its triples. Owner state: per triple, a
+    // *dense* `b × b` block per operand (INFINITY-filled; every distributed
+    // entry lands at its local offset), multiplied with the shared blocked
+    // min-plus kernel instead of nested hash maps. `BTreeMap` keys keep the
+    // triple iteration (and thus the shipped batches) deterministic.
     type Triple = (usize, usize, usize);
-    let mut partials: HashMap<Triple, HashMap<(u32, u32), Distance>> = HashMap::new();
+    let b = blocks.b;
+    let mut partials: BTreeMap<Triple, Vec<Distance>> = BTreeMap::new();
     {
-        let mut a_parts: HashMap<Triple, Vec<(u32, u32, Distance)>> = HashMap::new();
-        let mut b_parts: HashMap<Triple, Vec<(u32, u32, Distance)>> = HashMap::new();
+        let mut a_blocks: BTreeMap<Triple, Vec<Distance>> = BTreeMap::new();
+        let mut b_blocks: BTreeMap<Triple, Vec<Distance>> = BTreeMap::new();
         for (owner, msgs) in inboxes.into_iter().enumerate() {
             let _ = owner;
             for (_, entry) in msgs {
                 match entry {
                     Entry::A { i, k, v, jb } => {
                         let t = (blocks.blk(i as usize), jb as usize, blocks.blk(k as usize));
-                        a_parts.entry(t).or_default().push((i, k, v));
+                        let blk = a_blocks.entry(t).or_insert_with(|| vec![INFINITY; b * b]);
+                        blk[(i as usize % b) * b + (k as usize % b)] = v;
                     }
                     Entry::B { k, j, v, ib } => {
                         let t = (ib as usize, blocks.blk(j as usize), blocks.blk(k as usize));
-                        b_parts.entry(t).or_default().push((k, j, v));
+                        let blk = b_blocks.entry(t).or_insert_with(|| vec![INFINITY; b * b]);
+                        blk[(k as usize % b) * b + (j as usize % b)] = v;
                     }
                     Entry::C { .. } => unreachable!("phase 1 carries no C entries"),
                 }
             }
         }
-        for (t, avs) in a_parts {
-            let Some(bvs) = b_parts.get(&t) else { continue };
-            // Index B entries by k for the inner loop.
-            let mut by_k: HashMap<u32, Vec<(u32, Distance)>> = HashMap::new();
-            for &(k, j, v) in bvs {
-                by_k.entry(k).or_default().push((j, v));
-            }
-            let out = partials.entry(t).or_default();
-            for &(i, k, av) in &avs {
-                let Some(cols) = by_k.get(&k) else { continue };
-                for &(j, bv) in cols {
-                    let cand = dist_add(av, bv);
-                    let slot = out.entry((i, j)).or_insert(INFINITY);
-                    if cand < *slot {
-                        *slot = cand;
-                    }
-                }
-            }
+        for (t, ablk) in a_blocks {
+            let Some(bblk) = b_blocks.get(&t) else { continue };
+            let out = partials.entry(t).or_insert_with(|| vec![INFINITY; b * b]);
+            min_plus_into(&ablk, bblk, out, b, b);
         }
     }
 
-    // Phase 3: binary tree reduction over K towards kb = 0.
+    // Phase 3: binary tree reduction over K towards kb = 0 — elementwise
+    // block minima; only finite entries travel.
     let mut gap = 1usize;
     while gap < q {
         let mut batch: Vec<CliqueMsg<Entry>> = Vec::new();
         let mut drained: Vec<Triple> = Vec::new();
-        for (&(ib, jb, kb), entries) in partials.iter() {
+        for (&(ib, jb, kb), blk) in partials.iter() {
             if kb % (2 * gap) == gap {
                 let src = blocks.owner(ib, jb, kb);
                 let dst = blocks.owner(ib, jb, kb - gap);
-                for (&(i, j), &v) in entries {
-                    batch.push(CliqueMsg::new(
-                        src,
-                        dst,
-                        Entry::C { i, j, v, kb: (kb - gap) as u32 },
-                    ));
+                for (li, row) in blk.chunks_exact(b).enumerate() {
+                    for (lj, &v) in row.iter().enumerate() {
+                        if v == INFINITY {
+                            continue;
+                        }
+                        let (i, j) = ((ib * b + li) as u32, (jb * b + lj) as u32);
+                        batch.push(CliqueMsg::new(
+                            src,
+                            dst,
+                            Entry::C { i, j, v, kb: (kb - gap) as u32 },
+                        ));
+                    }
                 }
                 drained.push((ib, jb, kb));
             }
@@ -217,7 +217,8 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
                         unreachable!("phase 3 carries only C entries")
                     };
                     let t = (blocks.blk(i as usize), blocks.blk(j as usize), kb as usize);
-                    let slot = partials.entry(t).or_default().entry((i, j)).or_insert(INFINITY);
+                    let blk = partials.entry(t).or_insert_with(|| vec![INFINITY; b * b]);
+                    let slot = &mut blk[(i as usize % b) * b + (j as usize % b)];
                     if v < *slot {
                         *slot = v;
                     }
@@ -229,21 +230,27 @@ fn square(net: &mut CliqueNet, d: &DistanceMatrix) -> Result<DistanceMatrix, Cli
 
     // Phase 4: scatter result rows back to row owners.
     let mut batch: Vec<CliqueMsg<Entry>> = Vec::new();
-    for (&(ib, jb, kb), entries) in partials.iter() {
+    for (&(ib, jb, kb), blk) in partials.iter() {
         debug_assert_eq!(kb, 0, "after reduction only kb = 0 triples remain");
         let src = blocks.owner(ib, jb, kb);
-        for (&(i, j), &v) in entries {
-            batch.push(CliqueMsg::new(src, NodeId::new(i as usize), Entry::C { i, j, v, kb: 0 }));
+        for (li, row) in blk.chunks_exact(b).enumerate() {
+            let i = (ib * b + li) as u32;
+            for (lj, &v) in row.iter().enumerate() {
+                if v == INFINITY {
+                    continue;
+                }
+                let j = (jb * b + lj) as u32;
+                batch.push(CliqueMsg::new(
+                    src,
+                    NodeId::new(i as usize),
+                    Entry::C { i, j, v, kb: 0 },
+                ));
+            }
         }
     }
     let inboxes = net.route(batch)?;
-    let mut next = DistanceMatrix::new(n);
     // Seed with the current matrix (paths of the shorter hop class survive).
-    for i in 0..n {
-        for j in 0..n {
-            next.set(NodeId::new(i), NodeId::new(j), d.get(NodeId::new(i), NodeId::new(j)));
-        }
-    }
+    let mut next = d.clone();
     for (row_owner, msgs) in inboxes.into_iter().enumerate() {
         for (_, entry) in msgs {
             let Entry::C { i, j, v, .. } = entry else { unreachable!() };

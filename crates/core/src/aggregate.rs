@@ -57,7 +57,7 @@ pub fn aggregate_all<T, F>(
     mut combine: F,
 ) -> Result<Option<T>, HybridError>
 where
-    T: Clone,
+    T: Clone + Send + Sync,
     F: FnMut(T, T) -> T,
 {
     let n = net.n();

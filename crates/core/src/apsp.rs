@@ -15,9 +15,10 @@
 
 use hybrid_graph::apsp::DistanceMatrix;
 use hybrid_graph::dijkstra::{par_lex_rows_with, par_map_rows};
+use hybrid_graph::minplus::par_min_plus_into;
 use hybrid_graph::skeleton::Skeleton;
 use hybrid_graph::{dist_add, Distance, NodeId, INFINITY};
-use hybrid_sim::{derive_seed, HybridNet};
+use hybrid_sim::{derive_seed, par, HybridNet};
 
 use crate::dissemination::disseminate;
 use crate::error::HybridError;
@@ -65,18 +66,19 @@ fn near_lists(
 ) -> (Vec<Vec<(usize, Distance)>>, usize) {
     let g = net.graph();
     let n = g.len();
-    let mut lists = Vec::with_capacity(n);
-    // Collect the uncovered nodes first, then resolve them with one parallel
+    // Per-node derivation of the nearby-skeleton lists is embarrassingly
+    // parallel: shard the nodes across the round-engine worker budget.
+    let threads = net.round_threads();
+    let mut lists: Vec<Vec<(usize, Distance)>> = vec![Vec::new(); n];
+    par::map_shards_mut(threads, &mut lists, |start, shard| {
+        for (i, slot) in shard.iter_mut().enumerate() {
+            *slot = skeleton.skeletons_near(NodeId::new(start + i));
+        }
+    });
+    // Collect the uncovered nodes, then resolve them with one parallel
     // lexicographic Dijkstra per fallback (reusable workspaces, all cores)
     // instead of a fresh allocating run per node.
-    let mut uncovered: Vec<NodeId> = Vec::new();
-    for v in g.nodes() {
-        let near = skeleton.skeletons_near(v);
-        if near.is_empty() {
-            uncovered.push(v);
-        }
-        lists.push(near);
-    }
+    let uncovered: Vec<NodeId> = (0..n).filter(|&v| lists[v].is_empty()).map(NodeId::new).collect();
     let fallbacks = uncovered.len();
     if fallbacks > 0 {
         let resolved = par_map_rows(g, &uncovered, |_, _, dist, hops| {
@@ -108,32 +110,31 @@ fn assemble(
     net: &HybridNet<'_>,
     skeleton: &Skeleton,
     near: &[Vec<(usize, Distance)>],
-    labels: &[Vec<Distance>],
+    labels: &[Distance],
 ) -> DistanceMatrix {
     let g = net.graph();
     let n = g.len();
+    let ns = skeleton.len();
     let h = skeleton.h() as u64;
     let mut out = DistanceMatrix::new(n);
     let sources: Vec<NodeId> = g.nodes().collect();
-    // One parallel lex-Dijkstra per node; each worker writes its assembled row
-    // straight into the flat matrix.
-    par_lex_rows_with(g, &sources, out.as_flat_mut(), |_, u, dist, hops, row| {
+    // Pass 1 — one parallel lex-Dijkstra per node; each worker writes its
+    // h-hop-gated local row straight into the flat matrix.
+    par_lex_rows_with(g, &sources, out.as_flat_mut(), |_, _, dist, hops, row| {
         for v in 0..n {
             row[v] = if hops[v] <= h { dist[v] } else { INFINITY };
         }
-        // Loop order: one pass per nearby skeleton node, walking its label row
-        // contiguously — cache-friendly min-plus instead of per-entry jumps
-        // across label rows.
-        for &(s, dus) in &near[u.index()] {
-            let label_row = &labels[s];
-            for v in 0..n {
-                let cand = dist_add(dus, label_row[v]);
-                if cand < row[v] {
-                    row[v] = cand;
-                }
-            }
-        }
     });
+    // Pass 2 — the skeleton merge is one blocked min-plus product
+    // `near (n × |V_S|) ⊗ labels (|V_S| × n)` accumulated into the gated
+    // local rows (the kernel's seeded-output mode).
+    let mut nearm = vec![INFINITY; n * ns];
+    for (v, lst) in near.iter().enumerate() {
+        for &(s, d) in lst {
+            nearm[v * ns + s] = d;
+        }
+    }
+    par_min_plus_into(&nearm, labels, out.as_flat_mut(), n, n);
     out
 }
 
@@ -170,21 +171,31 @@ pub fn exact_apsp(
     let d_s = skeleton.apsp();
     let ns = skeleton.len();
 
-    // Every node v derives d(v, s) and its connector for every skeleton node s.
+    // Every node v derives d(v, s) and its connector for every skeleton node
+    // s — an independent per-node step, sharded across the round-engine
+    // worker budget (each shard owns a contiguous band of rows).
     let (near, fallbacks) = near_lists(net, &skeleton, "apsp:fallback");
     let mut conn = vec![usize::MAX; n * ns];
     let mut dvs = vec![INFINITY; n * ns];
-    for v in 0..n {
-        for &(u, dvu) in &near[v] {
-            for s in 0..ns {
-                let cand = dist_add(dvu, d_s.get(NodeId::new(u), NodeId::new(s)));
-                if cand < dvs[v * ns + s] {
-                    dvs[v * ns + s] = cand;
-                    conn[v * ns + s] = u;
+    par::map_shards_mut2(
+        net.round_threads(),
+        n,
+        (&mut conn, ns),
+        (&mut dvs, ns),
+        |start, crows, drows| {
+            for (i, (crow, drow)) in crows.chunks_mut(ns).zip(drows.chunks_mut(ns)).enumerate() {
+                for &(u, dvu) in &near[start + i] {
+                    for s in 0..ns {
+                        let cand = dist_add(dvu, d_s.get(NodeId::new(u), NodeId::new(s)));
+                        if cand < drow[s] {
+                            drow[s] = cand;
+                            crow[s] = u;
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+    );
 
     // Token routing: v sends ⟨d_h(v, s'), ID(v), ID(s')⟩ to each skeleton node s.
     let members: Vec<NodeId> = skeleton.nodes().to_vec();
@@ -218,19 +229,34 @@ pub fn exact_apsp(
     for (i, &m) in members.iter().enumerate() {
         global_to_local[m.index()] = i;
     }
-    let mut labels = vec![vec![INFINITY; n]; ns];
-    for (s_local, &s_global) in members.iter().enumerate() {
-        labels[s_local][s_global.index()] = 0;
-        for t in routed.for_receiver(s_global) {
-            let (dvu, u_global) = t.payload;
-            let u_local = global_to_local[u_global.index()];
-            debug_assert_ne!(u_local, usize::MAX, "connector must be a skeleton member");
-            let v = t.label.s;
-            let d = dist_add(d_s.get(NodeId::new(s_local), NodeId::new(u_local)), dvu);
-            if d < labels[s_local][v.index()] {
-                labels[s_local][v.index()] = d;
-            }
-        }
+    let mut labels = vec![INFINITY; ns * n];
+    {
+        let threads = net.round_threads();
+        par::map_shards_mut(
+            threads,
+            labels.chunks_mut(n).collect::<Vec<_>>().as_mut_slice(),
+            |start, rows| {
+                for (i, row) in rows.iter_mut().enumerate() {
+                    let s_local = start + i;
+                    let s_global = members[s_local];
+                    row[s_global.index()] = 0;
+                    for t in routed.for_receiver(s_global) {
+                        let (dvu, u_global) = t.payload;
+                        let u_local = global_to_local[u_global.index()];
+                        debug_assert_ne!(
+                            u_local,
+                            usize::MAX,
+                            "connector must be a skeleton member"
+                        );
+                        let v = t.label.s;
+                        let d = dist_add(d_s.get(NodeId::new(s_local), NodeId::new(u_local)), dvu);
+                        if d < row[v.index()] {
+                            row[v.index()] = d;
+                        }
+                    }
+                }
+            },
+        );
     }
     net.charge_local(skeleton.h() as u64, "apsp:labels-local");
 
@@ -279,21 +305,11 @@ pub fn exact_apsp_soda20(
     disseminate(net, &owners, derive_seed(seed, 2), "apsp3:labels")?;
 
     // All labels are now public: every node can compute
-    // d(s, v) = min_{s₂} d_S(s, s₂) + d_h(s₂, v) for every (s, v).
-    let mut labels = vec![vec![INFINITY; n]; ns];
-    for s in 0..ns {
-        for v in 0..n {
-            let mut best = INFINITY;
-            for s2 in 0..ns {
-                let cand = dist_add(
-                    d_s.get(NodeId::new(s), NodeId::new(s2)),
-                    skeleton.dh(s2, NodeId::new(v)),
-                );
-                best = best.min(cand);
-            }
-            labels[s][v] = best;
-        }
-    }
+    // d(s, v) = min_{s₂} d_S(s, s₂) + d_h(s₂, v) for every (s, v) — a pure
+    // min-plus product `d_S (|V_S| × |V_S|) ⊗ d_h (|V_S| × n)`, handed to the
+    // shared blocked kernel.
+    let mut labels = vec![INFINITY; ns * n];
+    par_min_plus_into(d_s.as_flat(), skeleton.dh_flat(), &mut labels, ns, n);
 
     let (near, fallbacks) = near_lists(net, &skeleton, "apsp3:fallback");
     let dist = assemble(net, &skeleton, &near, &labels);

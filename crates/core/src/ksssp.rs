@@ -19,9 +19,9 @@
 
 use clique_sim::declared::DeclaredKssp;
 use clique_sim::{CliqueKsspAlgorithm, SourceCapacity};
-use hybrid_graph::dijkstra::dijkstra_lex;
+use hybrid_graph::dijkstra::par_map_rows;
 use hybrid_graph::{dist_add, Distance, NodeId, INFINITY};
-use hybrid_sim::{derive_seed, HybridNet};
+use hybrid_sim::{derive_seed, par, HybridNet};
 
 use crate::clique_on_skeleton::{simulate_kssp_on_skeleton, CliqueSimReport};
 use crate::error::HybridError;
@@ -181,37 +181,51 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
 
     let g = net.graph();
     let (near, fallbacks) = {
-        // Reuse the APSP helper through a local copy to avoid a cyclic module
-        // dependency: nearby skeleton nodes with adaptive fallback.
-        let mut lists = Vec::with_capacity(n);
-        let mut fb = 0usize;
-        for v in g.nodes() {
-            let nearv = skeleton.skeletons_near(v);
-            if nearv.is_empty() {
-                fb += 1;
-                let (dist, _) = dijkstra_lex(g, v);
-                let best = (0..ns)
+        // Per-node nearby-skeleton lists (sharded across the round-engine
+        // worker budget), then one parallel lexicographic Dijkstra per
+        // uncovered node — this framework's fallback keeps its own
+        // `(distance, index)` tie-break, so it stays separate from the APSP
+        // helper.
+        let threads = net.round_threads();
+        let mut lists: Vec<Vec<(usize, Distance)>> = vec![Vec::new(); n];
+        par::map_shards_mut(threads, &mut lists, |start, shard| {
+            for (i, slot) in shard.iter_mut().enumerate() {
+                *slot = skeleton.skeletons_near(NodeId::new(start + i));
+            }
+        });
+        let uncovered: Vec<NodeId> =
+            (0..n).filter(|&v| lists[v].is_empty()).map(NodeId::new).collect();
+        let fb = uncovered.len();
+        if fb > 0 {
+            let resolved = par_map_rows(g, &uncovered, |_, _, dist, _| {
+                (0..ns)
                     .filter_map(|i| {
                         let t = skeleton.global(i);
                         (dist[t.index()] != INFINITY).then_some((dist[t.index()], i))
                     })
-                    .min();
-                lists.push(best.map(|(d, i)| vec![(i, d)]).unwrap_or_default());
-            } else {
-                lists.push(nearv);
+                    .min()
+            });
+            for (&v, best) in uncovered.iter().zip(resolved) {
+                lists[v.index()] = best.map(|(d, i)| vec![(i, d)]).unwrap_or_default();
             }
         }
         (lists, fb)
     };
 
-    let mut est = vec![vec![INFINITY; n]; sources.len()];
-    for (s_idx, rep) in reps.iter().enumerate() {
-        let s = rep.source;
+    // Equation (1) per source — one parallel lexicographic Dijkstra per
+    // representative (pooled workspaces across worker threads) instead of a
+    // fresh allocating run per source. `compute_representatives` yields
+    // exactly one representative per source, so the assembled rows are the
+    // estimate table.
+    debug_assert_eq!(reps.len(), sources.len(), "one representative per source");
+    let rep_sources: Vec<NodeId> = reps.iter().map(|r| r.source).collect();
+    let est = par_map_rows(g, &rep_sources, |s_idx, _, dist, hops| {
+        let rep = &reps[s_idx];
         let row = rep_row[&rep.rep_local];
-        // Local exact part: d_{ηh}(v, s) for nodes whose lex-shortest path from s
-        // fits in the exploration radius.
-        let (dist, hops) = dijkstra_lex(g, s);
+        let mut out = vec![INFINITY; n];
         for v in 0..n {
+            // Local exact part: d_{ηh}(v, s) for nodes whose lex-shortest
+            // path from s fits in the exploration radius.
             let mut best = if hops[v] <= explore { dist[v] } else { INFINITY };
             // Skeleton part: min over nearby skeletons u of
             // d_h(v,u) + d̃(u, r_s) + d_h(r_s, s).
@@ -219,9 +233,10 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
                 let via = dist_add(dist_add(dvu, est_s.get(row, NodeId::new(u))), rep.dist);
                 best = best.min(via);
             }
-            est[s_idx][v] = best;
+            out[v] = best;
         }
-    }
+        out
+    });
 
     Ok(KsspOutcome {
         sources: sources.to_vec(),

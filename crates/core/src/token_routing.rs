@@ -21,7 +21,7 @@
 
 use hybrid_graph::graph::log2_ceil;
 use hybrid_graph::NodeId;
-use hybrid_sim::{derive_seed, Envelope, FlatInboxes, HybridNet};
+use hybrid_sim::{derive_seed, par, Envelope, FlatInboxes, HybridNet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -252,7 +252,7 @@ impl RoutingSession {
     /// * [`HybridError::MissingTokens`] if delivery is incomplete
     ///   (protocol-bug guard).
     /// * Simulator errors (congestion under the strict policy).
-    pub fn route<T: Clone>(
+    pub fn route<T: Clone + Send + Sync + 'static>(
         &self,
         net: &mut HybridNet<'_>,
         tokens: Vec<Token<T>>,
@@ -281,7 +281,7 @@ impl RoutingSession {
             delivered[t.label.r.index()].push(t);
         }
         if routable.is_empty() {
-            finish(&mut delivered);
+            finish(net.round_threads(), &mut delivered);
             return Ok(RoutedTokens { delivered, mu_s: self.mu_s, mu_r: self.mu_r, rounds: 0 });
         }
         let mut per_receiver: Vec<u32> = vec![0; n];
@@ -344,17 +344,26 @@ impl RoutingSession {
                 queues[v].push(Envelope::new(NodeId::new(v), mid, t));
             }
         }
-        let inboxes = net.drain_queues(&format!("{phase}:to-intermediates"), queues)?;
+        let mut inboxes = net.drain_queues(&format!("{phase}:to-intermediates"), queues)?;
         // Intermediate stores: per node a label-sorted vector with `Option`al
         // payloads (binary-search lookup, `take()` on answer) instead of a
-        // hash map per node.
+        // hash map per node. Construction and the per-node label sorts are
+        // independent per intermediate — sharded across the round-engine
+        // worker budget.
+        let threads = net.round_threads();
+        let shard_stores = par::map_shards_mut(threads, &mut inboxes, |_, shard| {
+            shard
+                .iter_mut()
+                .map(|msgs| {
+                    let mut store: Vec<(TokenLabel, Option<T>)> =
+                        msgs.drain(..).map(|(_, t)| (t.label, Some(t.payload))).collect();
+                    store.sort_unstable_by_key(|e| e.0);
+                    store
+                })
+                .collect::<Vec<_>>()
+        });
         let mut intermediate_store: Vec<Vec<(TokenLabel, Option<T>)>> =
-            (0..n).map(|_| Vec::new()).collect();
-        for (v, msgs) in inboxes.into_iter().enumerate() {
-            let store = &mut intermediate_store[v];
-            store.extend(msgs.into_iter().map(|(_, t)| (t.label, Some(t.payload))));
-            store.sort_unstable_by_key(|e| e.0);
-        }
+            shard_stores.into_iter().flatten().collect();
 
         // Algorithm 4 phase B: receiver-helpers request labels; intermediates
         // answer in the next round. Requests and responses are interleaved,
@@ -394,30 +403,22 @@ impl RoutingSession {
                     req_outbox.extend(q.drain(..take));
                 }
                 net.exchange_into(&req_phase, &mut req_outbox, &mut req_flat)?;
-                for (mid, msgs) in req_flat.iter() {
-                    let store = &mut intermediate_store[mid];
-                    for &(requester, lab) in msgs {
-                        // On a lossless channel a request always follows the
-                        // token to the same hash-chosen intermediate; if the
-                        // token was lost en route (fault injection), surface a
-                        // structured error instead of corrupting the protocol.
-                        // A *found* label whose payload was already taken is a
-                        // different story — requests are never duplicated, not
-                        // even by faults (loss only removes messages), so that
-                        // stays a hard protocol-bug panic.
-                        let idx = store.binary_search_by_key(&lab, |e| e.0).map_err(|_| {
-                            HybridError::InvariantViolation(format!(
-                                "request from {requester} reached intermediate {mid} \
-                                     but the matching token never did (message lost?)"
-                            ))
-                        })?;
-                        let payload = store[idx].1.take().expect("token answered once");
-                        resp_queues[mid].push_back(Envelope::new(
-                            NodeId::new(mid),
-                            requester,
-                            Token { label: lab, payload },
-                        ));
-                    }
+                // Every intermediate answers its own requests — the per-node
+                // protocol step is sharded by receiver: shard `t` owns a
+                // contiguous band of intermediates (their stores and response
+                // queues), so the parallel answer step is bit-identical to
+                // the sequential `mid = 0..n` sweep, including which error
+                // surfaces first (lowest failing shard reports the lowest
+                // failing intermediate).
+                let results = par::map_shards_mut2(
+                    threads,
+                    n,
+                    (&mut intermediate_store, 1),
+                    (&mut resp_queues, 1),
+                    |start, stores, resps| answer_requests(start, stores, resps, &req_flat),
+                );
+                for r in results {
+                    r?;
                 }
             }
             if resp_queues.iter().any(|q| !q.is_empty()) {
@@ -459,7 +460,7 @@ impl RoutingSession {
                 });
             }
         }
-        finish(&mut delivered);
+        finish(threads, &mut delivered);
         Ok(RoutedTokens {
             delivered,
             mu_s: self.mu_s,
@@ -491,7 +492,7 @@ impl RoutingSession {
 /// * [`HybridError::MissingTokens`] if delivery is incomplete (protocol-bug
 ///   guard).
 /// * Simulator errors (congestion under the strict policy).
-pub fn route_tokens<T: Clone>(
+pub fn route_tokens<T: Clone + Send + Sync + 'static>(
     net: &mut HybridNet<'_>,
     tokens: Vec<Token<T>>,
     senders: &[NodeId],
@@ -531,10 +532,48 @@ pub fn route_tokens<T: Clone>(
     Ok(routed)
 }
 
-fn finish<T>(delivered: &mut [Vec<Token<T>>]) {
-    for v in delivered.iter_mut() {
-        v.sort_by_key(|t| t.label);
+/// Sorts every receiver's deliveries by label — independent per receiver,
+/// sharded across the round-engine worker budget.
+fn finish<T: Send>(threads: usize, delivered: &mut [Vec<Token<T>>]) {
+    par::map_shards_mut(threads, delivered, |_, shard| {
+        for v in shard.iter_mut() {
+            v.sort_by_key(|t| t.label);
+        }
+    });
+}
+
+/// One shard of the Algorithm 4 answer step: intermediates `start + i` look
+/// up each requested label in their store and enqueue the response. On a
+/// lossless channel a request always follows the token to the same
+/// hash-chosen intermediate; if the token was lost en route (fault
+/// injection), surface a structured error instead of corrupting the protocol.
+/// A *found* label whose payload was already taken is a different story —
+/// requests are never duplicated, not even by faults (loss only removes
+/// messages), so that stays a hard protocol-bug panic.
+fn answer_requests<T>(
+    start: usize,
+    stores: &mut [Vec<(TokenLabel, Option<T>)>],
+    resps: &mut [std::collections::VecDeque<Envelope<Token<T>>>],
+    req_flat: &FlatInboxes<TokenLabel>,
+) -> Result<(), HybridError> {
+    for (i, (store, resp)) in stores.iter_mut().zip(resps.iter_mut()).enumerate() {
+        let mid = start + i;
+        for &(requester, lab) in req_flat.node(mid) {
+            let idx = store.binary_search_by_key(&lab, |e| e.0).map_err(|_| {
+                HybridError::InvariantViolation(format!(
+                    "request from {requester} reached intermediate {mid} \
+                         but the matching token never did (message lost?)"
+                ))
+            })?;
+            let payload = store[idx].1.take().expect("token answered once");
+            resp.push_back(Envelope::new(
+                NodeId::new(mid),
+                requester,
+                Token { label: lab, payload },
+            ));
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]

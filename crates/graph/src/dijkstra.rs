@@ -111,6 +111,11 @@ pub struct DijkstraWorkspace {
 /// queue (`W + 1` circular buckets, `O(m + D)`) instead of a binary heap.
 const DIAL_MAX_WEIGHT: u64 = 64;
 
+/// Largest *transformed* edge weight (`w · K + 1` in the packed lexicographic
+/// encoding) for which the lex run uses Dial's bucket queue. The bucket array
+/// has this many entries, so the bound also caps the memory of the queue.
+const LEX_DIAL_MAX_WEIGHT: u64 = 1 << 14;
+
 impl DijkstraWorkspace {
     /// Creates an empty workspace; arrays are sized lazily on first use.
     pub fn new() -> Self {
@@ -171,8 +176,36 @@ impl DijkstraWorkspace {
     /// entries are skipped via the `dist` check; since `w ≥ 1`, a relaxation
     /// never lands in the bucket currently being drained.
     fn run_dial(&mut self, g: &Graph, source: NodeId, max_dist: Distance) {
+        // W ≤ DIAL_MAX_WEIGHT keeps the key span ≤ 64n, so the plain run
+        // never needs the cursor budget.
+        self.run_dial_core(g, source, max_dist, 1, 0, INFINITY);
+    }
+
+    /// Shared Dial core over *affinely transformed* weights: every edge weight
+    /// `w` is relaxed as `w · wmul + wadd`. `(1, 0)` is the plain run;
+    /// `(K, 1)` is the packed lexicographic run (key `dist · K + hops`, see
+    /// [`DijkstraWorkspace::run_lex`]). The circular queue has
+    /// `W · wmul + wadd + 1` buckets; the bucket cursor and relaxation targets
+    /// are maintained incrementally (no division on the hot path).
+    ///
+    /// The cursor sweeps every key value up to the largest settled key, so
+    /// Dial's total cost is `O(m + span)` where `span` is the weighted
+    /// eccentricity times `wmul` — unknowable up front. `cursor_budget` caps
+    /// the sweep: when `cur` exceeds it the run bails out (returns `false`,
+    /// with the touched buckets cleared for reuse) so the caller can fall
+    /// back to the heap. The bail decision depends only on the graph and
+    /// source, keeping results deterministic.
+    fn run_dial_core(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        max_dist: Distance,
+        wmul: u64,
+        wadd: u64,
+        cursor_budget: Distance,
+    ) -> bool {
         self.begin(g.len());
-        let nb = g.max_weight() as usize + 1;
+        let nb = (g.max_weight() * wmul + wadd) as usize + 1;
         if self.buckets.len() < nb {
             self.buckets.resize(nb, Vec::new());
         }
@@ -182,16 +215,22 @@ impl DijkstraWorkspace {
         self.buckets[0].push(source.raw());
         let mut remaining = 1usize;
         let mut cur: Distance = 0;
+        let mut cb = 0usize; // cur % nb, maintained incrementally
         while remaining > 0 {
-            let b = (cur % nb as u64) as usize;
-            while let Some(v_raw) = self.buckets[b].pop() {
+            if cur > cursor_budget {
+                for b in self.buckets[..nb].iter_mut() {
+                    b.clear();
+                }
+                return false;
+            }
+            while let Some(v_raw) = self.buckets[cb].pop() {
                 remaining -= 1;
                 let v = v_raw as usize;
                 if self.dist[v] != cur {
                     continue; // stale entry
                 }
                 for (u, w) in g.neighbors(NodeId::from(v_raw)) {
-                    let nd = cur + w;
+                    let nd = cur + w * wmul + wadd;
                     if nd > max_dist {
                         continue;
                     }
@@ -199,13 +238,23 @@ impl DijkstraWorkspace {
                     if nd < self.dist[ui] {
                         self.dist[ui] = nd;
                         self.pred[ui] = v_raw;
-                        self.buckets[(nd % nb as u64) as usize].push(u.raw());
+                        // nd - cur ≤ W · wmul + wadd < nb: one wrap suffices.
+                        let mut target = cb + (nd - cur) as usize;
+                        if target >= nb {
+                            target -= nb;
+                        }
+                        self.buckets[target].push(u.raw());
                         remaining += 1;
                     }
                 }
             }
             cur += 1;
+            cb += 1;
+            if cb == nb {
+                cb = 0;
+            }
         }
+        true
     }
 
     /// The key factor `K` for the packed lexicographic run, if the graph's
@@ -238,6 +287,20 @@ impl DijkstraWorkspace {
     /// two-key loop remains as fallback for extreme weights.
     fn run_lex(&mut self, g: &Graph, source: NodeId) -> Option<u64> {
         if let Some(k) = Self::lex_pack_factor(g) {
+            // Dial fast path on the packed keys: the transformed weights
+            // `w · K + 1` are still small integers for every generator-scale
+            // graph, so the bucket queue replaces the binary heap here too
+            // (identical exact results, no `O(log n)` heap traffic). The
+            // cursor budget keeps high-diameter graphs (key span ≈ weighted
+            // eccentricity × K, e.g. long cycles) off this path: once the
+            // sweep exceeds roughly what a heap run would cost, Dial bails
+            // and the heap path below runs instead.
+            if g.max_weight() * k < LEX_DIAL_MAX_WEIGHT && g.len() > 1 {
+                let budget = 32 * (g.len() as u64 + g.num_edges() as u64);
+                if self.run_dial_core(g, source, INFINITY, k, 1, budget) {
+                    return Some(k);
+                }
+            }
             self.begin(g.len());
             let s = source.index();
             self.dist[s] = 0;
@@ -603,7 +666,7 @@ pub fn shortest_path_diameter(g: &Graph) -> Distance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{erdos_renyi_connected, grid, path, weighted_cycle_with_chord};
+    use crate::generators::{cycle, erdos_renyi_connected, grid, path, weighted_cycle_with_chord};
     use crate::graph::GraphBuilder;
     use rand::SeedableRng;
 
@@ -794,6 +857,55 @@ mod tests {
             for u in small.nodes() {
                 assert_eq!(d_small.dist(u) * scale, d_heavy.dist(u));
             }
+        }
+    }
+
+    #[test]
+    fn lex_dial_matches_heap_packed_path() {
+        // Same topology, weights scaled so the packed key still fits but the
+        // transformed weight W·K+1 exceeds the Dial bucket bound: the heap
+        // path must agree with the Dial path up to the uniform weight scale
+        // (identical hop tie-breaks, scaled distances).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let small = erdos_renyi_connected(40, 0.12, 8, &mut rng).unwrap();
+        assert!(small.max_weight() * (small.len() as u64) < super::LEX_DIAL_MAX_WEIGHT);
+        let scale = 520u64;
+        let mut b = GraphBuilder::new(small.len());
+        for e in small.edges() {
+            b.add_edge(e.u, e.v, e.w * scale).unwrap();
+        }
+        let heavy = b.build().unwrap();
+        assert!(
+            heavy.max_weight() * heavy.len() as u64 + 1 > super::LEX_DIAL_MAX_WEIGHT,
+            "heavy graph must take the heap path"
+        );
+        assert!(DijkstraWorkspace::lex_pack_factor(&heavy).is_some(), "still packable");
+        for v in small.nodes() {
+            let (d_small, h_small) = dijkstra_lex(&small, v);
+            let (d_heavy, h_heavy) = dijkstra_lex(&heavy, v);
+            for u in small.nodes() {
+                assert_eq!(d_small[u.index()] * scale, d_heavy[u.index()]);
+                assert_eq!(h_small[u.index()], h_heavy[u.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn lex_dial_bails_to_heap_on_high_diameter() {
+        // A long unit cycle: Dial would sweep ≈ (n/2)·n key values, far past
+        // the cursor budget, so the run must bail to the heap path — and the
+        // closed-form cycle distances pin that the fallback is correct.
+        let n = 2000usize;
+        let g = cycle(n, 1).unwrap();
+        assert!(
+            g.max_weight() * (g.len() as u64) < super::LEX_DIAL_MAX_WEIGHT,
+            "cycle is Dial-eligible by the weight guard alone"
+        );
+        let (dist, hops) = dijkstra_lex(&g, NodeId::new(0));
+        for v in [1usize, 7, n / 2, n - 3] {
+            let expect = v.min(n - v) as u64;
+            assert_eq!(dist[v], expect, "node {v}");
+            assert_eq!(hops[v], expect, "node {v}");
         }
     }
 

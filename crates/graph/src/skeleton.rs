@@ -70,11 +70,15 @@ pub struct Skeleton {
     h: usize,
     /// The skeleton graph over local indices `0..|V_S|`.
     graph: Graph,
-    /// `d_h(s, v)` for every skeleton node `s` (row per skeleton-local index) and
-    /// every `v ∈ V`. This is the local-exploration knowledge of the paper's
-    /// algorithms: node `v` knows `d_h(v, s)` for every skeleton node within `h`
-    /// hops, which by symmetry is exactly these rows.
-    dh_rows: Vec<Vec<Distance>>,
+    /// `d_h(s, v)` for every skeleton node `s` (one row of `gn` entries per
+    /// skeleton-local index, row-major) and every `v ∈ V`. This is the
+    /// local-exploration knowledge of the paper's algorithms: node `v` knows
+    /// `d_h(v, s)` for every skeleton node within `h` hops, which by symmetry
+    /// is exactly these rows. Stored flat so it can feed the min-plus kernel
+    /// ([`crate::minplus`]) without copying.
+    dh: Vec<Distance>,
+    /// Row stride of `dh` (= number of nodes of the underlying graph).
+    gn: usize,
 }
 
 impl Skeleton {
@@ -113,10 +117,13 @@ impl Skeleton {
         let index: HashMap<NodeId, usize> =
             nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         assert_eq!(index.len(), nodes.len(), "skeleton nodes must be distinct");
-        let dh_rows: Vec<Vec<Distance>> =
-            nodes.iter().map(|&s| hop_limited_distances(g, s, h)).collect();
+        let gn = g.len();
+        let mut dh = Vec::with_capacity(nodes.len() * gn);
+        for &s in &nodes {
+            dh.extend_from_slice(&hop_limited_distances(g, s, h));
+        }
         let mut b = GraphBuilder::new(nodes.len());
-        for (i, row) in dh_rows.iter().enumerate() {
+        for (i, row) in dh.chunks_exact(gn).enumerate() {
             for (j, &t) in nodes.iter().enumerate().skip(i + 1) {
                 let d = row[t.index()];
                 if d != INFINITY {
@@ -125,7 +132,7 @@ impl Skeleton {
             }
         }
         let graph = b.build()?;
-        Ok(Skeleton { nodes, index, h, graph, dh_rows })
+        Ok(Skeleton { nodes, index, h, graph, dh, gn })
     }
 
     /// The sampled global node IDs, sorted.
@@ -170,12 +177,18 @@ impl Skeleton {
 
     /// `d_h(s, v)` for skeleton node with local index `s_local` and any `v ∈ V`.
     pub fn dh(&self, s_local: usize, v: NodeId) -> Distance {
-        self.dh_rows[s_local][v.index()]
+        self.dh[s_local * self.gn + v.index()]
     }
 
     /// Full `d_h(s, ·)` row of a skeleton node.
     pub fn dh_row(&self, s_local: usize) -> &[Distance] {
-        &self.dh_rows[s_local]
+        &self.dh[s_local * self.gn..(s_local + 1) * self.gn]
+    }
+
+    /// The whole `d_h` table as a flat row-major `|V_S| × n` matrix — the
+    /// right operand of the skeleton-label min-plus products.
+    pub fn dh_flat(&self) -> &[Distance] {
+        &self.dh
     }
 
     /// For a global node `v`: all skeleton nodes within `h` hops, as
@@ -183,7 +196,7 @@ impl Skeleton {
     pub fn skeletons_near(&self, v: NodeId) -> Vec<(usize, Distance)> {
         (0..self.nodes.len())
             .filter_map(|i| {
-                let d = self.dh_rows[i][v.index()];
+                let d = self.dh[i * self.gn + v.index()];
                 (d != INFINITY).then_some((i, d))
             })
             .collect()

@@ -58,6 +58,7 @@ pub mod config;
 pub mod fault;
 pub mod metrics;
 pub mod net;
+pub mod par;
 pub mod rng;
 
 pub use channel::{Envelope, FlatInboxes, Inboxes};

@@ -11,6 +11,8 @@
 //! caller-reused [`FlatInboxes`] arena. The nested-`Vec` [`HybridNet::exchange`]
 //! remains as a convenience wrapper with identical observable behavior.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::fmt;
 
 use hybrid_graph::{Graph, NodeId};
@@ -19,6 +21,7 @@ use crate::channel::{Envelope, FlatInboxes, Inboxes};
 use crate::config::{HybridConfig, OverflowPolicy};
 use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
+use crate::par;
 
 /// Errors of a simulated execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,8 +97,8 @@ struct ExchangeScratch {
     offs: Vec<u32>,
     /// First-pass permutation (message indices stable-sorted by sender).
     perm1: Vec<u32>,
-    /// Second-pass permutation (then stable-sorted by destination).
-    perm2: Vec<u32>,
+    /// Shard cut points (node boundaries) of the thread-sharded scatter.
+    cuts: Vec<u32>,
     /// Per-destination budget bookkeeping for [`HybridNet::drain_queues`].
     drain_recv: Vec<u32>,
 }
@@ -107,9 +110,116 @@ impl ExchangeScratch {
             recv: vec![0; n],
             offs: vec![0; n + 1],
             perm1: Vec::new(),
-            perm2: Vec::new(),
+            cuts: Vec::new(),
             drain_recv: vec![0; n],
         }
+    }
+}
+
+/// Messages a scatter shard must own before the thread-sharded exchange path
+/// engages; below `2 ×` this the per-exchange `std::thread::scope` overhead
+/// outweighs the scatter work and the engine stays on the (allocation-free)
+/// sequential path.
+const PAR_MIN_SHARD_MESSAGES: usize = 512;
+
+/// Shared mutable base pointer for provably disjoint shard writes. Every
+/// unsafe use below is justified by a partition argument: shard `t` only
+/// touches indices derived from node buckets in its own cut range, and the
+/// cut ranges partition `0..n`.
+struct ShardPtr<T>(*mut T);
+
+impl<T> Clone for ShardPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ShardPtr<T> {}
+impl<T> ShardPtr<T> {
+    /// Pointer to slot `i`. Taking `self` by value makes closures capture the
+    /// whole (Send + Sync) wrapper rather than the raw pointer field.
+    unsafe fn at(self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+// SAFETY: the pointer is only dereferenced at indices owned by exactly one
+// shard (see the partition arguments at each use site).
+unsafe impl<T: Send> Send for ShardPtr<T> {}
+unsafe impl<T: Send> Sync for ShardPtr<T> {}
+
+/// Shared read-only base pointer from which each message index is *moved out*
+/// exactly once across all shards.
+struct TakePtr<T>(*const T);
+
+impl<T> Clone for TakePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TakePtr<T> {}
+impl<T> TakePtr<T> {
+    /// Pointer to slot `i` (see [`ShardPtr::at`]).
+    unsafe fn at(self, i: usize) -> *const T {
+        unsafe { self.0.add(i) }
+    }
+}
+// SAFETY: see [`ShardPtr`]; additionally each slot is `ptr::read` at most once.
+unsafe impl<T: Send> Send for TakePtr<T> {}
+unsafe impl<T: Send> Sync for TakePtr<T> {}
+
+/// Splits the node buckets of a counting-sort prefix array into `shards`
+/// contiguous node ranges of roughly equal *message* counts. `prefix[v]` is
+/// the first slot of bucket `v`; the cut points (node indices, `shards + 1`
+/// entries) are appended to `cuts`.
+fn balanced_node_cuts(prefix: &[u32], n: usize, m: usize, shards: usize, cuts: &mut Vec<u32>) {
+    cuts.clear();
+    cuts.push(0);
+    let mut v = 0usize;
+    for s in 1..shards {
+        let target = (m * s / shards) as u32;
+        while v < n && prefix[v] < target {
+            v += 1;
+        }
+        cuts.push(v as u32);
+    }
+    cuts.push(n as u32);
+}
+
+/// Per-call pacing scratch of [`HybridNet::drain_queues`] — the reusable
+/// outbox and inbox arena of the drain loop. Pooled per payload type on the
+/// net (see [`DrainPool`]), so repeated drains reuse their buffers across
+/// calls instead of reallocating per invocation.
+struct DrainScratch<M> {
+    outbox: Vec<Envelope<M>>,
+    flat: FlatInboxes<M>,
+}
+
+impl<M> Default for DrainScratch<M> {
+    fn default() -> Self {
+        DrainScratch { outbox: Vec::new(), flat: FlatInboxes::new() }
+    }
+}
+
+/// Type-keyed pool of [`DrainScratch`] buffers, one per payload type `M` ever
+/// drained on this net.
+#[derive(Default)]
+struct DrainPool(HashMap<TypeId, Box<dyn Any + Send>>);
+
+impl DrainPool {
+    fn take<M: Send + 'static>(&mut self) -> Box<DrainScratch<M>> {
+        self.0
+            .remove(&TypeId::of::<DrainScratch<M>>())
+            .and_then(|b| b.downcast::<DrainScratch<M>>().ok())
+            .unwrap_or_default()
+    }
+
+    fn put<M: Send + 'static>(&mut self, scratch: Box<DrainScratch<M>>) {
+        self.0.insert(TypeId::of::<DrainScratch<M>>(), scratch);
+    }
+}
+
+impl fmt::Debug for DrainPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DrainPool({} payload types)", self.0.len())
     }
 }
 
@@ -125,6 +235,11 @@ pub struct HybridNet<'g> {
     cut: Option<Vec<bool>>,
     scratch: ExchangeScratch,
     faults: Option<FaultState>,
+    /// Worker budget of the thread-sharded exchange path (read from
+    /// `HYBRID_ROUND_THREADS` at construction; `1` = sequential engine).
+    round_threads: usize,
+    /// Pooled [`HybridNet::drain_queues`] scratch buffers, per payload type.
+    drain_pool: DrainPool,
 }
 
 impl<'g> HybridNet<'g> {
@@ -154,7 +269,24 @@ impl<'g> HybridNet<'g> {
             cut: None,
             scratch: ExchangeScratch::for_n(graph.len()),
             faults: None,
+            round_threads: par::round_threads(),
+            drain_pool: DrainPool::default(),
         })
+    }
+
+    /// Worker budget of the thread-sharded exchange engine (see
+    /// [`HybridNet::set_round_threads`]).
+    pub fn round_threads(&self) -> usize {
+        self.round_threads
+    }
+
+    /// Overrides the round-engine worker budget for this net (the
+    /// `HYBRID_ROUND_THREADS` environment variable sets the initial value at
+    /// construction). `1` forces the sequential, allocation-free engine;
+    /// larger budgets let big exchanges shard their counting-sort scatter
+    /// across OS threads. Results are bit-identical either way.
+    pub fn set_round_threads(&mut self, threads: usize) {
+        self.round_threads = threads.max(1);
     }
 
     /// Installs a [`FaultPlan`]: from now on every global exchange drops
@@ -278,7 +410,7 @@ impl<'g> HybridNet<'g> {
     ///
     /// [`SimError::AddressOutOfRange`] for a bad endpoint; cap violations under
     /// [`OverflowPolicy::Fail`].
-    pub fn exchange_into<M>(
+    pub fn exchange_into<M: Send + Sync>(
         &mut self,
         phase: &str,
         outbox: &mut Vec<Envelope<M>>,
@@ -361,11 +493,6 @@ impl<'g> HybridNet<'g> {
         // Metrics: loads, cut traffic.
         let max_sent = scratch.sent[..n].iter().copied().max().unwrap_or(0) as usize;
         self.metrics.max_send_load = self.metrics.max_send_load.max(max_sent);
-        for v in 0..n {
-            if scratch.recv[v] > 0 {
-                self.metrics.record_recv_load(scratch.recv[v] as usize);
-            }
-        }
         if let Some(side) = &self.cut {
             let crossing =
                 outbox.iter().filter(|e| side[e.src.index()] != side[e.dst.index()]).count();
@@ -374,10 +501,31 @@ impl<'g> HybridNet<'g> {
         self.metrics.charge_global(rounds_needed, m as u64, phase);
 
         // Deliver: stable two-pass counting sort by (dst, src, insertion order)
-        // — radix pass 1 orders by sender, pass 2 groups by destination; both
-        // are stable, so the result matches a stable comparison sort on
-        // `(dst, src)` exactly.
-        let offs = &mut scratch.offs;
+        // — radix pass 1 orders by sender, pass 2 groups by destination and
+        // moves the payloads in one fused scatter; both passes are stable, so
+        // the result matches a stable comparison sort on `(dst, src)` exactly.
+        //
+        // For large batches (≥ 2 shards of [`PAR_MIN_SHARD_MESSAGES`]) with a
+        // round-thread budget > 1, both scatters are partitioned into node
+        // shards (pass 1 by sender, pass 2 by receiver) balanced by message
+        // count and run under `std::thread::scope`. Each node bucket is
+        // written by exactly one shard in the same scan order the sequential
+        // loop uses, so the delivered arena is bit-identical. Every shard
+        // scans the whole batch and filters to its own buckets — O(m) cheap
+        // sequential reads per shard buys zero cross-shard coordination; at
+        // the exchange sizes this simulator sees (m ≤ tens of thousands,
+        // shards ≤ cores) the redundant reads are noise next to the
+        // parallelized payload moves. An oversubscribed budget (more threads
+        // than cores, e.g. the determinism suite on a 1-core box) does
+        // strictly redundant work, which is the explicit point there.
+        let shards = if self.round_threads > 1 {
+            self.round_threads.min(m / PAR_MIN_SHARD_MESSAGES).max(1)
+        } else {
+            1
+        };
+
+        // Pass 1: message indices, stable-ordered by sender.
+        let ExchangeScratch { offs, perm1, cuts, recv, .. } = &mut self.scratch;
         offs[..=n].fill(0);
         for e in outbox.iter() {
             offs[e.src.index() + 1] += 1;
@@ -385,14 +533,42 @@ impl<'g> HybridNet<'g> {
         for v in 0..n {
             offs[v + 1] += offs[v];
         }
-        scratch.perm1.clear();
-        scratch.perm1.resize(m, 0);
-        for (i, e) in outbox.iter().enumerate() {
-            let s = e.src.index();
-            scratch.perm1[offs[s] as usize] = i as u32;
-            offs[s] += 1;
+        perm1.clear();
+        perm1.resize(m, 0);
+        if shards <= 1 {
+            for (i, e) in outbox.iter().enumerate() {
+                let s = e.src.index();
+                perm1[offs[s] as usize] = i as u32;
+                offs[s] += 1;
+            }
+        } else {
+            balanced_node_cuts(offs, n, m, shards, cuts);
+            let offs_ptr = ShardPtr(offs.as_mut_ptr());
+            let perm_ptr = ShardPtr(perm1.as_mut_ptr());
+            let outbox_ref: &[Envelope<M>] = outbox;
+            std::thread::scope(|scope| {
+                for w in cuts.windows(2) {
+                    let (lo, hi) = (w[0] as usize, w[1] as usize);
+                    scope.spawn(move || {
+                        for (i, e) in outbox_ref.iter().enumerate() {
+                            let s = e.src.index();
+                            if s >= lo && s < hi {
+                                // SAFETY: sender buckets `lo..hi` (cursor
+                                // cells and the perm1 region they index) are
+                                // owned by this shard alone.
+                                unsafe {
+                                    let cursor = offs_ptr.at(s);
+                                    *perm_ptr.at(*cursor as usize) = i as u32;
+                                    *cursor += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
         }
 
+        // Pass 2: group by destination and move payloads into the arena.
         offs[..=n].fill(0);
         for e in outbox.iter() {
             offs[e.dst.index() + 1] += 1;
@@ -403,26 +579,84 @@ impl<'g> HybridNet<'g> {
         let (msgs, starts) = out.parts_mut();
         starts.clear();
         starts.extend(offs[..=n].iter().map(|&o| o as usize));
-        scratch.perm2.clear();
-        scratch.perm2.resize(m, 0);
-        for &i in &scratch.perm1 {
-            let d = outbox[i as usize].dst.index();
-            scratch.perm2[offs[d] as usize] = i;
-            offs[d] += 1;
-        }
-
-        // Move the payloads out of `outbox` in permuted order without cloning.
-        // SAFETY: `perm2` is a permutation of `0..m`, so each element is read
-        // exactly once; the length is zeroed first so a panic cannot cause a
-        // double drop (elements would leak, never free twice).
         msgs.reserve(m);
+        // SAFETY (both branches): `perm1` is a permutation of `0..m` and each
+        // destination bucket is drained by exactly one scan, so every element
+        // is read exactly once and every output slot in `0..m` is written
+        // exactly once. `outbox`'s length is zeroed before any move and
+        // `msgs`'s length is only set after all writes, so a panic leaks
+        // elements instead of double-dropping them.
         unsafe {
-            let base = outbox.as_ptr();
+            let base = TakePtr(outbox.as_ptr());
             outbox.set_len(0);
-            for &i in &scratch.perm2 {
-                let e = std::ptr::read(base.add(i as usize));
-                msgs.push((e.src, e.msg));
+            let out_ptr = ShardPtr(msgs.as_mut_ptr());
+            if shards <= 1 {
+                for v in 0..n {
+                    if recv[v] > 0 {
+                        self.metrics.record_recv_load(recv[v] as usize);
+                    }
+                }
+                for &i in perm1.iter() {
+                    let e = std::ptr::read(base.0.add(i as usize));
+                    let d = e.dst.index();
+                    std::ptr::write(out_ptr.0.add(offs[d] as usize), (e.src, e.msg));
+                    offs[d] += 1;
+                }
+            } else {
+                balanced_node_cuts(offs, n, m, shards, cuts);
+                let offs_ptr = ShardPtr(offs.as_mut_ptr());
+                let perm1_ref: &[u32] = perm1;
+                let recv_ref: &[u32] = recv;
+                // Each receiver shard scatters its buckets and records its
+                // nodes' receive loads into a local `Metrics`; the locals are
+                // merged in shard order below, which reproduces the
+                // sequential `v = 0..n` recording exactly.
+                let shard_metrics: Vec<Metrics> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = cuts
+                        .windows(2)
+                        .map(|w| {
+                            let (lo, hi) = (w[0] as usize, w[1] as usize);
+                            scope.spawn(move || {
+                                let mut local = Metrics::new();
+                                for v in lo..hi {
+                                    if recv_ref[v] > 0 {
+                                        local.record_recv_load(recv_ref[v] as usize);
+                                    }
+                                }
+                                for &i in perm1_ref {
+                                    // SAFETY: only the shard owning bucket
+                                    // `d` moves message `i` (dst buckets
+                                    // partition the messages) and writes the
+                                    // slots `offs[d]..` of its own buckets;
+                                    // peeking another shard's `dst` is a
+                                    // plain concurrent read. (This closure is
+                                    // lexically inside the delivery `unsafe`
+                                    // block.)
+                                    let d = (*base.at(i as usize)).dst.index();
+                                    if d >= lo && d < hi {
+                                        let e = std::ptr::read(base.at(i as usize));
+                                        let cursor = offs_ptr.at(d);
+                                        std::ptr::write(
+                                            out_ptr.at(*cursor as usize),
+                                            (e.src, e.msg),
+                                        );
+                                        *cursor += 1;
+                                    }
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("exchange shard panicked"))
+                        .collect()
+                });
+                for local in &shard_metrics {
+                    self.metrics.absorb(local);
+                }
             }
+            msgs.set_len(m);
         }
         Ok(())
     }
@@ -439,7 +673,7 @@ impl<'g> HybridNet<'g> {
     ///
     /// [`SimError::AddressOutOfRange`] for a bad destination; cap violations under
     /// [`OverflowPolicy::Fail`].
-    pub fn exchange<M>(
+    pub fn exchange<M: Send + Sync>(
         &mut self,
         phase: &str,
         outbox: Vec<Envelope<M>>,
@@ -475,15 +709,32 @@ impl<'g> HybridNet<'g> {
     /// # Errors
     ///
     /// Propagates [`SimError`] from the underlying exchanges.
-    pub fn drain_queues<M>(
+    pub fn drain_queues<M: Send + Sync + 'static>(
+        &mut self,
+        phase: &str,
+        queues: Vec<Vec<Envelope<M>>>,
+    ) -> Result<Inboxes<M>, SimError> {
+        // The pacing scratch (per-round outbox + inbox arena) is pooled on
+        // the net per payload type, so repeated drains — e.g. one per
+        // simulated CLIQUE round — reuse their buffers across calls instead
+        // of reallocating per invocation.
+        let mut scratch = self.drain_pool.take::<M>();
+        let result = self.drain_queues_inner(phase, queues, &mut scratch);
+        self.drain_pool.put(scratch);
+        result
+    }
+
+    fn drain_queues_inner<M: Send + Sync>(
         &mut self,
         phase: &str,
         mut queues: Vec<Vec<Envelope<M>>>,
+        scratch: &mut DrainScratch<M>,
     ) -> Result<Inboxes<M>, SimError> {
         let n = self.graph.len();
         let mut all: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        let mut outbox: Vec<Envelope<M>> = Vec::new();
-        let mut flat: FlatInboxes<M> = FlatInboxes::new();
+        let DrainScratch { outbox, flat } = scratch;
+        outbox.clear();
+        flat.clear();
         let cap = self.send_cap();
         let recv_cap = self.recv_cap();
         let pace_receivers = self.config.overflow == OverflowPolicy::Stretch;
@@ -520,7 +771,7 @@ impl<'g> HybridNet<'g> {
                 break;
             }
             start_q = (start_q + 1) % nq.max(1);
-            self.exchange_into(phase, &mut outbox, &mut flat)?;
+            self.exchange_into(phase, outbox, flat)?;
             flat.drain_into(|dst, pair| all[dst].push(pair));
         }
         Ok(all)
@@ -790,6 +1041,90 @@ mod tests {
         let mut net = net(&g);
         let err = net.drain_queues("t", queues).unwrap_err();
         assert!(matches!(err, SimError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn sharded_exchange_is_bit_identical_to_sequential() {
+        // A batch large enough to engage the thread-sharded scatter (≥ 2
+        // shards of PAR_MIN_SHARD_MESSAGES) with a skewed destination mix:
+        // the parallel engine must reproduce the sequential arena byte for
+        // byte — same grouping, same (sender, insertion order) tie-breaks —
+        // and the same metrics, including the receive-load histogram merged
+        // from per-shard metrics.
+        let g = path(64, 1).unwrap();
+        let mk_outbox = || -> Vec<Envelope<(u32, u32)>> {
+            (0..4096u32)
+                .map(|i| {
+                    let s = (i.wrapping_mul(13) % 64) as usize;
+                    // Mix of broad traffic and a hot receiver (node 7).
+                    let d = if i % 5 == 0 { 7 } else { (i.wrapping_mul(29) % 64) as usize };
+                    Envelope::new(NodeId::new(s), NodeId::new(d), (i, i % 7))
+                })
+                .collect()
+        };
+        let run = |threads: usize| {
+            let mut net = net(&g);
+            net.set_round_threads(threads);
+            let mut outbox = mk_outbox();
+            let mut flat = FlatInboxes::new();
+            net.exchange_into("t", &mut outbox, &mut flat).unwrap();
+            let (msgs, starts) = flat.as_parts();
+            (msgs.to_vec(), starts.to_vec(), net.rounds(), net.metrics().clone())
+        };
+        let (seq_msgs, seq_starts, seq_rounds, seq_metrics) = run(1);
+        for threads in [2, 4, 7] {
+            let (par_msgs, par_starts, par_rounds, par_metrics) = run(threads);
+            assert_eq!(par_msgs, seq_msgs, "threads = {threads}");
+            assert_eq!(par_starts, seq_starts, "threads = {threads}");
+            assert_eq!(par_rounds, seq_rounds, "threads = {threads}");
+            assert_eq!(par_metrics.recv_load_hist, seq_metrics.recv_load_hist);
+            assert_eq!(par_metrics.max_recv_load, seq_metrics.max_recv_load);
+            assert_eq!(par_metrics.max_send_load, seq_metrics.max_send_load);
+            assert_eq!(par_metrics.global_messages, seq_metrics.global_messages);
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_sequential_engine() {
+        // Below the shard threshold the parallel budget must not change
+        // behavior (and keeps the zero-allocation contract).
+        let g = path(8, 1).unwrap();
+        let mut net = net(&g);
+        net.set_round_threads(8);
+        assert_eq!(net.round_threads(), 8);
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(3), 1u8)]).unwrap();
+        assert_eq!(inboxes[3], vec![(NodeId::new(0), 1)]);
+    }
+
+    #[test]
+    fn drain_queues_scratch_pool_reuses_buffers_across_calls() {
+        // Two drains with the same payload type: the second must find the
+        // pooled pacing scratch (observable as retained capacity — the pool
+        // is per payload type, keyed under the net).
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        let mk_queues = || -> Vec<Vec<Envelope<u32>>> {
+            let mut queues: Vec<Vec<Envelope<u32>>> = vec![Vec::new(); 16];
+            for i in 0..32 {
+                queues[i % 4].push(Envelope::new(
+                    NodeId::new(i % 4),
+                    NodeId::new(8 + (i % 8)),
+                    i as u32,
+                ));
+            }
+            queues
+        };
+        let a = net.drain_queues("t", mk_queues()).unwrap();
+        assert_eq!(net.drain_pool.0.len(), 1, "scratch pooled after the first drain");
+        let b = net.drain_queues("t", mk_queues()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(net.drain_pool.0.len(), 1, "same payload type reuses the pooled scratch");
+        // A different payload type gets its own pooled entry.
+        let queues: Vec<Vec<Envelope<u8>>> =
+            vec![vec![Envelope::new(NodeId::new(0), NodeId::new(1), 9u8)]; 1];
+        net.drain_queues("t", queues).unwrap();
+        assert_eq!(net.drain_pool.0.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Thread sharding for the parallel round engine.
+//!
+//! The HYBRID model is defined by `n` nodes acting *simultaneously* each
+//! round; the simulator exploits exactly that independence: per-node protocol
+//! steps and the exchange engine's counting-sort scatter are partitioned into
+//! contiguous node shards and run under `std::thread::scope`. Work assigned
+//! to a shard depends only on that shard's nodes, so results are
+//! **bit-identical** to the sequential execution regardless of thread count.
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable with
+//! the `HYBRID_ROUND_THREADS` environment variable (`1` forces the sequential
+//! path everywhere).
+
+/// Items a shard must own before spawning a thread for it is worth the
+/// `std::thread::scope` overhead.
+pub const MIN_SHARD_ITEMS: usize = 64;
+
+/// Number of round-engine worker threads: the `HYBRID_ROUND_THREADS`
+/// environment variable if set, otherwise `available_parallelism`.
+pub fn round_threads() -> usize {
+    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    std::env::var("HYBRID_ROUND_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(hw)
+}
+
+/// Effective shard count for `items` work items under a `threads` budget:
+/// capped so every shard owns at least [`MIN_SHARD_ITEMS`] items.
+pub fn shard_count(threads: usize, items: usize) -> usize {
+    threads.min(items / MIN_SHARD_ITEMS).max(1)
+}
+
+/// Runs `f` over contiguous shards of `items`, passing each invocation the
+/// shard's start offset and its mutable slice; shard results come back in
+/// shard order. With one shard (or few items) everything runs inline on the
+/// calling thread — the sequential path is the parallel path with one shard.
+pub fn map_shards_mut<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let shards = shard_count(threads, items.len());
+    if shards <= 1 {
+        return vec![f(0, items)];
+    }
+    let chunk = items.len().div_ceil(shards);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, shard)| scope.spawn(move || f(ci * chunk, shard)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("round-engine shard panicked")).collect()
+    })
+}
+
+/// Like [`map_shards_mut`], but over *two* per-node slices sharded in
+/// lockstep — the pattern of protocol steps that update parallel per-node
+/// tables (e.g. connector + distance rows, or stores + response queues).
+/// `n` is the logical node count; slice `a` holds `stride_a` elements per
+/// node (`a.0.len() == n * a.1`), likewise `b`. `f` receives the shard's
+/// start node and both mutable sub-slices.
+pub fn map_shards_mut2<T, U, R, F>(
+    threads: usize,
+    n: usize,
+    a: (&mut [T], usize),
+    b: (&mut [U], usize),
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    U: Send,
+    R: Send,
+    F: Fn(usize, &mut [T], &mut [U]) -> R + Sync,
+{
+    let (a, stride_a) = a;
+    let (b, stride_b) = b;
+    assert_eq!(a.len(), n * stride_a, "slice a must hold stride_a elements per node");
+    assert_eq!(b.len(), n * stride_b, "slice b must hold stride_b elements per node");
+    let shards = shard_count(threads, n);
+    if shards <= 1 {
+        return vec![f(0, a, b)];
+    }
+    let chunk = n.div_ceil(shards);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = a
+            .chunks_mut(chunk * stride_a)
+            .zip(b.chunks_mut(chunk * stride_b))
+            .enumerate()
+            .map(|(ci, (sa, sb))| scope.spawn(move || f(ci * chunk, sa, sb)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("round-engine shard panicked")).collect()
+    })
+}
+
+/// Runs `f` over contiguous shards of the index range `0..n` (no backing
+/// slice), returning shard results in shard order.
+pub fn map_index_shards<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let shards = shard_count(threads, n);
+    if shards <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(shards);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = ((ci + 1) * chunk).min(n);
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("round-engine shard panicked")).collect()
+    })
+}
+
+/// Builds an ordered sequence by letting each shard of the per-node state
+/// slice `items` append into its own pre-split scratch buffer, then
+/// concatenating the buffers in shard order — the outbox-construction pattern
+/// of the per-node protocol steps (`fill` receives the shard's start node,
+/// its mutable state slice, and its output buffer). The result is identical
+/// to a sequential `for v in 0..n` loop appending to `out`. Scratch buffers
+/// keep their capacity across calls, so a warmed steady-state round allocates
+/// nothing.
+pub fn extend_sharded<T, M, F>(
+    threads: usize,
+    items: &mut [T],
+    out: &mut Vec<M>,
+    scratch: &mut Vec<Vec<M>>,
+    fill: F,
+) where
+    T: Send,
+    M: Send,
+    F: Fn(usize, &mut [T], &mut Vec<M>) + Sync,
+{
+    let n = items.len();
+    let shards = shard_count(threads, n);
+    if shards <= 1 {
+        fill(0, items, out);
+        return;
+    }
+    if scratch.len() < shards {
+        scratch.resize_with(shards, Vec::new);
+    }
+    let chunk = n.div_ceil(shards);
+    let fill = &fill;
+    std::thread::scope(|scope| {
+        for ((ci, shard), buf) in items.chunks_mut(chunk).enumerate().zip(scratch.iter_mut()) {
+            scope.spawn(move || {
+                buf.clear();
+                fill(ci * chunk, shard, buf);
+            });
+        }
+    });
+    for buf in scratch.iter_mut().take(shards) {
+        out.append(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_respects_minimum() {
+        assert_eq!(shard_count(8, 10), 1);
+        assert_eq!(shard_count(8, 2 * MIN_SHARD_ITEMS), 2);
+        assert_eq!(shard_count(2, 100 * MIN_SHARD_ITEMS), 2);
+        assert_eq!(shard_count(1, 1_000_000), 1);
+    }
+
+    #[test]
+    fn map_shards_mut_covers_all_items_in_order() {
+        let n = 5 * MIN_SHARD_ITEMS;
+        let mut items: Vec<usize> = vec![0; n];
+        let offsets = map_shards_mut(4, &mut items, |start, shard| {
+            for (i, x) in shard.iter_mut().enumerate() {
+                *x = start + i;
+            }
+            start
+        });
+        assert_eq!(items, (0..n).collect::<Vec<_>>());
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted, "shard results in shard order");
+    }
+
+    #[test]
+    fn index_shards_partition_the_range() {
+        let n = 3 * MIN_SHARD_ITEMS + 7;
+        let ranges = map_index_shards(3, n, |r| r);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn extend_sharded_matches_sequential_order() {
+        let n = 4 * MIN_SHARD_ITEMS;
+        // Per-node state: a countdown drained into the output, like the
+        // per-node token queues of the dissemination tree phases.
+        let fill = |start: usize, shard: &mut [usize], buf: &mut Vec<(usize, usize)>| {
+            for (i, pending) in shard.iter_mut().enumerate() {
+                let v = start + i;
+                for j in 0..*pending {
+                    buf.push((v, j));
+                }
+                *pending = 0;
+            }
+        };
+        let mk_items = || (0..n).map(|v| v % 3).collect::<Vec<usize>>();
+        let mut seq = Vec::new();
+        fill(0, &mut mk_items(), &mut seq);
+        let mut par = Vec::new();
+        let mut scratch = Vec::new();
+        let mut items = mk_items();
+        extend_sharded(4, &mut items, &mut par, &mut scratch, fill);
+        assert_eq!(par, seq);
+        assert!(items.iter().all(|&p| p == 0), "every shard drained its nodes");
+        // Steady-state reuse: the scratch buffers keep capacity.
+        let caps: Vec<usize> = scratch.iter().map(Vec::capacity).collect();
+        par.clear();
+        let mut items = mk_items();
+        extend_sharded(4, &mut items, &mut par, &mut scratch, fill);
+        assert_eq!(par, seq);
+        assert_eq!(caps, scratch.iter().map(Vec::capacity).collect::<Vec<_>>());
+    }
+}

@@ -5,6 +5,10 @@
 //! call (which sizes the scratch arenas, the inbox arena, and interns the phase
 //! label) repeated exchanges with the same shape must not allocate at all.
 
+// Per-node `for v in 0..n` index loops mirror the message-passing idiom of
+// the simulator (v *is* the node).
+#![allow(clippy::needless_range_loop)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -39,6 +43,14 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// The allocation counter is process-global, so measured windows of the
+/// tests in this binary must never overlap: every test holds this lock.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Refills `outbox` with a fixed all-to-some pattern (stays within existing
 /// capacity after the first fill).
 fn fill_outbox(outbox: &mut Vec<Envelope<u64>>, n: usize, round: u64) {
@@ -52,6 +64,7 @@ fn fill_outbox(outbox: &mut Vec<Envelope<u64>>, n: usize, round: u64) {
 
 #[test]
 fn steady_state_exchange_into_is_allocation_free() {
+    let _guard = serial();
     let g = path(64, 1).expect("graph");
     let mut net = HybridNet::new(&g, HybridConfig::default());
     let mut outbox: Vec<Envelope<u64>> = Vec::new();
@@ -80,8 +93,140 @@ fn steady_state_exchange_into_is_allocation_free() {
     assert_eq!(net.rounds(), 103);
 }
 
+/// The k-SSP framework spends its simulated-CLIQUE rounds in token routing's
+/// Algorithm 4 loop: a *request* exchange answered by a *response* exchange,
+/// both paced to the send cap, round after round. This test drives that exact
+/// ping-pong shape on the raw engine — two phase labels, two outbox/arena
+/// pairs, per-round response construction from the delivered requests — and
+/// pins it allocation-free in steady state.
+#[test]
+fn steady_state_ksssp_request_response_round_is_allocation_free() {
+    let _guard = serial();
+    let g = path(64, 1).expect("graph");
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let mut req_outbox: Vec<Envelope<u32>> = Vec::new();
+    let mut req_flat: FlatInboxes<u32> = FlatInboxes::new();
+    let mut resp_outbox: Vec<Envelope<(u32, u64)>> = Vec::new();
+    let mut resp_flat: FlatInboxes<(u32, u64)> = FlatInboxes::new();
+    let mut received: Vec<(usize, u64)> = Vec::with_capacity(64 * 4);
+
+    let mut round_trip = |round: u64, net: &mut HybridNet<'_>| {
+        // Requests: every node asks a pseudo-random intermediate for a label.
+        for v in 0..64usize {
+            for j in 0..3u32 {
+                let mid = (v * 11 + j as usize * 17 + round as usize) % 64;
+                req_outbox.push(Envelope::new(NodeId::new(v), NodeId::new(mid), j));
+            }
+        }
+        net.exchange_into("kssp:requests", &mut req_outbox, &mut req_flat).expect("requests");
+        // Responses: intermediates answer each request in the next exchange.
+        for (mid, msgs) in req_flat.iter() {
+            for &(requester, lab) in msgs {
+                resp_outbox.push(Envelope::new(
+                    NodeId::new(mid),
+                    requester,
+                    (lab, (mid as u64) << 8 | lab as u64),
+                ));
+            }
+        }
+        net.exchange_into("kssp:responses", &mut resp_outbox, &mut resp_flat).expect("responses");
+        received.clear();
+        resp_flat.drain_into(|dst, (_, (_, payload))| received.push((dst, payload)));
+        assert_eq!(received.len(), 64 * 3);
+    };
+
+    for round in 0..3 {
+        round_trip(round, &mut net);
+    }
+    let before = allocations();
+    for round in 3..53 {
+        round_trip(round, &mut net);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "steady-state request/response round must not allocate");
+    assert_eq!(net.rounds(), 2 * 53);
+}
+
+/// The diameter framework's global rounds are tree traffic: convergecast up a
+/// binary tree over node IDs, then broadcast back down (Lemma B.2), plus the
+/// dissemination tree phases — every round each node talks to its parent or
+/// children. This test drives repeated up/down sweeps over a reused outbox
+/// and arena and pins the steady-state rounds allocation-free.
+#[test]
+fn steady_state_diameter_tree_round_is_allocation_free() {
+    let _guard = serial();
+    let g = path(64, 1).expect("graph");
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let mut outbox: Vec<Envelope<u64>> = Vec::new();
+    let mut flat: FlatInboxes<u64> = FlatInboxes::new();
+    let mut acc: Vec<u64> = (0..64).map(|v| v as u64).collect();
+
+    let mut sweep = |net: &mut HybridNet<'_>| {
+        // Convergecast: children send their running values to their parents.
+        for v in 1..64usize {
+            outbox.push(Envelope::new(NodeId::new(v), NodeId::new((v - 1) / 2), acc[v]));
+        }
+        net.exchange_into("diam:aggregate-up", &mut outbox, &mut flat).expect("up");
+        flat.drain_into(|dst, (_, val)| acc[dst] = acc[dst].max(val));
+        // Broadcast: parents push the maximum back down.
+        for v in 0..64usize {
+            for c in [2 * v + 1, 2 * v + 2] {
+                if c < 64 {
+                    outbox.push(Envelope::new(NodeId::new(v), NodeId::new(c), acc[v]));
+                }
+            }
+        }
+        net.exchange_into("diam:aggregate-down", &mut outbox, &mut flat).expect("down");
+        flat.drain_into(|dst, (_, val)| acc[dst] = acc[dst].max(val));
+    };
+
+    for _ in 0..3 {
+        sweep(&mut net);
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        sweep(&mut net);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "steady-state tree round must not allocate");
+    assert_eq!(acc[63], 63, "aggregate reached every node");
+}
+
+/// `drain_queues` pools its pacing scratch (outbox + inbox arena) on the net
+/// per payload type: a repeat drain of the same shape must allocate strictly
+/// less than the cold first call — only the caller-visible queue and result
+/// vectors remain.
+#[test]
+fn drain_queues_repeat_calls_reuse_pooled_scratch() {
+    let _guard = serial();
+    let g = path(64, 1).expect("graph");
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let mk_queues = || -> Vec<Vec<Envelope<u64>>> {
+        let mut queues: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 64];
+        for v in 0..64usize {
+            for j in 0..20u64 {
+                queues[v].push(Envelope::new(NodeId::new(v), NodeId::new((v * 7 + 3) % 64), j));
+            }
+        }
+        queues
+    };
+    let queues = mk_queues();
+    let before = allocations();
+    net.drain_queues("drain", queues).expect("cold");
+    let cold = allocations() - before;
+    let queues = mk_queues();
+    let before = allocations();
+    net.drain_queues("drain", queues).expect("warm");
+    let warm = allocations() - before;
+    assert!(
+        warm < cold,
+        "pooled pacing scratch must shrink repeat-call allocations (cold {cold}, warm {warm})"
+    );
+}
+
 #[test]
 fn steady_state_drain_round_is_allocation_free() {
+    let _guard = serial();
     // The drain loop's per-round work (pacing bookkeeping + exchange_into +
     // arena drain) must also be allocation-free; the nested-Vec result of the
     // public `drain_queues` is the only allocating part, so this test drives

@@ -1,0 +1,85 @@
+//! Parallel-vs-sequential determinism suite (PR 4 satellite): the
+//! thread-sharded round engine must be **bit-identical** to the sequential
+//! engine — same distances, same rounds, same global/dropped message counts —
+//! for every workload in the scenario registry and for direct solver runs.
+//!
+//! The engine is gated by `HYBRID_ROUND_THREADS` (read at net construction)
+//! or [`HybridNet::set_round_threads`]; both paths are exercised here.
+
+use hybrid_shortest_paths::graph::Graph;
+use hybrid_shortest_paths::scenarios::{registry, run_scenario, workloads};
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::{solve, DiameterCorollary, KsspCorollary, Query};
+
+/// Node count for the registry sweep: large enough that the biggest
+/// exchanges clear the sharding threshold (≥ 1024 messages per exchange), so
+/// the parallel scatter genuinely executes under `HYBRID_ROUND_THREADS=4`.
+const N: usize = 160;
+
+/// `set_var` concurrent with `env::var` from worker threads is an
+/// unsynchronized setenv/getenv pair, so the two tests in this binary must
+/// never overlap: both hold this lock.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_round_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("HYBRID_ROUND_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("HYBRID_ROUND_THREADS");
+    out
+}
+
+#[test]
+fn every_registry_scenario_is_bit_identical_across_round_threads() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for sc in registry() {
+        let seq = with_round_threads(1, || run_scenario(sc, N));
+        let par = with_round_threads(4, || run_scenario(sc, N));
+        assert_eq!(
+            seq.deterministic_key(),
+            par.deterministic_key(),
+            "scenario {} diverges under HYBRID_ROUND_THREADS=4",
+            sc.name
+        );
+    }
+}
+
+/// Direct solver runs compared answer-for-answer (full distance matrices and
+/// rows, not just the report counters), using the programmatic
+/// `set_round_threads` override.
+#[test]
+fn solver_answers_are_bit_identical_across_round_threads() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g: Graph = workloads::er(200, 12.0, 4, 3);
+    let queries = vec![
+        Query::apsp().xi(1.5).build().expect("valid"),
+        Query::apsp()
+            .variant(hybrid_shortest_paths::ApspVariant::Soda20)
+            .xi(1.5)
+            .build()
+            .expect("valid"),
+        Query::sssp(hybrid_shortest_paths::graph::NodeId::new(7)).xi(1.5).build().expect("valid"),
+        Query::kssp(KsspCorollary::Cor47).random_sources(8).eps(0.5).build().expect("valid"),
+        Query::diameter(DiameterCorollary::Cor52).eps(0.5).xi(1.2).build().expect("valid"),
+    ];
+    for query in &queries {
+        let run = |threads: usize| {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            net.set_round_threads(threads);
+            let report = solve(&mut net, query, 21).expect("solver run");
+            (
+                format!("{:?}", report.answer),
+                report.rounds,
+                report.global_messages,
+                report.dropped_messages,
+                report.skeleton_size,
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.1, par.1, "{}: rounds diverge", query.label());
+        assert_eq!(seq.2, par.2, "{}: message counts diverge", query.label());
+        assert_eq!(seq.3, par.3, "{}: drop counts diverge", query.label());
+        assert_eq!(seq.4, par.4, "{}: skeleton sizes diverge", query.label());
+        assert_eq!(seq.0, par.0, "{}: answers diverge", query.label());
+    }
+}
