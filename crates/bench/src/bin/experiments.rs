@@ -5,9 +5,11 @@
 //! cargo run --release -p hybrid-bench --bin experiments -- all
 //! cargo run --release -p hybrid-bench --bin experiments -- e2 e5 e16
 //! cargo run --release -p hybrid-bench --bin experiments -- --small all
+//! cargo run --release -p hybrid-bench --bin experiments -- --large e2 e4
 //! cargo run --release -p hybrid-bench --bin experiments -- --json
 //! cargo run --release -p hybrid-bench --bin experiments -- --list
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke
+//! cargo run --release -p hybrid-bench --bin experiments -- --smoke --via-session
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke --filter faulty
 //! ```
 //!
@@ -15,9 +17,15 @@
 //! * `--smoke` runs the full registry (or the `--filter <tag>` subset) at
 //!   tiny `n` with golden verification and exits non-zero on any `fail` —
 //!   the CI gate. With `--json` it also writes `BENCH_scenarios.json`.
+//! * `--via-session` makes `--smoke` execute every suite through a serving
+//!   `Session` instead of a cold `solve` — the CI guard that the session
+//!   path answers bit-identically under golden verification.
 //! * `--filter <tag>` restricts scenario selection (for `--smoke` and `e16`).
+//! * `--large` extends the E2/E4 sweeps (and the `--json` APSP sweep) to
+//!   n = 3200 with sampled verification.
 //! * `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
-//!   and the sequential reference) and writes `BENCH_apsp.json`.
+//!   and the sequential reference) and writes `BENCH_apsp.json`, plus the
+//!   mixed-batch serving sweep into `BENCH_throughput.json`.
 
 use hybrid_bench::experiments as ex;
 use hybrid_bench::{json, Scale};
@@ -25,10 +33,27 @@ use hybrid_scenarios::registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else if args.iter().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Full
+    };
     let emit_json = args.iter().any(|a| a == "--json");
     let list = args.iter().any(|a| a == "--list");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let engine = if args.iter().any(|a| a == "--via-session") {
+        hybrid_scenarios::Engine::Session
+    } else {
+        hybrid_scenarios::Engine::Fresh
+    };
+    // Like a dangling --filter: a flag no code path will consult must error,
+    // not silently run the Fresh engine.
+    if engine == hybrid_scenarios::Engine::Session && !smoke {
+        eprintln!("--via-session applies to --smoke runs only; nothing here consults it");
+        std::process::exit(2);
+    }
     // One pass: `--filter` consumes the following value, everything else
     // without a `--` prefix is an experiment id.
     let mut filter: Option<String> = None;
@@ -79,11 +104,12 @@ fn main() {
 
     if smoke {
         eprintln!(
-            "running scenario smoke matrix (n = {}, filter = {})...",
+            "running scenario smoke matrix (n = {}, filter = {}, engine = {:?})...",
             ex::SMOKE_N,
-            filter.as_deref().unwrap_or("<none>")
+            filter.as_deref().unwrap_or("<none>"),
+            engine,
         );
-        let reports = ex::scenario_reports(Scale::Small, filter.as_deref());
+        let reports = ex::scenario_reports_with(Scale::Small, filter.as_deref(), engine);
         if reports.is_empty() {
             eprintln!("no scenarios match filter {:?}", filter);
             std::process::exit(2);
@@ -136,15 +162,23 @@ fn main() {
         }
     }
     if emit_json {
-        eprintln!("running APSP wall-clock sweep for BENCH_apsp.json...");
-        let records = ex::bench_apsp_records(scale);
         let scale_name = match scale {
             Scale::Small => "small",
             Scale::Full => "full",
+            Scale::Large => "large",
         };
+        eprintln!("running APSP wall-clock sweep for BENCH_apsp.json...");
+        let records = ex::bench_apsp_records(scale);
         let doc = json::render(scale_name, &records);
         let path = "BENCH_apsp.json";
         std::fs::write(path, &doc).expect("write BENCH_apsp.json");
+        eprintln!("wrote {path}:");
+        print!("{doc}");
+        eprintln!("running mixed-batch serving sweep for BENCH_throughput.json...");
+        let records = ex::bench_throughput_records(scale);
+        let doc = json::render_with_schema(json::SCHEMA_THROUGHPUT, scale_name, &records);
+        let path = "BENCH_throughput.json";
+        std::fs::write(path, &doc).expect("write BENCH_throughput.json");
         eprintln!("wrote {path}:");
         print!("{doc}");
     }

@@ -11,6 +11,7 @@ use clique_sim::{Beta, SourceCapacity};
 use hybrid_core::helpers::compute_helpers;
 use hybrid_core::lower_bound_experiments::{run_diameter_lower_bound, run_kssp_lower_bound};
 use hybrid_core::ruling_set::{ruling_set, verify};
+use hybrid_core::session::{Session, SessionConfig};
 use hybrid_core::solver::{
     solve, ApspVariant, DiameterCorollary, KsspCorollary, Query, SsspVariant,
 };
@@ -21,27 +22,39 @@ use hybrid_graph::generators::{cycle, grid, path_with_heavy_hub};
 use hybrid_graph::skeleton::{count_coverage_violations, count_distance_violations};
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
 use hybrid_scenarios::workloads::{er, random_nodes};
-use hybrid_scenarios::{registry, run_scenarios, Scenario, ScenarioReport};
+use hybrid_scenarios::{registry, run_scenarios_with, Engine, Scenario, ScenarioReport};
 use hybrid_sim::{HybridConfig, HybridNet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::table::{f3, Table};
 
-/// Experiment scale: `Small` for CI/benches, `Full` for the recorded tables.
+/// Experiment scale: `Small` for CI/benches, `Full` for the recorded tables,
+/// `Large` for the n=3200 sweeps (compact-layout stress runs; correctness is
+/// sample-verified there to keep one distance matrix in memory at a time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Fast sizes for benches and smoke runs.
     Small,
     /// The sizes recorded in EXPERIMENTS.md.
     Full,
+    /// The extended n≤3200 sweeps (`experiments --large`).
+    Large,
 }
 
 impl Scale {
     fn pick<T: Copy>(self, small: T, full: T) -> T {
         match self {
             Scale::Small => small,
+            Scale::Full | Scale::Large => full,
+        }
+    }
+
+    fn pick3<T: Copy>(self, small: T, full: T, large: T) -> T {
+        match self {
+            Scale::Small => small,
             Scale::Full => full,
+            Scale::Large => large,
         }
     }
 }
@@ -125,15 +138,19 @@ pub fn e1_token_routing(scale: Scale) -> Table {
 }
 
 /// E2 — Theorem 1.1 vs the SODA'20 baseline: exact APSP round scaling.
+///
+/// At [`Scale::Large`] (n up to 3200) correctness is verified on 16 sampled
+/// Dijkstra rows instead of a third full `n × n` matrix, so at most one
+/// distance matrix beyond the answers is ever resident — the sweep fits the
+/// container at n=3200.
 pub fn e2_apsp(scale: Scale) -> Table {
     let mut t = Table::new(
         "E2: exact APSP (Thm 1.1, Õ(√n)) vs Augustine et al. baseline (Õ(n^2/3))",
         &["n", "thm1.1 rounds", "soda20 rounds", "√n·ln n", "n^2/3·ln n", "both exact"],
     );
-    let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
+    let sizes: &[usize] = scale.pick3(&[200, 400], &[300, 500, 800, 1200], &[800, 1600, 3200]);
     for &n in sizes {
         let g = e2_graph(n);
-        let exact = apsp(&g);
         let mut na = HybridNet::new(&g, HybridConfig::default());
         let a = solve(&mut na, &Query::apsp().xi(1.5).build().expect("valid"), 5).expect("apsp");
         let mut nb = HybridNet::new(&g, HybridConfig::default());
@@ -141,9 +158,21 @@ pub fn e2_apsp(scale: Scale) -> Table {
         let b = solve(&mut nb, &soda, 5).expect("apsp baseline");
         let (ad, bd) = (a.distances().expect("matrix"), b.distances().expect("matrix"));
         let mut ok = true;
-        for u in g.nodes() {
-            for v in g.nodes() {
-                ok &= ad.get(u, v) == exact.get(u, v) && bd.get(u, v) == exact.get(u, v);
+        if scale == Scale::Large {
+            // Sampled verification: 16 deterministic source rows.
+            let sources: Vec<NodeId> = (0..16).map(|i| NodeId::new(i * (n / 16).max(1))).collect();
+            for &u in &sources {
+                let truth = hybrid_graph::dijkstra::dijkstra(&g, u);
+                for v in g.nodes() {
+                    ok &= ad.get(u, v) == truth.dist(v) && bd.get(u, v) == truth.dist(v);
+                }
+            }
+        } else {
+            let exact = apsp(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    ok &= ad.get(u, v) == exact.get(u, v) && bd.get(u, v) == exact.get(u, v);
+                }
             }
         }
         let ln = (n as f64).ln();
@@ -178,6 +207,10 @@ pub fn e3_kssp(scale: Scale) -> Table {
     ];
     for (gname, g, _unweighted) in &cases {
         let exact = apsp(g);
+        // One serving session per graph: the three corollaries share the
+        // session's prepared skeletons (4.6/4.7 sample at the same exponent)
+        // with bit-identical reports.
+        let session = Session::new(g, SessionConfig::new(31)).expect("session");
         for (cor, k, eps) in [
             (KsspCorollary::Cor46, 3usize, 0.5),
             (KsspCorollary::Cor47, 12, 0.5),
@@ -186,10 +219,9 @@ pub fn e3_kssp(scale: Scale) -> Table {
             let sources = random_nodes(g.len(), k, 21);
             let exact_rows: Vec<Vec<Distance>> =
                 sources.iter().map(|&s| exact.row(s).to_vec()).collect();
-            let mut net = HybridNet::new(g, HybridConfig::default());
             let query =
                 Query::kssp(cor).sources(sources.clone()).eps(eps).xi(1.5).build().expect("valid");
-            let out = solve(&mut net, &query, 31).expect("kssp");
+            let out = session.solve(&query).expect("kssp");
             let (_, est) = out.distance_rows().expect("rows");
             let (worst, mean) = ratio_stats(est, &exact_rows);
             t.row(vec![
@@ -248,10 +280,12 @@ pub fn e5_diameter(scale: Scale) -> Table {
     for &n in sizes {
         let g = cycle(n, 1).expect("cycle");
         let d = (n / 2) as u64;
+        // Both corollaries serve from one session over the cycle instance.
+        let session =
+            Session::new(&g, SessionConfig { xi: 1.2, ..SessionConfig::new(5) }).expect("session");
         for cor in [DiameterCorollary::Cor52, DiameterCorollary::Cor53] {
-            let mut net = HybridNet::new(&g, HybridConfig::default());
             let query = Query::diameter(cor).eps(0.5).xi(1.2).build().expect("valid");
-            let out = solve(&mut net, &query, 5).expect("diameter");
+            let out = session.solve(&query).expect("diameter");
             let estimate = out.diameter_estimate().expect("estimate");
             t.row(vec![
                 n.to_string(),
@@ -656,7 +690,7 @@ pub fn e15_gamma_ablation(scale: Scale) -> Table {
 /// sweeps (pinned by `bench_apsp_json_pins_instances_and_algorithms`).
 pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     use crate::json::BenchRecord;
-    let sizes: &[usize] = scale.pick(&[200, 400], &[300, 500, 800, 1200]);
+    let sizes: &[usize] = scale.pick3(&[200, 400], &[300, 500, 800, 1200], &[800, 1600, 3200]);
     // Min-of-N interleaved runs (the documented methodology): each benchmark
     // is timed `RUNS` times and the minimum recorded, filtering scheduler
     // noise without changing the measured workload.
@@ -692,21 +726,111 @@ pub fn bench_apsp_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     records
 }
 
+/// The standard mixed serving batch: 8 distinct paper queries (both APSP
+/// variants, exact and approximate SSSP, two k-SSP corollaries, both
+/// diameter corollaries, all at the session's ξ = 1.5) cycled to length `q`
+/// — the repeat-heavy shape of serving traffic on one graph.
+pub fn mixed_query_batch(q: usize) -> Vec<Query> {
+    let base = [
+        Query::apsp().xi(1.5).build().expect("valid"),
+        Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().expect("valid"),
+        Query::sssp(NodeId::new(0)).xi(1.5).build().expect("valid"),
+        Query::sssp(NodeId::new(1))
+            .variant(SsspVariant::ApproxSoda20 { eps: 0.5 })
+            .xi(1.5)
+            .build()
+            .expect("valid"),
+        Query::kssp(KsspCorollary::Cor46)
+            .random_sources(2)
+            .eps(0.5)
+            .xi(1.5)
+            .build()
+            .expect("valid"),
+        Query::kssp(KsspCorollary::Cor47)
+            .random_sources(8)
+            .eps(0.5)
+            .xi(1.5)
+            .build()
+            .expect("valid"),
+        Query::diameter(DiameterCorollary::Cor52).eps(0.5).xi(1.5).build().expect("valid"),
+        Query::diameter(DiameterCorollary::Cor53).eps(0.5).xi(1.5).build().expect("valid"),
+    ];
+    (0..q).map(|i| base[i % base.len()].clone()).collect()
+}
+
+/// Serving-throughput sweep for `BENCH_throughput.json` (schema
+/// [`crate::json::SCHEMA_THROUGHPUT`]): a q=32 mixed-query batch on the E2
+/// graph, timed cold (32 independent `solve` calls on fresh nets) and
+/// through one serving [`Session`]. Records queries/sec for both and the
+/// amortized-vs-cold wall-clock ratio on the session record — the headline
+/// amortization number, measured in-process so both sides see the same
+/// machine noise. Both sides serve *sequentially* (the session side is a
+/// plain `solve` loop, not `solve_batch`), so the recorded ratio isolates
+/// preprocessing amortization and cannot be inflated by worker threading on
+/// a multi-core host.
+pub fn bench_throughput_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use crate::json::BenchRecord;
+    // The recorded instances are the E2 n=200/400 graphs of the perf
+    // trajectory (small = the recorded sweep, as for `BENCH_apsp.json`).
+    let sizes: &[usize] = scale.pick3(&[200, 400], &[200, 400], &[400, 800]);
+    const BATCH: usize = 32;
+    let seed = 7u64;
+    let mut records = Vec::new();
+    for &n in sizes {
+        let g = e2_graph(n);
+        let queries = mixed_query_batch(BATCH);
+        let cold = BenchRecord::measure("mixed32_cold", n, || {
+            let mut rounds = 0;
+            for q in &queries {
+                let mut net = HybridNet::new(&g, HybridConfig::default());
+                rounds += solve(&mut net, q, seed).expect("cold solve").rounds;
+            }
+            rounds
+        });
+        let session = Session::new(&g, SessionConfig::new(seed)).expect("session");
+        let warm = BenchRecord::measure("mixed32_session", n, || {
+            let mut rounds = 0;
+            for q in &queries {
+                rounds += session.solve(q).expect("session solve").rounds;
+            }
+            rounds
+        });
+        assert_eq!(cold.rounds, warm.rounds, "session must bill identical simulated rounds");
+        let ratio = cold.wall_ns as f64 / warm.wall_ns.max(1) as f64;
+        let qps = |ns: u128| BATCH as f64 / (ns as f64 / 1e9);
+        let cold_qps = qps(cold.wall_ns);
+        let warm_qps = qps(warm.wall_ns);
+        records.push(cold.with_throughput("e2-er", BATCH, cold_qps));
+        records.push(warm.with_throughput("e2-er", BATCH, warm_qps).with_ratio(ratio));
+    }
+    records
+}
+
 /// Node count for smoke-scale scenario runs (tiny-n full-matrix).
 pub const SMOKE_N: usize = 48;
 
-/// Runs the scenario registry (optionally filtered by tag): at
-/// [`Scale::Small`] every scenario runs at [`SMOKE_N`] in one parallel batch;
-/// at [`Scale::Full`] scenarios run at their own `default_n`, batched by size
-/// so the parallel runner still applies.
+/// Runs the scenario registry (optionally filtered by tag) under the
+/// [`Engine::Fresh`] path; see [`scenario_reports_with`].
 pub fn scenario_reports(scale: Scale, filter: Option<&str>) -> Vec<ScenarioReport> {
+    scenario_reports_with(scale, filter, Engine::Fresh)
+}
+
+/// Runs the scenario registry (optionally filtered by tag) under the chosen
+/// execution engine: at [`Scale::Small`] every scenario runs at [`SMOKE_N`]
+/// in one parallel batch; otherwise scenarios run at their own `default_n`,
+/// batched by size so the parallel runner still applies.
+pub fn scenario_reports_with(
+    scale: Scale,
+    filter: Option<&str>,
+    engine: Engine,
+) -> Vec<ScenarioReport> {
     let selected: Vec<&Scenario> = match filter {
         Some(tag) => hybrid_scenarios::by_tag(tag),
         None => registry().iter().collect(),
     };
     match scale {
-        Scale::Small => run_scenarios(&selected, SMOKE_N),
-        Scale::Full => {
+        Scale::Small => run_scenarios_with(&selected, SMOKE_N, engine),
+        Scale::Full | Scale::Large => {
             let mut sizes: Vec<usize> = selected.iter().map(|s| s.default_n).collect();
             sizes.sort_unstable();
             sizes.dedup();
@@ -714,7 +838,7 @@ pub fn scenario_reports(scale: Scale, filter: Option<&str>) -> Vec<ScenarioRepor
             for n in sizes {
                 let group: Vec<&Scenario> =
                     selected.iter().copied().filter(|s| s.default_n == n).collect();
-                out.extend(run_scenarios(&group, n));
+                out.extend(run_scenarios_with(&group, n, engine));
             }
             out
         }
@@ -832,6 +956,22 @@ mod tests {
         for n in [200usize, 400] {
             assert_eq!(e2_graph(n).edges(), er(n, 12.0, 4, 3).edges());
         }
+    }
+
+    #[test]
+    fn throughput_records_measure_cold_and_session() {
+        let records = bench_throughput_records(Scale::Small);
+        assert_eq!(records.len(), 4); // 2 sizes × (cold, session)
+        for r in &records {
+            assert_eq!(r.batch, Some(32));
+            assert_eq!(r.family.as_deref(), Some("e2-er"));
+            assert!(r.qps.unwrap_or(0.0) > 0.0, "{}: qps missing", r.bench);
+        }
+        let session =
+            records.iter().find(|r| r.bench == "mixed32_session" && r.n == 200).expect("record");
+        // The ratio assertion itself lives in tests/session_equivalence.rs;
+        // here the sweep must at least show amortization, not regression.
+        assert!(session.amortized_ratio.expect("ratio") > 1.0);
     }
 
     #[test]

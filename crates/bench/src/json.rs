@@ -16,7 +16,7 @@ use std::time::Instant;
 use hybrid_scenarios::ScenarioReport;
 
 /// One timed benchmark run.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchRecord {
     /// Benchmark name (e.g. `"thm11_apsp"`).
     pub bench: String,
@@ -40,6 +40,21 @@ pub struct BenchRecord {
     pub seed: Option<u64>,
     /// Golden-verification verdict (`"pass"` / `"fail"`).
     pub verdict: Option<String>,
+    /// Process-lifetime peak resident-set size *as of the end of this run*,
+    /// best-effort from `/proc/self/status` (`VmHWM`); `None` where the file
+    /// is unavailable. The high-water mark is monotone across a sweep, so
+    /// compare successive records (a jump attributes the memory to that
+    /// bench) rather than reading any single value as a per-bench footprint.
+    pub peak_rss_bytes: Option<u64>,
+    /// Graph family label, for throughput records.
+    pub family: Option<String>,
+    /// Batch size (number of queries), for throughput records.
+    pub batch: Option<usize>,
+    /// Serving throughput in queries per second, for throughput records.
+    pub qps: Option<f64>,
+    /// Amortized-vs-cold wall-clock ratio (cold / session), for throughput
+    /// records.
+    pub amortized_ratio: Option<f64>,
 }
 
 impl BenchRecord {
@@ -62,7 +77,14 @@ impl BenchRecord {
             rounds = f();
             best = best.min(start.elapsed().as_nanos());
         }
-        BenchRecord { bench: bench.to_string(), n, wall_ns: best, rounds, ..BenchRecord::default() }
+        BenchRecord {
+            bench: bench.to_string(),
+            n,
+            wall_ns: best,
+            rounds,
+            peak_rss_bytes: peak_rss_bytes(),
+            ..BenchRecord::default()
+        }
     }
 
     /// Attaches the canonical solver query label (builder-style).
@@ -80,6 +102,23 @@ impl BenchRecord {
         self
     }
 
+    /// Attaches throughput-sweep fields: graph family, batch size, and
+    /// queries per second (builder-style).
+    #[must_use]
+    pub fn with_throughput(mut self, family: &str, batch: usize, qps: f64) -> Self {
+        self.family = Some(family.to_string());
+        self.batch = Some(batch);
+        self.qps = Some(qps);
+        self
+    }
+
+    /// Attaches the amortized-vs-cold ratio (builder-style).
+    #[must_use]
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.amortized_ratio = Some(ratio);
+        self
+    }
+
     /// Converts a scenario-engine report into a record carrying the scenario
     /// name, seed, and verification verdict.
     pub fn from_scenario(r: &ScenarioReport) -> Self {
@@ -88,11 +127,10 @@ impl BenchRecord {
             n: r.n,
             wall_ns: r.wall_ns,
             rounds: r.rounds,
-            query: None,
-            threads: None,
             scenario: Some(r.scenario.clone()),
             seed: Some(r.seed),
             verdict: Some(r.verdict.as_str().to_string()),
+            ..BenchRecord::default()
         }
     }
 }
@@ -101,10 +139,27 @@ impl BenchRecord {
 /// v2: records produced through the solver facade carry the canonical
 /// `"query"` label. v3: simulator-backed records carry the round-engine
 /// `"threads"` budget, and wall clocks are the minimum of N interleaved runs.
-pub const SCHEMA: &str = "hybrid-bench/apsp-v3";
+/// v4: measured records carry best-effort `"peak_rss_bytes"`.
+pub const SCHEMA: &str = "hybrid-bench/apsp-v4";
 
 /// Schema tag of scenario-engine records.
 pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v1";
+
+/// Schema tag of the serving-throughput sweep: cold-vs-session wall clocks
+/// for a mixed-query batch on one graph, with queries/sec and the
+/// amortized-vs-cold ratio.
+pub const SCHEMA_THROUGHPUT: &str = "hybrid-bench/throughput-v1";
+
+/// Best-effort peak resident-set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
+/// This is the process-lifetime high-water mark — monotone over a sweep; see
+/// [`BenchRecord::peak_rss_bytes`] for how to attribute it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
 
 /// Renders records as the `BENCH_*.json` document under the given schema tag.
 pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) -> String {
@@ -136,6 +191,21 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
         }
         if let Some(verdict) = &r.verdict {
             let _ = write!(line, ", \"verdict\": \"{}\"", escape(verdict));
+        }
+        if let Some(family) = &r.family {
+            let _ = write!(line, ", \"family\": \"{}\"", escape(family));
+        }
+        if let Some(batch) = r.batch {
+            let _ = write!(line, ", \"batch\": {batch}");
+        }
+        if let Some(qps) = r.qps {
+            let _ = write!(line, ", \"qps\": {qps:.3}");
+        }
+        if let Some(ratio) = r.amortized_ratio {
+            let _ = write!(line, ", \"amortized_vs_cold\": {ratio:.3}");
+        }
+        if let Some(rss) = r.peak_rss_bytes {
+            let _ = write!(line, ", \"peak_rss_bytes\": {rss}");
         }
         let _ = writeln!(out, "{line}}}{comma}");
     }
@@ -188,7 +258,7 @@ mod tests {
             },
         ];
         let s = render("small", &records);
-        assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v3\""));
+        assert!(s.contains("\"schema\": \"hybrid-bench/apsp-v4\""));
         assert!(s.contains("\"scale\": \"small\""));
         assert!(s.contains("{\"bench\": \"a\", \"n\": 10, \"wall_ns\": 123, \"rounds\": 7},"));
         assert!(s.contains("\"bench\": \"b\\\"x\""));
@@ -196,6 +266,36 @@ mod tests {
         assert!(!s.contains("scenario"), "plain records omit scenario fields");
         assert!(!s.contains("query"), "records without a query label omit the field");
         assert!(!s.contains("threads"), "records without a thread budget omit the field");
+        assert!(!s.contains("peak_rss"), "records without an RSS reading omit the field");
+        assert!(!s.contains("qps"), "records without throughput fields omit them");
+    }
+
+    #[test]
+    fn throughput_records_render_their_fields() {
+        let r = BenchRecord {
+            bench: "mixed32_session".into(),
+            n: 400,
+            wall_ns: 1000,
+            rounds: 0,
+            ..BenchRecord::default()
+        }
+        .with_throughput("e2-er", 32, 512.5)
+        .with_ratio(3.75);
+        let s = render_with_schema(SCHEMA_THROUGHPUT, "full", &[r]);
+        assert!(s.contains("\"schema\": \"hybrid-bench/throughput-v1\""));
+        assert!(s.contains("\"family\": \"e2-er\""));
+        assert!(s.contains("\"batch\": 32"));
+        assert!(s.contains("\"qps\": 512.500"));
+        assert!(s.contains("\"amortized_vs_cold\": 3.750"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // Best-effort: when procfs exists the reading must be a sane
+        // process-sized number (more than a page, less than a terabyte).
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 4096 && rss < (1u64 << 40), "rss = {rss}");
+        }
     }
 
     #[test]

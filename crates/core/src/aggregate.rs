@@ -70,7 +70,10 @@ where
         let mut outbox = Vec::new();
         for v in 0..n {
             if depth(v) == d {
-                if let Some(val) = acc[v].clone() {
+                // A depth-d node is done after it sends (only shallower nodes
+                // receive from here on), so the value moves out instead of
+                // being cloned.
+                if let Some(val) = acc[v].take() {
                     outbox.push(Envelope::new(NodeId::new(v), NodeId::new(parent(v)), val));
                 }
             }
@@ -86,7 +89,7 @@ where
         }
     }
 
-    let result = acc[0].clone();
+    let result = acc[0].take();
 
     // Broadcast down: one exchange per depth level.
     if let Some(res) = result.clone() {

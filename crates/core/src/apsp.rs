@@ -14,7 +14,7 @@
 //!   skeleton-size trade-off to `x = n^{2/3}`.
 
 use hybrid_graph::apsp::DistanceMatrix;
-use hybrid_graph::dijkstra::{par_lex_rows_with, par_map_rows};
+use hybrid_graph::dijkstra::par_lex_rows_with;
 use hybrid_graph::minplus::par_min_plus_into;
 use hybrid_graph::skeleton::Skeleton;
 use hybrid_graph::{dist_add, Distance, NodeId, INFINITY};
@@ -22,7 +22,7 @@ use hybrid_sim::{derive_seed, par, HybridNet};
 
 use crate::dissemination::disseminate;
 use crate::error::HybridError;
-use crate::skeleton_ops::compute_skeleton;
+use crate::prepare::{near_phase, skeleton_apsp, skeleton_phase, NearData, NearTie, Prep};
 use crate::token_routing::{route_tokens, RoutingRates, Token};
 
 /// Configuration of the APSP runs.
@@ -56,60 +56,13 @@ pub struct ApspOutcome {
     pub coverage_fallbacks: usize,
 }
 
-/// Per-node list of nearby skeleton nodes `(local index, distance)`, with the
-/// adaptive fallback for uncovered nodes. Returns the lists, the number of
-/// fallbacks, and the extra exploration rounds charged.
-fn near_lists(
-    net: &mut HybridNet<'_>,
-    skeleton: &Skeleton,
-    phase: &str,
-) -> (Vec<Vec<(usize, Distance)>>, usize) {
-    let g = net.graph();
-    let n = g.len();
-    // Per-node derivation of the nearby-skeleton lists is embarrassingly
-    // parallel: shard the nodes across the round-engine worker budget.
-    let threads = net.round_threads();
-    let mut lists: Vec<Vec<(usize, Distance)>> = vec![Vec::new(); n];
-    par::map_shards_mut(threads, &mut lists, |start, shard| {
-        for (i, slot) in shard.iter_mut().enumerate() {
-            *slot = skeleton.skeletons_near(NodeId::new(start + i));
-        }
-    });
-    // Collect the uncovered nodes, then resolve them with one parallel
-    // lexicographic Dijkstra per fallback (reusable workspaces, all cores)
-    // instead of a fresh allocating run per node.
-    let uncovered: Vec<NodeId> = (0..n).filter(|&v| lists[v].is_empty()).map(NodeId::new).collect();
-    let fallbacks = uncovered.len();
-    if fallbacks > 0 {
-        let resolved = par_map_rows(g, &uncovered, |_, _, dist, hops| {
-            (0..skeleton.len())
-                .filter_map(|i| {
-                    let t = skeleton.global(i);
-                    (dist[t.index()] != INFINITY).then_some((dist[t.index()], hops[t.index()], i))
-                })
-                .min()
-        });
-        let mut extra_rounds = 0u64;
-        for (&v, best) in uncovered.iter().zip(resolved) {
-            if let Some((d, hop, i)) = best {
-                extra_rounds = extra_rounds.max(hop.saturating_sub(skeleton.h() as u64));
-                lists[v.index()] = vec![(i, d)];
-            }
-        }
-        if extra_rounds > 0 {
-            net.charge_local(extra_rounds, phase);
-        }
-    }
-    (lists, fallbacks)
-}
-
 /// Final assembly shared by both APSP variants: each node `u` combines its
 /// `h`-hop-local exact distances with the skeleton route
 /// `min_{s near u} d_h(u,s) + labels[s][v]`.
 fn assemble(
     net: &HybridNet<'_>,
     skeleton: &Skeleton,
-    near: &[Vec<(usize, Distance)>],
+    near: &NearData,
     labels: &[Distance],
 ) -> DistanceMatrix {
     let g = net.graph();
@@ -129,8 +82,8 @@ fn assemble(
     // `near (n × |V_S|) ⊗ labels (|V_S| × n)` accumulated into the gated
     // local rows (the kernel's seeded-output mode).
     let mut nearm = vec![INFINITY; n * ns];
-    for (v, lst) in near.iter().enumerate() {
-        for &(s, d) in lst {
+    for v in 0..n {
+        for (s, d) in near.node(v) {
             nearm[v * ns + s] = d;
         }
     }
@@ -163,19 +116,31 @@ pub fn exact_apsp(
     cfg: ApspConfig,
     seed: u64,
 ) -> Result<ApspOutcome, HybridError> {
+    exact_apsp_prepared(net, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn exact_apsp_prepared(
+    net: &mut HybridNet<'_>,
+    cfg: ApspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<ApspOutcome, HybridError> {
     let start = net.rounds();
     let n = net.n();
     // Sampling probability 1/√n (the x = √n trade-off point of Theorem 1.1).
-    let skeleton = compute_skeleton(net, 0.5, cfg.xi, &[], seed, "apsp:skeleton")?;
-    publish_skeleton_edges(net, &skeleton, derive_seed(seed, 1), "apsp:edges")?;
-    let d_s = skeleton.apsp();
+    let art = skeleton_phase(net, 0.5, cfg.xi, &[], seed, "apsp:skeleton", prep)?;
+    let skeleton = &art.skeleton;
+    publish_skeleton_edges(net, skeleton, derive_seed(seed, 1), "apsp:edges")?;
+    let d_s = skeleton_apsp(&art);
     let ns = skeleton.len();
 
     // Every node v derives d(v, s) and its connector for every skeleton node
     // s — an independent per-node step, sharded across the round-engine
-    // worker budget (each shard owns a contiguous band of rows).
-    let (near, fallbacks) = near_lists(net, &skeleton, "apsp:fallback");
-    let mut conn = vec![usize::MAX; n * ns];
+    // worker budget (each shard owns a contiguous band of rows). Connector
+    // indices are skeleton-local and fit u32 — half the table footprint.
+    let near = near_phase(net, &art, NearTie::HopThenIndex, "apsp:fallback");
+    const NO_CONN: u32 = u32::MAX;
+    let mut conn = vec![NO_CONN; n * ns];
     let mut dvs = vec![INFINITY; n * ns];
     par::map_shards_mut2(
         net.round_threads(),
@@ -184,12 +149,12 @@ pub fn exact_apsp(
         (&mut dvs, ns),
         |start, crows, drows| {
             for (i, (crow, drow)) in crows.chunks_mut(ns).zip(drows.chunks_mut(ns)).enumerate() {
-                for &(u, dvu) in &near[start + i] {
+                for (u, dvu) in near.node(start + i) {
                     for s in 0..ns {
                         let cand = dist_add(dvu, d_s.get(NodeId::new(u), NodeId::new(s)));
                         if cand < drow[s] {
                             drow[s] = cand;
-                            crow[s] = u;
+                            crow[s] = u as u32;
                         }
                     }
                 }
@@ -198,36 +163,35 @@ pub fn exact_apsp(
     );
 
     // Token routing: v sends ⟨d_h(v, s'), ID(v), ID(s')⟩ to each skeleton node s.
-    let members: Vec<NodeId> = skeleton.nodes().to_vec();
+    let members = skeleton.nodes();
     let all: Vec<NodeId> = net.graph().nodes().collect();
     let mut tokens = Vec::with_capacity(n * ns);
     for v in 0..n {
         for s in 0..ns {
             let u = conn[v * ns + s];
-            if u == usize::MAX {
+            if u == NO_CONN {
                 continue;
             }
-            let dvu =
-                near[v].iter().find(|&&(i, _)| i == u).map(|&(_, d)| d).expect("connector is near");
+            let dvu = near.dist_to(v, u as usize).expect("connector is near");
             tokens.push(Token::new(
                 NodeId::new(v),
                 members[s],
                 s as u32,
-                (dvu, skeleton.global(u)),
+                (dvu, skeleton.global(u as usize)),
             ));
         }
     }
     let rates = RoutingRates { p_s: 1.0, p_r: (ns as f64 / n as f64).min(1.0) };
     let routed =
-        route_tokens(net, tokens, &all, &members, rates, derive_seed(seed, 2), "apsp:routing")?;
+        route_tokens(net, tokens, &all, members, rates, derive_seed(seed, 2), "apsp:routing")?;
 
     // Each skeleton node s computes d(s, v) = d_S(s, s') + d_h(s', v) from the
     // received connector tokens, then answers into its h-hop neighborhood
     // (local flooding, Õ(√n) rounds). Node IDs are dense, so the
-    // global→local map is a flat array.
-    let mut global_to_local = vec![usize::MAX; n];
+    // global→local map is a flat u32 array.
+    let mut global_to_local = vec![u32::MAX; n];
     for (i, &m) in members.iter().enumerate() {
-        global_to_local[m.index()] = i;
+        global_to_local[m.index()] = i as u32;
     }
     let mut labels = vec![INFINITY; ns * n];
     {
@@ -243,13 +207,12 @@ pub fn exact_apsp(
                     for t in routed.for_receiver(s_global) {
                         let (dvu, u_global) = t.payload;
                         let u_local = global_to_local[u_global.index()];
-                        debug_assert_ne!(
-                            u_local,
-                            usize::MAX,
-                            "connector must be a skeleton member"
-                        );
+                        debug_assert_ne!(u_local, u32::MAX, "connector must be a skeleton member");
                         let v = t.label.s;
-                        let d = dist_add(d_s.get(NodeId::new(s_local), NodeId::new(u_local)), dvu);
+                        let d = dist_add(
+                            d_s.get(NodeId::new(s_local), NodeId::new(u_local as usize)),
+                            dvu,
+                        );
                         if d < row[v.index()] {
                             row[v.index()] = d;
                         }
@@ -260,13 +223,13 @@ pub fn exact_apsp(
     }
     net.charge_local(skeleton.h() as u64, "apsp:labels-local");
 
-    let dist = assemble(net, &skeleton, &near, &labels);
+    let dist = assemble(net, skeleton, &near, &labels);
     Ok(ApspOutcome {
         dist,
         rounds: net.rounds() - start,
         skeleton_size: ns,
         h: skeleton.h(),
-        coverage_fallbacks: fallbacks,
+        coverage_fallbacks: near.fallbacks,
     })
 }
 
@@ -284,12 +247,22 @@ pub fn exact_apsp_soda20(
     cfg: ApspConfig,
     seed: u64,
 ) -> Result<ApspOutcome, HybridError> {
+    exact_apsp_soda20_prepared(net, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn exact_apsp_soda20_prepared(
+    net: &mut HybridNet<'_>,
+    cfg: ApspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<ApspOutcome, HybridError> {
     let start = net.rounds();
     let n = net.n();
     // Sampling probability 1/n^{2/3} ⇒ |V_S| ≈ n^{1/3}.
-    let skeleton = compute_skeleton(net, 1.0 / 3.0, cfg.xi, &[], seed, "apsp3:skeleton")?;
-    publish_skeleton_edges(net, &skeleton, derive_seed(seed, 1), "apsp3:edges")?;
-    let d_s = skeleton.apsp();
+    let art = skeleton_phase(net, 1.0 / 3.0, cfg.xi, &[], seed, "apsp3:skeleton", prep)?;
+    let skeleton = &art.skeleton;
+    publish_skeleton_edges(net, skeleton, derive_seed(seed, 1), "apsp3:edges")?;
+    let d_s = skeleton_apsp(&art);
     let ns = skeleton.len();
 
     // Broadcast every finite label d_h(s, v) (owner: the node v that knows it).
@@ -311,14 +284,14 @@ pub fn exact_apsp_soda20(
     let mut labels = vec![INFINITY; ns * n];
     par_min_plus_into(d_s.as_flat(), skeleton.dh_flat(), &mut labels, ns, n);
 
-    let (near, fallbacks) = near_lists(net, &skeleton, "apsp3:fallback");
-    let dist = assemble(net, &skeleton, &near, &labels);
+    let near = near_phase(net, &art, NearTie::HopThenIndex, "apsp3:fallback");
+    let dist = assemble(net, skeleton, &near, &labels);
     Ok(ApspOutcome {
         dist,
         rounds: net.rounds() - start,
         skeleton_size: ns,
         h: skeleton.h(),
-        coverage_fallbacks: fallbacks,
+        coverage_fallbacks: near.fallbacks,
     })
 }
 

@@ -53,12 +53,12 @@ fn skeleton_session(
     seed: u64,
     phase: &str,
 ) -> Result<RoutingSession, HybridError> {
-    let members: Vec<NodeId> = skeleton.nodes().to_vec();
+    let members = skeleton.nodes();
     let rates = routing_rates(skeleton, net.n());
     RoutingSession::establish(
         net,
-        &members,
-        &members,
+        members,
+        members,
         rates,
         members.len(),
         members.len(),
@@ -113,10 +113,10 @@ fn measure_full_round(
     let before = net.rounds();
     let session = skeleton_session(net, skeleton, seed, phase)?;
     let setup = net.rounds() - before;
-    let members: Vec<NodeId> = skeleton.nodes().to_vec();
+    let members = skeleton.nodes();
     let mut tokens = Vec::with_capacity(members.len() * members.len());
-    for &s in &members {
-        for &r in &members {
+    for &s in members {
+        for &r in members {
             if s != r {
                 tokens.push(Token::new(s, r, 0, ()));
             }

@@ -25,7 +25,7 @@ use crate::aggregate::aggregate_all;
 use crate::clique_on_skeleton::{simulate_diameter_on_skeleton, CliqueSimReport};
 use crate::error::HybridError;
 use crate::ksssp::KsspConfig;
-use crate::skeleton_ops::compute_skeleton;
+use crate::prepare::{skeleton_phase, Prep};
 
 /// Configuration of the diameter framework runs — its own parameter set, no
 /// longer borrowed from the k-SSP framework config.
@@ -97,17 +97,28 @@ pub fn diameter_framework<A: CliqueDiameterAlgorithm + ?Sized>(
     cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
+    diameter_framework_prepared(net, alg, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn diameter_framework_prepared<A: CliqueDiameterAlgorithm + ?Sized>(
+    net: &mut HybridNet<'_>,
+    alg: &A,
+    cfg: DiameterConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<DiameterOutcome, HybridError> {
     let start = net.rounds();
     let delta = alg.delta();
     let x = 2.0 / (3.0 + 2.0 * delta);
 
     // Step 1: skeleton.
-    let skeleton = compute_skeleton(net, x, cfg.xi, &[], seed, "diam:skeleton")?;
+    let art = skeleton_phase(net, x, cfg.xi, &[], seed, "diam:skeleton", prep)?;
+    let skeleton = &art.skeleton;
     let h = skeleton.h();
 
     // Step 2: CLIQUE diameter algorithm on the skeleton.
     let (d_tilde_s, clique_report) =
-        simulate_diameter_on_skeleton(net, &skeleton, alg, derive_seed(seed, 1), "diam:clique")?;
+        simulate_diameter_on_skeleton(net, skeleton, alg, derive_seed(seed, 1), "diam:clique")?;
 
     // Step 3: local exploration for ηh + 1 rounds — spreads D̃(S) and lets every
     // node measure h_v, its largest visible hop distance.
@@ -161,8 +172,18 @@ pub fn diameter_cor52(
     cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
+    diameter_cor52_prepared(net, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn diameter_cor52_prepared(
+    net: &mut HybridNet<'_>,
+    eps: f64,
+    cfg: DiameterConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<DiameterOutcome, HybridError> {
     let alg = DeclaredDiameter32::new(eps, derive_seed(seed, 52));
-    diameter_framework(net, &alg, cfg, seed)
+    diameter_framework_prepared(net, &alg, cfg, seed, prep)
 }
 
 /// Corollary 5.3: `(1 + ε)`-approximate diameter in `Õ(n^{0.397}/ε)` rounds.
@@ -176,8 +197,18 @@ pub fn diameter_cor53(
     cfg: DiameterConfig,
     seed: u64,
 ) -> Result<DiameterOutcome, HybridError> {
+    diameter_cor53_prepared(net, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn diameter_cor53_prepared(
+    net: &mut HybridNet<'_>,
+    eps: f64,
+    cfg: DiameterConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<DiameterOutcome, HybridError> {
     let alg = DeclaredDiameterAlgebraic::new(eps, derive_seed(seed, 53));
-    diameter_framework(net, &alg, cfg, seed)
+    diameter_framework_prepared(net, &alg, cfg, seed, prep)
 }
 
 /// Upper bound noted after Theorem 1.6: a `(2+o(1))`-approximation of the

@@ -162,9 +162,8 @@ pub fn disseminate(
     // internal node forwards.
     let mut down: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut known: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (col, tokens) in at_root.iter().enumerate() {
+    for (col, mut t) in at_root.into_iter().enumerate() {
         let root = class_members[col][0];
-        let mut t = tokens.clone();
         t.sort_unstable();
         t.dedup();
         known[root.index()] = t.clone();

@@ -21,11 +21,12 @@ use clique_sim::declared::DeclaredKssp;
 use clique_sim::{CliqueKsspAlgorithm, SourceCapacity};
 use hybrid_graph::dijkstra::par_map_rows;
 use hybrid_graph::{dist_add, Distance, NodeId, INFINITY};
-use hybrid_sim::{derive_seed, par, HybridNet};
+use hybrid_sim::{derive_seed, HybridNet};
 
 use crate::clique_on_skeleton::{simulate_kssp_on_skeleton, CliqueSimReport};
 use crate::error::HybridError;
-use crate::skeleton_ops::{compute_representatives, compute_skeleton, Representative};
+use crate::prepare::{near_phase, skeleton_phase, NearTie, Prep};
+use crate::skeleton_ops::{compute_representatives, Representative};
 
 /// Configuration of the framework run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +129,17 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
     cfg: KsspConfig,
     seed: u64,
 ) -> Result<KsspOutcome, HybridError> {
+    kssp_framework_prepared(net, alg, sources, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn kssp_framework_prepared<A: CliqueKsspAlgorithm + ?Sized>(
+    net: &mut HybridNet<'_>,
+    alg: &A,
+    sources: &[NodeId],
+    cfg: KsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<KsspOutcome, HybridError> {
     assert!(!sources.is_empty(), "at least one source required");
     if matches!(alg.capacity(), SourceCapacity::SingleSource) && sources.len() > 1 {
         return Err(HybridError::Clique(clique_sim::CliqueError::TooManySources {
@@ -143,7 +155,8 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
 
     // Step 1: skeleton (force the source in for the single-source case).
     let forced: &[NodeId] = if single_source { &sources[..1] } else { &[] };
-    let skeleton = compute_skeleton(net, x, cfg.xi, forced, seed, "kssp:skeleton")?;
+    let art = skeleton_phase(net, x, cfg.xi, forced, seed, "kssp:skeleton", prep)?;
+    let skeleton = &art.skeleton;
     let h = skeleton.h();
     let ns = skeleton.len();
 
@@ -153,7 +166,7 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
         vec![Representative { source: sources[0], rep_local: local, dist: 0 }]
     } else {
         let (reps, _fallbacks) =
-            compute_representatives(net, &skeleton, sources, derive_seed(seed, 1), "kssp:reps")?;
+            compute_representatives(net, skeleton, sources, derive_seed(seed, 1), "kssp:reps")?;
         reps
     };
 
@@ -165,7 +178,7 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
     let clique_sources: Vec<NodeId> = rep_locals.iter().map(|&i| NodeId::new(i)).collect();
     let (est_s, clique_report) = simulate_kssp_on_skeleton(
         net,
-        &skeleton,
+        skeleton,
         alg,
         &clique_sources,
         derive_seed(seed, 2),
@@ -180,37 +193,9 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
     net.charge_local(explore, "kssp:local-exploration");
 
     let g = net.graph();
-    let (near, fallbacks) = {
-        // Per-node nearby-skeleton lists (sharded across the round-engine
-        // worker budget), then one parallel lexicographic Dijkstra per
-        // uncovered node — this framework's fallback keeps its own
-        // `(distance, index)` tie-break, so it stays separate from the APSP
-        // helper.
-        let threads = net.round_threads();
-        let mut lists: Vec<Vec<(usize, Distance)>> = vec![Vec::new(); n];
-        par::map_shards_mut(threads, &mut lists, |start, shard| {
-            for (i, slot) in shard.iter_mut().enumerate() {
-                *slot = skeleton.skeletons_near(NodeId::new(start + i));
-            }
-        });
-        let uncovered: Vec<NodeId> =
-            (0..n).filter(|&v| lists[v].is_empty()).map(NodeId::new).collect();
-        let fb = uncovered.len();
-        if fb > 0 {
-            let resolved = par_map_rows(g, &uncovered, |_, _, dist, _| {
-                (0..ns)
-                    .filter_map(|i| {
-                        let t = skeleton.global(i);
-                        (dist[t.index()] != INFINITY).then_some((dist[t.index()], i))
-                    })
-                    .min()
-            });
-            for (&v, best) in uncovered.iter().zip(resolved) {
-                lists[v.index()] = best.map(|(d, i)| vec![(i, d)]).unwrap_or_default();
-            }
-        }
-        (lists, fb)
-    };
+    // Per-node nearby-skeleton lists — this framework's fallback keeps its
+    // own `(distance, index)` tie-break, so it is cached as its own flavor.
+    let near = near_phase(net, &art, NearTie::IndexOnly, "kssp:near");
 
     // Equation (1) per source — one parallel lexicographic Dijkstra per
     // representative (pooled workspaces across worker threads) instead of a
@@ -229,7 +214,7 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
             let mut best = if hops[v] <= explore { dist[v] } else { INFINITY };
             // Skeleton part: min over nearby skeletons u of
             // d_h(v,u) + d̃(u, r_s) + d_h(r_s, s).
-            for &(u, dvu) in &near[v] {
+            for (u, dvu) in near.node(v) {
                 let via = dist_add(dist_add(dvu, est_s.get(row, NodeId::new(u))), rep.dist);
                 best = best.min(via);
             }
@@ -247,7 +232,7 @@ pub fn kssp_framework<A: CliqueKsspAlgorithm + ?Sized>(
         x,
         explore,
         clique: clique_report,
-        coverage_fallbacks: fallbacks,
+        coverage_fallbacks: near.fallbacks,
         alpha: alg.alpha(),
         beta_bound: alg.beta().bound(skeleton.graph().max_weight()),
         eta,
@@ -264,8 +249,19 @@ pub fn kssp_cor46(
     cfg: KsspConfig,
     seed: u64,
 ) -> Result<KsspOutcome, HybridError> {
+    kssp_cor46_prepared(net, sources, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn kssp_cor46_prepared(
+    net: &mut HybridNet<'_>,
+    sources: &[NodeId],
+    eps: f64,
+    cfg: KsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<KsspOutcome, HybridError> {
     let alg = DeclaredKssp::censor_hillel_sqrt_sources(eps, derive_seed(seed, 46));
-    kssp_framework(net, &alg, sources, cfg, seed)
+    kssp_framework_prepared(net, &alg, sources, cfg, seed, prep)
 }
 
 /// Corollary 4.7: any `k` sources, `(2+ε)` unweighted / `(7+ε)` weighted,
@@ -277,8 +273,19 @@ pub fn kssp_cor47(
     cfg: KsspConfig,
     seed: u64,
 ) -> Result<KsspOutcome, HybridError> {
+    kssp_cor47_prepared(net, sources, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn kssp_cor47_prepared(
+    net: &mut HybridNet<'_>,
+    sources: &[NodeId],
+    eps: f64,
+    cfg: KsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<KsspOutcome, HybridError> {
     let alg = DeclaredKssp::censor_hillel_apsp(eps, derive_seed(seed, 47));
-    kssp_framework(net, &alg, sources, cfg, seed)
+    kssp_framework_prepared(net, &alg, sources, cfg, seed, prep)
 }
 
 /// Corollary 4.8: any `k` sources, `(1+ε)` unweighted / `(3+o(1))` weighted,
@@ -290,8 +297,19 @@ pub fn kssp_cor48(
     cfg: KsspConfig,
     seed: u64,
 ) -> Result<KsspOutcome, HybridError> {
+    kssp_cor48_prepared(net, sources, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn kssp_cor48_prepared(
+    net: &mut HybridNet<'_>,
+    sources: &[NodeId],
+    eps: f64,
+    cfg: KsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<KsspOutcome, HybridError> {
     let alg = DeclaredKssp::algebraic_apsp(eps, derive_seed(seed, 48));
-    kssp_framework(net, &alg, sources, cfg, seed)
+    kssp_framework_prepared(net, &alg, sources, cfg, seed, prep)
 }
 
 #[cfg(test)]

@@ -40,13 +40,16 @@ pub mod hash;
 pub mod helpers;
 pub mod ksssp;
 pub mod lower_bound_experiments;
+pub(crate) mod prepare;
 pub mod ruling_set;
+pub mod session;
 pub mod skeleton_ops;
 pub mod solver;
 pub mod sssp;
 pub mod token_routing;
 
 pub use error::HybridError;
+pub use session::{Session, SessionConfig, SessionStats};
 pub use solver::{
     solve, Answer, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, QueryError,
     Report, SourceSet, SsspVariant,

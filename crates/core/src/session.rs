@@ -1,0 +1,585 @@
+//! The serving layer: shared preprocessing sessions over one graph.
+//!
+//! Every `solve()` call rebuilds the paper's shared preamble — skeleton
+//! sampling, skeleton distances, nearby-skeleton knowledge — from zero, even
+//! when a thousand queries hit the same graph. A [`Session`] runs that
+//! preamble once per skeleton key `(x, ξ, forced nodes, seed)` into an
+//! immutable [`Prepared`] artifact and serves any number of queries from it:
+//!
+//! * **Bit-identical answers.** `session.solve(&q)` returns exactly the
+//!   [`Report`] a fresh `solve(&mut net, &q, seed)` would — same distances,
+//!   rounds, guarantees, message counts, and structured errors (pinned by
+//!   `tests/session_equivalence.rs`). The simulated round bill is never
+//!   discounted; only the wall-clock recomputation is.
+//! * **Cross-query sharing.** Queries whose frameworks sample with the same
+//!   exponent share one skeleton: Corollaries 4.6/4.7 and 5.2 all
+//!   instantiate at `x = 2/3`, Corollaries 4.8 and 5.3 at `x ≈ 0.604`, so a
+//!   mixed batch prepares far fewer skeletons than it runs queries.
+//! * **Repeat serving.** A query already answered under this session's seed
+//!   is served from the report memo without re-running the protocol at all —
+//!   the steady state of a serving workload where hot queries repeat.
+//! * **Batching.** [`Session::solve_batch`] dedups repeated queries and
+//!   shards the distinct ones over scoped worker threads (the scenario
+//!   runner's pool pattern); answers are deterministic and order-preserving.
+//!
+//! # Faults
+//!
+//! A session configured with a lossy [`FaultPlan`] runs **every query cold**:
+//! the drop stream is stateful per run, so sharing preprocessing would change
+//! *which* messages are lost and break bit-identity. Faulty sessions are
+//! still convenient (one place to configure graph + faults + seed) but never
+//! amortize — exactly what a fresh solve per query costs.
+//!
+//! # Example
+//!
+//! ```
+//! use hybrid_core::session::{Session, SessionConfig};
+//! use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query};
+//! use hybrid_graph::generators::grid;
+//!
+//! let g = grid(6, 6, 1).unwrap();
+//! let session = Session::new(&g, SessionConfig::new(7)).unwrap();
+//! let apsp = session.solve(&Query::apsp().build().unwrap()).unwrap();
+//! let diam = session.solve(&Query::diameter(DiameterCorollary::Cor52).build().unwrap()).unwrap();
+//! assert!(apsp.guarantee.is_exact());
+//! assert!(diam.diameter_estimate().is_some());
+//! // Repeats are served from the report memo.
+//! let again = session.solve(&Query::apsp().build().unwrap()).unwrap();
+//! assert_eq!(apsp.rounds, again.rounds);
+//! assert_eq!(session.stats().report_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hybrid_graph::Graph;
+use hybrid_sim::{FaultPlan, HybridConfig, HybridNet, Metrics};
+
+use crate::error::HybridError;
+use crate::prepare::Prep;
+pub use crate::prepare::Prepared;
+use crate::solver::{solve_inner, Query, QueryError, Report, SourceSet, SsspVariant};
+
+/// Configuration of a [`Session`]: the pinned root seed and skeleton
+/// constant the preprocessing is derived from, plus the simulated network's
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Root seed of every query served by this session. All preprocessing
+    /// (skeleton sampling, source resolution, routing hashes) derives from
+    /// it; [`Session::solve_seeded`] rejects any other seed.
+    pub seed: u64,
+    /// The skeleton radius constant `ξ` the prepared artifacts are built
+    /// with. Queries carrying a different `ξ` are rejected with
+    /// [`QueryError::SessionXiMismatch`] instead of silently re-preprocessing
+    /// (the LOCAL baselines ignore `ξ` and are exempt).
+    pub xi: f64,
+    /// Simulated network configuration used for every query's net.
+    pub net: HybridConfig,
+    /// Optional fault plan installed on every query's net. Non-trivial plans
+    /// disable all caching (see the module docs).
+    pub faults: Option<FaultPlan>,
+    /// Round-engine worker budget override applied to every query's net
+    /// (`None`: the `HYBRID_ROUND_THREADS` / hardware default).
+    pub round_threads: Option<usize>,
+}
+
+impl SessionConfig {
+    /// A default-configured session pinned to `seed` (`ξ = 1.5`, default
+    /// network, no faults).
+    pub fn new(seed: u64) -> Self {
+        SessionConfig {
+            seed,
+            xi: 1.5,
+            net: HybridConfig::default(),
+            faults: None,
+            round_threads: None,
+        }
+    }
+}
+
+/// Cumulative serving statistics of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Queries served (including errors and cache hits; batch inputs all
+    /// count, deduplicated repeats included).
+    pub queries: u64,
+    /// Queries answered without running the protocol: report-memo hits and
+    /// batch-deduplicated repeats.
+    pub report_hits: u64,
+    /// Distinct skeleton preambles prepared so far.
+    pub skeletons_prepared: usize,
+}
+
+/// Stable hash key of a `(Query, seed)` pair — the report-memo index. Two
+/// queries with equal keys are structurally identical (floats compared by
+/// bits), so a memo hit serves a bit-identical report.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    Apsp { variant: u8, xi: u64 },
+    Sssp { variant: u8, source: u32, xi: u64, eps: u64 },
+    Kssp { cor: u8, sources: SourceKey, eps: u64, xi: u64 },
+    Diameter { cor: u8, eps: u64, xi: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SourceKey {
+    Random(usize),
+    Nodes(Vec<u32>),
+}
+
+fn query_key(q: &Query) -> QueryKey {
+    match q {
+        Query::Apsp { variant, xi } => QueryKey::Apsp { variant: *variant as u8, xi: xi.to_bits() },
+        Query::Sssp { variant, source, xi } => {
+            let (v, eps) = match variant {
+                SsspVariant::Thm13 => (0u8, 0u64),
+                SsspVariant::LocalBellmanFord => (1, 0),
+                SsspVariant::ApproxSoda20 { eps } => (2, eps.to_bits()),
+            };
+            QueryKey::Sssp { variant: v, source: source.raw(), xi: xi.to_bits(), eps }
+        }
+        Query::Kssp { cor, sources, eps, xi } => QueryKey::Kssp {
+            cor: cor.number(),
+            sources: match sources {
+                SourceSet::Random { k } => SourceKey::Random(*k),
+                SourceSet::Nodes(nodes) => {
+                    SourceKey::Nodes(nodes.iter().map(|v| v.raw()).collect())
+                }
+            },
+            eps: eps.to_bits(),
+            xi: xi.to_bits(),
+        },
+        Query::Diameter { cor, eps, xi } => {
+            QueryKey::Diameter { cor: cor.number(), eps: eps.to_bits(), xi: xi.to_bits() }
+        }
+    }
+}
+
+/// A shared-preprocessing serving session over one graph (see the module
+/// docs). Create with [`Session::new`], serve with [`Session::solve`] /
+/// [`Session::solve_batch`].
+#[derive(Debug)]
+pub struct Session<'g> {
+    graph: &'g Graph,
+    cfg: SessionConfig,
+    prepared: Prepared,
+    reports: Mutex<HashMap<QueryKey, Report>>,
+    queries: AtomicU64,
+    report_hits: AtomicU64,
+}
+
+impl<'g> Session<'g> {
+    /// Opens a session over `graph` with the pinned `(seed, ξ, network)`
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`HybridError::Sim`] for a degenerate [`HybridConfig`] or an invalid
+    ///   fault plan.
+    /// * [`HybridError::Query`] for a non-positive / non-finite `ξ`.
+    pub fn new(graph: &'g Graph, cfg: SessionConfig) -> Result<Self, HybridError> {
+        cfg.net.validate().map_err(HybridError::Sim)?;
+        if let Some(plan) = &cfg.faults {
+            plan.validate().map_err(HybridError::Sim)?;
+        }
+        if !(cfg.xi > 0.0 && cfg.xi.is_finite()) {
+            return Err(HybridError::Query(QueryError::NonPositiveXi { xi: cfg.xi }));
+        }
+        Ok(Session {
+            graph,
+            cfg,
+            prepared: Prepared::default(),
+            reports: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            report_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The session's graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The pinned root seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// The pinned skeleton constant ξ.
+    pub fn xi(&self) -> f64 {
+        self.cfg.xi
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            skeletons_prepared: self.prepared.skeletons(),
+        }
+    }
+
+    /// Whether preprocessing may be shared: lossy fault plans are stateful
+    /// per run and force every query cold.
+    fn cacheable(&self) -> bool {
+        self.cfg.faults.as_ref().is_none_or(FaultPlan::is_trivial)
+    }
+
+    /// Rejects queries whose `ξ` differs from the prepared artifact's (the
+    /// LOCAL baselines ignore `ξ` and pass unconditionally).
+    fn check_xi(&self, query: &Query) -> Result<(), HybridError> {
+        use crate::solver::ApspVariant;
+        let query_xi = match query {
+            Query::Apsp { variant: ApspVariant::LocalFlood, .. } => return Ok(()),
+            Query::Sssp { variant: SsspVariant::LocalBellmanFord, .. } => return Ok(()),
+            Query::Apsp { xi, .. }
+            | Query::Sssp { xi, .. }
+            | Query::Kssp { xi, .. }
+            | Query::Diameter { xi, .. } => *xi,
+        };
+        if query_xi.to_bits() != self.cfg.xi.to_bits() {
+            return Err(HybridError::Query(QueryError::SessionXiMismatch {
+                expected: self.cfg.xi,
+                got: query_xi,
+            }));
+        }
+        Ok(())
+    }
+
+    /// A fresh simulated net for one query, configured exactly as a cold
+    /// caller would: the session's [`HybridConfig`], fault plan, and
+    /// round-engine budget.
+    fn fresh_net(&self) -> HybridNet<'g> {
+        let mut net = HybridNet::new(self.graph, self.cfg.net);
+        if let Some(threads) = self.cfg.round_threads {
+            net.set_round_threads(threads);
+        }
+        if let Some(plan) = &self.cfg.faults {
+            net.inject_faults(plan).expect("fault plan validated at session construction");
+        }
+        net
+    }
+
+    /// Runs `query` end to end on a fresh net, serving preprocessing from
+    /// the prepared artifact when caching is sound. Returns the result plus
+    /// the net's full metrics (the scenario runner reads partial rounds and
+    /// message counts off them on structured errors).
+    fn execute(&self, query: &Query) -> (Result<Report, HybridError>, Metrics) {
+        let mut net = self.fresh_net();
+        let prep = if self.cacheable() { Prep::Warm(&self.prepared) } else { Prep::Cold };
+        let result = solve_inner(&mut net, query, self.cfg.seed, prep);
+        (result, net.into_metrics())
+    }
+
+    /// Serves `query` under the session seed (see the module docs for the
+    /// equivalence and amortization contract).
+    ///
+    /// # Errors
+    ///
+    /// * [`HybridError::Query`] for invalid parameters or a
+    ///   [`QueryError::SessionXiMismatch`].
+    /// * Any simulator/protocol error a fresh `solve` would produce.
+    pub fn solve(&self, query: &Query) -> Result<Report, HybridError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        query.validate().map_err(HybridError::Query)?;
+        self.check_xi(query)?;
+        if !self.cacheable() {
+            return self.execute(query).0;
+        }
+        let key = query_key(query);
+        if let Some(report) = self.reports.lock().expect("report memo lock").get(&key) {
+            self.report_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report.clone());
+        }
+        let (result, _) = self.execute(query);
+        if let Ok(report) = &result {
+            self.reports.lock().expect("report memo lock").insert(key, report.clone());
+        }
+        result
+    }
+
+    /// Like [`Session::solve`], but verifies the caller's `seed` against the
+    /// session's pinned seed first — the guard for callers that thread seeds
+    /// separately from sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::SessionSeedMismatch`] (wrapped) when `seed` differs from
+    /// the session seed; otherwise as [`Session::solve`].
+    pub fn solve_seeded(&self, query: &Query, seed: u64) -> Result<Report, HybridError> {
+        if seed != self.cfg.seed {
+            return Err(HybridError::Query(QueryError::SessionSeedMismatch {
+                expected: self.cfg.seed,
+                got: seed,
+            }));
+        }
+        self.solve(query)
+    }
+
+    /// Serves `query` and returns the executing net's full [`Metrics`]
+    /// alongside — always runs the protocol (the report memo is bypassed so
+    /// the metrics describe a real run), still sharing preprocessing. The
+    /// scenario runner uses this to report partial rounds and message counts
+    /// for structured-error runs.
+    pub fn solve_with_metrics(&self, query: &Query) -> (Result<Report, HybridError>, Metrics) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = query.validate() {
+            return (Err(HybridError::Query(e)), Metrics::new());
+        }
+        if let Err(e) = self.check_xi(query) {
+            return (Err(e), Metrics::new());
+        }
+        let (result, metrics) = self.execute(query);
+        if self.cacheable() {
+            if let Ok(report) = &result {
+                self.reports
+                    .lock()
+                    .expect("report memo lock")
+                    .entry(query_key(query))
+                    .or_insert_with(|| report.clone());
+            }
+        }
+        (result, metrics)
+    }
+
+    /// Serves a batch of independent queries, returning one result per input
+    /// in order. Repeated queries are deduplicated (solved once, answers
+    /// cloned) and the distinct ones are sharded over scoped worker threads
+    /// (`HYBRID_SESSION_THREADS` overrides the worker count). Every answer
+    /// is bit-identical to solving the batch sequentially. On a faulty
+    /// session dedup is disabled along with every other cache: each input
+    /// runs its own cold protocol, per the module-level contract.
+    pub fn solve_batch(&self, queries: &[Query]) -> Vec<Result<Report, HybridError>> {
+        // Dedup: map each input to the first occurrence of its key. A
+        // non-cacheable (faulty) session skips dedup entirely — its contract
+        // is that *every* query runs cold, through the batch path too.
+        let mut first_of: HashMap<QueryKey, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let slot = if self.cacheable() {
+                *first_of.entry(query_key(q)).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                })
+            } else {
+                unique.push(i);
+                unique.len() - 1
+            };
+            slot_of.push(slot);
+        }
+        // Deduplicated repeats are served queries too — count them (and the
+        // fact that they skipped the protocol) so `stats()` matches its docs.
+        let repeats = (queries.len() - unique.len()) as u64;
+        self.queries.fetch_add(repeats, Ordering::Relaxed);
+        self.report_hits.fetch_add(repeats, Ordering::Relaxed);
+        let threads = batch_workers(unique.len());
+        let results: Vec<Result<Report, HybridError>> = if threads <= 1 {
+            unique.iter().map(|&i| self.solve(&queries[i])).collect()
+        } else {
+            use std::sync::atomic::AtomicUsize;
+            let slots: Vec<Mutex<Option<Result<Report, HybridError>>>> =
+                unique.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let u = next.fetch_add(1, Ordering::Relaxed);
+                        if u >= unique.len() {
+                            break;
+                        }
+                        let result = self.solve(&queries[unique[u]]);
+                        *slots[u].lock().expect("batch slot lock") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("batch slot").expect("every slot filled"))
+                .collect()
+        };
+        slot_of.into_iter().map(|slot| results[slot].clone()).collect()
+    }
+}
+
+/// Batch worker count: `HYBRID_SESSION_THREADS` override, else the machine's
+/// parallelism, capped at the number of distinct queries.
+fn batch_workers(jobs: usize) -> usize {
+    let available = std::env::var("HYBRID_SESSION_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    available.min(jobs).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, DiameterCorollary, KsspCorollary};
+    use hybrid_graph::generators::{erdos_renyi_connected, grid};
+    use hybrid_graph::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_same_report(a: &Report, b: &Report) {
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.global_messages, b.global_messages);
+        assert_eq!(a.dropped_messages, b.dropped_messages);
+        assert_eq!(a.skeleton_size, b.skeleton_size);
+        assert_eq!(a.h, b.h);
+        assert_eq!(a.coverage_fallbacks, b.coverage_fallbacks);
+        assert_eq!(a.guarantee, b.guarantee);
+        match (&a.answer, &b.answer) {
+            (crate::solver::Answer::Distances(x), crate::solver::Answer::Distances(y)) => {
+                assert_eq!(x.as_flat(), y.as_flat())
+            }
+            (
+                crate::solver::Answer::DistanceRow { dist: x, .. },
+                crate::solver::Answer::DistanceRow { dist: y, .. },
+            ) => assert_eq!(x, y),
+            (
+                crate::solver::Answer::DistanceRows { est: x, .. },
+                crate::solver::Answer::DistanceRows { est: y, .. },
+            ) => assert_eq!(x, y),
+            (
+                crate::solver::Answer::Diameter { estimate: x, .. },
+                crate::solver::Answer::Diameter { estimate: y, .. },
+            ) => assert_eq!(x, y),
+            _ => panic!("answer shapes differ"),
+        }
+    }
+
+    #[test]
+    fn session_matches_fresh_solve_across_algorithms() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_connected(70, 0.08, 4, &mut rng).unwrap();
+        let session = Session::new(&g, SessionConfig::new(11)).unwrap();
+        let queries = [
+            Query::apsp().build().unwrap(),
+            Query::sssp(NodeId::new(3)).build().unwrap(),
+            Query::kssp(KsspCorollary::Cor47).random_sources(4).build().unwrap(),
+            Query::diameter(DiameterCorollary::Cor52).build().unwrap(),
+        ];
+        for q in &queries {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            let fresh = solve(&mut net, q, 11).unwrap();
+            let served = session.solve(q).unwrap();
+            assert_same_report(&fresh, &served);
+        }
+    }
+
+    #[test]
+    fn repeats_hit_the_report_memo_and_skeletons_are_shared() {
+        let g = grid(8, 8, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(5)).unwrap();
+        let q46 = Query::kssp(KsspCorollary::Cor46).random_sources(2).build().unwrap();
+        let q47 = Query::kssp(KsspCorollary::Cor47).random_sources(5).build().unwrap();
+        let d52 = Query::diameter(DiameterCorollary::Cor52).build().unwrap();
+        session.solve(&q46).unwrap();
+        session.solve(&q47).unwrap();
+        session.solve(&d52).unwrap();
+        // Cor 4.6, 4.7 and 5.2 all sample at x = 2/3: one shared skeleton.
+        assert_eq!(session.stats().skeletons_prepared, 1);
+        session.solve(&q46).unwrap();
+        session.solve(&q46).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.report_hits, 2);
+    }
+
+    #[test]
+    fn xi_and_seed_mismatches_are_structured_errors() {
+        let g = grid(6, 6, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(3)).unwrap();
+        let q = Query::apsp().xi(2.0).build().unwrap();
+        let err = session.solve(&q).unwrap_err();
+        assert!(
+            matches!(err, HybridError::Query(QueryError::SessionXiMismatch { got, .. }) if got == 2.0),
+            "{err:?}"
+        );
+        let ok = Query::apsp().build().unwrap();
+        let err = session.solve_seeded(&ok, 4).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HybridError::Query(QueryError::SessionSeedMismatch { expected: 3, got: 4 })
+            ),
+            "{err:?}"
+        );
+        assert!(session.solve_seeded(&ok, 3).is_ok());
+        // The LOCAL baselines ignore ξ and pass under any value.
+        let local = Query::apsp().variant(crate::solver::ApspVariant::LocalFlood).build().unwrap();
+        assert!(session.solve(&local).is_ok());
+    }
+
+    #[test]
+    fn batch_preserves_order_and_dedups() {
+        let g = grid(7, 7, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(9)).unwrap();
+        let a = Query::apsp().build().unwrap();
+        let b = Query::sssp(NodeId::new(0)).build().unwrap();
+        let batch = vec![a.clone(), b.clone(), a.clone(), b.clone(), a.clone()];
+        let results = session.solve_batch(&batch);
+        assert_eq!(results.len(), 5);
+        let r0 = results[0].as_ref().unwrap();
+        let r2 = results[2].as_ref().unwrap();
+        let r4 = results[4].as_ref().unwrap();
+        assert_same_report(r0, r2);
+        assert_same_report(r0, r4);
+        assert_eq!(results[1].as_ref().unwrap().label(), "sssp-thm13");
+        // 5 inputs served, 2 distinct protocol runs, 3 deduplicated repeats.
+        let stats = session.stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.report_hits, 3);
+    }
+
+    #[test]
+    fn invalid_session_configs_are_rejected() {
+        let g = grid(4, 4, 1).unwrap();
+        let mut cfg = SessionConfig::new(1);
+        cfg.xi = -1.0;
+        assert!(matches!(
+            Session::new(&g, cfg).unwrap_err(),
+            HybridError::Query(QueryError::NonPositiveXi { .. })
+        ));
+        let cfg = SessionConfig {
+            net: HybridConfig { send_cap_factor: 0.0, ..HybridConfig::default() },
+            ..SessionConfig::new(1)
+        };
+        assert!(matches!(Session::new(&g, cfg).unwrap_err(), HybridError::Sim(_)));
+    }
+
+    #[test]
+    fn faulty_sessions_run_cold_and_stay_bit_identical() {
+        let g = grid(8, 8, 1).unwrap();
+        let plan = FaultPlan::drops(0.2, 77);
+        let cfg = SessionConfig { faults: Some(plan.clone()), ..SessionConfig::new(5) };
+        let session = Session::new(&g, cfg).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let run_fresh = || {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            net.inject_faults(&plan).unwrap();
+            solve(&mut net, &q, 5)
+        };
+        for _ in 0..2 {
+            let (served, fresh) = (session.solve(&q), run_fresh());
+            match (served, fresh) {
+                (Ok(a), Ok(b)) => assert_same_report(&a, &b),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                other => panic!("outcomes diverged: {other:?}"),
+            }
+        }
+        // Nothing was cached: every query re-ran the full protocol.
+        assert_eq!(session.stats().report_hits, 0);
+        assert_eq!(session.stats().skeletons_prepared, 0);
+        // The batch path honors the cold contract too: duplicates are not
+        // deduplicated away, each input runs its own protocol.
+        let results = session.solve_batch(&[q.clone(), q.clone()]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(session.stats().report_hits, 0, "faulty batches never dedup");
+        assert_eq!(session.stats().queries, 4);
+    }
+}

@@ -46,11 +46,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt;
 
-use crate::apsp::{apsp_local_only, exact_apsp, exact_apsp_soda20, ApspConfig};
-use crate::diameter::{diameter_cor52, diameter_cor53, DiameterConfig};
+use crate::apsp::{apsp_local_only, exact_apsp_prepared, exact_apsp_soda20_prepared, ApspConfig};
+use crate::diameter::{diameter_cor52_prepared, diameter_cor53_prepared, DiameterConfig};
 use crate::error::HybridError;
-use crate::ksssp::{kssp_cor46, kssp_cor47, kssp_cor48, KsspConfig};
-use crate::sssp::{approx_sssp_soda20, exact_sssp, sssp_local_bellman_ford, SsspConfig};
+use crate::ksssp::{kssp_cor46_prepared, kssp_cor47_prepared, kssp_cor48_prepared, KsspConfig};
+use crate::prepare::Prep;
+use crate::sssp::{
+    approx_sssp_soda20_prepared, exact_sssp_prepared, sssp_local_bellman_ford, SsspConfig,
+};
 
 /// A structurally valid query with invalid *parameters* — rejected by the
 /// builders at construction and by [`solve`] as a backstop for hand-built
@@ -79,6 +82,23 @@ pub enum QueryError {
         /// The rejected number.
         cor: u8,
     },
+    /// A [`crate::session::Session`] was handed a query whose `ξ` differs
+    /// from the prepared artifact's — served structurally instead of silently
+    /// re-preprocessing under the wrong constant.
+    SessionXiMismatch {
+        /// The session's pinned ξ.
+        expected: f64,
+        /// The query's ξ.
+        got: f64,
+    },
+    /// A [`crate::session::Session`] was asked to solve under a different
+    /// seed than the one its preprocessing was derived from.
+    SessionSeedMismatch {
+        /// The session's pinned root seed.
+        expected: u64,
+        /// The requested seed.
+        got: u64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -96,6 +116,20 @@ impl fmt::Display for QueryError {
             }
             QueryError::UnknownDiameterCorollary { cor } => {
                 write!(f, "unknown diameter corollary {cor} (the paper defines 52, 53)")
+            }
+            QueryError::SessionXiMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query ξ = {got} does not match the session's prepared ξ = {expected} \
+                     (open a session with the matching constant instead of re-preprocessing)"
+                )
+            }
+            QueryError::SessionSeedMismatch { expected, got } => {
+                write!(
+                    f,
+                    "seed {got} does not match the session's root seed {expected} \
+                     (preprocessing is derived from the session seed)"
+                )
             }
         }
     }
@@ -673,14 +707,28 @@ impl Report {
 /// * [`HybridError::Query`] if the query's parameters are invalid.
 /// * Any simulator/protocol error of the underlying algorithm.
 pub fn solve(net: &mut HybridNet<'_>, query: &Query, seed: u64) -> Result<Report, HybridError> {
+    solve_inner(net, query, seed, Prep::Cold)
+}
+
+/// The dispatcher behind both [`solve`] (cold preprocessing) and
+/// [`crate::session::Session::solve`] (preprocessing served from the
+/// session's [`crate::session::Prepared`] artifact).
+pub(crate) fn solve_inner(
+    net: &mut HybridNet<'_>,
+    query: &Query,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<Report, HybridError> {
     query.validate().map_err(HybridError::Query)?;
     let messages_before = net.metrics().global_messages;
     let dropped_before = net.metrics().dropped_messages;
     let mut report = match query {
         Query::Apsp { variant, xi } => {
             let out = match variant {
-                ApspVariant::Thm11 => exact_apsp(net, ApspConfig { xi: *xi }, seed)?,
-                ApspVariant::Soda20 => exact_apsp_soda20(net, ApspConfig { xi: *xi }, seed)?,
+                ApspVariant::Thm11 => exact_apsp_prepared(net, ApspConfig { xi: *xi }, seed, prep)?,
+                ApspVariant::Soda20 => {
+                    exact_apsp_soda20_prepared(net, ApspConfig { xi: *xi }, seed, prep)?
+                }
                 ApspVariant::LocalFlood => apsp_local_only(net),
             };
             Report {
@@ -698,10 +746,10 @@ pub fn solve(net: &mut HybridNet<'_>, query: &Query, seed: u64) -> Result<Report
         Query::Sssp { variant, source, xi } => {
             let cfg = SsspConfig { xi: *xi };
             let out = match variant {
-                SsspVariant::Thm13 => exact_sssp(net, *source, cfg, seed)?,
+                SsspVariant::Thm13 => exact_sssp_prepared(net, *source, cfg, seed, prep)?,
                 SsspVariant::LocalBellmanFord => sssp_local_bellman_ford(net, *source),
                 SsspVariant::ApproxSoda20 { eps } => {
-                    approx_sssp_soda20(net, *source, *eps, cfg, seed)?
+                    approx_sssp_soda20_prepared(net, *source, *eps, cfg, seed, prep)?
                 }
             };
             let guarantee = if out.guaranteed_factor > 1.0 {
@@ -725,9 +773,9 @@ pub fn solve(net: &mut HybridNet<'_>, query: &Query, seed: u64) -> Result<Report
             let resolved = sources.resolve(net.n(), seed);
             let cfg = KsspConfig { xi: *xi };
             let out = match cor {
-                KsspCorollary::Cor46 => kssp_cor46(net, &resolved, *eps, cfg, seed)?,
-                KsspCorollary::Cor47 => kssp_cor47(net, &resolved, *eps, cfg, seed)?,
-                KsspCorollary::Cor48 => kssp_cor48(net, &resolved, *eps, cfg, seed)?,
+                KsspCorollary::Cor46 => kssp_cor46_prepared(net, &resolved, *eps, cfg, seed, prep)?,
+                KsspCorollary::Cor47 => kssp_cor47_prepared(net, &resolved, *eps, cfg, seed, prep)?,
+                KsspCorollary::Cor48 => kssp_cor48_prepared(net, &resolved, *eps, cfg, seed, prep)?,
             };
             let unweighted = net.graph().max_weight() == 1;
             let factor = out.guaranteed_factor(unweighted);
@@ -746,8 +794,8 @@ pub fn solve(net: &mut HybridNet<'_>, query: &Query, seed: u64) -> Result<Report
         Query::Diameter { cor, eps, xi } => {
             let cfg = DiameterConfig { xi: *xi };
             let out = match cor {
-                DiameterCorollary::Cor52 => diameter_cor52(net, *eps, cfg, seed)?,
-                DiameterCorollary::Cor53 => diameter_cor53(net, *eps, cfg, seed)?,
+                DiameterCorollary::Cor52 => diameter_cor52_prepared(net, *eps, cfg, seed, prep)?,
+                DiameterCorollary::Cor53 => diameter_cor53_prepared(net, *eps, cfg, seed, prep)?,
             };
             let factor = out.guaranteed_factor();
             Report {

@@ -16,7 +16,8 @@ use hybrid_graph::{Distance, NodeId, INFINITY};
 use hybrid_sim::HybridNet;
 
 use crate::error::HybridError;
-use crate::ksssp::{kssp_framework, KsspConfig, KsspOutcome};
+use crate::ksssp::{kssp_framework_prepared, KsspConfig, KsspOutcome};
+use crate::prepare::Prep;
 
 /// Configuration of the SSSP runs — its own parameter set, no longer borrowed
 /// from the k-SSP framework config.
@@ -77,8 +78,19 @@ pub fn exact_sssp(
     cfg: SsspConfig,
     seed: u64,
 ) -> Result<SsspOutcome, HybridError> {
+    exact_sssp_prepared(net, source, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn exact_sssp_prepared(
+    net: &mut HybridNet<'_>,
+    source: NodeId,
+    cfg: SsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<SsspOutcome, HybridError> {
     let alg = DeclaredKssp::exact_sssp();
-    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg.framework(), seed)?;
+    let out: KsspOutcome =
+        kssp_framework_prepared(net, &alg, &[source], cfg.framework(), seed, prep)?;
     Ok(SsspOutcome {
         source,
         dist: out.est.into_iter().next().expect("one source row"),
@@ -107,6 +119,17 @@ pub fn approx_sssp_soda20(
     cfg: SsspConfig,
     seed: u64,
 ) -> Result<SsspOutcome, HybridError> {
+    approx_sssp_soda20_prepared(net, source, eps, cfg, seed, Prep::Cold)
+}
+
+pub(crate) fn approx_sssp_soda20_prepared(
+    net: &mut HybridNet<'_>,
+    source: NodeId,
+    eps: f64,
+    cfg: SsspConfig,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<SsspOutcome, HybridError> {
     assert!(eps > 0.0);
     let alg = clique_sim::declared::DeclaredKssp::custom(
         "AHKSS20-BCC-SSSP",
@@ -117,7 +140,8 @@ pub fn approx_sssp_soda20(
         clique_sim::Beta::Zero,
         Some(hybrid_sim::derive_seed(seed, 0xBCC)),
     );
-    let out: KsspOutcome = kssp_framework(net, &alg, &[source], cfg.framework(), seed)?;
+    let out: KsspOutcome =
+        kssp_framework_prepared(net, &alg, &[source], cfg.framework(), seed, prep)?;
     let factor = out.guaranteed_factor(false);
     Ok(SsspOutcome {
         source,

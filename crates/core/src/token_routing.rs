@@ -302,24 +302,27 @@ impl RoutingSession {
         // Sender side: token j of sender s (sorted by label) goes to helper
         // hs[s][j mod |H_s|]. One sort by label groups the batch by sender
         // *and* orders each sender's tokens — no per-sender map or re-sort.
+        // The labels are copied out first (they feed the receiver side), so
+        // the tokens themselves *move* to their helpers instead of being
+        // cloned — payloads are never duplicated.
         routable.sort_by_key(|t| t.label);
+        let mut rlabels: Vec<TokenLabel> = routable.iter().map(|t| t.label).collect();
         let mut helper_tokens: Vec<Vec<Token<T>>> = (0..n).map(|_| Vec::new()).collect();
         {
-            let mut i = 0;
-            while i < routable.len() {
-                let s = routable[i].label.s;
-                let h = self.hs.helpers(s);
-                let mut j = i;
-                while j < routable.len() && routable[j].label.s == s {
-                    helper_tokens[h[(j - i) % h.len()].index()].push(routable[j].clone());
-                    j += 1;
+            let mut cur_s: Option<NodeId> = None;
+            let mut j_in_group = 0usize;
+            for t in routable {
+                if cur_s != Some(t.label.s) {
+                    cur_s = Some(t.label.s);
+                    j_in_group = 0;
                 }
-                i = j;
+                let h = self.hs.helpers(t.label.s);
+                helper_tokens[h[j_in_group % h.len()].index()].push(t);
+                j_in_group += 1;
             }
         }
         // Receiver side: expected label j of receiver r goes to helper
         // hr[r][j mod |H'_r|]. Same trick: sort labels by (receiver, label).
-        let mut rlabels: Vec<TokenLabel> = routable.iter().map(|t| t.label).collect();
         rlabels.sort_unstable_by_key(|l| (l.r, *l));
         let mut helper_requests: Vec<Vec<TokenLabel>> = (0..n).map(|_| Vec::new()).collect();
         {
@@ -345,24 +348,32 @@ impl RoutingSession {
             }
         }
         let mut inboxes = net.drain_queues(&format!("{phase}:to-intermediates"), queues)?;
-        // Intermediate stores: per node a label-sorted vector with `Option`al
-        // payloads (binary-search lookup, `take()` on answer) instead of a
-        // hash map per node. Construction and the per-node label sorts are
-        // independent per intermediate — sharded across the round-engine
-        // worker budget.
+        // Intermediate stores: per node a label-sorted arena split into
+        // parallel label/payload arrays (binary-search lookup on the packed
+        // label array, `take()` on answer) — the struct-of-arrays layout
+        // drops the per-entry padding of the former `(label, Option<T>)`
+        // tuples. Construction and the per-node label sorts are independent
+        // per intermediate — sharded across the round-engine worker budget.
         let threads = net.round_threads();
         let shard_stores = par::map_shards_mut(threads, &mut inboxes, |_, shard| {
             shard
                 .iter_mut()
                 .map(|msgs| {
-                    let mut store: Vec<(TokenLabel, Option<T>)> =
-                        msgs.drain(..).map(|(_, t)| (t.label, Some(t.payload))).collect();
-                    store.sort_unstable_by_key(|e| e.0);
+                    let mut tokens: Vec<Token<T>> = msgs.drain(..).map(|(_, t)| t).collect();
+                    tokens.sort_unstable_by_key(|t| t.label);
+                    let mut store = IntermediateStore {
+                        labels: Vec::with_capacity(tokens.len()),
+                        payloads: Vec::with_capacity(tokens.len()),
+                    };
+                    for t in tokens {
+                        store.labels.push(t.label);
+                        store.payloads.push(Some(t.payload));
+                    }
                     store
                 })
                 .collect::<Vec<_>>()
         });
-        let mut intermediate_store: Vec<Vec<(TokenLabel, Option<T>)>> =
+        let mut intermediate_store: Vec<IntermediateStore<T>> =
             shard_stores.into_iter().flatten().collect();
 
         // Algorithm 4 phase B: receiver-helpers request labels; intermediates
@@ -542,6 +553,14 @@ fn finish<T: Send>(threads: usize, delivered: &mut [Vec<Token<T>>]) {
     });
 }
 
+/// One intermediate node's store of tokens awaiting their requests: labels
+/// sorted ascending in one packed array, payloads parallel to them
+/// (struct-of-arrays — no per-entry tuple padding).
+struct IntermediateStore<T> {
+    labels: Vec<TokenLabel>,
+    payloads: Vec<Option<T>>,
+}
+
 /// One shard of the Algorithm 4 answer step: intermediates `start + i` look
 /// up each requested label in their store and enqueue the response. On a
 /// lossless channel a request always follows the token to the same
@@ -552,20 +571,20 @@ fn finish<T: Send>(threads: usize, delivered: &mut [Vec<Token<T>>]) {
 /// messages), so that stays a hard protocol-bug panic.
 fn answer_requests<T>(
     start: usize,
-    stores: &mut [Vec<(TokenLabel, Option<T>)>],
+    stores: &mut [IntermediateStore<T>],
     resps: &mut [std::collections::VecDeque<Envelope<Token<T>>>],
     req_flat: &FlatInboxes<TokenLabel>,
 ) -> Result<(), HybridError> {
     for (i, (store, resp)) in stores.iter_mut().zip(resps.iter_mut()).enumerate() {
         let mid = start + i;
         for &(requester, lab) in req_flat.node(mid) {
-            let idx = store.binary_search_by_key(&lab, |e| e.0).map_err(|_| {
+            let idx = store.labels.binary_search(&lab).map_err(|_| {
                 HybridError::InvariantViolation(format!(
                     "request from {requester} reached intermediate {mid} \
                          but the matching token never did (message lost?)"
                 ))
             })?;
-            let payload = store[idx].1.take().expect("token answered once");
+            let payload = store.payloads[idx].take().expect("token answered once");
             resp.push_back(Envelope::new(
                 NodeId::new(mid),
                 requester,

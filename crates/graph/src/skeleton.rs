@@ -11,8 +11,6 @@
 //! * `S` is connected and **distance preserving**: `d_S(u,v) = d_G(u,v)` for all
 //!   skeleton pairs (w.h.p.).
 
-use std::collections::HashMap;
-
 use rand::Rng;
 
 use crate::apsp::{apsp, DistanceMatrix};
@@ -59,13 +57,18 @@ impl SkeletonParams {
     }
 }
 
+/// Sentinel of the flat global→local index: the node was not sampled.
+const NOT_SAMPLED: u32 = u32::MAX;
+
 /// A constructed skeleton graph, with the bookkeeping the paper's algorithms need.
 #[derive(Debug, Clone)]
 pub struct Skeleton {
     /// The sampled nodes (sorted by ID). Index into this vector = skeleton-local ID.
     nodes: Vec<NodeId>,
-    /// Maps a global node to its skeleton-local index.
-    index: HashMap<NodeId, usize>,
+    /// Maps a global node to its skeleton-local index — a flat array over the
+    /// dense ID space (`NOT_SAMPLED` for unsampled nodes), 4 bytes per node
+    /// instead of a hash map entry.
+    index: Vec<u32>,
     /// Hop budget `h` of skeleton edges.
     h: usize,
     /// The skeleton graph over local indices `0..|V_S|`.
@@ -114,9 +117,11 @@ impl Skeleton {
     /// Propagates [`GraphError`] from skeleton-graph construction.
     pub fn from_nodes(g: &Graph, nodes: Vec<NodeId>, h: usize) -> Result<Self, GraphError> {
         assert!(!nodes.is_empty(), "skeleton needs at least one node");
-        let index: HashMap<NodeId, usize> =
-            nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        assert_eq!(index.len(), nodes.len(), "skeleton nodes must be distinct");
+        let mut index = vec![NOT_SAMPLED; g.len()];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(index[v.index()], NOT_SAMPLED, "skeleton nodes must be distinct");
+            index[v.index()] = i as u32;
+        }
         let gn = g.len();
         let mut dh = Vec::with_capacity(nodes.len() * gn);
         for &s in &nodes {
@@ -162,7 +167,10 @@ impl Skeleton {
 
     /// Skeleton-local index of a global node, if sampled.
     pub fn local_index(&self, v: NodeId) -> Option<usize> {
-        self.index.get(&v).copied()
+        match self.index[v.index()] {
+            NOT_SAMPLED => None,
+            i => Some(i as usize),
+        }
     }
 
     /// Global node of a skeleton-local index.
@@ -172,7 +180,7 @@ impl Skeleton {
 
     /// Whether `v` was sampled into the skeleton.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.index.contains_key(&v)
+        self.index[v.index()] != NOT_SAMPLED
     }
 
     /// `d_h(s, v)` for skeleton node with local index `s_local` and any `v ∈ V`.

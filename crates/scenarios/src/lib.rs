@@ -38,5 +38,7 @@ pub mod workloads;
 pub use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query, QueryError};
 pub use model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
 pub use registry::{all_tags, by_tag, find, registry};
-pub use runner::{run_scenario, run_scenarios, ScenarioReport};
+pub use runner::{
+    run_scenario, run_scenario_with, run_scenarios, run_scenarios_with, Engine, ScenarioReport,
+};
 pub use verify::{check_report, Verdict, Verification};

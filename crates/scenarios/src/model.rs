@@ -236,15 +236,16 @@ impl FaultPlan {
         }
     }
 
-    /// Installs the simulator-level part of the plan on `net`.
-    pub fn install(&self, net: &mut HybridNet<'_>, seed: u64) {
-        let plan = match *self {
-            FaultPlan::None | FaultPlan::Degraded { .. } => return,
+    /// The simulator-level [`hybrid_sim::FaultPlan`] this plan implies for a
+    /// network of `n` nodes (`None` for lossless regimes) — shared by
+    /// [`FaultPlan::install`] and the session path of the runner.
+    pub fn sim_plan(&self, n: usize, seed: u64) -> Option<hybrid_sim::FaultPlan> {
+        match *self {
+            FaultPlan::None | FaultPlan::Degraded { .. } => None,
             FaultPlan::DropGlobal { prob } => {
-                hybrid_sim::FaultPlan::drops(prob, derive_seed(seed, 0xFA17))
+                Some(hybrid_sim::FaultPlan::drops(prob, derive_seed(seed, 0xFA17)))
             }
             FaultPlan::CrashNodes { count, at_round } => {
-                let n = net.n();
                 let mut crashes = Vec::with_capacity(count);
                 let mut salt = 0u64;
                 while crashes.len() < count.min(n.saturating_sub(1)) {
@@ -256,10 +257,16 @@ impl FaultPlan {
                         crashes.push(Crash { node: NodeId::new(v), at_round });
                     }
                 }
-                hybrid_sim::FaultPlan::node_crashes(crashes)
+                Some(hybrid_sim::FaultPlan::node_crashes(crashes))
             }
-        };
-        net.inject_faults(&plan).expect("registry fault plans are valid");
+        }
+    }
+
+    /// Installs the simulator-level part of the plan on `net`.
+    pub fn install(&self, net: &mut HybridNet<'_>, seed: u64) {
+        if let Some(plan) = self.sim_plan(net.n(), seed) {
+            net.inject_faults(&plan).expect("registry fault plans are valid");
+        }
     }
 }
 
@@ -348,6 +355,19 @@ impl AlgorithmSuite {
     /// Short label for tables and JSON records — the canonical query label.
     pub fn label(&self) -> &'static str {
         self.query().label()
+    }
+
+    /// The skeleton constant ξ this suite runs under — what a serving
+    /// [`hybrid_core::session::Session`] over the scenario's graph must be
+    /// pinned to.
+    pub fn xi(&self) -> f64 {
+        match *self {
+            AlgorithmSuite::Apsp { xi }
+            | AlgorithmSuite::ApspSoda20 { xi }
+            | AlgorithmSuite::Sssp { xi }
+            | AlgorithmSuite::Kssp { xi, .. }
+            | AlgorithmSuite::Diameter { xi, .. } => xi,
+        }
     }
 }
 

@@ -12,11 +12,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use hybrid_core::session::{Session, SessionConfig};
 use hybrid_core::solver::solve;
 use hybrid_graph::Graph;
 
 use crate::model::Scenario;
 use crate::verify::{check_error, check_report, Verdict, Verification};
+
+/// How the runner executes a scenario's suite: a fresh `solve` per run (the
+/// historical path) or through a shared-preprocessing serving
+/// [`Session`] pinned to the scenario's `(seed, ξ, faults)`. Both paths are
+/// bit-identical per the session contract; running the smoke matrix under
+/// both is the CI guard for that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One cold `solve` per scenario run.
+    #[default]
+    Fresh,
+    /// Serve the suite through a [`hybrid_core::session::Session`].
+    Session,
+}
 
 /// Structured result of one scenario run — what the JSON sink and the tables
 /// consume.
@@ -86,18 +101,60 @@ fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (
     }
 }
 
-/// Runs one scenario at size ≈ `n`: builds the graph, wires the fault plan,
-/// executes the suite, and verifies against ground truth. Panics inside the
-/// algorithm are caught and reported as [`Verdict::Fail`] — a fault plan must
-/// surface as a structured error, never a crash.
+/// Executes the suite through a serving [`Session`] pinned to the scenario's
+/// `(seed, ξ, network, faults)` — the alternate engine whose reports must be
+/// bit-identical to [`run_suite`]'s.
+fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64) {
+    let lossy = sc.faults.is_lossy();
+    let cfg = SessionConfig {
+        seed: sc.seed,
+        xi: sc.suite.xi(),
+        net: sc.faults.config(),
+        faults: sc.faults.sim_plan(g.len(), sc.seed),
+        round_threads: None,
+    };
+    let session = Session::new(g, cfg).expect("registry scenario configs are valid");
+    let (result, metrics) = session.solve_with_metrics(&sc.suite.query());
+    match result {
+        Ok(report) => (
+            report.rounds,
+            check_report(g, &report, lossy),
+            metrics.global_messages,
+            metrics.dropped_messages,
+        ),
+        Err(e) => (
+            metrics.rounds,
+            check_error(&e, lossy, metrics.dropped_messages),
+            metrics.global_messages,
+            metrics.dropped_messages,
+        ),
+    }
+}
+
+/// Runs one scenario at size ≈ `n` (the [`Engine::Fresh`] path); see
+/// [`run_scenario_with`].
 pub fn run_scenario(sc: &Scenario, n: usize) -> ScenarioReport {
+    run_scenario_with(sc, n, Engine::Fresh)
+}
+
+/// Runs one scenario at size ≈ `n` under the chosen engine: builds the
+/// graph, wires the fault plan, executes the suite, and verifies against
+/// ground truth. Panics inside the algorithm are caught and reported as
+/// [`Verdict::Fail`] — a fault plan must surface as a structured error,
+/// never a crash.
+pub fn run_scenario_with(sc: &Scenario, n: usize, engine: Engine) -> ScenarioReport {
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let g = sc.graph(n);
-        let mut net = sc.net(&g);
-        let (rounds, verification) = run_suite(sc, &g, &mut net);
-        let m = net.metrics();
-        (rounds, verification, m.global_messages, m.dropped_messages)
+        match engine {
+            Engine::Fresh => {
+                let mut net = sc.net(&g);
+                let (rounds, verification) = run_suite(sc, &g, &mut net);
+                let m = net.metrics();
+                (rounds, verification, m.global_messages, m.dropped_messages)
+            }
+            Engine::Session => run_suite_session(sc, &g),
+        }
     }));
     let (rounds, verification, global_messages, dropped_messages) = match result {
         Ok(r) => r,
@@ -138,9 +195,16 @@ fn worker_count(jobs: usize) -> usize {
 }
 
 /// Runs every scenario in `batch` at size ≈ `n` on scoped worker threads and
-/// returns the reports in input order. Independent scenarios never share
-/// state, so the output is identical to running them sequentially.
+/// returns the reports in input order (the [`Engine::Fresh`] path).
 pub fn run_scenarios(batch: &[&Scenario], n: usize) -> Vec<ScenarioReport> {
+    run_scenarios_with(batch, n, Engine::Fresh)
+}
+
+/// Runs every scenario in `batch` at size ≈ `n` under the chosen engine on
+/// scoped worker threads and returns the reports in input order. Independent
+/// scenarios never share state, so the output is identical to running them
+/// sequentially.
+pub fn run_scenarios_with(batch: &[&Scenario], n: usize, engine: Engine) -> Vec<ScenarioReport> {
     let jobs = batch.len();
     if jobs == 0 {
         return Vec::new();
@@ -148,7 +212,7 @@ pub fn run_scenarios(batch: &[&Scenario], n: usize) -> Vec<ScenarioReport> {
     let threads = worker_count(jobs);
     let reports: Vec<Mutex<Option<ScenarioReport>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     if threads <= 1 {
-        return batch.iter().map(|sc| run_scenario(sc, n)).collect();
+        return batch.iter().map(|sc| run_scenario_with(sc, n, engine)).collect();
     }
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -158,7 +222,7 @@ pub fn run_scenarios(batch: &[&Scenario], n: usize) -> Vec<ScenarioReport> {
                 if i >= jobs {
                     break;
                 }
-                let report = run_scenario(batch[i], n);
+                let report = run_scenario_with(batch[i], n, engine);
                 *reports[i].lock().expect("no poisoned slots") = Some(report);
             });
         }
@@ -216,6 +280,24 @@ mod tests {
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.deterministic_key(), s.deterministic_key());
             assert!(p.passed(), "{}: {}", p.scenario, p.detail);
+        }
+    }
+
+    #[test]
+    fn session_engine_matches_fresh_engine() {
+        let scenarios = [
+            tiny("t-apsp", AlgorithmSuite::Apsp { xi: 1.5 }),
+            tiny("t-sssp", AlgorithmSuite::Sssp { xi: 1.5 }),
+            tiny(
+                "t-diam",
+                AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.0 },
+            ),
+        ];
+        for sc in &scenarios {
+            let fresh = run_scenario_with(sc, 36, Engine::Fresh);
+            let session = run_scenario_with(sc, 36, Engine::Session);
+            assert_eq!(fresh.deterministic_key(), session.deterministic_key(), "{}", sc.name);
+            assert!(session.passed(), "{}: {}", session.scenario, session.detail);
         }
     }
 

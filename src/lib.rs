@@ -18,35 +18,48 @@
 //! The front door to all of the paper's algorithms is the [`solver`] facade:
 //! describe *what* to compute as a typed, validated [`Query`], run it with
 //! [`solve`], and read the answer plus its paper-level contract off the
-//! uniform [`Report`].
+//! uniform [`Report`]. For serving many queries on one graph, open a
+//! [`Session`] instead — it runs the shared preprocessing (skeleton
+//! sampling, skeleton distances, nearby-skeleton knowledge) once and answers
+//! every query bit-identically to a fresh `solve`, several times faster on
+//! mixed batches.
 //!
 //! # Example
 //!
 //! ```
 //! use hybrid_shortest_paths::graph::generators::grid;
 //! use hybrid_shortest_paths::graph::NodeId;
-//! use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
-//! use hybrid_shortest_paths::{solve, Guarantee, Query};
+//! use hybrid_shortest_paths::{Guarantee, Query, Session, SessionConfig};
 //!
-//! // A 6×6 grid fabric, simulated under the HYBRID model.
+//! // A 6×6 grid fabric, served under the HYBRID model from one session
+//! // (seed 7, ξ = 1.5): the shared preprocessing is computed once.
 //! let g = grid(6, 6, 1).unwrap();
-//! let mut net = HybridNet::new(&g, HybridConfig::default());
+//! let session = Session::new(&g, SessionConfig::new(7)).unwrap();
 //!
 //! // Exact APSP (Theorem 1.1), validated at construction.
 //! let query = Query::apsp().xi(1.5).build().unwrap();
-//! let report = solve(&mut net, &query, 7).unwrap();
+//! let report = session.solve(&query).unwrap();
 //!
 //! assert_eq!(report.label(), "apsp-thm11");
 //! assert_eq!(report.guarantee, Guarantee::Exact);
 //! let dist = report.distances().expect("APSP answers with a matrix");
 //! assert_eq!(dist.get(NodeId::new(0), NodeId::new(35)), 10, "corner to corner");
 //! assert!(report.rounds > 0 && report.global_messages > 0);
+//!
+//! // Later queries on the same graph reuse the prepared artifacts; repeats
+//! // are served from the report memo — answers stay bit-identical to a
+//! // fresh `solve(&mut net, &query, 7)`.
+//! let again = session.solve(&query).unwrap();
+//! assert_eq!(again.rounds, report.rounds);
+//! assert_eq!(session.stats().report_hits, 1);
 //! ```
 
 #![warn(missing_docs)]
 
 pub use clique_sim as clique;
 pub use hybrid_core as core;
+pub use hybrid_core::session;
+pub use hybrid_core::session::{Session, SessionConfig, SessionStats};
 pub use hybrid_core::solver;
 pub use hybrid_core::solver::{
     solve, Answer, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, QueryError,
