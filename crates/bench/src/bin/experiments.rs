@@ -15,8 +15,10 @@
 //!
 //! * `--list` prints the scenario registry (names, tags, families, faults).
 //! * `--smoke` runs the full registry (or the `--filter <tag>` subset) at
-//!   tiny `n` with golden verification and exits non-zero on any `fail` —
-//!   the CI gate. With `--json` it also writes `BENCH_scenarios.json`.
+//!   tiny `n` with golden verification, then the chaos recovery sweep
+//!   (every `chaos-*` scenario next to its fault-free twin), and exits
+//!   non-zero on any `fail` — the CI gate. With `--json` it also writes
+//!   `BENCH_scenarios.json` and `BENCH_chaos.json`.
 //! * `--via-session` makes `--smoke` execute every suite through a serving
 //!   `Session` instead of a cold `solve` — the CI guard that the session
 //!   path answers bit-identically under golden verification.
@@ -25,7 +27,8 @@
 //!   n = 3200 with sampled verification.
 //! * `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
 //!   and the sequential reference) and writes `BENCH_apsp.json`, plus the
-//!   mixed-batch serving sweep into `BENCH_throughput.json`.
+//!   mixed-batch serving sweep into `BENCH_throughput.json` and the chaos
+//!   recovery sweep into `BENCH_chaos.json`.
 
 use hybrid_bench::experiments as ex;
 use hybrid_bench::{json, Scale};
@@ -121,11 +124,24 @@ fn main() {
             std::fs::write("BENCH_scenarios.json", &doc).expect("write BENCH_scenarios.json");
             eprintln!("wrote BENCH_scenarios.json");
         }
-        if failures > 0 {
-            eprintln!("{failures} scenario(s) FAILED verification");
+        // The chaos recovery sweep rides every smoke run: each chaos-*
+        // scenario next to its fault-free twin, gated on the must-recover
+        // verdict like the matrix above.
+        eprintln!("running chaos recovery sweep...");
+        let chaos = ex::bench_chaos_records(Scale::Small);
+        let chaos_failures = chaos.iter().filter(|r| r.verdict.as_deref() != Some("pass")).count();
+        if emit_json {
+            let doc = json::render_with_schema(json::SCHEMA_CHAOS, "small", &chaos);
+            std::fs::write("BENCH_chaos.json", &doc).expect("write BENCH_chaos.json");
+            eprintln!("wrote BENCH_chaos.json");
+        }
+        if failures + chaos_failures > 0 {
+            eprintln!(
+                "{failures} scenario(s) and {chaos_failures} chaos sweep run(s) FAILED verification"
+            );
             std::process::exit(1);
         }
-        eprintln!("all scenarios passed golden verification");
+        eprintln!("all scenarios passed golden verification (chaos recovery included)");
         return;
     }
 
@@ -179,6 +195,13 @@ fn main() {
         let doc = json::render_with_schema(json::SCHEMA_THROUGHPUT, scale_name, &records);
         let path = "BENCH_throughput.json";
         std::fs::write(path, &doc).expect("write BENCH_throughput.json");
+        eprintln!("wrote {path}:");
+        print!("{doc}");
+        eprintln!("running chaos recovery sweep for BENCH_chaos.json...");
+        let records = ex::bench_chaos_records(scale);
+        let doc = json::render_with_schema(json::SCHEMA_CHAOS, scale_name, &records);
+        let path = "BENCH_chaos.json";
+        std::fs::write(path, &doc).expect("write BENCH_chaos.json");
         eprintln!("wrote {path}:");
         print!("{doc}");
     }

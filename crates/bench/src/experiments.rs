@@ -22,7 +22,9 @@ use hybrid_graph::generators::{cycle, grid, path_with_heavy_hub};
 use hybrid_graph::skeleton::{count_coverage_violations, count_distance_violations};
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
 use hybrid_scenarios::workloads::{er, random_nodes};
-use hybrid_scenarios::{registry, run_scenarios_with, Engine, Scenario, ScenarioReport};
+use hybrid_scenarios::{
+    registry, run_scenario_with, run_scenarios_with, Engine, FaultPlan, Scenario, ScenarioReport,
+};
 use hybrid_sim::{HybridConfig, HybridNet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -806,6 +808,30 @@ pub fn bench_throughput_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     records
 }
 
+/// Chaos recovery sweep for `BENCH_chaos.json` (schema
+/// [`crate::json::SCHEMA_CHAOS`]): every `chaos-*` registry scenario runs
+/// twice — once under its fault plan and once as a fault-free twin on the
+/// same graph, seed, and suite — and each record carries both runs, so the
+/// renderer can report the recovery overhead in simulated rounds and
+/// wall-clock time. The chaos run's golden-verification verdict rides along;
+/// a non-`pass` verdict is a recovery-contract regression.
+pub fn bench_chaos_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use crate::json::BenchRecord;
+    let mut records = Vec::new();
+    for sc in hybrid_scenarios::by_tag("chaos") {
+        let n = match scale {
+            Scale::Small => SMOKE_N,
+            Scale::Full | Scale::Large => sc.default_n,
+        };
+        let healthy_twin = Scenario { faults: FaultPlan::None, ..*sc };
+        let healthy = run_scenario_with(&healthy_twin, n, Engine::Fresh);
+        let chaos = run_scenario_with(sc, n, Engine::Fresh);
+        records
+            .push(BenchRecord::from_scenario(&chaos).with_healthy(healthy.rounds, healthy.wall_ns));
+    }
+    records
+}
+
 /// Node count for smoke-scale scenario runs (tiny-n full-matrix).
 pub const SMOKE_N: usize = 48;
 
@@ -972,6 +998,27 @@ mod tests {
         // The ratio assertion itself lives in tests/session_equivalence.rs;
         // here the sweep must at least show amortization, not regression.
         assert!(session.amortized_ratio.expect("ratio") > 1.0);
+    }
+
+    #[test]
+    fn chaos_records_measure_recovery_overhead() {
+        let records = bench_chaos_records(Scale::Small);
+        assert_eq!(records.len(), hybrid_scenarios::by_tag("chaos").len());
+        for r in &records {
+            let name = r.scenario.as_deref().expect("scenario name");
+            assert!(name.starts_with("chaos-"), "{name}");
+            assert_eq!(r.verdict.as_deref(), Some("pass"), "{name} regressed recovery");
+            let healthy = r.healthy_rounds.expect("healthy twin rounds");
+            assert!(healthy > 0, "{name}: twin must do work");
+            assert!(
+                r.rounds >= healthy,
+                "{name}: recovery is charged, never discounted ({} < {healthy})",
+                r.rounds
+            );
+            assert!(r.healthy_wall_ns.expect("twin wall clock") > 0);
+        }
+        // At least one chaos scenario must actually pay a recovery premium.
+        assert!(records.iter().any(|r| r.rounds > r.healthy_rounds.unwrap()));
     }
 
     #[test]

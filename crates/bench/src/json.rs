@@ -55,6 +55,10 @@ pub struct BenchRecord {
     /// Amortized-vs-cold wall-clock ratio (cold / session), for throughput
     /// records.
     pub amortized_ratio: Option<f64>,
+    /// Simulated rounds of the fault-free twin run, for chaos records.
+    pub healthy_rounds: Option<u64>,
+    /// Wall-clock nanoseconds of the fault-free twin run, for chaos records.
+    pub healthy_wall_ns: Option<u128>,
 }
 
 impl BenchRecord {
@@ -119,6 +123,15 @@ impl BenchRecord {
         self
     }
 
+    /// Attaches the fault-free twin's rounds and wall clock (builder-style);
+    /// the renderer derives the recovery-overhead ratios from them.
+    #[must_use]
+    pub fn with_healthy(mut self, rounds: u64, wall_ns: u128) -> Self {
+        self.healthy_rounds = Some(rounds);
+        self.healthy_wall_ns = Some(wall_ns);
+        self
+    }
+
     /// Converts a scenario-engine report into a record carrying the scenario
     /// name, seed, and verification verdict.
     pub fn from_scenario(r: &ScenarioReport) -> Self {
@@ -149,6 +162,11 @@ pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v1";
 /// for a mixed-query batch on one graph, with queries/sec and the
 /// amortized-vs-cold ratio.
 pub const SCHEMA_THROUGHPUT: &str = "hybrid-bench/throughput-v1";
+
+/// Schema tag of the chaos recovery sweep: every `chaos-*` registry scenario
+/// next to its fault-free twin, with the recovery overhead in simulated
+/// rounds and wall-clock time.
+pub const SCHEMA_CHAOS: &str = "hybrid-bench/chaos-v1";
 
 /// Best-effort peak resident-set size of this process in bytes, read from
 /// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
@@ -203,6 +221,15 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
         }
         if let Some(ratio) = r.amortized_ratio {
             let _ = write!(line, ", \"amortized_vs_cold\": {ratio:.3}");
+        }
+        if let (Some(hr), Some(hw)) = (r.healthy_rounds, r.healthy_wall_ns) {
+            let _ = write!(line, ", \"healthy_rounds\": {hr}, \"healthy_wall_ns\": {hw}");
+            let _ = write!(
+                line,
+                ", \"rounds_overhead\": {:.3}, \"wall_overhead\": {:.3}",
+                r.rounds as f64 / hr.max(1) as f64,
+                r.wall_ns as f64 / hw.max(1) as f64
+            );
         }
         if let Some(rss) = r.peak_rss_bytes {
             let _ = write!(line, ", \"peak_rss_bytes\": {rss}");
@@ -287,6 +314,26 @@ mod tests {
         assert!(s.contains("\"batch\": 32"));
         assert!(s.contains("\"qps\": 512.500"));
         assert!(s.contains("\"amortized_vs_cold\": 3.750"));
+    }
+
+    #[test]
+    fn chaos_records_render_overhead_ratios() {
+        let r = BenchRecord {
+            bench: "apsp".into(),
+            n: 48,
+            wall_ns: 3000,
+            rounds: 90,
+            scenario: Some("chaos-drop-p30-apsp".into()),
+            verdict: Some("pass".into()),
+            ..BenchRecord::default()
+        }
+        .with_healthy(60, 1000);
+        let s = render_with_schema(SCHEMA_CHAOS, "small", &[r]);
+        assert!(s.contains("\"schema\": \"hybrid-bench/chaos-v1\""));
+        assert!(s.contains("\"healthy_rounds\": 60"));
+        assert!(s.contains("\"healthy_wall_ns\": 1000"));
+        assert!(s.contains("\"rounds_overhead\": 1.500"));
+        assert!(s.contains("\"wall_overhead\": 3.000"));
     }
 
     #[test]

@@ -182,7 +182,7 @@ impl<'g> Session<'g> {
     pub fn new(graph: &'g Graph, cfg: SessionConfig) -> Result<Self, HybridError> {
         cfg.net.validate().map_err(HybridError::Sim)?;
         if let Some(plan) = &cfg.faults {
-            plan.validate().map_err(HybridError::Sim)?;
+            plan.validate_for(graph.len()).map_err(HybridError::Sim)?;
         }
         if !(cfg.xi > 0.0 && cfg.xi.is_finite()) {
             return Err(HybridError::Query(QueryError::NonPositiveXi { xi: cfg.xi }));

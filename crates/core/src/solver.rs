@@ -569,6 +569,27 @@ pub enum Answer {
     },
 }
 
+/// Why a run's guarantee was downgraded (see [`Guarantee::Degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The reliable layer detected crashed nodes (global messages were
+    /// suppressed), so the requested protocol's answer could silently miss
+    /// their contributions.
+    CrashDetected,
+    /// The requested protocol aborted with a structured error while a fault
+    /// plan was installed.
+    ProtocolFault,
+}
+
+impl fmt::Display for DegradeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeCause::CrashDetected => write!(f, "crash detected"),
+            DegradeCause::ProtocolFault => write!(f, "protocol fault"),
+        }
+    }
+}
+
 /// The paper-level contract a [`Report`]'s answer carries — what a
 /// verification layer may assume without re-deriving per-algorithm math.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -588,22 +609,40 @@ pub enum Guarantee {
         /// The guaranteed approximation factor.
         factor: f64,
     },
+    /// The requested algorithm could not be trusted under the installed fault
+    /// plan (a crash was detected, or the protocol aborted), so the solver
+    /// fell back to a LOCAL-mode algorithm — which needs no global channel
+    /// and therefore answers *exactly* on the full local graph. The downgrade
+    /// is recorded here explicitly; an answer is never changed silently.
+    Degraded {
+        /// Canonical label of the requested algorithm.
+        from: &'static str,
+        /// Canonical label of the fallback that produced the answer.
+        to: &'static str,
+        /// Why the downgrade happened.
+        cause: DegradeCause,
+    },
 }
 
 impl Guarantee {
     /// `true` for [`Guarantee::Exact`] (and factor-1 approximations).
+    /// [`Guarantee::Degraded`] answers are exact too, but report `false`
+    /// here: they carry a distinct contract the caller must acknowledge.
     pub fn is_exact(&self) -> bool {
         match self {
             Guarantee::Exact => true,
             Guarantee::Stretch { factor } | Guarantee::DiameterFactor { factor } => *factor <= 1.0,
+            Guarantee::Degraded { .. } => false,
         }
     }
 
-    /// The guaranteed worst-case ratio against ground truth (1 for exact).
+    /// The guaranteed worst-case ratio against ground truth (1 for exact;
+    /// also 1 for [`Guarantee::Degraded`] — the LOCAL fallbacks are exact).
     pub fn factor(&self) -> f64 {
         match self {
             Guarantee::Exact => 1.0,
             Guarantee::Stretch { factor } | Guarantee::DiameterFactor { factor } => *factor,
+            Guarantee::Degraded { .. } => 1.0,
         }
     }
 }
@@ -720,9 +759,47 @@ pub(crate) fn solve_inner(
     prep: Prep<'_>,
 ) -> Result<Report, HybridError> {
     query.validate().map_err(HybridError::Query)?;
+    let faulty = net.has_faults();
+    if faulty {
+        // A non-trivial fault plan routes every protocol phase through the
+        // reliable ack/retransmission layer: lost messages are recovered
+        // (paying extra rounds), crashed nodes are detected and declared
+        // dead instead of silently starving the protocol.
+        net.set_reliable(true);
+    }
+    let rounds_before = net.metrics().rounds;
     let messages_before = net.metrics().global_messages;
     let dropped_before = net.metrics().dropped_messages;
-    let mut report = match query {
+    let suppressed_before = net.metrics().suppressed_by_crash;
+    let primary = run_query(net, query, seed, prep);
+    // Crash impact: the reliable layer suppressed messages to/from crashed
+    // nodes during this solve, so the primary answer may silently miss their
+    // contributions — even if the protocol "completed".
+    let crash_hit = faulty && net.metrics().suppressed_by_crash > suppressed_before;
+    let mut report = match primary {
+        Ok(report) if !crash_hit => report,
+        Ok(_) => degraded_report(net, query, seed, DegradeCause::CrashDetected, rounds_before),
+        Err(err) if !faulty => return Err(err),
+        Err(_) => {
+            let cause =
+                if crash_hit { DegradeCause::CrashDetected } else { DegradeCause::ProtocolFault };
+            degraded_report(net, query, seed, cause, rounds_before)
+        }
+    };
+    report.global_messages = net.metrics().global_messages - messages_before;
+    report.dropped_messages = net.metrics().dropped_messages - dropped_before;
+    Ok(report)
+}
+
+/// The single dispatch from a [`Query`] to the underlying paper algorithm.
+/// Message/drop accounting is filled in by [`solve_inner`] afterwards.
+fn run_query(
+    net: &mut HybridNet<'_>,
+    query: &Query,
+    seed: u64,
+    prep: Prep<'_>,
+) -> Result<Report, HybridError> {
+    let report = match query {
         Query::Apsp { variant, xi } => {
             let out = match variant {
                 ApspVariant::Thm11 => exact_apsp_prepared(net, ApspConfig { xi: *xi }, seed, prep)?,
@@ -811,9 +888,93 @@ pub(crate) fn solve_inner(
             }
         }
     };
-    report.global_messages = net.metrics().global_messages - messages_before;
-    report.dropped_messages = net.metrics().dropped_messages - dropped_before;
     Ok(report)
+}
+
+/// Runs the LOCAL-mode fallback for `query` on the (still faulty) net and
+/// wraps the answer in a [`Guarantee::Degraded`] report.
+///
+/// LOCAL-mode algorithms use only the local edge channel, which the fault
+/// plan never touches, so the fallback cannot fail and its distances are
+/// exact on the full graph. `rounds` is the round-clock delta since the
+/// solve started — the failed primary attempt (including every
+/// retransmission wave) stays on the bill; recovery is charged, never
+/// discounted.
+fn degraded_report(
+    net: &mut HybridNet<'_>,
+    query: &Query,
+    seed: u64,
+    cause: DegradeCause,
+    rounds_before: u64,
+) -> Report {
+    let from = query.label();
+    let (answer, to, skeleton_size, h, coverage_fallbacks) = match query {
+        Query::Apsp { .. } => {
+            let out = apsp_local_only(net);
+            (
+                Answer::Distances(out.dist),
+                "apsp-local-flood",
+                out.skeleton_size,
+                out.h,
+                out.coverage_fallbacks,
+            )
+        }
+        Query::Sssp { source, .. } => {
+            let out = sssp_local_bellman_ford(net, *source);
+            (
+                Answer::DistanceRow { source: out.source, dist: out.dist },
+                "sssp-local-bf",
+                out.skeleton_size,
+                out.h,
+                0,
+            )
+        }
+        Query::Kssp { sources, .. } => {
+            let resolved = sources.resolve(net.n(), seed);
+            let out = apsp_local_only(net);
+            let est: Vec<Vec<Distance>> = resolved
+                .iter()
+                .map(|&s| net.graph().nodes().map(|v| out.dist.get(s, v)).collect())
+                .collect();
+            (
+                Answer::DistanceRows { sources: resolved, est },
+                "apsp-local-flood",
+                out.skeleton_size,
+                out.h,
+                out.coverage_fallbacks,
+            )
+        }
+        Query::Diameter { .. } => {
+            let out = apsp_local_only(net);
+            let mut estimate: Distance = 0;
+            for u in net.graph().nodes() {
+                for v in net.graph().nodes() {
+                    let d = out.dist.get(u, v);
+                    if d != INFINITY {
+                        estimate = estimate.max(d);
+                    }
+                }
+            }
+            (
+                Answer::Diameter { estimate, exact_local: true },
+                "apsp-local-flood",
+                out.skeleton_size,
+                out.h,
+                out.coverage_fallbacks,
+            )
+        }
+    };
+    Report {
+        query: query.clone(),
+        answer,
+        guarantee: Guarantee::Degraded { from, to, cause },
+        rounds: net.metrics().rounds - rounds_before,
+        global_messages: 0,
+        dropped_messages: 0,
+        skeleton_size,
+        h,
+        coverage_fallbacks,
+    }
 }
 
 #[cfg(test)]
@@ -921,6 +1082,112 @@ mod tests {
         assert_eq!(report.global_messages, net.metrics().global_messages);
         assert_eq!(report.dropped_messages, 0);
         assert!(report.skeleton_size > 0 && report.h > 0);
+    }
+
+    #[test]
+    fn solve_recovers_from_drops_with_an_exact_answer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_connected(40, 0.15, 4, &mut rng).unwrap();
+        let exact = hybrid_graph::apsp::apsp(&g);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&hybrid_sim::FaultPlan::drops(0.25, 99)).unwrap();
+        let report = solve(&mut net, &Query::apsp().build().unwrap(), 11).unwrap();
+        // Reliable delivery recovers every lost message: the answer is the
+        // healthy answer and the guarantee is undowngraded …
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        let m = report.distances().expect("matrix answer");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.get(u, v), exact.get(u, v));
+            }
+        }
+        // … but the recovery work is visible and charged.
+        assert!(report.dropped_messages > 0, "the lossy plan fired");
+        assert!(net.metrics().retransmissions > 0, "losses were retransmitted");
+        assert!(net.metrics().recovered_messages > 0);
+        assert_eq!(net.metrics().declared_dead, 0, "nobody crashed");
+    }
+
+    #[test]
+    fn solve_degrades_explicitly_on_detected_crashes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = erdos_renyi_connected(40, 0.15, 4, &mut rng).unwrap();
+        let exact = hybrid_graph::apsp::apsp(&g);
+        let plan = hybrid_sim::FaultPlan::node_crashes(vec![hybrid_sim::Crash {
+            node: NodeId::new(7),
+            at_round: 0,
+        }]);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&plan).unwrap();
+        let report = solve(&mut net, &Query::apsp().build().unwrap(), 11).unwrap();
+        match report.guarantee {
+            Guarantee::Degraded { from, to, cause } => {
+                assert_eq!(from, "apsp-thm11");
+                assert_eq!(to, "apsp-local-flood");
+                assert_eq!(cause, DegradeCause::CrashDetected);
+            }
+            other => panic!("expected an explicit downgrade, got {other:?}"),
+        }
+        assert!(!report.guarantee.is_exact(), "Degraded is a distinct contract");
+        assert_eq!(report.guarantee.factor(), 1.0, "the LOCAL fallback is exact");
+        // The fallback runs on the untouched local channel: exact distances.
+        let m = report.distances().expect("matrix answer");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.get(u, v), exact.get(u, v));
+            }
+        }
+        assert!(report.dropped_messages > 0, "crash suppressions are accounted");
+        assert!(report.rounds > 0, "the failed attempt plus fallback stay on the bill");
+    }
+
+    #[test]
+    fn degraded_diameter_and_kssp_fall_back_to_local_matrices() {
+        let g = grid(6, 6, 2).unwrap();
+        let exact = hybrid_graph::apsp::apsp(&g);
+        let truth = (0..g.len())
+            .flat_map(|u| (0..g.len()).map(move |v| (u, v)))
+            .map(|(u, v)| exact.get(NodeId::new(u), NodeId::new(v)))
+            .filter(|&d| d != INFINITY)
+            .max()
+            .unwrap();
+        let plan = hybrid_sim::FaultPlan::node_crashes(vec![hybrid_sim::Crash {
+            node: NodeId::new(5),
+            at_round: 0,
+        }]);
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&plan).unwrap();
+        let q = Query::diameter(DiameterCorollary::Cor52).build().unwrap();
+        let report = solve(&mut net, &q, 9).unwrap();
+        assert!(matches!(report.guarantee, Guarantee::Degraded { .. }), "{:?}", report.guarantee);
+        assert_eq!(report.diameter_estimate(), Some(truth));
+
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&plan).unwrap();
+        let q = Query::kssp(KsspCorollary::Cor46)
+            .sources(vec![NodeId::new(0), NodeId::new(8)])
+            .build()
+            .unwrap();
+        let report = solve(&mut net, &q, 9).unwrap();
+        assert!(matches!(report.guarantee, Guarantee::Degraded { .. }), "{:?}", report.guarantee);
+        let (sources, est) = report.distance_rows().expect("rows answer");
+        assert_eq!(sources, &[NodeId::new(0), NodeId::new(8)]);
+        for (s, row) in sources.iter().zip(est) {
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(d, exact.get(*s, NodeId::new(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_without_faults_still_propagate() {
+        // A hand-built invalid query fails validation even on a faulty net —
+        // degradation only applies to *protocol* failures under faults.
+        let g = grid(4, 4, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.inject_faults(&hybrid_sim::FaultPlan::drops(0.1, 3)).unwrap();
+        let bad = Query::Apsp { variant: ApspVariant::Thm11, xi: -1.0 };
+        assert!(solve(&mut net, &bad, 1).is_err());
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use registry::{all_tags, by_tag, find, registry};
 pub use runner::{
     run_scenario, run_scenario_with, run_scenarios, run_scenarios_with, Engine, ScenarioReport,
 };
-pub use verify::{check_report, Verdict, Verification};
+pub use verify::{check_report, Contract, Verdict, Verification};

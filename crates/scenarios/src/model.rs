@@ -207,6 +207,16 @@ pub enum FaultPlan {
         /// Round-clock value at which they fall silent.
         at_round: u64,
     },
+    /// Combined chaos: per-message loss *and* a mid-run crash storm in one
+    /// plan (the `chaos-*` family's hardest regime).
+    DropAndCrash {
+        /// Per-message loss probability in `[0, 1)`.
+        prob: f64,
+        /// How many nodes crash (never node 0).
+        count: usize,
+        /// Round-clock value at which they fall silent.
+        at_round: u64,
+    },
 }
 
 impl FaultPlan {
@@ -217,13 +227,19 @@ impl FaultPlan {
             FaultPlan::Degraded { .. } => "degraded-caps",
             FaultPlan::DropGlobal { .. } => "drop-global",
             FaultPlan::CrashNodes { .. } => "crash-nodes",
+            FaultPlan::DropAndCrash { .. } => "drop+crash",
         }
     }
 
     /// `true` if the plan can lose messages (and verification must use the
     /// lossy contract instead of exactness).
     pub fn is_lossy(&self) -> bool {
-        matches!(self, FaultPlan::DropGlobal { .. } | FaultPlan::CrashNodes { .. })
+        matches!(
+            self,
+            FaultPlan::DropGlobal { .. }
+                | FaultPlan::CrashNodes { .. }
+                | FaultPlan::DropAndCrash { .. }
+        )
     }
 
     /// The simulator configuration this plan implies.
@@ -246,19 +262,13 @@ impl FaultPlan {
                 Some(hybrid_sim::FaultPlan::drops(prob, derive_seed(seed, 0xFA17)))
             }
             FaultPlan::CrashNodes { count, at_round } => {
-                let mut crashes = Vec::with_capacity(count);
-                let mut salt = 0u64;
-                while crashes.len() < count.min(n.saturating_sub(1)) {
-                    // Never crash node 0: the suites use it as the source, and
-                    // a dead source makes the instance vacuous.
-                    let v = 1 + (derive_seed(seed, 0xC0A5 + salt) as usize) % (n - 1);
-                    salt += 1;
-                    if !crashes.iter().any(|c: &Crash| c.node == NodeId::new(v)) {
-                        crashes.push(Crash { node: NodeId::new(v), at_round });
-                    }
-                }
-                Some(hybrid_sim::FaultPlan::node_crashes(crashes))
+                Some(hybrid_sim::FaultPlan::node_crashes(pick_crashes(n, count, at_round, seed)))
             }
+            FaultPlan::DropAndCrash { prob, count, at_round } => Some(hybrid_sim::FaultPlan {
+                drop_prob: prob,
+                crashes: pick_crashes(n, count, at_round, seed),
+                seed: derive_seed(seed, 0xFA17),
+            }),
         }
     }
 
@@ -268,6 +278,24 @@ impl FaultPlan {
             net.inject_faults(&plan).expect("registry fault plans are valid");
         }
     }
+}
+
+/// Picks `count` distinct pseudo-random crash victims for an `n`-node network
+/// — never node 0: the suites use it as the source, and a dead source makes
+/// the instance vacuous. (A live node 0 also guarantees the survivor set is
+/// non-empty, so the schedule always passes
+/// [`hybrid_sim::FaultPlan::validate_for`].)
+fn pick_crashes(n: usize, count: usize, at_round: u64, seed: u64) -> Vec<Crash> {
+    let mut crashes = Vec::with_capacity(count);
+    let mut salt = 0u64;
+    while crashes.len() < count.min(n.saturating_sub(1)) {
+        let v = 1 + (derive_seed(seed, 0xC0A5 + salt) as usize) % (n - 1);
+        salt += 1;
+        if !crashes.iter().any(|c: &Crash| c.node == NodeId::new(v)) {
+            crashes.push(Crash { node: NodeId::new(v), at_round });
+        }
+    }
+    crashes
 }
 
 /// Which distributed algorithm(s) the scenario exercises, with the golden
@@ -411,6 +439,19 @@ impl Scenario {
     pub fn has_tag(&self, tag: &str) -> bool {
         self.tags.contains(&tag)
     }
+
+    /// The verification contract this scenario is held to: `chaos-*`
+    /// workloads must recover (aborting is a failure), other lossy plans get
+    /// the tolerance contract, healthy plans are strict.
+    pub fn contract(&self) -> crate::verify::Contract {
+        if self.has_tag("chaos") {
+            crate::verify::Contract::MustRecover
+        } else if self.faults.is_lossy() {
+            crate::verify::Contract::Lossy
+        } else {
+            crate::verify::Contract::Strict
+        }
+    }
 }
 
 #[cfg(test)]
@@ -502,6 +543,46 @@ mod tests {
         assert!(!FaultPlan::Degraded { send_factor: 0.25, recv_factor: 1.0 }.is_lossy());
         assert!(FaultPlan::DropGlobal { prob: 0.05 }.is_lossy());
         assert!(FaultPlan::CrashNodes { count: 2, at_round: 10 }.is_lossy());
+    }
+
+    #[test]
+    fn drop_and_crash_combines_both_fault_kinds() {
+        let plan = FaultPlan::DropAndCrash { prob: 0.3, count: 3, at_round: 20 };
+        assert!(plan.is_lossy());
+        assert_eq!(plan.label(), "drop+crash");
+        assert_eq!(plan.config(), HybridConfig::default());
+        let sim = plan.sim_plan(48, 9).unwrap();
+        assert_eq!(sim.drop_prob, 0.3);
+        assert_eq!(sim.crashes.len(), 3);
+        assert!(sim.crashes.iter().all(|c| c.node.index() != 0), "node 0 never crashes");
+        assert!(sim.validate_for(48).is_ok());
+        // The drop stream matches a pure-drop plan of the same seed, and the
+        // crash picks match a pure-crash plan: the combined plan changes
+        // nothing about either stream's derivation.
+        let drops = FaultPlan::DropGlobal { prob: 0.3 }.sim_plan(48, 9).unwrap();
+        assert_eq!(sim.seed, drops.seed);
+        let crashes = FaultPlan::CrashNodes { count: 3, at_round: 20 }.sim_plan(48, 9).unwrap();
+        assert_eq!(sim.crashes, crashes.crashes);
+    }
+
+    #[test]
+    fn contracts_derive_from_tags_and_plans() {
+        use crate::verify::Contract;
+        let mut sc = Scenario {
+            name: "t",
+            tags: &[],
+            family: GraphFamily::Cycle,
+            weights: WeightModel::Unit,
+            faults: FaultPlan::None,
+            suite: AlgorithmSuite::Apsp { xi: 1.5 },
+            seed: 1,
+            default_n: 32,
+        };
+        assert_eq!(sc.contract(), Contract::Strict);
+        sc.faults = FaultPlan::DropGlobal { prob: 0.1 };
+        assert_eq!(sc.contract(), Contract::Lossy);
+        sc.tags = &["chaos", "faulty"];
+        assert_eq!(sc.contract(), Contract::MustRecover);
     }
 
     #[test]

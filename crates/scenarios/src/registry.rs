@@ -185,6 +185,71 @@ static REGISTRY: &[Scenario] = &[
         seed: 73,
         default_n: 150,
     },
+    // --- Chaos: the must-recover family -----------------------------------
+    // These run under `Contract::MustRecover` (see `crate::verify`): with
+    // drop_prob ≤ 0.3 and a connected survivor set, aborting is a failure —
+    // the reliable exchange layer must deliver (charging retransmission
+    // rounds) and detected crashes must degrade explicitly, never corrupt.
+    Scenario {
+        name: "chaos-drop-p10-apsp",
+        tags: &["chaos", "faulty", "lossy", "apsp"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::DropGlobal { prob: 0.1 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 101,
+        default_n: 150,
+    },
+    Scenario {
+        name: "chaos-drop-p20-sssp",
+        tags: &["chaos", "faulty", "lossy", "sssp"],
+        family: GraphFamily::WattsStrogatz { k: 4, beta: 0.15 },
+        weights: WeightModel::Uniform { max: 3 },
+        faults: FaultPlan::DropGlobal { prob: 0.2 },
+        suite: AlgorithmSuite::Sssp { xi: 2.0 },
+        seed: 103,
+        default_n: 150,
+    },
+    Scenario {
+        name: "chaos-drop-p30-apsp",
+        tags: &["chaos", "faulty", "lossy", "apsp"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::DropGlobal { prob: 0.3 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 107,
+        default_n: 150,
+    },
+    Scenario {
+        name: "chaos-crash-storm-apsp",
+        tags: &["chaos", "faulty", "lossy", "crash", "apsp"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::CrashNodes { count: 5, at_round: 30 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 109,
+        default_n: 150,
+    },
+    Scenario {
+        name: "chaos-drop-crash-diam",
+        tags: &["chaos", "faulty", "lossy", "crash", "diameter"],
+        family: GraphFamily::SquareGrid,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::DropAndCrash { prob: 0.2, count: 3, at_round: 25 },
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
+        seed: 113,
+        default_n: 225,
+    },
+    Scenario {
+        name: "chaos-drop-crash-kssp",
+        tags: &["chaos", "faulty", "lossy", "crash", "kssp"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::DropAndCrash { prob: 0.3, count: 4, at_round: 20 },
+        suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor46, k: 4, eps: 0.5, xi: 1.5 },
+        seed: 127,
+        default_n: 150,
+    },
 ];
 
 /// The full scenario registry.
@@ -246,5 +311,27 @@ mod tests {
         assert!(faulty.len() >= 3);
         assert!(faulty.iter().all(|s| s.has_tag("faulty")));
         assert!(all_tags().contains(&"apsp"));
+    }
+
+    #[test]
+    fn chaos_family_spans_the_required_regimes() {
+        use crate::verify::Contract;
+        let chaos = by_tag("chaos");
+        assert!(chaos.len() >= 5, "chaos family must span the sweep, got {}", chaos.len());
+        assert!(chaos.iter().all(|s| s.name.starts_with("chaos-")));
+        assert!(chaos.iter().all(|s| s.contract() == Contract::MustRecover));
+        assert!(chaos.iter().all(|s| s.has_tag("faulty")), "chaos workloads are faulty workloads");
+        // Drop sweep up to (and including) p = 0.3, never beyond.
+        let max_prob = chaos
+            .iter()
+            .filter_map(|s| match s.faults {
+                FaultPlan::DropGlobal { prob } | FaultPlan::DropAndCrash { prob, .. } => Some(prob),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_prob, 0.3, "the sweep must reach its contractual ceiling");
+        // Crash storms and the combined regime are present.
+        assert!(chaos.iter().any(|s| matches!(s.faults, FaultPlan::CrashNodes { .. })));
+        assert!(chaos.iter().any(|s| matches!(s.faults, FaultPlan::DropAndCrash { .. })));
     }
 }

@@ -94,10 +94,10 @@ impl ScenarioReport {
 /// ladder, and verification reads the run's contract off
 /// [`hybrid_core::solver::Report::guarantee`].
 fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (u64, Verification) {
-    let lossy = sc.faults.is_lossy();
+    let contract = sc.contract();
     match solve(net, &sc.suite.query(), sc.seed) {
-        Ok(report) => (report.rounds, check_report(g, &report, lossy)),
-        Err(e) => (net.rounds(), check_error(&e, lossy, net.metrics().dropped_messages)),
+        Ok(report) => (report.rounds, check_report(g, &report, contract)),
+        Err(e) => (net.rounds(), check_error(&e, contract, net.metrics().dropped_messages)),
     }
 }
 
@@ -105,7 +105,7 @@ fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (
 /// `(seed, ξ, network, faults)` — the alternate engine whose reports must be
 /// bit-identical to [`run_suite`]'s.
 fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64) {
-    let lossy = sc.faults.is_lossy();
+    let contract = sc.contract();
     let cfg = SessionConfig {
         seed: sc.seed,
         xi: sc.suite.xi(),
@@ -118,13 +118,13 @@ fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64) 
     match result {
         Ok(report) => (
             report.rounds,
-            check_report(g, &report, lossy),
+            check_report(g, &report, contract),
             metrics.global_messages,
             metrics.dropped_messages,
         ),
         Err(e) => (
             metrics.rounds,
-            check_error(&e, lossy, metrics.dropped_messages),
+            check_error(&e, contract, metrics.dropped_messages),
             metrics.global_messages,
             metrics.dropped_messages,
         ),

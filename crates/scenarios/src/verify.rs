@@ -2,23 +2,52 @@
 //! computed with the sequential reference algorithms (`hybrid_graph`'s
 //! parallel multi-source Dijkstra).
 //!
-//! Two contracts, chosen by the scenario's fault plan:
+//! Three contracts, chosen by the scenario's fault plan and tags:
 //!
-//! * **Strict** (healthy or merely degraded networks): exact suites must match
-//!   the reference distances pairwise; approximate suites must stay within the
-//!   run's own guaranteed factor (Theorem 4.1 / Theorem 5.1) and never
-//!   underestimate.
-//! * **Lossy** (drop/crash faults): faults only *remove* messages, so a run
-//!   that completes must never underestimate a distance (an estimate can only
-//!   miss improvements, not invent shortcuts), and a run that aborts must do
-//!   so with a structured [`HybridError`] — never a silent wrong answer. A
-//!   clean fault-triggered error is a *pass*: the fault surfaced.
+//! * **Strict** (healthy or merely degraded-bandwidth networks): exact suites
+//!   must match the reference distances pairwise; approximate suites must stay
+//!   within the run's own guaranteed factor (Theorem 4.1 / Theorem 5.1) and
+//!   never underestimate.
+//! * **Lossy** (drop/crash faults, tolerance mode): faults only *remove*
+//!   messages, so a run that completes must never underestimate a distance (an
+//!   estimate can only miss improvements, not invent shortcuts), and a run
+//!   that aborts must do so with a structured [`HybridError`] — never a silent
+//!   wrong answer. A clean fault-triggered error is a *pass*: the fault
+//!   surfaced.
+//! * **Must-recover** (the `chaos-*` family): aborting is no longer
+//!   acceptable. The run must *complete* with a correct answer for its
+//!   declared — possibly [`Guarantee::Degraded`] — guarantee; degraded
+//!   answers come from the exact LOCAL fallbacks and are held to pairwise
+//!   equality with the reference.
 
 use hybrid_core::solver::{Answer, Guarantee, Report};
 use hybrid_core::HybridError;
 use hybrid_graph::apsp::{apsp, eccentricities, DistanceMatrix};
 use hybrid_graph::dijkstra::dijkstra;
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
+
+/// The verification contract a scenario run is held to (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contract {
+    /// Healthy network: answers must meet their guarantee exactly; any error
+    /// is a defect.
+    Strict,
+    /// Lossy faults, tolerance mode: completed runs must never underestimate;
+    /// a structured abort after a real drop is a pass.
+    Lossy,
+    /// Chaos recovery mode: the run must complete with a verified answer for
+    /// its declared (possibly degraded) guarantee; aborting is a failure.
+    MustRecover,
+}
+
+impl Contract {
+    /// Whether completed answers may overestimate (the message-loss
+    /// allowance). Degraded answers are exempt: their LOCAL fallbacks are
+    /// exact and are checked as such.
+    fn tolerates_overestimates(self) -> bool {
+        !matches!(self, Contract::Strict)
+    }
+}
 
 /// Outcome of verifying one scenario run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +91,25 @@ impl Verification {
 /// Verifies a solver [`Report`] against ground truth using the contract the
 /// report itself carries ([`Report::guarantee`]) — the verification layer no
 /// longer re-derives per-algorithm approximation math.
-pub fn check_report(g: &Graph, report: &Report, lossy: bool) -> Verification {
+pub fn check_report(g: &Graph, report: &Report, contract: Contract) -> Verification {
+    let lossy = contract.tolerates_overestimates();
+    if let Guarantee::Degraded { from, to, cause } = &report.guarantee {
+        if contract == Contract::Strict {
+            return Verification::fail(format!(
+                "degraded guarantee ({from} → {to}, {cause}) on a healthy network"
+            ));
+        }
+        // The downgrade is explicit and its fallback is a LOCAL-mode exact
+        // algorithm: hold the answer to pairwise equality with the reference.
+        let inner = match &report.answer {
+            Answer::Distances(m) => check_matrix(g, m, false),
+            Answer::DistanceRow { source, dist } => check_sssp(g, *source, dist, false),
+            Answer::DistanceRows { sources, est } => check_kssp_rows(g, sources, est, 1.0, false),
+            Answer::Diameter { estimate, .. } => check_diameter(g, *estimate, 1.0, false),
+        };
+        let detail = format!("degraded {from} → {to} ({cause}): {}", inner.detail);
+        return Verification { verdict: inner.verdict, detail };
+    }
     match (&report.answer, &report.guarantee) {
         (Answer::Distances(m), Guarantee::Exact) => check_matrix(g, m, lossy),
         (Answer::Distances(_), _) => {
@@ -205,22 +252,26 @@ pub fn check_diameter(g: &Graph, estimate: Distance, factor: f64, lossy: bool) -
     Verification::pass(format!("estimate {estimate} vs D = {d} (factor {factor:.3})"))
 }
 
-/// Classifies an algorithm error under the scenario's fault plan: expected
-/// (and therefore a pass) only when the plan is lossy **and actually removed
-/// messages** — an error on a run where nothing was dropped is an algorithm
-/// defect hiding behind the fault-tolerance contract, and faults must surface
-/// as structured errors, so anything else is a defect too.
-pub fn check_error(err: &HybridError, lossy: bool, dropped_messages: u64) -> Verification {
-    if lossy && dropped_messages > 0 {
-        Verification::pass(format!(
+/// Classifies an algorithm error under the scenario's contract: expected (and
+/// therefore a pass) only under [`Contract::Lossy`] **when the plan actually
+/// removed messages** — an error on a run where nothing was dropped is an
+/// algorithm defect hiding behind the fault-tolerance contract. Under
+/// [`Contract::MustRecover`] an abort is always a failure: chaos workloads
+/// must complete (possibly degraded), never bail out.
+pub fn check_error(err: &HybridError, contract: Contract, dropped_messages: u64) -> Verification {
+    match contract {
+        Contract::MustRecover => Verification::fail(format!(
+            "aborted under the must-recover contract ({dropped_messages} dropped messages): {err}"
+        )),
+        Contract::Lossy if dropped_messages > 0 => Verification::pass(format!(
             "fault surfaced as structured error after {dropped_messages} dropped messages: {err}"
-        ))
-    } else if lossy {
-        Verification::fail(format!(
+        )),
+        Contract::Lossy => Verification::fail(format!(
             "error under a lossy plan but no message was dropped — defect, not fault: {err}"
-        ))
-    } else {
-        Verification::fail(format!("unexpected error on healthy network: {err}"))
+        )),
+        Contract::Strict => {
+            Verification::fail(format!("unexpected error on healthy network: {err}"))
+        }
     }
 }
 
@@ -280,10 +331,17 @@ mod tests {
     #[test]
     fn errors_pass_only_under_lossy_plans_with_real_drops() {
         let err = HybridError::MissingTokens { receiver: NodeId::new(1), expected: 3, got: 1 };
-        assert_eq!(check_error(&err, true, 7).verdict, Verdict::Pass);
-        assert_eq!(check_error(&err, true, 0).verdict, Verdict::Fail, "no drop, no excuse");
-        assert_eq!(check_error(&err, false, 7).verdict, Verdict::Fail);
-        assert_eq!(check_error(&err, false, 0).verdict, Verdict::Fail);
+        assert_eq!(check_error(&err, Contract::Lossy, 7).verdict, Verdict::Pass);
+        assert_eq!(
+            check_error(&err, Contract::Lossy, 0).verdict,
+            Verdict::Fail,
+            "no drop, no excuse"
+        );
+        assert_eq!(check_error(&err, Contract::Strict, 7).verdict, Verdict::Fail);
+        assert_eq!(check_error(&err, Contract::Strict, 0).verdict, Verdict::Fail);
+        // The chaos contract never accepts an abort, dropped messages or not.
+        assert_eq!(check_error(&err, Contract::MustRecover, 7).verdict, Verdict::Fail);
+        assert_eq!(check_error(&err, Contract::MustRecover, 0).verdict, Verdict::Fail);
     }
 
     #[test]
@@ -295,7 +353,7 @@ mod tests {
         let mut net = HybridNet::new(&g, HybridConfig::default());
         let report = solve(&mut net, &Query::apsp().build().unwrap(), 3).unwrap();
         assert_eq!(report.guarantee, Guarantee::Exact);
-        assert_eq!(check_report(&g, &report, false).verdict, Verdict::Pass);
+        assert_eq!(check_report(&g, &report, Contract::Strict).verdict, Verdict::Pass);
 
         // A doctored report with a broken answer must fail under its own
         // contract.
@@ -303,7 +361,7 @@ mod tests {
         if let Answer::Distances(m) = &mut bad.answer {
             m.set(NodeId::new(0), NodeId::new(5), 1);
         }
-        assert_eq!(check_report(&g, &bad, false).verdict, Verdict::Fail);
+        assert_eq!(check_report(&g, &bad, Contract::Strict).verdict, Verdict::Fail);
 
         // A diameter report is checked inside [D, factor·D] from its own
         // guarantee — no per-corollary re-derivation.
@@ -312,13 +370,46 @@ mod tests {
             guarantee: Guarantee::DiameterFactor { factor: 1.5 },
             ..report.clone()
         };
-        assert_eq!(check_report(&g, &diam, false).verdict, Verdict::Pass);
+        assert_eq!(check_report(&g, &diam, Contract::Strict).verdict, Verdict::Pass);
         let diam_bad = Report {
             answer: Answer::Diameter { estimate: 20, exact_local: false },
             guarantee: Guarantee::DiameterFactor { factor: 1.5 },
             ..report
         };
-        assert_eq!(check_report(&g, &diam_bad, false).verdict, Verdict::Fail);
+        assert_eq!(check_report(&g, &diam_bad, Contract::Strict).verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn degraded_reports_are_held_to_exactness_and_rejected_on_healthy_nets() {
+        use hybrid_core::solver::{solve, DegradeCause, Query};
+        use hybrid_sim::{HybridConfig, HybridNet};
+
+        let g = path(6, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let report = solve(&mut net, &Query::apsp().build().unwrap(), 3).unwrap();
+        let degraded = Report {
+            guarantee: Guarantee::Degraded {
+                from: "apsp-thm11",
+                to: "apsp-local-flood",
+                cause: DegradeCause::CrashDetected,
+            },
+            ..report.clone()
+        };
+        // An exact fallback answer passes under both fault contracts …
+        for contract in [Contract::Lossy, Contract::MustRecover] {
+            let v = check_report(&g, &degraded, contract);
+            assert_eq!(v.verdict, Verdict::Pass, "{}", v.detail);
+            assert!(v.detail.contains("degraded apsp-thm11 → apsp-local-flood"), "{}", v.detail);
+        }
+        // … is rejected on a healthy network (nothing may degrade there) …
+        assert_eq!(check_report(&g, &degraded, Contract::Strict).verdict, Verdict::Fail);
+        // … and the degraded answer itself gets no loss allowance: an
+        // overestimate fails even under the lossy contract.
+        let mut bad = degraded.clone();
+        if let Answer::Distances(m) = &mut bad.answer {
+            m.set(NodeId::new(0), NodeId::new(5), 100);
+        }
+        assert_eq!(check_report(&g, &bad, Contract::Lossy).verdict, Verdict::Fail);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! then on). Faults model the environment, not the algorithm — algorithms keep
 //! their normal code path and the simulator decides what the network delivers.
 //!
-//! Two invariants make fault runs verifiable:
+//! Three invariants make fault runs verifiable:
 //!
 //! * **Determinism** — drops are driven by a SplitMix64 stream seeded from the
 //!   plan, consumed in message order; the same plan on the same execution
@@ -16,6 +16,12 @@
 //!   estimates computed from surviving messages therefore remain upper bounds
 //!   (missing a message can only cost an improvement), which is exactly what
 //!   the scenario verification layer checks for lossy runs.
+//! * **Recovery is charged, never discounted** — faults are not merely
+//!   tolerated or aborted on: [`crate::HybridNet::set_reliable`] turns on an
+//!   ack/retransmission layer that re-sends lost messages (paying extra
+//!   simulated rounds for every retry wave) and declares a node dead once its
+//!   acks stop arriving past a deterministic timeout, so protocols can
+//!   *recover* and degrade explicitly instead of silently absorbing loss.
 //!
 //! The per-round caps are *not* faults: degenerate bandwidth is configured
 //! through [`crate::HybridConfig`] (see [`crate::HybridConfig::starved`]).
@@ -78,6 +84,35 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// Validates the plan against a concrete network of `n` nodes: everything
+    /// [`FaultPlan::validate`] checks, plus the crash schedule — a plan whose
+    /// schedule kills *every* node before the round clock starts describes a
+    /// fully-dead network on which no protocol (and no recovery layer) can
+    /// make progress.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] with the offending field named.
+    pub fn validate_for(&self, n: usize) -> Result<(), SimError> {
+        self.validate()?;
+        if n > 0 {
+            let mut dead_at_zero = vec![false; n];
+            for c in &self.crashes {
+                if c.at_round == 0 && c.node.index() < n {
+                    dead_at_zero[c.node.index()] = true;
+                }
+            }
+            if dead_at_zero.iter().all(|&d| d) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "crash schedule kills all {n} nodes at round 0 (fully-dead network)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Installed runtime state of a [`FaultPlan`].
@@ -89,17 +124,54 @@ pub(crate) struct FaultState {
     drop_prob: f64,
     /// SplitMix64 state of the drop stream.
     rng_state: u64,
+    /// Nodes the reliable layer's failure detector has declared dead; sticky
+    /// for the lifetime of the installed plan.
+    declared_dead: Vec<bool>,
 }
 
 impl FaultState {
     pub(crate) fn install(plan: &FaultPlan, n: usize) -> Self {
+        // Repeated `Crash` entries for one node are deduplicated here: each
+        // node keeps only its earliest scheduled crash round.
         let mut crashed_at = vec![u64::MAX; n];
         for c in &plan.crashes {
             if c.node.index() < n {
                 crashed_at[c.node.index()] = crashed_at[c.node.index()].min(c.at_round);
             }
         }
-        FaultState { crashed_at, drop_prob: plan.drop_prob, rng_state: plan.seed }
+        FaultState {
+            crashed_at,
+            drop_prob: plan.drop_prob,
+            rng_state: plan.seed,
+            declared_dead: vec![false; n],
+        }
+    }
+
+    /// Has the failure detector declared `v` dead?
+    pub(crate) fn is_declared_dead(&self, v: NodeId) -> bool {
+        self.declared_dead.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `v` as declared dead; returns `true` on the first declaration
+    /// (so the caller can count unique declarations).
+    pub(crate) fn declare_dead(&mut self, v: NodeId) -> bool {
+        match self.declared_dead.get_mut(v.index()) {
+            Some(d) if !*d => {
+                *d = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The nodes currently declared dead by the failure detector.
+    pub(crate) fn declared_dead_nodes(&self) -> Vec<NodeId> {
+        self.declared_dead
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
     }
 
     /// Is `v` alive at round-clock value `round`? Out-of-range addresses are
@@ -158,6 +230,48 @@ mod tests {
         assert_eq!(da, db, "same seed, same stream");
         let hits = da.iter().filter(|&&d| d).count();
         assert!((2000..3000).contains(&hits), "≈25% of 10k, got {hits}");
+    }
+
+    #[test]
+    fn validate_for_rejects_fully_dead_networks() {
+        let all_dead = FaultPlan::node_crashes(
+            (0..4).map(|i| Crash { node: NodeId::new(i), at_round: 0 }).collect(),
+        );
+        let err = all_dead.validate_for(4).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        // One survivor (crashes later) makes the plan legal again …
+        let mut crashes: Vec<Crash> =
+            (0..3).map(|i| Crash { node: NodeId::new(i), at_round: 0 }).collect();
+        crashes.push(Crash { node: NodeId::new(3), at_round: 5 });
+        assert!(FaultPlan::node_crashes(crashes).validate_for(4).is_ok());
+        // … and the same schedule on a larger network is fine too.
+        assert!(all_dead.validate_for(5).is_ok());
+        // Plain probability validation still applies.
+        assert!(FaultPlan::drops(1.5, 0).validate_for(4).is_err());
+    }
+
+    #[test]
+    fn install_dedups_repeated_crash_entries() {
+        let plan = FaultPlan::node_crashes(vec![
+            Crash { node: NodeId::new(2), at_round: 9 },
+            Crash { node: NodeId::new(2), at_round: 9 },
+            Crash { node: NodeId::new(2), at_round: 4 },
+        ]);
+        let st = FaultState::install(&plan, 4);
+        assert!(st.alive(NodeId::new(2), 3));
+        assert!(!st.alive(NodeId::new(2), 4), "earliest of the duplicates wins");
+    }
+
+    #[test]
+    fn declared_dead_is_sticky_and_counted_once() {
+        let plan = FaultPlan::node_crashes(vec![Crash { node: NodeId::new(1), at_round: 0 }]);
+        let mut st = FaultState::install(&plan, 4);
+        assert!(!st.is_declared_dead(NodeId::new(1)));
+        assert!(st.declare_dead(NodeId::new(1)), "first declaration reports a transition");
+        assert!(!st.declare_dead(NodeId::new(1)), "re-declaration is not a transition");
+        assert!(st.is_declared_dead(NodeId::new(1)));
+        assert_eq!(st.declared_dead_nodes(), vec![NodeId::new(1)]);
+        assert!(!st.declare_dead(NodeId::new(99)), "out of range is a no-op");
     }
 
     #[test]

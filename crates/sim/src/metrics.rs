@@ -34,8 +34,24 @@ pub struct Metrics {
     /// [`crate::HybridNet::set_cut`]); `0` if no cut is registered.
     pub cut_messages: u64,
     /// Global messages removed by the installed fault plan (random drops plus
-    /// messages from/to crashed nodes); `0` without faults.
+    /// messages from/to crashed nodes); `0` without faults. Always equals
+    /// `dropped_by_loss + suppressed_by_crash` (kept for schema
+    /// compatibility).
     pub dropped_messages: u64,
+    /// Global messages removed by the random-loss stream alone.
+    pub dropped_by_loss: u64,
+    /// Global messages suppressed because an endpoint had crashed (or had
+    /// been declared dead by the reliable layer).
+    pub suppressed_by_crash: u64,
+    /// Messages re-sent by the reliable exchange layer after a lost or
+    /// unacknowledged attempt; `0` outside reliable mode.
+    pub retransmissions: u64,
+    /// Messages the reliable layer delivered only after at least one
+    /// retransmission (i.e. recovered from loss); `0` outside reliable mode.
+    pub recovered_messages: u64,
+    /// Nodes the reliable layer's failure detector declared dead (acks
+    /// stopped arriving past the deterministic timeout).
+    pub declared_dead: u64,
     /// Histogram of per-node per-exchange receive loads: `recv_load_hist[l]` =
     /// number of (node, exchange) pairs with load exactly `l` (saturating at the
     /// last bucket).
@@ -119,7 +135,18 @@ impl Metrics {
             let _ = writeln!(out, "cut crossings: {}", self.cut_messages);
         }
         if self.dropped_messages > 0 {
-            let _ = writeln!(out, "fault-dropped messages: {}", self.dropped_messages);
+            let _ = writeln!(
+                out,
+                "fault-dropped messages: {} (lost {}, crash-suppressed {})",
+                self.dropped_messages, self.dropped_by_loss, self.suppressed_by_crash
+            );
+        }
+        if self.retransmissions > 0 || self.recovered_messages > 0 || self.declared_dead > 0 {
+            let _ = writeln!(
+                out,
+                "reliable layer: {} retransmissions, {} recovered, {} declared dead",
+                self.retransmissions, self.recovered_messages, self.declared_dead
+            );
         }
         if !self.phases.is_empty() {
             let _ = writeln!(out, "phases:");
@@ -147,6 +174,11 @@ impl Metrics {
         self.stretched_exchanges += other.stretched_exchanges;
         self.cut_messages += other.cut_messages;
         self.dropped_messages += other.dropped_messages;
+        self.dropped_by_loss += other.dropped_by_loss;
+        self.suppressed_by_crash += other.suppressed_by_crash;
+        self.retransmissions += other.retransmissions;
+        self.recovered_messages += other.recovered_messages;
+        self.declared_dead += other.declared_dead;
         if self.recv_load_hist.len() < other.recv_load_hist.len() {
             self.recv_load_hist.resize(other.recv_load_hist.len(), 0);
         }
@@ -213,6 +245,31 @@ mod tests {
         let r = m.render_report();
         assert!(!r.contains("cut crossings"));
         assert!(!r.contains("phases:"));
+    }
+
+    #[test]
+    fn drop_split_and_reliability_counters_render_and_absorb() {
+        let mut m = Metrics::new();
+        m.dropped_by_loss = 3;
+        m.suppressed_by_crash = 2;
+        m.dropped_messages = m.dropped_by_loss + m.suppressed_by_crash;
+        m.retransmissions = 4;
+        m.recovered_messages = 3;
+        m.declared_dead = 1;
+        let r = m.render_report();
+        assert!(r.contains("fault-dropped messages: 5 (lost 3, crash-suppressed 2)"));
+        assert!(r.contains("reliable layer: 4 retransmissions, 3 recovered, 1 declared dead"));
+        let mut sum = Metrics::new();
+        sum.absorb(&m);
+        sum.absorb(&m);
+        assert_eq!(sum.dropped_messages, 10);
+        assert_eq!(sum.dropped_by_loss, 6);
+        assert_eq!(sum.suppressed_by_crash, 4);
+        assert_eq!(sum.retransmissions, 8);
+        assert_eq!(sum.recovered_messages, 6);
+        assert_eq!(sum.declared_dead, 2);
+        // The healthy report stays free of reliability noise.
+        assert!(!Metrics::new().render_report().contains("reliable layer"));
     }
 
     #[test]

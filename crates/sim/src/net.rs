@@ -122,6 +122,35 @@ impl ExchangeScratch {
 /// sequential path.
 const PAR_MIN_SHARD_MESSAGES: usize = 512;
 
+/// Transmission attempts the reliable layer makes to an unacknowledged
+/// destination before its failure detector declares the node dead. The bound
+/// only applies to destinations that are *actually* crashed — a lost message
+/// to a live node is always retried (its ack would have arrived otherwise),
+/// so reliable exchange eventually delivers to every live node.
+const RELIABLE_MAX_ATTEMPTS: u8 = 8;
+
+/// Cap (in simulated rounds) on the reliable layer's per-wave exponential
+/// backoff: retry wave `w` waits `min(2^(w-2), 8)` rounds first.
+const RELIABLE_MAX_BACKOFF: u64 = 8;
+
+/// Persistent wave state of the reliable exchange layer (see
+/// [`HybridNet::set_reliable`]): sequence numbers awaiting an ack, the
+/// current wave's wire batch, per-message attempt counts, and delivery flags.
+/// Lives on the net so steady-state reliable exchanges reuse their buffers
+/// instead of allocating per call — and so the trivial-plan path never touches
+/// them at all.
+#[derive(Debug, Default)]
+struct ReliableScratch {
+    /// Sequence numbers (outbox indices) still awaiting delivery.
+    pending: Vec<u32>,
+    /// The current wave's attempted (on-wire) subset of `pending`.
+    attempted: Vec<u32>,
+    /// Per-message transmission attempts (saturating).
+    attempts: Vec<u8>,
+    /// Per-message delivery flags.
+    delivered: Vec<bool>,
+}
+
 /// Shared mutable base pointer for provably disjoint shard writes. Every
 /// unsafe use below is justified by a partition argument: shard `t` only
 /// touches indices derived from node buckets in its own cut range, and the
@@ -240,6 +269,11 @@ pub struct HybridNet<'g> {
     round_threads: usize,
     /// Pooled [`HybridNet::drain_queues`] scratch buffers, per payload type.
     drain_pool: DrainPool,
+    /// Routes exchanges through the ack/retransmission layer when a
+    /// non-trivial fault plan is installed (see [`HybridNet::set_reliable`]).
+    reliable: bool,
+    /// Wave state of the reliable layer (untouched on the trivial-plan path).
+    rel: ReliableScratch,
 }
 
 impl<'g> HybridNet<'g> {
@@ -271,6 +305,8 @@ impl<'g> HybridNet<'g> {
             faults: None,
             round_threads: par::round_threads(),
             drain_pool: DrainPool::default(),
+            reliable: false,
+            rel: ReliableScratch::default(),
         })
     }
 
@@ -296,10 +332,11 @@ impl<'g> HybridNet<'g> {
     ///
     /// # Errors
     ///
-    /// [`SimError::InvalidConfig`] if the plan is invalid (see
-    /// [`FaultPlan::validate`]).
+    /// [`SimError::InvalidConfig`] if the plan is invalid for this network
+    /// (see [`FaultPlan::validate_for`]) — an out-of-range drop probability,
+    /// or a crash schedule that kills every node at round 0.
     pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
-        plan.validate()?;
+        plan.validate_for(self.n())?;
         self.faults =
             if plan.is_trivial() { None } else { Some(FaultState::install(plan, self.n())) };
         Ok(())
@@ -308,6 +345,42 @@ impl<'g> HybridNet<'g> {
     /// Removes any installed fault plan.
     pub fn clear_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// `true` if a non-trivial fault plan is currently installed.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Turns the reliable exchange layer on or off.
+    ///
+    /// While enabled *and* a non-trivial fault plan is installed, every
+    /// global exchange runs an ack/retransmission protocol instead of the
+    /// fire-and-forget step: each message carries a sequence number (its
+    /// outbox index), unacknowledged messages are re-sent in waves under a
+    /// bounded exponential backoff, and a destination that never acks is
+    /// declared dead after `RELIABLE_MAX_ATTEMPTS` (8) attempts. Every wave is
+    /// billed honestly — the wire rounds, one ack round, and the backoff
+    /// rounds all advance the clock (recovery is charged, never discounted) —
+    /// and all retry decisions are made sequentially from the plan's
+    /// deterministic streams, so runs stay bit-identical across thread
+    /// budgets. Without faults (or with a trivial plan) the flag is inert and
+    /// exchanges behave exactly as before.
+    pub fn set_reliable(&mut self, on: bool) {
+        self.reliable = on;
+    }
+
+    /// Is the reliable exchange layer enabled? (See
+    /// [`HybridNet::set_reliable`]; it only takes effect while a non-trivial
+    /// fault plan is installed.)
+    pub fn reliable(&self) -> bool {
+        self.reliable
+    }
+
+    /// Nodes the reliable layer's failure detector has declared dead so far
+    /// (empty without faults, or before any declaration).
+    pub fn declared_dead_nodes(&self) -> Vec<NodeId> {
+        self.faults.as_ref().map(FaultState::declared_dead_nodes).unwrap_or_default()
     }
 
     /// The local communication graph.
@@ -416,6 +489,12 @@ impl<'g> HybridNet<'g> {
         outbox: &mut Vec<Envelope<M>>,
         out: &mut FlatInboxes<M>,
     ) -> Result<(), SimError> {
+        // Reliable mode re-sends lost messages instead of shrugging them off;
+        // it only engages under a non-trivial fault plan, so the healthy path
+        // is bit-identical to the fire-and-forget engine below.
+        if self.reliable && self.faults.is_some() {
+            return self.exchange_reliable(phase, outbox, out);
+        }
         let n = self.graph.len();
         let send_cap = self.send_cap();
         let recv_cap = self.recv_cap();
@@ -430,14 +509,25 @@ impl<'g> HybridNet<'g> {
         // be swallowed by a random drop.
         if let Some(faults) = &mut self.faults {
             let round = self.metrics.rounds;
-            let before = outbox.len();
+            let mut lost = 0u64;
+            let mut suppressed = 0u64;
             outbox.retain(|e| {
                 if e.src.index() >= n || e.dst.index() >= n {
                     return true;
                 }
-                faults.alive(e.src, round) && faults.alive(e.dst, round) && !faults.drop_next()
+                if !(faults.alive(e.src, round) && faults.alive(e.dst, round)) {
+                    suppressed += 1;
+                    return false;
+                }
+                if faults.drop_next() {
+                    lost += 1;
+                    return false;
+                }
+                true
             });
-            self.metrics.dropped_messages += (before - outbox.len()) as u64;
+            self.metrics.dropped_by_loss += lost;
+            self.metrics.suppressed_by_crash += suppressed;
+            self.metrics.dropped_messages += lost + suppressed;
         }
         let m = outbox.len();
 
@@ -500,6 +590,219 @@ impl<'g> HybridNet<'g> {
         }
         self.metrics.charge_global(rounds_needed, m as u64, phase);
 
+        self.scatter_into(outbox, out);
+        Ok(())
+    }
+
+    /// The ack/retransmission engine behind [`HybridNet::set_reliable`].
+    ///
+    /// Messages are identified by their sequence number (outbox index) and
+    /// retried in *waves*: each wave ships every still-pending message whose
+    /// sender is alive and whose destination has not been declared dead,
+    /// bills the wire rounds plus one ack round, and decides each message's
+    /// fate sequentially (in sequence order) from the plan's deterministic
+    /// drop stream — crashed destinations accumulate unacked attempts until
+    /// the failure detector declares them dead, lost messages to live nodes
+    /// are re-pended for the next wave after a bounded exponential backoff.
+    /// Because the round clock advances between waves, mid-run crash
+    /// schedules keep firing during recovery. The surviving messages are
+    /// finally handed to the shared stable scatter in sequence order, so
+    /// per-`(src, dst)` delivery order matches the sequence numbers exactly.
+    fn exchange_reliable<M: Send + Sync>(
+        &mut self,
+        phase: &str,
+        outbox: &mut Vec<Envelope<M>>,
+        out: &mut FlatInboxes<M>,
+    ) -> Result<(), SimError> {
+        let n = self.graph.len();
+        let send_cap = self.send_cap();
+        let recv_cap = self.recv_cap();
+        out.clear();
+
+        // Validate every address upfront: an error must leave `outbox`
+        // untouched, and the wave loop permanently consumes fault-stream
+        // state, so nothing below may fail on a healthy configuration.
+        for e in outbox.iter() {
+            if e.dst.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.dst, n });
+            }
+            if e.src.index() >= n {
+                return Err(SimError::AddressOutOfRange { node: e.src, n });
+            }
+        }
+        let m = outbox.len();
+        if m == 0 {
+            // An empty exchange still costs its round, like the unreliable
+            // engine.
+            self.metrics.charge_global(1, 0, phase);
+        }
+
+        // Seed the wave state: every message pending, zero attempts.
+        self.rel.pending.clear();
+        self.rel.pending.extend(0..m as u32);
+        self.rel.attempts.clear();
+        self.rel.attempts.resize(m, 0);
+        self.rel.delivered.clear();
+        self.rel.delivered.resize(m, false);
+
+        let mut wave = 0u64;
+        while !self.rel.pending.is_empty() {
+            wave += 1;
+            if wave > 1 {
+                // Bounded exponential backoff before each retry wave.
+                let backoff = (1u64 << (wave - 2).min(3)).min(RELIABLE_MAX_BACKOFF);
+                self.metrics.charge_global_rounds_only(backoff, phase);
+            }
+            let round = self.metrics.rounds;
+
+            // Wire batch of this wave: pending messages with a live sender
+            // and a destination not yet declared dead.
+            let faults = self.faults.as_mut().expect("reliable mode requires installed faults");
+            let rel = &mut self.rel;
+            rel.attempted.clear();
+            let mut suppressed_now = 0u64;
+            for &idx in &rel.pending {
+                let e = &outbox[idx as usize];
+                if !faults.alive(e.src, round) || faults.is_declared_dead(e.dst) {
+                    suppressed_now += 1;
+                } else {
+                    rel.attempted.push(idx);
+                }
+            }
+
+            // Per-node loads and the cap policy, over the wire batch only.
+            let scratch = &mut self.scratch;
+            scratch.sent[..n].fill(0);
+            scratch.recv[..n].fill(0);
+            for &idx in &rel.attempted {
+                let e = &outbox[idx as usize];
+                scratch.sent[e.src.index()] += 1;
+                scratch.recv[e.dst.index()] += 1;
+            }
+            let mut rounds_needed = 1u64;
+            for v in 0..n {
+                if scratch.sent[v] as usize > send_cap {
+                    match self.config.overflow {
+                        OverflowPolicy::Fail => {
+                            return Err(SimError::SendCapExceeded {
+                                node: NodeId::new(v),
+                                sent: scratch.sent[v] as usize,
+                                cap: send_cap,
+                            });
+                        }
+                        OverflowPolicy::Stretch => {
+                            rounds_needed = rounds_needed
+                                .max((scratch.sent[v] as usize).div_ceil(send_cap) as u64);
+                        }
+                    }
+                }
+                if scratch.recv[v] as usize > recv_cap {
+                    match self.config.overflow {
+                        OverflowPolicy::Fail => {
+                            return Err(SimError::RecvCapExceeded {
+                                node: NodeId::new(v),
+                                received: scratch.recv[v] as usize,
+                                cap: recv_cap,
+                            });
+                        }
+                        OverflowPolicy::Stretch => {
+                            rounds_needed = rounds_needed
+                                .max((scratch.recv[v] as usize).div_ceil(recv_cap) as u64);
+                        }
+                    }
+                }
+            }
+
+            // Commit this wave's bill: suppressions, loads, cut traffic,
+            // retransmissions, the wire rounds, and one round of acks.
+            let metrics = &mut self.metrics;
+            metrics.suppressed_by_crash += suppressed_now;
+            metrics.dropped_messages += suppressed_now;
+            if rel.attempted.is_empty() {
+                rel.pending.clear();
+                break;
+            }
+            let max_sent = scratch.sent[..n].iter().copied().max().unwrap_or(0) as usize;
+            metrics.max_send_load = metrics.max_send_load.max(max_sent);
+            if let Some(side) = &self.cut {
+                let crossing = rel
+                    .attempted
+                    .iter()
+                    .map(|&idx| &outbox[idx as usize])
+                    .filter(|e| side[e.src.index()] != side[e.dst.index()])
+                    .count();
+                metrics.cut_messages += crossing as u64;
+            }
+            let retrans =
+                rel.attempted.iter().filter(|&&idx| rel.attempts[idx as usize] > 0).count();
+            metrics.retransmissions += retrans as u64;
+            metrics.charge_global(rounds_needed, rel.attempted.len() as u64, phase);
+            metrics.charge_global_rounds_only(1, phase);
+
+            // Delivery decisions, strictly in sequence order: the drop
+            // stream is consumed deterministically, independent of the
+            // thread budget.
+            rel.pending.clear();
+            for &idx in &rel.attempted {
+                let i = idx as usize;
+                let e = &outbox[i];
+                rel.attempts[i] = rel.attempts[i].saturating_add(1);
+                if !faults.alive(e.dst, round) {
+                    // On the wire, but the destination is down: no ack. After
+                    // enough unacked attempts the failure detector gives up
+                    // on the node for the rest of the plan's lifetime.
+                    if rel.attempts[i] >= RELIABLE_MAX_ATTEMPTS {
+                        if faults.declare_dead(e.dst) {
+                            metrics.declared_dead += 1;
+                        }
+                        metrics.suppressed_by_crash += 1;
+                        metrics.dropped_messages += 1;
+                    } else {
+                        rel.pending.push(idx);
+                    }
+                } else if faults.drop_next() {
+                    metrics.dropped_by_loss += 1;
+                    metrics.dropped_messages += 1;
+                    rel.pending.push(idx);
+                } else {
+                    rel.delivered[i] = true;
+                    if rel.attempts[i] > 1 {
+                        metrics.recovered_messages += 1;
+                    }
+                }
+            }
+        }
+
+        // Compact to the delivered set in sequence order and hand it to the
+        // shared stable scatter; every round was already billed wave by wave.
+        let rel = &mut self.rel;
+        let mut i = 0usize;
+        outbox.retain(|_| {
+            let keep = rel.delivered[i];
+            i += 1;
+            keep
+        });
+        let scratch = &mut self.scratch;
+        scratch.recv[..n].fill(0);
+        for e in outbox.iter() {
+            scratch.recv[e.dst.index()] += 1;
+        }
+        self.scatter_into(outbox, out);
+        Ok(())
+    }
+
+    /// Shared delivery engine of [`HybridNet::exchange_into`] and the
+    /// reliable layer: sorts `outbox` by `(dst, src, insertion order)` and
+    /// moves the payloads into `out`. Expects all addresses validated and
+    /// `scratch.recv` to hold `outbox`'s per-destination counts (for
+    /// receive-load recording); charges nothing.
+    fn scatter_into<M: Send + Sync>(
+        &mut self,
+        outbox: &mut Vec<Envelope<M>>,
+        out: &mut FlatInboxes<M>,
+    ) {
+        let n = self.graph.len();
+        let m = outbox.len();
         // Deliver: stable two-pass counting sort by (dst, src, insertion order)
         // — radix pass 1 orders by sender, pass 2 groups by destination and
         // moves the payloads in one fused scatter; both passes are stable, so
@@ -658,7 +961,6 @@ impl<'g> HybridNet<'g> {
             }
             msgs.set_len(m);
         }
-        Ok(())
     }
 
     /// Performs one global-mode communication step: delivers `outbox` subject to
@@ -1242,6 +1544,173 @@ mod tests {
         let mut net = net(&g);
         let err = net.inject_faults(&FaultPlan::drops(1.0, 0)).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn loss_and_crash_suppression_are_counted_separately() {
+        use crate::fault::{Crash, FaultPlan};
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan {
+            drop_prob: 0.5,
+            crashes: vec![Crash { node: NodeId::new(3), at_round: 0 }],
+            seed: 11,
+        })
+        .unwrap();
+        for r in 0..32u32 {
+            let outbox = vec![
+                Envelope::new(NodeId::new(0), NodeId::new(3), r), // always suppressed
+                Envelope::new(NodeId::new(0), NodeId::new(1), r), // maybe lost
+            ];
+            net.exchange("t", outbox).unwrap();
+        }
+        let m = net.metrics();
+        assert_eq!(m.suppressed_by_crash, 32, "every message to the crashed node");
+        assert!(m.dropped_by_loss > 0, "p = 0.5 over 32 live messages");
+        assert_eq!(m.dropped_messages, m.dropped_by_loss + m.suppressed_by_crash);
+    }
+
+    #[test]
+    fn reliable_exchange_recovers_lost_messages() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::drops(0.4, 21)).unwrap();
+        net.set_reliable(true);
+        assert!(net.reliable() && net.has_faults());
+        let outbox: Vec<_> = (0..32u32)
+            .map(|i| {
+                Envelope::new(NodeId::new((i % 4) as usize), NodeId::new(8 + (i % 8) as usize), i)
+            })
+            .collect();
+        let inboxes = net.exchange("t", outbox).unwrap();
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        assert_eq!(delivered, 32, "reliable mode delivers everything to live nodes");
+        let m = net.metrics();
+        assert!(m.dropped_by_loss > 0, "the drop stream must bite");
+        assert!(m.retransmissions > 0, "losses must be retried");
+        assert!(m.recovered_messages > 0, "retries must recover messages");
+        assert_eq!(m.declared_dead, 0, "a drop-only plan never kills anyone");
+        assert!(net.rounds() > 2, "waves, acks and backoff are all charged");
+        // Per-(src, dst) sequence order survives recovery.
+        for inbox in inboxes.iter() {
+            let mut last: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+            for &(src, seq) in inbox {
+                if let Some(&prev) = last.get(&src) {
+                    assert!(seq > prev, "sequence order violated: {prev} then {seq}");
+                }
+                last.insert(src, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_exchange_declares_crashed_destinations_dead() {
+        use crate::fault::{Crash, FaultPlan};
+        let g = path(8, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::node_crashes(vec![Crash {
+            node: NodeId::new(3),
+            at_round: 0,
+        }]))
+        .unwrap();
+        net.set_reliable(true);
+        let inboxes = net
+            .exchange(
+                "t",
+                vec![
+                    Envelope::new(NodeId::new(0), NodeId::new(3), 1u8),
+                    Envelope::new(NodeId::new(0), NodeId::new(5), 2u8),
+                ],
+            )
+            .unwrap();
+        assert!(inboxes[3].is_empty());
+        assert_eq!(inboxes[5], vec![(NodeId::new(0), 2)]);
+        assert_eq!(net.metrics().declared_dead, 1, "node 3 gave up after max attempts");
+        assert_eq!(net.declared_dead_nodes(), vec![NodeId::new(3)]);
+        assert!(net.metrics().suppressed_by_crash > 0);
+        // A second exchange to the declared-dead node is suppressed instantly:
+        // no further retransmission waves are spent on it.
+        let retrans_before = net.metrics().retransmissions;
+        let rounds_before = net.rounds();
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(3), 9u8)]).unwrap();
+        assert!(inboxes[3].is_empty());
+        assert_eq!(net.metrics().retransmissions, retrans_before);
+        assert!(net.rounds() - rounds_before <= 1, "no retry waves for a declared-dead node");
+    }
+
+    #[test]
+    fn reliable_exchange_is_bit_identical_across_thread_budgets() {
+        use crate::fault::{Crash, FaultPlan};
+        let g = path(64, 1).unwrap();
+        let run = |threads: usize| {
+            let mut net = net(&g);
+            net.set_round_threads(threads);
+            net.inject_faults(&FaultPlan {
+                drop_prob: 0.3,
+                crashes: vec![Crash { node: NodeId::new(7), at_round: 2 }],
+                seed: 5,
+            })
+            .unwrap();
+            net.set_reliable(true);
+            let mut outbox: Vec<Envelope<u32>> = (0..2048u32)
+                .map(|i| {
+                    Envelope::new(
+                        NodeId::new((i.wrapping_mul(13) % 64) as usize),
+                        NodeId::new((i.wrapping_mul(29) % 64) as usize),
+                        i,
+                    )
+                })
+                .collect();
+            let mut flat = FlatInboxes::new();
+            net.exchange_into("t", &mut outbox, &mut flat).unwrap();
+            let (msgs, starts) = flat.as_parts();
+            (msgs.to_vec(), starts.to_vec(), net.rounds(), net.metrics().clone())
+        };
+        let (seq_msgs, seq_starts, seq_rounds, seq_m) = run(1);
+        for threads in [2, 4] {
+            let (par_msgs, par_starts, par_rounds, par_m) = run(threads);
+            assert_eq!(par_msgs, seq_msgs, "threads = {threads}");
+            assert_eq!(par_starts, seq_starts, "threads = {threads}");
+            assert_eq!(par_rounds, seq_rounds, "threads = {threads}");
+            assert_eq!(par_m.retransmissions, seq_m.retransmissions);
+            assert_eq!(par_m.dropped_by_loss, seq_m.dropped_by_loss);
+            assert_eq!(par_m.recovered_messages, seq_m.recovered_messages);
+            assert_eq!(par_m.declared_dead, seq_m.declared_dead);
+        }
+        assert!(seq_m.recovered_messages > 0, "the instance must exercise recovery");
+    }
+
+    #[test]
+    fn reliable_flag_is_inert_without_faults() {
+        let g = path(8, 1).unwrap();
+        let mut net = net(&g);
+        net.set_reliable(true);
+        let inboxes =
+            net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(3), 1u8)]).unwrap();
+        assert_eq!(inboxes[3], vec![(NodeId::new(0), 1)]);
+        assert_eq!(net.rounds(), 1, "no fault plan: the fire-and-forget engine runs");
+        assert_eq!(net.metrics().retransmissions, 0);
+    }
+
+    #[test]
+    fn reliable_exchange_leaves_outbox_on_error_and_charges_empty_rounds() {
+        use crate::fault::FaultPlan;
+        let g = path(4, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::drops(0.2, 3)).unwrap();
+        net.set_reliable(true);
+        let mut outbox = vec![Envelope::new(NodeId::new(0), NodeId::new(9), 1u8)];
+        let mut flat = FlatInboxes::new();
+        let err = net.exchange_into("t", &mut outbox, &mut flat).unwrap_err();
+        assert!(matches!(err, SimError::AddressOutOfRange { .. }));
+        assert_eq!(outbox.len(), 1, "failed reliable exchange must not consume the outbox");
+        assert_eq!(net.rounds(), 0);
+        // An empty reliable exchange still costs its round.
+        let mut empty: Vec<Envelope<u8>> = Vec::new();
+        net.exchange_into("t", &mut empty, &mut flat).unwrap();
+        assert_eq!(net.rounds(), 1);
     }
 
     #[test]

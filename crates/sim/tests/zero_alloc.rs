@@ -93,6 +93,44 @@ fn steady_state_exchange_into_is_allocation_free() {
     assert_eq!(net.rounds(), 103);
 }
 
+/// A *trivial* fault plan (no drops, no crashes) plus an enabled reliable
+/// layer must leave the hot path untouched: the trivial plan installs no
+/// fault state, the reliable mode stays inert, and steady-state exchanges
+/// stay allocation-free — the reliability scratch lives on the net, sized
+/// once, never re-allocated per call.
+#[test]
+fn trivial_plan_with_reliable_mode_stays_allocation_free() {
+    let _guard = serial();
+    let g = path(64, 1).expect("graph");
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    net.inject_faults(&hybrid_sim::FaultPlan::default()).expect("trivial plan is valid");
+    net.set_reliable(true);
+    assert!(!net.has_faults(), "a trivial plan installs no fault state");
+    let mut outbox: Vec<Envelope<u64>> = Vec::new();
+    let mut inbox: FlatInboxes<u64> = FlatInboxes::new();
+
+    for round in 0..3 {
+        fill_outbox(&mut outbox, 64, round);
+        net.exchange_into("steady", &mut outbox, &mut inbox).expect("exchange");
+    }
+
+    let before = allocations();
+    for round in 3..103 {
+        fill_outbox(&mut outbox, 64, round);
+        net.exchange_into("steady", &mut outbox, &mut inbox).expect("exchange");
+        assert_eq!(inbox.len(), 64 * 3);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "trivial-plan reliable-mode exchange must not allocate (got {} over 100 calls)",
+        after - before
+    );
+    assert_eq!(net.rounds(), 103);
+    assert_eq!(net.metrics().retransmissions, 0, "reliable mode stays inert without faults");
+}
+
 /// The k-SSP framework spends its simulated-CLIQUE rounds in token routing's
 /// Algorithm 4 loop: a *request* exchange answered by a *response* exchange,
 /// both paced to the send cap, round after round. This test drives that exact

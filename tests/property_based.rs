@@ -12,7 +12,7 @@ use hybrid_shortest_paths::graph::limited::hop_limited_distances;
 use hybrid_shortest_paths::graph::lower_bounds::{GammaGraph, SetDisjointness};
 use hybrid_shortest_paths::graph::skeleton::{count_distance_violations, Skeleton};
 use hybrid_shortest_paths::graph::{Graph, NodeId, INFINITY};
-use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::sim::{Envelope, FaultPlan, FlatInboxes, HybridConfig, HybridNet};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -166,6 +166,83 @@ proptest! {
         // No bucket hogs everything (weak uniformity smoke check).
         let max = *seen.iter().max().unwrap();
         prop_assert!(max < 128, "degenerate hash: {max}");
+    }
+
+    /// Reliable exchange under any `drop_prob < 0.5` delivers every message
+    /// to its (live) destination in per-sender sequence order, bit-identically
+    /// under thread budgets 1 and 4.
+    #[test]
+    fn reliable_exchange_delivers_in_order_across_thread_budgets(
+        g in arb_connected_graph(),
+        drop_prob in 0.0f64..0.5,
+        fault_seed in 0u64..1000,
+        batch_seed in 0u64..1000,
+        m in 1usize..80,
+    ) {
+        let n = g.len();
+        let mut rng = StdRng::seed_from_u64(batch_seed);
+        use rand::Rng;
+        // Payload = batch index, so per-(src, dst) sequence order is simply
+        // increasing payload.
+        let batch: Vec<(usize, usize, u64)> = (0..m)
+            .map(|i| (rng.gen_range(0..n), rng.gen_range(0..n), i as u64))
+            .collect();
+        let run = |threads: usize| {
+            let mut net = HybridNet::new(&g, HybridConfig::default());
+            net.set_round_threads(threads);
+            net.inject_faults(&FaultPlan::drops(drop_prob, fault_seed)).unwrap();
+            net.set_reliable(true);
+            let mut outbox: Vec<Envelope<u64>> = batch
+                .iter()
+                .map(|&(s, d, p)| Envelope::new(NodeId::new(s), NodeId::new(d), p))
+                .collect();
+            let mut flat = FlatInboxes::new();
+            net.exchange_into("pt", &mut outbox, &mut flat).unwrap();
+            let (msgs, starts) = flat.as_parts();
+            (msgs.to_vec(), starts.to_vec(), net.rounds(), net.metrics().clone())
+        };
+        let (msgs, starts, rounds, metrics) = run(1);
+
+        // No crashes in the plan: nothing may be suppressed or declared dead,
+        // and every single message must arrive.
+        prop_assert_eq!(metrics.declared_dead, 0);
+        prop_assert_eq!(metrics.suppressed_by_crash, 0);
+        prop_assert_eq!(msgs.len(), batch.len());
+        let mut seen = vec![false; batch.len()];
+        for d in 0..n {
+            let slice = &msgs[starts[d]..starts[d + 1]];
+            for (src, payload) in slice {
+                let idx = *payload as usize;
+                prop_assert!(!seen[idx], "duplicate delivery of message {idx}");
+                seen[idx] = true;
+                prop_assert_eq!(batch[idx].0, src.index());
+                prop_assert_eq!(batch[idx].1, d);
+            }
+            // Per-sender sequence order: payloads from one src must appear in
+            // the order they were enqueued.
+            for src in 0..n {
+                let from_src: Vec<u64> =
+                    slice.iter().filter(|(s, _)| s.index() == src).map(|(_, p)| *p).collect();
+                prop_assert!(
+                    from_src.windows(2).all(|w| w[0] < w[1]),
+                    "out-of-sequence delivery {:?} for src {src} -> dst {d}",
+                    from_src
+                );
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "reliable exchange lost a message");
+        prop_assert!(metrics.retransmissions >= metrics.dropped_by_loss);
+
+        // Bit-identity across thread budgets: the reliable schedule is fully
+        // deterministic, so the parallel wire engine may not change anything.
+        let (p_msgs, p_starts, p_rounds, p_metrics) = run(4);
+        prop_assert_eq!(p_msgs, msgs);
+        prop_assert_eq!(p_starts, starts);
+        prop_assert_eq!(p_rounds, rounds);
+        prop_assert_eq!(p_metrics.retransmissions, metrics.retransmissions);
+        prop_assert_eq!(p_metrics.dropped_by_loss, metrics.dropped_by_loss);
+        prop_assert_eq!(p_metrics.recovered_messages, metrics.recovered_messages);
+        prop_assert_eq!(p_metrics.global_messages, metrics.global_messages);
     }
 
     /// Distances produced by the reference Dijkstra satisfy the triangle

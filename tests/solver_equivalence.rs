@@ -179,6 +179,8 @@ fn faulty_scenario_bit_identical_including_errors() {
     // Under the registry's lossy drop plan the facade and the legacy call
     // must agree on *everything*: the same outcome variant, the same dropped
     // message accounting, and — when both complete — the same distances.
+    // `solve` switches a faulty net into the reliable exchange engine, so the
+    // legacy protocol call runs under the same engine for the comparison.
     let sc = hybrid_shortest_paths::scenarios::find("faulty-drop-apsp").expect("registered");
     let g = sc.graph(48);
     let q = Query::apsp().xi(1.5).build().unwrap();
@@ -186,6 +188,7 @@ fn faulty_scenario_bit_identical_including_errors() {
     let mut net_a = sc.net(&g);
     let facade = solve(&mut net_a, &q, sc.seed);
     let mut net_b = sc.net(&g);
+    net_b.set_reliable(true);
     let legacy = exact_apsp(&mut net_b, ApspConfig { xi: 1.5 }, sc.seed);
 
     assert_eq!(net_a.rounds(), net_b.rounds(), "round clocks diverged under faults");
