@@ -11,6 +11,8 @@
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke --via-session
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke --filter faulty
+//! cargo run --release -p hybrid-bench --bin experiments -- --trace traces/
+//! cargo run --release -p hybrid-bench --bin experiments -- --smoke --trace traces/
 //! ```
 //!
 //! * `--list` prints the scenario registry (names, tags, families, faults).
@@ -23,6 +25,12 @@
 //!   `Session` instead of a cold `solve` — the CI guard that the session
 //!   path answers bit-identically under golden verification.
 //! * `--filter <tag>` restricts scenario selection (for `--smoke` and `e16`).
+//! * `--trace <dir>` writes one Chrome-trace JSON (`<name>.trace.json`,
+//!   simulated rounds as the clock — load in `chrome://tracing` or Perfetto)
+//!   plus a text rollup (`<name>.rollup.txt`) per traced run into `<dir>`.
+//!   Alone it traces the E2 workload and one `chaos-*` scenario; with
+//!   `--smoke` it traces every scenario in the matrix, and a trace that
+//!   fails to reconcile against the metrics counters fails the run.
 //! * `--large` extends the E2/E4 sweeps (and the `--json` APSP sweep) to
 //!   n = 3200 with sampled verification.
 //! * `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
@@ -57,22 +65,38 @@ fn main() {
         eprintln!("--via-session applies to --smoke runs only; nothing here consults it");
         std::process::exit(2);
     }
-    // One pass: `--filter` consumes the following value, everything else
-    // without a `--` prefix is an experiment id.
+    // One pass: `--filter` and `--trace` consume the following value,
+    // everything else without a `--` prefix is an experiment id.
     let mut filter: Option<String> = None;
     let mut filter_flag = false;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut trace_flag = false;
     let mut wanted: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if a == "--filter" {
             filter_flag = true;
             filter = iter.next().map(|s| s.to_string());
+        } else if a == "--trace" {
+            trace_flag = true;
+            trace_dir = iter.next().map(std::path::PathBuf::from);
         } else if !a.starts_with("--") {
             wanted.push(a.as_str());
         }
     }
     if filter_flag && filter.is_none() {
         eprintln!("--filter requires a tag (see --list for the registry's tags)");
+        std::process::exit(2);
+    }
+    if trace_flag && trace_dir.is_none() {
+        eprintln!("--trace requires an output directory for the trace/rollup files");
+        std::process::exit(2);
+    }
+    // `--trace` without `--smoke` is its own mode (trace the E2 workload plus
+    // one chaos scenario, then exit); experiment ids or `--json` alongside it
+    // would be silently ignored, so they must error like any unconsulted flag.
+    if trace_dir.is_some() && !smoke && (!wanted.is_empty() || emit_json || list) {
+        eprintln!("--trace combines only with --smoke; alone it traces the E2 workload and one chaos scenario");
         std::process::exit(2);
     }
     // A filter that no code path will consult must error, not silently gate
@@ -135,13 +159,43 @@ fn main() {
             std::fs::write("BENCH_chaos.json", &doc).expect("write BENCH_chaos.json");
             eprintln!("wrote BENCH_chaos.json");
         }
-        if failures + chaos_failures > 0 {
+        // `--smoke --trace <dir>`: one traced run per scenario in the matrix,
+        // exporting the Chrome trace + rollup; a reconciliation mismatch
+        // fails the verdict and therefore the gate below.
+        let trace_failures = if let Some(dir) = &trace_dir {
+            eprintln!("exporting smoke-matrix traces into {}...", dir.display());
+            let selected: Vec<&hybrid_scenarios::Scenario> = match filter.as_deref() {
+                Some(tag) => hybrid_scenarios::by_tag(tag),
+                None => registry().iter().collect(),
+            };
+            ex::export_scenario_traces(dir, &selected, ex::SMOKE_N)
+        } else {
+            0
+        };
+        if failures + chaos_failures + trace_failures > 0 {
             eprintln!(
-                "{failures} scenario(s) and {chaos_failures} chaos sweep run(s) FAILED verification"
+                "{failures} scenario(s), {chaos_failures} chaos sweep run(s), and \
+                 {trace_failures} traced run(s) FAILED verification"
             );
             std::process::exit(1);
         }
         eprintln!("all scenarios passed golden verification (chaos recovery included)");
+        return;
+    }
+
+    // Plain `--trace <dir>`: trace the E2 workload (the perf-trajectory
+    // anchor) and the first chaos scenario (retransmission waves and
+    // degradation events in the stream), then exit.
+    if let Some(dir) = &trace_dir {
+        let chaos = hybrid_scenarios::by_tag("chaos");
+        let chaos_first = chaos.first().copied().expect("registry ships chaos scenarios");
+        let e2 = hybrid_scenarios::find("e2-er").expect("registry ships e2-er");
+        eprintln!("exporting traces into {}...", dir.display());
+        let trace_failures = ex::export_scenario_traces(dir, &[e2, chaos_first], ex::SMOKE_N);
+        if trace_failures > 0 {
+            eprintln!("{trace_failures} traced run(s) FAILED verification");
+            std::process::exit(1);
+        }
         return;
     }
 

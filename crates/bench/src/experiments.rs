@@ -23,7 +23,8 @@ use hybrid_graph::skeleton::{count_coverage_violations, count_distance_violation
 use hybrid_graph::{Distance, Graph, NodeId, INFINITY};
 use hybrid_scenarios::workloads::{er, random_nodes};
 use hybrid_scenarios::{
-    registry, run_scenario_with, run_scenarios_with, Engine, FaultPlan, Scenario, ScenarioReport,
+    registry, run_scenario_traced, run_scenario_with, run_scenarios_with, Engine, FaultPlan,
+    Scenario, ScenarioReport,
 };
 use hybrid_sim::{HybridConfig, HybridNet};
 use rand::rngs::StdRng;
@@ -871,6 +872,47 @@ pub fn scenario_reports_with(
     }
 }
 
+/// Traces each scenario at size `n` and writes two artifacts per run into
+/// `dir` (created if needed): `<name>.trace.json`, a Chrome-trace document
+/// with simulated rounds as the clock (load it in `chrome://tracing` or
+/// Perfetto), and `<name>.rollup.txt`, the per-phase text summary. Returns
+/// the number of runs whose golden verification — which folds in trace
+/// reconciliation against the metrics counters — failed.
+pub fn export_scenario_traces(dir: &std::path::Path, scenarios: &[&Scenario], n: usize) -> usize {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("create trace dir {}: {e}", dir.display()));
+    let mut failures = 0;
+    for sc in scenarios {
+        let (report, rec) = run_scenario_traced(sc, n);
+        let chrome = rec.chrome_trace();
+        let rollup = rec.rollup();
+        assert!(
+            !rec.is_empty() && !chrome.is_empty() && !rollup.is_empty(),
+            "{}: a traced run must emit events",
+            sc.name
+        );
+        let trace_path = dir.join(format!("{}.trace.json", sc.name));
+        std::fs::write(&trace_path, &chrome)
+            .unwrap_or_else(|e| panic!("write {}: {e}", trace_path.display()));
+        let rollup_path = dir.join(format!("{}.rollup.txt", sc.name));
+        std::fs::write(&rollup_path, &rollup)
+            .unwrap_or_else(|e| panic!("write {}: {e}", rollup_path.display()));
+        eprintln!(
+            "traced {:<22} {:>6} events, top phase {} ({} rounds) -> {}",
+            sc.name,
+            report.trace_events,
+            report.top_phase,
+            report.top_phase_rounds,
+            trace_path.display(),
+        );
+        if !report.passed() {
+            eprintln!("  verification FAILED: {}", report.detail);
+            failures += 1;
+        }
+    }
+    failures
+}
+
 /// E16 — the scenario matrix: every registry workload (graph family × fault
 /// plan × algorithm suite) with its golden-verification verdict.
 pub fn e16_scenarios(scale: Scale) -> Table {
@@ -936,6 +978,20 @@ mod tests {
         ] {
             assert!(table.render().lines().count() > 4);
         }
+    }
+
+    #[test]
+    fn export_scenario_traces_writes_chrome_trace_and_rollup() {
+        let dir = std::env::temp_dir().join(format!("hybrid-trace-test-{}", std::process::id()));
+        let sc = hybrid_scenarios::find("sparse-grid-thm11").expect("registered");
+        let failures = export_scenario_traces(&dir, &[sc], 36);
+        assert_eq!(failures, 0);
+        let chrome = std::fs::read_to_string(dir.join("sparse-grid-thm11.trace.json")).unwrap();
+        assert!(chrome.trim_start().starts_with('{'));
+        assert!(chrome.contains("\"traceEvents\""));
+        let rollup = std::fs::read_to_string(dir.join("sparse-grid-thm11.rollup.txt")).unwrap();
+        assert!(!rollup.trim().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

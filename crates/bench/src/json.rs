@@ -59,6 +59,14 @@ pub struct BenchRecord {
     pub healthy_rounds: Option<u64>,
     /// Wall-clock nanoseconds of the fault-free twin run, for chaos records.
     pub healthy_wall_ns: Option<u128>,
+    /// Number of structured trace events the run emitted, for scenario
+    /// records (schema v2).
+    pub trace_events: Option<u64>,
+    /// Name of the phase that consumed the most simulated rounds, for
+    /// scenario records (schema v2; omitted when nothing was charged).
+    pub top_phase: Option<String>,
+    /// Rounds charged under `top_phase` (schema v2).
+    pub top_phase_rounds: Option<u64>,
 }
 
 impl BenchRecord {
@@ -143,6 +151,9 @@ impl BenchRecord {
             scenario: Some(r.scenario.clone()),
             seed: Some(r.seed),
             verdict: Some(r.verdict.as_str().to_string()),
+            trace_events: Some(r.trace_events),
+            top_phase: (!r.top_phase.is_empty()).then(|| r.top_phase.clone()),
+            top_phase_rounds: (!r.top_phase.is_empty()).then_some(r.top_phase_rounds),
             ..BenchRecord::default()
         }
     }
@@ -155,8 +166,11 @@ impl BenchRecord {
 /// v4: measured records carry best-effort `"peak_rss_bytes"`.
 pub const SCHEMA: &str = "hybrid-bench/apsp-v4";
 
-/// Schema tag of scenario-engine records.
-pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v1";
+/// Schema tag of scenario-engine records. v2: every record additionally
+/// carries the run's `"trace_events"` count and (when anything was charged)
+/// the `"top_phase"` name with its `"top_phase_rounds"`; all v1 fields are
+/// unchanged.
+pub const SCHEMA_SCENARIOS: &str = "hybrid-bench/scenarios-v2";
 
 /// Schema tag of the serving-throughput sweep: cold-vs-session wall clocks
 /// for a mixed-query batch on one graph, with queries/sec and the
@@ -233,6 +247,16 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
         }
         if let Some(rss) = r.peak_rss_bytes {
             let _ = write!(line, ", \"peak_rss_bytes\": {rss}");
+        }
+        if let Some(events) = r.trace_events {
+            let _ = write!(line, ", \"trace_events\": {events}");
+        }
+        if let (Some(phase), Some(rounds)) = (&r.top_phase, r.top_phase_rounds) {
+            let _ = write!(
+                line,
+                ", \"top_phase\": \"{}\", \"top_phase_rounds\": {rounds}",
+                escape(phase)
+            );
         }
         let _ = writeln!(out, "{line}}}{comma}");
     }
@@ -371,9 +395,34 @@ mod tests {
         let sc = hybrid_scenarios::find("sparse-grid-thm11").unwrap();
         let report = hybrid_scenarios::run_scenario(sc, 36);
         let doc = render_scenarios("small", &[report]);
-        assert!(doc.contains("\"schema\": \"hybrid-bench/scenarios-v1\""));
+        assert!(doc.contains("\"schema\": \"hybrid-bench/scenarios-v2\""));
         assert!(doc.contains("\"scenario\": \"sparse-grid-thm11\""));
         assert!(doc.contains(&format!("\"seed\": {}", sc.seed)));
         assert!(doc.contains("\"verdict\": \"pass\""));
+    }
+
+    #[test]
+    fn scenarios_v2_pins_v1_fields_and_adds_trace_summary() {
+        let sc = hybrid_scenarios::find("sparse-grid-thm11").unwrap();
+        let report = hybrid_scenarios::run_scenario(sc, 36);
+        let doc = render_scenarios("small", std::slice::from_ref(&report));
+        // Every v1 field renders under its unchanged name …
+        for field in [
+            "\"bench\"",
+            "\"n\"",
+            "\"wall_ns\"",
+            "\"rounds\"",
+            "\"scenario\"",
+            "\"seed\"",
+            "\"verdict\"",
+        ] {
+            assert!(doc.contains(field), "v1 field {field} missing from v2 document");
+        }
+        // … and the v2 trace summary is present and consistent with the run.
+        assert!(report.trace_events > 0);
+        assert!(doc.contains(&format!("\"trace_events\": {}", report.trace_events)));
+        assert!(doc.contains(&format!("\"top_phase\": \"{}\"", report.top_phase)));
+        assert!(doc.contains(&format!("\"top_phase_rounds\": {}", report.top_phase_rounds)));
+        assert!(report.top_phase_rounds <= report.rounds);
     }
 }

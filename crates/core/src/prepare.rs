@@ -177,6 +177,25 @@ pub(crate) fn skeleton_phase(
     phase: &str,
     prep: Prep<'_>,
 ) -> Result<Arc<SkeletonArtifacts>, HybridError> {
+    if net.tracing() {
+        net.trace_span_begin(&format!("prepare:{phase}"));
+    }
+    let out = skeleton_phase_impl(net, x_exp, xi, forced, seed, phase, prep);
+    if net.tracing() {
+        net.trace_span_end(&format!("prepare:{phase}"));
+    }
+    out
+}
+
+fn skeleton_phase_impl(
+    net: &mut HybridNet<'_>,
+    x_exp: f64,
+    xi: f64,
+    forced: &[NodeId],
+    seed: u64,
+    phase: &str,
+    prep: Prep<'_>,
+) -> Result<Arc<SkeletonArtifacts>, HybridError> {
     let Prep::Warm(prepared) = prep else {
         let skeleton = compute_skeleton(net, x_exp, xi, forced, seed, phase)?;
         return Ok(Arc::new(SkeletonArtifacts::new(skeleton)));
@@ -188,12 +207,14 @@ pub(crate) fn skeleton_phase(
         // Replay Algorithm 6's round bill: `h` rounds of local discovery at
         // the (post-remediation) radius the cached construction settled on.
         let art = art.clone();
+        net.trace_cache(phase, true);
         net.charge_local(art.skeleton.h() as u64, phase);
         return Ok(art);
     }
     // First worker on this key: compute while holding the cell lock so
     // concurrent workers block (and then replay) instead of recomputing. On
     // error the slot stays empty and the next caller retries.
+    net.trace_cache(phase, false);
     let skeleton = compute_skeleton(net, x_exp, xi, forced, seed, phase)?;
     let art = Arc::new(SkeletonArtifacts::new(skeleton));
     *slot = Some(art.clone());

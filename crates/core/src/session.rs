@@ -54,7 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hybrid_graph::Graph;
-use hybrid_sim::{FaultPlan, HybridConfig, HybridNet, Metrics};
+use hybrid_sim::{FaultPlan, HybridConfig, HybridNet, Metrics, Recorder, TraceEvent};
 
 use crate::error::HybridError;
 use crate::prepare::Prep;
@@ -344,6 +344,73 @@ impl<'g> Session<'g> {
         (result, metrics)
     }
 
+    /// Like [`Session::solve_with_metrics`], but also records a structured
+    /// trace of the run (the report memo is bypassed so the trace describes a
+    /// real protocol run; preprocessing is still shared, so cache hits show
+    /// up as [`TraceEvent::Cache`] events). The returned recorder reconciles
+    /// exactly against the returned metrics.
+    pub fn solve_traced(&self, query: &Query) -> (Result<Report, HybridError>, Metrics, Recorder) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = query.validate() {
+            return (Err(HybridError::Query(e)), Metrics::new(), Recorder::new());
+        }
+        if let Err(e) = self.check_xi(query) {
+            return (Err(e), Metrics::new(), Recorder::new());
+        }
+        let mut net = self.fresh_net();
+        net.set_trace(Recorder::new());
+        let prep = if self.cacheable() { Prep::Warm(&self.prepared) } else { Prep::Cold };
+        let result = solve_inner(&mut net, query, self.cfg.seed, prep);
+        let rec = net.take_trace().expect("recorder installed above");
+        if self.cacheable() {
+            if let Ok(report) = &result {
+                self.reports
+                    .lock()
+                    .expect("report memo lock")
+                    .entry(query_key(query))
+                    .or_insert_with(|| report.clone());
+            }
+        }
+        (result, net.into_metrics(), rec)
+    }
+
+    /// Serves a batch serially with one merged trace: every input gets a
+    /// `batch[i]:<label>` span, protocol runs carry their full event stream,
+    /// and memo-served repeats appear as report-cache hit events instead of
+    /// re-running — the per-item cost structure of a serving workload, made
+    /// visible. Results are bit-identical to [`Session::solve_batch`] on the
+    /// same inputs.
+    pub fn solve_batch_traced(
+        &self,
+        queries: &[Query],
+    ) -> (Vec<Result<Report, HybridError>>, Recorder) {
+        let mut rec = Recorder::new();
+        let mut results = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let span = format!("batch[{i}]:{}", q.label());
+            let memo = if self.cacheable() && q.validate().is_ok() && self.check_xi(q).is_ok() {
+                self.reports.lock().expect("report memo lock").get(&query_key(q)).cloned()
+            } else {
+                None
+            };
+            if let Some(report) = memo {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.report_hits.fetch_add(1, Ordering::Relaxed);
+                rec.span_begin(&span, 0);
+                rec.record(TraceEvent::Cache { name: format!("report:{}", q.label()), hit: true });
+                rec.span_end(&span, 0);
+                results.push(Ok(report));
+                continue;
+            }
+            let (result, metrics, item) = self.solve_traced(q);
+            rec.span_begin(&span, 0);
+            rec.merge(&item);
+            rec.span_end(&span, metrics.rounds);
+            results.push(result);
+        }
+        (results, rec)
+    }
+
     /// Serves a batch of independent queries, returning one result per input
     /// in order. Repeated queries are deduplicated (solved once, answers
     /// cloned) and the distinct ones are sharded over scoped worker threads
@@ -534,6 +601,75 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.queries, 5);
         assert_eq!(stats.report_hits, 3);
+    }
+
+    #[test]
+    fn traced_solves_reconcile_and_expose_preprocessing_cache_hits() {
+        let g = grid(7, 7, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(5)).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let cache_events = |rec: &Recorder, want_hit: bool| {
+            rec.events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Cache { hit, .. } if *hit == want_hit))
+                .count()
+        };
+        let (r1, m1, rec1) = session.solve_traced(&q);
+        let r1 = r1.unwrap();
+        rec1.reconcile(&m1).expect("first traced run reconciles");
+        assert!(cache_events(&rec1, false) >= 1, "first run prepares cold");
+        assert_eq!(cache_events(&rec1, true), 0);
+        let (r2, m2, rec2) = session.solve_traced(&q);
+        let r2 = r2.unwrap();
+        rec2.reconcile(&m2).expect("second traced run reconciles");
+        assert!(cache_events(&rec2, true) >= 1, "second run hits the skeleton cache");
+        assert_eq!(cache_events(&rec2, false), 0);
+        assert_eq!(r1.rounds, r2.rounds, "the replayed bill is identical");
+    }
+
+    #[test]
+    fn traced_batch_matches_plain_batch_and_shows_memo_hits() {
+        let g = grid(7, 7, 1).unwrap();
+        let a = Query::apsp().build().unwrap();
+        let b = Query::sssp(NodeId::new(0)).build().unwrap();
+        let batch = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+        let plain = Session::new(&g, SessionConfig::new(9)).unwrap();
+        let expected = plain.solve_batch(&batch);
+        let traced = Session::new(&g, SessionConfig::new(9)).unwrap();
+        let (results, rec) = traced.solve_batch_traced(&batch);
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(&expected) {
+            assert_same_report(got.as_ref().unwrap(), want.as_ref().unwrap());
+        }
+        // One span per input, in order; the two repeats of `a` are memo hits.
+        let spans: Vec<&str> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpanBegin { name, .. } if name.starts_with("batch[") => {
+                    Some(name.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            [
+                "batch[0]:apsp-thm11",
+                "batch[1]:sssp-thm13",
+                "batch[2]:apsp-thm11",
+                "batch[3]:apsp-thm11"
+            ]
+        );
+        let memo_hits = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::Cache { name, hit: true } if name.starts_with("report:"))
+            })
+            .count();
+        assert_eq!(memo_hits, 2);
+        assert_eq!(traced.stats().report_hits, 2);
     }
 
     #[test]

@@ -40,7 +40,7 @@
 
 use hybrid_graph::apsp::DistanceMatrix;
 use hybrid_graph::{Distance, NodeId, INFINITY};
-use hybrid_sim::HybridNet;
+use hybrid_sim::{HybridNet, PhaseStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -670,6 +670,12 @@ pub struct Report {
     /// Lemma C.1 fallback count (nodes that found no skeleton within `h`
     /// hops; 0 when not applicable).
     pub coverage_fallbacks: usize,
+    /// Per-phase rounds/messages attributable to *this* solve (the delta of
+    /// the net's phase metrics across the solve, phases in lexicographic
+    /// order, zero-activity phases omitted) — callers attribute rounds
+    /// without reaching into the sim. The phase rounds sum to
+    /// [`Report::rounds`].
+    pub phases: Vec<(String, PhaseStats)>,
 }
 
 impl Report {
@@ -771,6 +777,10 @@ pub(crate) fn solve_inner(
     let messages_before = net.metrics().global_messages;
     let dropped_before = net.metrics().dropped_messages;
     let suppressed_before = net.metrics().suppressed_by_crash;
+    let phases_before = net.metrics().phases.clone();
+    if net.tracing() {
+        net.trace_span_begin(&format!("solve:{}", query.label()));
+    }
     let primary = run_query(net, query, seed, prep);
     // Crash impact: the reliable layer suppressed messages to/from crashed
     // nodes during this solve, so the primary answer may silently miss their
@@ -779,7 +789,12 @@ pub(crate) fn solve_inner(
     let mut report = match primary {
         Ok(report) if !crash_hit => report,
         Ok(_) => degraded_report(net, query, seed, DegradeCause::CrashDetected, rounds_before),
-        Err(err) if !faulty => return Err(err),
+        Err(err) if !faulty => {
+            if net.tracing() {
+                net.trace_span_end(&format!("solve:{}", query.label()));
+            }
+            return Err(err);
+        }
         Err(_) => {
             let cause =
                 if crash_hit { DegradeCause::CrashDetected } else { DegradeCause::ProtocolFault };
@@ -788,7 +803,32 @@ pub(crate) fn solve_inner(
     };
     report.global_messages = net.metrics().global_messages - messages_before;
     report.dropped_messages = net.metrics().dropped_messages - dropped_before;
+    report.phases = phase_delta(&phases_before, &net.metrics().phases);
+    if net.tracing() {
+        net.trace_span_end(&format!("solve:{}", query.label()));
+    }
     Ok(report)
+}
+
+/// The per-phase rounds/messages attributable to one solve: the entry-wise
+/// difference of the net's phase table across the solve, dropping phases
+/// with no activity. `BTreeMap` iteration keeps the order deterministic.
+fn phase_delta(
+    before: &std::collections::BTreeMap<String, PhaseStats>,
+    after: &std::collections::BTreeMap<String, PhaseStats>,
+) -> Vec<(String, PhaseStats)> {
+    let mut out = Vec::new();
+    for (phase, stats) in after {
+        let prior = before.get(phase).copied().unwrap_or_default();
+        let delta = PhaseStats {
+            rounds: stats.rounds - prior.rounds,
+            messages: stats.messages - prior.messages,
+        };
+        if delta.rounds > 0 || delta.messages > 0 {
+            out.push((phase.clone(), delta));
+        }
+    }
+    out
 }
 
 /// The single dispatch from a [`Query`] to the underlying paper algorithm.
@@ -818,6 +858,7 @@ fn run_query(
                 skeleton_size: out.skeleton_size,
                 h: out.h,
                 coverage_fallbacks: out.coverage_fallbacks,
+                phases: Vec::new(),
             }
         }
         Query::Sssp { variant, source, xi } => {
@@ -844,6 +885,7 @@ fn run_query(
                 skeleton_size: out.skeleton_size,
                 h: out.h,
                 coverage_fallbacks: 0,
+                phases: Vec::new(),
             }
         }
         Query::Kssp { cor, sources, eps, xi } => {
@@ -866,6 +908,7 @@ fn run_query(
                 skeleton_size: out.skeleton_size,
                 h: out.h,
                 coverage_fallbacks: out.coverage_fallbacks,
+                phases: Vec::new(),
             }
         }
         Query::Diameter { cor, eps, xi } => {
@@ -885,6 +928,7 @@ fn run_query(
                 skeleton_size: out.skeleton_size,
                 h: out.h,
                 coverage_fallbacks: 0,
+                phases: Vec::new(),
             }
         }
     };
@@ -974,6 +1018,7 @@ fn degraded_report(
         skeleton_size,
         h,
         coverage_fallbacks,
+        phases: Vec::new(),
     }
 }
 
@@ -1232,6 +1277,47 @@ mod tests {
         let est = report.diameter_estimate().expect("diameter answer");
         assert!(est >= d);
         assert!(est as f64 <= report.guarantee.factor() * d as f64 + 1e-9);
+    }
+
+    #[test]
+    fn report_phases_sum_to_rounds_and_exclude_prior_runs() {
+        let g = grid(6, 6, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let q = Query::apsp().build().unwrap();
+        let report = solve(&mut net, &q, 7).unwrap();
+        assert!(!report.phases.is_empty());
+        let sum: u64 = report.phases.iter().map(|(_, s)| s.rounds).sum();
+        assert_eq!(sum, report.rounds, "phase rounds attribute the full bill");
+        // A second solve on the same net must only see its own delta.
+        let report2 = solve(&mut net, &q, 7).unwrap();
+        let sum2: u64 = report2.phases.iter().map(|(_, s)| s.rounds).sum();
+        assert_eq!(sum2, report2.rounds);
+        assert!(report2.phases.windows(2).all(|w| w[0].0 < w[1].0), "lexicographic order");
+    }
+
+    #[test]
+    fn traced_solve_reconciles_and_wraps_a_span() {
+        let g = grid(6, 6, 1).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let mut plain = HybridNet::new(&g, HybridConfig::default());
+        let baseline = solve(&mut plain, &q, 7).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        net.set_trace(hybrid_sim::Recorder::new());
+        let report = solve(&mut net, &q, 7).unwrap();
+        // Tracing never changes the answer or the bill.
+        assert_eq!(report.rounds, baseline.rounds);
+        assert_eq!(report.global_messages, baseline.global_messages);
+        let rec = net.take_trace().unwrap();
+        rec.reconcile(net.metrics()).expect("trace totals match metrics");
+        let events = rec.events();
+        assert!(matches!(
+            &events[0],
+            hybrid_sim::TraceEvent::SpanBegin { name, .. } if name == "solve:apsp-thm11"
+        ));
+        assert!(matches!(
+            events.last().unwrap(),
+            hybrid_sim::TraceEvent::SpanEnd { name, .. } if name == "solve:apsp-thm11"
+        ));
     }
 
     #[test]

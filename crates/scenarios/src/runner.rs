@@ -15,6 +15,7 @@ use std::time::Instant;
 use hybrid_core::session::{Session, SessionConfig};
 use hybrid_core::solver::solve;
 use hybrid_graph::Graph;
+use hybrid_sim::Recorder;
 
 use crate::model::Scenario;
 use crate::verify::{check_error, check_report, Verdict, Verification};
@@ -64,6 +65,14 @@ pub struct ScenarioReport {
     /// Wall-clock nanoseconds of the run (graph build + algorithm +
     /// verification).
     pub wall_ns: u128,
+    /// Number of structured trace events the run emitted (0 only when the
+    /// run panicked before tracing could start).
+    pub trace_events: u64,
+    /// Name of the phase that consumed the most simulated rounds
+    /// (lexicographically first on ties; empty when nothing was charged).
+    pub top_phase: String,
+    /// Rounds charged under [`ScenarioReport::top_phase`].
+    pub top_phase_rounds: u64,
 }
 
 impl ScenarioReport {
@@ -104,7 +113,7 @@ fn run_suite(sc: &Scenario, g: &Graph, net: &mut hybrid_sim::HybridNet<'_>) -> (
 /// Executes the suite through a serving [`Session`] pinned to the scenario's
 /// `(seed, ξ, network, faults)` — the alternate engine whose reports must be
 /// bit-identical to [`run_suite`]'s.
-fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64) {
+fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64, Recorder) {
     let contract = sc.contract();
     let cfg = SessionConfig {
         seed: sc.seed,
@@ -114,20 +123,31 @@ fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64) 
         round_threads: None,
     };
     let session = Session::new(g, cfg).expect("registry scenario configs are valid");
-    let (result, metrics) = session.solve_with_metrics(&sc.suite.query());
-    match result {
-        Ok(report) => (
-            report.rounds,
-            check_report(g, &report, contract),
-            metrics.global_messages,
-            metrics.dropped_messages,
-        ),
-        Err(e) => (
-            metrics.rounds,
-            check_error(&e, contract, metrics.dropped_messages),
-            metrics.global_messages,
-            metrics.dropped_messages,
-        ),
+    let (result, metrics, rec) = session.solve_traced(&sc.suite.query());
+    let mut verification = match &result {
+        Ok(report) => check_report(g, report, contract),
+        Err(e) => check_error(e, contract, metrics.dropped_messages),
+    };
+    reconcile_into(&rec, &metrics, &mut verification);
+    let rounds = match result {
+        Ok(report) => report.rounds,
+        Err(_) => metrics.rounds,
+    };
+    (rounds, verification, metrics.global_messages, metrics.dropped_messages, rec)
+}
+
+/// Folds a trace-reconciliation failure into the run's verdict: a run whose
+/// trace totals diverge from its metrics fails even if its answer verified —
+/// self-verifying observability is part of the contract.
+fn reconcile_into(rec: &Recorder, metrics: &hybrid_sim::Metrics, verification: &mut Verification) {
+    if let Err(e) = rec.reconcile(metrics) {
+        let detail = format!("trace reconciliation failed: {e}");
+        if verification.verdict == Verdict::Pass {
+            *verification = Verification::fail(detail);
+        } else {
+            verification.detail.push_str("; ");
+            verification.detail.push_str(&detail);
+        }
     }
 }
 
@@ -142,32 +162,73 @@ pub fn run_scenario(sc: &Scenario, n: usize) -> ScenarioReport {
 /// ground truth. Panics inside the algorithm are caught and reported as
 /// [`Verdict::Fail`] — a fault plan must surface as a structured error,
 /// never a crash.
+///
+/// Every run is traced, and the trace must [`Recorder::reconcile`] exactly
+/// against the run's metrics — a mismatch fails the verdict. Tracing never
+/// changes answers or the round bill (pinned by the determinism suite), so
+/// reports are identical to an untraced run's.
 pub fn run_scenario_with(sc: &Scenario, n: usize, engine: Engine) -> ScenarioReport {
+    run_scenario_inner(sc, n, engine).0
+}
+
+/// Like [`run_scenario_with`] (always the [`Engine::Fresh`] path), returning
+/// the run's trace recorder alongside the report — the export path behind
+/// `experiments --trace`.
+pub fn run_scenario_traced(sc: &Scenario, n: usize) -> (ScenarioReport, Recorder) {
+    let (report, rec) = run_scenario_inner(sc, n, Engine::Fresh);
+    (report, rec.unwrap_or_default())
+}
+
+fn run_scenario_inner(
+    sc: &Scenario,
+    n: usize,
+    engine: Engine,
+) -> (ScenarioReport, Option<Recorder>) {
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let g = sc.graph(n);
         match engine {
             Engine::Fresh => {
                 let mut net = sc.net(&g);
-                let (rounds, verification) = run_suite(sc, &g, &mut net);
+                net.set_trace(Recorder::new());
+                let (rounds, mut verification) = run_suite(sc, &g, &mut net);
+                let rec = net.take_trace().expect("recorder installed above");
+                reconcile_into(&rec, net.metrics(), &mut verification);
                 let m = net.metrics();
-                (rounds, verification, m.global_messages, m.dropped_messages)
+                (rounds, verification, m.global_messages, m.dropped_messages, rec)
             }
             Engine::Session => run_suite_session(sc, &g),
         }
     }));
-    let (rounds, verification, global_messages, dropped_messages) = match result {
-        Ok(r) => r,
+    let (rounds, verification, global_messages, dropped_messages, rec) = match result {
+        Ok(r) => {
+            let (rounds, verification, gm, dm, rec) = r;
+            (rounds, verification, gm, dm, Some(rec))
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            (0, Verification::fail(format!("panicked: {msg}")), 0, 0)
+            (0, Verification::fail(format!("panicked: {msg}")), 0, 0, None)
         }
     };
-    ScenarioReport {
+    let (trace_events, top_phase, top_phase_rounds) = match &rec {
+        Some(rec) => {
+            let totals = rec.totals();
+            let mut top: Option<(&str, u64)> = None;
+            for (name, stats) in &totals.phases {
+                if top.is_none_or(|(_, r)| stats.rounds > r) {
+                    top = Some((name.as_str(), stats.rounds));
+                }
+            }
+            let (name, rounds) = top.unwrap_or(("", 0));
+            (rec.len() as u64, name.to_string(), rounds)
+        }
+        None => (0, String::new(), 0),
+    };
+    let report = ScenarioReport {
         scenario: sc.name.to_string(),
         seed: sc.seed,
         n,
@@ -180,7 +241,11 @@ pub fn run_scenario_with(sc: &Scenario, n: usize, engine: Engine) -> ScenarioRep
         global_messages,
         dropped_messages,
         wall_ns: start.elapsed().as_nanos(),
-    }
+        trace_events,
+        top_phase,
+        top_phase_rounds,
+    };
+    (report, rec)
 }
 
 /// Worker-thread count: `HYBRID_SCENARIO_THREADS` override, else the machine's

@@ -92,6 +92,16 @@ impl Verification {
 /// report itself carries ([`Report::guarantee`]) — the verification layer no
 /// longer re-derives per-algorithm approximation math.
 pub fn check_report(g: &Graph, report: &Report, contract: Contract) -> Verification {
+    // Attribution integrity first: the per-phase breakdown must account for
+    // every simulated round the report bills, whatever the contract.
+    let phase_rounds: u64 = report.phases.iter().map(|(_, s)| s.rounds).sum();
+    if phase_rounds != report.rounds {
+        return Verification::fail(format!(
+            "phase attribution broken: per-phase rounds sum to {phase_rounds} \
+             but the report bills {} rounds",
+            report.rounds
+        ));
+    }
     let lossy = contract.tolerates_overestimates();
     if let Guarantee::Degraded { from, to, cause } = &report.guarantee {
         if contract == Contract::Strict {
@@ -377,6 +387,22 @@ mod tests {
             ..report
         };
         assert_eq!(check_report(&g, &diam_bad, Contract::Strict).verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn check_report_rejects_broken_phase_attribution() {
+        use hybrid_core::solver::{solve, Query};
+        use hybrid_sim::{HybridConfig, HybridNet};
+
+        let g = path(6, 1).unwrap();
+        let mut net = HybridNet::new(&g, HybridConfig::default());
+        let report = solve(&mut net, &Query::apsp().build().unwrap(), 3).unwrap();
+        assert!(report.rounds > 0);
+        let mut tampered = report.clone();
+        tampered.phases.clear();
+        let v = check_report(&g, &tampered, Contract::Strict);
+        assert_eq!(v.verdict, Verdict::Fail);
+        assert!(v.detail.contains("phase attribution"), "{}", v.detail);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod net;
 pub mod par;
 pub mod rng;
+pub mod trace;
 
 pub use channel::{Envelope, FlatInboxes, Inboxes};
 pub use config::{HybridConfig, OverflowPolicy};
@@ -67,3 +68,4 @@ pub use fault::{Crash, FaultPlan};
 pub use metrics::{Metrics, PhaseStats};
 pub use net::{HybridNet, SimError};
 pub use rng::derive_seed;
+pub use trace::{Recorder, TraceEvent, TraceSink};

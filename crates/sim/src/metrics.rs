@@ -148,18 +148,51 @@ impl Metrics {
                 self.retransmissions, self.recovered_messages, self.declared_dead
             );
         }
+        if let Some((p50, p95, max)) = self.recv_load_percentiles() {
+            let _ = writeln!(out, "recv load: p50 {p50}, p95 {p95}, max {max}");
+        }
         if !self.phases.is_empty() {
             let _ = writeln!(out, "phases:");
             let width = self.phases.keys().map(|k| k.len()).max().unwrap_or(0);
             for (phase, stats) in &self.phases {
-                let _ = writeln!(
-                    out,
-                    "  {phase:<width$}  {:>8} rounds  {:>10} msgs",
-                    stats.rounds, stats.messages
-                );
+                if stats.messages == 0 {
+                    // Local-only phase: a `0 msgs` column would be noise.
+                    let _ = writeln!(out, "  {phase:<width$}  {:>8} rounds", stats.rounds);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {phase:<width$}  {:>8} rounds  {:>10} msgs",
+                        stats.rounds, stats.messages
+                    );
+                }
             }
         }
         out
+    }
+
+    /// p50/p95/max of the per-node per-exchange receive-load histogram, or
+    /// `None` when no loads were recorded. The max is the histogram's top
+    /// occupied bucket, so it saturates with the histogram (the exact maximum
+    /// stays available as [`Metrics::max_recv_load`]).
+    pub fn recv_load_percentiles(&self) -> Option<(usize, usize, usize)> {
+        let total: u64 = self.recv_load_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = |q_num: u64, q_den: u64| -> usize {
+            // Smallest load l with cumulative count >= ceil(total * q).
+            let target = (total * q_num).div_ceil(q_den);
+            let mut seen = 0u64;
+            for (load, &count) in self.recv_load_hist.iter().enumerate() {
+                seen += count;
+                if seen >= target {
+                    return load;
+                }
+            }
+            self.recv_load_hist.len() - 1
+        };
+        let max = self.recv_load_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+        Some((rank(1, 2), rank(19, 20), max))
     }
 
     /// Merges another run's metrics into this one (used when an algorithm composes
@@ -235,6 +268,7 @@ mod tests {
         assert!(r.contains("rounds: 5 (local 3, global 2)"));
         assert!(r.contains("global messages: 14"));
         assert!(r.contains("cut crossings: 5"));
+        assert!(r.contains("recv load: p50 4, p95 4, max 4"));
         assert!(r.contains("explore"));
         assert!(r.contains("route"));
     }
@@ -244,7 +278,37 @@ mod tests {
         let m = Metrics::new();
         let r = m.render_report();
         assert!(!r.contains("cut crossings"));
+        assert!(!r.contains("recv load:"));
         assert!(!r.contains("phases:"));
+    }
+
+    #[test]
+    fn report_suppresses_msgs_column_for_local_only_phases() {
+        let mut m = Metrics::new();
+        m.charge_local(3, "explore");
+        m.charge_global(2, 14, "route");
+        let r = m.render_report();
+        let explore = r.lines().find(|l| l.contains("explore")).unwrap();
+        let route = r.lines().find(|l| l.contains("route")).unwrap();
+        assert!(!explore.contains("msgs"), "local-only phase: {explore}");
+        assert!(explore.trim_end().ends_with("rounds"));
+        assert!(route.contains("14 msgs"), "global phase keeps msgs: {route}");
+    }
+
+    #[test]
+    fn recv_load_percentiles_summarize_histogram() {
+        let mut m = Metrics::new();
+        assert_eq!(m.recv_load_percentiles(), None);
+        // 10 samples of load 1, 9 of load 2, 1 of load 50.
+        for _ in 0..10 {
+            m.record_recv_load(1);
+        }
+        for _ in 0..9 {
+            m.record_recv_load(2);
+        }
+        m.record_recv_load(50);
+        // p50 = 10th of 20 samples -> load 1; p95 = 19th -> load 2; max 50.
+        assert_eq!(m.recv_load_percentiles(), Some((1, 2, 50)));
     }
 
     #[test]

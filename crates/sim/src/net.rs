@@ -22,6 +22,7 @@ use crate::config::{HybridConfig, OverflowPolicy};
 use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::par;
+use crate::trace::{Recorder, ShardTrace, TraceEvent};
 
 /// Errors of a simulated execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,6 +275,10 @@ pub struct HybridNet<'g> {
     reliable: bool,
     /// Wave state of the reliable layer (untouched on the trivial-plan path).
     rel: ReliableScratch,
+    /// Buffered trace sink (see [`HybridNet::set_trace`]); `None` — the
+    /// default — keeps every emission site a single branch, so the
+    /// steady-state exchange path stays allocation-free when not tracing.
+    trace: Option<Recorder>,
 }
 
 impl<'g> HybridNet<'g> {
@@ -307,6 +312,7 @@ impl<'g> HybridNet<'g> {
             drain_pool: DrainPool::default(),
             reliable: false,
             rel: ReliableScratch::default(),
+            trace: None,
         })
     }
 
@@ -383,6 +389,55 @@ impl<'g> HybridNet<'g> {
         self.faults.as_ref().map(FaultState::declared_dead_nodes).unwrap_or_default()
     }
 
+    /// Installs a trace recorder: from now on every charge and every
+    /// exchange emits a structured [`TraceEvent`] into it (see
+    /// [`crate::trace`]). Tracing is strictly observational — answers,
+    /// guarantees, and the round bill are bit-identical with or without it —
+    /// and with no recorder installed the emission sites cost one branch and
+    /// zero allocations. Replaces any previously installed recorder.
+    pub fn set_trace(&mut self, rec: Recorder) {
+        self.trace = Some(rec);
+    }
+
+    /// Removes and returns the installed trace recorder, if any; the net
+    /// stops emitting events.
+    pub fn take_trace(&mut self) -> Option<Recorder> {
+        self.trace.take()
+    }
+
+    /// `true` while a trace recorder is installed.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Opens a named trace span at the current simulated round (no-op
+    /// without a recorder). Used by the solver layers to scope `solve`,
+    /// `prepare`, and session items.
+    pub fn trace_span_begin(&mut self, name: &str) {
+        let round = self.metrics.rounds;
+        if let Some(t) = self.trace.as_mut() {
+            t.span_begin(name, round);
+        }
+    }
+
+    /// Closes a named trace span at the current simulated round (no-op
+    /// without a recorder).
+    pub fn trace_span_end(&mut self, name: &str) {
+        let round = self.metrics.rounds;
+        if let Some(t) = self.trace.as_mut() {
+            t.span_end(name, round);
+        }
+    }
+
+    /// Records a cache-visibility marker (no-op without a recorder): `hit`
+    /// is `true` when `name` was served from a warm cache, `false` for a
+    /// cold build.
+    pub fn trace_cache(&mut self, name: &str, hit: bool) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Cache { name: name.to_string(), hit });
+        }
+    }
+
     /// The local communication graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
@@ -424,8 +479,24 @@ impl<'g> HybridNet<'g> {
     }
 
     /// Merges metrics of a sub-execution (e.g. a nested protocol run on its own
-    /// net) into this one.
+    /// net) into this one. Under tracing the sub-run's totals are folded into
+    /// the trace as one [`TraceEvent::Absorb`] event, so reconciliation stays
+    /// exact even though the sub-run itself was not traced.
     pub fn absorb_metrics(&mut self, other: &Metrics) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Absorb {
+                rounds: other.rounds,
+                local_rounds: other.local_rounds,
+                messages: other.global_messages,
+                lost: other.dropped_by_loss,
+                suppressed: other.suppressed_by_crash,
+                retransmissions: other.retransmissions,
+                recovered: other.recovered_messages,
+                declared_dead: other.declared_dead,
+                stretched: other.stretched_exchanges,
+                phases: other.phases.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            });
+        }
         self.metrics.absorb(other);
     }
 
@@ -454,6 +525,9 @@ impl<'g> HybridNet<'g> {
     /// bandwidth is unconstrained.
     pub fn charge_local(&mut self, rounds: u64, phase: &str) {
         self.metrics.charge_local(rounds, phase);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Local { phase: phase.to_string(), rounds });
+        }
     }
 
     /// Charges `rounds` global-mode rounds without routing messages. Used when a
@@ -462,6 +536,9 @@ impl<'g> HybridNet<'g> {
     /// are honest, the message contents are not interesting.
     pub fn charge_global_rounds(&mut self, rounds: u64, phase: &str) {
         self.metrics.charge_global_rounds_only(rounds, phase);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::GlobalRounds { phase: phase.to_string(), rounds });
+        }
     }
 
     /// Performs one global-mode communication step, delivering `outbox` into
@@ -507,10 +584,10 @@ impl<'g> HybridNet<'g> {
         // Messages with out-of-range endpoints are exempt: an addressing bug
         // must always surface as [`SimError::AddressOutOfRange`] below, never
         // be swallowed by a random drop.
+        let mut lost = 0u64;
+        let mut suppressed = 0u64;
         if let Some(faults) = &mut self.faults {
             let round = self.metrics.rounds;
-            let mut lost = 0u64;
-            let mut suppressed = 0u64;
             outbox.retain(|e| {
                 if e.src.index() >= n || e.dst.index() >= n {
                     return true;
@@ -590,7 +667,18 @@ impl<'g> HybridNet<'g> {
         }
         self.metrics.charge_global(rounds_needed, m as u64, phase);
 
-        self.scatter_into(outbox, out);
+        let st = self.scatter_into(outbox, out);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Exchange {
+                phase: phase.to_string(),
+                rounds: rounds_needed,
+                messages: m as u64,
+                max_send_load: max_sent as u64,
+                max_recv_load: st.max_recv_load,
+                lost,
+                suppressed,
+            });
+        }
         Ok(())
     }
 
@@ -635,6 +723,17 @@ impl<'g> HybridNet<'g> {
             // An empty exchange still costs its round, like the unreliable
             // engine.
             self.metrics.charge_global(1, 0, phase);
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent::Exchange {
+                    phase: phase.to_string(),
+                    rounds: 1,
+                    messages: 0,
+                    max_send_load: 0,
+                    max_recv_load: 0,
+                    lost: 0,
+                    suppressed: 0,
+                });
+            }
         }
 
         // Seed the wave state: every message pending, zero attempts.
@@ -652,6 +751,13 @@ impl<'g> HybridNet<'g> {
                 // Bounded exponential backoff before each retry wave.
                 let backoff = (1u64 << (wave - 2).min(3)).min(RELIABLE_MAX_BACKOFF);
                 self.metrics.charge_global_rounds_only(backoff, phase);
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Backoff {
+                        phase: phase.to_string(),
+                        wave,
+                        rounds: backoff,
+                    });
+                }
             }
             let round = self.metrics.rounds;
 
@@ -716,10 +822,28 @@ impl<'g> HybridNet<'g> {
             // Commit this wave's bill: suppressions, loads, cut traffic,
             // retransmissions, the wire rounds, and one round of acks.
             let metrics = &mut self.metrics;
+            let trace = &mut self.trace;
             metrics.suppressed_by_crash += suppressed_now;
             metrics.dropped_messages += suppressed_now;
             if rel.attempted.is_empty() {
                 rel.pending.clear();
+                if let Some(t) = trace.as_mut() {
+                    // A wave that never reached the wire charges nothing but
+                    // may still have suppressed messages — mirror it so the
+                    // suppression counters reconcile.
+                    t.record(TraceEvent::Wave {
+                        phase: phase.to_string(),
+                        wave,
+                        rounds: 0,
+                        ack_rounds: 0,
+                        messages: 0,
+                        retransmissions: 0,
+                        lost: 0,
+                        suppressed: suppressed_now,
+                        recovered: 0,
+                        max_send_load: 0,
+                    });
+                }
                 break;
             }
             let max_sent = scratch.sent[..n].iter().copied().max().unwrap_or(0) as usize;
@@ -743,6 +867,9 @@ impl<'g> HybridNet<'g> {
             // stream is consumed deterministically, independent of the
             // thread budget.
             rel.pending.clear();
+            let mut lost_now = 0u64;
+            let mut dead_suppressed = 0u64;
+            let mut recovered_now = 0u64;
             for &idx in &rel.attempted {
                 let i = idx as usize;
                 let e = &outbox[i];
@@ -754,22 +881,42 @@ impl<'g> HybridNet<'g> {
                     if rel.attempts[i] >= RELIABLE_MAX_ATTEMPTS {
                         if faults.declare_dead(e.dst) {
                             metrics.declared_dead += 1;
+                            if let Some(t) = trace.as_mut() {
+                                t.record(TraceEvent::DeclareDead { node: e.dst.index() as u32 });
+                            }
                         }
                         metrics.suppressed_by_crash += 1;
                         metrics.dropped_messages += 1;
+                        dead_suppressed += 1;
                     } else {
                         rel.pending.push(idx);
                     }
                 } else if faults.drop_next() {
                     metrics.dropped_by_loss += 1;
                     metrics.dropped_messages += 1;
+                    lost_now += 1;
                     rel.pending.push(idx);
                 } else {
                     rel.delivered[i] = true;
                     if rel.attempts[i] > 1 {
                         metrics.recovered_messages += 1;
+                        recovered_now += 1;
                     }
                 }
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(TraceEvent::Wave {
+                    phase: phase.to_string(),
+                    wave,
+                    rounds: rounds_needed,
+                    ack_rounds: 1,
+                    messages: rel.attempted.len() as u64,
+                    retransmissions: retrans as u64,
+                    lost: lost_now,
+                    suppressed: suppressed_now + dead_suppressed,
+                    recovered: recovered_now,
+                    max_send_load: max_sent as u64,
+                });
             }
         }
 
@@ -787,7 +934,14 @@ impl<'g> HybridNet<'g> {
         for e in outbox.iter() {
             scratch.recv[e.dst.index()] += 1;
         }
-        self.scatter_into(outbox, out);
+        let delivered = outbox.len() as u64;
+        let st = self.scatter_into(outbox, out);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Delivered {
+                messages: delivered,
+                max_recv_load: st.max_recv_load,
+            });
+        }
         Ok(())
     }
 
@@ -795,12 +949,14 @@ impl<'g> HybridNet<'g> {
     /// reliable layer: sorts `outbox` by `(dst, src, insertion order)` and
     /// moves the payloads into `out`. Expects all addresses validated and
     /// `scratch.recv` to hold `outbox`'s per-destination counts (for
-    /// receive-load recording); charges nothing.
+    /// receive-load recording); charges nothing. Returns the receive-side
+    /// trace observations (sequential scan, or the per-shard buffers merged
+    /// in shard order — bit-identical either way).
     fn scatter_into<M: Send + Sync>(
         &mut self,
         outbox: &mut Vec<Envelope<M>>,
         out: &mut FlatInboxes<M>,
-    ) {
+    ) -> ShardTrace {
         let n = self.graph.len();
         let m = outbox.len();
         // Deliver: stable two-pass counting sort by (dst, src, insertion order)
@@ -889,6 +1045,7 @@ impl<'g> HybridNet<'g> {
         // exactly once. `outbox`'s length is zeroed before any move and
         // `msgs`'s length is only set after all writes, so a panic leaks
         // elements instead of double-dropping them.
+        let mut st = ShardTrace::default();
         unsafe {
             let base = TakePtr(outbox.as_ptr());
             outbox.set_len(0);
@@ -897,6 +1054,7 @@ impl<'g> HybridNet<'g> {
                 for v in 0..n {
                     if recv[v] > 0 {
                         self.metrics.record_recv_load(recv[v] as usize);
+                        st.observe(recv[v] as usize);
                     }
                 }
                 for &i in perm1.iter() {
@@ -911,19 +1069,22 @@ impl<'g> HybridNet<'g> {
                 let perm1_ref: &[u32] = perm1;
                 let recv_ref: &[u32] = recv;
                 // Each receiver shard scatters its buckets and records its
-                // nodes' receive loads into a local `Metrics`; the locals are
-                // merged in shard order below, which reproduces the
-                // sequential `v = 0..n` recording exactly.
-                let shard_metrics: Vec<Metrics> = std::thread::scope(|scope| {
+                // nodes' receive loads into a local `Metrics` plus a local
+                // trace buffer; both locals are merged in shard order below,
+                // which reproduces the sequential `v = 0..n` recording
+                // exactly.
+                let shard_metrics: Vec<(Metrics, ShardTrace)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = cuts
                         .windows(2)
                         .map(|w| {
                             let (lo, hi) = (w[0] as usize, w[1] as usize);
                             scope.spawn(move || {
                                 let mut local = Metrics::new();
+                                let mut local_trace = ShardTrace::default();
                                 for v in lo..hi {
                                     if recv_ref[v] > 0 {
                                         local.record_recv_load(recv_ref[v] as usize);
+                                        local_trace.observe(recv_ref[v] as usize);
                                     }
                                 }
                                 for &i in perm1_ref {
@@ -946,7 +1107,7 @@ impl<'g> HybridNet<'g> {
                                         *cursor += 1;
                                     }
                                 }
-                                local
+                                (local, local_trace)
                             })
                         })
                         .collect();
@@ -955,12 +1116,14 @@ impl<'g> HybridNet<'g> {
                         .map(|h| h.join().expect("exchange shard panicked"))
                         .collect()
                 });
-                for local in &shard_metrics {
+                for (local, local_trace) in &shard_metrics {
                     self.metrics.absorb(local);
+                    st.absorb(local_trace);
                 }
             }
             msgs.set_len(m);
         }
+        st
     }
 
     /// Performs one global-mode communication step: delivers `outbox` subject to

@@ -230,6 +230,49 @@ fn steady_state_diameter_tree_round_is_allocation_free() {
     assert_eq!(acc[63], 63, "aggregate reached every node");
 }
 
+/// Tracing must be pay-for-what-you-use: with no sink installed the per-site
+/// cost is one `Option` branch, and a past `set_trace`/`take_trace` cycle
+/// must leave no residue — steady-state exchanges stay allocation-free both
+/// before any tracing and after tracing has been switched off again.
+#[test]
+fn exchange_with_tracing_disabled_stays_allocation_free() {
+    let _guard = serial();
+    let g = path(64, 1).expect("graph");
+    let mut net = HybridNet::new(&g, HybridConfig::default());
+    let mut outbox: Vec<Envelope<u64>> = Vec::new();
+    let mut inbox: FlatInboxes<u64> = FlatInboxes::new();
+
+    for round in 0..3 {
+        fill_outbox(&mut outbox, 64, round);
+        net.exchange_into("steady", &mut outbox, &mut inbox).expect("exchange");
+    }
+
+    // Trace a few exchanges, then detach the recorder again.
+    net.set_trace(hybrid_sim::Recorder::new());
+    for round in 3..6 {
+        fill_outbox(&mut outbox, 64, round);
+        net.exchange_into("steady", &mut outbox, &mut inbox).expect("exchange");
+    }
+    let rec = net.take_trace().expect("recorder was installed");
+    assert_eq!(rec.events().len(), 3, "one Exchange event per traced call");
+    assert!(!net.tracing());
+
+    let before = allocations();
+    for round in 6..106 {
+        fill_outbox(&mut outbox, 64, round);
+        net.exchange_into("steady", &mut outbox, &mut inbox).expect("exchange");
+        assert_eq!(inbox.len(), 64 * 3);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "exchange with tracing disabled must not allocate (got {} over 100 calls)",
+        after - before
+    );
+    assert_eq!(net.rounds(), 106);
+}
+
 /// `drain_queues` pools its pacing scratch (outbox + inbox arena) on the net
 /// per payload type: a repeat drain of the same shape must allocate strictly
 /// less than the cold first call — only the caller-visible queue and result
