@@ -13,6 +13,8 @@
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke --filter faulty
 //! cargo run --release -p hybrid-bench --bin experiments -- --trace traces/
 //! cargo run --release -p hybrid-bench --bin experiments -- --smoke --trace traces/
+//! cargo run --release -p hybrid-bench --bin experiments -- --serve
+//! cargo run --release -p hybrid-bench --bin experiments -- --serve --smoke
 //! ```
 //!
 //! * `--list` prints the scenario registry (names, tags, families, faults).
@@ -37,6 +39,13 @@
 //!   and the sequential reference) and writes `BENCH_apsp.json`, plus the
 //!   mixed-batch serving sweep into `BENCH_throughput.json` and the chaos
 //!   recovery sweep into `BENCH_chaos.json`.
+//! * `--serve` drives the multi-tenant broker with the closed-loop load
+//!   generator over registry workloads and writes `BENCH_serving.json`
+//!   (schema `hybrid-bench/serving-v1`: latency percentiles, saturation qps,
+//!   shed rate, cache hit/eviction counters). With `--smoke` it runs the
+//!   short small-scale loop and exits non-zero on any bit-identity mismatch,
+//!   unshed overload (request-accounting hole), or schema violation — the
+//!   serving CI gate.
 
 use hybrid_bench::experiments as ex;
 use hybrid_bench::{json, Scale};
@@ -106,6 +115,92 @@ fn main() {
     if filter.is_some() && !smoke && !list && !runs_e16 {
         eprintln!("--filter applies to --smoke and e16 runs only; nothing here consults it");
         std::process::exit(2);
+    }
+
+    // `--serve`: the closed-loop broker sweep is its own mode; every flag it
+    // doesn't consult (experiment ids, --trace, --filter, --via-session,
+    // --list, --json — it always writes its JSON) must error, not silently
+    // do nothing.
+    if args.iter().any(|a| a == "--serve") {
+        if !wanted.is_empty()
+            || trace_flag
+            || filter_flag
+            || list
+            || emit_json
+            || engine != hybrid_scenarios::Engine::Fresh
+        {
+            eprintln!(
+                "--serve combines only with --small/--large/--smoke; it always writes \
+                 BENCH_serving.json"
+            );
+            std::process::exit(2);
+        }
+        let serve_scale = if smoke { Scale::Small } else { scale };
+        let scale_name = match serve_scale {
+            Scale::Small => "small",
+            Scale::Full => "full",
+            Scale::Large => "large",
+        };
+        eprintln!("running closed-loop serving sweep for BENCH_serving.json...");
+        let records = ex::bench_serving_records(serve_scale);
+        let doc = json::render_with_schema(json::SCHEMA_SERVING, scale_name, &records);
+        std::fs::write("BENCH_serving.json", &doc).expect("write BENCH_serving.json");
+        eprintln!("wrote BENCH_serving.json:");
+        print!("{doc}");
+        ex::serving_table(&records).print();
+        // The serving gate: bit-identity must hold for every response,
+        // overload must always surface as a structured shed (no accounting
+        // hole), and the emitted document must carry every serving-v1 field.
+        let mut violations = Vec::new();
+        for r in &records {
+            let s = r.serving.as_ref().expect("serving record");
+            if s.mismatches > 0 {
+                violations.push(format!("{}: {} bit-identity mismatch(es)", r.bench, s.mismatches));
+            }
+            if s.failed > 0 {
+                violations
+                    .push(format!("{}: {} request(s) failed unstructured", r.bench, s.failed));
+            }
+            if s.served + s.shed + s.failed != s.issued {
+                violations.push(format!(
+                    "{}: issued {} but accounted {} — silent request loss",
+                    r.bench,
+                    s.issued,
+                    s.served + s.shed + s.failed
+                ));
+            }
+            if s.verified < s.served {
+                violations.push(format!(
+                    "{}: only {} of {} served responses verified against a cold solve",
+                    r.bench, s.verified, s.served
+                ));
+            }
+        }
+        for field in [
+            "\"schema\": \"hybrid-bench/serving-v1\"",
+            "\"p50_ns\"",
+            "\"p95_ns\"",
+            "\"p99_ns\"",
+            "\"qps\"",
+            "\"shed_rate\"",
+            "\"cache_hits\"",
+            "\"cache_evicted\"",
+        ] {
+            if !doc.contains(field) {
+                violations.push(format!("BENCH_serving.json schema violation: missing {field}"));
+            }
+        }
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("serving gate FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "serving sweep healthy: every response bit-identical to its cold solve, \
+             overload fully shed"
+        );
+        return;
     }
 
     if list {

@@ -809,6 +809,149 @@ pub fn bench_throughput_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     records
 }
 
+/// Converts one load-generator report into a `serving-v1` record.
+fn serving_record(n: usize, r: &hybrid_serve::LoadReport) -> crate::json::BenchRecord {
+    crate::json::BenchRecord {
+        bench: r.name.clone(),
+        n,
+        wall_ns: u128::from(r.wall_ns),
+        rounds: r.rounds_total,
+        peak_rss_bytes: crate::json::peak_rss_bytes(),
+        ..crate::json::BenchRecord::default()
+    }
+    .with_serving(crate::json::ServingFields {
+        clients: r.clients,
+        issued: r.issued,
+        served: r.served,
+        shed: r.shed,
+        failed: r.failed,
+        p50_ns: r.p50_ns,
+        p95_ns: r.p95_ns,
+        p99_ns: r.p99_ns,
+        qps: r.qps,
+        shed_rate: r.shed_rate,
+        cache_hits: r.stats.session_hits,
+        cache_admitted: r.stats.sessions_admitted,
+        cache_evicted: r.stats.sessions_evicted,
+        cache_bytes: r.stats.session_bytes as u64,
+        verified: r.stats.verified,
+        mismatches: r.stats.mismatches,
+        batches: r.stats.batches,
+        max_batch: r.stats.max_batch,
+    })
+}
+
+/// Closed-loop serving sweep for `BENCH_serving.json` (schema
+/// [`crate::json::SCHEMA_SERVING`]): registry workloads driven through the
+/// multi-tenant broker by the deterministic load generator. Two workloads:
+///
+/// * `serve-mixed` — two tenants with comfortable queue depth and a generous
+///   session budget over two registry graphs (`e2-er`, `sparse-grid`); the
+///   cache-friendly steady state (high hit rate, no shedding expected).
+/// * `serve-tight` — three depth-1 tenants under a byte budget sized to
+///   ~1.5 sessions, probed from a real session's `prepared_bytes`; admission
+///   pressure and LRU eviction churn on the same request mix.
+///
+/// Every response the broker serves is verified bit-identical to a cold
+/// solve online; `failed`/`mismatches` must both be 0 and every issued
+/// request must be accounted served/shed/failed — the smoke driver exits
+/// non-zero otherwise.
+pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use hybrid_serve::{run_load, Broker, BrokerConfig, GraphCatalog, LoadSpec, TenantConfig};
+    let n = scale.pick3(SMOKE_N, 200, 400);
+    let mut catalog = GraphCatalog::new();
+    catalog.insert("e2-er", e2_graph(n));
+    catalog.insert(
+        "sparse-grid",
+        hybrid_scenarios::find("sparse-grid-thm11").expect("registered").graph(n),
+    );
+    let graphs = vec!["e2-er".to_string(), "sparse-grid".to_string()];
+    // The 8 distinct queries of the standard mixed serving batch.
+    let queries = mixed_query_batch(8);
+    let mut records = Vec::new();
+
+    let mixed_broker = Broker::new(&catalog, BrokerConfig::new(7));
+    for tenant in ["acme", "globex"] {
+        mixed_broker.register_tenant(tenant, TenantConfig::new(4)).expect("trivial tenant");
+    }
+    let mixed = run_load(
+        &mixed_broker,
+        &LoadSpec {
+            name: "serve-mixed".into(),
+            clients: scale.pick(4, 6),
+            requests_per_client: scale.pick(6, 32),
+            tenants: vec!["acme".into(), "globex".into()],
+            graphs: graphs.clone(),
+            queries: queries.clone(),
+            seed: 7,
+        },
+    );
+    records.push(serving_record(n, &mixed));
+
+    // Probe a real session's footprint to size a budget that cannot hold the
+    // working set (2 graphs × 3 tenants), forcing byte-driven evictions.
+    let probe = {
+        let (g, _) = catalog.get("e2-er").expect("registered");
+        let session = Session::new(g, SessionConfig::new(7)).expect("session");
+        for q in &queries {
+            session.solve(q).expect("probe solve");
+        }
+        session.stats().prepared_bytes
+    };
+    let mut tight_cfg = BrokerConfig::new(7);
+    tight_cfg.session_budget_bytes = probe + probe / 2;
+    let tight_broker = Broker::new(&catalog, tight_cfg);
+    for tenant in ["t0", "t1", "t2"] {
+        tight_broker.register_tenant(tenant, TenantConfig::new(1)).expect("trivial tenant");
+    }
+    let tight = run_load(
+        &tight_broker,
+        &LoadSpec {
+            name: "serve-tight".into(),
+            clients: scale.pick(4, 6),
+            requests_per_client: scale.pick(6, 16),
+            tenants: vec!["t0".into(), "t1".into(), "t2".into()],
+            graphs,
+            queries,
+            seed: 11,
+        },
+    );
+    records.push(serving_record(n, &tight));
+    records
+}
+
+/// Human-readable table over [`bench_serving_records`] output.
+pub fn serving_table(records: &[crate::json::BenchRecord]) -> Table {
+    let mut t = Table::new(
+        "Serving: closed-loop broker load (bit-identity verified online)",
+        &[
+            "workload", "n", "clients", "issued", "served", "shed", "failed", "p50 ms", "p95 ms",
+            "p99 ms", "qps", "hits", "evict", "mismatch",
+        ],
+    );
+    for r in records {
+        let s = r.serving.as_ref().expect("serving record");
+        let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+        t.row(vec![
+            r.bench.clone(),
+            r.n.to_string(),
+            s.clients.to_string(),
+            s.issued.to_string(),
+            s.served.to_string(),
+            s.shed.to_string(),
+            s.failed.to_string(),
+            ms(s.p50_ns),
+            ms(s.p95_ns),
+            ms(s.p99_ns),
+            f3(s.qps),
+            s.cache_hits.to_string(),
+            s.cache_evicted.to_string(),
+            s.mismatches.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Chaos recovery sweep for `BENCH_chaos.json` (schema
 /// [`crate::json::SCHEMA_CHAOS`]): every `chaos-*` registry scenario runs
 /// twice — once under its fault plan and once as a fault-free twin on the
@@ -1054,6 +1197,34 @@ mod tests {
         // The ratio assertion itself lives in tests/session_equivalence.rs;
         // here the sweep must at least show amortization, not regression.
         assert!(session.amortized_ratio.expect("ratio") > 1.0);
+    }
+
+    #[test]
+    fn serving_records_account_for_every_request() {
+        let records = bench_serving_records(Scale::Small);
+        assert_eq!(records.len(), 2); // serve-mixed + serve-tight
+        for r in &records {
+            let s = r.serving.as_ref().expect("serving block");
+            assert_eq!(
+                s.served + s.shed + s.failed,
+                s.issued,
+                "{}: every request must be accounted served/shed/failed",
+                r.bench
+            );
+            assert_eq!(s.failed, 0, "{}: registry queries must not fail", r.bench);
+            assert_eq!(s.mismatches, 0, "{}: bit-identity must hold", r.bench);
+            assert!(s.verified >= s.served, "{}: every served response is verified", r.bench);
+            assert!(s.served > 0 && s.qps > 0.0, "{}: the loop must make progress", r.bench);
+        }
+        let mixed = &records[0];
+        assert_eq!(mixed.bench, "serve-mixed");
+        let s = mixed.serving.as_ref().unwrap();
+        assert!(s.cache_hits > 0, "steady-state mix must hit resident sessions");
+        // The tight workload's budget holds ~1.5 sessions for a 6-session
+        // working set, so byte-driven eviction must actually fire.
+        let tight = records[1].serving.as_ref().unwrap();
+        assert!(tight.cache_evicted > 0, "tight budget must evict");
+        serving_table(&records).render();
     }
 
     #[test]

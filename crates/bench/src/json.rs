@@ -67,6 +67,56 @@ pub struct BenchRecord {
     pub top_phase: Option<String>,
     /// Rounds charged under `top_phase` (schema v2).
     pub top_phase_rounds: Option<u64>,
+    /// Closed-loop serving-load fields, for broker records (schema
+    /// [`SCHEMA_SERVING`]).
+    pub serving: Option<ServingFields>,
+}
+
+/// The serving-load measurement block of one broker workload record
+/// ([`SCHEMA_SERVING`]): latency percentiles, saturation throughput, shed
+/// rate, and the broker's cache/verification counters. Latencies and qps are
+/// wall-clock (nondeterministic); every counter is exact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServingFields {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests issued (`served + shed + failed` must equal this).
+    pub issued: u64,
+    /// Requests served successfully (each verified bit-identical to a cold
+    /// solve).
+    pub served: u64,
+    /// Requests shed by admission control (structured overload, no silent
+    /// loss).
+    pub shed: u64,
+    /// Requests failed any other way (must be 0 in a healthy run).
+    pub failed: u64,
+    /// Median served-request latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Served throughput in queries per second (closed-loop saturation rate
+    /// at this client count).
+    pub qps: f64,
+    /// `shed / issued`.
+    pub shed_rate: f64,
+    /// Session-cache hits (requests landing on a resident session).
+    pub cache_hits: u64,
+    /// Sessions created over the run.
+    pub cache_admitted: u64,
+    /// Sessions evicted by the byte budget.
+    pub cache_evicted: u64,
+    /// Bytes charged against the session budget at the end of the run.
+    pub cache_bytes: u64,
+    /// Responses checked against the cold referee.
+    pub verified: u64,
+    /// Bit-identity violations (must be 0).
+    pub mismatches: u64,
+    /// Coalesced `solve_batch` calls issued by batch leaders.
+    pub batches: u64,
+    /// Largest single coalesced batch.
+    pub max_batch: u64,
 }
 
 impl BenchRecord {
@@ -140,6 +190,13 @@ impl BenchRecord {
         self
     }
 
+    /// Attaches the serving-load measurement block (builder-style).
+    #[must_use]
+    pub fn with_serving(mut self, serving: ServingFields) -> Self {
+        self.serving = Some(serving);
+        self
+    }
+
     /// Converts a scenario-engine report into a record carrying the scenario
     /// name, seed, and verification verdict.
     pub fn from_scenario(r: &ScenarioReport) -> Self {
@@ -181,6 +238,11 @@ pub const SCHEMA_THROUGHPUT: &str = "hybrid-bench/throughput-v1";
 /// next to its fault-free twin, with the recovery overhead in simulated
 /// rounds and wall-clock time.
 pub const SCHEMA_CHAOS: &str = "hybrid-bench/chaos-v1";
+
+/// Schema tag of the closed-loop serving sweep (`experiments --serve`): one
+/// record per broker workload with latency percentiles, saturation qps, shed
+/// rate, and cache hit/eviction counters (see [`ServingFields`]).
+pub const SCHEMA_SERVING: &str = "hybrid-bench/serving-v1";
 
 /// Best-effort peak resident-set size of this process in bytes, read from
 /// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
@@ -256,6 +318,34 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
                 line,
                 ", \"top_phase\": \"{}\", \"top_phase_rounds\": {rounds}",
                 escape(phase)
+            );
+        }
+        if let Some(s) = &r.serving {
+            let _ = write!(
+                line,
+                ", \"clients\": {}, \"issued\": {}, \"served\": {}, \"shed\": {}, \
+                 \"failed\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+                 \"qps\": {:.3}, \"shed_rate\": {:.4}, \"cache_hits\": {}, \
+                 \"cache_admitted\": {}, \"cache_evicted\": {}, \"cache_bytes\": {}, \
+                 \"verified\": {}, \"mismatches\": {}, \"batches\": {}, \"max_batch\": {}",
+                s.clients,
+                s.issued,
+                s.served,
+                s.shed,
+                s.failed,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
+                s.qps,
+                s.shed_rate,
+                s.cache_hits,
+                s.cache_admitted,
+                s.cache_evicted,
+                s.cache_bytes,
+                s.verified,
+                s.mismatches,
+                s.batches,
+                s.max_batch
             );
         }
         let _ = writeln!(out, "{line}}}{comma}");
@@ -358,6 +448,72 @@ mod tests {
         assert!(s.contains("\"healthy_wall_ns\": 1000"));
         assert!(s.contains("\"rounds_overhead\": 1.500"));
         assert!(s.contains("\"wall_overhead\": 3.000"));
+    }
+
+    #[test]
+    fn serving_records_pin_v1_fields() {
+        let r = BenchRecord {
+            bench: "serve-mixed".into(),
+            n: 200,
+            wall_ns: 5_000_000,
+            rounds: 1234,
+            ..BenchRecord::default()
+        }
+        .with_serving(ServingFields {
+            clients: 6,
+            issued: 120,
+            served: 110,
+            shed: 10,
+            failed: 0,
+            p50_ns: 1_000,
+            p95_ns: 5_000,
+            p99_ns: 9_000,
+            qps: 220.5,
+            shed_rate: 10.0 / 120.0,
+            cache_hits: 100,
+            cache_admitted: 4,
+            cache_evicted: 2,
+            cache_bytes: 65536,
+            verified: 110,
+            mismatches: 0,
+            batches: 30,
+            max_batch: 5,
+        });
+        let doc = render_with_schema(SCHEMA_SERVING, "full", &[r]);
+        assert!(doc.contains("\"schema\": \"hybrid-bench/serving-v1\""));
+        // Every serving-v1 field renders under its pinned name.
+        for field in [
+            "\"clients\": 6",
+            "\"issued\": 120",
+            "\"served\": 110",
+            "\"shed\": 10",
+            "\"failed\": 0",
+            "\"p50_ns\": 1000",
+            "\"p95_ns\": 5000",
+            "\"p99_ns\": 9000",
+            "\"qps\": 220.500",
+            "\"shed_rate\": 0.0833",
+            "\"cache_hits\": 100",
+            "\"cache_admitted\": 4",
+            "\"cache_evicted\": 2",
+            "\"cache_bytes\": 65536",
+            "\"verified\": 110",
+            "\"mismatches\": 0",
+            "\"batches\": 30",
+            "\"max_batch\": 5",
+        ] {
+            assert!(doc.contains(field), "serving-v1 field {field} missing:\n{doc}");
+        }
+        // Records without the serving block omit every serving field.
+        let plain = BenchRecord {
+            bench: "a".into(),
+            n: 1,
+            wall_ns: 1,
+            rounds: 1,
+            ..BenchRecord::default()
+        };
+        let doc = render_with_schema(SCHEMA_SERVING, "small", &[plain]);
+        assert!(!doc.contains("clients") && !doc.contains("shed_rate"), "{doc}");
     }
 
     #[test]

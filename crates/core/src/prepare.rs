@@ -103,6 +103,14 @@ impl NearData {
         let (lo, hi) = (self.starts[v] as usize, self.starts[v + 1] as usize);
         self.idx[lo..hi].binary_search(&(s as u32)).ok().map(|k| self.dist[lo + k])
     }
+
+    /// Approximate heap footprint of the arena in bytes.
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.starts.len() * size_of::<u32>()
+            + self.idx.len() * size_of::<u32>()
+            + self.dist.len() * size_of::<Distance>()
+    }
 }
 
 /// Everything derived from one skeleton preamble, computed lazily and at most
@@ -125,6 +133,21 @@ impl SkeletonArtifacts {
             near_hop: OnceLock::new(),
             near_plain: OnceLock::new(),
         }
+    }
+
+    /// Approximate heap bytes of the skeleton and every derived table built
+    /// so far (unbuilt lazy tables cost nothing yet).
+    fn bytes(&self) -> usize {
+        let mut total = self.skeleton.approx_heap_bytes();
+        if let Some(m) = self.d_s.get() {
+            total += std::mem::size_of_val(m.as_flat());
+        }
+        for slot in [&self.near_hop, &self.near_plain] {
+            if let Some(near) = slot.get() {
+                total += near.bytes();
+            }
+        }
+        total
     }
 }
 
@@ -156,6 +179,19 @@ impl Prepared {
         let cells: Vec<PreambleCell> =
             self.skeletons.lock().expect("prepared cache lock").values().cloned().collect();
         cells.iter().filter(|c| c.lock().expect("prepared cell lock").is_some()).count()
+    }
+
+    /// Approximate heap bytes of every prepared artifact: skeletons plus the
+    /// derived tables built so far. Grows as queries prepare and derive —
+    /// the sizing input for byte-budgeted session caches (surfaced as
+    /// `prepared_bytes` on [`crate::session::SessionStats`]).
+    pub fn bytes(&self) -> usize {
+        let cells: Vec<PreambleCell> =
+            self.skeletons.lock().expect("prepared cache lock").values().cloned().collect();
+        cells
+            .iter()
+            .filter_map(|c| c.lock().expect("prepared cell lock").as_ref().map(|a| a.bytes()))
+            .sum()
     }
 
     /// The per-key cell, created empty on first access.

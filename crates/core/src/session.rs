@@ -110,6 +110,11 @@ pub struct SessionStats {
     pub report_hits: u64,
     /// Distinct skeleton preambles prepared so far.
     pub skeletons_prepared: usize,
+    /// Approximate heap bytes of the prepared artifacts ([`Prepared::bytes`])
+    /// — what a byte-budgeted session cache charges this session at. Zero
+    /// until the first query prepares a skeleton; grows as derived tables
+    /// fill in.
+    pub prepared_bytes: usize,
 }
 
 /// Stable hash key of a `(Query, seed)` pair — the report-memo index. Two
@@ -218,6 +223,7 @@ impl<'g> Session<'g> {
             queries: self.queries.load(Ordering::Relaxed),
             report_hits: self.report_hits.load(Ordering::Relaxed),
             skeletons_prepared: self.prepared.skeletons(),
+            prepared_bytes: self.prepared.bytes(),
         }
     }
 
@@ -670,6 +676,23 @@ mod tests {
             .count();
         assert_eq!(memo_hits, 2);
         assert_eq!(traced.stats().report_hits, 2);
+    }
+
+    #[test]
+    fn prepared_bytes_are_nonzero_and_monotone_in_n() {
+        use hybrid_graph::generators::path;
+        let q = Query::apsp().build().unwrap();
+        let mut sizes = Vec::new();
+        for n in [40usize, 160] {
+            let g = path(n, 1).unwrap();
+            let session = Session::new(&g, SessionConfig::new(7)).unwrap();
+            assert_eq!(session.stats().prepared_bytes, 0, "nothing prepared yet");
+            session.solve(&q).unwrap();
+            let bytes = session.stats().prepared_bytes;
+            assert!(bytes > 0, "prepared artifacts must have a nonzero footprint");
+            sizes.push(bytes);
+        }
+        assert!(sizes[1] > sizes[0], "prepared bytes must grow with n: {sizes:?}");
     }
 
     #[test]

@@ -248,6 +248,16 @@ impl Graph {
         &self.edges
     }
 
+    /// Approximate heap footprint of the CSR structure in bytes (lengths, not
+    /// capacities) — the sizing input for byte-budgeted caches.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.len() * size_of::<usize>()
+            + self.targets.len() * size_of::<NodeId>()
+            + self.weights.len() * size_of::<Distance>()
+            + self.edges.len() * size_of::<Edge>()
+    }
+
     /// Iterates over `(neighbor, weight)` pairs of `v`.
     ///
     /// # Panics

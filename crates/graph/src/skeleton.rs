@@ -160,6 +160,16 @@ impl Skeleton {
         self.h
     }
 
+    /// Approximate heap footprint in bytes: the sampled node list, the dense
+    /// global→local index, the `d_h` table, and the skeleton graph itself.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * size_of::<NodeId>()
+            + self.index.len() * size_of::<u32>()
+            + self.dh.len() * size_of::<Distance>()
+            + self.graph.approx_heap_bytes()
+    }
+
     /// The skeleton graph (over local indices).
     pub fn graph(&self) -> &Graph {
         &self.graph

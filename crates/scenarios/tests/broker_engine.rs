@@ -1,0 +1,69 @@
+//! The scenario registry through the serving front-end: every non-lossy
+//! registry workload is servable by a [`hybrid_serve::Broker`] at smoke size
+//! with online bit-identity verification, and every lossy fault plan is
+//! rejected at tenant registration — the broker never silently caches a
+//! session whose answers depend on a lossy message stream.
+
+use hybrid_scenarios::registry;
+use hybrid_serve::{Broker, BrokerConfig, GraphCatalog, Request, ServeError, TenantConfig};
+
+const SMOKE_N: usize = 48;
+
+#[test]
+fn non_lossy_registry_scenarios_serve_verified_through_the_broker() {
+    for sc in registry::registry().iter().filter(|sc| !sc.faults.is_lossy()) {
+        let g = sc.graph(SMOKE_N);
+        let mut catalog = GraphCatalog::new();
+        catalog.insert(sc.name, g);
+
+        // The broker runs the scenario's own regime: its fault plan's network
+        // configuration (degraded caps included) and its root seed, so the
+        // cold referee reproduces exactly what the runner would execute.
+        let mut cfg = BrokerConfig::new(sc.seed);
+        cfg.net = sc.faults.config();
+        let broker = Broker::new(&catalog, cfg);
+        broker.register_tenant("engine", TenantConfig::new(2)).unwrap();
+
+        let req = Request {
+            tenant: "engine".into(),
+            graph: sc.name.into(),
+            seed: None,
+            query: sc.suite.query(),
+        };
+        let resp = broker
+            .serve(&req)
+            .unwrap_or_else(|e| panic!("{}: broker failed to serve registry query: {e}", sc.name));
+        assert!(resp.verified, "{}: response must be verified against a cold solve", sc.name);
+
+        // A repeat is a session (and report-memo) hit with the same digest.
+        let again = broker.serve(&req).unwrap();
+        assert!(again.session_hit, "{}: repeat must hit the cached session", sc.name);
+        assert_eq!(again.digest, resp.digest, "{}: repeat digest must match", sc.name);
+
+        let stats = broker.stats();
+        assert_eq!(stats.mismatches, 0, "{}: no bit-identity mismatches", sc.name);
+        assert_eq!(stats.served, 2, "{}: both requests served", sc.name);
+    }
+}
+
+#[test]
+fn lossy_registry_fault_plans_are_rejected_at_registration() {
+    let lossy: Vec<_> = registry::registry().iter().filter(|sc| sc.faults.is_lossy()).collect();
+    assert!(!lossy.is_empty(), "registry must keep at least one lossy scenario");
+    let catalog = GraphCatalog::new();
+    let broker = Broker::new(&catalog, BrokerConfig::new(7));
+    for sc in lossy {
+        let plan = sc
+            .faults
+            .sim_plan(SMOKE_N, sc.seed)
+            .expect("lossy scenario plans materialize a simulator fault plan");
+        let mut tenant = TenantConfig::new(2);
+        tenant.faults = Some(plan);
+        let err = broker.register_tenant(sc.name, tenant).unwrap_err();
+        assert!(
+            matches!(err, ServeError::FaultySession { .. }),
+            "{}: lossy plan must be a structured FaultySession rejection, got {err}",
+            sc.name
+        );
+    }
+}

@@ -1,0 +1,822 @@
+//! The multi-tenant request broker: a byte-budgeted LRU of [`Session`]s with
+//! per-tenant admission control, batch coalescing, and online bit-identity
+//! verification against cold solves.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hybrid_core::session::{Session, SessionConfig};
+use hybrid_core::solver::{solve, Answer, Guarantee, Query, Report};
+use hybrid_core::HybridError;
+use hybrid_graph::Graph;
+use hybrid_sim::{FaultPlan, HybridConfig, HybridNet};
+
+/// Floor charged per cached session so even an unqueried (zero-byte) session
+/// occupies budget and can be evicted.
+const MIN_ENTRY_BYTES: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// FNV-1a digests
+// ---------------------------------------------------------------------------
+
+/// Incremental FNV-1a (64-bit) — the broker's stable digest over graphs and
+/// reports. Not cryptographic; collision resistance is irrelevant because the
+/// cold reference is computed from the same query on the same graph.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable fingerprint of a graph's structure (node count, edge list, weights)
+/// — one component of the broker's session-cache key. Two graphs with equal
+/// fingerprints are treated as the same preprocessing domain.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(g.len());
+    for e in g.edges() {
+        h.u64(u64::from(e.u.raw()));
+        h.u64(u64::from(e.v.raw()));
+        h.u64(e.w);
+    }
+    h.finish()
+}
+
+/// Stable digest of everything a [`Report`] pins besides wall-clock: the
+/// query label, the answer payload, the guarantee, and the full round/message
+/// bill. Phase attributions are excluded, exactly like the session-equivalence
+/// tests — they describe *where* rounds went, and their sum is already pinned
+/// by [`Report::rounds`].
+pub fn report_digest(r: &Report) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(r.label().as_bytes());
+    h.u64(r.rounds);
+    h.u64(r.global_messages);
+    h.u64(r.dropped_messages);
+    h.usize(r.skeleton_size);
+    h.usize(r.h);
+    h.usize(r.coverage_fallbacks);
+    match &r.guarantee {
+        Guarantee::Exact => h.u64(1),
+        Guarantee::Stretch { factor } => {
+            h.u64(2);
+            h.u64(factor.to_bits());
+        }
+        Guarantee::DiameterFactor { factor } => {
+            h.u64(3);
+            h.u64(factor.to_bits());
+        }
+        Guarantee::Degraded { from, to, cause } => {
+            h.u64(4);
+            h.bytes(from.as_bytes());
+            h.bytes(to.as_bytes());
+            h.bytes(cause.to_string().as_bytes());
+        }
+    }
+    match &r.answer {
+        Answer::Distances(m) => {
+            h.u64(10);
+            for &d in m.as_flat() {
+                h.u64(d);
+            }
+        }
+        Answer::DistanceRow { source, dist } => {
+            h.u64(11);
+            h.u64(u64::from(source.raw()));
+            for &d in dist {
+                h.u64(d);
+            }
+        }
+        Answer::DistanceRows { sources, est } => {
+            h.u64(12);
+            for s in sources {
+                h.u64(u64::from(s.raw()));
+            }
+            for row in est {
+                h.usize(row.len());
+                for &d in row {
+                    h.u64(d);
+                }
+            }
+        }
+        Answer::Diameter { estimate, exact_local } => {
+            h.u64(13);
+            h.u64(*estimate);
+            h.u64(u64::from(*exact_local));
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// The broker's graph namespace: named, fingerprinted graphs registered up
+/// front. The catalog owns the graphs so a [`Broker`] can borrow them for its
+/// whole lifetime ([`Session`] borrows its graph).
+#[derive(Debug, Default)]
+pub struct GraphCatalog {
+    entries: Vec<(String, Graph, u64)>,
+}
+
+impl GraphCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        GraphCatalog::default()
+    }
+
+    /// Registers `graph` under `name` (replacing any previous binding) and
+    /// returns its fingerprint.
+    pub fn insert(&mut self, name: &str, graph: Graph) -> u64 {
+        let fp = graph_fingerprint(&graph);
+        self.entries.retain(|(n, _, _)| n != name);
+        self.entries.push((name.to_string(), graph, fp));
+        fp
+    }
+
+    /// Looks up a registered graph and its fingerprint.
+    pub fn get(&self, name: &str) -> Option<(&Graph, u64)> {
+        self.entries.iter().find(|(n, _, _)| n == name).map(|(_, g, fp)| (g, *fp))
+    }
+
+    /// Registered names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Structured failure of a broker request — overload and admission failures
+/// are first-class values here, never silent drops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a tenant that was never registered.
+    UnknownTenant {
+        /// The unregistered tenant name.
+        tenant: String,
+    },
+    /// The request named a graph absent from the catalog.
+    UnknownGraph {
+        /// The unknown graph name.
+        graph: String,
+    },
+    /// The tenant's queue is at its configured depth; the request was shed
+    /// *before* touching any session. The client may retry.
+    Overloaded {
+        /// The tenant whose queue was full.
+        tenant: String,
+        /// The configured depth that was hit.
+        depth: usize,
+    },
+    /// The tenant was configured with a lossy [`FaultPlan`]. Faulty sessions
+    /// run every query cold (the drop stream is stateful per run), which
+    /// would silently defeat the broker's cache — rejected at registration.
+    FaultySession {
+        /// The rejected tenant name.
+        tenant: String,
+        /// The plan's label-worthy summary (drop probability).
+        drop_prob: f64,
+        /// Number of scheduled crashes in the plan.
+        crashes: usize,
+    },
+    /// A served answer did not digest-match the cold solve it must be
+    /// bit-identical to. This is a broker invariant violation, not a client
+    /// error.
+    BitIdentityMismatch {
+        /// The query's canonical label.
+        query: &'static str,
+        /// Digest of the cold reference.
+        expected: u64,
+        /// Digest of the served report.
+        got: u64,
+    },
+    /// The underlying solve failed; carries the structured solver error
+    /// (verified identical to the cold solve's error before propagation).
+    Solve(HybridError),
+    /// A protocol line could not be parsed.
+    Protocol {
+        /// What was wrong with the line.
+        msg: String,
+    },
+}
+
+impl ServeError {
+    /// Stable machine-readable code used on the wire (`ERR ... code=<this>`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownTenant { .. } => "unknown-tenant",
+            ServeError::UnknownGraph { .. } => "unknown-graph",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::FaultySession { .. } => "faulty-session",
+            ServeError::BitIdentityMismatch { .. } => "bit-identity",
+            ServeError::Solve(_) => "solve",
+            ServeError::Protocol { .. } => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant:?}"),
+            ServeError::UnknownGraph { graph } => write!(f, "unknown graph {graph:?}"),
+            ServeError::Overloaded { tenant, depth } => {
+                write!(f, "tenant {tenant:?} overloaded: queue depth {depth} reached")
+            }
+            ServeError::FaultySession { tenant, drop_prob, crashes } => write!(
+                f,
+                "tenant {tenant:?} rejected: lossy fault plan (drop_prob={drop_prob}, \
+                 {crashes} crashes) would run every query cold and defeat the session cache"
+            ),
+            ServeError::BitIdentityMismatch { query, expected, got } => write!(
+                f,
+                "bit-identity violation serving {query}: cold digest {expected:016x}, \
+                 served digest {got:016x}"
+            ),
+            ServeError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServeError::Protocol { msg } => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<HybridError> for ServeError {
+    fn from(e: HybridError) -> Self {
+        ServeError::Solve(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Broker-wide configuration: the default seed, network, and the session
+/// cache's byte budget.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Default root seed for requests that don't carry their own.
+    pub seed: u64,
+    /// Simulated network configuration for every session.
+    pub net: HybridConfig,
+    /// Round-engine worker budget applied to every session's nets.
+    pub round_threads: Option<usize>,
+    /// Byte budget of the session LRU, charged at
+    /// `SessionStats::prepared_bytes` (floored at 1 KiB per session). When
+    /// the resident total exceeds it, least-recently-used sessions are
+    /// evicted (the most recent always survives).
+    pub session_budget_bytes: usize,
+    /// Verify every response against a memoized cold solve (the broker's
+    /// bit-identity contract). On mismatch the response is replaced by
+    /// [`ServeError::BitIdentityMismatch`]. Disable only for latency
+    /// experiments that deliberately skip the referee.
+    pub verify: bool,
+}
+
+impl BrokerConfig {
+    /// Defaults: `ξ`-agnostic, default network, 256 MiB budget, verification
+    /// on.
+    pub fn new(seed: u64) -> Self {
+        BrokerConfig {
+            seed,
+            net: HybridConfig::default(),
+            round_threads: None,
+            session_budget_bytes: 256 << 20,
+            verify: true,
+        }
+    }
+}
+
+/// Per-tenant admission policy.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Maximum concurrently admitted requests; request `depth + 1` is shed
+    /// with [`ServeError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// Optional fault plan for the tenant's sessions. Lossy plans are
+    /// rejected at registration ([`ServeError::FaultySession`]); a trivial
+    /// plan (no drops, no crashes) is accepted and threaded through to both
+    /// the session and the cold referee so bit-identity still holds.
+    pub faults: Option<FaultPlan>,
+}
+
+impl TenantConfig {
+    /// A tenant admitting at most `max_queue_depth` concurrent requests, no
+    /// faults.
+    pub fn new(max_queue_depth: usize) -> Self {
+        TenantConfig { max_queue_depth, faults: None }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests / responses
+// ---------------------------------------------------------------------------
+
+/// One in-process broker request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The requesting tenant (must be registered).
+    pub tenant: String,
+    /// Catalog name of the graph to query.
+    pub graph: String,
+    /// Root seed override (`None`: the broker default). Part of the session
+    /// key — distinct seeds get distinct sessions.
+    pub seed: Option<u64>,
+    /// The query to serve.
+    pub query: Query,
+}
+
+/// One successful broker response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The full report, bit-identical to a cold solve of the same request.
+    pub report: Report,
+    /// [`report_digest`] of the report — what went on the wire and what was
+    /// compared against the cold reference.
+    pub digest: u64,
+    /// Whether this response was actually checked against the cold referee
+    /// (`false` only when [`BrokerConfig::verify`] is off).
+    pub verified: bool,
+    /// Whether the serving session was already resident (an LRU hit).
+    pub session_hit: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Broker internals
+// ---------------------------------------------------------------------------
+
+/// Cache key of a session: who is asking, over what graph, under which seed
+/// and skeleton constant. Everything preprocessing depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SessionKey {
+    tenant: String,
+    fingerprint: u64,
+    seed: u64,
+    xi_bits: u64,
+}
+
+/// A memoized cold reference: the digest a served report must match, or the
+/// structured error a cold solve produces.
+type ColdCell = Arc<Mutex<Option<Result<u64, HybridError>>>>;
+
+/// Coalescing state of one session: queued queries waiting for a leader, and
+/// finished results waiting for their owners.
+struct BatchState {
+    next_ticket: u64,
+    pending: Vec<(u64, Query)>,
+    results: HashMap<u64, Result<Report, HybridError>>,
+    leader: bool,
+}
+
+/// One resident session plus its coalescing and verification state.
+struct SessionEntry<'g> {
+    session: Session<'g>,
+    /// Tenant fault plan (always trivial) — replayed on the cold referee net.
+    faults: Option<FaultPlan>,
+    /// LRU stamp: monotonically bumped on every acquisition.
+    stamp: AtomicU64,
+    /// Last settled `prepared_bytes` (floored at [`MIN_ENTRY_BYTES`]).
+    bytes: AtomicUsize,
+    batch: Mutex<BatchState>,
+    batch_cv: Condvar,
+    /// Memoized cold references: canonical query spec → digest (or the
+    /// structured error a cold solve produces). Computed at most once per
+    /// distinct query per session; every response is compared against it.
+    cold: Mutex<HashMap<String, ColdCell>>,
+}
+
+/// Per-tenant admission state.
+struct TenantState {
+    cfg: TenantConfig,
+    inflight: AtomicUsize,
+    shed: AtomicU64,
+}
+
+/// RAII decrement of a tenant's inflight counter; keeps the tenant state
+/// alive for as long as the request is admitted.
+struct AdmitGuard {
+    state: Arc<TenantState>,
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.state.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Cumulative broker counters (a consistent-enough snapshot of atomics; see
+/// [`Broker::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Successfully served responses.
+    pub served: u64,
+    /// Requests shed with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Requests admitted to an already-resident session (LRU hits).
+    pub session_hits: u64,
+    /// Sessions created (LRU misses).
+    pub sessions_admitted: u64,
+    /// Sessions evicted by the byte budget.
+    pub sessions_evicted: u64,
+    /// Currently resident sessions.
+    pub resident_sessions: usize,
+    /// Total bytes currently charged against the session budget.
+    pub session_bytes: usize,
+    /// Responses checked against the cold referee.
+    pub verified: u64,
+    /// Bit-identity violations detected (must stay 0).
+    pub mismatches: u64,
+    /// Coalesced `solve_batch` calls issued by batch leaders.
+    pub batches: u64,
+    /// Queries that went through those coalesced calls.
+    pub batched_queries: u64,
+    /// Largest single coalesced batch.
+    pub max_batch: u64,
+    /// Sum of `SessionStats::queries` over resident sessions.
+    pub session_queries: u64,
+    /// Sum of `SessionStats::report_hits` over resident sessions.
+    pub session_report_hits: u64,
+}
+
+/// The multi-tenant serving front-end (see the crate docs for the contract
+/// and an end-to-end example). Shared by reference across client threads —
+/// every public method takes `&self`.
+pub struct Broker<'g> {
+    catalog: &'g GraphCatalog,
+    cfg: BrokerConfig,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    lru: Mutex<HashMap<SessionKey, Arc<SessionEntry<'g>>>>,
+    lru_clock: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    session_hits: AtomicU64,
+    sessions_admitted: AtomicU64,
+    sessions_evicted: AtomicU64,
+    verified: AtomicU64,
+    mismatches: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// The `ξ` a query pins its session to (every variant carries the field; the
+/// LOCAL baselines ignore it at solve time but still cache under it).
+fn query_xi(q: &Query) -> f64 {
+    match q {
+        Query::Apsp { xi, .. }
+        | Query::Sssp { xi, .. }
+        | Query::Kssp { xi, .. }
+        | Query::Diameter { xi, .. } => *xi,
+    }
+}
+
+impl<'g> Broker<'g> {
+    /// A broker over `catalog` with no tenants registered yet.
+    pub fn new(catalog: &'g GraphCatalog, cfg: BrokerConfig) -> Self {
+        Broker {
+            catalog,
+            cfg,
+            tenants: Mutex::new(HashMap::new()),
+            lru: Mutex::new(HashMap::new()),
+            lru_clock: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            session_hits: AtomicU64::new(0),
+            sessions_admitted: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers `tenant` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::FaultySession`] for a lossy fault plan — faulty
+    ///   sessions run every query cold and would silently defeat the cache.
+    /// * [`ServeError::Solve`] wrapping the session layer's own validation
+    ///   error for a structurally invalid plan (the same path
+    ///   `Session::new` takes).
+    pub fn register_tenant(&self, tenant: &str, cfg: TenantConfig) -> Result<(), ServeError> {
+        if let Some(plan) = &cfg.faults {
+            // Same validation a Session::new would run, surfaced eagerly.
+            plan.validate().map_err(|e| ServeError::Solve(HybridError::Sim(e)))?;
+            if !plan.is_trivial() {
+                return Err(ServeError::FaultySession {
+                    tenant: tenant.to_string(),
+                    drop_prob: plan.drop_prob,
+                    crashes: plan.crashes.len(),
+                });
+            }
+        }
+        let state =
+            Arc::new(TenantState { cfg, inflight: AtomicUsize::new(0), shed: AtomicU64::new(0) });
+        self.tenants.lock().expect("tenant table lock").insert(tenant.to_string(), state);
+        Ok(())
+    }
+
+    /// Requests shed so far for `tenant` (`None` if unregistered).
+    pub fn tenant_shed(&self, tenant: &str) -> Option<u64> {
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        tenants.get(tenant).map(|t| t.shed.load(Ordering::Relaxed))
+    }
+
+    /// A snapshot of the broker's cumulative counters.
+    pub fn stats(&self) -> BrokerStats {
+        let (resident, bytes, queries, hits) = {
+            let lru = self.lru.lock().expect("session cache lock");
+            let mut bytes = 0usize;
+            let mut queries = 0u64;
+            let mut hits = 0u64;
+            for entry in lru.values() {
+                bytes += entry.bytes.load(Ordering::Relaxed);
+                let s = entry.session.stats();
+                queries += s.queries;
+                hits += s.report_hits;
+            }
+            (lru.len(), bytes, queries, hits)
+        };
+        BrokerStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            session_hits: self.session_hits.load(Ordering::Relaxed),
+            sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            resident_sessions: resident,
+            session_bytes: bytes,
+            verified: self.verified.load(Ordering::Relaxed),
+            mismatches: self.mismatches.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            session_queries: queries,
+            session_report_hits: hits,
+        }
+    }
+
+    /// Admission control: bounded per-tenant concurrency. Returns an RAII
+    /// guard holding the slot (and the tenant state), or sheds with
+    /// [`ServeError::Overloaded`].
+    fn admit(&self, tenant: &str) -> Result<AdmitGuard, ServeError> {
+        let state = {
+            let tenants = self.tenants.lock().expect("tenant table lock");
+            tenants
+                .get(tenant)
+                .cloned()
+                .ok_or_else(|| ServeError::UnknownTenant { tenant: tenant.to_string() })?
+        };
+        let prev = state.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= state.cfg.max_queue_depth {
+            state.inflight.fetch_sub(1, Ordering::AcqRel);
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                tenant: tenant.to_string(),
+                depth: state.cfg.max_queue_depth,
+            });
+        }
+        Ok(AdmitGuard { state })
+    }
+
+    /// Finds or creates the session for `key`, bumping its LRU stamp.
+    fn acquire_session(
+        &self,
+        key: SessionKey,
+        graph: &'g Graph,
+        faults: Option<FaultPlan>,
+    ) -> Result<(Arc<SessionEntry<'g>>, bool), ServeError> {
+        let stamp = self.lru_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut lru = self.lru.lock().expect("session cache lock");
+        if let Some(entry) = lru.get(&key) {
+            entry.stamp.store(stamp, Ordering::Relaxed);
+            self.session_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(entry), true));
+        }
+        let scfg = SessionConfig {
+            seed: key.seed,
+            xi: f64::from_bits(key.xi_bits),
+            net: self.cfg.net,
+            faults: faults.clone(),
+            round_threads: self.cfg.round_threads,
+        };
+        let session = Session::new(graph, scfg)?;
+        let entry = Arc::new(SessionEntry {
+            session,
+            faults,
+            stamp: AtomicU64::new(stamp),
+            bytes: AtomicUsize::new(MIN_ENTRY_BYTES),
+            batch: Mutex::new(BatchState {
+                next_ticket: 0,
+                pending: Vec::new(),
+                results: HashMap::new(),
+                leader: false,
+            }),
+            batch_cv: Condvar::new(),
+            cold: Mutex::new(HashMap::new()),
+        });
+        lru.insert(key, Arc::clone(&entry));
+        self.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+        Ok((entry, false))
+    }
+
+    /// Settles `entry`'s byte charge from its session stats, then evicts
+    /// least-recently-used sessions until the resident total fits the budget
+    /// (the most recently used session always survives, however large).
+    fn settle_and_evict(&self, entry: &SessionEntry<'g>) {
+        let bytes = entry.session.stats().prepared_bytes.max(MIN_ENTRY_BYTES);
+        entry.bytes.store(bytes, Ordering::Relaxed);
+        let mut lru = self.lru.lock().expect("session cache lock");
+        loop {
+            if lru.len() <= 1 {
+                return;
+            }
+            let total: usize = lru.values().map(|e| e.bytes.load(Ordering::Relaxed)).sum();
+            if total <= self.cfg.session_budget_bytes {
+                return;
+            }
+            let victim = lru
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache");
+            lru.remove(&victim);
+            self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Serves `query` on `entry` through the coalescing layer: the query is
+    /// queued, one thread becomes the batch leader and drives every queued
+    /// query through a single [`Session::solve_batch`] call (whose scoped
+    /// worker pool shards the distinct queries), and everyone picks up their
+    /// own result.
+    fn serve_on_entry(
+        &self,
+        entry: &SessionEntry<'g>,
+        query: &Query,
+    ) -> Result<Report, HybridError> {
+        let ticket = {
+            let mut b = entry.batch.lock().expect("batch lock");
+            let t = b.next_ticket;
+            b.next_ticket += 1;
+            b.pending.push((t, query.clone()));
+            t
+        };
+        let mut b = entry.batch.lock().expect("batch lock");
+        loop {
+            if let Some(result) = b.results.remove(&ticket) {
+                return result;
+            }
+            if !b.leader {
+                b.leader = true;
+                let batch = std::mem::take(&mut b.pending);
+                drop(b);
+                let queries: Vec<Query> = batch.iter().map(|(_, q)| q.clone()).collect();
+                let results = entry.session.solve_batch(&queries);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched_queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
+                let mut done = entry.batch.lock().expect("batch lock");
+                for ((t, _), r) in batch.into_iter().zip(results) {
+                    done.results.insert(t, r);
+                }
+                done.leader = false;
+                entry.batch_cv.notify_all();
+                b = done;
+            } else {
+                b = entry.batch_cv.wait(b).expect("batch lock");
+            }
+        }
+    }
+
+    /// The cold referee: solves `query` from zero on a net configured exactly
+    /// like the session's (`HybridConfig`, round threads, trivial fault
+    /// plan), memoized per distinct query. Returns the digest a served
+    /// report must match, or the structured error a cold solve produces.
+    fn cold_reference(
+        &self,
+        entry: &SessionEntry<'g>,
+        graph: &'g Graph,
+        seed: u64,
+        query: &Query,
+    ) -> Result<u64, HybridError> {
+        let spec = crate::protocol::query_spec(query);
+        let cell = {
+            let mut cold = entry.cold.lock().expect("cold referee map lock");
+            Arc::clone(cold.entry(spec).or_default())
+        };
+        let mut slot = cell.lock().expect("cold referee cell lock");
+        if let Some(cached) = slot.as_ref() {
+            return cached.clone();
+        }
+        let mut net = HybridNet::new(graph, self.cfg.net);
+        if let Some(threads) = self.cfg.round_threads {
+            net.set_round_threads(threads);
+        }
+        if let Some(plan) = &entry.faults {
+            net.inject_faults(plan).expect("trivial plan validated at registration");
+        }
+        let result = solve(&mut net, query, seed).map(|r| report_digest(&r));
+        *slot = Some(result.clone());
+        result
+    }
+
+    /// Serves one request end to end: admission, session acquisition,
+    /// coalesced solve, online bit-identity verification, LRU settlement.
+    ///
+    /// # Errors
+    ///
+    /// Structured, always: [`ServeError::Overloaded`] under admission
+    /// pressure, [`ServeError::UnknownTenant`]/[`ServeError::UnknownGraph`]
+    /// for bad names, [`ServeError::Solve`] for solver errors (verified
+    /// identical to the cold solve's), [`ServeError::BitIdentityMismatch`]
+    /// if a served answer ever diverges from its cold reference.
+    pub fn serve(&self, req: &Request) -> Result<Response, ServeError> {
+        let guard = self.admit(&req.tenant)?;
+        let (graph, fingerprint) = self
+            .catalog
+            .get(&req.graph)
+            .ok_or_else(|| ServeError::UnknownGraph { graph: req.graph.clone() })?;
+        let seed = req.seed.unwrap_or(self.cfg.seed);
+        let key = SessionKey {
+            tenant: req.tenant.clone(),
+            fingerprint,
+            seed,
+            xi_bits: query_xi(&req.query).to_bits(),
+        };
+        let (entry, session_hit) =
+            self.acquire_session(key, graph, guard.state.cfg.faults.clone())?;
+        let result = self.serve_on_entry(&entry, &req.query);
+        let response = if self.cfg.verify {
+            let cold = self.cold_reference(&entry, graph, seed, &req.query);
+            self.verified.fetch_add(1, Ordering::Relaxed);
+            match (result, cold) {
+                (Ok(report), Ok(expected)) => {
+                    let digest = report_digest(&report);
+                    if digest == expected {
+                        Ok(Response { report, digest, verified: true, session_hit })
+                    } else {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::BitIdentityMismatch {
+                            query: req.query.label(),
+                            expected,
+                            got: digest,
+                        })
+                    }
+                }
+                (Err(served), Err(cold)) if served == cold => Err(ServeError::Solve(served)),
+                (served, cold) => {
+                    self.mismatches.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::BitIdentityMismatch {
+                        query: req.query.label(),
+                        expected: cold.map_or(0, |d| d),
+                        got: served.map_or(0, |r| report_digest(&r)),
+                    })
+                }
+            }
+        } else {
+            match result {
+                Ok(report) => {
+                    let digest = report_digest(&report);
+                    Ok(Response { report, digest, verified: false, session_hit })
+                }
+                Err(e) => Err(ServeError::Solve(e)),
+            }
+        };
+        if response.is_ok() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+        self.settle_and_evict(&entry);
+        response
+    }
+}

@@ -1,0 +1,287 @@
+//! Serving front-end for the HYBRID shortest-path stack: a multi-tenant
+//! request [`Broker`] over [`hybrid_core::Session`], admission control, a
+//! line-delimited wire protocol, and a closed-loop [load generator](loadgen).
+//!
+//! The paper's economics (Kuhn–Schneider, PODC '20) hinge on *shared*
+//! preprocessing: Corollaries 4.6/4.7/5.2 reuse one `x = 2/3` skeleton and
+//! Corollaries 4.8/5.3 another, so a serving system amortizes the expensive
+//! preamble across tenants' query streams. This crate is that system's front
+//! door:
+//!
+//! * **Byte-budgeted session cache.** The broker owns an LRU of sessions
+//!   keyed by `(tenant, graph fingerprint, seed, ξ)`, charged at each
+//!   session's measured `prepared_bytes` — eviction is by bytes, not entry
+//!   count.
+//! * **Admission control.** Each tenant has a bounded queue depth; overflow
+//!   is a structured [`ServeError::Overloaded`], never a silent drop. Lossy
+//!   fault plans are rejected at registration ([`ServeError::FaultySession`])
+//!   because faulty sessions run every query cold and would silently defeat
+//!   the cache.
+//! * **Batch coalescing.** Concurrent queries on one session are collected
+//!   by a batch leader into a single [`hybrid_core::Session::solve_batch`]
+//!   call, whose scoped worker pool shards the distinct queries.
+//! * **Online bit-identity verification.** Every served answer is digest-
+//!   compared against a memoized *cold* solve of the same request — answers,
+//!   guarantees, and the simulated round bill are bit-identical by contract;
+//!   only wall-clock latency is nondeterministic.
+//! * **Wire protocol.** One request line in, one response line out
+//!   ([`protocol`]), served in-process ([`Broker::serve_line`]) and over TCP
+//!   ([`tcp::serve_tcp`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hybrid_core::solver::Query;
+//! use hybrid_graph::generators::grid;
+//! use hybrid_serve::{Broker, BrokerConfig, GraphCatalog, TenantConfig};
+//!
+//! let mut catalog = GraphCatalog::new();
+//! catalog.insert("campus", grid(5, 5, 1).unwrap());
+//!
+//! let broker = Broker::new(&catalog, BrokerConfig::new(7));
+//! broker.register_tenant("acme", TenantConfig::new(4)).unwrap();
+//!
+//! // In-process line protocol: solve APSP, then hit the session memo.
+//! let first = broker.serve_line("SOLVE id=1 tenant=acme graph=campus query=apsp-thm11:xi=1.5");
+//! let again = broker.serve_line("SOLVE id=2 tenant=acme graph=campus query=apsp-thm11:xi=1.5");
+//! assert!(first.starts_with("OK id=1 query=apsp-thm11"), "{first}");
+//! // Same query, same session ⇒ the same digest, verified against a cold solve.
+//! assert_eq!(first.split("digest=").nth(1), again.split("digest=").nth(1));
+//! assert!(first.ends_with("verified=1"), "{first}");
+//! let stats = broker.stats();
+//! assert_eq!(stats.served, 2);
+//! assert_eq!(stats.mismatches, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod loadgen;
+pub mod protocol;
+pub mod tcp;
+
+pub use broker::{
+    graph_fingerprint, report_digest, Broker, BrokerConfig, BrokerStats, GraphCatalog, Request,
+    Response, ServeError, TenantConfig,
+};
+pub use loadgen::{run_load, LoadReport, LoadSpec};
+pub use protocol::{guarantee_label, parse_query_spec, parse_request, query_spec, WireRequest};
+pub use tcp::{serve_tcp, TcpServer};
+
+#[cfg(test)]
+mod tests {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query, SsspVariant};
+    use hybrid_graph::generators::{grid, path};
+    use hybrid_graph::NodeId;
+    use hybrid_sim::{Crash, FaultPlan};
+
+    use super::*;
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::apsp().build().unwrap(),
+            Query::sssp(NodeId::new(0)).build().unwrap(),
+            Query::sssp(NodeId::new(1))
+                .variant(SsspVariant::ApproxSoda20 { eps: 0.25 })
+                .build()
+                .unwrap(),
+            Query::kssp(KsspCorollary::Cor46).random_sources(3).build().unwrap(),
+            Query::kssp(KsspCorollary::Cor47)
+                .sources(vec![NodeId::new(0), NodeId::new(4), NodeId::new(7)])
+                .build()
+                .unwrap(),
+            Query::diameter(DiameterCorollary::Cor52).build().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn query_specs_roundtrip() {
+        for q in mixed_queries() {
+            let spec = query_spec(&q);
+            let parsed = parse_query_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(parsed, q, "spec {spec} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_structured_errors() {
+        for spec in ["", "apsp-thm99", "sssp-thm13", "kssp-cor46:eps=0.5", "apsp-thm11:xi=banana"] {
+            let err = parse_query_spec(spec).unwrap_err();
+            assert_eq!(err.code(), "protocol", "{spec} should fail as a protocol error");
+        }
+    }
+
+    #[test]
+    fn zero_depth_tenant_sheds_with_structured_overload() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(12, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("busy", TenantConfig::new(0)).unwrap();
+        let req = Request {
+            tenant: "busy".into(),
+            graph: "g".into(),
+            seed: None,
+            query: Query::apsp().build().unwrap(),
+        };
+        let err = broker.serve(&req).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { tenant: "busy".into(), depth: 0 });
+        assert_eq!(broker.stats().shed, 1);
+        assert_eq!(broker.tenant_shed("busy"), Some(1));
+    }
+
+    #[test]
+    fn lossy_fault_plans_are_rejected_at_registration() {
+        let catalog = GraphCatalog::new();
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        let mut lossy = TenantConfig::new(4);
+        lossy.faults = Some(FaultPlan::drops(0.25, 9));
+        let err = broker.register_tenant("chaotic", lossy).unwrap_err();
+        assert_eq!(err.code(), "faulty-session");
+        assert!(matches!(err, ServeError::FaultySession { drop_prob, .. } if drop_prob == 0.25));
+
+        let mut crashing = TenantConfig::new(4);
+        crashing.faults =
+            Some(FaultPlan::node_crashes(vec![Crash { node: NodeId::new(0), at_round: 1 }]));
+        assert_eq!(
+            broker.register_tenant("crashy", crashing).unwrap_err().code(),
+            "faulty-session"
+        );
+
+        // Structurally invalid plans surface the session layer's own error.
+        let mut invalid = TenantConfig::new(4);
+        invalid.faults = Some(FaultPlan::drops(1.5, 9));
+        assert_eq!(broker.register_tenant("broken", invalid).unwrap_err().code(), "solve");
+
+        // A trivial plan is fine: it changes nothing and caching stays sound.
+        let mut trivial = TenantConfig::new(4);
+        trivial.faults = Some(FaultPlan::drops(0.0, 9));
+        broker.register_tenant("fine", trivial).unwrap();
+    }
+
+    #[test]
+    fn unknown_names_are_structured_errors() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(8, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(2)).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let nobody =
+            Request { tenant: "ghost".into(), graph: "g".into(), seed: None, query: q.clone() };
+        assert_eq!(broker.serve(&nobody).unwrap_err().code(), "unknown-tenant");
+        let nowhere = Request { tenant: "t".into(), graph: "mars".into(), seed: None, query: q };
+        assert_eq!(broker.serve(&nowhere).unwrap_err().code(), "unknown-graph");
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_readmission_stays_bit_identical() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("a", grid(5, 5, 1).unwrap());
+        catalog.insert("b", path(30, 1).unwrap());
+        // A 1-byte budget forces every acquisition over budget: only the most
+        // recently used session survives each settlement.
+        let mut cfg = BrokerConfig::new(7);
+        cfg.session_budget_bytes = 1;
+        let broker = Broker::new(&catalog, cfg);
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let serve = |graph: &str| {
+            broker
+                .serve(&Request {
+                    tenant: "t".into(),
+                    graph: graph.into(),
+                    seed: None,
+                    query: q.clone(),
+                })
+                .unwrap()
+        };
+        let first_a = serve("a");
+        let first_b = serve("b"); // evicts a
+        let stats = broker.stats();
+        assert_eq!(stats.resident_sessions, 1, "budget of 1 byte keeps a single session");
+        assert_eq!(stats.sessions_evicted, 1);
+        let again_a = serve("a"); // re-admission after eviction
+        assert!(!again_a.session_hit, "a was evicted, so this is a fresh session");
+        assert_eq!(again_a.digest, first_a.digest, "re-admitted session must serve identically");
+        assert_eq!(broker.stats().sessions_evicted, 2);
+        assert!(first_a.verified && first_b.verified && again_a.verified);
+        assert_eq!(broker.stats().mismatches, 0);
+    }
+
+    #[test]
+    fn stats_and_protocol_lines_agree() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        let ok =
+            broker.serve_line("SOLVE id=9 tenant=t graph=g query=diameter-cor52:eps=0.5:xi=1.5");
+        assert!(ok.starts_with("OK id=9 query=diameter-cor52 rounds="), "{ok}");
+        assert!(ok.contains("guarantee=diameter="), "{ok}");
+        let err = broker.serve_line("SOLVE id=3 tenant=nobody graph=g query=apsp-thm11:xi=1.5");
+        assert!(err.starts_with("ERR id=3 code=unknown-tenant"), "{err}");
+        let garbled = broker.serve_line("FROBNICATE everything");
+        assert!(garbled.starts_with("ERR id=0 code=protocol"), "{garbled}");
+        let stats = broker.serve_line("STATS");
+        assert!(stats.starts_with("STATS served=1 shed=0"), "{stats}");
+    }
+
+    #[test]
+    fn tcp_round_trip_serves_and_shuts_down() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        std::thread::scope(|scope| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let server = serve_tcp(scope, &broker, listener).unwrap();
+            let mut conn = TcpStream::connect(server.addr()).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            for id in 1..=2u64 {
+                writeln!(conn, "SOLVE id={id} tenant=t graph=g query=apsp-thm11:xi=1.5").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.starts_with(&format!("OK id={id} query=apsp-thm11")), "{line}");
+                assert!(line.trim_end().ends_with("verified=1"), "{line}");
+            }
+            drop(conn);
+            server.shutdown();
+        });
+        let stats = broker.stats();
+        assert_eq!(stats.served, 2);
+        assert_eq!((stats.session_hits, stats.sessions_admitted), (1, 1));
+    }
+
+    #[test]
+    fn load_generator_is_deterministic_in_its_choices() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let run = |seed: u64| {
+            let broker = Broker::new(&catalog, BrokerConfig::new(7));
+            broker.register_tenant("t", TenantConfig::new(8)).unwrap();
+            let spec = LoadSpec {
+                name: "unit".into(),
+                clients: 3,
+                requests_per_client: 6,
+                tenants: vec!["t".into()],
+                graphs: vec!["g".into()],
+                queries: mixed_queries(),
+                seed,
+            };
+            run_load(&broker, &spec)
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.issued, 18);
+        assert_eq!(a.served + a.shed + a.failed, a.issued, "every request is accounted for");
+        assert_eq!(a.failed, 0, "registry queries on a connected grid must not fail");
+        // The request mix is seed-deterministic, so the simulated round bill
+        // (unlike wall-clock latency) matches exactly across runs.
+        assert_eq!(a.rounds_total, b.rounds_total);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.stats.mismatches, 0);
+    }
+}

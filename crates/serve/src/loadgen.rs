@@ -1,0 +1,152 @@
+//! The closed-loop load generator: N synchronous client threads driving a
+//! [`Broker`] with a deterministic tenant/graph/query mix. Every choice a
+//! client makes derives from SplitMix64 streams of the spec seed, so two runs
+//! issue the *identical* request sequence per client — only wall-clock
+//! latency (and hence the percentiles) is nondeterministic.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hybrid_core::solver::Query;
+use hybrid_sim::derive_seed;
+
+use crate::broker::{Broker, BrokerStats, Request, ServeError};
+
+/// One closed-loop workload: who asks what, how hard, under which seed.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Workload name (lands in the benchmark record).
+    pub name: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues back-to-back (closed loop: the next
+    /// request starts when the previous response lands).
+    pub requests_per_client: usize,
+    /// Tenant mix — client i's r-th request picks deterministically.
+    pub tenants: Vec<String>,
+    /// Graph mix (catalog names).
+    pub graphs: Vec<String>,
+    /// Query mix.
+    pub queries: Vec<Query>,
+    /// Root seed of every client's choice stream.
+    pub seed: u64,
+}
+
+/// Outcome of a load run: latency percentiles, throughput, shed rate, and
+/// the broker's counters at the end of the run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The spec's workload name.
+    pub name: String,
+    /// Client thread count.
+    pub clients: usize,
+    /// Requests issued in total.
+    pub issued: u64,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests shed with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Requests that failed any other way (bit-identity violations, solver
+    /// errors — a healthy run has zero).
+    pub failed: u64,
+    /// Wall-clock duration of the whole run in nanoseconds.
+    pub wall_ns: u64,
+    /// Median served-request latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Served throughput: `served / wall` in queries per second — the
+    /// saturation rate of a closed loop at this client count.
+    pub qps: f64,
+    /// `shed / issued` (0 when nothing was issued).
+    pub shed_rate: f64,
+    /// Sum of simulated HYBRID rounds across served responses (deterministic
+    /// — pinned by bit-identity, unlike the latencies).
+    pub rounds_total: u64,
+    /// Broker counters at the end of the run.
+    pub stats: BrokerStats,
+}
+
+/// Latency percentile over a sorted sample: nearest-rank on `p ∈ [0, 1]`.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `spec` against `broker` and gathers the report. Client i's request r
+/// draws its tenant/graph/query from `derive_seed(derive_seed(seed, i), r)`
+/// — disjoint SplitMix64 streams per client, deterministic across runs.
+///
+/// Overload ([`ServeError::Overloaded`]) is an *expected* outcome counted as
+/// shed; every other error counts as failed and is kept out of the latency
+/// sample.
+pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
+    assert!(!spec.tenants.is_empty(), "load spec needs at least one tenant");
+    assert!(!spec.graphs.is_empty(), "load spec needs at least one graph");
+    assert!(!spec.queries.is_empty(), "load spec needs at least one query");
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let outcomes: Mutex<(u64, u64, u64, u64)> = Mutex::new((0, 0, 0, 0)); // served, shed, failed, rounds
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..spec.clients {
+            let latencies = &latencies;
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let stream = derive_seed(spec.seed, client as u64);
+                let mut local_lat = Vec::with_capacity(spec.requests_per_client);
+                let (mut served, mut shed, mut failed, mut rounds) = (0u64, 0u64, 0u64, 0u64);
+                for r in 0..spec.requests_per_client {
+                    let draw = derive_seed(stream, r as u64);
+                    let req = Request {
+                        tenant: spec.tenants[(draw as usize) % spec.tenants.len()].clone(),
+                        graph: spec.graphs[((draw >> 16) as usize) % spec.graphs.len()].clone(),
+                        seed: None,
+                        query: spec.queries[((draw >> 32) as usize) % spec.queries.len()].clone(),
+                    };
+                    let start = Instant::now();
+                    match broker.serve(&req) {
+                        Ok(resp) => {
+                            served += 1;
+                            rounds += resp.report.rounds;
+                            local_lat.push(start.elapsed().as_nanos() as u64);
+                        }
+                        Err(ServeError::Overloaded { .. }) => shed += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                latencies.lock().expect("latency sample lock").extend(local_lat);
+                let mut o = outcomes.lock().expect("outcome counter lock");
+                o.0 += served;
+                o.1 += shed;
+                o.2 += failed;
+                o.3 += rounds;
+            });
+        }
+    });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let mut sample = latencies.into_inner().expect("latency sample");
+    sample.sort_unstable();
+    let (served, shed, failed, rounds_total) = outcomes.into_inner().expect("outcome counters");
+    let issued = (spec.clients * spec.requests_per_client) as u64;
+    LoadReport {
+        name: spec.name.clone(),
+        clients: spec.clients,
+        issued,
+        served,
+        shed,
+        failed,
+        wall_ns,
+        p50_ns: percentile(&sample, 0.50),
+        p95_ns: percentile(&sample, 0.95),
+        p99_ns: percentile(&sample, 0.99),
+        qps: if wall_ns == 0 { 0.0 } else { served as f64 * 1e9 / wall_ns as f64 },
+        shed_rate: if issued == 0 { 0.0 } else { shed as f64 / issued as f64 },
+        rounds_total,
+        stats: broker.stats(),
+    }
+}

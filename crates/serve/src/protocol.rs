@@ -1,0 +1,290 @@
+//! The line-delimited wire protocol: one request per line, one response per
+//! line, plain `key=value` tokens — hand-rolled framing in the sim layer's
+//! style (no crates.io).
+//!
+//! # Requests
+//!
+//! ```text
+//! SOLVE id=<u64> tenant=<name> graph=<name> [seed=<u64>] query=<spec>
+//! STATS
+//! ```
+//!
+//! The query `spec` is the canonical colon-separated form produced by
+//! [`query_spec`], e.g. `apsp-thm11:xi=1.5`, `sssp-soda20:src=3:eps=0.25:xi=1.5`,
+//! `kssp-cor46:k=4:eps=0.5:xi=1.5`, `diameter-cor52:eps=0.5:xi=1.5`. Explicit
+//! k-SSP sources are a comma list: `kssp-cor47:src=1,5,9:eps=0.5:xi=1.5`.
+//!
+//! # Responses
+//!
+//! ```text
+//! OK id=<u64> query=<label> rounds=<u64> guarantee=<label> digest=<016x> verified=<0|1>
+//! ERR id=<u64> code=<code> msg=<text...>
+//! STATS served=<u64> shed=<u64> ...
+//! ```
+//!
+//! Float parameters round-trip through Rust's shortest-exact `Display`
+//! formatting, so a spec identifies the query bit-for-bit.
+
+use hybrid_core::solver::{
+    ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, SsspVariant,
+};
+use hybrid_graph::NodeId;
+
+use crate::broker::{Broker, Request, ServeError};
+
+/// The canonical spec string of a query — parseable by [`parse_query_spec`]
+/// and stable per distinct query (floats printed in shortest-exact form).
+pub fn query_spec(q: &Query) -> String {
+    match q {
+        Query::Apsp { xi, .. } => format!("{}:xi={xi}", q.label()),
+        Query::Sssp { variant, source, xi } => {
+            let src = source.raw();
+            match variant {
+                SsspVariant::ApproxSoda20 { eps } => {
+                    format!("{}:src={src}:eps={eps}:xi={xi}", q.label())
+                }
+                _ => format!("{}:src={src}:xi={xi}", q.label()),
+            }
+        }
+        Query::Kssp { sources, eps, xi, .. } => {
+            let src = match sources {
+                hybrid_core::solver::SourceSet::Random { k } => format!("k={k}"),
+                hybrid_core::solver::SourceSet::Nodes(nodes) => {
+                    let list: Vec<String> = nodes.iter().map(|v| v.raw().to_string()).collect();
+                    format!("src={}", list.join(","))
+                }
+            };
+            format!("{}:{src}:eps={eps}:xi={xi}", q.label())
+        }
+        Query::Diameter { eps, xi, .. } => format!("{}:eps={eps}:xi={xi}", q.label()),
+    }
+}
+
+/// The wire label of a guarantee: `exact`, `stretch=<f>`, `diameter=<f>`, or
+/// `degraded=<from>-><to>`.
+pub fn guarantee_label(g: &Guarantee) -> String {
+    match g {
+        Guarantee::Exact => "exact".to_string(),
+        Guarantee::Stretch { factor } => format!("stretch={factor}"),
+        Guarantee::DiameterFactor { factor } => format!("diameter={factor}"),
+        Guarantee::Degraded { from, to, .. } => format!("degraded={from}->{to}"),
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol { msg: msg.into() }
+}
+
+fn parse_u64(key: &str, v: &str) -> Result<u64, ServeError> {
+    v.parse().map_err(|_| bad(format!("{key}={v}: not a u64")))
+}
+
+fn parse_f64(key: &str, v: &str) -> Result<f64, ServeError> {
+    v.parse().map_err(|_| bad(format!("{key}={v}: not a float")))
+}
+
+/// Parses the canonical query spec (see the module docs for the grammar).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for an unknown label, malformed parameter, or a
+/// query the builders reject (invalid `ξ`/`ε`/sources).
+pub fn parse_query_spec(spec: &str) -> Result<Query, ServeError> {
+    let mut parts = spec.split(':');
+    let label = parts.next().unwrap_or_default();
+    let mut src: Option<&str> = None;
+    let mut k: Option<usize> = None;
+    let mut eps: Option<f64> = None;
+    let mut xi: Option<f64> = None;
+    for part in parts {
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| bad(format!("{part:?}: expected key=value")))?;
+        match key {
+            "src" => src = Some(value),
+            "k" => k = Some(value.parse().map_err(|_| bad(format!("k={value}: not a count")))?),
+            "eps" => eps = Some(parse_f64("eps", value)?),
+            "xi" => xi = Some(parse_f64("xi", value)?),
+            _ => return Err(bad(format!("unknown query parameter {key:?}"))),
+        }
+    }
+    let one_source = || -> Result<NodeId, ServeError> {
+        let v = src.ok_or_else(|| bad(format!("{label}: missing src=<node>")))?;
+        let raw: u32 = v.parse().map_err(|_| bad(format!("src={v}: not a node id")))?;
+        Ok(NodeId::new(raw as usize))
+    };
+    let build = |b: Result<Query, hybrid_core::solver::QueryError>| {
+        b.map_err(|e| bad(format!("{label}: {e}")))
+    };
+    let q = match label {
+        "apsp-thm11" | "apsp-soda20" | "apsp-local-flood" => {
+            let variant = match label {
+                "apsp-thm11" => ApspVariant::Thm11,
+                "apsp-soda20" => ApspVariant::Soda20,
+                _ => ApspVariant::LocalFlood,
+            };
+            let mut b = Query::apsp().variant(variant);
+            if let Some(xi) = xi {
+                b = b.xi(xi);
+            }
+            build(b.build())?
+        }
+        "sssp-thm13" | "sssp-local-bf" | "sssp-soda20" => {
+            let variant = match label {
+                "sssp-thm13" => SsspVariant::Thm13,
+                "sssp-local-bf" => SsspVariant::LocalBellmanFord,
+                _ => SsspVariant::ApproxSoda20 {
+                    eps: eps.ok_or_else(|| bad("sssp-soda20: missing eps=<f>"))?,
+                },
+            };
+            let mut b = Query::sssp(one_source()?).variant(variant);
+            if let Some(xi) = xi {
+                b = b.xi(xi);
+            }
+            build(b.build())?
+        }
+        "kssp-cor46" | "kssp-cor47" | "kssp-cor48" => {
+            let cor = match label {
+                "kssp-cor46" => KsspCorollary::Cor46,
+                "kssp-cor47" => KsspCorollary::Cor47,
+                _ => KsspCorollary::Cor48,
+            };
+            let mut b = Query::kssp(cor);
+            match (k, src) {
+                (Some(k), None) => b = b.random_sources(k),
+                (None, Some(list)) => {
+                    let mut nodes = Vec::new();
+                    for item in list.split(',') {
+                        let raw: u32 =
+                            item.parse().map_err(|_| bad(format!("src={item}: not a node id")))?;
+                        nodes.push(NodeId::new(raw as usize));
+                    }
+                    b = b.sources(nodes);
+                }
+                _ => return Err(bad(format!("{label}: exactly one of k=<count> or src=<list>"))),
+            }
+            if let Some(eps) = eps {
+                b = b.eps(eps);
+            }
+            if let Some(xi) = xi {
+                b = b.xi(xi);
+            }
+            build(b.build())?
+        }
+        "diameter-cor52" | "diameter-cor53" => {
+            let cor = if label == "diameter-cor52" {
+                DiameterCorollary::Cor52
+            } else {
+                DiameterCorollary::Cor53
+            };
+            let mut b = Query::diameter(cor);
+            if let Some(eps) = eps {
+                b = b.eps(eps);
+            }
+            if let Some(xi) = xi {
+                b = b.xi(xi);
+            }
+            build(b.build())?
+        }
+        _ => return Err(bad(format!("unknown query label {label:?}"))),
+    };
+    Ok(q)
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// `SOLVE ...`: serve one query; `id` correlates the response.
+    Solve {
+        /// Client-chosen correlation id, echoed on the response line.
+        id: u64,
+        /// The in-process request.
+        request: Request,
+    },
+    /// `STATS`: dump the broker counters.
+    Stats,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] with a description of the malformed token.
+pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("STATS") => Ok(WireRequest::Stats),
+        Some("SOLVE") => {
+            let mut id = None;
+            let mut tenant = None;
+            let mut graph = None;
+            let mut seed = None;
+            let mut query = None;
+            for token in tokens {
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("{token:?}: expected key=value")))?;
+                match key {
+                    "id" => id = Some(parse_u64("id", value)?),
+                    "tenant" => tenant = Some(value.to_string()),
+                    "graph" => graph = Some(value.to_string()),
+                    "seed" => seed = Some(parse_u64("seed", value)?),
+                    "query" => query = Some(parse_query_spec(value)?),
+                    _ => return Err(bad(format!("unknown request field {key:?}"))),
+                }
+            }
+            Ok(WireRequest::Solve {
+                id: id.ok_or_else(|| bad("SOLVE: missing id=<u64>"))?,
+                request: Request {
+                    tenant: tenant.ok_or_else(|| bad("SOLVE: missing tenant=<name>"))?,
+                    graph: graph.ok_or_else(|| bad("SOLVE: missing graph=<name>"))?,
+                    seed,
+                    query: query.ok_or_else(|| bad("SOLVE: missing query=<spec>"))?,
+                },
+            })
+        }
+        Some(other) => Err(bad(format!("unknown verb {other:?}"))),
+        None => Err(bad("empty request line")),
+    }
+}
+
+impl Broker<'_> {
+    /// Serves one protocol line and returns the response line (no trailing
+    /// newline) — the in-process entry point the TCP server and tests share.
+    /// Never panics on malformed input: parse failures come back as
+    /// `ERR id=0 code=protocol ...`.
+    pub fn serve_line(&self, line: &str) -> String {
+        match parse_request(line) {
+            Ok(WireRequest::Stats) => {
+                let s = self.stats();
+                format!(
+                    "STATS served={} shed={} session_hits={} admitted={} evicted={} resident={} \
+                     bytes={} verified={} mismatches={} batches={} batched={} max_batch={}",
+                    s.served,
+                    s.shed,
+                    s.session_hits,
+                    s.sessions_admitted,
+                    s.sessions_evicted,
+                    s.resident_sessions,
+                    s.session_bytes,
+                    s.verified,
+                    s.mismatches,
+                    s.batches,
+                    s.batched_queries,
+                    s.max_batch
+                )
+            }
+            Ok(WireRequest::Solve { id, request }) => match self.serve(&request) {
+                Ok(resp) => format!(
+                    "OK id={id} query={} rounds={} guarantee={} digest={:016x} verified={}",
+                    resp.report.label(),
+                    resp.report.rounds,
+                    guarantee_label(&resp.report.guarantee),
+                    resp.digest,
+                    u8::from(resp.verified)
+                ),
+                Err(e) => format!("ERR id={id} code={} msg={e}", e.code()),
+            },
+            Err(e) => format!("ERR id=0 code={} msg={e}", e.code()),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! A line-delimited TCP front door over [`Broker::serve_line`]: one
+//! `std::net::TcpListener`, one scoped thread per connection, newline
+//! framing — no crates.io, no async runtime.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::Scope;
+
+use crate::broker::Broker;
+
+/// Handle to a running TCP server: the bound address plus a shutdown latch.
+/// The accept loop and every connection handler run on the caller's thread
+/// scope, so dropping the scope joins them all.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// The address the server actually bound (use with port 0 to let the OS
+    /// pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit. Idempotent; returns once the latch
+    /// is set (the loop observes it on its next wakeup, which the call
+    /// forces with a throwaway connection).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() call; errors are fine — the listener may
+        // already be gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Serves `broker` on `listener` using threads spawned on `scope`: an accept
+/// loop plus one handler per connection, each reading request lines and
+/// writing one response line per request. Returns immediately with the
+/// server handle; call [`TcpServer::shutdown`] before the scope ends, or the
+/// scope will block on the accept loop forever.
+///
+/// # Errors
+///
+/// Propagates the listener's `local_addr` failure.
+pub fn serve_tcp<'scope, 'env, 'g: 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    broker: &'env Broker<'g>,
+    listener: TcpListener,
+) -> std::io::Result<TcpServer> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let latch = Arc::clone(&shutdown);
+    scope.spawn(move || {
+        for stream in listener.incoming() {
+            if latch.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            scope.spawn(move || handle_connection(broker, stream));
+        }
+    });
+    Ok(TcpServer { addr, shutdown })
+}
+
+/// One connection: read lines until EOF, answer each through the broker.
+/// I/O errors drop the connection; they never unwind into the scope.
+fn handle_connection(broker: &Broker<'_>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = broker.serve_line(&line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //!   diameter, and the lower-bound experiment harnesses.
 //! * [`scenarios`] — the scenario engine: declarative workload registry,
 //!   fault injection, parallel runner, and golden verification.
+//! * [`serve`] — the serving front-end: a multi-tenant request [`Broker`]
+//!   over [`Session`] with byte-budgeted caching, admission control, a
+//!   line-delimited wire protocol (in-process and TCP), and a closed-loop
+//!   load generator.
 //!
 //! The front door to all of the paper's algorithms is the [`solver`] facade:
 //! describe *what* to compute as a typed, validated [`Query`], run it with
@@ -67,4 +71,6 @@ pub use hybrid_core::solver::{
 };
 pub use hybrid_graph as graph;
 pub use hybrid_scenarios as scenarios;
+pub use hybrid_serve as serve;
+pub use hybrid_serve::{Broker, BrokerConfig, BrokerStats, GraphCatalog, ServeError, TenantConfig};
 pub use hybrid_sim as sim;

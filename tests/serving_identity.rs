@@ -1,0 +1,204 @@
+//! Broker-vs-cold bit-identity under concurrency: the serving front-end's
+//! core contract, end to end.
+//!
+//! N client threads push a mixed registry-query workload through one
+//! multi-tenant [`Broker`] — batched, cached, coalesced — and every brokered
+//! answer must equal the cold `solve()` payload-by-payload: distances,
+//! guarantees, and the simulated round bill. The contract must also survive
+//! an LRU eviction + re-admission cycle, and overload must always surface as
+//! a structured [`ServeError::Overloaded`], never a silent drop.
+
+use hybrid_shortest_paths::graph::generators::grid;
+use hybrid_shortest_paths::graph::{Graph, NodeId};
+use hybrid_shortest_paths::scenarios::workloads;
+use hybrid_shortest_paths::serve::{query_spec, report_digest, Request};
+use hybrid_shortest_paths::sim::{HybridConfig, HybridNet};
+use hybrid_shortest_paths::{
+    solve, Answer, ApspVariant, Broker, BrokerConfig, DiameterCorollary, GraphCatalog,
+    KsspCorollary, Query, Report, ServeError, SsspVariant, TenantConfig,
+};
+use std::collections::HashMap;
+
+const SEED: u64 = 7;
+
+/// The serving benchmark's mixed shape: 8 distinct paper queries.
+fn mixed_queries() -> Vec<Query> {
+    vec![
+        Query::apsp().xi(1.5).build().unwrap(),
+        Query::apsp().variant(ApspVariant::Soda20).xi(1.5).build().unwrap(),
+        Query::sssp(NodeId::new(0)).xi(1.5).build().unwrap(),
+        Query::sssp(NodeId::new(1))
+            .variant(SsspVariant::ApproxSoda20 { eps: 0.5 })
+            .xi(1.5)
+            .build()
+            .unwrap(),
+        Query::kssp(KsspCorollary::Cor46).random_sources(2).eps(0.5).xi(1.5).build().unwrap(),
+        Query::kssp(KsspCorollary::Cor47).random_sources(4).eps(0.5).xi(1.5).build().unwrap(),
+        Query::diameter(DiameterCorollary::Cor52).eps(0.5).xi(1.5).build().unwrap(),
+        Query::diameter(DiameterCorollary::Cor53).eps(0.5).xi(1.5).build().unwrap(),
+    ]
+}
+
+/// Full-report equality, answers compared payload-by-payload.
+fn assert_reports_identical(cold: &Report, served: &Report, context: &str) {
+    assert_eq!(cold.rounds, served.rounds, "{context}: rounds");
+    assert_eq!(cold.global_messages, served.global_messages, "{context}: global messages");
+    assert_eq!(cold.guarantee, served.guarantee, "{context}: guarantee");
+    match (&cold.answer, &served.answer) {
+        (Answer::Distances(a), Answer::Distances(b)) => {
+            assert_eq!(a.as_flat(), b.as_flat(), "{context}: distance matrix")
+        }
+        (Answer::DistanceRow { dist: a, .. }, Answer::DistanceRow { dist: b, .. }) => {
+            assert_eq!(a, b, "{context}: distance row")
+        }
+        (
+            Answer::DistanceRows { sources: sa, est: a },
+            Answer::DistanceRows { sources: sb, est: b },
+        ) => {
+            assert_eq!(sa, sb, "{context}: sources");
+            assert_eq!(a, b, "{context}: estimate rows");
+        }
+        (
+            Answer::Diameter { estimate: a, exact_local: xa },
+            Answer::Diameter { estimate: b, exact_local: xb },
+        ) => {
+            assert_eq!(a, b, "{context}: diameter estimate");
+            assert_eq!(xa, xb, "{context}: exact-local flag");
+        }
+        _ => panic!("{context}: answer shapes differ"),
+    }
+}
+
+/// Cold references for every (graph, query) pair, keyed by the canonical
+/// query spec — computed up front with fresh nets, before the broker exists.
+fn cold_references(
+    graphs: &[(&'static str, &Graph)],
+    queries: &[Query],
+) -> HashMap<(&'static str, String), Report> {
+    let mut refs = HashMap::new();
+    for (name, g) in graphs {
+        for q in queries {
+            let mut net = HybridNet::new(g, HybridConfig::default());
+            let report = solve(&mut net, q, SEED).expect("cold reference solve");
+            refs.insert((*name, query_spec(q)), report);
+        }
+    }
+    refs
+}
+
+/// Four client threads, two tenants, two graphs, eight query kinds: every
+/// brokered response equals its cold reference payload-by-payload, nothing
+/// is shed at ample depth, and every response is verified online.
+#[test]
+fn concurrent_clients_get_cold_solve_answers_bit_identically() {
+    let er = workloads::er(48, 12.0, 4, 3);
+    let mesh = grid(7, 7, 1).unwrap();
+    let graphs: Vec<(&'static str, &Graph)> = vec![("er", &er), ("mesh", &mesh)];
+    let queries = mixed_queries();
+    let refs = cold_references(&graphs, &queries);
+
+    let mut catalog = GraphCatalog::new();
+    catalog.insert("er", er.clone());
+    catalog.insert("mesh", mesh.clone());
+    let broker = Broker::new(&catalog, BrokerConfig::new(SEED));
+    for tenant in ["acme", "globex"] {
+        broker.register_tenant(tenant, TenantConfig::new(8)).unwrap();
+    }
+
+    let clients = 4usize;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let broker = &broker;
+            let queries = &queries;
+            let refs = &refs;
+            scope.spawn(move || {
+                for r in 0..2 * queries.len() {
+                    let graph = if (c + r) % 2 == 0 { "er" } else { "mesh" };
+                    let query = queries[r % queries.len()].clone();
+                    let spec = query_spec(&query);
+                    let req = Request {
+                        tenant: if c % 2 == 0 { "acme" } else { "globex" }.into(),
+                        graph: graph.into(),
+                        seed: None,
+                        query,
+                    };
+                    let resp = broker
+                        .serve(&req)
+                        .unwrap_or_else(|e| panic!("client {c} req {r} ({graph} {spec}): {e}"));
+                    let cold = &refs[&(graph, spec.clone())];
+                    assert_reports_identical(cold, &resp.report, &format!("{graph} {spec}"));
+                    assert_eq!(resp.digest, report_digest(cold), "{graph} {spec}: digest");
+                    assert!(resp.verified, "{graph} {spec}: online verification ran");
+                }
+            });
+        }
+    });
+
+    let stats = broker.stats();
+    let issued = (clients * 2 * queries.len()) as u64;
+    assert_eq!(stats.served, issued, "ample depth serves everything");
+    assert_eq!(stats.shed, 0, "nothing shed at depth 8");
+    assert_eq!(stats.mismatches, 0, "online verification found no divergence");
+    assert_eq!(stats.verified, issued, "every response was verified");
+}
+
+/// Bit-identity survives the cache lifecycle: a 1-byte budget forces an
+/// eviction on every graph switch, and re-admitted sessions (cold preamble
+/// recomputed from scratch) must still produce the exact cold-solve reports.
+#[test]
+fn eviction_and_readmission_preserve_bit_identity() {
+    let er = workloads::er(48, 12.0, 4, 3);
+    let mesh = grid(7, 7, 1).unwrap();
+    let graphs: Vec<(&'static str, &Graph)> = vec![("er", &er), ("mesh", &mesh)];
+    let queries = mixed_queries();
+    let refs = cold_references(&graphs, &queries);
+
+    let mut catalog = GraphCatalog::new();
+    catalog.insert("er", er.clone());
+    catalog.insert("mesh", mesh.clone());
+    let mut cfg = BrokerConfig::new(SEED);
+    cfg.session_budget_bytes = 1;
+    let broker = Broker::new(&catalog, cfg);
+    broker.register_tenant("t", TenantConfig::new(2)).unwrap();
+
+    // Alternate graphs per request so every acquisition after the first
+    // evicts the other session; then swing back to re-admit what was evicted.
+    for (r, q) in queries.iter().chain(queries.iter()).enumerate() {
+        let graph = if r % 2 == 0 { "er" } else { "mesh" };
+        let req = Request { tenant: "t".into(), graph: graph.into(), seed: None, query: q.clone() };
+        let resp = broker.serve(&req).expect("broker serve");
+        let spec = query_spec(q);
+        let cold = &refs[&(graph, spec.clone())];
+        assert_reports_identical(cold, &resp.report, &format!("evict-cycle {graph} {spec}"));
+        assert!(resp.verified);
+    }
+    let stats = broker.stats();
+    assert!(stats.sessions_evicted > 0, "the 1-byte budget must actually evict");
+    assert_eq!(stats.resident_sessions, 1, "only the most recent session survives");
+    assert_eq!(stats.mismatches, 0);
+}
+
+/// Overflow is never silent: a zero-depth tenant sheds with the structured
+/// error, the per-tenant and broker-wide counters both record it, and a
+/// healthy tenant on the same broker is unaffected.
+#[test]
+fn overload_always_surfaces_as_structured_shed() {
+    let mut catalog = GraphCatalog::new();
+    catalog.insert("g", grid(5, 5, 1).unwrap());
+    let broker = Broker::new(&catalog, BrokerConfig::new(SEED));
+    broker.register_tenant("full", TenantConfig::new(0)).unwrap();
+    broker.register_tenant("fine", TenantConfig::new(2)).unwrap();
+    let q = Query::apsp().xi(1.5).build().unwrap();
+    let overloaded =
+        Request { tenant: "full".into(), graph: "g".into(), seed: None, query: q.clone() };
+    for _ in 0..3 {
+        let err = broker.serve(&overloaded).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { tenant: "full".into(), depth: 0 });
+    }
+    let ok = Request { tenant: "fine".into(), graph: "g".into(), seed: None, query: q };
+    assert!(broker.serve(&ok).unwrap().verified);
+    let stats = broker.stats();
+    assert_eq!((stats.served, stats.shed), (1, 3), "all overflow accounted as shed");
+    assert_eq!(broker.tenant_shed("full"), Some(3));
+    assert_eq!(broker.tenant_shed("fine"), Some(0));
+}
