@@ -40,12 +40,16 @@
 //!   mixed-batch serving sweep into `BENCH_throughput.json` and the chaos
 //!   recovery sweep into `BENCH_chaos.json`.
 //! * `--serve` drives the multi-tenant broker with the closed-loop load
-//!   generator over registry workloads and writes `BENCH_serving.json`
-//!   (schema `hybrid-bench/serving-v1`: latency percentiles, saturation qps,
-//!   shed rate, cache hit/eviction counters). With `--smoke` it runs the
-//!   short small-scale loop and exits non-zero on any bit-identity mismatch,
-//!   unshed overload (request-accounting hole), or schema violation — the
-//!   serving CI gate.
+//!   generator over registry workloads — including the `serve-chaos`
+//!   workload with faulty, crashing, and panicking tenants — and writes
+//!   `BENCH_serving.json` (schema `hybrid-bench/serving-v2`: latency
+//!   percentiles, saturation qps, shed rate, cache counters, plus retry,
+//!   deadline, breaker, quarantine, and degradation counters). With
+//!   `--smoke` it runs the short small-scale loop and exits non-zero on any
+//!   bit-identity mismatch (which is also how corruption that slipped past
+//!   the checksums would surface), request-accounting hole, breaker
+//!   accounting leak, missing degraded service under chaos, or schema
+//!   violation — the serving CI gate.
 
 use hybrid_bench::experiments as ex;
 use hybrid_bench::{json, Scale};
@@ -148,25 +152,40 @@ fn main() {
         eprintln!("wrote BENCH_serving.json:");
         print!("{doc}");
         ex::serving_table(&records).print();
-        // The serving gate: bit-identity must hold for every response,
-        // overload must always surface as a structured shed (no accounting
-        // hole), and the emitted document must carry every serving-v1 field.
+        // The serving gate: bit-identity must hold for every response (a
+        // corrupted payload that slipped past the reliable layer's checksums
+        // would land here as a mismatch), every request must be accounted
+        // (served, shed, deadline-shed, breaker-rejected, or failed — no
+        // silent loss), breaker counters must be self-consistent, the chaos
+        // workload must actually exercise the degradation path, and the
+        // emitted document must carry every serving-v2 field.
         let mut violations = Vec::new();
         for r in &records {
             let s = r.serving.as_ref().expect("serving record");
+            let chaos = r.bench == "serve-chaos";
             if s.mismatches > 0 {
-                violations.push(format!("{}: {} bit-identity mismatch(es)", r.bench, s.mismatches));
+                violations.push(format!(
+                    "{}: {} bit-identity mismatch(es) — possible undetected corruption",
+                    r.bench, s.mismatches
+                ));
             }
-            if s.failed > 0 {
+            // Only the chaos workload runs a deliberately panicking tenant;
+            // its contained panics must be matched by quarantined sessions.
+            if s.failed > 0 && !chaos {
                 violations
                     .push(format!("{}: {} request(s) failed unstructured", r.bench, s.failed));
             }
-            if s.served + s.shed + s.failed != s.issued {
+            if chaos && s.failed > 0 && s.quarantined == 0 {
+                violations.push(format!(
+                    "{}: {} contained failure(s) but no session was quarantined",
+                    r.bench, s.failed
+                ));
+            }
+            let accounted = s.served + s.shed + s.deadline_shed + s.breaker_rejected + s.failed;
+            if accounted != s.issued {
                 violations.push(format!(
                     "{}: issued {} but accounted {} — silent request loss",
-                    r.bench,
-                    s.issued,
-                    s.served + s.shed + s.failed
+                    r.bench, s.issued, accounted
                 ));
             }
             if s.verified < s.served {
@@ -175,9 +194,38 @@ fn main() {
                     r.bench, s.verified, s.served
                 ));
             }
+            // Breaker accounting leaks: a probe can only follow an open, and
+            // a rejection can only come from an open breaker. Healthy
+            // workloads register no breaker tenants, so any activity there
+            // is a leak outright.
+            if s.breaker_probes > s.breaker_opens {
+                violations.push(format!(
+                    "{}: {} breaker probe(s) but only {} open(s)",
+                    r.bench, s.breaker_probes, s.breaker_opens
+                ));
+            }
+            if s.breaker_rejected > 0 && s.breaker_opens == 0 {
+                violations.push(format!(
+                    "{}: {} breaker rejection(s) without any breaker open",
+                    r.bench, s.breaker_rejected
+                ));
+            }
+            if !chaos && (s.breaker_opens > 0 || s.quarantined > 0 || s.degraded_served > 0) {
+                violations.push(format!(
+                    "{}: healthy workload leaked chaos counters (opens={} quarantined={} \
+                     degraded={})",
+                    r.bench, s.breaker_opens, s.quarantined, s.degraded_served
+                ));
+            }
+            if chaos && s.degraded_served == 0 {
+                violations.push(format!(
+                    "{}: the crashing tenant never produced an explicitly degraded answer",
+                    r.bench
+                ));
+            }
         }
         for field in [
-            "\"schema\": \"hybrid-bench/serving-v1\"",
+            "\"schema\": \"hybrid-bench/serving-v2\"",
             "\"p50_ns\"",
             "\"p95_ns\"",
             "\"p99_ns\"",
@@ -185,6 +233,13 @@ fn main() {
             "\"shed_rate\"",
             "\"cache_hits\"",
             "\"cache_evicted\"",
+            "\"retries\"",
+            "\"deadline_shed\"",
+            "\"breaker_rejected\"",
+            "\"breaker_opens\"",
+            "\"breaker_probes\"",
+            "\"quarantined\"",
+            "\"degraded_served\"",
         ] {
             if !doc.contains(field) {
                 violations.push(format!("BENCH_serving.json schema violation: missing {field}"));
@@ -198,7 +253,7 @@ fn main() {
         }
         eprintln!(
             "serving sweep healthy: every response bit-identical to its cold solve, \
-             overload fully shed"
+             every request accounted, chaos contained"
         );
         return;
     }

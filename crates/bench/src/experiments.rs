@@ -809,7 +809,7 @@ pub fn bench_throughput_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     records
 }
 
-/// Converts one load-generator report into a `serving-v1` record.
+/// Converts one load-generator report into a `serving-v2` record.
 fn serving_record(n: usize, r: &hybrid_serve::LoadReport) -> crate::json::BenchRecord {
     crate::json::BenchRecord {
         bench: r.name.clone(),
@@ -838,26 +838,43 @@ fn serving_record(n: usize, r: &hybrid_serve::LoadReport) -> crate::json::BenchR
         mismatches: r.stats.mismatches,
         batches: r.stats.batches,
         max_batch: r.stats.max_batch,
+        retries: r.retries,
+        deadline_shed: r.deadline_shed,
+        breaker_rejected: r.breaker_rejected,
+        breaker_opens: r.stats.breaker_opens,
+        breaker_probes: r.stats.breaker_probes,
+        quarantined: r.stats.quarantined,
+        degraded_served: r.degraded_served,
     })
 }
 
 /// Closed-loop serving sweep for `BENCH_serving.json` (schema
 /// [`crate::json::SCHEMA_SERVING`]): registry workloads driven through the
-/// multi-tenant broker by the deterministic load generator. Two workloads:
+/// multi-tenant broker by the deterministic load generator. Three workloads:
 ///
 /// * `serve-mixed` — two tenants with comfortable queue depth and a generous
 ///   session budget over two registry graphs (`e2-er`, `sparse-grid`); the
 ///   cache-friendly steady state (high hit rate, no shedding expected).
 /// * `serve-tight` — three depth-1 tenants under a byte budget sized to
 ///   ~1.5 sessions, probed from a real session's `prepared_bytes`; admission
-///   pressure and LRU eviction churn on the same request mix.
+///   pressure and LRU eviction churn on the same request mix. Clients retry
+///   overloads with deterministic backoff.
+/// * `serve-chaos` — the fault-tolerant serving path end to end: a healthy
+///   tenant, a lossy+corrupting tenant (drop and bit-flip fault plans run
+///   cold through the reliable layer), a crashing tenant whose answers come
+///   back explicitly `degraded=`, and a panicking tenant guarded by a
+///   circuit breaker, all under tight deadline budgets.
 ///
 /// Every response the broker serves is verified bit-identical to a cold
-/// solve online; `failed`/`mismatches` must both be 0 and every issued
-/// request must be accounted served/shed/failed — the smoke driver exits
-/// non-zero otherwise.
+/// solve online (the chaos referee replays the same fault plan);
+/// `mismatches` must be 0, failures must be exactly the contained panics,
+/// and every issued request must be accounted
+/// served/shed/deadline-shed/breaker-rejected/failed — the smoke driver
+/// exits non-zero otherwise.
 pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use hybrid_graph::NodeId;
     use hybrid_serve::{run_load, Broker, BrokerConfig, GraphCatalog, LoadSpec, TenantConfig};
+    use hybrid_sim::{Crash, FaultPlan};
     let n = scale.pick3(SMOKE_N, 200, 400);
     let mut catalog = GraphCatalog::new();
     catalog.insert("e2-er", e2_graph(n));
@@ -884,6 +901,9 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             graphs: graphs.clone(),
             queries: queries.clone(),
             seed: 7,
+            retries: 0,
+            retry_backoff_ms: 0,
+            deadline_ms: None,
         },
     );
     records.push(serving_record(n, &mixed));
@@ -911,12 +931,55 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             clients: scale.pick(4, 6),
             requests_per_client: scale.pick(6, 16),
             tenants: vec!["t0".into(), "t1".into(), "t2".into()],
-            graphs,
-            queries,
+            graphs: graphs.clone(),
+            queries: queries.clone(),
             seed: 11,
+            retries: 2,
+            retry_backoff_ms: 1,
+            deadline_ms: None,
         },
     );
     records.push(serving_record(n, &tight));
+
+    // The chaos workload: faulty tenants, corruption, a breaker-guarded
+    // panicking tenant, and deadline budgets on every request. The referee
+    // replays each tenant's fault plan, so bit-identity is still enforced
+    // online; failures are exactly the contained panics.
+    let chaos_broker = Broker::new(&catalog, BrokerConfig::new(7));
+    chaos_broker.register_tenant("steady", TenantConfig::new(4)).expect("trivial tenant");
+    let mut lossy = TenantConfig::new(4);
+    lossy.faults = Some(FaultPlan { corrupt_prob: 0.15, ..FaultPlan::drops(0.15, 21) });
+    chaos_broker.register_tenant("lossy", lossy).expect("valid lossy plan");
+    let mut crashy = TenantConfig::new(4);
+    crashy.faults =
+        Some(FaultPlan::node_crashes(vec![Crash { node: NodeId::new(0), at_round: 2 }]));
+    chaos_broker.register_tenant("crashy", crashy).expect("valid crash plan");
+    // Every admitted request panics, so the breaker trips deterministically
+    // after `breaker_threshold` contained failures and every later request
+    // is either breaker-rejected or a failed half-open probe.
+    let mut panicky = TenantConfig::new(4);
+    panicky.breaker_threshold = Some(2);
+    panicky.breaker_cooldown = 2;
+    panicky.chaos_panic_every = Some(1);
+    chaos_broker.register_tenant("panicky", panicky).expect("trivial tenant");
+    let chaos = run_load(
+        &chaos_broker,
+        &LoadSpec {
+            name: "serve-chaos".into(),
+            clients: scale.pick(3, 4),
+            requests_per_client: scale.pick(4, 8),
+            tenants: vec!["steady".into(), "lossy".into(), "crashy".into(), "panicky".into()],
+            graphs,
+            // The chaos tenants run every query cold through the reliable
+            // layer; a leaner mix keeps the sweep's wall clock in check.
+            queries: queries.into_iter().take(4).collect(),
+            seed: 13,
+            retries: 2,
+            retry_backoff_ms: 1,
+            deadline_ms: Some(2_000),
+        },
+    );
+    records.push(serving_record(n, &chaos));
     records
 }
 
@@ -926,7 +989,7 @@ pub fn serving_table(records: &[crate::json::BenchRecord]) -> Table {
         "Serving: closed-loop broker load (bit-identity verified online)",
         &[
             "workload", "n", "clients", "issued", "served", "shed", "failed", "p50 ms", "p95 ms",
-            "p99 ms", "qps", "hits", "evict", "mismatch",
+            "p99 ms", "qps", "hits", "evict", "mismatch", "retry", "dlshed", "brk", "degr",
         ],
     );
     for r in records {
@@ -947,6 +1010,10 @@ pub fn serving_table(records: &[crate::json::BenchRecord]) -> Table {
             s.cache_hits.to_string(),
             s.cache_evicted.to_string(),
             s.mismatches.to_string(),
+            s.retries.to_string(),
+            s.deadline_shed.to_string(),
+            s.breaker_rejected.to_string(),
+            s.degraded_served.to_string(),
         ]);
     }
     t
@@ -1202,19 +1269,22 @@ mod tests {
     #[test]
     fn serving_records_account_for_every_request() {
         let records = bench_serving_records(Scale::Small);
-        assert_eq!(records.len(), 2); // serve-mixed + serve-tight
+        assert_eq!(records.len(), 3); // serve-mixed + serve-tight + serve-chaos
         for r in &records {
             let s = r.serving.as_ref().expect("serving block");
             assert_eq!(
-                s.served + s.shed + s.failed,
+                s.served + s.shed + s.deadline_shed + s.breaker_rejected + s.failed,
                 s.issued,
-                "{}: every request must be accounted served/shed/failed",
+                "{}: every request must be accounted",
                 r.bench
             );
-            assert_eq!(s.failed, 0, "{}: registry queries must not fail", r.bench);
+            if r.bench != "serve-chaos" {
+                assert_eq!(s.failed, 0, "{}: healthy workloads must not fail", r.bench);
+            }
             assert_eq!(s.mismatches, 0, "{}: bit-identity must hold", r.bench);
             assert!(s.verified >= s.served, "{}: every served response is verified", r.bench);
             assert!(s.served > 0 && s.qps > 0.0, "{}: the loop must make progress", r.bench);
+            assert!(s.breaker_probes <= s.breaker_opens, "{}: probe without open", r.bench);
         }
         let mixed = &records[0];
         assert_eq!(mixed.bench, "serve-mixed");
@@ -1224,6 +1294,14 @@ mod tests {
         // working set, so byte-driven eviction must actually fire.
         let tight = records[1].serving.as_ref().unwrap();
         assert!(tight.cache_evicted > 0, "tight budget must evict");
+        // The chaos workload must actually exercise the fault-tolerant path:
+        // contained panics are quarantined, and the crashing tenant's served
+        // answers come back explicitly degraded.
+        let chaos = records[2].serving.as_ref().unwrap();
+        assert_eq!(records[2].bench, "serve-chaos");
+        assert!(chaos.failed > 0, "the panicking tenant must fail contained");
+        assert!(chaos.quarantined > 0, "contained panics must quarantine the session");
+        assert!(chaos.degraded_served > 0, "the crashing tenant must serve degraded answers");
         serving_table(&records).render();
     }
 

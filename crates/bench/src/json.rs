@@ -117,6 +117,23 @@ pub struct ServingFields {
     pub batches: u64,
     /// Largest single coalesced batch.
     pub max_batch: u64,
+    // --- serving-v2 fields (append-only extension; v1 names unchanged) ---
+    /// Client-side retry attempts on overload (schema v2).
+    pub retries: u64,
+    /// Requests shed because a deadline budget expired waiting for admission
+    /// (schema v2; disjoint from `shed`).
+    pub deadline_shed: u64,
+    /// Requests rejected by an open circuit breaker (schema v2).
+    pub breaker_rejected: u64,
+    /// Circuit-breaker open transitions (schema v2).
+    pub breaker_opens: u64,
+    /// Half-open breaker probes (schema v2).
+    pub breaker_probes: u64,
+    /// Sessions quarantined after a contained solve panic (schema v2).
+    pub quarantined: u64,
+    /// Served responses carrying an explicit degraded guarantee (schema v2;
+    /// still verified bit-identical to the cold referee).
+    pub degraded_served: u64,
 }
 
 impl BenchRecord {
@@ -241,8 +258,11 @@ pub const SCHEMA_CHAOS: &str = "hybrid-bench/chaos-v1";
 
 /// Schema tag of the closed-loop serving sweep (`experiments --serve`): one
 /// record per broker workload with latency percentiles, saturation qps, shed
-/// rate, and cache hit/eviction counters (see [`ServingFields`]).
-pub const SCHEMA_SERVING: &str = "hybrid-bench/serving-v1";
+/// rate, and cache hit/eviction counters (see [`ServingFields`]). v2: every
+/// v1 field is unchanged; records additionally carry the fault-tolerant
+/// serving counters (`retries`, `deadline_shed`, `breaker_rejected`,
+/// `breaker_opens`, `breaker_probes`, `quarantined`, `degraded_served`).
+pub const SCHEMA_SERVING: &str = "hybrid-bench/serving-v2";
 
 /// Best-effort peak resident-set size of this process in bytes, read from
 /// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
@@ -346,6 +366,19 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
                 s.mismatches,
                 s.batches,
                 s.max_batch
+            );
+            let _ = write!(
+                line,
+                ", \"retries\": {}, \"deadline_shed\": {}, \"breaker_rejected\": {}, \
+                 \"breaker_opens\": {}, \"breaker_probes\": {}, \"quarantined\": {}, \
+                 \"degraded_served\": {}",
+                s.retries,
+                s.deadline_shed,
+                s.breaker_rejected,
+                s.breaker_opens,
+                s.breaker_probes,
+                s.quarantined,
+                s.degraded_served
             );
         }
         let _ = writeln!(out, "{line}}}{comma}");
@@ -451,7 +484,7 @@ mod tests {
     }
 
     #[test]
-    fn serving_records_pin_v1_fields() {
+    fn serving_records_pin_v2_fields_and_preserve_v1_names() {
         let r = BenchRecord {
             bench: "serve-mixed".into(),
             n: 200,
@@ -478,10 +511,18 @@ mod tests {
             mismatches: 0,
             batches: 30,
             max_batch: 5,
+            retries: 17,
+            deadline_shed: 3,
+            breaker_rejected: 2,
+            breaker_opens: 1,
+            breaker_probes: 1,
+            quarantined: 1,
+            degraded_served: 4,
         });
         let doc = render_with_schema(SCHEMA_SERVING, "full", &[r]);
-        assert!(doc.contains("\"schema\": \"hybrid-bench/serving-v1\""));
-        // Every serving-v1 field renders under its pinned name.
+        assert!(doc.contains("\"schema\": \"hybrid-bench/serving-v2\""));
+        // Every serving-v1 field renders under its pinned, unchanged name,
+        // and the v2 extension appends after them.
         for field in [
             "\"clients\": 6",
             "\"issued\": 120",
@@ -501,9 +542,19 @@ mod tests {
             "\"mismatches\": 0",
             "\"batches\": 30",
             "\"max_batch\": 5",
+            "\"retries\": 17",
+            "\"deadline_shed\": 3",
+            "\"breaker_rejected\": 2",
+            "\"breaker_opens\": 1",
+            "\"breaker_probes\": 1",
+            "\"quarantined\": 1",
+            "\"degraded_served\": 4",
         ] {
-            assert!(doc.contains(field), "serving-v1 field {field} missing:\n{doc}");
+            assert!(doc.contains(field), "serving field {field} missing:\n{doc}");
         }
+        let v1_prefix = doc.find("\"max_batch\"").expect("v1 tail");
+        let v2_start = doc.find("\"retries\"").expect("v2 head");
+        assert!(v2_start > v1_prefix, "v2 fields must append after the v1 block");
         // Records without the serving block omit every serving field.
         let plain = BenchRecord {
             bench: "a".into(),

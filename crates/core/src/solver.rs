@@ -581,6 +581,17 @@ pub enum DegradeCause {
     ProtocolFault,
 }
 
+impl DegradeCause {
+    /// Stable machine-readable label (no spaces) used on the wire
+    /// (`guarantee=degraded=<from>:<to>:<this>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeCause::CrashDetected => "crash-detected",
+            DegradeCause::ProtocolFault => "protocol-fault",
+        }
+    }
+}
+
 impl fmt::Display for DegradeCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

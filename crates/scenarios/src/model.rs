@@ -266,6 +266,7 @@ impl FaultPlan {
             }
             FaultPlan::DropAndCrash { prob, count, at_round } => Some(hybrid_sim::FaultPlan {
                 drop_prob: prob,
+                corrupt_prob: 0.0,
                 crashes: pick_crashes(n, count, at_round, seed),
                 seed: derive_seed(seed, 0xFA17),
             }),

@@ -1,11 +1,12 @@
 //! The scenario registry through the serving front-end: every non-lossy
 //! registry workload is servable by a [`hybrid_serve::Broker`] at smoke size
-//! with online bit-identity verification, and every lossy fault plan is
-//! rejected at tenant registration — the broker never silently caches a
-//! session whose answers depend on a lossy message stream.
+//! with online bit-identity verification, and every lossy fault plan serves
+//! through the fault-tolerant path — queries run cold through the reliable
+//! layer under the tenant's plan, and the cold referee replays the same
+//! plan, so bit-identity verification holds on the chaos path too.
 
 use hybrid_scenarios::registry;
-use hybrid_serve::{Broker, BrokerConfig, GraphCatalog, Request, ServeError, TenantConfig};
+use hybrid_serve::{Broker, BrokerConfig, GraphCatalog, Request, TenantConfig};
 
 const SMOKE_N: usize = 48;
 
@@ -24,12 +25,7 @@ fn non_lossy_registry_scenarios_serve_verified_through_the_broker() {
         let broker = Broker::new(&catalog, cfg);
         broker.register_tenant("engine", TenantConfig::new(2)).unwrap();
 
-        let req = Request {
-            tenant: "engine".into(),
-            graph: sc.name.into(),
-            seed: None,
-            query: sc.suite.query(),
-        };
+        let req = Request::new("engine", sc.name, sc.suite.query());
         let resp = broker
             .serve(&req)
             .unwrap_or_else(|e| panic!("{}: broker failed to serve registry query: {e}", sc.name));
@@ -47,23 +43,41 @@ fn non_lossy_registry_scenarios_serve_verified_through_the_broker() {
 }
 
 #[test]
-fn lossy_registry_fault_plans_are_rejected_at_registration() {
+fn lossy_registry_fault_plans_serve_verified_through_the_broker() {
     let lossy: Vec<_> = registry::registry().iter().filter(|sc| sc.faults.is_lossy()).collect();
     assert!(!lossy.is_empty(), "registry must keep at least one lossy scenario");
-    let catalog = GraphCatalog::new();
-    let broker = Broker::new(&catalog, BrokerConfig::new(7));
     for sc in lossy {
+        let g = sc.graph(SMOKE_N);
+        let mut catalog = GraphCatalog::new();
+        catalog.insert(sc.name, g);
+
+        // Same regime as the healthy test — the scenario's network config and
+        // root seed — plus the scenario's own simulator fault plan on the
+        // tenant, so every query (and its cold referee) runs under faults.
+        let mut cfg = BrokerConfig::new(sc.seed);
+        cfg.net = sc.faults.config();
+        let broker = Broker::new(&catalog, cfg);
         let plan = sc
             .faults
             .sim_plan(SMOKE_N, sc.seed)
             .expect("lossy scenario plans materialize a simulator fault plan");
         let mut tenant = TenantConfig::new(2);
         tenant.faults = Some(plan);
-        let err = broker.register_tenant(sc.name, tenant).unwrap_err();
-        assert!(
-            matches!(err, ServeError::FaultySession { .. }),
-            "{}: lossy plan must be a structured FaultySession rejection, got {err}",
-            sc.name
-        );
+        broker.register_tenant(sc.name, tenant).unwrap();
+
+        let req = Request::new(sc.name, sc.name, sc.suite.query());
+        let resp = broker
+            .serve(&req)
+            .unwrap_or_else(|e| panic!("{}: broker failed to serve lossy scenario: {e}", sc.name));
+        assert!(resp.verified, "{}: chaos-path response must be verified", sc.name);
+
+        // Fault streams are deterministic per run, so a repeat must reproduce
+        // the exact same digest even though each run replays the plan afresh.
+        let again = broker.serve(&req).unwrap();
+        assert_eq!(again.digest, resp.digest, "{}: repeat digest must match", sc.name);
+
+        let stats = broker.stats();
+        assert_eq!(stats.mismatches, 0, "{}: no bit-identity mismatches under faults", sc.name);
+        assert_eq!(stats.served, 2, "{}: both requests served", sc.name);
     }
 }

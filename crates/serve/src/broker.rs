@@ -4,8 +4,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use hybrid_core::session::{Session, SessionConfig};
 use hybrid_core::solver::{solve, Answer, Guarantee, Query, Report};
@@ -195,16 +197,32 @@ pub enum ServeError {
         /// The configured depth that was hit.
         depth: usize,
     },
-    /// The tenant was configured with a lossy [`FaultPlan`]. Faulty sessions
-    /// run every query cold (the drop stream is stateful per run), which
-    /// would silently defeat the broker's cache — rejected at registration.
-    FaultySession {
-        /// The rejected tenant name.
+    /// The request carried a deadline budget and its admission-queue wait
+    /// exhausted it before a slot opened. Counted separately from
+    /// [`ServeError::Overloaded`]: overload is an instantaneous full-queue
+    /// shed, deadline exhaustion is a timed-out wait.
+    DeadlineExceeded {
+        /// The tenant whose queue the request waited in.
         tenant: String,
-        /// The plan's label-worthy summary (drop probability).
-        drop_prob: f64,
-        /// Number of scheduled crashes in the plan.
-        crashes: usize,
+        /// The deadline budget that was exhausted, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The tenant's circuit breaker is open: enough consecutive failures
+    /// accumulated that the broker fails fast instead of burning a slot. The
+    /// breaker half-opens deterministically after a fixed number of rejected
+    /// requests (request-count-based, not timer-based).
+    BreakerOpen {
+        /// The tenant whose breaker is open.
+        tenant: String,
+    },
+    /// The solve panicked. The panic was contained (`catch_unwind`), the
+    /// serving session was quarantined out of the LRU, and the failure is
+    /// surfaced structurally instead of tearing down the worker.
+    Internal {
+        /// The tenant whose request hit the panic.
+        tenant: String,
+        /// The query's canonical label.
+        query: &'static str,
     },
     /// A served answer did not digest-match the cold solve it must be
     /// bit-identical to. This is a broker invariant violation, not a client
@@ -234,7 +252,9 @@ impl ServeError {
             ServeError::UnknownTenant { .. } => "unknown-tenant",
             ServeError::UnknownGraph { .. } => "unknown-graph",
             ServeError::Overloaded { .. } => "overloaded",
-            ServeError::FaultySession { .. } => "faulty-session",
+            ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
+            ServeError::BreakerOpen { .. } => "breaker-open",
+            ServeError::Internal { .. } => "internal",
             ServeError::BitIdentityMismatch { .. } => "bit-identity",
             ServeError::Solve(_) => "solve",
             ServeError::Protocol { .. } => "protocol",
@@ -250,10 +270,18 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { tenant, depth } => {
                 write!(f, "tenant {tenant:?} overloaded: queue depth {depth} reached")
             }
-            ServeError::FaultySession { tenant, drop_prob, crashes } => write!(
+            ServeError::DeadlineExceeded { tenant, deadline_ms } => write!(
                 f,
-                "tenant {tenant:?} rejected: lossy fault plan (drop_prob={drop_prob}, \
-                 {crashes} crashes) would run every query cold and defeat the session cache"
+                "tenant {tenant:?} request shed: {deadline_ms} ms deadline budget exhausted \
+                 waiting for admission"
+            ),
+            ServeError::BreakerOpen { tenant } => {
+                write!(f, "tenant {tenant:?} circuit breaker is open: failing fast")
+            }
+            ServeError::Internal { tenant, query } => write!(
+                f,
+                "internal error serving {query} for tenant {tenant:?}: solve panicked \
+                 (session quarantined)"
             ),
             ServeError::BitIdentityMismatch { query, expected, got } => write!(
                 f,
@@ -318,20 +346,49 @@ impl BrokerConfig {
 #[derive(Debug, Clone)]
 pub struct TenantConfig {
     /// Maximum concurrently admitted requests; request `depth + 1` is shed
-    /// with [`ServeError::Overloaded`].
+    /// with [`ServeError::Overloaded`] (or waits, if it carries a deadline
+    /// budget).
     pub max_queue_depth: usize,
-    /// Optional fault plan for the tenant's sessions. Lossy plans are
-    /// rejected at registration ([`ServeError::FaultySession`]); a trivial
-    /// plan (no drops, no crashes) is accepted and threaded through to both
-    /// the session and the cold referee so bit-identity still holds.
+    /// Optional fault plan for the tenant's sessions. Any plan that passes
+    /// [`FaultPlan::validate`] is accepted — including lossy and corrupting
+    /// ones. A non-trivial plan runs every query cold (fault streams are
+    /// stateful per run, so preprocessing is never shared) through the
+    /// reliable layer, and the cold referee replays the *same* plan, so the
+    /// bit-identity contract holds on the chaos path too.
     pub faults: Option<FaultPlan>,
+    /// Default deadline budget in milliseconds applied to requests that don't
+    /// carry their own `deadline_ms`. `None`: no deadline — a full queue
+    /// sheds instantly with [`ServeError::Overloaded`].
+    pub default_deadline_ms: Option<u64>,
+    /// Circuit breaker: this many *consecutive* request failures (solve
+    /// errors, bit-identity mismatches, contained panics — not sheds) open
+    /// the breaker. `None` disables the breaker.
+    pub breaker_threshold: Option<u32>,
+    /// While open, the breaker rejects this many requests with
+    /// [`ServeError::BreakerOpen`] and then lets the next one through as a
+    /// half-open probe — request-count-based, so the state machine is
+    /// deterministic under a deterministic request order.
+    pub breaker_cooldown: u32,
+    /// Deterministic panic-injection seam for exercising the broker's panic
+    /// containment: every `k`-th admitted request of this tenant (1-based)
+    /// panics inside the solve path. `None` (the default) injects nothing.
+    /// The panic is always contained, surfaced as [`ServeError::Internal`],
+    /// and quarantines the serving session.
+    pub chaos_panic_every: Option<u64>,
 }
 
 impl TenantConfig {
     /// A tenant admitting at most `max_queue_depth` concurrent requests, no
-    /// faults.
+    /// faults, no deadline, breaker disabled.
     pub fn new(max_queue_depth: usize) -> Self {
-        TenantConfig { max_queue_depth, faults: None }
+        TenantConfig {
+            max_queue_depth,
+            faults: None,
+            default_deadline_ms: None,
+            breaker_threshold: None,
+            breaker_cooldown: 4,
+            chaos_panic_every: None,
+        }
     }
 }
 
@@ -351,6 +408,23 @@ pub struct Request {
     pub seed: Option<u64>,
     /// The query to serve.
     pub query: Query,
+    /// Deadline budget in milliseconds (`None`: the tenant's configured
+    /// default, if any). A request whose admission-queue wait exhausts the
+    /// budget is shed with [`ServeError::DeadlineExceeded`].
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request with no seed override and no deadline.
+    pub fn new(tenant: &str, graph: &str, query: Query) -> Self {
+        Request {
+            tenant: tenant.to_string(),
+            graph: graph.to_string(),
+            seed: None,
+            query,
+            deadline_ms: None,
+        }
+    }
 }
 
 /// One successful broker response.
@@ -386,19 +460,32 @@ struct SessionKey {
 /// structured error a cold solve produces.
 type ColdCell = Arc<Mutex<Option<Result<u64, HybridError>>>>;
 
+/// Failure of one coalesced solve, as stored in the batch results map: a
+/// structured solver error, or a contained panic that poisoned the whole
+/// batch.
+#[derive(Debug, Clone)]
+enum BatchError {
+    Solve(HybridError),
+    Panicked,
+}
+
 /// Coalescing state of one session: queued queries waiting for a leader, and
 /// finished results waiting for their owners.
 struct BatchState {
     next_ticket: u64,
     pending: Vec<(u64, Query)>,
-    results: HashMap<u64, Result<Report, HybridError>>,
+    results: HashMap<u64, Result<Report, BatchError>>,
     leader: bool,
+    /// Set when a queued request carries a chaos panic injection; the next
+    /// batch leader panics inside its (contained) solve call.
+    chaos: bool,
 }
 
 /// One resident session plus its coalescing and verification state.
 struct SessionEntry<'g> {
     session: Session<'g>,
-    /// Tenant fault plan (always trivial) — replayed on the cold referee net.
+    /// Tenant fault plan — replayed on the cold referee net so the
+    /// bit-identity contract holds on the chaos path too.
     faults: Option<FaultPlan>,
     /// LRU stamp: monotonically bumped on every acquisition.
     stamp: AtomicU64,
@@ -412,11 +499,44 @@ struct SessionEntry<'g> {
     cold: Mutex<HashMap<String, ColdCell>>,
 }
 
+/// The per-tenant circuit breaker's deterministic state machine. Transitions
+/// are driven by request outcomes and request *counts*, never timers, so a
+/// deterministic request order produces a deterministic breaker trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: counting consecutive failures.
+    Closed {
+        /// Consecutive failures so far.
+        consecutive: u32,
+    },
+    /// Tripped: rejecting requests until enough have been turned away to
+    /// earn a half-open probe.
+    Open {
+        /// Requests rejected since the breaker opened.
+        rejected: u32,
+    },
+    /// One probe request is in flight; its outcome closes or re-opens the
+    /// breaker. Concurrent requests are rejected meanwhile.
+    HalfOpen,
+}
+
 /// Per-tenant admission state.
 struct TenantState {
     cfg: TenantConfig,
     inflight: AtomicUsize,
     shed: AtomicU64,
+    /// Requests shed because their deadline budget ran out while waiting.
+    deadline_shed: AtomicU64,
+    breaker: Mutex<BreakerState>,
+    /// Signalled whenever an admission slot frees up, waking deadline
+    /// waiters.
+    slot_cv: Condvar,
+    /// Companion lock of `slot_cv` (the inflight counter itself stays
+    /// atomic; this mutex only sequences the waits).
+    slot_lock: Mutex<()>,
+    /// Admitted-request ordinal, driving the deterministic
+    /// [`TenantConfig::chaos_panic_every`] injection seam.
+    requests: AtomicU64,
 }
 
 /// RAII decrement of a tenant's inflight counter; keeps the tenant state
@@ -428,6 +548,9 @@ struct AdmitGuard {
 impl Drop for AdmitGuard {
     fn drop(&mut self) {
         self.state.inflight.fetch_sub(1, Ordering::AcqRel);
+        // Wake any deadline-budgeted request waiting for this slot.
+        let _held = self.state.slot_lock.lock().expect("slot lock");
+        self.state.slot_cv.notify_all();
     }
 }
 
@@ -439,6 +562,19 @@ pub struct BrokerStats {
     pub served: u64,
     /// Requests shed with [`ServeError::Overloaded`].
     pub shed: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`] (deadline budget
+    /// exhausted waiting for admission) — disjoint from `shed`.
+    pub deadline_shed: u64,
+    /// Circuit-breaker open transitions: threshold trips plus failed
+    /// half-open probes.
+    pub breaker_opens: u64,
+    /// Half-open probe requests let through while a breaker was open.
+    pub breaker_probes: u64,
+    /// Sessions quarantined out of the LRU after a contained solve panic.
+    pub quarantined: u64,
+    /// Served responses whose guarantee was `Guarantee::Degraded` — answers
+    /// that are correct and verified but carry an explicit degradation.
+    pub degraded_served: u64,
     /// Requests admitted to an already-resident session (LRU hits).
     pub session_hits: u64,
     /// Sessions created (LRU misses).
@@ -476,6 +612,11 @@ pub struct Broker<'g> {
     lru_clock: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
+    deadline_shed: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_probes: AtomicU64,
+    quarantined: AtomicU64,
+    degraded_served: AtomicU64,
     session_hits: AtomicU64,
     sessions_admitted: AtomicU64,
     sessions_evicted: AtomicU64,
@@ -508,6 +649,11 @@ impl<'g> Broker<'g> {
             lru_clock: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_probes: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
             session_hits: AtomicU64::new(0),
             sessions_admitted: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
@@ -521,27 +667,33 @@ impl<'g> Broker<'g> {
 
     /// Registers `tenant` under `cfg`.
     ///
+    /// Any fault plan that passes [`FaultPlan::validate`] is accepted —
+    /// lossy and corrupting plans included. A faulty tenant's queries run
+    /// cold through the reliable layer, and the cold referee replays the
+    /// *same* plan, so the bit-identity contract holds on the chaos path
+    /// too (responses may carry `Guarantee::Degraded`, surfaced on the
+    /// wire).
+    ///
     /// # Errors
     ///
-    /// * [`ServeError::FaultySession`] for a lossy fault plan — faulty
-    ///   sessions run every query cold and would silently defeat the cache.
-    /// * [`ServeError::Solve`] wrapping the session layer's own validation
-    ///   error for a structurally invalid plan (the same path
-    ///   `Session::new` takes).
+    /// [`ServeError::Solve`] wrapping the session layer's own validation
+    /// error for a structurally invalid plan (the same path `Session::new`
+    /// takes) — e.g. an out-of-range drop or corruption probability.
     pub fn register_tenant(&self, tenant: &str, cfg: TenantConfig) -> Result<(), ServeError> {
         if let Some(plan) = &cfg.faults {
             // Same validation a Session::new would run, surfaced eagerly.
             plan.validate().map_err(|e| ServeError::Solve(HybridError::Sim(e)))?;
-            if !plan.is_trivial() {
-                return Err(ServeError::FaultySession {
-                    tenant: tenant.to_string(),
-                    drop_prob: plan.drop_prob,
-                    crashes: plan.crashes.len(),
-                });
-            }
         }
-        let state =
-            Arc::new(TenantState { cfg, inflight: AtomicUsize::new(0), shed: AtomicU64::new(0) });
+        let state = Arc::new(TenantState {
+            cfg,
+            inflight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            breaker: Mutex::new(BreakerState::Closed { consecutive: 0 }),
+            slot_cv: Condvar::new(),
+            slot_lock: Mutex::new(()),
+            requests: AtomicU64::new(0),
+        });
         self.tenants.lock().expect("tenant table lock").insert(tenant.to_string(), state);
         Ok(())
     }
@@ -550,6 +702,33 @@ impl<'g> Broker<'g> {
     pub fn tenant_shed(&self, tenant: &str) -> Option<u64> {
         let tenants = self.tenants.lock().expect("tenant table lock");
         tenants.get(tenant).map(|t| t.shed.load(Ordering::Relaxed))
+    }
+
+    /// Requests deadline-shed so far for `tenant` (`None` if unregistered).
+    pub fn tenant_deadline_shed(&self, tenant: &str) -> Option<u64> {
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        tenants.get(tenant).map(|t| t.deadline_shed.load(Ordering::Relaxed))
+    }
+
+    /// Breaker state per breaker-enabled tenant, sorted by tenant name:
+    /// `"closed"`, `"open"`, or `"half-open"`. Tenants without a configured
+    /// [`TenantConfig::breaker_threshold`] are omitted.
+    pub fn breaker_states(&self) -> Vec<(String, &'static str)> {
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        let mut out: Vec<(String, &'static str)> = tenants
+            .iter()
+            .filter(|(_, s)| s.cfg.breaker_threshold.is_some())
+            .map(|(name, s)| {
+                let label = match *s.breaker.lock().expect("breaker lock") {
+                    BreakerState::Closed { .. } => "closed",
+                    BreakerState::Open { .. } => "open",
+                    BreakerState::HalfOpen => "half-open",
+                };
+                (name.clone(), label)
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// A snapshot of the broker's cumulative counters.
@@ -570,6 +749,11 @@ impl<'g> Broker<'g> {
         BrokerStats {
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
             session_hits: self.session_hits.load(Ordering::Relaxed),
             sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
@@ -585,28 +769,155 @@ impl<'g> Broker<'g> {
         }
     }
 
-    /// Admission control: bounded per-tenant concurrency. Returns an RAII
-    /// guard holding the slot (and the tenant state), or sheds with
-    /// [`ServeError::Overloaded`].
-    fn admit(&self, tenant: &str) -> Result<AdmitGuard, ServeError> {
-        let state = {
-            let tenants = self.tenants.lock().expect("tenant table lock");
-            tenants
-                .get(tenant)
-                .cloned()
-                .ok_or_else(|| ServeError::UnknownTenant { tenant: tenant.to_string() })?
-        };
-        let prev = state.inflight.fetch_add(1, Ordering::AcqRel);
-        if prev >= state.cfg.max_queue_depth {
-            state.inflight.fetch_sub(1, Ordering::AcqRel);
-            state.shed.fetch_add(1, Ordering::Relaxed);
-            self.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Overloaded {
-                tenant: tenant.to_string(),
-                depth: state.cfg.max_queue_depth,
-            });
+    /// Looks up a registered tenant's shared state.
+    fn tenant_state(&self, tenant: &str) -> Result<Arc<TenantState>, ServeError> {
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        tenants
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant { tenant: tenant.to_string() })
+    }
+
+    /// The breaker's admission-side gate, run before a slot is claimed.
+    /// Returns whether this request is a half-open probe, or fails fast with
+    /// [`ServeError::BreakerOpen`].
+    fn breaker_gate(&self, state: &TenantState, tenant: &str) -> Result<bool, ServeError> {
+        if state.cfg.breaker_threshold.is_none() {
+            return Ok(false);
         }
-        Ok(AdmitGuard { state })
+        let mut b = state.breaker.lock().expect("breaker lock");
+        match *b {
+            BreakerState::Closed { .. } => Ok(false),
+            BreakerState::Open { rejected } => {
+                if rejected >= state.cfg.breaker_cooldown {
+                    *b = BreakerState::HalfOpen;
+                    self.breaker_probes.fetch_add(1, Ordering::Relaxed);
+                    Ok(true)
+                } else {
+                    *b = BreakerState::Open { rejected: rejected + 1 };
+                    Err(ServeError::BreakerOpen { tenant: tenant.to_string() })
+                }
+            }
+            // One probe is already in flight; fail fast without counting
+            // toward the next probe (its outcome decides the transition).
+            BreakerState::HalfOpen => Err(ServeError::BreakerOpen { tenant: tenant.to_string() }),
+        }
+    }
+
+    /// The breaker's outcome side, run after the request resolved. Solve
+    /// errors, bit-identity mismatches, and contained panics count as
+    /// failures; sheds and bad names are neutral (but release a dangling
+    /// half-open probe so the next request re-probes immediately); success
+    /// closes the breaker.
+    fn breaker_settle(
+        &self,
+        state: &TenantState,
+        probe: bool,
+        outcome: &Result<Response, ServeError>,
+    ) {
+        let Some(threshold) = state.cfg.breaker_threshold else { return };
+        let failed = match outcome {
+            Ok(_) => false,
+            Err(
+                ServeError::Solve(_)
+                | ServeError::BitIdentityMismatch { .. }
+                | ServeError::Internal { .. },
+            ) => true,
+            // Sheds, unknown names, protocol noise: not evidence about the
+            // tenant's solve health.
+            Err(_) => {
+                if probe {
+                    let mut b = state.breaker.lock().expect("breaker lock");
+                    if *b == BreakerState::HalfOpen {
+                        *b = BreakerState::Open { rejected: state.cfg.breaker_cooldown };
+                    }
+                }
+                return;
+            }
+        };
+        let mut b = state.breaker.lock().expect("breaker lock");
+        if failed {
+            let opened = match *b {
+                BreakerState::Closed { consecutive } => {
+                    let consecutive = consecutive + 1;
+                    if consecutive >= threshold {
+                        *b = BreakerState::Open { rejected: 0 };
+                        true
+                    } else {
+                        *b = BreakerState::Closed { consecutive };
+                        false
+                    }
+                }
+                // The probe failed: re-open (counted as another open).
+                BreakerState::HalfOpen => {
+                    *b = BreakerState::Open { rejected: 0 };
+                    true
+                }
+                // A straggler admitted before the trip; the breaker is
+                // already open.
+                BreakerState::Open { .. } => false,
+            };
+            if opened {
+                self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            // Any success is evidence of health — probe or straggler alike.
+            *b = BreakerState::Closed { consecutive: 0 };
+        }
+    }
+
+    /// Admission control: bounded per-tenant concurrency. Returns an RAII
+    /// guard holding the slot (and the tenant state). Without a deadline
+    /// budget a full queue sheds instantly with [`ServeError::Overloaded`];
+    /// with one, the request waits for a slot until the budget runs out and
+    /// then sheds with [`ServeError::DeadlineExceeded`].
+    fn admit(&self, state: &Arc<TenantState>, req: &Request) -> Result<AdmitGuard, ServeError> {
+        let deadline_ms = req.deadline_ms.or(state.cfg.default_deadline_ms);
+        let mut wait_start: Option<Instant> = None;
+        loop {
+            let prev = state.inflight.fetch_add(1, Ordering::AcqRel);
+            if prev < state.cfg.max_queue_depth {
+                return Ok(AdmitGuard { state: Arc::clone(state) });
+            }
+            state.inflight.fetch_sub(1, Ordering::AcqRel);
+            let Some(budget) = deadline_ms else {
+                state.shed.fetch_add(1, Ordering::Relaxed);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    tenant: req.tenant.clone(),
+                    depth: state.cfg.max_queue_depth,
+                });
+            };
+            let start = *wait_start.get_or_insert_with(Instant::now);
+            let remaining = Duration::from_millis(budget).checked_sub(start.elapsed());
+            let Some(remaining) = remaining.filter(|d| !d.is_zero()) else {
+                state.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded {
+                    tenant: req.tenant.clone(),
+                    deadline_ms: budget,
+                });
+            };
+            // Re-check under the slot lock: AdmitGuard::drop notifies under
+            // the same lock, so a slot freed between the failed claim above
+            // and the wait below cannot be missed.
+            let held = state.slot_lock.lock().expect("slot lock");
+            if state.inflight.load(Ordering::Acquire) < state.cfg.max_queue_depth {
+                continue;
+            }
+            let _ = state.slot_cv.wait_timeout(held, remaining).expect("slot lock");
+        }
+    }
+
+    /// Removes a panicked session from the LRU — its internal state can no
+    /// longer be trusted — and counts the quarantine once. In-flight holders
+    /// of the same entry finish on their own `Arc` clone and fail contained
+    /// as well.
+    fn quarantine(&self, key: &SessionKey) {
+        let mut lru = self.lru.lock().expect("session cache lock");
+        if lru.remove(key).is_some() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Finds or creates the session for `key`, bumping its LRU stamp.
@@ -641,6 +952,7 @@ impl<'g> Broker<'g> {
                 pending: Vec::new(),
                 results: HashMap::new(),
                 leader: false,
+                chaos: false,
             }),
             batch_cv: Condvar::new(),
             cold: Mutex::new(HashMap::new()),
@@ -680,16 +992,22 @@ impl<'g> Broker<'g> {
     /// query through a single [`Session::solve_batch`] call (whose scoped
     /// worker pool shards the distinct queries), and everyone picks up their
     /// own result.
+    /// The leader's solve call runs under `catch_unwind`: a panic (injected
+    /// or organic) poisons the whole coalesced batch — every member gets
+    /// [`BatchError::Panicked`] — but the leader flag is always reset and
+    /// waiters always wake, so the coalescing layer survives the panic.
     fn serve_on_entry(
         &self,
         entry: &SessionEntry<'g>,
         query: &Query,
-    ) -> Result<Report, HybridError> {
+        chaos_panic: bool,
+    ) -> Result<Report, BatchError> {
         let ticket = {
             let mut b = entry.batch.lock().expect("batch lock");
             let t = b.next_ticket;
             b.next_ticket += 1;
             b.pending.push((t, query.clone()));
+            b.chaos |= chaos_panic;
             t
         };
         let mut b = entry.batch.lock().expect("batch lock");
@@ -700,15 +1018,30 @@ impl<'g> Broker<'g> {
             if !b.leader {
                 b.leader = true;
                 let batch = std::mem::take(&mut b.pending);
+                let chaos = std::mem::replace(&mut b.chaos, false);
                 drop(b);
                 let queries: Vec<Query> = batch.iter().map(|(_, q)| q.clone()).collect();
-                let results = entry.session.solve_batch(&queries);
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    if chaos {
+                        panic!("chaos: injected solve panic");
+                    }
+                    entry.session.solve_batch(&queries)
+                }));
                 self.batches.fetch_add(1, Ordering::Relaxed);
                 self.batched_queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
                 self.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
                 let mut done = entry.batch.lock().expect("batch lock");
-                for ((t, _), r) in batch.into_iter().zip(results) {
-                    done.results.insert(t, r);
+                match solved {
+                    Ok(results) => {
+                        for ((t, _), r) in batch.into_iter().zip(results) {
+                            done.results.insert(t, r.map_err(BatchError::Solve));
+                        }
+                    }
+                    Err(_) => {
+                        for (t, _) in batch {
+                            done.results.insert(t, Err(BatchError::Panicked));
+                        }
+                    }
                 }
                 done.leader = false;
                 entry.batch_cv.notify_all();
@@ -744,25 +1077,43 @@ impl<'g> Broker<'g> {
             net.set_round_threads(threads);
         }
         if let Some(plan) = &entry.faults {
-            net.inject_faults(plan).expect("trivial plan validated at registration");
+            net.inject_faults(plan).expect("fault plan validated at registration");
         }
         let result = solve(&mut net, query, seed).map(|r| report_digest(&r));
         *slot = Some(result.clone());
         result
     }
 
-    /// Serves one request end to end: admission, session acquisition,
-    /// coalesced solve, online bit-identity verification, LRU settlement.
+    /// Serves one request end to end: breaker gate, admission, session
+    /// acquisition, coalesced solve (panic-contained), online bit-identity
+    /// verification, breaker settlement, LRU settlement.
     ///
     /// # Errors
     ///
-    /// Structured, always: [`ServeError::Overloaded`] under admission
-    /// pressure, [`ServeError::UnknownTenant`]/[`ServeError::UnknownGraph`]
-    /// for bad names, [`ServeError::Solve`] for solver errors (verified
-    /// identical to the cold solve's), [`ServeError::BitIdentityMismatch`]
-    /// if a served answer ever diverges from its cold reference.
+    /// Structured, always: [`ServeError::Overloaded`] or
+    /// [`ServeError::DeadlineExceeded`] under admission pressure,
+    /// [`ServeError::BreakerOpen`] while the tenant's breaker is tripped,
+    /// [`ServeError::UnknownTenant`]/[`ServeError::UnknownGraph`] for bad
+    /// names, [`ServeError::Solve`] for solver errors (verified identical
+    /// to the cold solve's), [`ServeError::Internal`] for a contained solve
+    /// panic (the session is quarantined),
+    /// [`ServeError::BitIdentityMismatch`] if a served answer ever diverges
+    /// from its cold reference.
     pub fn serve(&self, req: &Request) -> Result<Response, ServeError> {
-        let guard = self.admit(&req.tenant)?;
+        let state = self.tenant_state(&req.tenant)?;
+        let probe = self.breaker_gate(&state, &req.tenant)?;
+        let outcome = self.serve_admitted(&state, req);
+        self.breaker_settle(&state, probe, &outcome);
+        outcome
+    }
+
+    /// The post-breaker serving path: admission through LRU settlement.
+    fn serve_admitted(
+        &self,
+        state: &Arc<TenantState>,
+        req: &Request,
+    ) -> Result<Response, ServeError> {
+        let guard = self.admit(state, req)?;
         let (graph, fingerprint) = self
             .catalog
             .get(&req.graph)
@@ -775,8 +1126,21 @@ impl<'g> Broker<'g> {
             xi_bits: query_xi(&req.query).to_bits(),
         };
         let (entry, session_hit) =
-            self.acquire_session(key, graph, guard.state.cfg.faults.clone())?;
-        let result = self.serve_on_entry(&entry, &req.query);
+            self.acquire_session(key.clone(), graph, guard.state.cfg.faults.clone())?;
+        let ordinal = guard.state.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let chaos_panic =
+            guard.state.cfg.chaos_panic_every.is_some_and(|k| k > 0 && ordinal % k == 0);
+        let result = match self.serve_on_entry(&entry, &req.query, chaos_panic) {
+            Ok(report) => Ok(report),
+            Err(BatchError::Solve(e)) => Err(e),
+            Err(BatchError::Panicked) => {
+                self.quarantine(&key);
+                return Err(ServeError::Internal {
+                    tenant: req.tenant.clone(),
+                    query: req.query.label(),
+                });
+            }
+        };
         let response = if self.cfg.verify {
             let cold = self.cold_reference(&entry, graph, seed, &req.query);
             self.verified.fetch_add(1, Ordering::Relaxed);
@@ -813,8 +1177,11 @@ impl<'g> Broker<'g> {
                 Err(e) => Err(ServeError::Solve(e)),
             }
         };
-        if response.is_ok() {
+        if let Ok(resp) = &response {
             self.served.fetch_add(1, Ordering::Relaxed);
+            if matches!(resp.report.guarantee, Guarantee::Degraded { .. }) {
+                self.degraded_served.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.settle_and_evict(&entry);
         response

@@ -13,20 +13,30 @@
 //!   session's measured `prepared_bytes` — eviction is by bytes, not entry
 //!   count.
 //! * **Admission control.** Each tenant has a bounded queue depth; overflow
-//!   is a structured [`ServeError::Overloaded`], never a silent drop. Lossy
-//!   fault plans are rejected at registration ([`ServeError::FaultySession`])
-//!   because faulty sessions run every query cold and would silently defeat
-//!   the cache.
+//!   is a structured [`ServeError::Overloaded`], never a silent drop. A
+//!   request carrying a deadline budget waits for a slot instead and sheds
+//!   with [`ServeError::DeadlineExceeded`] only when the budget runs out.
+//! * **Fault-tolerant serving.** Tenants may register *any* fault plan that
+//!   passes validation — lossy, corrupting, crashing. Their queries run cold
+//!   through the reliable layer, the cold referee replays the same plan, and
+//!   explicit downgrades surface on the wire as
+//!   `degraded=<from>:<to>:<cause>`. Per-tenant circuit breakers fail fast
+//!   after consecutive failures (request-count-based half-open probes, so
+//!   the state machine is deterministic), and a solve panic is contained:
+//!   the session is quarantined and the client sees
+//!   [`ServeError::Internal`], not a torn-down worker.
 //! * **Batch coalescing.** Concurrent queries on one session are collected
 //!   by a batch leader into a single [`hybrid_core::Session::solve_batch`]
 //!   call, whose scoped worker pool shards the distinct queries.
 //! * **Online bit-identity verification.** Every served answer is digest-
 //!   compared against a memoized *cold* solve of the same request — answers,
 //!   guarantees, and the simulated round bill are bit-identical by contract;
-//!   only wall-clock latency is nondeterministic.
+//!   only wall-clock latency is nondeterministic. This holds for faulty
+//!   tenants too.
 //! * **Wire protocol.** One request line in, one response line out
 //!   ([`protocol`]), served in-process ([`Broker::serve_line`]) and over TCP
-//!   ([`tcp::serve_tcp`]).
+//!   ([`tcp::serve_tcp`] — length-capped framing, graceful
+//!   [`TcpServer::drain`]).
 //!
 //! # Example
 //!
@@ -67,17 +77,18 @@ pub use broker::{
 };
 pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use protocol::{guarantee_label, parse_query_spec, parse_request, query_spec, WireRequest};
-pub use tcp::{serve_tcp, TcpServer};
+pub use tcp::{serve_tcp, TcpServer, MAX_LINE_BYTES};
 
 #[cfg(test)]
 mod tests {
     use std::io::{BufRead, BufReader, Write};
     use std::net::{TcpListener, TcpStream};
 
-    use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query, SsspVariant};
+    use hybrid_core::solver::{DiameterCorollary, Guarantee, KsspCorollary, Query, SsspVariant};
     use hybrid_graph::generators::{grid, path};
     use hybrid_graph::NodeId;
-    use hybrid_sim::{Crash, FaultPlan};
+    use hybrid_sim::{derive_seed, Crash, FaultPlan};
+    use proptest::prelude::*;
 
     use super::*;
 
@@ -121,12 +132,7 @@ mod tests {
         catalog.insert("g", path(12, 1).unwrap());
         let broker = Broker::new(&catalog, BrokerConfig::new(7));
         broker.register_tenant("busy", TenantConfig::new(0)).unwrap();
-        let req = Request {
-            tenant: "busy".into(),
-            graph: "g".into(),
-            seed: None,
-            query: Query::apsp().build().unwrap(),
-        };
+        let req = Request::new("busy", "g", Query::apsp().build().unwrap());
         let err = broker.serve(&req).unwrap_err();
         assert_eq!(err, ServeError::Overloaded { tenant: "busy".into(), depth: 0 });
         assert_eq!(broker.stats().shed, 1);
@@ -134,32 +140,133 @@ mod tests {
     }
 
     #[test]
-    fn lossy_fault_plans_are_rejected_at_registration() {
-        let catalog = GraphCatalog::new();
+    fn faulty_tenants_register_and_serve_verified() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(12, 1).unwrap());
         let broker = Broker::new(&catalog, BrokerConfig::new(7));
-        let mut lossy = TenantConfig::new(4);
-        lossy.faults = Some(FaultPlan::drops(0.25, 9));
-        let err = broker.register_tenant("chaotic", lossy).unwrap_err();
-        assert_eq!(err.code(), "faulty-session");
-        assert!(matches!(err, ServeError::FaultySession { drop_prob, .. } if drop_prob == 0.25));
 
+        // Lossy *and* corrupting: runs cold through the reliable layer, still
+        // bit-identical to the cold referee replaying the same plan.
+        let mut chaotic = TenantConfig::new(4);
+        chaotic.faults = Some(FaultPlan { corrupt_prob: 0.2, ..FaultPlan::drops(0.2, 9) });
+        broker.register_tenant("chaotic", chaotic).unwrap();
+        let q = Query::sssp(NodeId::new(0)).build().unwrap();
+        let first = broker.serve(&Request::new("chaotic", "g", q.clone())).unwrap();
+        let again = broker.serve(&Request::new("chaotic", "g", q.clone())).unwrap();
+        assert!(first.verified && again.verified);
+        assert_eq!(first.digest, again.digest, "faulty serving must stay deterministic");
+
+        // A crash plan degrades explicitly — and the downgrade is structured
+        // on the wire, not hidden.
         let mut crashing = TenantConfig::new(4);
         crashing.faults =
             Some(FaultPlan::node_crashes(vec![Crash { node: NodeId::new(0), at_round: 1 }]));
-        assert_eq!(
-            broker.register_tenant("crashy", crashing).unwrap_err().code(),
-            "faulty-session"
+        broker.register_tenant("crashy", crashing).unwrap();
+        let resp = broker.serve(&Request::new("crashy", "g", q)).unwrap();
+        assert!(
+            matches!(resp.report.guarantee, Guarantee::Degraded { .. }),
+            "a crashed source must degrade, got {:?}",
+            resp.report.guarantee
         );
+        let line =
+            broker.serve_line("SOLVE id=4 tenant=crashy graph=g query=sssp-thm13:src=0:xi=1.5");
+        assert!(line.contains("guarantee=degraded="), "{line}");
+        assert!(line.contains(":crash-detected"), "{line}");
 
-        // Structurally invalid plans surface the session layer's own error.
+        // Structurally invalid plans still surface the session layer's error.
         let mut invalid = TenantConfig::new(4);
         invalid.faults = Some(FaultPlan::drops(1.5, 9));
         assert_eq!(broker.register_tenant("broken", invalid).unwrap_err().code(), "solve");
+        let mut corrupt = TenantConfig::new(4);
+        corrupt.faults = Some(FaultPlan { corrupt_prob: 0.6, ..FaultPlan::drops(0.0, 9) });
+        assert_eq!(broker.register_tenant("flipper", corrupt).unwrap_err().code(), "solve");
 
-        // A trivial plan is fine: it changes nothing and caching stays sound.
-        let mut trivial = TenantConfig::new(4);
-        trivial.faults = Some(FaultPlan::drops(0.0, 9));
-        broker.register_tenant("fine", trivial).unwrap();
+        let s = broker.stats();
+        assert_eq!(s.mismatches, 0);
+        assert!(s.degraded_served >= 2, "crashy served degraded answers, got {s:?}");
+    }
+
+    #[test]
+    fn deadline_budgets_shed_separately_from_overload() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(10, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(0)).unwrap();
+        let q = Query::apsp().build().unwrap();
+        // Depth 0: the queue is always full. No deadline → instant overload.
+        assert_eq!(
+            broker.serve(&Request::new("t", "g", q.clone())).unwrap_err().code(),
+            "overloaded"
+        );
+        // A deadline budget waits, then sheds on its own code.
+        let mut patient = Request::new("t", "g", q.clone());
+        patient.deadline_ms = Some(5);
+        let err = broker.serve(&patient).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { tenant: "t".into(), deadline_ms: 5 });
+        let s = broker.stats();
+        assert_eq!((s.shed, s.deadline_shed), (1, 1), "the two shed kinds stay disjoint");
+        assert_eq!(broker.tenant_shed("t"), Some(1));
+        assert_eq!(broker.tenant_deadline_shed("t"), Some(1));
+        // The tenant default applies when the request carries none.
+        let mut dcfg = TenantConfig::new(0);
+        dcfg.default_deadline_ms = Some(1);
+        broker.register_tenant("d", dcfg).unwrap();
+        assert_eq!(
+            broker.serve(&Request::new("d", "g", q)).unwrap_err().code(),
+            "deadline-exceeded"
+        );
+    }
+
+    #[test]
+    fn panics_are_contained_and_breaker_trips_deterministically() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(10, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        let mut cfg = TenantConfig::new(4);
+        cfg.breaker_threshold = Some(1);
+        cfg.breaker_cooldown = 1;
+        cfg.chaos_panic_every = Some(1); // every admitted request panics
+        broker.register_tenant("panicky", cfg).unwrap();
+        let req = Request::new("panicky", "g", Query::apsp().build().unwrap());
+        // 1: the panic is contained, the session quarantined, the breaker trips.
+        let e1 = broker.serve(&req).unwrap_err();
+        assert_eq!(e1.code(), "internal");
+        // 2: open breaker fails fast without touching a session.
+        assert_eq!(broker.serve(&req).unwrap_err().code(), "breaker-open");
+        // 3: the half-open probe is admitted, panics again, re-opens.
+        assert_eq!(broker.serve(&req).unwrap_err().code(), "internal");
+        // 4: re-opened: fail fast again.
+        assert_eq!(broker.serve(&req).unwrap_err().code(), "breaker-open");
+        let s = broker.stats();
+        assert_eq!(s.quarantined, 2, "each contained panic quarantines its session");
+        assert_eq!(s.breaker_opens, 2, "threshold trip + failed probe");
+        assert_eq!(s.breaker_probes, 1);
+        assert_eq!(s.served, 0);
+        assert_eq!(broker.breaker_states(), vec![("panicky".to_string(), "open")]);
+        let stats_line = broker.serve_line("STATS");
+        assert!(stats_line.contains("quarantined=2"), "{stats_line}");
+        assert!(stats_line.contains("breaker.panicky=open"), "{stats_line}");
+    }
+
+    #[test]
+    fn breaker_recovers_through_a_successful_probe() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", path(10, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        let mut cfg = TenantConfig::new(4);
+        cfg.breaker_threshold = Some(1);
+        cfg.breaker_cooldown = 0; // next request after a trip is the probe
+        cfg.chaos_panic_every = Some(2); // even-ordinal requests panic
+        broker.register_tenant("flaky", cfg).unwrap();
+        let req = Request::new("flaky", "g", Query::apsp().build().unwrap());
+        assert!(broker.serve(&req).is_ok(), "ordinal 1 is healthy");
+        assert_eq!(broker.serve(&req).unwrap_err().code(), "internal");
+        // Probe (ordinal 3) succeeds and closes the breaker.
+        assert!(broker.serve(&req).is_ok(), "the probe should close the breaker");
+        let s = broker.stats();
+        assert_eq!((s.breaker_opens, s.breaker_probes), (1, 1));
+        assert_eq!(s.served, 2);
+        assert_eq!(broker.breaker_states(), vec![("flaky".to_string(), "closed")]);
     }
 
     #[test]
@@ -169,10 +276,9 @@ mod tests {
         let broker = Broker::new(&catalog, BrokerConfig::new(7));
         broker.register_tenant("t", TenantConfig::new(2)).unwrap();
         let q = Query::apsp().build().unwrap();
-        let nobody =
-            Request { tenant: "ghost".into(), graph: "g".into(), seed: None, query: q.clone() };
+        let nobody = Request::new("ghost", "g", q.clone());
         assert_eq!(broker.serve(&nobody).unwrap_err().code(), "unknown-tenant");
-        let nowhere = Request { tenant: "t".into(), graph: "mars".into(), seed: None, query: q };
+        let nowhere = Request::new("t", "mars", q);
         assert_eq!(broker.serve(&nowhere).unwrap_err().code(), "unknown-graph");
     }
 
@@ -188,16 +294,7 @@ mod tests {
         let broker = Broker::new(&catalog, cfg);
         broker.register_tenant("t", TenantConfig::new(4)).unwrap();
         let q = Query::apsp().build().unwrap();
-        let serve = |graph: &str| {
-            broker
-                .serve(&Request {
-                    tenant: "t".into(),
-                    graph: graph.into(),
-                    seed: None,
-                    query: q.clone(),
-                })
-                .unwrap()
-        };
+        let serve = |graph: &str| broker.serve(&Request::new("t", graph, q.clone())).unwrap();
         let first_a = serve("a");
         let first_b = serve("b"); // evicts a
         let stats = broker.stats();
@@ -227,6 +324,10 @@ mod tests {
         assert!(garbled.starts_with("ERR id=0 code=protocol"), "{garbled}");
         let stats = broker.serve_line("STATS");
         assert!(stats.starts_with("STATS served=1 shed=0"), "{stats}");
+        // serving-v2 counters extend the line append-only.
+        assert!(stats.contains(" deadline_shed=0"), "{stats}");
+        assert!(stats.contains(" degraded_served=0"), "{stats}");
+        assert!(!stats.contains("breaker."), "no breaker-enabled tenants: {stats}");
     }
 
     #[test]
@@ -270,18 +371,134 @@ mod tests {
                 graphs: vec!["g".into()],
                 queries: mixed_queries(),
                 seed,
+                retries: 0,
+                retry_backoff_ms: 0,
+                deadline_ms: None,
             };
             run_load(&broker, &spec)
         };
         let a = run(11);
         let b = run(11);
         assert_eq!(a.issued, 18);
-        assert_eq!(a.served + a.shed + a.failed, a.issued, "every request is accounted for");
+        assert_eq!(
+            a.served + a.shed + a.deadline_shed + a.breaker_rejected + a.failed,
+            a.issued,
+            "every request is accounted for"
+        );
         assert_eq!(a.failed, 0, "registry queries on a connected grid must not fail");
         // The request mix is seed-deterministic, so the simulated round bill
         // (unlike wall-clock latency) matches exactly across runs.
         assert_eq!(a.rounds_total, b.rounds_total);
         assert_eq!(a.served, b.served);
         assert_eq!(a.stats.mismatches, 0);
+    }
+
+    #[test]
+    fn load_generator_retries_deterministically_on_overload() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        // Depth 0: every attempt overloads, so the retry accounting is exact
+        // regardless of timing.
+        broker.register_tenant("t", TenantConfig::new(0)).unwrap();
+        let spec = LoadSpec {
+            name: "retry-unit".into(),
+            clients: 2,
+            requests_per_client: 3,
+            tenants: vec!["t".into()],
+            graphs: vec!["g".into()],
+            queries: vec![Query::apsp().build().unwrap()],
+            seed: 5,
+            retries: 2,
+            retry_backoff_ms: 0,
+            deadline_ms: None,
+        };
+        let r = run_load(&broker, &spec);
+        assert_eq!((r.issued, r.served, r.shed), (6, 0, 6));
+        assert_eq!(r.retries, 12, "each shed request burned its full retry budget");
+    }
+
+    #[test]
+    fn tcp_rejects_oversized_lines_and_drains_gracefully() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        std::thread::scope(|scope| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let server = serve_tcp(scope, &broker, listener).unwrap();
+            let mut conn = TcpStream::connect(server.addr()).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            // An oversized line is rejected without buffering it whole, and
+            // the connection survives.
+            let big = vec![b'x'; MAX_LINE_BYTES + 10];
+            conn.write_all(&big[..1000]).unwrap();
+            conn.write_all(&big[1000..]).unwrap();
+            conn.write_all(b"\n").unwrap();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ERR id=0 code=oversized"), "{line}");
+            // A request split across writes reassembles fine.
+            conn.write_all(b"SOLVE id=1 tenant=t graph=g query=apsp-").unwrap();
+            conn.flush().unwrap();
+            conn.write_all(b"thm11:xi=1.5\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("OK id=1 query=apsp-thm11"), "{line}");
+            // Draining: in-flight work finished above; new requests are
+            // answered with a structured refusal, echoing the id.
+            server.drain();
+            assert!(server.is_draining());
+            writeln!(conn, "SOLVE id=3 tenant=t graph=g query=apsp-thm11:xi=1.5").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ERR id=3 code=draining"), "{line}");
+            writeln!(conn, "STATS").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ERR id=0 code=draining"), "{line}");
+            drop(conn);
+            server.shutdown();
+        });
+        assert_eq!(broker.stats().served, 1, "only the pre-drain solve was served");
+    }
+
+    /// Deterministic junk for the protocol fuzzer: bytes biased toward the
+    /// protocol alphabet (so parses get past the verb) with raw bytes mixed
+    /// in, all derived from SplitMix64 streams.
+    fn fuzz_line(seed: u64, len: usize) -> String {
+        const ALPHABET: &[u8] =
+            b"SOLVESTATS solve id=tenant graph query seed deadline_ms xi eps src k \
+              apsp-thm11:0123456789.,=\t\r\x00\x7f\xff";
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let d = derive_seed(seed, i as u64);
+            if d & 7 == 0 {
+                bytes.push((d >> 8) as u8);
+            } else {
+                bytes.push(ALPHABET[((d >> 8) as usize) % ALPHABET.len()]);
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The wire entry point must never panic, whatever bytes arrive: it
+        /// answers every line with a structured OK/ERR/STATS response.
+        #[test]
+        fn serve_line_never_panics_on_arbitrary_bytes(seed in any::<u64>(), len in 0usize..200) {
+            let mut catalog = GraphCatalog::new();
+            catalog.insert("g", path(6, 1).unwrap());
+            let broker = Broker::new(&catalog, BrokerConfig::new(7));
+            broker.register_tenant("t", TenantConfig::new(2)).unwrap();
+            let line = fuzz_line(seed, len);
+            let out = broker.serve_line(&line);
+            prop_assert!(
+                out.starts_with("OK ") || out.starts_with("ERR ") || out.starts_with("STATS"),
+                "unstructured response {out:?} for input {line:?}"
+            );
+        }
     }
 }

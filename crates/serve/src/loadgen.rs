@@ -1,13 +1,14 @@
 //! The closed-loop load generator: N synchronous client threads driving a
 //! [`Broker`] with a deterministic tenant/graph/query mix. Every choice a
-//! client makes derives from SplitMix64 streams of the spec seed, so two runs
-//! issue the *identical* request sequence per client — only wall-clock
-//! latency (and hence the percentiles) is nondeterministic.
+//! client makes derives from SplitMix64 streams of the spec seed — including
+//! the retry schedule — so two runs issue the *identical* request sequence
+//! per client; only wall-clock latency (and hence the percentiles) is
+//! nondeterministic.
 
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use hybrid_core::solver::Query;
+use hybrid_core::solver::{Guarantee, Query};
 use hybrid_sim::derive_seed;
 
 use crate::broker::{Broker, BrokerStats, Request, ServeError};
@@ -30,6 +31,16 @@ pub struct LoadSpec {
     pub queries: Vec<Query>,
     /// Root seed of every client's choice stream.
     pub seed: u64,
+    /// Client-side retries on [`ServeError::Overloaded`] before counting the
+    /// request as shed. The retry *schedule* is deterministic (exponential
+    /// backoff from `retry_backoff_ms`); retries never consume a draw from
+    /// the choice stream, so they don't perturb the request mix.
+    pub retries: u32,
+    /// Base backoff before retry `k` (1-based): `retry_backoff_ms << (k-1)`,
+    /// capped at 16× the base. Zero disables the sleep but keeps the retry.
+    pub retry_backoff_ms: u64,
+    /// Deadline budget attached to every request (`None`: tenant default).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Outcome of a load run: latency percentiles, throughput, shed rate, and
@@ -44,10 +55,22 @@ pub struct LoadReport {
     pub issued: u64,
     /// Requests served successfully.
     pub served: u64,
-    /// Requests shed with [`ServeError::Overloaded`].
+    /// Requests shed with [`ServeError::Overloaded`] after exhausting their
+    /// retries.
     pub shed: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`] (never retried —
+    /// the budget is already burned).
+    pub deadline_shed: u64,
+    /// Requests rejected with [`ServeError::BreakerOpen`] (expected under
+    /// chaos; not a failure).
+    pub breaker_rejected: u64,
+    /// Served responses that carried a `Guarantee::Degraded` — verified
+    /// bit-identical answers with an explicit downgrade.
+    pub degraded_served: u64,
+    /// Retry attempts spent across all clients.
+    pub retries: u64,
     /// Requests that failed any other way (bit-identity violations, solver
-    /// errors — a healthy run has zero).
+    /// errors, contained panics — a healthy run has zero).
     pub failed: u64,
     /// Wall-clock duration of the whole run in nanoseconds.
     pub wall_ns: u64,
@@ -78,19 +101,34 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Per-client outcome counters, merged at the end of the run.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    served: u64,
+    shed: u64,
+    deadline_shed: u64,
+    breaker_rejected: u64,
+    degraded: u64,
+    retries: u64,
+    failed: u64,
+    rounds: u64,
+}
+
 /// Runs `spec` against `broker` and gathers the report. Client i's request r
 /// draws its tenant/graph/query from `derive_seed(derive_seed(seed, i), r)`
 /// — disjoint SplitMix64 streams per client, deterministic across runs.
 ///
-/// Overload ([`ServeError::Overloaded`]) is an *expected* outcome counted as
-/// shed; every other error counts as failed and is kept out of the latency
-/// sample.
+/// Overload ([`ServeError::Overloaded`]) is an *expected* outcome: the client
+/// retries up to [`LoadSpec::retries`] times with deterministic exponential
+/// backoff, then counts the request as shed. Deadline and breaker rejections
+/// are counted in their own buckets; every other error counts as failed and
+/// is kept out of the latency sample.
 pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
     assert!(!spec.tenants.is_empty(), "load spec needs at least one tenant");
     assert!(!spec.graphs.is_empty(), "load spec needs at least one graph");
     assert!(!spec.queries.is_empty(), "load spec needs at least one query");
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
-    let outcomes: Mutex<(u64, u64, u64, u64)> = Mutex::new((0, 0, 0, 0)); // served, shed, failed, rounds
+    let outcomes: Mutex<Tally> = Mutex::new(Tally::default());
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..spec.clients {
@@ -99,54 +137,85 @@ pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
             scope.spawn(move || {
                 let stream = derive_seed(spec.seed, client as u64);
                 let mut local_lat = Vec::with_capacity(spec.requests_per_client);
-                let (mut served, mut shed, mut failed, mut rounds) = (0u64, 0u64, 0u64, 0u64);
+                let mut t = Tally::default();
                 for r in 0..spec.requests_per_client {
                     let draw = derive_seed(stream, r as u64);
-                    let req = Request {
+                    let mut req = Request {
                         tenant: spec.tenants[(draw as usize) % spec.tenants.len()].clone(),
                         graph: spec.graphs[((draw >> 16) as usize) % spec.graphs.len()].clone(),
                         seed: None,
                         query: spec.queries[((draw >> 32) as usize) % spec.queries.len()].clone(),
+                        deadline_ms: spec.deadline_ms,
                     };
                     let start = Instant::now();
-                    match broker.serve(&req) {
-                        Ok(resp) => {
-                            served += 1;
-                            rounds += resp.report.rounds;
-                            local_lat.push(start.elapsed().as_nanos() as u64);
+                    let mut attempt = 0u32;
+                    loop {
+                        match broker.serve(&req) {
+                            Ok(resp) => {
+                                t.served += 1;
+                                t.rounds += resp.report.rounds;
+                                if matches!(resp.report.guarantee, Guarantee::Degraded { .. }) {
+                                    t.degraded += 1;
+                                }
+                                local_lat.push(start.elapsed().as_nanos() as u64);
+                            }
+                            Err(ServeError::Overloaded { .. }) if attempt < spec.retries => {
+                                attempt += 1;
+                                t.retries += 1;
+                                let backoff = spec.retry_backoff_ms << (attempt - 1).min(4) as u64;
+                                if backoff > 0 {
+                                    std::thread::sleep(Duration::from_millis(backoff));
+                                }
+                                // A retried request must not re-wait a spent
+                                // deadline budget; the retry goes back in
+                                // with whatever budget the spec gave it.
+                                req.deadline_ms = spec.deadline_ms;
+                                continue;
+                            }
+                            Err(ServeError::Overloaded { .. }) => t.shed += 1,
+                            Err(ServeError::DeadlineExceeded { .. }) => t.deadline_shed += 1,
+                            Err(ServeError::BreakerOpen { .. }) => t.breaker_rejected += 1,
+                            Err(_) => t.failed += 1,
                         }
-                        Err(ServeError::Overloaded { .. }) => shed += 1,
-                        Err(_) => failed += 1,
+                        break;
                     }
                 }
                 latencies.lock().expect("latency sample lock").extend(local_lat);
                 let mut o = outcomes.lock().expect("outcome counter lock");
-                o.0 += served;
-                o.1 += shed;
-                o.2 += failed;
-                o.3 += rounds;
+                o.served += t.served;
+                o.shed += t.shed;
+                o.deadline_shed += t.deadline_shed;
+                o.breaker_rejected += t.breaker_rejected;
+                o.degraded += t.degraded;
+                o.retries += t.retries;
+                o.failed += t.failed;
+                o.rounds += t.rounds;
             });
         }
     });
     let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let mut sample = latencies.into_inner().expect("latency sample");
     sample.sort_unstable();
-    let (served, shed, failed, rounds_total) = outcomes.into_inner().expect("outcome counters");
+    let t = outcomes.into_inner().expect("outcome counters");
     let issued = (spec.clients * spec.requests_per_client) as u64;
     LoadReport {
         name: spec.name.clone(),
         clients: spec.clients,
         issued,
-        served,
-        shed,
-        failed,
+        served: t.served,
+        shed: t.shed,
+        deadline_shed: t.deadline_shed,
+        breaker_rejected: t.breaker_rejected,
+        degraded_served: t.degraded,
+        retries: t.retries,
+        failed: t.failed,
         wall_ns,
         p50_ns: percentile(&sample, 0.50),
         p95_ns: percentile(&sample, 0.95),
         p99_ns: percentile(&sample, 0.99),
-        qps: if wall_ns == 0 { 0.0 } else { served as f64 * 1e9 / wall_ns as f64 },
-        shed_rate: if issued == 0 { 0.0 } else { shed as f64 / issued as f64 },
-        rounds_total,
+        qps: if wall_ns == 0 { 0.0 } else { t.served as f64 * 1e9 / wall_ns as f64 },
+        shed_rate: if issued == 0 { 0.0 } else { t.shed as f64 / issued as f64 },
+        rounds_total: t.rounds,
         stats: broker.stats(),
     }
 }

@@ -5,7 +5,7 @@
 //! # Requests
 //!
 //! ```text
-//! SOLVE id=<u64> tenant=<name> graph=<name> [seed=<u64>] query=<spec>
+//! SOLVE id=<u64> tenant=<name> graph=<name> [seed=<u64>] [deadline_ms=<u64>] query=<spec>
 //! STATS
 //! ```
 //!
@@ -21,6 +21,14 @@
 //! ERR id=<u64> code=<code> msg=<text...>
 //! STATS served=<u64> shed=<u64> ...
 //! ```
+//!
+//! A degraded (but still verified bit-identical) answer carries the
+//! structured guarantee label `degraded=<from>:<to>:<cause>`, e.g.
+//! `degraded=apsp-thm11:apsp-local-flood:crash-detected`. The `STATS` reply
+//! extends append-only: the v1 counters first, then `deadline_shed=`,
+//! `breaker_opens=`, `breaker_probes=`, `quarantined=`, `degraded_served=`,
+//! then one `breaker.<tenant>=<closed|open|half-open>` token per
+//! breaker-enabled tenant (sorted by tenant name).
 //!
 //! Float parameters round-trip through Rust's shortest-exact `Display`
 //! formatting, so a spec identifies the query bit-for-bit.
@@ -61,13 +69,16 @@ pub fn query_spec(q: &Query) -> String {
 }
 
 /// The wire label of a guarantee: `exact`, `stretch=<f>`, `diameter=<f>`, or
-/// `degraded=<from>-><to>`.
+/// the structured `degraded=<from>:<to>:<cause>` (labels are colon-free, so
+/// the token splits unambiguously).
 pub fn guarantee_label(g: &Guarantee) -> String {
     match g {
         Guarantee::Exact => "exact".to_string(),
         Guarantee::Stretch { factor } => format!("stretch={factor}"),
         Guarantee::DiameterFactor { factor } => format!("diameter={factor}"),
-        Guarantee::Degraded { from, to, .. } => format!("degraded={from}->{to}"),
+        Guarantee::Degraded { from, to, cause } => {
+            format!("degraded={from}:{to}:{}", cause.label())
+        }
     }
 }
 
@@ -218,6 +229,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
             let mut tenant = None;
             let mut graph = None;
             let mut seed = None;
+            let mut deadline_ms = None;
             let mut query = None;
             for token in tokens {
                 let (key, value) = token
@@ -228,6 +240,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
                     "tenant" => tenant = Some(value.to_string()),
                     "graph" => graph = Some(value.to_string()),
                     "seed" => seed = Some(parse_u64("seed", value)?),
+                    "deadline_ms" => deadline_ms = Some(parse_u64("deadline_ms", value)?),
                     "query" => query = Some(parse_query_spec(value)?),
                     _ => return Err(bad(format!("unknown request field {key:?}"))),
                 }
@@ -239,6 +252,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
                     graph: graph.ok_or_else(|| bad("SOLVE: missing graph=<name>"))?,
                     seed,
                     query: query.ok_or_else(|| bad("SOLVE: missing query=<spec>"))?,
+                    deadline_ms,
                 },
             })
         }
@@ -256,9 +270,11 @@ impl Broker<'_> {
         match parse_request(line) {
             Ok(WireRequest::Stats) => {
                 let s = self.stats();
-                format!(
+                let mut line = format!(
                     "STATS served={} shed={} session_hits={} admitted={} evicted={} resident={} \
-                     bytes={} verified={} mismatches={} batches={} batched={} max_batch={}",
+                     bytes={} verified={} mismatches={} batches={} batched={} max_batch={} \
+                     deadline_shed={} breaker_opens={} breaker_probes={} quarantined={} \
+                     degraded_served={}",
                     s.served,
                     s.shed,
                     s.session_hits,
@@ -270,8 +286,17 @@ impl Broker<'_> {
                     s.mismatches,
                     s.batches,
                     s.batched_queries,
-                    s.max_batch
-                )
+                    s.max_batch,
+                    s.deadline_shed,
+                    s.breaker_opens,
+                    s.breaker_probes,
+                    s.quarantined,
+                    s.degraded_served
+                );
+                for (tenant, state) in self.breaker_states() {
+                    line.push_str(&format!(" breaker.{tenant}={state}"));
+                }
+                line
             }
             Ok(WireRequest::Solve { id, request }) => match self.serve(&request) {
                 Ok(resp) => format!(

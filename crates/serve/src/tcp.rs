@@ -1,21 +1,36 @@
 //! A line-delimited TCP front door over [`Broker::serve_line`]: one
-//! `std::net::TcpListener`, one scoped thread per connection, newline
-//! framing — no crates.io, no async runtime.
+//! `std::net::TcpListener`, one scoped thread per connection, hand-rolled
+//! newline framing — no crates.io, no async runtime.
+//!
+//! The framing is hostile-input safe: lines are capped at
+//! [`MAX_LINE_BYTES`] (longer ones are answered with `ERR code=oversized`
+//! and discarded without buffering them), partial lines split across reads
+//! are reassembled, and responses go out through `write_all` so partial
+//! writes are always completed or the connection is dropped. A draining
+//! server ([`TcpServer::drain`]) finishes requests already in flight but
+//! answers every later request with `ERR code=draining`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::Scope;
 
 use crate::broker::Broker;
+use crate::protocol::{parse_request, WireRequest};
 
-/// Handle to a running TCP server: the bound address plus a shutdown latch.
-/// The accept loop and every connection handler run on the caller's thread
-/// scope, so dropping the scope joins them all.
+/// Hard cap on one request line (bytes, newline excluded). Generous for the
+/// protocol's grammar — the longest legitimate lines are explicit k-SSP
+/// source lists — while bounding per-connection memory.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Handle to a running TCP server: the bound address plus shutdown and drain
+/// latches. The accept loop and every connection handler run on the caller's
+/// thread scope, so dropping the scope joins them all.
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 }
 
 impl TcpServer {
@@ -23,6 +38,19 @@ impl TcpServer {
     /// pick).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Starts a graceful drain: requests already being served finish and
+    /// their responses are written, but every request line read after this
+    /// point — on new or existing connections — is answered with
+    /// `ERR code=draining` instead of touching the broker. Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`TcpServer::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Signals the accept loop to exit. Idempotent; returns once the latch
@@ -52,36 +80,101 @@ pub fn serve_tcp<'scope, 'env, 'g: 'env>(
 ) -> std::io::Result<TcpServer> {
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
     let latch = Arc::clone(&shutdown);
+    let drain_latch = Arc::clone(&draining);
     scope.spawn(move || {
         for stream in listener.incoming() {
             if latch.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            scope.spawn(move || handle_connection(broker, stream));
+            let drain_latch = Arc::clone(&drain_latch);
+            scope.spawn(move || handle_connection(broker, &drain_latch, stream));
         }
     });
-    Ok(TcpServer { addr, shutdown })
+    Ok(TcpServer { addr, shutdown, draining })
 }
 
-/// One connection: read lines until EOF, answer each through the broker.
-/// I/O errors drop the connection; they never unwind into the scope.
-fn handle_connection(broker: &Broker<'_>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let reader = BufReader::new(read_half);
+/// Writes one response line; `write_all` loops over partial writes, so the
+/// line either lands whole or the connection is dropped.
+fn respond(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Answers one complete request line, honouring the drain latch.
+fn answer(broker: &Broker<'_>, draining: &AtomicBool, line: &str) -> String {
+    if draining.load(Ordering::SeqCst) {
+        // Echo the client's correlation id when the line parses.
+        let id = match parse_request(line) {
+            Ok(WireRequest::Solve { id, .. }) => id,
+            _ => 0,
+        };
+        return format!("ERR id={id} code=draining msg=server is draining, retry elsewhere");
+    }
+    broker.serve_line(line)
+}
+
+/// One connection: reassemble newline-framed lines from raw reads (partial
+/// lines survive across reads), answer each through the broker, reject
+/// oversized lines without buffering them. I/O errors drop the connection;
+/// they never unwind into the scope.
+fn handle_connection(broker: &Broker<'_>, draining: &AtomicBool, stream: TcpStream) {
+    let Ok(mut read_half) = stream.try_clone() else { return };
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Inside an oversized line: its rejection was already sent; swallow
+    // bytes until the terminating newline.
+    let mut discarding = false;
+    loop {
+        let n = match read_half.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = buf.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if discarding {
+                discarding = false;
+                continue;
+            }
+            if line.len() > MAX_LINE_BYTES {
+                let reject = format!(
+                    "ERR id=0 code=oversized msg=request line exceeds {MAX_LINE_BYTES} bytes"
+                );
+                if respond(&mut writer, &reject).is_err() {
+                    return;
+                }
+                continue;
+            }
+            let line = String::from_utf8_lossy(&line);
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = answer(broker, draining, &line);
+            if respond(&mut writer, &response).is_err() {
+                return;
+            }
         }
-        let response = broker.serve_line(&line);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            break;
+        if !discarding && buf.len() > MAX_LINE_BYTES {
+            // The partial line already blew the cap: reject it now and
+            // swallow the rest as it streams in, bounding memory.
+            let reject =
+                format!("ERR id=0 code=oversized msg=request line exceeds {MAX_LINE_BYTES} bytes");
+            if respond(&mut writer, &reject).is_err() {
+                return;
+            }
+            buf.clear();
+            discarding = true;
+        } else if discarding {
+            buf.clear();
         }
     }
 }

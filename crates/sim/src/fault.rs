@@ -9,10 +9,15 @@
 //!
 //! Three invariants make fault runs verifiable:
 //!
-//! * **Determinism** — drops are driven by a SplitMix64 stream seeded from the
-//!   plan, consumed in message order; the same plan on the same execution
-//!   drops the same messages.
-//! * **Loss, never corruption** — faults only *remove* messages. Distance
+//! * **Determinism** — drops and corruptions are driven by SplitMix64 streams
+//!   seeded from the plan (two independent streams, so enabling one fault
+//!   class never perturbs the other), consumed in message order; the same
+//!   plan on the same execution faults the same messages.
+//! * **Loss, never silent corruption** — a delivered message is always the
+//!   message that was sent. The corruption fault class flips payload bits in
+//!   flight, but the reliable layer's per-message checksum detects every flip
+//!   and converts it into a *loss* (the flipped payload is discarded and
+//!   retransmitted); algorithms never observe a corrupted payload. Distance
 //!   estimates computed from surviving messages therefore remain upper bounds
 //!   (missing a message can only cost an improvement), which is exactly what
 //!   the scenario verification layer checks for lossy runs.
@@ -48,30 +53,53 @@ pub struct Crash {
 pub struct FaultPlan {
     /// Probability in `[0, 1)` that any individual global message is lost.
     pub drop_prob: f64,
+    /// Probability in `[0, 0.5)` that any individual global message has
+    /// payload bits flipped in flight. The reliable layer's checksum detects
+    /// every flip and converts it into a loss (discard + retransmit); the
+    /// fire-and-forget engine discards the flipped message outright. The
+    /// bound is tighter than `drop_prob`'s because every corruption costs a
+    /// retransmission wave: past 0.5 the expected retry count diverges
+    /// before the retransmission-attempt cap (8) can save the run.
+    pub corrupt_prob: f64,
     /// Scheduled node crashes.
     pub crashes: Vec<Crash>,
-    /// Seed of the deterministic drop stream.
+    /// Seed of the deterministic fault streams (drop and corruption streams
+    /// derive independently from it).
     pub seed: u64,
 }
+
+/// Salt deriving the corruption stream's SplitMix64 state from the plan seed,
+/// so the drop and corruption streams are independent: enabling corruption
+/// never shifts which messages the drop stream loses (healthy- and lossy-path
+/// pins stay bit-identical).
+const CORRUPT_STREAM_SALT: u64 = 0xC0DE_FA17_B17F_11B5;
 
 impl FaultPlan {
     /// Plan dropping each global message independently with probability `prob`.
     pub fn drops(prob: f64, seed: u64) -> Self {
-        FaultPlan { drop_prob: prob, crashes: Vec::new(), seed }
+        FaultPlan { drop_prob: prob, corrupt_prob: 0.0, crashes: Vec::new(), seed }
+    }
+
+    /// Plan flipping payload bits of each global message independently with
+    /// probability `prob`.
+    pub fn corruption(prob: f64, seed: u64) -> Self {
+        FaultPlan { drop_prob: 0.0, corrupt_prob: prob, crashes: Vec::new(), seed }
     }
 
     /// Plan crashing the given nodes at the given rounds.
     pub fn node_crashes(crashes: Vec<Crash>) -> Self {
-        FaultPlan { drop_prob: 0.0, crashes, seed: 0 }
+        FaultPlan { drop_prob: 0.0, corrupt_prob: 0.0, crashes, seed: 0 }
     }
 
-    /// `true` if the plan can never remove a message.
+    /// `true` if the plan can never remove or corrupt a message.
     pub fn is_trivial(&self) -> bool {
-        self.drop_prob == 0.0 && self.crashes.is_empty()
+        self.drop_prob == 0.0 && self.corrupt_prob == 0.0 && self.crashes.is_empty()
     }
 
     /// Validates the plan (the drop probability must be in `[0, 1)`; a plan
-    /// that drops *everything* would make retry-style protocols loop forever).
+    /// that drops *everything* would make retry-style protocols loop forever.
+    /// The corruption probability must be in `[0, 0.5)` — see
+    /// [`FaultPlan::corrupt_prob`]).
     ///
     /// # Errors
     ///
@@ -80,6 +108,11 @@ impl FaultPlan {
         if !self.drop_prob.is_finite() || !(0.0..1.0).contains(&self.drop_prob) {
             return Err(SimError::InvalidConfig {
                 reason: format!("drop_prob must be in [0, 1), got {}", self.drop_prob),
+            });
+        }
+        if !self.corrupt_prob.is_finite() || !(0.0..0.5).contains(&self.corrupt_prob) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("corrupt_prob must be in [0, 0.5), got {}", self.corrupt_prob),
             });
         }
         Ok(())
@@ -124,6 +157,12 @@ pub(crate) struct FaultState {
     drop_prob: f64,
     /// SplitMix64 state of the drop stream.
     rng_state: u64,
+    /// Corruption probability.
+    corrupt_prob: f64,
+    /// SplitMix64 state of the corruption stream — independent from the drop
+    /// stream (salted derivation of the plan seed), so either fault class can
+    /// be toggled without perturbing the other's decisions.
+    corrupt_rng_state: u64,
     /// Nodes the reliable layer's failure detector has declared dead; sticky
     /// for the lifetime of the installed plan.
     declared_dead: Vec<bool>,
@@ -143,6 +182,8 @@ impl FaultState {
             crashed_at,
             drop_prob: plan.drop_prob,
             rng_state: plan.seed,
+            corrupt_prob: plan.corrupt_prob,
+            corrupt_rng_state: plan.seed ^ CORRUPT_STREAM_SALT,
             declared_dead: vec![false; n],
         }
     }
@@ -181,20 +222,32 @@ impl FaultState {
         self.crashed_at.get(v.index()).is_none_or(|&at| round < at)
     }
 
-    /// Draws the next drop decision from the deterministic stream.
+    /// Draws the next drop decision from the deterministic drop stream.
     pub(crate) fn drop_next(&mut self) -> bool {
         if self.drop_prob <= 0.0 {
             return false;
         }
-        // SplitMix64 step; the high 53 bits give a uniform unit double.
-        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.drop_prob
+        splitmix_unit(&mut self.rng_state) < self.drop_prob
     }
+
+    /// Draws the next bit-flip decision from the deterministic corruption
+    /// stream (independent of the drop stream).
+    pub(crate) fn corrupt_next(&mut self) -> bool {
+        if self.corrupt_prob <= 0.0 {
+            return false;
+        }
+        splitmix_unit(&mut self.corrupt_rng_state) < self.corrupt_prob
+    }
+}
+
+/// One SplitMix64 step; the high 53 bits give a uniform unit double.
+fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -205,6 +258,7 @@ mod tests {
     fn trivial_plan() {
         assert!(FaultPlan::default().is_trivial());
         assert!(!FaultPlan::drops(0.1, 1).is_trivial());
+        assert!(!FaultPlan::corruption(0.1, 1).is_trivial());
         let crash = FaultPlan::node_crashes(vec![Crash { node: NodeId::new(2), at_round: 5 }]);
         assert!(!crash.is_trivial());
         assert!(crash.validate().is_ok());
@@ -218,6 +272,40 @@ mod tests {
         }
         assert!(FaultPlan::drops(0.0, 0).validate().is_ok());
         assert!(FaultPlan::drops(0.999, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_corruption_probabilities_outside_half_open_half() {
+        for p in [0.5, 0.75, 1.0, -0.1, f64::NAN, f64::INFINITY] {
+            let err = FaultPlan::corruption(p, 0).validate().unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "p = {p}");
+        }
+        assert!(FaultPlan::corruption(0.0, 0).validate().is_ok());
+        assert!(FaultPlan::corruption(0.499, 0).validate().is_ok());
+        // validate_for inherits the same check.
+        assert!(FaultPlan::corruption(0.5, 0).validate_for(4).is_err());
+    }
+
+    #[test]
+    fn corruption_stream_is_deterministic_and_independent_of_drops() {
+        let plan = FaultPlan { corrupt_prob: 0.25, ..FaultPlan::drops(0.25, 42) };
+        let mut a = FaultState::install(&plan, 4);
+        let mut b = FaultState::install(&plan, 4);
+        let ca: Vec<bool> = (0..10_000).map(|_| a.corrupt_next()).collect();
+        let cb: Vec<bool> = (0..10_000).map(|_| b.corrupt_next()).collect();
+        assert_eq!(ca, cb, "same seed, same corruption stream");
+        let hits = ca.iter().filter(|&&c| c).count();
+        assert!((2000..3000).contains(&hits), "≈25% of 10k, got {hits}");
+        // Independence: the drop stream is untouched by corruption draws —
+        // a state that consumed 10k corruption decisions still produces the
+        // same drop stream as a fresh one.
+        let mut fresh_state = FaultState::install(&plan, 4);
+        let da: Vec<bool> = (0..100).map(|_| a.drop_next()).collect();
+        let df: Vec<bool> = (0..100).map(|_| fresh_state.drop_next()).collect();
+        assert_eq!(da, df, "corruption draws must not advance the drop stream");
+        // A drop-only plan never corrupts.
+        let mut drop_only = FaultState::install(&FaultPlan::drops(0.1, 1), 4);
+        assert!((0..100).all(|_| !drop_only.corrupt_next()));
     }
 
     #[test]

@@ -33,16 +33,23 @@ pub struct Metrics {
     /// Messages that crossed the registered cut (see
     /// [`crate::HybridNet::set_cut`]); `0` if no cut is registered.
     pub cut_messages: u64,
-    /// Global messages removed by the installed fault plan (random drops plus
-    /// messages from/to crashed nodes); `0` without faults. Always equals
-    /// `dropped_by_loss + suppressed_by_crash` (kept for schema
-    /// compatibility).
+    /// Global messages removed by the installed fault plan (random drops,
+    /// messages from/to crashed nodes, and checksum-discarded corrupted
+    /// payloads); `0` without faults. Always equals
+    /// `dropped_by_loss + suppressed_by_crash + corrupted_messages` (kept
+    /// for schema compatibility).
     pub dropped_messages: u64,
     /// Global messages removed by the random-loss stream alone.
     pub dropped_by_loss: u64,
     /// Global messages suppressed because an endpoint had crashed (or had
     /// been declared dead by the reliable layer).
     pub suppressed_by_crash: u64,
+    /// Global messages whose payload the fault plan's corruption stream
+    /// flipped in flight. The reliable layer's checksum detects every flip
+    /// and retransmits (each detection also counts under `dropped_messages`,
+    /// as the loss it becomes); the fire-and-forget engine discards the
+    /// flipped payload. A corrupted payload is **never** delivered.
+    pub corrupted_messages: u64,
     /// Messages re-sent by the reliable exchange layer after a lost or
     /// unacknowledged attempt; `0` outside reliable mode.
     pub retransmissions: u64,
@@ -141,6 +148,13 @@ impl Metrics {
                 self.dropped_messages, self.dropped_by_loss, self.suppressed_by_crash
             );
         }
+        if self.corrupted_messages > 0 {
+            let _ = writeln!(
+                out,
+                "corrupted payloads: {} (checksum-detected, none delivered)",
+                self.corrupted_messages
+            );
+        }
         if self.retransmissions > 0 || self.recovered_messages > 0 || self.declared_dead > 0 {
             let _ = writeln!(
                 out,
@@ -209,6 +223,7 @@ impl Metrics {
         self.dropped_messages += other.dropped_messages;
         self.dropped_by_loss += other.dropped_by_loss;
         self.suppressed_by_crash += other.suppressed_by_crash;
+        self.corrupted_messages += other.corrupted_messages;
         self.retransmissions += other.retransmissions;
         self.recovered_messages += other.recovered_messages;
         self.declared_dead += other.declared_dead;
@@ -317,11 +332,13 @@ mod tests {
         m.dropped_by_loss = 3;
         m.suppressed_by_crash = 2;
         m.dropped_messages = m.dropped_by_loss + m.suppressed_by_crash;
+        m.corrupted_messages = 2;
         m.retransmissions = 4;
         m.recovered_messages = 3;
         m.declared_dead = 1;
         let r = m.render_report();
         assert!(r.contains("fault-dropped messages: 5 (lost 3, crash-suppressed 2)"));
+        assert!(r.contains("corrupted payloads: 2 (checksum-detected, none delivered)"));
         assert!(r.contains("reliable layer: 4 retransmissions, 3 recovered, 1 declared dead"));
         let mut sum = Metrics::new();
         sum.absorb(&m);
@@ -329,11 +346,14 @@ mod tests {
         assert_eq!(sum.dropped_messages, 10);
         assert_eq!(sum.dropped_by_loss, 6);
         assert_eq!(sum.suppressed_by_crash, 4);
+        assert_eq!(sum.corrupted_messages, 4);
         assert_eq!(sum.retransmissions, 8);
         assert_eq!(sum.recovered_messages, 6);
         assert_eq!(sum.declared_dead, 2);
         // The healthy report stays free of reliability noise.
-        assert!(!Metrics::new().render_report().contains("reliable layer"));
+        let healthy = Metrics::new().render_report();
+        assert!(!healthy.contains("reliable layer"));
+        assert!(!healthy.contains("corrupted"));
     }
 
     #[test]

@@ -490,6 +490,7 @@ impl<'g> HybridNet<'g> {
                 messages: other.global_messages,
                 lost: other.dropped_by_loss,
                 suppressed: other.suppressed_by_crash,
+                corrupted: other.corrupted_messages,
                 retransmissions: other.retransmissions,
                 recovered: other.recovered_messages,
                 declared_dead: other.declared_dead,
@@ -586,6 +587,7 @@ impl<'g> HybridNet<'g> {
         // be swallowed by a random drop.
         let mut lost = 0u64;
         let mut suppressed = 0u64;
+        let mut corrupted = 0u64;
         if let Some(faults) = &mut self.faults {
             let round = self.metrics.rounds;
             outbox.retain(|e| {
@@ -600,11 +602,19 @@ impl<'g> HybridNet<'g> {
                     lost += 1;
                     return false;
                 }
+                if faults.corrupt_next() {
+                    // Bit-flipped in flight; the checksum catches it on
+                    // receipt and fire-and-forget has no retransmission, so
+                    // the payload is discarded — never delivered corrupted.
+                    corrupted += 1;
+                    return false;
+                }
                 true
             });
             self.metrics.dropped_by_loss += lost;
             self.metrics.suppressed_by_crash += suppressed;
-            self.metrics.dropped_messages += lost + suppressed;
+            self.metrics.corrupted_messages += corrupted;
+            self.metrics.dropped_messages += lost + suppressed + corrupted;
         }
         let m = outbox.len();
 
@@ -677,6 +687,7 @@ impl<'g> HybridNet<'g> {
                 max_recv_load: st.max_recv_load,
                 lost,
                 suppressed,
+                corrupted,
             });
         }
         Ok(())
@@ -732,6 +743,7 @@ impl<'g> HybridNet<'g> {
                     max_recv_load: 0,
                     lost: 0,
                     suppressed: 0,
+                    corrupted: 0,
                 });
             }
         }
@@ -840,6 +852,7 @@ impl<'g> HybridNet<'g> {
                         retransmissions: 0,
                         lost: 0,
                         suppressed: suppressed_now,
+                        corrupted: 0,
                         recovered: 0,
                         max_send_load: 0,
                     });
@@ -869,6 +882,7 @@ impl<'g> HybridNet<'g> {
             rel.pending.clear();
             let mut lost_now = 0u64;
             let mut dead_suppressed = 0u64;
+            let mut corrupted_now = 0u64;
             let mut recovered_now = 0u64;
             for &idx in &rel.attempted {
                 let i = idx as usize;
@@ -896,6 +910,16 @@ impl<'g> HybridNet<'g> {
                     metrics.dropped_messages += 1;
                     lost_now += 1;
                     rel.pending.push(idx);
+                } else if faults.corrupt_next() {
+                    // The payload arrived bit-flipped; the per-message
+                    // checksum catches it, the receiver withholds the ack,
+                    // and the message is treated exactly like a loss:
+                    // re-pended for the next retransmission wave. The
+                    // flipped payload itself is never delivered.
+                    metrics.corrupted_messages += 1;
+                    metrics.dropped_messages += 1;
+                    corrupted_now += 1;
+                    rel.pending.push(idx);
                 } else {
                     rel.delivered[i] = true;
                     if rel.attempts[i] > 1 {
@@ -914,6 +938,7 @@ impl<'g> HybridNet<'g> {
                     retransmissions: retrans as u64,
                     lost: lost_now,
                     suppressed: suppressed_now + dead_suppressed,
+                    corrupted: corrupted_now,
                     recovered: recovered_now,
                     max_send_load: max_sent as u64,
                 });
@@ -1716,6 +1741,7 @@ mod tests {
         let mut net = net(&g);
         net.inject_faults(&FaultPlan {
             drop_prob: 0.5,
+            corrupt_prob: 0.0,
             crashes: vec![Crash { node: NodeId::new(3), at_round: 0 }],
             seed: 11,
         })
@@ -1768,6 +1794,73 @@ mod tests {
     }
 
     #[test]
+    fn reliable_exchange_detects_and_recovers_corrupted_payloads() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::corruption(0.3, 33)).unwrap();
+        net.set_reliable(true);
+        let outbox: Vec<_> = (0..64u32)
+            .map(|i| {
+                Envelope::new(NodeId::new((i % 4) as usize), NodeId::new(8 + (i % 8) as usize), i)
+            })
+            .collect();
+        let sent: Vec<u32> = outbox.iter().map(|e| e.msg).collect();
+        let inboxes = net.exchange("t", outbox).unwrap();
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        assert_eq!(delivered, 64, "every corrupted payload is retransmitted until it lands");
+        // Delivered payloads are exactly the sent ones: detection converts
+        // corruption to loss, it never leaks a flipped payload.
+        let mut got: Vec<u32> =
+            inboxes.iter().flat_map(|inbox| inbox.iter().map(|&(_, p)| p)).collect();
+        got.sort_unstable();
+        let mut want = sent;
+        want.sort_unstable();
+        assert_eq!(got, want);
+        let m = net.metrics();
+        assert!(m.corrupted_messages > 0, "p = 0.3 over 64 messages must bite");
+        assert_eq!(m.dropped_by_loss, 0, "a corruption-only plan never random-drops");
+        assert_eq!(m.dropped_messages, m.corrupted_messages + m.suppressed_by_crash);
+        assert!(m.retransmissions > 0 && m.recovered_messages > 0);
+    }
+
+    #[test]
+    fn fire_and_forget_discards_corrupted_payloads() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let mut net = net(&g);
+        net.inject_faults(&FaultPlan::corruption(0.4, 9)).unwrap();
+        let mut delivered = 0usize;
+        for r in 0..64u32 {
+            let inboxes =
+                net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(1), r)]).unwrap();
+            delivered += inboxes[1].len();
+        }
+        let m = net.metrics();
+        assert!(m.corrupted_messages > 0, "the corruption stream must bite");
+        assert_eq!(delivered as u64 + m.corrupted_messages, 64);
+        assert_eq!(m.dropped_messages, m.corrupted_messages);
+    }
+
+    #[test]
+    fn corruption_stream_does_not_perturb_drop_decisions() {
+        use crate::fault::FaultPlan;
+        let g = path(16, 1).unwrap();
+        let run = |corrupt_prob: f64| {
+            let mut net = net(&g);
+            net.inject_faults(&FaultPlan { corrupt_prob, ..FaultPlan::drops(0.3, 17) }).unwrap();
+            let mut lost_pattern = Vec::new();
+            for r in 0..128u32 {
+                let before = net.metrics().dropped_by_loss;
+                net.exchange("t", vec![Envelope::new(NodeId::new(0), NodeId::new(1), r)]).unwrap();
+                lost_pattern.push(net.metrics().dropped_by_loss - before);
+            }
+            lost_pattern
+        };
+        assert_eq!(run(0.0), run(0.3), "enabling corruption must not shift the drop stream");
+    }
+
+    #[test]
     fn reliable_exchange_declares_crashed_destinations_dead() {
         use crate::fault::{Crash, FaultPlan};
         let g = path(8, 1).unwrap();
@@ -1812,6 +1905,7 @@ mod tests {
             net.set_round_threads(threads);
             net.inject_faults(&FaultPlan {
                 drop_prob: 0.3,
+                corrupt_prob: 0.0,
                 crashes: vec![Crash { node: NodeId::new(7), at_round: 2 }],
                 seed: 5,
             })

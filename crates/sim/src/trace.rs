@@ -111,6 +111,9 @@ pub enum TraceEvent {
         lost: u64,
         /// Messages suppressed because an endpoint had crashed.
         suppressed: u64,
+        /// Messages whose payload the corruption stream flipped (discarded
+        /// before delivery — fire-and-forget has no retransmission).
+        corrupted: u64,
     },
     /// A reliable-layer exponential-backoff pause before a retry wave.
     Backoff {
@@ -140,6 +143,9 @@ pub enum TraceEvent {
         /// Messages suppressed this wave (crashed sender, destination
         /// already declared dead, or given up on at the attempt bound).
         suppressed: u64,
+        /// Attempted messages whose payload arrived bit-flipped this wave —
+        /// checksum-detected, discarded, and queued for retransmission.
+        corrupted: u64,
         /// Messages delivered this wave after at least one retransmission.
         recovered: u64,
         /// Largest per-node send load of the wave.
@@ -179,6 +185,8 @@ pub enum TraceEvent {
         lost: u64,
         /// Sub-run messages suppressed by crashes.
         suppressed: u64,
+        /// Sub-run corrupted payloads (checksum-detected, never delivered).
+        corrupted: u64,
         /// Sub-run retransmissions.
         retransmissions: u64,
         /// Sub-run recovered messages.
@@ -242,6 +250,8 @@ pub struct Totals {
     pub lost: u64,
     /// Messages suppressed by crashes.
     pub suppressed: u64,
+    /// Corrupted payloads (checksum-detected, never delivered).
+    pub corrupted: u64,
     /// Retransmitted messages.
     pub retransmissions: u64,
     /// Messages recovered after retransmission.
@@ -274,11 +284,14 @@ impl Totals {
                 self.rounds += rounds;
                 self.phase(phase).rounds += rounds;
             }
-            TraceEvent::Exchange { phase, rounds, messages, lost, suppressed, .. } => {
+            TraceEvent::Exchange {
+                phase, rounds, messages, lost, suppressed, corrupted, ..
+            } => {
                 self.rounds += rounds;
                 self.messages += messages;
                 self.lost += lost;
                 self.suppressed += suppressed;
+                self.corrupted += corrupted;
                 if *rounds > 1 {
                     self.stretched += 1;
                 }
@@ -294,6 +307,7 @@ impl Totals {
                 retransmissions,
                 lost,
                 suppressed,
+                corrupted,
                 recovered,
                 ..
             } => {
@@ -302,6 +316,7 @@ impl Totals {
                 self.retransmissions += retransmissions;
                 self.lost += lost;
                 self.suppressed += suppressed;
+                self.corrupted += corrupted;
                 self.recovered += recovered;
                 if *rounds > 1 {
                     self.stretched += 1;
@@ -317,6 +332,7 @@ impl Totals {
                 messages,
                 lost,
                 suppressed,
+                corrupted,
                 retransmissions,
                 recovered,
                 declared_dead,
@@ -328,6 +344,7 @@ impl Totals {
                 self.messages += messages;
                 self.lost += lost;
                 self.suppressed += suppressed;
+                self.corrupted += corrupted;
                 self.retransmissions += retransmissions;
                 self.recovered += recovered;
                 self.declared_dead += declared_dead;
@@ -440,7 +457,7 @@ impl Recorder {
 
     /// Proves the trace is complete: the event-derived totals must equal
     /// the [`Metrics`] counters of the traced run *exactly* — rounds (total
-    /// and local), global messages, loss/suppression splits,
+    /// and local), global messages, loss/suppression/corruption splits,
     /// retransmissions, recoveries, declared-dead count, stretched
     /// exchanges, and the full per-phase rounds/messages breakdown.
     ///
@@ -461,7 +478,8 @@ impl Recorder {
         check("global messages", t.messages, metrics.global_messages);
         check("dropped by loss", t.lost, metrics.dropped_by_loss);
         check("suppressed by crash", t.suppressed, metrics.suppressed_by_crash);
-        check("dropped messages", t.lost + t.suppressed, metrics.dropped_messages);
+        check("corrupted payloads", t.corrupted, metrics.corrupted_messages);
+        check("dropped messages", t.lost + t.suppressed + t.corrupted, metrics.dropped_messages);
         check("retransmissions", t.retransmissions, metrics.retransmissions);
         check("recovered messages", t.recovered, metrics.recovered_messages);
         check("declared dead", t.declared_dead, metrics.declared_dead);
@@ -534,11 +552,13 @@ impl Recorder {
                     max_recv_load,
                     lost,
                     suppressed,
+                    corrupted,
                 } => Some(format!(
                     "{{\"name\": \"exchange:{}\", \"ph\": \"X\", \"ts\": {clock}, \
                      \"dur\": {rounds}, \"pid\": 0, \"tid\": 0, \"args\": {{\"messages\": \
                      {messages}, \"max_send_load\": {max_send_load}, \"max_recv_load\": \
-                     {max_recv_load}, \"lost\": {lost}, \"suppressed\": {suppressed}}}}}",
+                     {max_recv_load}, \"lost\": {lost}, \"suppressed\": {suppressed}, \
+                     \"corrupted\": {corrupted}}}}}",
                     escape(phase)
                 )),
                 TraceEvent::Backoff { phase, wave, rounds } => Some(format!(
@@ -555,14 +575,15 @@ impl Recorder {
                     retransmissions,
                     lost,
                     suppressed,
+                    corrupted,
                     recovered,
                     max_send_load,
                 } => Some(format!(
                     "{{\"name\": \"wave:{}\", \"ph\": \"X\", \"ts\": {clock}, \"dur\": {}, \
                      \"pid\": 0, \"tid\": 0, \"args\": {{\"wave\": {wave}, \"messages\": \
                      {messages}, \"retransmissions\": {retransmissions}, \"lost\": {lost}, \
-                     \"suppressed\": {suppressed}, \"recovered\": {recovered}, \
-                     \"max_send_load\": {max_send_load}}}}}",
+                     \"suppressed\": {suppressed}, \"corrupted\": {corrupted}, \
+                     \"recovered\": {recovered}, \"max_send_load\": {max_send_load}}}}}",
                     escape(phase),
                     rounds + ack_rounds
                 )),
@@ -794,6 +815,7 @@ mod tests {
             max_recv_load: 1,
             lost: 0,
             suppressed: 0,
+            corrupted: 0,
         }
     }
 
@@ -842,8 +864,9 @@ mod tests {
             ack_rounds: 1,
             messages: 4,
             retransmissions: 0,
-            lost: 2,
+            lost: 1,
             suppressed: 0,
+            corrupted: 1,
             recovered: 0,
             max_send_load: 2,
         });
@@ -857,6 +880,7 @@ mod tests {
             retransmissions: 2,
             lost: 0,
             suppressed: 0,
+            corrupted: 0,
             recovered: 2,
             max_send_load: 1,
         });
@@ -865,7 +889,8 @@ mod tests {
         assert_eq!(t.rounds, 5);
         assert_eq!(t.messages, 6);
         assert_eq!(t.retransmissions, 2);
-        assert_eq!(t.lost, 2);
+        assert_eq!(t.lost, 1);
+        assert_eq!(t.corrupted, 1);
         assert_eq!(t.recovered, 2);
         assert_eq!(t.declared_dead, 1);
     }
@@ -882,6 +907,7 @@ mod tests {
             messages: sub.global_messages,
             lost: 0,
             suppressed: 0,
+            corrupted: 0,
             retransmissions: 0,
             recovered: 0,
             declared_dead: 0,

@@ -121,6 +121,7 @@ fn concurrent_clients_get_cold_solve_answers_bit_identically() {
                         graph: graph.into(),
                         seed: None,
                         query,
+                        deadline_ms: None,
                     };
                     let resp = broker
                         .serve(&req)
@@ -165,7 +166,7 @@ fn eviction_and_readmission_preserve_bit_identity() {
     // evicts the other session; then swing back to re-admit what was evicted.
     for (r, q) in queries.iter().chain(queries.iter()).enumerate() {
         let graph = if r % 2 == 0 { "er" } else { "mesh" };
-        let req = Request { tenant: "t".into(), graph: graph.into(), seed: None, query: q.clone() };
+        let req = Request::new("t", graph, q.clone());
         let resp = broker.serve(&req).expect("broker serve");
         let spec = query_spec(q);
         let cold = &refs[&(graph, spec.clone())];
@@ -189,13 +190,12 @@ fn overload_always_surfaces_as_structured_shed() {
     broker.register_tenant("full", TenantConfig::new(0)).unwrap();
     broker.register_tenant("fine", TenantConfig::new(2)).unwrap();
     let q = Query::apsp().xi(1.5).build().unwrap();
-    let overloaded =
-        Request { tenant: "full".into(), graph: "g".into(), seed: None, query: q.clone() };
+    let overloaded = Request::new("full", "g", q.clone());
     for _ in 0..3 {
         let err = broker.serve(&overloaded).unwrap_err();
         assert_eq!(err, ServeError::Overloaded { tenant: "full".into(), depth: 0 });
     }
-    let ok = Request { tenant: "fine".into(), graph: "g".into(), seed: None, query: q };
+    let ok = Request::new("fine", "g", q);
     assert!(broker.serve(&ok).unwrap().verified);
     let stats = broker.stats();
     assert_eq!((stats.served, stats.shed), (1, 3), "all overflow accounted as shed");
