@@ -20,9 +20,12 @@
 //! * `--list` prints the scenario registry (names, tags, families, faults).
 //! * `--smoke` runs the full registry (or the `--filter <tag>` subset) at
 //!   tiny `n` with golden verification, then the chaos recovery sweep
-//!   (every `chaos-*` scenario next to its fault-free twin), and exits
-//!   non-zero on any `fail` — the CI gate. With `--json` it also writes
-//!   `BENCH_scenarios.json` and `BENCH_chaos.json`.
+//!   (every `chaos-*` scenario next to its fault-free twin), then the churn
+//!   repair sweep (patch-vs-full speedup, damage-threshold sweep, and the
+//!   churn+chaos serving loop, gated on ≥ 2× incremental speedup and zero
+//!   bit-identity mismatches), and exits non-zero on any `fail` — the CI
+//!   gate. With `--json` it also writes `BENCH_scenarios.json`,
+//!   `BENCH_chaos.json`, and `BENCH_churn.json`.
 //! * `--via-session` makes `--smoke` execute every suite through a serving
 //!   `Session` instead of a cold `solve` — the CI guard that the session
 //!   path answers bit-identically under golden verification.
@@ -37,8 +40,9 @@
 //!   n = 3200 with sampled verification.
 //! * `--json` times the E2 APSP workload (Theorem 1.1, the SODA'20 baseline,
 //!   and the sequential reference) and writes `BENCH_apsp.json`, plus the
-//!   mixed-batch serving sweep into `BENCH_throughput.json` and the chaos
-//!   recovery sweep into `BENCH_chaos.json`.
+//!   mixed-batch serving sweep into `BENCH_throughput.json`, the chaos
+//!   recovery sweep into `BENCH_chaos.json`, and the churn repair sweep
+//!   into `BENCH_churn.json`.
 //! * `--serve` drives the multi-tenant broker with the closed-loop load
 //!   generator over registry workloads — including the `serve-chaos`
 //!   workload with faulty, crashing, and panicking tenants — and writes
@@ -309,6 +313,20 @@ fn main() {
             std::fs::write("BENCH_chaos.json", &doc).expect("write BENCH_chaos.json");
             eprintln!("wrote BENCH_chaos.json");
         }
+        // The churn repair sweep rides every smoke run too: patch-vs-full
+        // wall clock, the damage-threshold sweep, and the churn+chaos
+        // serving loop, gated by `churn_gate_violations`.
+        eprintln!("running churn repair sweep...");
+        let churn = ex::bench_churn_records(Scale::Small);
+        let churn_violations = ex::churn_gate_violations(&churn);
+        for v in &churn_violations {
+            eprintln!("churn gate FAILED: {v}");
+        }
+        if emit_json {
+            let doc = json::render_with_schema(json::SCHEMA_CHURN, "small", &churn);
+            std::fs::write("BENCH_churn.json", &doc).expect("write BENCH_churn.json");
+            eprintln!("wrote BENCH_churn.json");
+        }
         // `--smoke --trace <dir>`: one traced run per scenario in the matrix,
         // exporting the Chrome trace + rollup; a reconciliation mismatch
         // fails the verdict and therefore the gate below.
@@ -322,14 +340,17 @@ fn main() {
         } else {
             0
         };
-        if failures + chaos_failures + trace_failures > 0 {
+        if failures + chaos_failures + churn_violations.len() + trace_failures > 0 {
             eprintln!(
-                "{failures} scenario(s), {chaos_failures} chaos sweep run(s), and \
-                 {trace_failures} traced run(s) FAILED verification"
+                "{failures} scenario(s), {chaos_failures} chaos sweep run(s), {} churn gate \
+                 violation(s), and {trace_failures} traced run(s) FAILED verification",
+                churn_violations.len()
             );
             std::process::exit(1);
         }
-        eprintln!("all scenarios passed golden verification (chaos recovery included)");
+        eprintln!(
+            "all scenarios passed golden verification (chaos recovery and churn repair included)"
+        );
         return;
     }
 
@@ -406,6 +427,13 @@ fn main() {
         let doc = json::render_with_schema(json::SCHEMA_CHAOS, scale_name, &records);
         let path = "BENCH_chaos.json";
         std::fs::write(path, &doc).expect("write BENCH_chaos.json");
+        eprintln!("wrote {path}:");
+        print!("{doc}");
+        eprintln!("running churn repair sweep for BENCH_churn.json...");
+        let records = ex::bench_churn_records(scale);
+        let doc = json::render_with_schema(json::SCHEMA_CHURN, scale_name, &records);
+        let path = "BENCH_churn.json";
+        std::fs::write(path, &doc).expect("write BENCH_churn.json");
         eprintln!("wrote {path}:");
         print!("{doc}");
     }

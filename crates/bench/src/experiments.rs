@@ -904,6 +904,8 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             retries: 0,
             retry_backoff_ms: 0,
             deadline_ms: None,
+            updates: Vec::new(),
+            update_every: 0,
         },
     );
     records.push(serving_record(n, &mixed));
@@ -912,7 +914,7 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
     // working set (2 graphs × 3 tenants), forcing byte-driven evictions.
     let probe = {
         let (g, _) = catalog.get("e2-er").expect("registered");
-        let session = Session::new(g, SessionConfig::new(7)).expect("session");
+        let session = Session::new(&g, SessionConfig::new(7)).expect("session");
         for q in &queries {
             session.solve(q).expect("probe solve");
         }
@@ -937,6 +939,8 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             retries: 2,
             retry_backoff_ms: 1,
             deadline_ms: None,
+            updates: Vec::new(),
+            update_every: 0,
         },
     );
     records.push(serving_record(n, &tight));
@@ -977,6 +981,8 @@ pub fn bench_serving_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             retries: 2,
             retry_backoff_ms: 1,
             deadline_ms: Some(2_000),
+            updates: Vec::new(),
+            update_every: 0,
         },
     );
     records.push(serving_record(n, &chaos));
@@ -1041,6 +1047,223 @@ pub fn bench_chaos_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
             .push(BenchRecord::from_scenario(&chaos).with_healthy(healthy.rounds, healthy.wall_ns));
     }
     records
+}
+
+/// Churn repair sweep for `BENCH_churn.json` (schema
+/// [`crate::json::SCHEMA_CHURN`]), in three parts:
+///
+/// * `churn-repair-patch` / `churn-repair-full` — the same single-edge
+///   reweight (the canonical localized delta) migrated through
+///   [`Session::apply_delta`] under a permissive damage threshold
+///   (incremental patch) and under threshold 0 (forced full re-prepare), on
+///   a weighted cycle at `n ≥ 400`. Cycles are the bounded-growth family
+///   this comparison needs: h-hop balls grow linearly, so the delta dirties
+///   a bounded skeleton fraction (`≈ 2h/n`) and the patch path has real work
+///   to skip — on an ER graph the ball covers most of the graph and the
+///   comparison degenerates. The patch record carries
+///   `full_wall / patch_wall` in `amortized_vs_cold`; the smoke gate
+///   ([`churn_gate_violations`]) requires ≥ 2×.
+/// * `churn-threshold-<t>` — the same migration across a damage-threshold
+///   sweep; each record carries its threshold, the delta's dirtied-node
+///   fraction, and which path repair took as the verdict. The gate requires
+///   the full fallback exactly when the dirty fraction exceeds the
+///   threshold.
+/// * `churn-serve` — the churn+chaos serving loop: a healthy and a lossy
+///   tenant racing reweight updates against queries through the broker,
+///   every answer verified bit-identical online against the graph epoch the
+///   request landed on. The gate requires zero mismatches and zero failures.
+pub fn bench_churn_records(scale: Scale) -> Vec<crate::json::BenchRecord> {
+    use crate::json::BenchRecord;
+    use hybrid_core::RepairPath;
+    use hybrid_graph::{DeltaBatch, GraphDelta};
+    use hybrid_serve::{
+        run_load, Broker, BrokerConfig, GraphCatalog, LoadSpec, LoadUpdate, TenantConfig,
+    };
+
+    // The SSSP preamble's hop budget is h = ξ·n^{2/5}·ln n, so the reweight
+    // below dirties ≈ 2h/n of the cycle — about a fifth at n = 2400. Much
+    // smaller n and the ball swallows the cycle (no locality left to
+    // exploit); this size keeps both repair paths honest at every scale.
+    let n = 2400;
+    let g = cycle(n, 3).expect("cycle builds");
+    let e0 = g.edges()[0];
+    let mut batch = DeltaBatch::new();
+    batch.push(GraphDelta::Reweight { u: e0.u, v: e0.v, w: 2 });
+    let query = Query::sssp(NodeId::new(0)).build().expect("default SSSP query is valid");
+    // One prepared session per threshold: `apply_delta` consults the
+    // session's own damage threshold, and repair only migrates prepared
+    // preambles, so each session solves once before the timed migration.
+    let prepared = |threshold: f64| {
+        let cfg = SessionConfig { damage_threshold: threshold, ..SessionConfig::new(41) };
+        let session = Session::new(&g, cfg).expect("cycle session");
+        session.solve(&query).expect("prepare the SSSP preamble");
+        session
+    };
+    let path_label = |p: RepairPath| match p {
+        RepairPath::Patched => "patched",
+        RepairPath::Full => "full",
+    };
+    let timed = |bench: &str, threshold: f64| {
+        let session = prepared(threshold);
+        let mut path = RepairPath::Patched;
+        let mut dirty = 0.0;
+        let mut rec = BenchRecord::measure_min_of(bench, n, 5, || {
+            let (_, rep) = session.apply_delta(&batch).expect("churn batch validates");
+            path = rep.path();
+            dirty = rep.dirty_fraction;
+            rep.rounds
+        });
+        rec.family = Some("cycle".into());
+        rec.query = Some(query.label().into());
+        rec.verdict = Some(path_label(path).into());
+        rec.damage_threshold = Some(threshold);
+        rec.dirty_fraction = Some(dirty);
+        rec
+    };
+
+    let mut records = Vec::new();
+    let patch = timed("churn-repair-patch", 0.75);
+    let full = timed("churn-repair-full", 0.0);
+    let speedup = full.wall_ns as f64 / patch.wall_ns.max(1) as f64;
+    records.push(patch.with_ratio(speedup));
+    records.push(full);
+    for &t in &[0.0, 0.1, 0.25, 0.5, 1.0] {
+        records.push(timed(&format!("churn-threshold-{t:.2}"), t));
+    }
+
+    // The serving loop runs at smoke size — the lossy tenant solves every
+    // query cold through the reliable layer, so this part is priced like the
+    // serving smoke sweep, not like the n ≥ 400 repair measurement above.
+    let serve_n = scale.pick(SMOKE_N, 200);
+    let gs = cycle(serve_n, 3).expect("cycle builds");
+    let mut catalog = GraphCatalog::new();
+    catalog.insert("churn-cycle", gs.clone());
+    let broker = Broker::new(&catalog, BrokerConfig::new(17));
+    broker.register_tenant("steady", TenantConfig::new(4)).expect("trivial tenant");
+    let mut lossy = TenantConfig::new(4);
+    lossy.faults = Some(hybrid_sim::FaultPlan::drops(0.15, 23));
+    broker.register_tenant("lossy", lossy).expect("valid lossy plan");
+    // Reweight-only updates stay valid no matter how often or in what order
+    // clients land them, so every injection must succeed.
+    let updates: Vec<LoadUpdate> = gs
+        .edges()
+        .iter()
+        .step_by(7)
+        .take(2)
+        .enumerate()
+        .map(|(i, e)| {
+            let mut b = DeltaBatch::new();
+            b.push(GraphDelta::Reweight { u: e.u, v: e.v, w: 2 + i as Distance });
+            LoadUpdate { tenant: "steady".into(), graph: "churn-cycle".into(), batch: b }
+        })
+        .collect();
+    let report = run_load(
+        &broker,
+        &LoadSpec {
+            name: "churn-serve".into(),
+            clients: scale.pick(3, 4),
+            requests_per_client: scale.pick(6, 10),
+            tenants: vec!["steady".into(), "lossy".into()],
+            graphs: vec!["churn-cycle".into()],
+            queries: mixed_query_batch(4),
+            seed: 17,
+            retries: 2,
+            retry_backoff_ms: 1,
+            deadline_ms: None,
+            updates,
+            update_every: 3,
+        },
+    );
+    let mut rec = serving_record(serve_n, &report);
+    rec.family = Some("cycle".into());
+    rec.updates_applied = Some(report.updates_applied);
+    records.push(rec);
+    records
+}
+
+/// The churn smoke gate over [`bench_churn_records`] output: incremental
+/// repair must beat the full re-prepare ≥ 2× at `n ≥ 400`, the full fallback
+/// must fire exactly when the dirty fraction exceeds the damage threshold
+/// (and the sweep must exercise both paths), and the churn+chaos serving
+/// loop must apply updates with zero bit-identity mismatches and zero
+/// failures. Returns the violations; empty means the gate holds.
+pub fn churn_gate_violations(records: &[crate::json::BenchRecord]) -> Vec<String> {
+    let mut v = Vec::new();
+    match (
+        records.iter().find(|r| r.bench == "churn-repair-patch"),
+        records.iter().find(|r| r.bench == "churn-repair-full"),
+    ) {
+        (Some(p), Some(f)) => {
+            if p.n < 400 {
+                v.push(format!("patch-vs-full must be measured at n ≥ 400, got n = {}", p.n));
+            }
+            if p.verdict.as_deref() != Some("patched") {
+                v.push(format!("churn-repair-patch took the {:?} path", p.verdict));
+            }
+            if f.verdict.as_deref() != Some("full") {
+                v.push(format!("churn-repair-full took the {:?} path", f.verdict));
+            }
+            match p.amortized_ratio {
+                Some(r) if r >= 2.0 => {}
+                r => v.push(format!(
+                    "incremental repair must be ≥ 2× faster than the full re-prepare at \
+                     n = {}, got {r:?}",
+                    p.n
+                )),
+            }
+        }
+        _ => v.push("churn sweep is missing the patch/full repair records".into()),
+    }
+    let sweep: Vec<_> =
+        records.iter().filter(|r| r.bench.starts_with("churn-threshold-")).collect();
+    let (mut fulls, mut patches) = (0, 0);
+    for r in &sweep {
+        let (Some(t), Some(d)) = (r.damage_threshold, r.dirty_fraction) else {
+            v.push(format!("{}: missing damage_threshold/dirty_fraction", r.bench));
+            continue;
+        };
+        let want = if d > t { "full" } else { "patched" };
+        if r.verdict.as_deref() != Some(want) {
+            v.push(format!(
+                "{}: dirty fraction {d:.4} vs threshold {t:.2} must take the {want} path, \
+                 took {:?}",
+                r.bench, r.verdict
+            ));
+        }
+        match r.verdict.as_deref() {
+            Some("full") => fulls += 1,
+            _ => patches += 1,
+        }
+    }
+    if sweep.is_empty() || fulls == 0 || patches == 0 {
+        v.push(format!(
+            "threshold sweep must exercise both repair paths (full: {fulls}, patched: {patches})"
+        ));
+    }
+    match records.iter().find(|r| r.bench == "churn-serve") {
+        Some(s) => match (&s.serving, s.updates_applied) {
+            (Some(f), Some(u)) => {
+                if f.mismatches > 0 {
+                    v.push(format!(
+                        "churn-serve: {} bit-identity mismatch(es) under churn+chaos",
+                        f.mismatches
+                    ));
+                }
+                if f.failed > 0 {
+                    v.push(format!("churn-serve: {} request(s)/update(s) failed", f.failed));
+                }
+                if f.served == 0 {
+                    v.push("churn-serve: no request was served".into());
+                }
+                if u == 0 {
+                    v.push("churn-serve: no update was applied".into());
+                }
+            }
+            _ => v.push("churn-serve record is missing its serving/update fields".into()),
+        },
+        None => v.push("churn sweep is missing the churn-serve record".into()),
+    }
+    v
 }
 
 /// Node count for smoke-scale scenario runs (tiny-n full-matrix).
@@ -1311,7 +1534,7 @@ mod tests {
         assert_eq!(records.len(), hybrid_scenarios::by_tag("chaos").len());
         for r in &records {
             let name = r.scenario.as_deref().expect("scenario name");
-            assert!(name.starts_with("chaos-"), "{name}");
+            assert!(name.starts_with("chaos-") || name.starts_with("churn-chaos-"), "{name}");
             assert_eq!(r.verdict.as_deref(), Some("pass"), "{name} regressed recovery");
             let healthy = r.healthy_rounds.expect("healthy twin rounds");
             assert!(healthy > 0, "{name}: twin must do work");
@@ -1324,6 +1547,30 @@ mod tests {
         }
         // At least one chaos scenario must actually pay a recovery premium.
         assert!(records.iter().any(|r| r.rounds > r.healthy_rounds.unwrap()));
+    }
+
+    #[test]
+    fn churn_records_pass_the_gate_and_the_gate_bites() {
+        let records = bench_churn_records(Scale::Small);
+        let violations = churn_gate_violations(&records);
+        assert!(violations.is_empty(), "{violations:#?}");
+        // The repair measurement must sit at the gated size even at smoke
+        // scale — the ≥ 2× bound is defined at n ≥ 400.
+        let patch = records.iter().find(|r| r.bench == "churn-repair-patch").unwrap();
+        assert!(patch.n >= 400);
+        assert!(patch.amortized_ratio.unwrap() >= 2.0);
+        // A doctored record set must trip the gate: a slow patch path …
+        let mut doctored = records.clone();
+        doctored.iter_mut().filter(|r| r.bench == "churn-repair-patch").for_each(|r| {
+            r.amortized_ratio = Some(1.5);
+        });
+        assert!(!churn_gate_violations(&doctored).is_empty(), "speedup gate must bite");
+        // … and a full fallback below the damage threshold.
+        let mut doctored = records.clone();
+        doctored.iter_mut().filter(|r| r.bench.starts_with("churn-threshold-")).for_each(|r| {
+            r.verdict = Some("full".into());
+        });
+        assert!(!churn_gate_violations(&doctored).is_empty(), "threshold gate must bite");
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct BenchRecord {
     /// Closed-loop serving-load fields, for broker records (schema
     /// [`SCHEMA_SERVING`]).
     pub serving: Option<ServingFields>,
+    /// Damage threshold the repair ran under, for churn records (schema
+    /// [`SCHEMA_CHURN`]).
+    pub damage_threshold: Option<f64>,
+    /// Largest dirtied-node fraction the delta batch produced, for churn
+    /// records.
+    pub dirty_fraction: Option<f64>,
+    /// Graph updates the load generator injected successfully, for churn
+    /// serving records.
+    pub updates_applied: Option<u64>,
 }
 
 /// The serving-load measurement block of one broker workload record
@@ -256,6 +265,15 @@ pub const SCHEMA_THROUGHPUT: &str = "hybrid-bench/throughput-v1";
 /// rounds and wall-clock time.
 pub const SCHEMA_CHAOS: &str = "hybrid-bench/chaos-v1";
 
+/// Schema tag of the churn repair sweep: patch-vs-full
+/// `Session::apply_delta` wall clocks on a bounded-growth graph at
+/// `n ≥ 400` (the patch record's `amortized_vs_cold` is the full/patch
+/// speedup), the damage-threshold sweep (each record carries its
+/// `damage_threshold`, the delta's `dirty_fraction`, and the repair path as
+/// the verdict), and the churn+chaos serving loop (`updates_applied` next to
+/// the serving counters; `mismatches` must be 0).
+pub const SCHEMA_CHURN: &str = "hybrid-bench/churn-v1";
+
 /// Schema tag of the closed-loop serving sweep (`experiments --serve`): one
 /// record per broker workload with latency percentiles, saturation qps, shed
 /// rate, and cache hit/eviction counters (see [`ServingFields`]). v2: every
@@ -381,6 +399,15 @@ pub fn render_with_schema(schema: &str, scale: &str, records: &[BenchRecord]) ->
                 s.degraded_served
             );
         }
+        if let Some(t) = r.damage_threshold {
+            let _ = write!(line, ", \"damage_threshold\": {t:.2}");
+        }
+        if let Some(d) = r.dirty_fraction {
+            let _ = write!(line, ", \"dirty_fraction\": {d:.4}");
+        }
+        if let Some(u) = r.updates_applied {
+            let _ = write!(line, ", \"updates_applied\": {u}");
+        }
         let _ = writeln!(out, "{line}}}{comma}");
     }
     out.push_str("  ]\n}\n");
@@ -481,6 +508,61 @@ mod tests {
         assert!(s.contains("\"healthy_wall_ns\": 1000"));
         assert!(s.contains("\"rounds_overhead\": 1.500"));
         assert!(s.contains("\"wall_overhead\": 3.000"));
+    }
+
+    #[test]
+    fn churn_records_pin_their_schema_and_fields() {
+        // The repair records: path as verdict, full/patch speedup as the
+        // ratio, threshold and dirty fraction as churn-v1 fields.
+        let patch = BenchRecord {
+            bench: "churn-repair-patch".into(),
+            n: 441,
+            wall_ns: 1_000,
+            rounds: 12,
+            verdict: Some("patched".into()),
+            family: Some("cycle".into()),
+            damage_threshold: Some(0.75),
+            dirty_fraction: Some(0.1034),
+            ..BenchRecord::default()
+        }
+        .with_ratio(8.0);
+        let mut serve = BenchRecord {
+            bench: "churn-serve".into(),
+            n: 48,
+            wall_ns: 2_000,
+            rounds: 99,
+            ..BenchRecord::default()
+        };
+        serve.updates_applied = Some(7);
+        let doc = render_with_schema(SCHEMA_CHURN, "small", &[patch, serve]);
+        assert!(doc.contains("\"schema\": \"hybrid-bench/churn-v1\""));
+        for field in [
+            "\"bench\": \"churn-repair-patch\"",
+            "\"n\": 441",
+            "\"verdict\": \"patched\"",
+            "\"family\": \"cycle\"",
+            "\"amortized_vs_cold\": 8.000",
+            "\"damage_threshold\": 0.75",
+            "\"dirty_fraction\": 0.1034",
+            "\"updates_applied\": 7",
+        ] {
+            assert!(doc.contains(field), "churn field {field} missing:\n{doc}");
+        }
+        // Records without the churn fields omit them entirely.
+        let plain = BenchRecord {
+            bench: "a".into(),
+            n: 1,
+            wall_ns: 1,
+            rounds: 1,
+            ..BenchRecord::default()
+        };
+        let doc = render_with_schema(SCHEMA_CHURN, "small", &[plain]);
+        assert!(
+            !doc.contains("damage_threshold")
+                && !doc.contains("dirty_fraction")
+                && !doc.contains("updates_applied"),
+            "{doc}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use clique_sim::CliqueError;
-use hybrid_graph::{GraphError, NodeId};
+use hybrid_graph::{DeltaError, GraphError, NodeId};
 use hybrid_sim::SimError;
 
 use crate::solver::QueryError;
@@ -21,6 +21,10 @@ pub enum HybridError {
     Clique(CliqueError),
     /// Propagated graph-construction error.
     Graph(GraphError),
+    /// A topology delta batch failed validation (dangling endpoint, duplicate
+    /// insert, zero/overflow weight, missing edge) — surfaced structurally by
+    /// [`crate::session::Session::apply_delta`], never as a panic.
+    Delta(DeltaError),
     /// A node found no skeleton node within the exploration radius — the low
     /// probability failure event of Lemma C.1 (can occur at small `n` or with
     /// aggressive scaling constants).
@@ -61,6 +65,7 @@ impl fmt::Display for HybridError {
             HybridError::Sim(e) => write!(f, "simulator: {e}"),
             HybridError::Clique(e) => write!(f, "clique substrate: {e}"),
             HybridError::Graph(e) => write!(f, "graph: {e}"),
+            HybridError::Delta(e) => write!(f, "delta: {e}"),
             HybridError::NoSkeletonInReach { node, h } => {
                 write!(f, "node {node} has no skeleton node within {h} hops")
             }
@@ -82,6 +87,7 @@ impl std::error::Error for HybridError {
             HybridError::Sim(e) => Some(e),
             HybridError::Clique(e) => Some(e),
             HybridError::Graph(e) => Some(e),
+            HybridError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -102,6 +108,12 @@ impl From<CliqueError> for HybridError {
 impl From<GraphError> for HybridError {
     fn from(e: GraphError) -> Self {
         HybridError::Graph(e)
+    }
+}
+
+impl From<DeltaError> for HybridError {
+    fn from(e: DeltaError) -> Self {
+        HybridError::Delta(e)
     }
 }
 
@@ -131,5 +143,9 @@ mod tests {
         assert!(matches!(g, HybridError::Graph(_)));
         let c: HybridError = CliqueError::NoSources.into();
         assert!(matches!(c, HybridError::Clique(_)));
+        let d: HybridError = DeltaError::MissingEdge { op: 0, u: 1, v: 2 }.into();
+        assert!(d.to_string().contains("delta"));
+        assert!(std::error::Error::source(&d).is_some());
+        assert!(matches!(d, HybridError::Delta(_)));
     }
 }

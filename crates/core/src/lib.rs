@@ -41,6 +41,7 @@ pub mod helpers;
 pub mod ksssp;
 pub mod lower_bound_experiments;
 pub(crate) mod prepare;
+pub mod repair;
 pub mod ruling_set;
 pub mod session;
 pub mod skeleton_ops;
@@ -49,6 +50,7 @@ pub mod sssp;
 pub mod token_routing;
 
 pub use error::HybridError;
+pub use repair::{RepairPath, RepairReport};
 pub use session::{Session, SessionConfig, SessionStats};
 pub use solver::{
     solve, Answer, ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, QueryError,

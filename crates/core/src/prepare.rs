@@ -40,7 +40,7 @@ pub(crate) enum Prep<'a> {
 /// constant ξ, the forced members (the single source of Lemma 4.5), and the
 /// root seed — everything `compute_skeleton` draws on besides the graph.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SkeletonKey {
+pub(crate) struct SkeletonKey {
     x_exp_bits: u64,
     xi_bits: u64,
     forced: Vec<NodeId>,
@@ -55,6 +55,26 @@ impl SkeletonKey {
             forced: forced.to_vec(),
             seed,
         }
+    }
+
+    /// The sampling exponent the key was built from.
+    pub(crate) fn x_exp(&self) -> f64 {
+        f64::from_bits(self.x_exp_bits)
+    }
+
+    /// The radius constant ξ the key was built from.
+    pub(crate) fn xi(&self) -> f64 {
+        f64::from_bits(self.xi_bits)
+    }
+
+    /// The forced member set.
+    pub(crate) fn forced(&self) -> &[NodeId] {
+        &self.forced
+    }
+
+    /// The root seed.
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -97,6 +117,63 @@ impl NearData {
         self.idx[lo..hi].iter().zip(&self.dist[lo..hi]).map(|(&i, &d)| (i as usize, d))
     }
 
+    /// Number of per-node entry runs (= `n`).
+    pub(crate) fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Rebuilds the arena with the runs of `dirty` nodes replaced by their
+    /// `fresh` lists and every clean run copied verbatim — the repair path's
+    /// single-pass equivalent of expanding to per-node lists, editing the
+    /// dirty ones, and re-flattening through [`NearData::from_lists`]
+    /// (bit-identical to that construction, without `n` intermediate
+    /// allocations). The caller guarantees `self.fallbacks == 0` and a
+    /// non-empty fresh list for every dirty node, so the spliced arena is a
+    /// fallback-free cold value.
+    pub(crate) fn splice_rows(&self, dirty: &[bool], fresh: &[Vec<(usize, Distance)>]) -> NearData {
+        let n = self.len();
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut idx = Vec::with_capacity(self.idx.len());
+        let mut dist = Vec::with_capacity(self.dist.len());
+        starts.push(0u32);
+        for v in 0..n {
+            if dirty[v] {
+                for &(i, d) in &fresh[v] {
+                    idx.push(i as u32);
+                    dist.push(d);
+                }
+            } else {
+                let (lo, hi) = (self.starts[v] as usize, self.starts[v + 1] as usize);
+                idx.extend_from_slice(&self.idx[lo..hi]);
+                dist.extend_from_slice(&self.dist[lo..hi]);
+            }
+            starts.push(idx.len() as u32);
+        }
+        NearData { starts, idx, dist, fallbacks: 0, extra_rounds: 0 }
+    }
+
+    /// Flattens per-node lists into the compact arena — the single
+    /// construction path, so equal lists yield a bit-identical arena.
+    pub(crate) fn from_lists(
+        lists: &[Vec<(usize, Distance)>],
+        fallbacks: usize,
+        extra_rounds: u64,
+    ) -> NearData {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut starts = Vec::with_capacity(lists.len() + 1);
+        let mut idx = Vec::with_capacity(total);
+        let mut dist = Vec::with_capacity(total);
+        starts.push(0u32);
+        for list in lists {
+            for &(i, d) in list {
+                idx.push(i as u32);
+                dist.push(d);
+            }
+            starts.push(idx.len() as u32);
+        }
+        NearData { starts, idx, dist, fallbacks, extra_rounds }
+    }
+
     /// `d_h(v, s)` if skeleton node `s` is near `v` (binary search over the
     /// node's sorted index run).
     pub fn dist_to(&self, v: usize, s: usize) -> Option<Distance> {
@@ -132,6 +209,41 @@ impl SkeletonArtifacts {
             d_s: OnceLock::new(),
             near_hop: OnceLock::new(),
             near_plain: OnceLock::new(),
+        }
+    }
+
+    /// Artifacts with some derived tables pre-seeded — the repair path's
+    /// constructor, carrying over tables proven unchanged by damage analysis
+    /// (a `None` slot refills lazily, recomputing the bit-identical value).
+    pub(crate) fn with_tables(
+        skeleton: Skeleton,
+        d_s: Option<Arc<DistanceMatrix>>,
+        near_hop: Option<Arc<NearData>>,
+        near_plain: Option<Arc<NearData>>,
+    ) -> Self {
+        let art = SkeletonArtifacts::new(skeleton);
+        if let Some(m) = d_s {
+            let _ = art.d_s.set(m);
+        }
+        if let Some(nd) = near_hop {
+            let _ = art.near_hop.set(nd);
+        }
+        if let Some(nd) = near_plain {
+            let _ = art.near_plain.set(nd);
+        }
+        art
+    }
+
+    /// The memoized skeleton APSP, if an algorithm has derived it already.
+    pub(crate) fn d_s_built(&self) -> Option<Arc<DistanceMatrix>> {
+        self.d_s.get().cloned()
+    }
+
+    /// The memoized near-list flavor, if built.
+    pub(crate) fn near_built(&self, tie: NearTie) -> Option<Arc<NearData>> {
+        match tie {
+            NearTie::HopThenIndex => self.near_hop.get().cloned(),
+            NearTie::IndexOnly => self.near_plain.get().cloned(),
         }
     }
 
@@ -197,6 +309,39 @@ impl Prepared {
     /// The per-key cell, created empty on first access.
     fn cell(&self, key: SkeletonKey) -> PreambleCell {
         self.skeletons.lock().expect("prepared cache lock").entry(key).or_default().clone()
+    }
+
+    /// Snapshot of every *built* preamble — the migration set of incremental
+    /// re-preparation after a topology delta.
+    pub(crate) fn built_entries(&self) -> Vec<(SkeletonKey, Arc<SkeletonArtifacts>)> {
+        let cells: Vec<(SkeletonKey, PreambleCell)> = self
+            .skeletons
+            .lock()
+            .expect("prepared cache lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.clone()))
+            .collect();
+        let mut entries: Vec<(SkeletonKey, Arc<SkeletonArtifacts>)> = cells
+            .into_iter()
+            .filter_map(|(k, c)| c.lock().expect("prepared cell lock").clone().map(|a| (k, a)))
+            .collect();
+        // Deterministic migration order, independent of hash-map iteration.
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.x_exp_bits, a.xi_bits, &a.forced, a.seed).cmp(&(
+                b.x_exp_bits,
+                b.xi_bits,
+                &b.forced,
+                b.seed,
+            ))
+        });
+        entries
+    }
+
+    /// Installs a pre-built preamble under `key` (the repair path's insert).
+    pub(crate) fn insert_built(&self, key: SkeletonKey, art: Arc<SkeletonArtifacts>) {
+        let cell = self.cell(key);
+        let mut slot = cell.lock().expect("prepared cell lock");
+        *slot = Some(art);
     }
 }
 
@@ -289,7 +434,12 @@ pub(crate) fn near_phase(
 /// Computes the nearby-skeleton arena: per-node lists from the skeleton's
 /// `d_h` table (sharded across the round-engine worker budget), then one
 /// parallel lexicographic Dijkstra per uncovered node.
-fn compute_near(g: &Graph, threads: usize, skeleton: &Skeleton, tie: NearTie) -> NearData {
+pub(crate) fn compute_near(
+    g: &Graph,
+    threads: usize,
+    skeleton: &Skeleton,
+    tie: NearTie,
+) -> NearData {
     let n = g.len();
     let ns = skeleton.len();
     let mut lists: Vec<Vec<(usize, Distance)>> = vec![Vec::new(); n];
@@ -338,20 +488,7 @@ fn compute_near(g: &Graph, threads: usize, skeleton: &Skeleton, tie: NearTie) ->
             }
         }
     }
-    // Flatten into the compact arena.
-    let total: usize = lists.iter().map(Vec::len).sum();
-    let mut starts = Vec::with_capacity(n + 1);
-    let mut idx = Vec::with_capacity(total);
-    let mut dist = Vec::with_capacity(total);
-    starts.push(0u32);
-    for list in &lists {
-        for &(i, d) in list {
-            idx.push(i as u32);
-            dist.push(d);
-        }
-        starts.push(idx.len() as u32);
-    }
-    NearData { starts, idx, dist, fallbacks, extra_rounds }
+    NearData::from_lists(&lists, fallbacks, extra_rounds)
 }
 
 #[cfg(test)]

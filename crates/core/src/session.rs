@@ -51,14 +51,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use hybrid_graph::Graph;
+use hybrid_graph::{DeltaBatch, Graph};
 use hybrid_sim::{FaultPlan, HybridConfig, HybridNet, Metrics, Recorder, TraceEvent};
 
 use crate::error::HybridError;
 use crate::prepare::Prep;
 pub use crate::prepare::Prepared;
+use crate::repair::{repair_prepared, RepairReport};
 use crate::solver::{solve_inner, Query, QueryError, Report, SourceSet, SsspVariant};
 
 /// Configuration of a [`Session`]: the pinned root seed and skeleton
@@ -83,11 +84,18 @@ pub struct SessionConfig {
     /// Round-engine worker budget override applied to every query's net
     /// (`None`: the `HYBRID_ROUND_THREADS` / hardware default).
     pub round_threads: Option<usize>,
+    /// Damage threshold of [`Session::apply_delta`]: the dirtied-node
+    /// fraction above which incremental repair falls back to a full
+    /// re-prepare. Interpreted as a fraction of `n`; values below `0.0`
+    /// force the full path, values at or above `1.0` disable the threshold
+    /// fallback (the soundness fallbacks still apply). Either path is
+    /// bit-identical — the threshold only trades repair cost.
+    pub damage_threshold: f64,
 }
 
 impl SessionConfig {
     /// A default-configured session pinned to `seed` (`ξ = 1.5`, default
-    /// network, no faults).
+    /// network, no faults, damage threshold `0.25`).
     pub fn new(seed: u64) -> Self {
         SessionConfig {
             seed,
@@ -95,6 +103,7 @@ impl SessionConfig {
             net: HybridConfig::default(),
             faults: None,
             round_threads: None,
+            damage_threshold: 0.25,
         }
     }
 }
@@ -164,27 +173,39 @@ fn query_key(q: &Query) -> QueryKey {
 
 /// A shared-preprocessing serving session over one graph (see the module
 /// docs). Create with [`Session::new`], serve with [`Session::solve`] /
-/// [`Session::solve_batch`].
+/// [`Session::solve_batch`], evolve the graph with [`Session::apply_delta`].
 #[derive(Debug)]
-pub struct Session<'g> {
-    graph: &'g Graph,
+pub struct Session {
+    graph: Arc<Graph>,
     cfg: SessionConfig,
+    epoch: u64,
     prepared: Prepared,
-    reports: Mutex<HashMap<QueryKey, Report>>,
+    reports: Mutex<HashMap<(u64, QueryKey), Report>>,
     queries: AtomicU64,
     report_hits: AtomicU64,
 }
 
-impl<'g> Session<'g> {
+impl Session {
     /// Opens a session over `graph` with the pinned `(seed, ξ, network)`
-    /// configuration.
+    /// configuration (the graph is cloned into shared ownership; use
+    /// [`Session::shared`] to reuse an existing [`Arc`]).
     ///
     /// # Errors
     ///
     /// * [`HybridError::Sim`] for a degenerate [`HybridConfig`] or an invalid
     ///   fault plan.
     /// * [`HybridError::Query`] for a non-positive / non-finite `ξ`.
-    pub fn new(graph: &'g Graph, cfg: SessionConfig) -> Result<Self, HybridError> {
+    pub fn new(graph: &Graph, cfg: SessionConfig) -> Result<Self, HybridError> {
+        Session::shared(Arc::new(graph.clone()), cfg)
+    }
+
+    /// Opens a session over an already-shared graph without cloning it — the
+    /// zero-copy path for serving layers that keep graphs in a catalog.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::new`].
+    pub fn shared(graph: Arc<Graph>, cfg: SessionConfig) -> Result<Self, HybridError> {
         cfg.net.validate().map_err(HybridError::Sim)?;
         if let Some(plan) = &cfg.faults {
             plan.validate_for(graph.len()).map_err(HybridError::Sim)?;
@@ -195,6 +216,7 @@ impl<'g> Session<'g> {
         Ok(Session {
             graph,
             cfg,
+            epoch: 0,
             prepared: Prepared::default(),
             reports: Mutex::new(HashMap::new()),
             queries: AtomicU64::new(0),
@@ -203,13 +225,64 @@ impl<'g> Session<'g> {
     }
 
     /// The session's graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Shared handle to the session's graph (the post-delta graph after
+    /// [`Session::apply_delta`]).
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The session's graph epoch: `0` at construction, incremented by every
+    /// [`Session::apply_delta`]. The report memo is keyed by it, so a report
+    /// computed on an earlier graph version can never serve a later one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The pinned root seed.
     pub fn seed(&self) -> u64 {
         self.cfg.seed
+    }
+
+    /// Evolves the session across a topology delta: validates and applies
+    /// `batch` to the graph, migrates the prepared artifact by damage
+    /// analysis (or the full re-prepare fallback — see [`crate::repair`]),
+    /// and returns the successor session at `epoch + 1` together with a
+    /// [`RepairReport`] recording which path each preamble took and what the
+    /// repair cost on the simulated round clock.
+    ///
+    /// The successor serves every query exactly as a cold
+    /// `Session::new(post-delta graph, same config)` would — bit-identical
+    /// answers, guarantees, and round bills. Its report memo starts empty
+    /// (and is epoch-keyed besides), so stale hits are impossible. `self` is
+    /// untouched: in-flight queries on the old epoch keep their graph alive
+    /// through shared ownership.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::Delta`] when `batch` fails validation against the
+    /// current graph; the session is unchanged.
+    pub fn apply_delta(&self, batch: &DeltaBatch) -> Result<(Session, RepairReport), HybridError> {
+        let new_graph = Arc::new(self.graph.apply_delta(batch)?);
+        let (prepared, mut report) =
+            repair_prepared(&self.graph, &new_graph, batch, &self.prepared, &self.cfg)?;
+        let epoch = self.epoch + 1;
+        report.epoch = epoch;
+        Ok((
+            Session {
+                graph: new_graph,
+                cfg: self.cfg.clone(),
+                epoch,
+                prepared,
+                reports: Mutex::new(HashMap::new()),
+                queries: AtomicU64::new(0),
+                report_hits: AtomicU64::new(0),
+            },
+            report,
+        ))
     }
 
     /// The pinned skeleton constant ξ.
@@ -257,8 +330,8 @@ impl<'g> Session<'g> {
     /// A fresh simulated net for one query, configured exactly as a cold
     /// caller would: the session's [`HybridConfig`], fault plan, and
     /// round-engine budget.
-    fn fresh_net(&self) -> HybridNet<'g> {
-        let mut net = HybridNet::new(self.graph, self.cfg.net);
+    fn fresh_net(&self) -> HybridNet<'_> {
+        let mut net = HybridNet::new(&self.graph, self.cfg.net);
         if let Some(threads) = self.cfg.round_threads {
             net.set_round_threads(threads);
         }
@@ -294,7 +367,7 @@ impl<'g> Session<'g> {
         if !self.cacheable() {
             return self.execute(query).0;
         }
-        let key = query_key(query);
+        let key = (self.epoch, query_key(query));
         if let Some(report) = self.reports.lock().expect("report memo lock").get(&key) {
             self.report_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(report.clone());
@@ -343,7 +416,7 @@ impl<'g> Session<'g> {
                 self.reports
                     .lock()
                     .expect("report memo lock")
-                    .entry(query_key(query))
+                    .entry((self.epoch, query_key(query)))
                     .or_insert_with(|| report.clone());
             }
         }
@@ -373,7 +446,7 @@ impl<'g> Session<'g> {
                 self.reports
                     .lock()
                     .expect("report memo lock")
-                    .entry(query_key(query))
+                    .entry((self.epoch, query_key(query)))
                     .or_insert_with(|| report.clone());
             }
         }
@@ -395,7 +468,11 @@ impl<'g> Session<'g> {
         for (i, q) in queries.iter().enumerate() {
             let span = format!("batch[{i}]:{}", q.label());
             let memo = if self.cacheable() && q.validate().is_ok() && self.check_xi(q).is_ok() {
-                self.reports.lock().expect("report memo lock").get(&query_key(q)).cloned()
+                self.reports
+                    .lock()
+                    .expect("report memo lock")
+                    .get(&(self.epoch, query_key(q)))
+                    .cloned()
             } else {
                 None
             };
@@ -709,6 +786,103 @@ mod tests {
             ..SessionConfig::new(1)
         };
         assert!(matches!(Session::new(&g, cfg).unwrap_err(), HybridError::Sim(_)));
+    }
+
+    #[test]
+    fn post_delta_memo_hits_are_impossible() {
+        use hybrid_graph::DeltaBatch;
+        let g = grid(6, 6, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(3)).unwrap();
+        let q = Query::apsp().build().unwrap();
+        let before = session.solve(&q).unwrap();
+        session.solve(&q).unwrap();
+        assert_eq!(session.stats().report_hits, 1, "same-epoch repeats do hit");
+        let batch = DeltaBatch::new().reweight(NodeId::new(0), NodeId::new(1), 7);
+        let (next, repair) = session.apply_delta(&batch).unwrap();
+        assert_eq!(session.epoch(), 0, "predecessor unchanged");
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(repair.epoch, 1);
+        let after = next.solve(&q).unwrap();
+        assert_eq!(next.stats().report_hits, 0, "a post-delta memo hit must be impossible");
+        // The reweight really changed the answer, so a stale hit would have
+        // been an observable wrong answer, not a harmless shortcut.
+        match (&before.answer, &after.answer) {
+            (crate::solver::Answer::Distances(x), crate::solver::Answer::Distances(y)) => {
+                assert_ne!(x.as_flat(), y.as_flat())
+            }
+            _ => panic!("answer shapes differ"),
+        }
+        let cold = Session::new(next.graph(), SessionConfig::new(3)).unwrap();
+        assert_same_report(&after, &cold.solve(&q).unwrap());
+    }
+
+    #[test]
+    fn apply_delta_patch_path_is_bit_identical_to_cold_rebuild() {
+        use hybrid_graph::generators::path;
+        use hybrid_graph::DeltaBatch;
+        let g = path(120, 3).unwrap();
+        // A path graph keeps h-hop balls genuinely local; raise the damage
+        // threshold past the worst preamble's dirtied fraction (SSSP samples
+        // deeper, so its h-ball covers ~0.7 of the path) so every preamble
+        // takes the patch path.
+        let cfg = SessionConfig { damage_threshold: 0.75, ..SessionConfig::new(7) };
+        let session = Session::new(&g, cfg.clone()).unwrap();
+        let queries = [
+            Query::apsp().build().unwrap(),
+            Query::sssp(NodeId::new(5)).build().unwrap(),
+            Query::diameter(DiameterCorollary::Cor52).build().unwrap(),
+        ];
+        for q in &queries {
+            session.solve(q).unwrap();
+        }
+        let batch = DeltaBatch::new().reweight(NodeId::new(3), NodeId::new(4), 9).add_edge(
+            NodeId::new(0),
+            NodeId::new(2),
+            5,
+        );
+        let (next, repair) = session.apply_delta(&batch).unwrap();
+        assert!(repair.preambles > 0, "prepared preambles must migrate");
+        assert_eq!(repair.full, 0, "a local edit on a path graph must patch: {repair:?}");
+        assert!(repair.patched > 0);
+        assert!(repair.rows_patched > 0);
+        assert!(repair.rounds > 0, "repair work is billed on the round clock");
+        assert!(repair.dirty_fraction > 0.0 && repair.dirty_fraction <= 0.75);
+        assert_eq!(repair.path(), crate::repair::RepairPath::Patched);
+        let cold = Session::new(next.graph(), cfg).unwrap();
+        for q in &queries {
+            assert_same_report(&next.solve(q).unwrap(), &cold.solve(q).unwrap());
+        }
+        assert_eq!(next.stats().report_hits, 0);
+    }
+
+    #[test]
+    fn apply_delta_full_fallback_is_bit_identical_too() {
+        use hybrid_graph::DeltaBatch;
+        let g = grid(8, 8, 1).unwrap();
+        // A negative threshold forces the verified full-re-prepare fallback.
+        let cfg = SessionConfig { damage_threshold: -1.0, ..SessionConfig::new(5) };
+        let session = Session::new(&g, cfg.clone()).unwrap();
+        let q = Query::apsp().build().unwrap();
+        session.solve(&q).unwrap();
+        let batch = DeltaBatch::new().remove_edge(NodeId::new(0), NodeId::new(1));
+        let (next, repair) = session.apply_delta(&batch).unwrap();
+        assert_eq!(repair.patched, 0);
+        assert!(repair.full > 0);
+        assert_eq!(repair.path(), crate::repair::RepairPath::Full);
+        assert!(repair.rounds > 0);
+        let cold = Session::new(next.graph(), cfg).unwrap();
+        assert_same_report(&next.solve(&q).unwrap(), &cold.solve(&q).unwrap());
+    }
+
+    #[test]
+    fn apply_delta_rejects_invalid_batches_structurally() {
+        use hybrid_graph::DeltaBatch;
+        let g = grid(4, 4, 1).unwrap();
+        let session = Session::new(&g, SessionConfig::new(1)).unwrap();
+        let bad = DeltaBatch::new().remove_edge(NodeId::new(0), NodeId::new(15));
+        let err = session.apply_delta(&bad).unwrap_err();
+        assert!(matches!(err, HybridError::Delta(_)), "{err:?}");
+        assert_eq!(session.epoch(), 0, "failed deltas leave the session untouched");
     }
 
     #[test]

@@ -38,9 +38,7 @@ pub fn compute_skeleton(
 ) -> Result<Skeleton, HybridError> {
     assert!((0.0..=1.0).contains(&x_exp), "x must be in [0, 1]");
     let n = net.n();
-    // The Appendix-C "x" (inverse sampling probability) is n^{1-x_exp}.
-    let x_lemma = (n as f64).powf(1.0 - x_exp).max(1.0);
-    let params = SkeletonParams::scaled(x_lemma, xi);
+    let params = skeleton_params(n, x_exp, xi);
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x5E1));
     let mut skeleton = Skeleton::build(net.graph(), params, forced, &mut rng)?;
     // Remediation for the Lemma C.1 failure event at scaled-down ξ: if the
@@ -55,6 +53,21 @@ pub fn compute_skeleton(
     }
     net.charge_local(skeleton.h() as u64, phase);
     Ok(skeleton)
+}
+
+/// The [`SkeletonParams`] Algorithm 6 derives from `(n, x_exp, ξ)`: the
+/// Appendix-C "x" (inverse sampling probability) is `n^{1-x_exp}`.
+pub(crate) fn skeleton_params(n: usize, x_exp: f64, xi: f64) -> SkeletonParams {
+    let x_lemma = (n as f64).powf(1.0 - x_exp).max(1.0);
+    SkeletonParams::scaled(x_lemma, xi)
+}
+
+/// The pre-remediation hop budget `h` a cold [`compute_skeleton`] starts
+/// from. A cached skeleton whose `h` differs was remediated (Lemma C.1
+/// failure event) — incremental repair cannot predict where a cold rebuild
+/// would settle, so it must fall back to a full re-prepare.
+pub(crate) fn initial_h(n: usize, x_exp: f64, xi: f64) -> usize {
+    skeleton_params(n, x_exp, xi).h(n)
 }
 
 /// The representative of one source (Algorithm 7).

@@ -207,7 +207,11 @@ impl GraphBuilder {
 ///
 /// This is the local communication topology `G` of the HYBRID model. All reference
 /// algorithms and the simulator operate on shared references to it.
-#[derive(Debug, Clone)]
+///
+/// Equality is *structural and order-sensitive*: two graphs compare equal only
+/// if their edge lists (and hence CSR layouts) match entry for entry — the
+/// bit-identity notion the delta canonicalization guarantee is stated in.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     offsets: Vec<usize>,

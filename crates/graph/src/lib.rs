@@ -43,6 +43,7 @@
 
 pub mod apsp;
 pub mod bfs;
+pub mod delta;
 pub mod dijkstra;
 pub mod dist;
 pub mod export;
@@ -54,6 +55,7 @@ pub mod lower_bounds;
 pub mod minplus;
 pub mod skeleton;
 
+pub use delta::{DeltaBatch, DeltaError, GraphDelta};
 pub use dist::{dist_add, Distance, INFINITY};
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use ids::NodeId;

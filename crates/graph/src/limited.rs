@@ -59,6 +59,37 @@ pub fn hop_limited_from_set(g: &Graph, sources: &[NodeId], h: usize) -> Vec<Vec<
     sources.iter().map(|&s| hop_limited_distances(g, s, h)).collect()
 }
 
+/// Marks every node within `h` hops (unweighted) of any seed: multi-source
+/// BFS truncated at depth `h`. Seeds themselves are marked (depth 0). This is
+/// the ball primitive of churn damage analysis — a `d_h` row of `s` can only
+/// change if `s` lies within `h` hops of an edited edge endpoint.
+pub fn mark_within_hops(g: &Graph, seeds: &[NodeId], h: usize) -> Vec<bool> {
+    let mut mark = vec![false; g.len()];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !mark[s.index()] {
+            mark[s.index()] = true;
+            frontier.push(s);
+        }
+    }
+    for _ in 0..h {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (u, _) in g.neighbors(v) {
+                if !mark[u.index()] {
+                    mark[u.index()] = true;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    mark
+}
+
 /// Sparse view of `d_h(source, ·)`: only the reached `(node, distance)` pairs,
 /// sorted by node. Useful when `h`-hop balls are much smaller than `n`.
 pub fn hop_limited_sparse(g: &Graph, source: NodeId, h: usize) -> Vec<(NodeId, Distance)> {
@@ -152,6 +183,18 @@ mod tests {
         for (v, d) in sparse {
             assert_eq!(dense[v.index()], d);
         }
+    }
+
+    #[test]
+    fn mark_within_hops_is_the_bfs_ball() {
+        let g = path(10, 7).unwrap(); // weights are irrelevant: hops only
+        let mark = mark_within_hops(&g, &[NodeId::new(3), NodeId::new(8)], 2);
+        let expected: Vec<bool> =
+            (0..10).map(|v| (1..=5).contains(&v) || (6..=9).contains(&v)).collect();
+        assert_eq!(mark, expected);
+        let zero = mark_within_hops(&g, &[NodeId::new(4)], 0);
+        assert_eq!(zero.iter().filter(|&&m| m).count(), 1);
+        assert!(zero[4]);
     }
 
     #[test]

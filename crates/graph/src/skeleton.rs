@@ -225,6 +225,62 @@ impl Skeleton {
     pub fn apsp(&self) -> DistanceMatrix {
         apsp(&self.graph)
     }
+
+    /// Rebuilds this skeleton against a post-delta graph `g` (same node
+    /// count, same sampled set, same hop budget), recomputing only the `d_h`
+    /// rows of skeleton nodes flagged `dirty` — the incremental-repair
+    /// primitive of the churn stack. Returns the repaired skeleton and the
+    /// number of rows recomputed.
+    ///
+    /// Soundness is the caller's damage analysis: a `d_h(s, ·)` row depends
+    /// only on `s`'s `h`-hop ball, so the result is bit-identical to
+    /// [`Skeleton::from_nodes`]`(g, nodes, h)` provided `dirty` covers every
+    /// skeleton node within `h` hops of an edited edge endpoint (in the old
+    /// *or* new graph).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from skeleton-graph reconstruction (cannot
+    /// happen for valid inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different node count than the graph this skeleton
+    /// was built on, or if `dirty` is not `n` entries long.
+    pub fn repair(&self, g: &Graph, dirty: &[bool]) -> Result<(Skeleton, usize), GraphError> {
+        assert_eq!(g.len(), self.gn, "repair requires an unchanged node set");
+        assert_eq!(dirty.len(), self.gn, "dirty mask must cover every node");
+        let mut dh = self.dh.clone();
+        let mut patched = 0usize;
+        for (i, &s) in self.nodes.iter().enumerate() {
+            if dirty[s.index()] {
+                let row = hop_limited_distances(g, s, self.h);
+                dh[i * self.gn..(i + 1) * self.gn].copy_from_slice(&row);
+                patched += 1;
+            }
+        }
+        // Rebuild the skeleton graph from the patched table — the identical
+        // construction `from_nodes` runs, so equal `d_h` ⇒ equal skeleton.
+        let mut b = GraphBuilder::new(self.nodes.len());
+        for (i, row) in dh.chunks_exact(self.gn).enumerate() {
+            for (j, &t) in self.nodes.iter().enumerate().skip(i + 1) {
+                let d = row[t.index()];
+                if d != INFINITY {
+                    b.add_edge(NodeId::new(i), NodeId::new(j), d)?;
+                }
+            }
+        }
+        let graph = b.build()?;
+        let repaired = Skeleton {
+            nodes: self.nodes.clone(),
+            index: self.index.clone(),
+            h: self.h,
+            graph,
+            dh,
+            gn: self.gn,
+        };
+        Ok((repaired, patched))
+    }
 }
 
 /// Lemma C.1 checker: for each sampled pair `(u, v)`, takes a minimum-weight
@@ -363,6 +419,37 @@ mod tests {
         let s = Skeleton::from_nodes(&g, vec![NodeId::new(0), NodeId::new(9)], 4).unwrap();
         let near = s.skeletons_near(NodeId::new(2));
         assert_eq!(near, vec![(0, 2)]); // node 9 is 7 hops away > h = 4
+    }
+
+    #[test]
+    fn repair_with_sound_dirty_mask_is_bit_identical_to_from_nodes() {
+        use crate::delta::DeltaBatch;
+        use crate::limited::mark_within_hops;
+        // A bounded-growth graph, so h-hop balls are genuinely local (on an
+        // expander a 4-hop ball covers nearly everything and repair degrades
+        // to a full rebuild).
+        let g = path(70, 6).unwrap();
+        let nodes: Vec<NodeId> = (0..70).step_by(7).map(NodeId::new).collect();
+        let h = 8;
+        let old = Skeleton::from_nodes(&g, nodes.clone(), h).unwrap();
+        // Edit one edge (reweight the first), touching its two endpoints.
+        let e = g.edges()[0];
+        let batch = DeltaBatch::new().reweight(e.u, e.v, e.w + 3);
+        let g2 = g.apply_delta(&batch).unwrap();
+        // Sound dirty mask: h-hop balls of the endpoints in old ∪ new graph.
+        let seeds = [e.u, e.v];
+        let mut dirty = mark_within_hops(&g, &seeds, h);
+        for (slot, m) in dirty.iter_mut().zip(mark_within_hops(&g2, &seeds, h)) {
+            *slot = *slot || m;
+        }
+        let (patched, rows) = old.repair(&g2, &dirty).unwrap();
+        let cold = Skeleton::from_nodes(&g2, nodes, h).unwrap();
+        assert!(rows > 0, "the edit touches at least one skeleton ball");
+        assert!(rows < old.len(), "a single edit must not dirty every row");
+        assert_eq!(patched.nodes(), cold.nodes());
+        assert_eq!(patched.h(), cold.h());
+        assert_eq!(patched.dh_flat(), cold.dh_flat());
+        assert_eq!(patched.graph(), cold.graph());
     }
 
     #[test]

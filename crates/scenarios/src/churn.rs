@@ -1,0 +1,163 @@
+//! Deterministic delta-batch generation for the `churn-*` scenario family.
+//!
+//! Every batch derives from SplitMix64 streams of `(scenario seed, step)`,
+//! so a churn replay is fully determined by the scenario — the same
+//! reproducibility contract as graph builds and fault schedules. Batches are
+//! *constructed valid*: each candidate op is applied to a scratch copy of
+//! the evolving graph first, and ops that would fail validation or
+//! disconnect the graph are skipped (connectivity is a precondition of every
+//! suite contract, not something churn is allowed to break).
+
+use hybrid_graph::{DeltaBatch, Graph, GraphDelta, NodeId};
+use hybrid_sim::derive_seed;
+
+/// Stream salt separating churn draws from every other consumer of the
+/// scenario seed (graph: `0x0067_7261_7068`, faults: `0xFA17`, …).
+const CHURN_SALT: u64 = 0xC4_12_4E;
+
+/// The seed of step `step`'s batch stream for a scenario rooted at `seed`.
+pub fn step_seed(seed: u64, step: usize) -> u64 {
+    derive_seed(derive_seed(seed, CHURN_SALT), step as u64)
+}
+
+/// Generates one delta batch against `g`, deterministically from `seed`
+/// (use [`step_seed`]), and returns it with the post-delta graph. Attempts
+/// `ops` operations — a mix of reweights (weighted graphs only), edge
+/// inserts, and connectivity-preserving removals — skipping any draw that
+/// would be invalid; the returned batch may therefore be smaller than
+/// `ops`.
+pub fn churn_batch(g: &Graph, seed: u64, ops: usize) -> (DeltaBatch, Graph) {
+    let n = g.len();
+    // Unweighted graphs must stay unweighted under churn — the diameter
+    // contracts assume unit weights — so churn on them is purely topological
+    // (inserts at weight 1, connectivity-preserving removals, no reweights).
+    let unweighted = g.max_weight() <= 1;
+    let wmax = if unweighted { 1 } else { g.max_weight().max(4) };
+    let mut scratch = g.clone();
+    let mut batch = DeltaBatch::new();
+    let mut salt = 0u64;
+    // Each accepted op costs one draw; rejected draws retry with fresh salt,
+    // bounded so a pathological graph (e.g. a clique with nothing to add)
+    // terminates.
+    while batch.len() < ops && salt < 32 * ops as u64 {
+        let draw = derive_seed(seed, salt);
+        salt += 1;
+        let edges = scratch.edges();
+        let kind = if unweighted { 2 + draw % 2 } else { draw % 4 };
+        let op = match kind {
+            // Reweight an existing edge — always valid (weighted graphs only).
+            0 | 1 => {
+                let e = &edges[(draw >> 8) as usize % edges.len()];
+                GraphDelta::Reweight { u: e.u, v: e.v, w: 1 + (draw >> 40) % wmax }
+            }
+            // Insert a fresh edge — never disconnects.
+            2 => {
+                let u = NodeId::new((draw >> 8) as usize % n);
+                let v = NodeId::new((draw >> 24) as usize % n);
+                if u == v || scratch.has_edge(u, v) {
+                    continue;
+                }
+                GraphDelta::AddEdge { u, v, w: 1 + (draw >> 40) % wmax }
+            }
+            // Remove an edge, but only when the graph stays connected — the
+            // scratch application below is the arbiter.
+            _ => {
+                let e = &edges[(draw >> 8) as usize % edges.len()];
+                GraphDelta::RemoveEdge { u: e.u, v: e.v }
+            }
+        };
+        let mut trial = DeltaBatch::new();
+        trial.push(op);
+        match scratch.apply_delta(&trial) {
+            Ok(next) if next.is_connected() => {
+                scratch = next;
+                batch.push(op);
+            }
+            _ => {}
+        }
+    }
+    (batch, scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators::{cycle, grid};
+    use hybrid_graph::Distance;
+
+    #[test]
+    fn batches_are_deterministic_and_valid() {
+        let g = grid(6, 6, 3).unwrap();
+        let (a, ga) = churn_batch(&g, step_seed(7, 0), 5);
+        let (b, gb) = churn_batch(&g, step_seed(7, 0), 5);
+        assert_eq!(a, b, "same seed, same batch");
+        assert_eq!(ga.edges(), gb.edges());
+        assert!(!a.is_empty());
+        // The returned graph IS the batch applied to the input.
+        assert_eq!(g.apply_delta(&a).unwrap().edges(), ga.edges());
+        assert!(ga.is_connected());
+        let (c, _) = churn_batch(&g, step_seed(8, 0), 5);
+        assert_ne!(a, c, "different seed, different batch");
+    }
+
+    #[test]
+    fn removals_never_disconnect() {
+        // On a cycle every single-edge removal keeps connectivity, but a
+        // second removal on the induced path can cut it — the scratch check
+        // must refuse those. Drive many steps and keep checking.
+        let mut g = cycle(16, 1).unwrap();
+        for step in 0..12 {
+            let (batch, next) = churn_batch(&g, step_seed(3, step), 3);
+            assert!(next.is_connected(), "step {step} disconnected the graph");
+            assert_eq!(g.apply_delta(&batch).unwrap().edges(), next.edges());
+            g = next;
+        }
+    }
+
+    #[test]
+    fn batch_mix_spans_all_op_kinds_over_a_replay() {
+        let mut g = grid(6, 6, 3).unwrap();
+        let (mut adds, mut removes, mut reweights) = (0, 0, 0);
+        for step in 0..8 {
+            let (batch, next) = churn_batch(&g, step_seed(11, step), 6);
+            for op in batch.ops() {
+                match op {
+                    GraphDelta::AddEdge { .. } => adds += 1,
+                    GraphDelta::RemoveEdge { .. } => removes += 1,
+                    GraphDelta::Reweight { .. } => reweights += 1,
+                }
+            }
+            g = next;
+        }
+        assert!(adds > 0 && removes > 0 && reweights > 0, "{adds}/{removes}/{reweights}");
+    }
+
+    #[test]
+    fn unweighted_graphs_stay_unweighted() {
+        // Diameter contracts assume unit weights; churn must not break that.
+        let mut g = cycle(20, 1).unwrap();
+        for step in 0..8 {
+            let (batch, next) = churn_batch(&g, step_seed(9, step), 4);
+            for op in batch.ops() {
+                assert!(
+                    !matches!(op, GraphDelta::Reweight { .. }),
+                    "reweight on an unweighted graph"
+                );
+            }
+            assert_eq!(next.max_weight(), 1, "step {step} introduced a weight");
+            g = next;
+        }
+    }
+
+    #[test]
+    fn weights_stay_in_the_model_range() {
+        let g = grid(6, 6, 3).unwrap();
+        let (batch, _) = churn_batch(&g, step_seed(5, 0), 8);
+        for op in batch.ops() {
+            if let GraphDelta::AddEdge { w, .. } | GraphDelta::Reweight { w, .. } = op {
+                let w: Distance = *w;
+                assert!((1..=4).contains(&w), "weight {w} outside [1, max(4, wmax)]");
+            }
+        }
+    }
+}

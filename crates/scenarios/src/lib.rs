@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod model;
 pub mod registry;
 pub mod runner;
@@ -36,7 +37,7 @@ pub mod verify;
 pub mod workloads;
 
 pub use hybrid_core::solver::{DiameterCorollary, KsspCorollary, Query, QueryError};
-pub use model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
+pub use model::{AlgorithmSuite, ChurnPlan, FaultPlan, GraphFamily, Scenario, WeightModel};
 pub use registry::{all_tags, by_tag, find, registry};
 pub use runner::{
     run_scenario, run_scenario_traced, run_scenario_with, run_scenarios, run_scenarios_with,

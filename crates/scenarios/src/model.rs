@@ -400,6 +400,19 @@ impl AlgorithmSuite {
     }
 }
 
+/// A deterministic churn regime for `churn-*` scenarios: the runner replays
+/// `steps` rounds of *query → verify → delta*, with every delta drawn from
+/// SplitMix64 streams of the scenario seed (see [`crate::churn`]) and every
+/// query verified bit-identical to a cold solve on the graph version live at
+/// that point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Update/query interleaving steps after the initial epoch-0 query.
+    pub steps: usize,
+    /// Delta operations attempted per update batch.
+    pub ops_per_step: usize,
+}
+
 /// One named, reproducible workload: everything the runner needs, as data.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
@@ -420,6 +433,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Node count used by full-scale (non-smoke) runs.
     pub default_n: usize,
+    /// Churn regime: `Some` makes the runner replay the update/query
+    /// interleaving of [`ChurnPlan`] through epoch-versioned sessions instead
+    /// of a single static solve.
+    pub churn: Option<ChurnPlan>,
 }
 
 impl Scenario {
@@ -578,6 +595,7 @@ mod tests {
             suite: AlgorithmSuite::Apsp { xi: 1.5 },
             seed: 1,
             default_n: 32,
+            churn: None,
         };
         assert_eq!(sc.contract(), Contract::Strict);
         sc.faults = FaultPlan::DropGlobal { prob: 0.1 };
@@ -599,6 +617,7 @@ mod tests {
             suite: AlgorithmSuite::Sssp { xi: 1.5 },
             seed: 5,
             default_n: 32,
+            churn: None,
         };
         let mut net = sc.net(&g);
         // Node 0 still talks: everything it sends to itself survives.

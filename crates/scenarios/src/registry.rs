@@ -6,7 +6,7 @@
 //! least one scenario per algorithm suite. All of them verify `Pass` at
 //! smoke size (`n ≤ 64`) — see `tests/registry_smoke.rs`.
 
-use crate::model::{AlgorithmSuite, FaultPlan, GraphFamily, Scenario, WeightModel};
+use crate::model::{AlgorithmSuite, ChurnPlan, FaultPlan, GraphFamily, Scenario, WeightModel};
 use hybrid_core::solver::{DiameterCorollary, KsspCorollary};
 
 /// The standard degraded-network plan: a quarter of the NCC send budget.
@@ -23,6 +23,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 3,
         default_n: 200,
+        churn: None,
     },
     Scenario {
         name: "e2-er-soda20",
@@ -33,6 +34,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::ApspSoda20 { xi: 1.5 },
         seed: 3,
         default_n: 200,
+        churn: None,
     },
     Scenario {
         name: "sparse-grid-thm11",
@@ -43,6 +45,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 17,
         default_n: 225,
+        churn: None,
     },
     Scenario {
         name: "smallworld-ws-apsp",
@@ -53,6 +56,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 23,
         default_n: 200,
+        churn: None,
     },
     Scenario {
         name: "wan-clustered-apsp",
@@ -63,6 +67,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 29,
         default_n: 240,
+        churn: None,
     },
     Scenario {
         name: "ba-powerlaw-apsp",
@@ -73,6 +78,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 31,
         default_n: 200,
+        churn: None,
     },
     Scenario {
         name: "ba-powerlaw-sssp",
@@ -83,6 +89,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Sssp { xi: 2.0 },
         seed: 37,
         default_n: 300,
+        churn: None,
     },
     Scenario {
         name: "heavy-hub-sssp-thm13",
@@ -93,6 +100,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Sssp { xi: 3.0 },
         seed: 41,
         default_n: 400,
+        churn: None,
     },
     Scenario {
         name: "geo-mesh-kssp47",
@@ -103,6 +111,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor47, k: 8, eps: 0.5, xi: 1.5 },
         seed: 43,
         default_n: 180,
+        churn: None,
     },
     Scenario {
         name: "grid-kssp46",
@@ -113,6 +122,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor46, k: 3, eps: 0.5, xi: 1.5 },
         seed: 47,
         default_n: 225,
+        churn: None,
     },
     Scenario {
         name: "cycle-diam-32",
@@ -123,6 +133,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
         seed: 53,
         default_n: 300,
+        churn: None,
     },
     Scenario {
         name: "cycle-diam-1eps",
@@ -133,6 +144,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor53, eps: 0.5, xi: 1.2 },
         seed: 53,
         default_n: 300,
+        churn: None,
     },
     Scenario {
         name: "datacenter-thin-grid",
@@ -143,6 +155,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 0.5 },
         seed: 99,
         default_n: 1000,
+        churn: None,
     },
     // --- Degraded / faulty networks --------------------------------------
     Scenario {
@@ -154,6 +167,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::ApspSoda20 { xi: 1.5 },
         seed: 61,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "faulty-degraded-sssp",
@@ -164,6 +178,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Sssp { xi: 2.0 },
         seed: 67,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "faulty-drop-apsp",
@@ -174,6 +189,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 71,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "crash-mid-run-apsp",
@@ -184,6 +200,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 73,
         default_n: 150,
+        churn: None,
     },
     // --- Chaos: the must-recover family -----------------------------------
     // These run under `Contract::MustRecover` (see `crate::verify`): with
@@ -199,6 +216,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 101,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "chaos-drop-p20-sssp",
@@ -209,6 +227,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Sssp { xi: 2.0 },
         seed: 103,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "chaos-drop-p30-apsp",
@@ -219,6 +238,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 107,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "chaos-crash-storm-apsp",
@@ -229,6 +249,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Apsp { xi: 1.5 },
         seed: 109,
         default_n: 150,
+        churn: None,
     },
     Scenario {
         name: "chaos-drop-crash-diam",
@@ -239,6 +260,7 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
         seed: 113,
         default_n: 225,
+        churn: None,
     },
     Scenario {
         name: "chaos-drop-crash-kssp",
@@ -249,6 +271,69 @@ static REGISTRY: &[Scenario] = &[
         suite: AlgorithmSuite::Kssp { cor: KsspCorollary::Cor46, k: 4, eps: 0.5, xi: 1.5 },
         seed: 127,
         default_n: 150,
+        churn: None,
+    },
+    // --- Churn: dynamic graphs under epoch-versioned sessions --------------
+    // Each replays a deterministic update/query interleaving (see
+    // `crate::churn`): every query is verified under the scenario's contract
+    // *and* bit-identical to a cold solve on the graph version live at that
+    // point. The bounded-growth families (grids, cycle) are where incremental
+    // repair genuinely patches; the chaos members run the same replay with
+    // lossy fault plans under the must-recover contract.
+    Scenario {
+        name: "churn-grid-apsp",
+        tags: &["churn", "apsp", "grid", "sparse"],
+        family: GraphFamily::SquareGrid,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 131,
+        default_n: 225,
+        churn: Some(ChurnPlan { steps: 3, ops_per_step: 3 }),
+    },
+    Scenario {
+        name: "churn-cycle-diam",
+        tags: &["churn", "diameter", "cycle"],
+        family: GraphFamily::Cycle,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
+        seed: 137,
+        default_n: 300,
+        churn: Some(ChurnPlan { steps: 3, ops_per_step: 2 }),
+    },
+    Scenario {
+        name: "churn-thin-sssp",
+        tags: &["churn", "sssp", "grid", "datacenter"],
+        family: GraphFamily::ThinGrid { rows: 4 },
+        weights: WeightModel::Unit,
+        faults: FaultPlan::None,
+        suite: AlgorithmSuite::Sssp { xi: 2.0 },
+        seed: 139,
+        default_n: 200,
+        churn: Some(ChurnPlan { steps: 3, ops_per_step: 3 }),
+    },
+    Scenario {
+        name: "churn-chaos-drop-apsp",
+        tags: &["churn", "chaos", "faulty", "lossy", "apsp"],
+        family: GraphFamily::ErdosRenyi { avg_deg: 10.0 },
+        weights: WeightModel::Uniform { max: 4 },
+        faults: FaultPlan::DropGlobal { prob: 0.2 },
+        suite: AlgorithmSuite::Apsp { xi: 1.5 },
+        seed: 149,
+        default_n: 150,
+        churn: Some(ChurnPlan { steps: 2, ops_per_step: 3 }),
+    },
+    Scenario {
+        name: "churn-chaos-drop-crash-diam",
+        tags: &["churn", "chaos", "faulty", "lossy", "crash", "diameter"],
+        family: GraphFamily::SquareGrid,
+        weights: WeightModel::Unit,
+        faults: FaultPlan::DropAndCrash { prob: 0.2, count: 3, at_round: 25 },
+        suite: AlgorithmSuite::Diameter { cor: DiameterCorollary::Cor52, eps: 0.5, xi: 1.2 },
+        seed: 151,
+        default_n: 225,
+        churn: Some(ChurnPlan { steps: 2, ops_per_step: 2 }),
     },
 ];
 
@@ -318,7 +403,9 @@ mod tests {
         use crate::verify::Contract;
         let chaos = by_tag("chaos");
         assert!(chaos.len() >= 5, "chaos family must span the sweep, got {}", chaos.len());
-        assert!(chaos.iter().all(|s| s.name.starts_with("chaos-")));
+        assert!(chaos
+            .iter()
+            .all(|s| s.name.starts_with("chaos-") || s.name.starts_with("churn-chaos-")));
         assert!(chaos.iter().all(|s| s.contract() == Contract::MustRecover));
         assert!(chaos.iter().all(|s| s.has_tag("faulty")), "chaos workloads are faulty workloads");
         // Drop sweep up to (and including) p = 0.3, never beyond.

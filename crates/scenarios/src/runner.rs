@@ -17,7 +17,8 @@ use hybrid_core::solver::solve;
 use hybrid_graph::Graph;
 use hybrid_sim::Recorder;
 
-use crate::model::Scenario;
+use crate::churn::{churn_batch, step_seed};
+use crate::model::{ChurnPlan, Scenario};
 use crate::verify::{check_error, check_report, Verdict, Verification};
 
 /// How the runner executes a scenario's suite: a fresh `solve` per run (the
@@ -121,6 +122,7 @@ fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64, 
         net: sc.faults.config(),
         faults: sc.faults.sim_plan(g.len(), sc.seed),
         round_threads: None,
+        ..SessionConfig::new(sc.seed)
     };
     let session = Session::new(g, cfg).expect("registry scenario configs are valid");
     let (result, metrics, rec) = session.solve_traced(&sc.suite.query());
@@ -134,6 +136,103 @@ fn run_suite_session(sc: &Scenario, g: &Graph) -> (u64, Verification, u64, u64, 
         Err(_) => metrics.rounds,
     };
     (rounds, verification, metrics.global_messages, metrics.dropped_messages, rec)
+}
+
+/// Replays a [`ChurnPlan`] through epoch-versioned sessions: one query on
+/// the epoch-0 graph, then `steps` rounds of *delta → migrate → query*,
+/// where the migration goes through [`Session::apply_delta`] (incremental
+/// patch or verified full re-prepare — its rounds are billed into the run's
+/// total) and **every** query is held to two contracts at once:
+///
+/// 1. the scenario's golden contract against the graph version live at that
+///    point (strict / lossy / must-recover, exactly as a static run), and
+/// 2. bit-identity against a *cold* [`Session::new`] on that same graph
+///    version — the churn stack must never leak stale state across epochs.
+///
+/// Both engines replay churn scenarios this way: churn is inherently a
+/// session workload (there is nothing "fresh" about an incremental epoch),
+/// and the cold side of contract 2 is exactly the fresh path's solve.
+fn run_churn_session(
+    sc: &Scenario,
+    g0: &Graph,
+    plan: ChurnPlan,
+) -> (u64, Verification, u64, u64, Recorder) {
+    let contract = sc.contract();
+    let cfg = SessionConfig {
+        seed: sc.seed,
+        xi: sc.suite.xi(),
+        net: sc.faults.config(),
+        faults: sc.faults.sim_plan(g0.len(), sc.seed),
+        round_threads: None,
+        ..SessionConfig::new(sc.seed)
+    };
+    let query = sc.suite.query();
+    let mut session =
+        Session::new(g0, cfg.clone()).expect("registry churn scenario configs are valid");
+    let mut graph = g0.clone();
+    let (mut rounds, mut gm, mut dm) = (0u64, 0u64, 0u64);
+    let mut rec = Recorder::default();
+    for step in 0..=plan.steps {
+        // Mutate first on every epoch after 0, so the final query runs on the
+        // most-churned graph.
+        if step > 0 {
+            let (batch, next) =
+                churn_batch(&graph, step_seed(sc.seed, step - 1), plan.ops_per_step);
+            let (migrated, repair) = match session.apply_delta(&batch) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    let v = Verification::fail(format!("apply_delta failed at step {step}: {e}"));
+                    return (rounds, v, gm, dm, rec);
+                }
+            };
+            if migrated.epoch() != step as u64 {
+                let v = Verification::fail(format!(
+                    "epoch drift at step {step}: session reports {}",
+                    migrated.epoch()
+                ));
+                return (rounds, v, gm, dm, rec);
+            }
+            session = migrated;
+            graph = next;
+            rounds += repair.rounds;
+        }
+        let (result, metrics, step_rec) = session.solve_traced(&query);
+        let mut verification = match &result {
+            Ok(report) => check_report(&graph, report, contract),
+            Err(e) => check_error(e, contract, metrics.dropped_messages),
+        };
+        reconcile_into(&step_rec, &metrics, &mut verification);
+        rounds += match &result {
+            Ok(report) => report.rounds,
+            Err(_) => metrics.rounds,
+        };
+        gm += metrics.global_messages;
+        dm += metrics.dropped_messages;
+        rec = step_rec;
+        if verification.verdict != Verdict::Pass {
+            verification.detail = format!("churn step {step}: {}", verification.detail);
+            return (rounds, verification, gm, dm, rec);
+        }
+        // Contract 2: bit-identity against a cold session on this epoch's
+        // graph — answers, guarantees, and round bills, or the identical
+        // structured error.
+        let cold = Session::new(&graph, cfg.clone()).expect("cold churn session config is valid");
+        let (cold_result, _) = cold.solve_with_metrics(&query);
+        if format!("{result:?}") != format!("{cold_result:?}") {
+            let v = Verification::fail(format!(
+                "churn step {step}: epoch-{step} answer diverged from a cold solve on the \
+                 live graph version"
+            ));
+            return (rounds, v, gm, dm, rec);
+        }
+    }
+    let queries = plan.steps + 1;
+    let v = Verification::pass(format!(
+        "churn replay: {queries} queries across {queries} graph versions, each verified \
+         under the {} contract and bit-identical to a cold solve on its version",
+        contract.label()
+    ));
+    (rounds, v, gm, dm, rec)
 }
 
 /// Folds a trace-reconciliation failure into the run's verdict: a run whose
@@ -187,6 +286,9 @@ fn run_scenario_inner(
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let g = sc.graph(n);
+        if let Some(plan) = sc.churn {
+            return run_churn_session(sc, &g, plan);
+        }
         match engine {
             Engine::Fresh => {
                 let mut net = sc.net(&g);
@@ -314,6 +416,7 @@ mod tests {
             suite,
             seed: 11,
             default_n: 36,
+            churn: None,
         }
     }
 

@@ -47,6 +47,15 @@ impl Contract {
     fn tolerates_overestimates(self) -> bool {
         !matches!(self, Contract::Strict)
     }
+
+    /// Lower-case label for report details and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Contract::Strict => "strict",
+            Contract::Lossy => "lossy",
+            Contract::MustRecover => "must-recover",
+        }
+    }
 }
 
 /// Outcome of verifying one scenario run.

@@ -6,13 +6,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use hybrid_core::session::{Session, SessionConfig};
 use hybrid_core::solver::{solve, Answer, Guarantee, Query, Report};
 use hybrid_core::HybridError;
-use hybrid_graph::Graph;
+use hybrid_graph::{DeltaBatch, Graph};
 use hybrid_sim::{FaultPlan, HybridConfig, HybridNet};
 
 /// Floor charged per cached session so even an unqueried (zero-byte) session
@@ -137,12 +137,36 @@ pub fn report_digest(r: &Report) -> u64 {
 // Catalog
 // ---------------------------------------------------------------------------
 
-/// The broker's graph namespace: named, fingerprinted graphs registered up
-/// front. The catalog owns the graphs so a [`Broker`] can borrow them for its
-/// whole lifetime ([`Session`] borrows its graph).
+/// One graph version in the catalog: the shared graph, its fingerprint, and
+/// its delta epoch.
+#[derive(Debug, Clone)]
+struct CatalogVersion {
+    graph: Arc<Graph>,
+    fingerprint: u64,
+    epoch: u64,
+}
+
+/// Outcome of one [`GraphCatalog::apply_delta`]: the new version and what it
+/// replaced.
+#[derive(Debug, Clone)]
+pub struct CatalogUpdate {
+    /// Fingerprint of the version the delta replaced (the stale one).
+    pub old_fingerprint: u64,
+    /// Fingerprint of the post-delta graph.
+    pub fingerprint: u64,
+    /// Epoch of the new version (`0` at registration, `+1` per delta).
+    pub epoch: u64,
+    /// The post-delta graph.
+    pub graph: Arc<Graph>,
+}
+
+/// The broker's graph namespace: named, fingerprinted, epoch-versioned
+/// graphs. Lookups hand out shared [`Arc<Graph>`] handles, so a delta applied
+/// mid-flight never invalidates a session already serving the old version —
+/// old epochs stay alive exactly as long as someone holds them.
 #[derive(Debug, Default)]
 pub struct GraphCatalog {
-    entries: Vec<(String, Graph, u64)>,
+    entries: Vec<(String, RwLock<CatalogVersion>)>,
 }
 
 impl GraphCatalog {
@@ -151,23 +175,90 @@ impl GraphCatalog {
         GraphCatalog::default()
     }
 
-    /// Registers `graph` under `name` (replacing any previous binding) and
-    /// returns its fingerprint.
+    /// Registers `graph` under `name` at epoch 0 (replacing any previous
+    /// binding) and returns its fingerprint.
     pub fn insert(&mut self, name: &str, graph: Graph) -> u64 {
         let fp = graph_fingerprint(&graph);
-        self.entries.retain(|(n, _, _)| n != name);
-        self.entries.push((name.to_string(), graph, fp));
+        self.entries.retain(|(n, _)| n != name);
+        self.entries.push((
+            name.to_string(),
+            RwLock::new(CatalogVersion { graph: Arc::new(graph), fingerprint: fp, epoch: 0 }),
+        ));
         fp
     }
 
-    /// Looks up a registered graph and its fingerprint.
-    pub fn get(&self, name: &str) -> Option<(&Graph, u64)> {
-        self.entries.iter().find(|(n, _, _)| n == name).map(|(_, g, fp)| (g, *fp))
+    fn version(&self, name: &str) -> Option<&RwLock<CatalogVersion>> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up the current version of a registered graph: the shared graph
+    /// and its fingerprint.
+    pub fn get(&self, name: &str) -> Option<(Arc<Graph>, u64)> {
+        let v = self.version(name)?.read().expect("catalog version lock");
+        Some((Arc::clone(&v.graph), v.fingerprint))
+    }
+
+    /// Like [`GraphCatalog::get`], but when the caller pins an `expected`
+    /// fingerprint, a version mismatch is rejected *here* as a structured
+    /// [`ServeError::StaleFingerprint`] — instead of silently serving the new
+    /// graph to a client still reasoning about the old one (which the digest
+    /// referee, solving on the same new graph, would never catch).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownGraph`] / [`ServeError::StaleFingerprint`].
+    pub fn get_pinned(
+        &self,
+        name: &str,
+        expected: Option<u64>,
+    ) -> Result<(Arc<Graph>, u64), ServeError> {
+        let (graph, fingerprint) =
+            self.get(name).ok_or_else(|| ServeError::UnknownGraph { graph: name.to_string() })?;
+        if let Some(requested) = expected {
+            if requested != fingerprint {
+                return Err(ServeError::StaleFingerprint {
+                    graph: name.to_string(),
+                    requested,
+                    current: fingerprint,
+                });
+            }
+        }
+        Ok((graph, fingerprint))
+    }
+
+    /// The delta epoch of a registered graph (`0` until the first delta).
+    pub fn epoch(&self, name: &str) -> Option<u64> {
+        Some(self.version(name)?.read().expect("catalog version lock").epoch)
+    }
+
+    /// Applies a validated delta batch to `name`'s current version: installs
+    /// the post-delta graph, recomputes the FNV-1a fingerprint, and bumps the
+    /// epoch. Lookups from this point on see the new version; holders of the
+    /// old `Arc` are undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownGraph`] for an unregistered name;
+    /// [`ServeError::Solve`] wrapping the structured
+    /// [`hybrid_graph::DeltaError`] when the batch fails validation (the
+    /// catalog is unchanged).
+    pub fn apply_delta(&self, name: &str, batch: &DeltaBatch) -> Result<CatalogUpdate, ServeError> {
+        let slot = self
+            .version(name)
+            .ok_or_else(|| ServeError::UnknownGraph { graph: name.to_string() })?;
+        let mut v = slot.write().expect("catalog version lock");
+        let new_graph =
+            v.graph.apply_delta(batch).map_err(|e| ServeError::Solve(HybridError::Delta(e)))?;
+        let old_fingerprint = v.fingerprint;
+        let fingerprint = graph_fingerprint(&new_graph);
+        let graph = Arc::new(new_graph);
+        *v = CatalogVersion { graph: Arc::clone(&graph), fingerprint, epoch: v.epoch + 1 };
+        Ok(CatalogUpdate { old_fingerprint, fingerprint, epoch: v.epoch, graph })
     }
 
     /// Registered names, in insertion order.
     pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|(n, _, _)| n.as_str()).collect()
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
     }
 }
 
@@ -188,6 +279,18 @@ pub enum ServeError {
     UnknownGraph {
         /// The unknown graph name.
         graph: String,
+    },
+    /// The request pinned a graph fingerprint that a delta has since
+    /// superseded. Refused at lookup time — a client reasoning about an old
+    /// graph version must learn about the delta explicitly, not receive
+    /// answers computed on a graph it never saw.
+    StaleFingerprint {
+        /// The graph name.
+        graph: String,
+        /// The fingerprint the client pinned.
+        requested: u64,
+        /// The catalog's current fingerprint.
+        current: u64,
     },
     /// The tenant's queue is at its configured depth; the request was shed
     /// *before* touching any session. The client may retry.
@@ -251,6 +354,7 @@ impl ServeError {
         match self {
             ServeError::UnknownTenant { .. } => "unknown-tenant",
             ServeError::UnknownGraph { .. } => "unknown-graph",
+            ServeError::StaleFingerprint { .. } => "stale-fingerprint",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
             ServeError::BreakerOpen { .. } => "breaker-open",
@@ -267,6 +371,11 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant:?}"),
             ServeError::UnknownGraph { graph } => write!(f, "unknown graph {graph:?}"),
+            ServeError::StaleFingerprint { graph, requested, current } => write!(
+                f,
+                "graph {graph:?} fingerprint {requested:016x} is stale \
+                 (current {current:016x}): re-read the graph before querying"
+            ),
             ServeError::Overloaded { tenant, depth } => {
                 write!(f, "tenant {tenant:?} overloaded: queue depth {depth} reached")
             }
@@ -412,10 +521,15 @@ pub struct Request {
     /// default, if any). A request whose admission-queue wait exhausts the
     /// budget is shed with [`ServeError::DeadlineExceeded`].
     pub deadline_ms: Option<u64>,
+    /// Optional graph-version pin: the fingerprint the client believes the
+    /// graph has. If a delta has superseded it, the request is refused with
+    /// [`ServeError::StaleFingerprint`] at lookup time. `None`: serve
+    /// whatever version is current.
+    pub fingerprint: Option<u64>,
 }
 
 impl Request {
-    /// A request with no seed override and no deadline.
+    /// A request with no seed override, no deadline, and no version pin.
     pub fn new(tenant: &str, graph: &str, query: Query) -> Self {
         Request {
             tenant: tenant.to_string(),
@@ -423,6 +537,7 @@ impl Request {
             seed: None,
             query,
             deadline_ms: None,
+            fingerprint: None,
         }
     }
 }
@@ -482,8 +597,8 @@ struct BatchState {
 }
 
 /// One resident session plus its coalescing and verification state.
-struct SessionEntry<'g> {
-    session: Session<'g>,
+struct SessionEntry {
+    session: Session,
     /// Tenant fault plan — replayed on the cold referee net so the
     /// bit-identity contract holds on the chaos path too.
     faults: Option<FaultPlan>,
@@ -599,6 +714,17 @@ pub struct BrokerStats {
     pub session_queries: u64,
     /// Sum of `SessionStats::report_hits` over resident sessions.
     pub session_report_hits: u64,
+    /// Delta operations applied through [`Broker::update`].
+    pub deltas_applied: u64,
+    /// Resident sessions migrated across a delta on the incremental patch
+    /// path (damage analysis held).
+    pub repair_patched: u64,
+    /// Resident sessions migrated across a delta via the full re-prepare
+    /// fallback.
+    pub repair_full: u64,
+    /// Requests refused with [`ServeError::StaleFingerprint`] because they
+    /// pinned a superseded graph version.
+    pub stale_epoch_refused: u64,
 }
 
 /// The multi-tenant serving front-end (see the crate docs for the contract
@@ -608,7 +734,7 @@ pub struct Broker<'g> {
     catalog: &'g GraphCatalog,
     cfg: BrokerConfig,
     tenants: Mutex<HashMap<String, Arc<TenantState>>>,
-    lru: Mutex<HashMap<SessionKey, Arc<SessionEntry<'g>>>>,
+    lru: Mutex<HashMap<SessionKey, Arc<SessionEntry>>>,
     lru_clock: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
@@ -625,6 +751,10 @@ pub struct Broker<'g> {
     batches: AtomicU64,
     batched_queries: AtomicU64,
     max_batch: AtomicU64,
+    deltas_applied: AtomicU64,
+    repair_patched: AtomicU64,
+    repair_full: AtomicU64,
+    stale_epoch_refused: AtomicU64,
 }
 
 /// The `ξ` a query pins its session to (every variant carries the field; the
@@ -662,6 +792,10 @@ impl<'g> Broker<'g> {
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            repair_patched: AtomicU64::new(0),
+            repair_full: AtomicU64::new(0),
+            stale_epoch_refused: AtomicU64::new(0),
         }
     }
 
@@ -766,6 +900,10 @@ impl<'g> Broker<'g> {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             session_queries: queries,
             session_report_hits: hits,
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            repair_patched: self.repair_patched.load(Ordering::Relaxed),
+            repair_full: self.repair_full.load(Ordering::Relaxed),
+            stale_epoch_refused: self.stale_epoch_refused.load(Ordering::Relaxed),
         }
     }
 
@@ -920,29 +1058,9 @@ impl<'g> Broker<'g> {
         }
     }
 
-    /// Finds or creates the session for `key`, bumping its LRU stamp.
-    fn acquire_session(
-        &self,
-        key: SessionKey,
-        graph: &'g Graph,
-        faults: Option<FaultPlan>,
-    ) -> Result<(Arc<SessionEntry<'g>>, bool), ServeError> {
-        let stamp = self.lru_clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut lru = self.lru.lock().expect("session cache lock");
-        if let Some(entry) = lru.get(&key) {
-            entry.stamp.store(stamp, Ordering::Relaxed);
-            self.session_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(entry), true));
-        }
-        let scfg = SessionConfig {
-            seed: key.seed,
-            xi: f64::from_bits(key.xi_bits),
-            net: self.cfg.net,
-            faults: faults.clone(),
-            round_threads: self.cfg.round_threads,
-        };
-        let session = Session::new(graph, scfg)?;
-        let entry = Arc::new(SessionEntry {
+    /// Wraps an owned session in a fresh LRU entry.
+    fn fresh_entry(session: Session, faults: Option<FaultPlan>, stamp: u64) -> Arc<SessionEntry> {
+        Arc::new(SessionEntry {
             session,
             faults,
             stamp: AtomicU64::new(stamp),
@@ -956,7 +1074,33 @@ impl<'g> Broker<'g> {
             }),
             batch_cv: Condvar::new(),
             cold: Mutex::new(HashMap::new()),
-        });
+        })
+    }
+
+    /// Finds or creates the session for `key`, bumping its LRU stamp.
+    fn acquire_session(
+        &self,
+        key: SessionKey,
+        graph: Arc<Graph>,
+        faults: Option<FaultPlan>,
+    ) -> Result<(Arc<SessionEntry>, bool), ServeError> {
+        let stamp = self.lru_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut lru = self.lru.lock().expect("session cache lock");
+        if let Some(entry) = lru.get(&key) {
+            entry.stamp.store(stamp, Ordering::Relaxed);
+            self.session_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(entry), true));
+        }
+        let scfg = SessionConfig {
+            seed: key.seed,
+            xi: f64::from_bits(key.xi_bits),
+            net: self.cfg.net,
+            faults: faults.clone(),
+            round_threads: self.cfg.round_threads,
+            ..SessionConfig::new(key.seed)
+        };
+        let session = Session::shared(graph, scfg)?;
+        let entry = Self::fresh_entry(session, faults, stamp);
         lru.insert(key, Arc::clone(&entry));
         self.sessions_admitted.fetch_add(1, Ordering::Relaxed);
         Ok((entry, false))
@@ -965,7 +1109,7 @@ impl<'g> Broker<'g> {
     /// Settles `entry`'s byte charge from its session stats, then evicts
     /// least-recently-used sessions until the resident total fits the budget
     /// (the most recently used session always survives, however large).
-    fn settle_and_evict(&self, entry: &SessionEntry<'g>) {
+    fn settle_and_evict(&self, entry: &SessionEntry) {
         let bytes = entry.session.stats().prepared_bytes.max(MIN_ENTRY_BYTES);
         entry.bytes.store(bytes, Ordering::Relaxed);
         let mut lru = self.lru.lock().expect("session cache lock");
@@ -998,7 +1142,7 @@ impl<'g> Broker<'g> {
     /// waiters always wake, so the coalescing layer survives the panic.
     fn serve_on_entry(
         &self,
-        entry: &SessionEntry<'g>,
+        entry: &SessionEntry,
         query: &Query,
         chaos_panic: bool,
     ) -> Result<Report, BatchError> {
@@ -1054,12 +1198,14 @@ impl<'g> Broker<'g> {
 
     /// The cold referee: solves `query` from zero on a net configured exactly
     /// like the session's (`HybridConfig`, round threads, trivial fault
-    /// plan), memoized per distinct query. Returns the digest a served
-    /// report must match, or the structured error a cold solve produces.
+    /// plan), memoized per distinct query. The referee always runs on *the
+    /// session's own graph* — the epoch the session is serving — so a
+    /// catalog delta applied mid-flight can never make it compare against
+    /// the wrong graph version. Returns the digest a served report must
+    /// match, or the structured error a cold solve produces.
     fn cold_reference(
         &self,
-        entry: &SessionEntry<'g>,
-        graph: &'g Graph,
+        entry: &SessionEntry,
         seed: u64,
         query: &Query,
     ) -> Result<u64, HybridError> {
@@ -1072,7 +1218,7 @@ impl<'g> Broker<'g> {
         if let Some(cached) = slot.as_ref() {
             return cached.clone();
         }
-        let mut net = HybridNet::new(graph, self.cfg.net);
+        let mut net = HybridNet::new(entry.session.graph(), self.cfg.net);
         if let Some(threads) = self.cfg.round_threads {
             net.set_round_threads(threads);
         }
@@ -1114,10 +1260,12 @@ impl<'g> Broker<'g> {
         req: &Request,
     ) -> Result<Response, ServeError> {
         let guard = self.admit(state, req)?;
-        let (graph, fingerprint) = self
-            .catalog
-            .get(&req.graph)
-            .ok_or_else(|| ServeError::UnknownGraph { graph: req.graph.clone() })?;
+        let (graph, fingerprint) =
+            self.catalog.get_pinned(&req.graph, req.fingerprint).inspect_err(|e| {
+                if matches!(e, ServeError::StaleFingerprint { .. }) {
+                    self.stale_epoch_refused.fetch_add(1, Ordering::Relaxed);
+                }
+            })?;
         let seed = req.seed.unwrap_or(self.cfg.seed);
         let key = SessionKey {
             tenant: req.tenant.clone(),
@@ -1142,7 +1290,7 @@ impl<'g> Broker<'g> {
             }
         };
         let response = if self.cfg.verify {
-            let cold = self.cold_reference(&entry, graph, seed, &req.query);
+            let cold = self.cold_reference(&entry, seed, &req.query);
             self.verified.fetch_add(1, Ordering::Relaxed);
             match (result, cold) {
                 (Ok(report), Ok(expected)) => {
@@ -1186,4 +1334,92 @@ impl<'g> Broker<'g> {
         self.settle_and_evict(&entry);
         response
     }
+
+    /// Applies a graph delta on behalf of `tenant`: validates and installs
+    /// the post-delta graph in the catalog (new fingerprint, epoch + 1), then
+    /// migrates every resident session serving the old version through
+    /// [`Session::apply_delta`] — incremental patch or verified full
+    /// re-prepare, counted separately — and rekeys it under the new
+    /// fingerprint.
+    ///
+    /// In-flight queries admitted before the update finish on their own
+    /// `Arc` of the old-epoch session (and are verified against *that*
+    /// epoch's graph); every admission from here on resolves the catalog to
+    /// the new version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] / [`ServeError::UnknownGraph`] for bad
+    /// names; [`ServeError::Solve`] wrapping the structured
+    /// [`hybrid_graph::DeltaError`] when the batch fails validation (catalog
+    /// and sessions unchanged).
+    pub fn update(
+        &self,
+        tenant: &str,
+        graph: &str,
+        batch: &DeltaBatch,
+    ) -> Result<UpdateOutcome, ServeError> {
+        self.tenant_state(tenant)?;
+        let cat = self.catalog.apply_delta(graph, batch)?;
+        self.deltas_applied.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Migrate resident sessions off the superseded version. The stale
+        // entries leave the LRU immediately (no new admission can reach them
+        // — lookups now resolve to the new fingerprint); in-flight holders
+        // finish on their Arc clones.
+        let stale: Vec<(SessionKey, Arc<SessionEntry>)> = {
+            let mut lru = self.lru.lock().expect("session cache lock");
+            let keys: Vec<SessionKey> =
+                lru.keys().filter(|k| k.fingerprint == cat.old_fingerprint).cloned().collect();
+            keys.into_iter()
+                .map(|k| {
+                    let e = lru.remove(&k).expect("key collected above");
+                    (k, e)
+                })
+                .collect()
+        };
+        let mut outcome = UpdateOutcome {
+            graph: graph.to_string(),
+            fingerprint: cat.fingerprint,
+            epoch: cat.epoch,
+            migrated: 0,
+            patched: 0,
+            full: 0,
+        };
+        for (key, entry) in stale {
+            let (session, repair) = entry.session.apply_delta(batch).map_err(ServeError::Solve)?;
+            outcome.migrated += 1;
+            outcome.patched += repair.patched;
+            outcome.full += repair.full;
+            self.repair_patched.fetch_add(repair.patched as u64, Ordering::Relaxed);
+            self.repair_full.fetch_add(repair.full as u64, Ordering::Relaxed);
+            let stamp = entry.stamp.load(Ordering::Relaxed);
+            let migrated = Self::fresh_entry(session, entry.faults.clone(), stamp);
+            let new_key = SessionKey { fingerprint: cat.fingerprint, ..key };
+            let mut lru = self.lru.lock().expect("session cache lock");
+            // A concurrent admission may have built the new-epoch session
+            // already; keep whichever is resident (both are bit-identical by
+            // the repair contract).
+            lru.entry(new_key).or_insert(migrated);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Outcome of one [`Broker::update`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The updated graph's catalog name.
+    pub graph: String,
+    /// Fingerprint of the post-delta graph (what future requests may pin).
+    pub fingerprint: u64,
+    /// The graph's new delta epoch.
+    pub epoch: u64,
+    /// Resident sessions migrated across the delta.
+    pub migrated: usize,
+    /// Preambles migrated on the incremental patch path, summed over those
+    /// sessions.
+    pub patched: usize,
+    /// Preambles that took the full re-prepare fallback, summed over those
+    /// sessions.
+    pub full: usize,
 }

@@ -72,11 +72,14 @@ pub mod protocol;
 pub mod tcp;
 
 pub use broker::{
-    graph_fingerprint, report_digest, Broker, BrokerConfig, BrokerStats, GraphCatalog, Request,
-    Response, ServeError, TenantConfig,
+    graph_fingerprint, report_digest, Broker, BrokerConfig, BrokerStats, CatalogUpdate,
+    GraphCatalog, Request, Response, ServeError, TenantConfig, UpdateOutcome,
 };
-pub use loadgen::{run_load, LoadReport, LoadSpec};
-pub use protocol::{guarantee_label, parse_query_spec, parse_request, query_spec, WireRequest};
+pub use loadgen::{run_load, LoadReport, LoadSpec, LoadUpdate};
+pub use protocol::{
+    delta_spec, guarantee_label, parse_delta_ops, parse_query_spec, parse_request, query_spec,
+    WireRequest,
+};
 pub use tcp::{serve_tcp, TcpServer, MAX_LINE_BYTES};
 
 #[cfg(test)]
@@ -86,7 +89,7 @@ mod tests {
 
     use hybrid_core::solver::{DiameterCorollary, Guarantee, KsspCorollary, Query, SsspVariant};
     use hybrid_graph::generators::{grid, path};
-    use hybrid_graph::NodeId;
+    use hybrid_graph::{DeltaBatch, NodeId};
     use hybrid_sim::{derive_seed, Crash, FaultPlan};
     use proptest::prelude::*;
 
@@ -374,6 +377,8 @@ mod tests {
                 retries: 0,
                 retry_backoff_ms: 0,
                 deadline_ms: None,
+                updates: Vec::new(),
+                update_every: 0,
             };
             run_load(&broker, &spec)
         };
@@ -412,10 +417,164 @@ mod tests {
             retries: 2,
             retry_backoff_ms: 0,
             deadline_ms: None,
+            updates: Vec::new(),
+            update_every: 0,
         };
         let r = run_load(&broker, &spec);
         assert_eq!((r.issued, r.served, r.shed), (6, 0, 6));
         assert_eq!(r.retries, 12, "each shed request burned its full retry budget");
+    }
+
+    #[test]
+    fn delta_specs_roundtrip_and_malformed_ops_are_structured() {
+        let batch = DeltaBatch::new()
+            .reweight(NodeId::new(0), NodeId::new(1), 7)
+            .add_edge(NodeId::new(2), NodeId::new(5), 3)
+            .remove_edge(NodeId::new(1), NodeId::new(2));
+        let spec = delta_spec(&batch);
+        assert_eq!(spec, "~0-1:7,+2-5:3,-1-2");
+        assert_eq!(parse_delta_ops(&spec).unwrap(), batch);
+        for bad in ["", "x0-1:7", "+0-1", "~0:7", "+0-1:w", "~a-1:7"] {
+            assert_eq!(parse_delta_ops(bad).unwrap_err().code(), "protocol", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn update_wire_migrates_sessions_and_serves_the_new_epoch_verified() {
+        let mut catalog = GraphCatalog::new();
+        catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        let solve = "SOLVE id=1 tenant=t graph=g query=apsp-thm11:xi=1.5";
+        let before = broker.serve_line(solve);
+        assert!(before.starts_with("OK id=1"), "{before}");
+
+        // One reweight: the resident session must migrate, the catalog epoch
+        // must bump, and the response line carries the new fingerprint.
+        let up = broker.serve_line("UPDATE id=2 tenant=t graph=g ops=~0-1:9");
+        assert!(up.starts_with("OK id=2 update=g fp="), "{up}");
+        assert!(up.contains("epoch=1"), "{up}");
+        assert!(up.contains("migrated=1"), "{up}");
+
+        // The next solve runs on the post-delta graph, is verified against a
+        // cold referee on *that* graph, and matches a from-scratch session.
+        let after = broker.serve_line(solve.replace("id=1", "id=3").as_str());
+        assert!(after.ends_with("verified=1"), "{after}");
+        assert_ne!(
+            before.split("digest=").nth(1),
+            after.split("digest=").nth(1),
+            "reweighting 0-1 changes APSP"
+        );
+        let batch = DeltaBatch::new().reweight(NodeId::new(0), NodeId::new(1), 9);
+        let post = grid(4, 4, 1).unwrap().apply_delta(&batch).unwrap();
+        let cold = hybrid_core::Session::new(
+            &post,
+            hybrid_core::SessionConfig { xi: 1.5, ..hybrid_core::SessionConfig::new(7) },
+        )
+        .unwrap();
+        let report = cold.solve(&Query::apsp().xi(1.5).build().unwrap()).unwrap();
+        let want = format!("digest={:016x}", report_digest(&report));
+        assert!(after.contains(&want), "{after} should carry {want}");
+
+        // Churn counters surface on the STATS line.
+        let stats = broker.serve_line("STATS");
+        assert!(stats.contains("deltas_applied=1"), "{stats}");
+        let s = broker.stats();
+        assert_eq!(s.repair_patched + s.repair_full, 1, "one preamble migrated: {s:?}");
+        assert_eq!(s.mismatches, 0);
+
+        // Structurally invalid deltas leave catalog and counters untouched.
+        let err = broker.serve_line("UPDATE id=4 tenant=t graph=g ops=-0-3");
+        assert!(err.starts_with("ERR id=4 code=solve"), "{err}");
+        assert_eq!(broker.stats().deltas_applied, 1);
+        assert_eq!(
+            broker.serve_line("UPDATE id=5 tenant=ghost graph=g ops=~0-1:9"),
+            "ERR id=5 code=unknown-tenant msg=unknown tenant \"ghost\""
+        );
+    }
+
+    #[test]
+    fn stale_fingerprint_pins_are_refused_structurally() {
+        let mut catalog = GraphCatalog::new();
+        let fp0 = catalog.insert("g", grid(4, 4, 1).unwrap());
+        let broker = Broker::new(&catalog, BrokerConfig::new(7));
+        broker.register_tenant("t", TenantConfig::new(4)).unwrap();
+        let q = Query::apsp().build().unwrap();
+
+        // A pin on the live version serves normally.
+        let mut pinned = Request::new("t", "g", q.clone());
+        pinned.fingerprint = Some(fp0);
+        assert!(broker.serve(&pinned).unwrap().verified);
+
+        let out = broker
+            .update("t", "g", &DeltaBatch::new().reweight(NodeId::new(0), NodeId::new(1), 5))
+            .unwrap();
+        assert_ne!(out.fingerprint, fp0);
+
+        // The old pin is now stale: structured refusal + counter.
+        let err = broker.serve(&pinned).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::StaleFingerprint {
+                graph: "g".into(),
+                requested: fp0,
+                current: out.fingerprint
+            }
+        );
+        assert_eq!(err.code(), "stale-fingerprint");
+        assert_eq!(broker.stats().stale_epoch_refused, 1);
+
+        // Wire form: an fp= pin on the new version works, the old one errs.
+        let fresh = broker.serve_line(&format!(
+            "SOLVE id=7 tenant=t graph=g fp={:016x} query=apsp-thm11:xi=1.5",
+            out.fingerprint
+        ));
+        assert!(fresh.ends_with("verified=1"), "{fresh}");
+        let stale = broker
+            .serve_line(&format!("SOLVE id=8 tenant=t graph=g fp={fp0:016x} query=apsp-thm11"));
+        assert!(stale.starts_with("ERR id=8 code=stale-fingerprint"), "{stale}");
+        assert_eq!(broker.stats().stale_epoch_refused, 2);
+    }
+
+    #[test]
+    fn load_generator_churn_draws_do_not_perturb_the_request_mix() {
+        // Identity churn: reweighting an edge to its current weight leaves the
+        // canonical graph (hence every digest and round bill) unchanged, so a
+        // run with churn enabled must reproduce the no-churn run's round total
+        // exactly — proving the update stream never steals a request draw.
+        let run = |updates: Vec<LoadUpdate>, update_every: usize| {
+            let mut catalog = GraphCatalog::new();
+            catalog.insert("g", grid(4, 4, 1).unwrap());
+            let broker = Broker::new(&catalog, BrokerConfig::new(7));
+            broker.register_tenant("t", TenantConfig::new(8)).unwrap();
+            let spec = LoadSpec {
+                name: "churn-unit".into(),
+                clients: 3,
+                requests_per_client: 6,
+                tenants: vec!["t".into()],
+                graphs: vec!["g".into()],
+                queries: mixed_queries(),
+                seed: 11,
+                retries: 0,
+                retry_backoff_ms: 0,
+                deadline_ms: None,
+                updates,
+                update_every,
+            };
+            run_load(&broker, &spec)
+        };
+        let quiet = run(Vec::new(), 0);
+        let ident = DeltaBatch::new().reweight(NodeId::new(0), NodeId::new(1), 1);
+        let churned =
+            run(vec![LoadUpdate { tenant: "t".into(), graph: "g".into(), batch: ident }], 2);
+        assert_eq!(quiet.updates_applied, 0);
+        assert!(churned.updates_applied >= 9, "3 clients × 3 injections: {churned:?}");
+        assert_eq!(churned.failed, 0);
+        assert_eq!(churned.stats.mismatches, 0);
+        assert_eq!(
+            quiet.rounds_total, churned.rounds_total,
+            "identity churn must leave the request mix and round bills untouched"
+        );
     }
 
     #[test]

@@ -9,9 +9,24 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hybrid_core::solver::{Guarantee, Query};
+use hybrid_graph::DeltaBatch;
 use hybrid_sim::derive_seed;
 
 use crate::broker::{Broker, BrokerStats, Request, ServeError};
+
+/// One churn operation the load generator can inject mid-run: an `UPDATE` of
+/// `graph` issued on behalf of `tenant`, applying `batch`. Batches that stay
+/// valid under repetition (reweights of existing edges) are the natural fit —
+/// the generator may pick the same update many times.
+#[derive(Debug, Clone)]
+pub struct LoadUpdate {
+    /// Tenant the update is issued as (must be admitted by the broker).
+    pub tenant: String,
+    /// Catalog name of the graph to mutate.
+    pub graph: String,
+    /// The delta applied on each injection.
+    pub batch: DeltaBatch,
+}
 
 /// One closed-loop workload: who asks what, how hard, under which seed.
 #[derive(Debug, Clone)]
@@ -41,6 +56,14 @@ pub struct LoadSpec {
     pub retry_backoff_ms: u64,
     /// Deadline budget attached to every request (`None`: tenant default).
     pub deadline_ms: Option<u64>,
+    /// Churn mix: updates a client may inject between requests. Empty
+    /// disables churn entirely — and because updates draw from a *disjoint*
+    /// SplitMix64 stream (`derive_seed(client_stream, u64::MAX)`), enabling
+    /// them never perturbs the tenant/graph/query draws of the request mix.
+    pub updates: Vec<LoadUpdate>,
+    /// Inject one update before every `update_every`-th request of each
+    /// client (0 disables injection even when `updates` is non-empty).
+    pub update_every: usize,
 }
 
 /// Outcome of a load run: latency percentiles, throughput, shed rate, and
@@ -72,6 +95,8 @@ pub struct LoadReport {
     /// Requests that failed any other way (bit-identity violations, solver
     /// errors, contained panics — a healthy run has zero).
     pub failed: u64,
+    /// Graph updates injected successfully by clients (0 without churn).
+    pub updates_applied: u64,
     /// Wall-clock duration of the whole run in nanoseconds.
     pub wall_ns: u64,
     /// Median served-request latency in nanoseconds.
@@ -85,8 +110,10 @@ pub struct LoadReport {
     pub qps: f64,
     /// `shed / issued` (0 when nothing was issued).
     pub shed_rate: f64,
-    /// Sum of simulated HYBRID rounds across served responses (deterministic
-    /// — pinned by bit-identity, unlike the latencies).
+    /// Sum of simulated HYBRID rounds across served responses. Deterministic
+    /// — pinned by bit-identity — *without* churn; with updates enabled, a
+    /// query races the epoch bump and may be served on either side of it, so
+    /// only per-epoch bit-identity (not this sum) is pinned.
     pub rounds_total: u64,
     /// Broker counters at the end of the run.
     pub stats: BrokerStats,
@@ -111,6 +138,7 @@ struct Tally {
     degraded: u64,
     retries: u64,
     failed: u64,
+    updates: u64,
     rounds: u64,
 }
 
@@ -138,7 +166,21 @@ pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
                 let stream = derive_seed(spec.seed, client as u64);
                 let mut local_lat = Vec::with_capacity(spec.requests_per_client);
                 let mut t = Tally::default();
+                // Churn draws live on their own stream so that enabling them
+                // leaves every request draw below bit-for-bit untouched.
+                let update_stream = derive_seed(stream, u64::MAX);
                 for r in 0..spec.requests_per_client {
+                    if spec.update_every > 0
+                        && !spec.updates.is_empty()
+                        && r % spec.update_every == 0
+                    {
+                        let udraw = derive_seed(update_stream, r as u64);
+                        let u = &spec.updates[(udraw as usize) % spec.updates.len()];
+                        match broker.update(&u.tenant, &u.graph, &u.batch) {
+                            Ok(_) => t.updates += 1,
+                            Err(_) => t.failed += 1,
+                        }
+                    }
                     let draw = derive_seed(stream, r as u64);
                     let mut req = Request {
                         tenant: spec.tenants[(draw as usize) % spec.tenants.len()].clone(),
@@ -146,6 +188,7 @@ pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
                         seed: None,
                         query: spec.queries[((draw >> 32) as usize) % spec.queries.len()].clone(),
                         deadline_ms: spec.deadline_ms,
+                        fingerprint: None,
                     };
                     let start = Instant::now();
                     let mut attempt = 0u32;
@@ -189,6 +232,7 @@ pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
                 o.degraded += t.degraded;
                 o.retries += t.retries;
                 o.failed += t.failed;
+                o.updates += t.updates;
                 o.rounds += t.rounds;
             });
         }
@@ -209,6 +253,7 @@ pub fn run_load(broker: &Broker<'_>, spec: &LoadSpec) -> LoadReport {
         degraded_served: t.degraded,
         retries: t.retries,
         failed: t.failed,
+        updates_applied: t.updates,
         wall_ns,
         p50_ns: percentile(&sample, 0.50),
         p95_ns: percentile(&sample, 0.95),

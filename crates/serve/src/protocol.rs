@@ -5,7 +5,8 @@
 //! # Requests
 //!
 //! ```text
-//! SOLVE id=<u64> tenant=<name> graph=<name> [seed=<u64>] [deadline_ms=<u64>] query=<spec>
+//! SOLVE id=<u64> tenant=<name> graph=<name> [seed=<u64>] [deadline_ms=<u64>] [fp=<016x>] query=<spec>
+//! UPDATE id=<u64> tenant=<name> graph=<name> ops=<op,op,...>
 //! STATS
 //! ```
 //!
@@ -14,10 +15,17 @@
 //! `kssp-cor46:k=4:eps=0.5:xi=1.5`, `diameter-cor52:eps=0.5:xi=1.5`. Explicit
 //! k-SSP sources are a comma list: `kssp-cor47:src=1,5,9:eps=0.5:xi=1.5`.
 //!
+//! A `SOLVE` may pin the graph version it believes is current with
+//! `fp=<016x>`; a delta-superseded pin is refused with `code=stale-fingerprint`
+//! instead of being served on a graph the client never saw. `UPDATE` ops use
+//! the deltas' canonical display form — `+u-v:w` (insert), `-u-v` (remove),
+//! `~u-v:w` (reweight) — comma-separated, applied atomically in order.
+//!
 //! # Responses
 //!
 //! ```text
 //! OK id=<u64> query=<label> rounds=<u64> guarantee=<label> digest=<016x> verified=<0|1>
+//! OK id=<u64> update=<name> fp=<016x> epoch=<u64> migrated=<n> patched=<n> full=<n>
 //! ERR id=<u64> code=<code> msg=<text...>
 //! STATS served=<u64> shed=<u64> ...
 //! ```
@@ -27,8 +35,10 @@
 //! `degraded=apsp-thm11:apsp-local-flood:crash-detected`. The `STATS` reply
 //! extends append-only: the v1 counters first, then `deadline_shed=`,
 //! `breaker_opens=`, `breaker_probes=`, `quarantined=`, `degraded_served=`,
-//! then one `breaker.<tenant>=<closed|open|half-open>` token per
-//! breaker-enabled tenant (sorted by tenant name).
+//! then the churn counters `deltas_applied=`, `repair_patched=`,
+//! `repair_full=`, `stale_epoch_refused=`, then one
+//! `breaker.<tenant>=<closed|open|half-open>` token per breaker-enabled
+//! tenant (sorted by tenant name).
 //!
 //! Float parameters round-trip through Rust's shortest-exact `Display`
 //! formatting, so a spec identifies the query bit-for-bit.
@@ -36,7 +46,7 @@
 use hybrid_core::solver::{
     ApspVariant, DiameterCorollary, Guarantee, KsspCorollary, Query, SsspVariant,
 };
-use hybrid_graph::NodeId;
+use hybrid_graph::{DeltaBatch, GraphDelta, NodeId};
 
 use crate::broker::{Broker, Request, ServeError};
 
@@ -201,6 +211,63 @@ pub fn parse_query_spec(spec: &str) -> Result<Query, ServeError> {
     Ok(q)
 }
 
+/// The canonical wire form of a delta batch: each op's display form
+/// (`+u-v:w` / `-u-v` / `~u-v:w`), comma-joined — parseable by
+/// [`parse_delta_ops`].
+pub fn delta_spec(batch: &DeltaBatch) -> String {
+    let ops: Vec<String> = batch.ops().iter().map(|op| op.to_string()).collect();
+    ops.join(",")
+}
+
+/// Parses the comma-separated delta-op list of an `UPDATE` line (grammar in
+/// the module docs). Structural validity against the live graph is the
+/// broker's job — this only parses the shape.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for an empty list or a malformed op.
+pub fn parse_delta_ops(spec: &str) -> Result<DeltaBatch, ServeError> {
+    let mut batch = DeltaBatch::new();
+    for op in spec.split(',') {
+        let (kind, rest) = op.split_at(op.len().min(1));
+        let parse_node = |v: &str| -> Result<NodeId, ServeError> {
+            let raw: u32 = v.parse().map_err(|_| bad(format!("{op:?}: {v:?} is not a node id")))?;
+            Ok(NodeId::new(raw as usize))
+        };
+        let parse_pair = |s: &str| -> Result<(NodeId, NodeId), ServeError> {
+            let (u, v) =
+                s.split_once('-').ok_or_else(|| bad(format!("{op:?}: expected <u>-<v>")))?;
+            Ok((parse_node(u)?, parse_node(v)?))
+        };
+        let parse_weighted = |s: &str| -> Result<(NodeId, NodeId, u64), ServeError> {
+            let (pair, w) =
+                s.split_once(':').ok_or_else(|| bad(format!("{op:?}: expected <u>-<v>:<w>")))?;
+            let (u, v) = parse_pair(pair)?;
+            let w = w.parse().map_err(|_| bad(format!("{op:?}: {w:?} is not a weight")))?;
+            Ok((u, v, w))
+        };
+        match kind {
+            "+" => {
+                let (u, v, w) = parse_weighted(rest)?;
+                batch.push(GraphDelta::AddEdge { u, v, w });
+            }
+            "-" => {
+                let (u, v) = parse_pair(rest)?;
+                batch.push(GraphDelta::RemoveEdge { u, v });
+            }
+            "~" => {
+                let (u, v, w) = parse_weighted(rest)?;
+                batch.push(GraphDelta::Reweight { u, v, w });
+            }
+            _ => return Err(bad(format!("{op:?}: expected leading +, - or ~"))),
+        }
+    }
+    if batch.is_empty() {
+        return Err(bad("ops=: empty delta list"));
+    }
+    Ok(batch)
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRequest {
@@ -210,6 +277,17 @@ pub enum WireRequest {
         id: u64,
         /// The in-process request.
         request: Request,
+    },
+    /// `UPDATE ...`: apply a graph delta; `id` correlates the response.
+    Update {
+        /// Client-chosen correlation id, echoed on the response line.
+        id: u64,
+        /// The requesting tenant (must be registered).
+        tenant: String,
+        /// Catalog name of the graph to update.
+        graph: String,
+        /// The parsed delta batch.
+        batch: DeltaBatch,
     },
     /// `STATS`: dump the broker counters.
     Stats,
@@ -230,6 +308,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
             let mut graph = None;
             let mut seed = None;
             let mut deadline_ms = None;
+            let mut fingerprint = None;
             let mut query = None;
             for token in tokens {
                 let (key, value) = token
@@ -241,6 +320,12 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
                     "graph" => graph = Some(value.to_string()),
                     "seed" => seed = Some(parse_u64("seed", value)?),
                     "deadline_ms" => deadline_ms = Some(parse_u64("deadline_ms", value)?),
+                    "fp" => {
+                        fingerprint = Some(
+                            u64::from_str_radix(value, 16)
+                                .map_err(|_| bad(format!("fp={value}: not a hex fingerprint")))?,
+                        )
+                    }
                     "query" => query = Some(parse_query_spec(value)?),
                     _ => return Err(bad(format!("unknown request field {key:?}"))),
                 }
@@ -253,7 +338,32 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
                     seed,
                     query: query.ok_or_else(|| bad("SOLVE: missing query=<spec>"))?,
                     deadline_ms,
+                    fingerprint,
                 },
+            })
+        }
+        Some("UPDATE") => {
+            let mut id = None;
+            let mut tenant = None;
+            let mut graph = None;
+            let mut batch = None;
+            for token in tokens {
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("{token:?}: expected key=value")))?;
+                match key {
+                    "id" => id = Some(parse_u64("id", value)?),
+                    "tenant" => tenant = Some(value.to_string()),
+                    "graph" => graph = Some(value.to_string()),
+                    "ops" => batch = Some(parse_delta_ops(value)?),
+                    _ => return Err(bad(format!("unknown request field {key:?}"))),
+                }
+            }
+            Ok(WireRequest::Update {
+                id: id.ok_or_else(|| bad("UPDATE: missing id=<u64>"))?,
+                tenant: tenant.ok_or_else(|| bad("UPDATE: missing tenant=<name>"))?,
+                graph: graph.ok_or_else(|| bad("UPDATE: missing graph=<name>"))?,
+                batch: batch.ok_or_else(|| bad("UPDATE: missing ops=<op,...>"))?,
             })
         }
         Some(other) => Err(bad(format!("unknown verb {other:?}"))),
@@ -293,10 +403,23 @@ impl Broker<'_> {
                     s.quarantined,
                     s.degraded_served
                 );
+                line.push_str(&format!(
+                    " deltas_applied={} repair_patched={} repair_full={} stale_epoch_refused={}",
+                    s.deltas_applied, s.repair_patched, s.repair_full, s.stale_epoch_refused
+                ));
                 for (tenant, state) in self.breaker_states() {
                     line.push_str(&format!(" breaker.{tenant}={state}"));
                 }
                 line
+            }
+            Ok(WireRequest::Update { id, tenant, graph, batch }) => {
+                match self.update(&tenant, &graph, &batch) {
+                    Ok(out) => format!(
+                        "OK id={id} update={} fp={:016x} epoch={} migrated={} patched={} full={}",
+                        out.graph, out.fingerprint, out.epoch, out.migrated, out.patched, out.full
+                    ),
+                    Err(e) => format!("ERR id={id} code={} msg={e}", e.code()),
+                }
             }
             Ok(WireRequest::Solve { id, request }) => match self.serve(&request) {
                 Ok(resp) => format!(

@@ -69,6 +69,8 @@ fn chaos_run(round_threads: usize) -> (Vec<String>, (u64, u64, u64)) {
             retries: 2,
             retry_backoff_ms: 0,
             deadline_ms: None,
+            updates: Vec::new(),
+            update_every: 0,
         },
     );
     (stream, (report.retries, report.shed, report.issued))

@@ -245,6 +245,74 @@ proptest! {
         prop_assert_eq!(p_metrics.global_messages, metrics.global_messages);
     }
 
+    /// Any delta sequence — however it is split into batches — equals the
+    /// from-scratch construction of the final edge list (the canonicalization
+    /// guarantee of `Graph::apply_delta`).
+    #[test]
+    fn delta_sequence_equals_from_scratch(
+        g in arb_connected_graph(),
+        seed in 0u64..1000,
+        ops in 1usize..40,
+    ) {
+        use hybrid_shortest_paths::graph::{DeltaBatch, GraphBuilder, GraphDelta};
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let n = g.len();
+        // Shadow model of the live edge set, evolved alongside the ops.
+        let mut live: BTreeMap<(u32, u32), u64> =
+            g.edges().iter().map(|e| ((e.u.raw(), e.v.raw()), e.w)).collect();
+        let mut batches: Vec<DeltaBatch> = vec![DeltaBatch::new()];
+        for _ in 0..ops {
+            let op = loop {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a == b {
+                    continue;
+                }
+                let (u, v) = (NodeId::new(a.min(b)), NodeId::new(a.max(b)));
+                let key = (u.raw(), v.raw());
+                match rng.gen_range(0..3) {
+                    0 if !live.contains_key(&key) => {
+                        let w = rng.gen_range(1u64..100);
+                        live.insert(key, w);
+                        break GraphDelta::AddEdge { u, v, w };
+                    }
+                    1 if live.contains_key(&key) => {
+                        live.remove(&key);
+                        break GraphDelta::RemoveEdge { u, v };
+                    }
+                    2 if live.contains_key(&key) => {
+                        let w = rng.gen_range(1u64..100);
+                        live.insert(key, w);
+                        break GraphDelta::Reweight { u, v, w };
+                    }
+                    _ => continue,
+                }
+            };
+            if rng.gen_bool(0.3) {
+                batches.push(DeltaBatch::new());
+            }
+            batches.last_mut().unwrap().push(op);
+        }
+        // Stepped application, batch by batch.
+        let mut stepped = g.clone();
+        for b in &batches {
+            stepped = stepped.apply_delta(b).unwrap();
+        }
+        // The same ops as one batch.
+        let one: DeltaBatch = batches.iter().flat_map(|b| b.ops().iter().copied()).collect();
+        let direct = g.apply_delta(&one).unwrap();
+        // From-scratch construction of the final (sorted) edge list.
+        let mut fresh = GraphBuilder::new(n);
+        for (&(u, v), &w) in &live {
+            fresh.add_edge(NodeId::new(u as usize), NodeId::new(v as usize), w).unwrap();
+        }
+        let fresh = fresh.build().unwrap();
+        prop_assert_eq!(&stepped, &direct);
+        prop_assert_eq!(&stepped, &fresh);
+    }
+
     /// Distances produced by the reference Dijkstra satisfy the triangle
     /// inequality and symmetry.
     #[test]

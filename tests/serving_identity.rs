@@ -122,6 +122,7 @@ fn concurrent_clients_get_cold_solve_answers_bit_identically() {
                         seed: None,
                         query,
                         deadline_ms: None,
+                        fingerprint: None,
                     };
                     let resp = broker
                         .serve(&req)
